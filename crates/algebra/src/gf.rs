@@ -1,0 +1,455 @@
+//! The Galois field GF(p^e) with table-driven arithmetic.
+//!
+//! Chapter 3 of the paper constructs maximal cycles in B(d,n) from linear
+//! recurrences over GF(d) whenever d is a prime power, and the disjoint
+//! Hamiltonian cycle strategies manipulate field elements directly
+//! (translating cycles by `s`, solving for replacement edges, …). This
+//! module provides those fields.
+//!
+//! # Representation
+//!
+//! An element is a code in `0..q` (`q = p^e`). The code's base-p digits are
+//! the coefficients of the element viewed as a polynomial over Z_p of degree
+//! < e (digit i = coefficient of x^i). Addition is digit-wise mod p;
+//! multiplication uses discrete log/antilog tables built once at
+//! construction from a primitive polynomial, so every field operation is
+//! O(1) after an O(q) setup. This covers every alphabet size an
+//! interconnection network realistically uses (q up to 2^16).
+//!
+//! The code of an element is also how it is mapped onto the d-ary alphabet
+//! `Z_d = {0, …, d−1}` when cycles built over GF(d) are turned into walks of
+//! the de Bruijn graph: any bijection works (the graph is
+//! alphabet-agnostic), and using the code keeps the mapping trivial.
+
+use crate::num::prime_power;
+use crate::polyp::PolyP;
+
+/// A finite field GF(p^e) with q = p^e elements, q ≤ 2^16.
+#[derive(Clone, Debug)]
+pub struct GField {
+    p: u64,
+    e: u32,
+    q: u64,
+    /// The primitive (hence irreducible) modulus polynomial of degree e over Z_p.
+    modulus: PolyP,
+    /// exp[k] = generator^k for k in 0..q-1, where the generator is the class of x.
+    exp: Vec<u32>,
+    /// log[a] = k with generator^k = a, for a in 1..q. log[0] is unused (set to 0).
+    log: Vec<u32>,
+}
+
+impl GField {
+    /// Constructs GF(q). `q` must be a prime power with `q ≤ 65536`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not a prime power in range.
+    #[must_use]
+    pub fn new(q: u64) -> Self {
+        let (p, e) = prime_power(q).unwrap_or_else(|| panic!("GF({q}): {q} is not a prime power"));
+        assert!(q <= 1 << 16, "GF({q}) exceeds the supported table size");
+        let modulus = PolyP::find_primitive(p, e as usize);
+        Self::with_modulus(modulus)
+    }
+
+    /// Constructs GF(p^e) from an explicit primitive polynomial of degree e
+    /// over Z_p. Useful to reproduce a paper example that fixes the
+    /// polynomial (e.g. Example 3.2 uses x² + x + 1 over GF(2)).
+    ///
+    /// # Panics
+    /// Panics if the polynomial is not primitive.
+    #[must_use]
+    pub fn with_modulus(modulus: PolyP) -> Self {
+        assert!(
+            modulus.is_primitive(),
+            "the modulus polynomial must be primitive: {modulus:?}"
+        );
+        let p = modulus.modulus();
+        let e = modulus.degree() as u32;
+        let q = crate::num::pow(p, e);
+        assert!(q <= 1 << 16, "GF({q}) exceeds the supported table size");
+
+        // Reduction row: x^e = -(f_{e-1} x^{e-1} + … + f_0).
+        let reduction: Vec<u64> = (0..e as usize)
+            .map(|i| (p - modulus.coeff(i) % p) % p)
+            .collect();
+
+        let mul_by_x = |code: u64| -> u64 {
+            // Multiply the polynomial encoded by `code` by x and reduce.
+            let mut digits = vec![0u64; e as usize];
+            let mut v = code;
+            for d in digits.iter_mut() {
+                *d = v % p;
+                v /= p;
+            }
+            let overflow = digits[e as usize - 1];
+            // Shift up.
+            for i in (1..e as usize).rev() {
+                digits[i] = digits[i - 1];
+            }
+            digits[0] = 0;
+            if overflow != 0 {
+                for i in 0..e as usize {
+                    digits[i] = (digits[i] + overflow * reduction[i]) % p;
+                }
+            }
+            let mut out = 0u64;
+            for &d in digits.iter().rev() {
+                out = out * p + d;
+            }
+            out
+        };
+
+        let mut exp = vec![0u32; (q - 1) as usize];
+        let mut log = vec![0u32; q as usize];
+        let mut cur = 1u64;
+        for (k, slot) in exp.iter_mut().enumerate() {
+            *slot = cur as u32;
+            log[cur as usize] = k as u32;
+            cur = mul_by_x(cur);
+        }
+        debug_assert_eq!(cur, 1, "the modulus polynomial generates the full group");
+
+        GField { p, e, q, modulus, exp, log }
+    }
+
+    /// The characteristic p.
+    #[inline]
+    #[must_use]
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// The extension degree e.
+    #[inline]
+    #[must_use]
+    pub fn extension_degree(&self) -> u32 {
+        self.e
+    }
+
+    /// The field size q = p^e.
+    #[inline]
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// The modulus polynomial used to build the field.
+    #[must_use]
+    pub fn modulus(&self) -> &PolyP {
+        &self.modulus
+    }
+
+    /// The additive identity.
+    #[inline]
+    #[must_use]
+    pub fn zero(&self) -> u64 {
+        0
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    #[must_use]
+    pub fn one(&self) -> u64 {
+        1
+    }
+
+    /// A generator of the multiplicative group (the class of x for e > 1).
+    #[inline]
+    #[must_use]
+    pub fn generator(&self) -> u64 {
+        u64::from(self.exp[1 % (self.q as usize - 1).max(1)])
+    }
+
+    /// Iterates over all q field element codes.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Iterates over the q − 1 nonzero element codes.
+    pub fn nonzero_elements(&self) -> impl Iterator<Item = u64> {
+        1..self.q
+    }
+
+    #[inline]
+    fn check(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q, "element {a} outside GF({})", self.q);
+        a
+    }
+
+    /// Field addition (digit-wise mod p).
+    #[inline]
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let (mut a, mut b) = (self.check(a), self.check(b));
+        if self.e == 1 {
+            return (a + b) % self.p;
+        }
+        let mut out = 0u64;
+        let mut place = 1u64;
+        for _ in 0..self.e {
+            out += (a % self.p + b % self.p) % self.p * place;
+            a /= self.p;
+            b /= self.p;
+            place *= self.p;
+        }
+        out
+    }
+
+    /// Additive inverse.
+    #[inline]
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        let mut a = self.check(a);
+        if self.e == 1 {
+            return (self.p - a) % self.p;
+        }
+        let mut out = 0u64;
+        let mut place = 1u64;
+        for _ in 0..self.e {
+            out += (self.p - a % self.p) % self.p * place;
+            a /= self.p;
+            place *= self.p;
+        }
+        out
+    }
+
+    /// Field subtraction.
+    #[inline]
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.neg(b))
+    }
+
+    /// Field multiplication (log/antilog tables).
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.check(a), self.check(b));
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let m = self.q - 1;
+        let k = (u64::from(self.log[a as usize]) + u64::from(self.log[b as usize])) % m;
+        u64::from(self.exp[k as usize])
+    }
+
+    /// Multiplicative inverse of a nonzero element.
+    ///
+    /// # Panics
+    /// Panics if `a == 0`.
+    #[inline]
+    #[must_use]
+    pub fn inv(&self, a: u64) -> u64 {
+        let a = self.check(a);
+        assert_ne!(a, 0, "zero has no multiplicative inverse");
+        let m = self.q - 1;
+        let k = (m - u64::from(self.log[a as usize])) % m;
+        u64::from(self.exp[k as usize])
+    }
+
+    /// Field division `a / b`.
+    #[inline]
+    #[must_use]
+    pub fn div(&self, a: u64, b: u64) -> u64 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// Exponentiation `a^k` in the field.
+    #[must_use]
+    pub fn pow(&self, a: u64, k: u64) -> u64 {
+        let a = self.check(a);
+        if a == 0 {
+            return u64::from(k == 0);
+        }
+        let m = self.q - 1;
+        let e = (u64::from(self.log[a as usize]) % m).wrapping_mul(k % m) % m;
+        u64::from(self.exp[(e % m) as usize])
+    }
+
+    /// The image of the integer `k` under the canonical map Z → GF(p^e)
+    /// (i.e. `k mod p` embedded in the prime subfield). In particular
+    /// `embed_int(2)` is the element "2" used throughout Section 3.2.
+    #[inline]
+    #[must_use]
+    pub fn embed_int(&self, k: u64) -> u64 {
+        k % self.p
+    }
+
+    /// Scalar multiple `k·a` for an integer k (repeated addition collapsed
+    /// to a single multiplication by `embed_int(k)`).
+    #[inline]
+    #[must_use]
+    pub fn int_mul(&self, k: u64, a: u64) -> u64 {
+        self.mul(self.embed_int(k), a)
+    }
+
+    /// Sums an iterator of field elements.
+    #[must_use]
+    pub fn sum<I: IntoIterator<Item = u64>>(&self, iter: I) -> u64 {
+        iter.into_iter().fold(0, |acc, x| self.add(acc, x))
+    }
+
+    /// The discrete logarithm of a nonzero element with respect to the
+    /// field's generator.
+    #[must_use]
+    pub fn dlog(&self, a: u64) -> Option<u64> {
+        let a = self.check(a);
+        if a == 0 {
+            None
+        } else {
+            Some(u64::from(self.log[a as usize]))
+        }
+    }
+
+    /// The multiplicative order of a nonzero element.
+    #[must_use]
+    pub fn element_order(&self, a: u64) -> Option<u64> {
+        let l = self.dlog(a)?;
+        let m = self.q - 1;
+        Some(m / crate::num::gcd(l, m))
+    }
+
+    /// Whether `a` generates the multiplicative group.
+    #[must_use]
+    pub fn is_generator(&self, a: u64) -> bool {
+        self.element_order(a) == Some(self.q - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms(f: &GField) {
+        let q = f.order();
+        for a in 0..q {
+            assert_eq!(f.add(a, 0), a);
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            assert_eq!(f.mul(a, 1), a);
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), 1);
+            }
+            for b in 0..q {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..q {
+                    assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity fails in GF({q}) at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_fields() {
+        for q in [2u64, 3, 5, 7] {
+            let f = GField::new(q);
+            assert_eq!(f.characteristic(), q);
+            assert_eq!(f.extension_degree(), 1);
+            check_field_axioms(&f);
+        }
+    }
+
+    #[test]
+    fn extension_fields() {
+        for q in [4u64, 8, 9] {
+            let f = GField::new(q);
+            check_field_axioms(&f);
+        }
+    }
+
+    #[test]
+    fn gf16_and_gf25_spot_checks() {
+        let f16 = GField::new(16);
+        assert_eq!(f16.characteristic(), 2);
+        assert_eq!(f16.extension_degree(), 4);
+        // Every nonzero element has order dividing 15.
+        for a in f16.nonzero_elements() {
+            assert_eq!(f16.pow(a, 15), 1);
+        }
+        let f25 = GField::new(25);
+        for a in f25.nonzero_elements() {
+            assert_eq!(f25.pow(a, 24), 1);
+        }
+    }
+
+    #[test]
+    fn gf4_matches_paper_example_3_2() {
+        // GF(4) = {0, 1, ζ, ζ²} with ζ a root of x² + x + 1:
+        // 1 + ζ = ζ², 1 + ζ² = ζ, ζ + ζ² = 1, ζ³ = 1.
+        let modulus = PolyP::new(2, &[1, 1, 1]);
+        let f = GField::with_modulus(modulus);
+        let zeta = f.generator();
+        let zeta2 = f.mul(zeta, zeta);
+        assert_ne!(zeta, zeta2);
+        assert_eq!(f.add(1, zeta), zeta2);
+        assert_eq!(f.add(1, zeta2), zeta);
+        assert_eq!(f.add(zeta, zeta2), 1);
+        assert_eq!(f.pow(zeta, 3), 1);
+    }
+
+    #[test]
+    fn characteristic_two_self_inverse_addition() {
+        let f = GField::new(8);
+        for a in f.elements() {
+            assert_eq!(f.add(a, a), 0);
+            assert_eq!(f.neg(a), a);
+        }
+    }
+
+    #[test]
+    fn generator_generates() {
+        for q in [4u64, 5, 7, 8, 9, 13, 16, 25, 27] {
+            let f = GField::new(q);
+            let g = f.generator();
+            assert!(f.is_generator(g));
+            let mut seen = std::collections::HashSet::new();
+            let mut cur = 1u64;
+            for _ in 0..q - 1 {
+                seen.insert(cur);
+                cur = f.mul(cur, g);
+            }
+            assert_eq!(seen.len() as u64, q - 1);
+        }
+    }
+
+    #[test]
+    fn embed_int_and_scalar_multiples() {
+        let f = GField::new(9);
+        assert_eq!(f.embed_int(2), 2);
+        assert_eq!(f.embed_int(3), 0); // characteristic 3
+        for a in f.elements() {
+            assert_eq!(f.int_mul(2, a), f.add(a, a));
+            assert_eq!(f.int_mul(3, a), 0);
+        }
+    }
+
+    #[test]
+    fn dlog_consistency() {
+        let f = GField::new(13);
+        let g = f.generator();
+        for a in f.nonzero_elements() {
+            let l = f.dlog(a).unwrap();
+            assert_eq!(f.pow(g, l), a);
+        }
+        assert_eq!(f.dlog(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prime power")]
+    fn rejects_non_prime_power() {
+        let _ = GField::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_has_no_inverse() {
+        let f = GField::new(5);
+        let _ = f.inv(0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Linear recurrences (LFSRs) over GF(q) and maximal sequences.
+//!
+//! Section 3.1 of the paper: a sequence C defined by the recurrence
+//!
+//! ```text
+//! c_{n+i} = a_{n−1} c_{n−1+i} + … + a_0 c_i          (Equation 3.1)
+//! ```
+//!
+//! over GF(d) with non-zero initial conditions corresponds to a cycle of
+//! length `period(C)` in B(d,n). When the characteristic polynomial
+//! (Equation 3.2) is *primitive*, the period is d^n − 1 and the cycle is a
+//! **maximal cycle**: it visits every node of B(d,n) except 0^n. These are
+//! the raw material of every disjoint-Hamiltonian-cycle construction in
+//! Chapter 3.
+
+use crate::gf::GField;
+use crate::num::checked_pow;
+use crate::polygf::PolyGf;
+
+/// A linear-feedback shift register over GF(q).
+#[derive(Clone, Debug)]
+pub struct Lfsr {
+    field: GField,
+    /// Recurrence coefficients `[a_0, …, a_{n−1}]` of Equation 3.1.
+    recurrence: Vec<u64>,
+    /// Current window `c_i … c_{i+n−1}` (oldest first).
+    state: Vec<u64>,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given recurrence coefficients
+    /// `[a_0, …, a_{n−1}]` and initial conditions `[c_0, …, c_{n−1}]`.
+    ///
+    /// # Panics
+    /// Panics if the two slices have different lengths, are empty, or
+    /// contain values outside the field.
+    #[must_use]
+    pub fn new(field: GField, recurrence: &[u64], initial: &[u64]) -> Self {
+        assert!(!recurrence.is_empty(), "the recurrence order must be at least 1");
+        assert_eq!(recurrence.len(), initial.len(), "recurrence/initial length mismatch");
+        let q = field.order();
+        assert!(recurrence.iter().all(|&a| a < q), "recurrence coefficient outside GF({q})");
+        assert!(initial.iter().all(|&c| c < q), "initial condition outside GF({q})");
+        Lfsr {
+            field,
+            recurrence: recurrence.to_vec(),
+            state: initial.to_vec(),
+        }
+    }
+
+    /// Creates the LFSR whose characteristic polynomial is `poly`
+    /// (monic, degree n ≥ 1), with the given initial conditions.
+    #[must_use]
+    pub fn from_characteristic(field: GField, poly: &PolyGf, initial: &[u64]) -> Self {
+        let rec = poly.to_recurrence(&field);
+        Self::new(field, &rec, initial)
+    }
+
+    /// The field this register runs over.
+    #[must_use]
+    pub fn field(&self) -> &GField {
+        &self.field
+    }
+
+    /// The recurrence order n.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.recurrence.len()
+    }
+
+    /// The recurrence coefficients `[a_0, …, a_{n−1}]`.
+    #[must_use]
+    pub fn recurrence(&self) -> &[u64] {
+        &self.recurrence
+    }
+
+    /// The current state window (oldest element first).
+    #[must_use]
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// ω = a_0 + … + a_{n−1}, the sum of the recurrence coefficients
+    /// (Lemma 3.2 writes it as the constant that couples translated cycles).
+    #[must_use]
+    pub fn coefficient_sum(&self) -> u64 {
+        self.field.sum(self.recurrence.iter().copied())
+    }
+
+    /// The characteristic polynomial of the recurrence (Equation 3.2).
+    #[must_use]
+    pub fn characteristic_polynomial(&self) -> PolyGf {
+        PolyGf::from_recurrence(&self.recurrence, &self.field)
+    }
+
+    /// Advances one step and returns the element that was shifted out
+    /// (the oldest element of the window).
+    pub fn step(&mut self) -> u64 {
+        let f = &self.field;
+        let next = self
+            .recurrence
+            .iter()
+            .zip(self.state.iter())
+            .fold(0u64, |acc, (&a, &c)| f.add(acc, f.mul(a, c)));
+        let out = self.state[0];
+        self.state.rotate_left(1);
+        let n = self.state.len();
+        self.state[n - 1] = next;
+        out
+    }
+
+    /// Generates the next `k` sequence elements `c_i, c_{i+1}, …`.
+    pub fn generate(&mut self, k: usize) -> Vec<u64> {
+        (0..k).map(|_| self.step()).collect()
+    }
+
+    /// The period of the sequence from the *current* state: the least k > 0
+    /// returning the state window to its present value. Returns `None` if
+    /// the state is all-zero with a period of 1 (degenerate) — in that case
+    /// 1 is still returned, so in practice this is always `Some`.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        let start = self.state.clone();
+        let mut probe = self.clone();
+        let limit = checked_pow(self.field.order(), self.order() as u32)
+            .expect("q^n overflows u64");
+        for k in 1..=limit {
+            probe.step();
+            if probe.state == start {
+                return k;
+            }
+        }
+        unreachable!("an LFSR state always recurs within q^n steps")
+    }
+
+    /// Produces one full period of the sequence starting from the current
+    /// state (the state is left unchanged). The result, read circularly,
+    /// is exactly the cycle notation `[c_0, c_1, …, c_{k−1}]` of Section 3.1.
+    #[must_use]
+    pub fn full_period(&self) -> Vec<u64> {
+        let start = self.state.clone();
+        let mut probe = self.clone();
+        let mut out = Vec::new();
+        loop {
+            out.push(probe.step());
+            if probe.state == start {
+                return out;
+            }
+        }
+    }
+}
+
+/// Constructs a maximal sequence (maximal cycle) of length d^n − 1 over
+/// GF(d): finds a primitive polynomial of degree n over GF(d), runs the
+/// recurrence from the initial conditions `0, 0, …, 0, 1`, and returns the
+/// field together with the full period.
+///
+/// # Panics
+/// Panics if `d` is not a prime power.
+#[must_use]
+pub fn maximal_sequence(d: u64, n: usize) -> (GField, Vec<u64>) {
+    let field = GField::new(d);
+    let poly = PolyGf::find_primitive(&field, n);
+    let mut initial = vec![0u64; n];
+    initial[n - 1] = 1;
+    let lfsr = Lfsr::from_characteristic(field.clone(), &poly, &initial);
+    let seq = lfsr.full_period();
+    (field, seq)
+}
+
+/// Constructs a maximal sequence from an explicit primitive characteristic
+/// polynomial and initial conditions — used to reproduce the paper's worked
+/// examples verbatim (Examples 3.1, 3.2, 3.6).
+#[must_use]
+pub fn maximal_sequence_with(field: &GField, poly: &PolyGf, initial: &[u64]) -> Vec<u64> {
+    let lfsr = Lfsr::from_characteristic(field.clone(), poly, initial);
+    lfsr.full_period()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_maximal_cycle_in_b52() {
+        // Recurrence s_{2+i} = s_{1+i} + 3 s_i over GF(5), initial 0, 1.
+        // Expected period-24 cycle from the paper:
+        let expected = vec![
+            0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3, 0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2,
+        ];
+        let field = GField::new(5);
+        let poly = PolyGf::new(&[2, 4, 1]); // x^2 - x - 3
+        let seq = maximal_sequence_with(&field, &poly, &[0, 1]);
+        assert_eq!(seq, expected);
+    }
+
+    #[test]
+    fn example_3_6_binary_maximal_cycle() {
+        // c_{i+3} = c_{i+2} + c_i over GF(2), initial 0,0,1 → [0,0,1,1,1,0,1].
+        let field = GField::new(2);
+        let poly = PolyGf::from_recurrence(&[1, 0, 1], &field); // a_0=1, a_1=0, a_2=1
+        let seq = maximal_sequence_with(&field, &poly, &[0, 0, 1]);
+        assert_eq!(seq, vec![0, 0, 1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn maximal_sequence_lengths() {
+        for (d, n) in [(2u64, 3usize), (2, 5), (3, 3), (4, 2), (5, 2), (8, 2), (9, 2)] {
+            let (field, seq) = maximal_sequence(d, n);
+            assert_eq!(field.order(), d);
+            assert_eq!(seq.len() as u64, crate::num::pow(d, n as u32) - 1);
+        }
+    }
+
+    #[test]
+    fn maximal_sequence_is_de_bruijn_minus_zero() {
+        // Every n-window of the circular sequence is distinct, and together
+        // they cover all d^n - 1 nonzero-state windows.
+        let (_, seq) = maximal_sequence(3, 3);
+        let k = seq.len();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..k {
+            let window: Vec<u64> = (0..3).map(|j| seq[(i + j) % k]).collect();
+            assert_ne!(window, vec![0, 0, 0]);
+            assert!(seen.insert(window), "repeated window at {i}");
+        }
+        assert_eq!(seen.len(), 26);
+    }
+
+    #[test]
+    fn period_divides_order_of_characteristic_polynomial() {
+        let field = GField::new(3);
+        // x^2 + 1 has order 4 over GF(3) (irreducible, not primitive).
+        let poly = PolyGf::new(&[1, 0, 1]);
+        let lfsr = Lfsr::from_characteristic(field, &poly, &[0, 1]);
+        assert_eq!(lfsr.period(), 4);
+    }
+
+    #[test]
+    fn zero_state_has_period_one() {
+        let field = GField::new(5);
+        let lfsr = Lfsr::new(field, &[3, 1], &[0, 0]);
+        assert_eq!(lfsr.period(), 1);
+        assert_eq!(lfsr.full_period(), vec![0]);
+    }
+
+    #[test]
+    fn step_preserves_recurrence_law() {
+        let field = GField::new(7);
+        let mut lfsr = Lfsr::new(field.clone(), &[2, 0, 5], &[1, 3, 6]);
+        let seq = lfsr.generate(50);
+        for i in 0..seq.len() - 3 {
+            let expect = field.add(
+                field.add(field.mul(2, seq[i]), field.mul(0, seq[i + 1])),
+                field.mul(5, seq[i + 2]),
+            );
+            assert_eq!(seq[i + 3], expect, "recurrence violated at {i}");
+        }
+    }
+
+    #[test]
+    fn coefficient_sum_omega() {
+        let field = GField::new(5);
+        let lfsr = Lfsr::new(field, &[3, 1], &[0, 1]);
+        // ω = 3 + 1 = 4 in GF(5) (Example 3.4 notes ω = 4).
+        assert_eq!(lfsr.coefficient_sum(), 4);
+    }
+
+    #[test]
+    fn full_period_does_not_disturb_state() {
+        let field = GField::new(4);
+        let poly = PolyGf::find_primitive(&field, 2);
+        let lfsr = Lfsr::from_characteristic(field, &poly, &[0, 1]);
+        let before = lfsr.state().to_vec();
+        let _ = lfsr.full_period();
+        assert_eq!(lfsr.state(), &before[..]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Number-theoretic and finite-field machinery for de Bruijn ring embeddings.
+//!
+//! This crate is the algebraic substrate of the Rowley–Bose reproduction.
+//! It provides:
+//!
+//! * [`num`] — elementary number theory: gcd/lcm, factorisation, divisors,
+//!   Euler's totient, the Möbius function, primitive roots and quadratic
+//!   residues modulo a prime, and prime-power recognition.
+//! * [`words`] — fixed-radix words (d-ary n-tuples) encoded as integers,
+//!   with rotations, digit access, weights and de Bruijn successor maps.
+//!   Words are the node labels of every graph in the workspace.
+//! * [`polyp`] — dense polynomials over the prime field Z_p with
+//!   irreducibility, order and primitivity tests.
+//! * [`gf`] — the Galois field GF(p^e) with table-driven arithmetic.
+//! * [`polygf`] — polynomials whose coefficients live in GF(q), together
+//!   with the primitive-polynomial search used to build maximal cycles.
+//! * [`lfsr`] — linear recurrences (linear-feedback shift registers) over
+//!   GF(q); maximal sequences are the "maximal cycles" of the paper
+//!   (Section 3.1).
+//!
+//! All algorithms here are exact and deterministic; they target the small
+//! parameter ranges that interconnection networks use (alphabet sizes up to
+//! a few hundred, word lengths up to ~25), so clarity is preferred over
+//! asymptotic heroics, but the hot paths (word manipulation, field
+//! arithmetic) are allocation-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod berlekamp;
+pub mod gf;
+pub mod lfsr;
+pub mod num;
+pub mod polygf;
+pub mod polyp;
+pub mod words;
+
+pub use berlekamp::{berlekamp_massey, LinearComplexity};
+pub use gf::GField;
+pub use lfsr::Lfsr;
+pub use num::{euler_phi, factorize, is_prime, lcm, mobius, prime_power};
+pub use polygf::PolyGf;
+pub use polyp::PolyP;
+pub use words::Word;

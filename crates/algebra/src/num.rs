@@ -1,0 +1,447 @@
+//! Elementary number theory.
+//!
+//! Everything in this module is exact integer arithmetic on `u64`/`i64`.
+//! The routines are used to
+//!
+//! * compute the fault-tolerance bounds ψ(d) and φ(d) of Chapter 3
+//!   (factorisation, primitive roots, quadratic residues),
+//! * drive the Möbius-inversion necklace counts of Chapter 4
+//!   (`mobius`, `euler_phi`, `divisors`), and
+//! * recognise prime powers so that the Galois-field constructions apply.
+
+/// Greatest common divisor (binary-free Euclid; inputs may be zero).
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple. Panics on overflow in debug builds.
+#[must_use]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`.
+#[must_use]
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` modulo `m`, if it exists (`gcd(a, m) == 1`).
+#[must_use]
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let (g, x, _) = extended_gcd((a % m) as i64, m as i64);
+    if g != 1 {
+        return None;
+    }
+    Some(x.rem_euclid(m as i64) as u64)
+}
+
+/// Modular exponentiation `base^exp (mod m)` using 128-bit intermediates.
+#[must_use]
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut result: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = ((result as u128 * base as u128) % m as u128) as u64;
+        }
+        base = ((base as u128 * base as u128) % m as u128) as u64;
+        exp >>= 1;
+    }
+    result
+}
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = ((x as u128 * x as u128) % n as u128) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Prime factorisation as `(prime, exponent)` pairs in increasing prime order.
+///
+/// Trial division — ample for the d ≤ a-few-thousand alphabet sizes and the
+/// q^n − 1 sequence periods this workspace manipulates.
+#[must_use]
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let mut p = 2u64;
+    while p * p <= n {
+        if n % p == 0 {
+            let mut e = 0;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            out.push((p, e));
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Distinct prime divisors of `n`.
+#[must_use]
+pub fn prime_divisors(n: u64) -> Vec<u64> {
+    factorize(n).into_iter().map(|(p, _)| p).collect()
+}
+
+/// All positive divisors of `n`, in increasing order.
+#[must_use]
+pub fn divisors(n: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let f = factorize(n);
+    let mut out = vec![1u64];
+    for (p, e) in f {
+        let prev = out.clone();
+        let mut pe = 1u64;
+        for _ in 0..e {
+            pe *= p;
+            out.extend(prev.iter().map(|d| d * pe));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Euler's totient φ(n): the count of integers in `1..=n` coprime to `n`.
+#[must_use]
+pub fn euler_phi(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut result = n;
+    for (p, _) in factorize(n) {
+        result = result / p * (p - 1);
+    }
+    result
+}
+
+/// Möbius function μ(n): 1 for squarefree with an even number of prime
+/// factors, −1 for squarefree with an odd number, 0 otherwise.
+#[must_use]
+pub fn mobius(n: u64) -> i64 {
+    if n == 0 {
+        return 0;
+    }
+    if n == 1 {
+        return 1;
+    }
+    let f = factorize(n);
+    if f.iter().any(|&(_, e)| e > 1) {
+        0
+    } else if f.len() % 2 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// If `n = p^e` for a prime `p` and `e ≥ 1`, returns `(p, e)`.
+#[must_use]
+pub fn prime_power(n: u64) -> Option<(u64, u32)> {
+    let f = factorize(n);
+    match f.as_slice() {
+        [(p, e)] => Some((*p, *e)),
+        _ => None,
+    }
+}
+
+/// The multiplicative order of `a` modulo `m` (the least `k > 0` with
+/// `a^k ≡ 1`), or `None` if `gcd(a, m) != 1`.
+#[must_use]
+pub fn multiplicative_order(a: u64, m: u64) -> Option<u64> {
+    if m == 0 || gcd(a % m, m) != 1 {
+        return None;
+    }
+    if m == 1 {
+        return Some(1);
+    }
+    let group = euler_phi(m);
+    let mut order = group;
+    for p in prime_divisors(group) {
+        while order % p == 0 && mod_pow(a, order / p, m) == 1 {
+            order /= p;
+        }
+    }
+    Some(order)
+}
+
+/// Tests whether `g` generates the multiplicative group of Z_p (p prime).
+#[must_use]
+pub fn is_primitive_root(g: u64, p: u64) -> bool {
+    if p < 2 || g % p == 0 {
+        return false;
+    }
+    multiplicative_order(g, p) == Some(p - 1)
+}
+
+/// The smallest primitive root modulo an odd prime `p` (or 1 for p = 2).
+#[must_use]
+pub fn smallest_primitive_root(p: u64) -> u64 {
+    if p == 2 {
+        return 1;
+    }
+    (2..p)
+        .find(|&g| is_primitive_root(g, p))
+        .expect("every prime has a primitive root")
+}
+
+/// All primitive roots modulo the prime `p`, in increasing order.
+#[must_use]
+pub fn primitive_roots(p: u64) -> Vec<u64> {
+    if p == 2 {
+        return vec![1];
+    }
+    let g = smallest_primitive_root(p);
+    // The primitive roots are g^k for k coprime to p-1.
+    let mut out: Vec<u64> = (1..p - 1)
+        .filter(|&k| gcd(k, p - 1) == 1)
+        .map(|k| mod_pow(g, k, p))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Tests whether `a` is a quadratic residue modulo the odd prime `p`
+/// (Euler's criterion). Zero is not considered a residue here.
+#[must_use]
+pub fn is_quadratic_residue(a: u64, p: u64) -> bool {
+    if a % p == 0 {
+        return false;
+    }
+    mod_pow(a, (p - 1) / 2, p) == 1
+}
+
+/// Checked integer power `base^exp`, returning `None` on `u64` overflow.
+#[must_use]
+pub fn checked_pow(base: u64, exp: u32) -> Option<u64> {
+    let mut acc: u64 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base)?;
+    }
+    Some(acc)
+}
+
+/// Integer power `base^exp`, panicking on overflow.
+#[must_use]
+pub fn pow(base: u64, exp: u32) -> u64 {
+    checked_pow(base, exp).expect("integer overflow in pow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(7, 13), 91);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for a in 1..40i64 {
+            for b in 1..40i64 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(a * x + b * y, g);
+                assert_eq!(g, gcd(a as u64, b as u64) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_works() {
+        assert_eq!(mod_inverse(3, 7), Some(5));
+        assert_eq!(mod_inverse(2, 4), None);
+        for m in 2..50u64 {
+            for a in 1..m {
+                if gcd(a, m) == 1 {
+                    let inv = mod_inverse(a, m).unwrap();
+                    assert_eq!(a * inv % m, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        for base in 0..12u64 {
+            for exp in 0..10u64 {
+                for m in 1..30u64 {
+                    let mut naive = 1u64 % m;
+                    for _ in 0..exp {
+                        naive = naive * base % m;
+                    }
+                    assert_eq!(mod_pow(base, exp, m), naive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn primality_larger() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(!is_prime(2_147_483_649));
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007 * 3));
+    }
+
+    #[test]
+    fn factorization_roundtrip() {
+        for n in 1..2000u64 {
+            let f = factorize(n);
+            let back: u64 = f.iter().map(|&(p, e)| pow(p, e)).product();
+            assert_eq!(back, n);
+            for &(p, _) in &f {
+                assert!(is_prime(p));
+            }
+        }
+    }
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(27), vec![1, 3, 9, 27]);
+    }
+
+    #[test]
+    fn phi_values() {
+        assert_eq!(euler_phi(1), 1);
+        assert_eq!(euler_phi(12), 4);
+        assert_eq!(euler_phi(13), 12);
+        assert_eq!(euler_phi(36), 12);
+        // phi is multiplicative on coprime arguments.
+        assert_eq!(euler_phi(5 * 8), euler_phi(5) * euler_phi(8));
+    }
+
+    #[test]
+    fn mobius_values() {
+        assert_eq!(mobius(1), 1);
+        assert_eq!(mobius(2), -1);
+        assert_eq!(mobius(6), 1);
+        assert_eq!(mobius(12), 0);
+        assert_eq!(mobius(30), -1);
+        // Sum of mobius over divisors of n is [n == 1].
+        for n in 1..200u64 {
+            let s: i64 = divisors(n).into_iter().map(mobius).sum();
+            assert_eq!(s, i64::from(n == 1));
+        }
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(7), Some((7, 1)));
+        assert_eq!(prime_power(12), None);
+        assert_eq!(prime_power(1), None);
+    }
+
+    #[test]
+    fn orders_and_primitive_roots() {
+        assert_eq!(multiplicative_order(2, 7), Some(3));
+        assert_eq!(multiplicative_order(3, 7), Some(6));
+        assert!(is_primitive_root(3, 7));
+        assert!(!is_primitive_root(2, 7));
+        assert_eq!(smallest_primitive_root(13), 2);
+        // 7 is a primitive root of 13 (used in Example 3.3 of the paper).
+        assert!(is_primitive_root(7, 13));
+        let roots = primitive_roots(13);
+        assert_eq!(roots.len(), euler_phi(12) as usize);
+        assert!(roots.contains(&7));
+    }
+
+    #[test]
+    fn quadratic_residues_mod_13() {
+        let qr: Vec<u64> = (1..13).filter(|&a| is_quadratic_residue(a, 13)).collect();
+        assert_eq!(qr, vec![1, 3, 4, 9, 10, 12]);
+        // 2 is a nonresidue iff p ≡ ±3 (mod 8).
+        for &p in &[3u64, 5, 11, 13, 19, 29] {
+            assert!(!is_quadratic_residue(2, p), "2 should be a nonresidue mod {p}");
+        }
+        for &p in &[7u64, 17, 23, 31] {
+            assert!(is_quadratic_residue(2, p), "2 should be a residue mod {p}");
+        }
+    }
+
+    #[test]
+    fn pow_checked() {
+        assert_eq!(checked_pow(2, 10), Some(1024));
+        assert_eq!(checked_pow(10, 20), None);
+        assert_eq!(pow(3, 4), 81);
+    }
+}

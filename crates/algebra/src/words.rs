@@ -1,0 +1,498 @@
+//! Fixed-radix words: d-ary n-tuples encoded as integers.
+//!
+//! Every node of the d-ary de Bruijn graph B(d,n) is an n-tuple
+//! `x_1 x_2 … x_n` over the alphabet `{0, …, d−1}` (Section 1.2 of the
+//! paper). We encode such a tuple as the base-d integer
+//!
+//! ```text
+//! value = x_1·d^(n−1) + x_2·d^(n−2) + … + x_n
+//! ```
+//!
+//! so that the *most significant* digit is the leftmost symbol. With this
+//! convention the de Bruijn successor `x_1…x_n → x_2…x_n·a` is a single
+//! multiply-add, and the tuple ordering used by the paper to pick necklace
+//! representatives ("n-tuples are ordered by viewing them as base-d
+//! numbers") is just integer comparison.
+//!
+//! [`WordSpace`] is the cheap, copyable context `(d, n)` holding the radix
+//! and length; its methods operate on raw `u64` codes, which is what the
+//! graph and embedding layers use on hot paths. [`Word`] is an ergonomic
+//! owned value (code + space) for examples, tests and display.
+
+use std::fmt;
+
+/// The parameter context for d-ary n-tuples: radix `d ≥ 2` and length `n ≥ 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WordSpace {
+    d: u64,
+    n: u32,
+}
+
+impl WordSpace {
+    /// Creates the space of d-ary n-tuples.
+    ///
+    /// # Panics
+    /// Panics if `d < 2`, `n < 1`, or `d^n` overflows `u64`.
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        assert!(d >= 2, "alphabet size d must be at least 2");
+        assert!(n >= 1, "word length n must be at least 1");
+        assert!(
+            crate::num::checked_pow(d, n).is_some(),
+            "d^n overflows u64 (d = {d}, n = {n})"
+        );
+        Self { d, n }
+    }
+
+    /// The alphabet size d.
+    #[inline]
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The word length n.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The total number of words, d^n.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        crate::num::pow(self.d, self.n)
+    }
+
+    /// d^(n−1): the place value of the leading digit.
+    #[inline]
+    #[must_use]
+    pub fn msd_place(&self) -> u64 {
+        crate::num::pow(self.d, self.n - 1)
+    }
+
+    /// Returns the digits `x_1 … x_n` of `code`, leftmost first.
+    #[must_use]
+    pub fn digits(&self, code: u64) -> Vec<u64> {
+        debug_assert!(code < self.count());
+        let mut out = vec![0u64; self.n as usize];
+        let mut v = code;
+        for i in (0..self.n as usize).rev() {
+            out[i] = v % self.d;
+            v /= self.d;
+        }
+        out
+    }
+
+    /// Rebuilds a code from digits `x_1 … x_n` (leftmost first).
+    ///
+    /// # Panics
+    /// Panics if the slice length differs from `n` or a digit is ≥ d.
+    #[must_use]
+    pub fn from_digits(&self, digits: &[u64]) -> u64 {
+        assert_eq!(digits.len(), self.n as usize, "digit count mismatch");
+        let mut v = 0u64;
+        for &x in digits {
+            assert!(x < self.d, "digit {x} out of range for radix {}", self.d);
+            v = v * self.d + x;
+        }
+        v
+    }
+
+    /// The i-th digit (1-based, as in the paper's `x_i`) of `code`.
+    #[inline]
+    #[must_use]
+    pub fn digit(&self, code: u64, i: u32) -> u64 {
+        debug_assert!((1..=self.n).contains(&i));
+        (code / crate::num::pow(self.d, self.n - i)) % self.d
+    }
+
+    /// The word `a^n` (all digits equal to `a`).
+    #[must_use]
+    pub fn constant(&self, a: u64) -> u64 {
+        assert!(a < self.d);
+        let mut v = 0;
+        for _ in 0..self.n {
+            v = v * self.d + a;
+        }
+        v
+    }
+
+    /// Left rotation by one position: `x_1 x_2 … x_n → x_2 … x_n x_1`.
+    #[inline]
+    #[must_use]
+    pub fn rotate_left(&self, code: u64) -> u64 {
+        let msd = code / self.msd_place();
+        (code % self.msd_place()) * self.d + msd
+    }
+
+    /// Left rotation by `i` positions (π^i(x) in the paper's notation).
+    #[must_use]
+    pub fn rotate_left_by(&self, code: u64, i: u32) -> u64 {
+        let mut v = code;
+        for _ in 0..(i % self.n) {
+            v = self.rotate_left(v);
+        }
+        v
+    }
+
+    /// Right rotation by one position: `x_1 … x_n → x_n x_1 … x_{n−1}`.
+    #[inline]
+    #[must_use]
+    pub fn rotate_right(&self, code: u64) -> u64 {
+        let last = code % self.d;
+        code / self.d + last * self.msd_place()
+    }
+
+    /// De Bruijn successor: `x_1…x_n → x_2…x_n·a` (shift left, append `a`).
+    #[inline]
+    #[must_use]
+    pub fn shift_append(&self, code: u64, a: u64) -> u64 {
+        debug_assert!(a < self.d);
+        (code % self.msd_place()) * self.d + a
+    }
+
+    /// De Bruijn predecessor: `x_1…x_n → a·x_1…x_{n−1}` (shift right, prepend `a`).
+    #[inline]
+    #[must_use]
+    pub fn shift_prepend(&self, code: u64, a: u64) -> u64 {
+        debug_assert!(a < self.d);
+        code / self.d + a * self.msd_place()
+    }
+
+    /// All d de Bruijn successors of `code` (in digit order of the appended symbol).
+    #[must_use]
+    pub fn successors(&self, code: u64) -> Vec<u64> {
+        (0..self.d).map(|a| self.shift_append(code, a)).collect()
+    }
+
+    /// All d de Bruijn predecessors of `code`.
+    #[must_use]
+    pub fn predecessors(&self, code: u64) -> Vec<u64> {
+        (0..self.d).map(|a| self.shift_prepend(code, a)).collect()
+    }
+
+    /// The weight wt(x): the sum of all digits (Section 2.1).
+    #[must_use]
+    pub fn weight(&self, code: u64) -> u64 {
+        let mut v = code;
+        let mut w = 0;
+        for _ in 0..self.n {
+            w += v % self.d;
+            v /= self.d;
+        }
+        w
+    }
+
+    /// wt_a(x): how many digits of `code` equal `a` (Section 2.1).
+    #[must_use]
+    pub fn count_digit(&self, code: u64, a: u64) -> u32 {
+        let mut v = code;
+        let mut c = 0;
+        for _ in 0..self.n {
+            if v % self.d == a {
+                c += 1;
+            }
+            v /= self.d;
+        }
+        c
+    }
+
+    /// The type of a word: a d-tuple `[k_0, …, k_{d−1}]` where digit `a`
+    /// occurs `k_a` times (Chapter 4, "Counting by Type").
+    #[must_use]
+    pub fn word_type(&self, code: u64) -> Vec<u32> {
+        let mut counts = vec![0u32; self.d as usize];
+        let mut v = code;
+        for _ in 0..self.n {
+            counts[(v % self.d) as usize] += 1;
+            v /= self.d;
+        }
+        counts
+    }
+
+    /// The period of `code`: the least `t > 0` with π^t(x) = x. Always divides n.
+    #[must_use]
+    pub fn period(&self, code: u64) -> u32 {
+        for t in crate::num::divisors(u64::from(self.n)) {
+            if self.rotate_left_by(code, t as u32) == code {
+                return t as u32;
+            }
+        }
+        self.n
+    }
+
+    /// Whether `code` is aperiodic (its period equals n).
+    #[must_use]
+    pub fn is_aperiodic(&self, code: u64) -> bool {
+        self.period(code) == self.n
+    }
+
+    /// The canonical (minimal) rotation of `code`: the necklace representative
+    /// `[y]` of the paper, i.e. the smallest base-d value among all rotations.
+    #[must_use]
+    pub fn canonical_rotation(&self, code: u64) -> u64 {
+        let mut best = code;
+        let mut cur = code;
+        for _ in 1..self.n {
+            cur = self.rotate_left(cur);
+            if cur < best {
+                best = cur;
+            }
+        }
+        best
+    }
+
+    /// Renders `code` as its digit string (digits ≥ 10 are separated by dots).
+    #[must_use]
+    pub fn format(&self, code: u64) -> String {
+        let digits = self.digits(code);
+        if self.d <= 10 {
+            digits.iter().map(|x| x.to_string()).collect()
+        } else {
+            digits
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        }
+    }
+
+    /// Parses a digit string produced by [`WordSpace::format`] (or typed by hand,
+    /// e.g. `"0112"`). Returns `None` on malformed input.
+    #[must_use]
+    pub fn parse(&self, s: &str) -> Option<u64> {
+        let digits: Vec<u64> = if self.d <= 10 {
+            s.chars().map(|c| c.to_digit(10).map(u64::from)).collect::<Option<Vec<_>>>()?
+        } else {
+            s.split('.').map(|t| t.parse().ok()).collect::<Option<Vec<_>>>()?
+        };
+        if digits.len() != self.n as usize || digits.iter().any(|&x| x >= self.d) {
+            return None;
+        }
+        Some(self.from_digits(&digits))
+    }
+
+    /// Iterates over all d^n word codes.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        0..self.count()
+    }
+
+    /// Wraps a raw code into an owned [`Word`].
+    #[must_use]
+    pub fn word(&self, code: u64) -> Word {
+        assert!(code < self.count(), "word code out of range");
+        Word { space: *self, code }
+    }
+
+    /// The word α^β α^β… of the paper's `\hat{αβ}` notation: alternating
+    /// digits `α β α β …` of total length n (ending with α when n is odd).
+    #[must_use]
+    pub fn alternating(&self, alpha: u64, beta: u64) -> u64 {
+        assert!(alpha < self.d && beta < self.d);
+        let digits: Vec<u64> = (0..self.n)
+            .map(|i| if i % 2 == 0 { alpha } else { beta })
+            .collect();
+        self.from_digits(&digits)
+    }
+}
+
+/// An owned d-ary word: a code plus its [`WordSpace`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    space: WordSpace,
+    code: u64,
+}
+
+impl Word {
+    /// Builds a word from explicit digits.
+    #[must_use]
+    pub fn from_digits(d: u64, digits: &[u64]) -> Self {
+        let space = WordSpace::new(d, digits.len() as u32);
+        Word {
+            space,
+            code: space.from_digits(digits),
+        }
+    }
+
+    /// The word's integer code.
+    #[inline]
+    #[must_use]
+    pub fn code(&self) -> u64 {
+        self.code
+    }
+
+    /// The word's space (d, n).
+    #[inline]
+    #[must_use]
+    pub fn space(&self) -> WordSpace {
+        self.space
+    }
+
+    /// The digit sequence, leftmost first.
+    #[must_use]
+    pub fn digits(&self) -> Vec<u64> {
+        self.space.digits(self.code)
+    }
+
+    /// Left rotation by `i` positions.
+    #[must_use]
+    pub fn rotate_left(&self, i: u32) -> Self {
+        Word {
+            space: self.space,
+            code: self.space.rotate_left_by(self.code, i),
+        }
+    }
+
+    /// The weight (digit sum).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.space.weight(self.code)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.space.format(self.code))
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({})", self.space.format(self.code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_roundtrip() {
+        let s = WordSpace::new(3, 4);
+        for code in s.iter() {
+            assert_eq!(s.from_digits(&s.digits(code)), code);
+        }
+    }
+
+    #[test]
+    fn digit_accessor_matches_vector() {
+        let s = WordSpace::new(5, 3);
+        for code in s.iter() {
+            let d = s.digits(code);
+            for i in 1..=3u32 {
+                assert_eq!(s.digit(code, i), d[(i - 1) as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_example_from_paper() {
+        // N(1120) = (1120, 1201, 2011, 0112) in B(3,4) — Section 2.1.
+        let s = WordSpace::new(3, 4);
+        let x = s.parse("1120").unwrap();
+        assert_eq!(s.format(s.rotate_left(x)), "1201");
+        assert_eq!(s.format(s.rotate_left_by(x, 2)), "2011");
+        assert_eq!(s.format(s.rotate_left_by(x, 3)), "0112");
+        assert_eq!(s.rotate_left_by(x, 4), x);
+        assert_eq!(s.canonical_rotation(x), s.parse("0112").unwrap());
+    }
+
+    #[test]
+    fn weight_example_from_paper() {
+        // wt(1120) = 4, wt_0 = 1, wt_1 = 2, wt_2 = 1 — Section 2.1.
+        let s = WordSpace::new(3, 4);
+        let x = s.parse("1120").unwrap();
+        assert_eq!(s.weight(x), 4);
+        assert_eq!(s.count_digit(x, 0), 1);
+        assert_eq!(s.count_digit(x, 1), 2);
+        assert_eq!(s.count_digit(x, 2), 1);
+        assert_eq!(s.word_type(x), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn rotations_preserve_weight() {
+        let s = WordSpace::new(4, 5);
+        for code in s.iter().step_by(7) {
+            let r = s.rotate_left(code);
+            assert_eq!(s.weight(code), s.weight(r));
+            assert_eq!(s.word_type(code), s.word_type(r));
+        }
+    }
+
+    #[test]
+    fn rotate_right_inverts_left() {
+        let s = WordSpace::new(3, 5);
+        for code in s.iter() {
+            assert_eq!(s.rotate_right(s.rotate_left(code)), code);
+        }
+    }
+
+    #[test]
+    fn shift_append_and_prepend() {
+        let s = WordSpace::new(2, 4);
+        let x = s.parse("1011").unwrap();
+        assert_eq!(s.format(s.shift_append(x, 0)), "0110");
+        assert_eq!(s.format(s.shift_append(x, 1)), "0111");
+        assert_eq!(s.format(s.shift_prepend(x, 0)), "0101");
+        assert_eq!(s.format(s.shift_prepend(x, 1)), "1101");
+        assert_eq!(s.successors(x).len(), 2);
+        assert_eq!(s.predecessors(x).len(), 2);
+    }
+
+    #[test]
+    fn constant_and_alternating() {
+        let s = WordSpace::new(3, 5);
+        assert_eq!(s.format(s.constant(2)), "22222");
+        assert_eq!(s.format(s.alternating(0, 1)), "01010");
+        let s4 = WordSpace::new(3, 4);
+        assert_eq!(s4.format(s4.alternating(0, 1)), "0101");
+    }
+
+    #[test]
+    fn period_and_aperiodicity() {
+        let s = WordSpace::new(2, 6);
+        assert_eq!(s.period(s.parse("010101").unwrap()), 2);
+        assert_eq!(s.period(s.parse("001001").unwrap()), 3);
+        assert_eq!(s.period(s.parse("000000").unwrap()), 1);
+        assert_eq!(s.period(s.parse("000001").unwrap()), 6);
+        assert!(s.is_aperiodic(s.parse("011011").unwrap()) == false);
+        assert!(s.is_aperiodic(s.parse("000111").unwrap()));
+    }
+
+    #[test]
+    fn canonical_rotation_is_minimal_and_stable() {
+        let s = WordSpace::new(3, 4);
+        for code in s.iter() {
+            let c = s.canonical_rotation(code);
+            assert!(c <= code);
+            assert_eq!(s.canonical_rotation(c), c);
+            // Canonical form is invariant under rotation.
+            assert_eq!(s.canonical_rotation(s.rotate_left(code)), c);
+        }
+    }
+
+    #[test]
+    fn parse_format_roundtrip_large_alphabet() {
+        let s = WordSpace::new(13, 3);
+        let x = s.from_digits(&[12, 0, 7]);
+        assert_eq!(s.format(x), "12.0.7");
+        assert_eq!(s.parse("12.0.7"), Some(x));
+        assert_eq!(s.parse("13.0.7"), None);
+    }
+
+    #[test]
+    fn word_display() {
+        let w = Word::from_digits(3, &[0, 1, 1, 2]);
+        assert_eq!(w.to_string(), "0112");
+        assert_eq!(w.weight(), 4);
+        assert_eq!(w.rotate_left(1).to_string(), "1120");
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn rejects_unary_alphabet() {
+        let _ = WordSpace::new(1, 3);
+    }
+}

@@ -1,0 +1,367 @@
+//! Fault-tolerant ring embedding in the binary hypercube Q(n).
+//!
+//! The comparison target of the paper's Chapter 2: with f ≤ n − 2 faulty
+//! processors the 2^n-node hypercube always contains a fault-free cycle of
+//! length 2^n − 2f [WC92, CL91a]. This module gives a constructive
+//! recursive embedder:
+//!
+//! * split the cube along a dimension that separates the faults,
+//! * recursively embed a ring in each half,
+//! * splice the two rings along a pair of parallel dimension edges.
+//!
+//! When a half is fault-free its Hamiltonian cycle is regenerated *through
+//! a prescribed edge* (Gray code, XOR-translated), which guarantees the
+//! splice; when both halves carry faults the splice edge is searched for
+//! among all ring edges. The achieved length is checked by the tests
+//! against the 2^n − 2f bound for every configuration exercised by the
+//! paper's comparison.
+
+use std::collections::HashSet;
+
+use dbg_graph::Hypercube;
+
+/// Fault-tolerant ring embedder for Q(n).
+#[derive(Clone, Copy, Debug)]
+pub struct HypercubeRingEmbedder {
+    cube: Hypercube,
+}
+
+impl HypercubeRingEmbedder {
+    /// Creates the embedder for the n-dimensional hypercube.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        HypercubeRingEmbedder {
+            cube: Hypercube::new(n),
+        }
+    }
+
+    /// The underlying hypercube.
+    #[must_use]
+    pub fn cube(&self) -> &Hypercube {
+        &self.cube
+    }
+
+    /// The length guarantee 2^n − 2f from [WC92, CL91a], valid for f ≤ n − 2.
+    #[must_use]
+    pub fn guaranteed_length(n: u32, faults: usize) -> usize {
+        (1usize << n).saturating_sub(2 * faults)
+    }
+
+    /// Embeds a fault-free ring avoiding `faulty_nodes`. Returns `None` only
+    /// if fewer than three fault-free nodes remain or the recursive
+    /// construction degenerates (far beyond the f ≤ n − 2 regime).
+    #[must_use]
+    pub fn embed(&self, faulty_nodes: &[usize]) -> Option<Vec<usize>> {
+        let faults: HashSet<usize> = faulty_nodes.iter().copied().collect();
+        let dims: Vec<u32> = (0..self.cube.dimension()).collect();
+        let cycle = embed_rec(&dims, 0, &faults)?;
+        if cycle.len() < 3 {
+            return None;
+        }
+        Some(cycle)
+    }
+}
+
+/// Gray-code Hamiltonian cycle of the subcube spanned by `dims` (all other
+/// bits fixed as in `base`), optionally arranged so that the cycle contains
+/// the edge `(base, base ^ (1 << dims[0]))`.
+fn gray_cycle(dims: &[u32], base: usize) -> Vec<usize> {
+    let k = dims.len();
+    (0..(1usize << k))
+        .map(|i| {
+            let g = i ^ (i >> 1);
+            let mut node = base;
+            for (bit, &dim) in dims.iter().enumerate() {
+                if g & (1 << bit) != 0 {
+                    node |= 1 << dim;
+                } else {
+                    node &= !(1 << dim);
+                }
+            }
+            node
+        })
+        .collect()
+}
+
+/// Gray-code Hamiltonian cycle of the subcube spanned by `dims` containing
+/// the prescribed edge `(a, b)`, where `a` and `b` differ exactly in a
+/// dimension of `dims`.
+fn gray_cycle_through_edge(dims: &[u32], a: usize, b: usize) -> Vec<usize> {
+    let diff = a ^ b;
+    debug_assert_eq!(diff.count_ones(), 1);
+    let j = diff.trailing_zeros();
+    // Order the dimensions so that j comes first, then XOR-translate the
+    // standard code so node 0 maps to `a` (and its dim-j neighbour to `b`).
+    let mut ordered: Vec<u32> = vec![j];
+    ordered.extend(dims.iter().copied().filter(|&d| d != j));
+    gray_cycle(&ordered, a)
+}
+
+/// Recursive fault-tolerant ring embedding in the subcube spanned by `dims`
+/// with the remaining bits fixed as in `base`.
+fn embed_rec(dims: &[u32], base: usize, faults: &HashSet<usize>) -> Option<Vec<usize>> {
+    let local_faults: Vec<usize> = faults
+        .iter()
+        .copied()
+        .filter(|&v| in_subcube(v, dims, base))
+        .collect();
+    if local_faults.is_empty() {
+        return Some(gray_cycle(dims, base));
+    }
+    if dims.len() <= 2 {
+        // A faulty square has no cycle worth keeping.
+        return None;
+    }
+    if dims.len() <= 4 {
+        return brute_force_subcube(dims, base, faults);
+    }
+
+    // Choose a split dimension. Prefer one that separates the faults; with a
+    // single fault any dimension works (the fault-free half regenerates its
+    // cycle through whatever splice edge we need).
+    let split = choose_split(dims, &local_faults);
+    let rest: Vec<u32> = dims.iter().copied().filter(|&d| d != split).collect();
+    let bit = 1usize << split;
+    let base0 = base & !bit;
+    let base1 = base | bit;
+    let faults0: Vec<usize> = local_faults.iter().copied().filter(|v| v & bit == 0).collect();
+    let faults1: Vec<usize> = local_faults.iter().copied().filter(|v| v & bit != 0).collect();
+
+    // Embed the half with more faults first, then splice the other half on.
+    let (first_base, second_base, second_fault_free) = if faults0.len() >= faults1.len() {
+        (base0, base1, faults1.is_empty())
+    } else {
+        (base1, base0, faults0.is_empty())
+    };
+    let first = embed_rec(&rest, first_base, faults)?;
+
+    // Find a ring edge (u, v) of `first` whose dimension-`split` partners are
+    // both fault-free.
+    let partner = |v: usize| v ^ bit;
+    let candidate = (0..first.len()).find(|&i| {
+        let u = first[i];
+        let v = first[(i + 1) % first.len()];
+        !faults.contains(&partner(u)) && !faults.contains(&partner(v))
+    })?;
+    let u = first[candidate];
+    let v = first[(candidate + 1) % first.len()];
+    let (pu, pv) = (partner(u), partner(v));
+
+    let second = if second_fault_free {
+        // Build the other half's Hamiltonian cycle straight through (pu, pv).
+        gray_cycle_through_edge(&rest, pu, pv)
+    } else {
+        embed_rec(&rest, second_base, faults)?
+    };
+
+    splice(&first, &second, u, v, pu, pv).or_else(|| {
+        // Fall back to any pair of parallel edges present in both rings.
+        for i in 0..first.len() {
+            let a = first[i];
+            let b = first[(i + 1) % first.len()];
+            if let Some(joined) = splice(&first, &second, a, b, partner(a), partner(b)) {
+                return Some(joined);
+            }
+        }
+        // Last resort: keep the longer of the two rings.
+        Some(if first.len() >= second.len() { first.clone() } else { second })
+    })
+}
+
+/// Whether node `v` lies in the subcube spanned by `dims` around `base`.
+fn in_subcube(v: usize, dims: &[u32], base: usize) -> bool {
+    let free_mask: usize = dims.iter().map(|&d| 1usize << d).sum();
+    (v & !free_mask) == (base & !free_mask)
+}
+
+/// Chooses a dimension separating the faults when possible.
+fn choose_split(dims: &[u32], faults: &[usize]) -> u32 {
+    if faults.len() >= 2 {
+        for &d in dims {
+            let bit = 1usize << d;
+            let ones = faults.iter().filter(|&&v| v & bit != 0).count();
+            if ones > 0 && ones < faults.len() {
+                return d;
+            }
+        }
+    }
+    // Single fault (or inseparable): put the fault on the side of its own bit.
+    dims[0]
+}
+
+/// Splices two vertex-disjoint rings along the parallel edges (u,v) ∈ first
+/// and (pu,pv) ∈ second, where u–pu and v–pv are hypercube edges. Returns
+/// `None` if (u,v) or (pu,pv) is not actually a ring edge.
+fn splice(
+    first: &[usize],
+    second: &[usize],
+    u: usize,
+    v: usize,
+    pu: usize,
+    pv: usize,
+) -> Option<Vec<usize>> {
+    let n1 = first.len();
+    let i = (0..n1).find(|&i| first[i] == u && first[(i + 1) % n1] == v)?;
+    let n2 = second.len();
+    let j = second.iter().position(|&x| x == pu)?;
+    // path0: v … u  (the long way around `first`).
+    let mut path0 = Vec::with_capacity(n1);
+    for k in 0..n1 {
+        path0.push(first[(i + 1 + k) % n1]);
+    }
+    // path1: pu … pv (the long way around `second`).
+    let mut path1 = Vec::with_capacity(n2);
+    if second[(j + 1) % n2] == pv {
+        // pu → pv is a ring edge; walk the other way: pu, pu-1, …, pv.
+        for k in 0..n2 {
+            path1.push(second[(j + n2 - k) % n2]);
+        }
+    } else if second[(j + n2 - 1) % n2] == pv {
+        // pv → pu is a ring edge; walk forward: pu, pu+1, …, pv.
+        for k in 0..n2 {
+            path1.push(second[(j + k) % n2]);
+        }
+    } else {
+        return None;
+    }
+    debug_assert_eq!(*path0.last().unwrap(), u);
+    debug_assert_eq!(path1[0], pu);
+    debug_assert_eq!(*path1.last().unwrap(), pv);
+    let mut cycle = path0;
+    cycle.extend(path1);
+    Some(cycle)
+}
+
+/// Exact longest fault-free cycle in a small subcube (≤ 16 nodes).
+fn brute_force_subcube(dims: &[u32], base: usize, faults: &HashSet<usize>) -> Option<Vec<usize>> {
+    use dbg_graph::{algo::cycles::longest_cycle_brute_force, DiGraph};
+    let k = dims.len();
+    let nodes: Vec<usize> = (0..(1usize << k))
+        .map(|i| {
+            let mut node = base;
+            for (bit, &dim) in dims.iter().enumerate() {
+                if i & (1 << bit) != 0 {
+                    node |= 1 << dim;
+                } else {
+                    node &= !(1 << dim);
+                }
+            }
+            node
+        })
+        .collect();
+    let index: std::collections::HashMap<usize, usize> =
+        nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut g = DiGraph::new(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        if faults.contains(&v) {
+            continue;
+        }
+        for &dim in dims {
+            let u = v ^ (1 << dim);
+            if !faults.contains(&u) {
+                g.add_edge(i, index[&u]);
+            }
+        }
+    }
+    let cycle = longest_cycle_brute_force(&g, 16);
+    if cycle.is_empty() {
+        None
+    } else {
+        Some(cycle.into_iter().map(|i| nodes[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn validate(n: u32, faults: &[usize], cycle: &[usize]) {
+        let cube = Hypercube::new(n);
+        let fault_set: HashSet<usize> = faults.iter().copied().collect();
+        let mut seen = HashSet::new();
+        for &v in cycle {
+            assert!(v < cube.len());
+            assert!(!fault_set.contains(&v), "cycle visits a faulty node");
+            assert!(seen.insert(v), "cycle repeats node {v}");
+        }
+        for i in 0..cycle.len() {
+            let a = cycle[i];
+            let b = cycle[(i + 1) % cycle.len()];
+            assert_eq!(cube.distance(a, b), 1, "non-adjacent ring neighbours {a} {b}");
+        }
+    }
+
+    #[test]
+    fn fault_free_cube_gets_hamiltonian_cycle() {
+        for n in 2..=10u32 {
+            let embedder = HypercubeRingEmbedder::new(n);
+            let cycle = embedder.embed(&[]).unwrap();
+            assert_eq!(cycle.len(), 1 << n);
+            validate(n, &[], &cycle);
+        }
+    }
+
+    #[test]
+    fn single_fault_meets_bound() {
+        for n in 4..=9u32 {
+            let embedder = HypercubeRingEmbedder::new(n);
+            for fault in [0usize, 1, (1 << n) - 1, 5 % (1 << n)] {
+                let cycle = embedder.embed(&[fault]).unwrap();
+                validate(n, &[fault], &cycle);
+                assert!(
+                    cycle.len() >= HypercubeRingEmbedder::guaranteed_length(n, 1),
+                    "n={n} fault={fault}: {} < {}",
+                    cycle.len(),
+                    HypercubeRingEmbedder::guaranteed_length(n, 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_faults_up_to_n_minus_2_meet_bound() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for n in 5..=10u32 {
+            let embedder = HypercubeRingEmbedder::new(n);
+            for f in 1..=(n - 2) as usize {
+                for _ in 0..5 {
+                    let mut faults = HashSet::new();
+                    while faults.len() < f {
+                        faults.insert(rng.gen_range(0..(1usize << n)));
+                    }
+                    let faults: Vec<usize> = faults.into_iter().collect();
+                    let cycle = embedder.embed(&faults).unwrap();
+                    validate(n, &faults, &cycle);
+                    assert!(
+                        cycle.len() >= HypercubeRingEmbedder::guaranteed_length(n, f),
+                        "n={n} f={f} faults={faults:?}: {} < {}",
+                        cycle.len(),
+                        HypercubeRingEmbedder::guaranteed_length(n, f)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_comparison_q12_with_two_faults() {
+        // Chapter 2 intro: a fault-free cycle of length 4092 in the
+        // 4096-node hypercube with f = 2.
+        let embedder = HypercubeRingEmbedder::new(12);
+        let faults = vec![0usize, 0b1010_1010_1010];
+        let cycle = embedder.embed(&faults).unwrap();
+        validate(12, &faults, &cycle);
+        assert!(cycle.len() >= 4092);
+    }
+
+    #[test]
+    fn adjacent_faults_are_handled() {
+        let embedder = HypercubeRingEmbedder::new(6);
+        let faults = vec![0usize, 1];
+        let cycle = embedder.embed(&faults).unwrap();
+        validate(6, &faults, &cycle);
+        assert!(cycle.len() >= HypercubeRingEmbedder::guaranteed_length(6, 2));
+    }
+}

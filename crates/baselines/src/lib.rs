@@ -1,0 +1,22 @@
+//! Baseline ring embeddings used for comparison against the de Bruijn
+//! constructions.
+//!
+//! * [`hypercube_ring`] — fault-tolerant ring embedding in the binary
+//!   hypercube. The paper's Chapter 2 benchmarks its de Bruijn result
+//!   against the known hypercube bound (a fault-free cycle of length
+//!   2^n − 2f exists when f ≤ n − 2 [WC92, CL91a]); this module provides a
+//!   constructive embedder achieving that bound on the instances the
+//!   comparison uses, so the "who wins at equal node count" experiment can
+//!   actually be run rather than quoted.
+//! * [`greedy`] — a necklace-oblivious greedy cycle grower on the faulty de
+//!   Bruijn graph. It is the ablation partner of the FFC algorithm: it
+//!   shows what happens when the necklace structure is ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod hypercube_ring;
+
+pub use greedy::greedy_fault_free_cycle;
+pub use hypercube_ring::HypercubeRingEmbedder;

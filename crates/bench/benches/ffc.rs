@@ -1,0 +1,65 @@
+//! Criterion benchmark: the FFC embedding (Tables 2.1/2.2 workload).
+//!
+//! Measures the wall-clock cost of one fault-free-cycle embedding as a
+//! function of network size and fault count — the §2.5.2 simulation loop is
+//! exactly repeated calls to this kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debruijn_core::Ffc;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn random_faults(total: usize, f: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<usize> = (0..total).collect();
+    let (chosen, _) = nodes.partial_shuffle(&mut rng, f);
+    chosen.to_vec()
+}
+
+fn bench_ffc_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffc_embed_by_size");
+    group.sample_size(10);
+    for n in [8u32, 10, 12, 14] {
+        let ffc = Ffc::new(2, n);
+        let faults = random_faults(ffc.graph().len(), 2, 42);
+        group.bench_with_input(BenchmarkId::new("B(2,n)", n), &n, |b, _| {
+            b.iter(|| ffc.embed(&faults));
+        });
+    }
+    for (d, n) in [(4u64, 5u32), (4, 6), (8, 4)] {
+        let ffc = Ffc::new(d, n);
+        let faults = random_faults(ffc.graph().len(), 2, 42);
+        group.bench_with_input(BenchmarkId::new(format!("B({d},n)"), n), &n, |b, _| {
+            b.iter(|| ffc.embed(&faults));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ffc_by_fault_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffc_embed_by_faults_B(2,10)");
+    group.sample_size(10);
+    let ffc = Ffc::new(2, 10);
+    for f in [0usize, 1, 5, 10, 30, 50] {
+        let faults = random_faults(ffc.graph().len(), f, 7 + f as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| ffc.embed(&faults));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffc_setup");
+    group.sample_size(10);
+    for n in [10u32, 12, 14] {
+        group.bench_with_input(BenchmarkId::new("necklace_partition_B(2,n)", n), &n, |b, &n| {
+            b.iter(|| Ffc::new(2, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ffc_by_size, bench_ffc_by_fault_count, bench_partition_setup);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark: Chapter 4 necklace counting — closed formulas versus
+//! explicit enumeration of the partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbg_algebra::words::WordSpace;
+use dbg_necklace::{count_necklaces_by_weight, count_necklaces_total, NecklacePartition};
+
+fn bench_formula_vs_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("necklace_total_count");
+    for n in [12u32, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("formula_B(2,n)", n), &n, |b, &n| {
+            b.iter(|| count_necklaces_total(2, u64::from(n)));
+        });
+    }
+    for n in [12u32, 16] {
+        group.bench_with_input(BenchmarkId::new("enumeration_B(2,n)", n), &n, |b, &n| {
+            b.iter(|| NecklacePartition::new(WordSpace::new(2, n)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("necklace_weight_count");
+    for (d, n, k) in [(2u64, 20u64, 10u64), (3, 12, 12), (4, 10, 15)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}_k{k}")),
+            &(d, n, k),
+            |b, &(d, n, k)| {
+                b.iter(|| count_necklaces_by_weight(d, n, k));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formula_vs_enumeration, bench_weight_counts);
+criterion_main!(benches);

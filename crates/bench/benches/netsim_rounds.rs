@@ -1,0 +1,43 @@
+//! Criterion benchmark: the distributed FFC protocol and ring collectives on
+//! the message-passing simulator (the Section 2.4 implementation and the
+//! Chapter 3 all-to-all motivation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbg_netsim::{all_to_all_broadcast, split_all_to_all_broadcast, DistributedFfc};
+use debruijn_core::{DisjointHamiltonianCycles, Ffc};
+
+fn bench_distributed_ffc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_ffc");
+    group.sample_size(10);
+    for (d, n) in [(2u64, 6u32), (2, 8), (3, 4), (4, 3)] {
+        let runner = DistributedFfc::new(d, n);
+        let fault = vec![d as usize + 1];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}")),
+            &fault,
+            |b, fault| {
+                b.iter(|| runner.run(fault));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ring_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_all_to_all");
+    group.sample_size(10);
+    let ffc = Ffc::new(2, 8);
+    let ring = ffc.embed(&[]).cycle;
+    group.bench_function("single_ring_B(2,8)", |b| {
+        b.iter(|| all_to_all_broadcast(ffc.graph(), &ring));
+    });
+    let dhc = DisjointHamiltonianCycles::construct(4, 4);
+    let g = dbg_graph::DeBruijn::new(4, 4);
+    group.bench_function("split_3_rings_B(4,4)", |b| {
+        b.iter(|| split_all_to_all_broadcast(&g, dhc.cycles()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_ffc, bench_ring_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates the paper's figures and worked examples as DOT/annotated text.
+//!
+//! Usage: `cargo run -p dbg-bench --bin figures [chapter]`
+//! where `chapter` is 1, 2, 3 or omitted for everything.
+
+use dbg_bench::figures;
+
+fn main() {
+    let chapter: Option<u32> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let want = |c: u32| chapter.is_none() || chapter == Some(c);
+
+    if want(1) {
+        println!("==== Figure 1.1 ====\n{}", figures::figure_1_1());
+        println!("==== Figure 1.2 ====\n{}", figures::figure_1_2());
+    }
+    if want(2) {
+        println!(
+            "==== Figure 2.3 + Example 2.1 ====\n{}",
+            figures::figure_2_3_and_example_2_1()
+        );
+        println!(
+            "==== Figure 2.2 (modified tree, concrete) ====\n{}",
+            figures::figure_2_2_modified_tree()
+        );
+    }
+    if want(3) {
+        println!("==== Examples 3.1-3.4 ====\n{}", figures::examples_3_1_to_3_4());
+        println!("==== Figure 3.2 ====\n{}", figures::figure_3_2());
+        println!("==== Figure 3.3 / Example 3.6 ====\n{}", figures::figure_3_3());
+        println!("==== Figures 3.4 / 3.5 ====\n{}", figures::figures_3_4_and_3_5());
+    }
+}

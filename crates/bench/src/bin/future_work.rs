@@ -1,0 +1,91 @@
+//! Exploration of the Chapter 5 open questions on the *undirected* de Bruijn
+//! graph UB(d,n), by exact search on instances small enough to brute-force:
+//!
+//! * Question 3: does UB(d,n) admit a fault-free cycle of length at least
+//!   d^n − n·f with f < 2(d−1) node failures?
+//! * Question 4: does UB(d,n) admit a fault-free Hamiltonian cycle with
+//!   2(d−2) edge failures?
+//!
+//! This binary does not settle the questions — it reports exact optima on
+//! tiny instances so a researcher can see where the directed bounds do and
+//! do not carry over. Usage:
+//! `cargo run --release -p dbg-bench --bin future_work [trials]`
+
+use dbg_graph::algo::cycles::longest_cycle_brute_force;
+use dbg_graph::{DeBruijn, DiGraph};
+use dbg_necklace::NecklacePartition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds the undirected de Bruijn graph as a symmetric digraph so the
+/// brute-force cycle search can run on it, with the given nodes removed.
+fn undirected_minus(d: u64, n: u32, removed: &[usize]) -> DiGraph {
+    let b = DeBruijn::new(d, n);
+    let ub = b.to_undirected();
+    let mut g = DiGraph::new(ub.len());
+    for (u, v) in ub.edges() {
+        if removed.contains(&u) || removed.contains(&v) || u == v {
+            continue;
+        }
+        g.add_edge(u, v);
+        g.add_edge(v, u);
+    }
+    g
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    println!("Chapter 5, Question 3: longest fault-free cycle in UB(d,n) with f < 2(d-1) faulty nodes");
+    println!(
+        "{:>3} {:>3} {:>3} {:>12} {:>12} {:>8}",
+        "d", "n", "f", "longest(UB)", "d^n - n*f", "holds?"
+    );
+    let mut rng = StdRng::seed_from_u64(55);
+    for (d, n) in [(2u64, 3u32), (2, 4), (3, 2)] {
+        let b = DeBruijn::new(d, n);
+        let part = NecklacePartition::new(b.space());
+        let total = b.len();
+        let max_f = (2 * (d - 1) - 1) as usize;
+        for f in 1..=max_f {
+            let mut worst = usize::MAX;
+            for _ in 0..trials {
+                let mut nodes: Vec<usize> = (0..total).collect();
+                let (faulty, _) = nodes.partial_shuffle(&mut rng, f);
+                let faulty: Vec<usize> = faulty.to_vec();
+                // Remove whole necklaces, as in the directed algorithm.
+                let dead: Vec<usize> = (0..total)
+                    .filter(|&v| faulty.iter().any(|&x| part.same_necklace(v as u64, x as u64)))
+                    .collect();
+                let g = undirected_minus(d, n, &dead);
+                let cycle = longest_cycle_brute_force(&g, 16);
+                worst = worst.min(cycle.len());
+            }
+            let bound = total as i64 - (n as i64) * (f as i64);
+            println!(
+                "{:>3} {:>3} {:>3} {:>12} {:>12} {:>8}",
+                d,
+                n,
+                f,
+                worst,
+                bound,
+                worst as i64 >= bound
+            );
+        }
+    }
+
+    println!();
+    println!("Chapter 5, Question 2 (small cases): does B(d,n) admit d-1 disjoint HCs for non-2-power d?");
+    println!("(The construction guarantees psi(d); exhaustive search of the gap is future work.)");
+    for d in [3u64, 5, 6, 7, 9] {
+        println!(
+            "  d = {d}: psi(d) = {} constructed, upper bound d-1 = {}",
+            debruijn_core::psi(d),
+            d - 1
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The Chapter 2 introduction comparison: fault-free ring length in the
+//! 4096-node de Bruijn graph B(4,6) versus the 4096-node hypercube Q(12)
+//! with two faulty processors, plus a small sweep over fault counts.
+//!
+//! Usage: `cargo run --release -p dbg-bench --bin hypercube_comparison [trials]`
+
+use dbg_bench::comparison::{compare, paper_headline};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let headline = paper_headline(trials, 0xCAFE);
+    println!("Headline instance (paper, Chapter 2 intro): 4096 nodes, f = 2, {trials} trials");
+    println!(
+        "  B(4,6):  avg cycle {:.1} (guarantee {}), {} directed edges",
+        headline.debruijn_cycle_avg, headline.debruijn_guarantee, headline.debruijn_edges
+    );
+    println!(
+        "  Q(12):   avg cycle {:.1} (guarantee {}), {} undirected links",
+        headline.hypercube_cycle_avg, headline.hypercube_guarantee, headline.hypercube_links
+    );
+    println!(
+        "  link budget ratio (hypercube / de Bruijn): {:.2}\n",
+        headline.hypercube_links as f64 / headline.debruijn_edges as f64
+    );
+
+    println!("Sweep at 4096 nodes:");
+    println!(
+        "{:>3} {:>16} {:>16} {:>16} {:>16}",
+        "f", "B(4,6) avg", "B(4,6) bound", "Q(12) avg", "Q(12) bound"
+    );
+    for f in 1..=4usize {
+        let row = compare(4, 6, 12, f, trials, 0xCAFE + f as u64);
+        println!(
+            "{:>3} {:>16.1} {:>16} {:>16.1} {:>16}",
+            f, row.debruijn_cycle_avg, row.debruijn_guarantee, row.hypercube_cycle_avg, row.hypercube_guarantee
+        );
+    }
+}

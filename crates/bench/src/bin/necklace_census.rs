@@ -1,0 +1,15 @@
+//! Regenerates the Chapter 4 necklace-census examples (counts by length,
+//! weight and type) and cross-checks the formulas against enumeration.
+
+use dbg_bench::census::chapter_4_census;
+
+fn main() {
+    println!("Chapter 4 necklace census");
+    println!("{:>60} {:>14} {:>14}", "count", "formula", "enumerated");
+    for line in chapter_4_census() {
+        let enumerated = line
+            .enumerated
+            .map_or_else(|| "-".to_string(), |v| v.to_string());
+        println!("{:>60} {:>14} {:>14}", line.description, line.formula, enumerated);
+    }
+}

@@ -1,0 +1,41 @@
+//! Verification sweep for Propositions 2.2 and 2.3: cycle length and
+//! eccentricity bounds of the FFC algorithm under node faults.
+//!
+//! Usage: `cargo run --release -p dbg-bench --bin prop_2_2_check [trials]`
+
+use dbg_bench::props::node_fault_sweep;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+
+    println!("Proposition 2.2: f <= d-2 node faults leave a cycle of length >= d^n - n*f");
+    println!(
+        "{:>3} {:>3} {:>3} {:>10} {:>10} {:>8} {:>6}",
+        "d", "n", "f", "min cycle", "guarantee", "max ecc", "ok"
+    );
+    for (d, n) in [(3u64, 4u32), (4, 4), (5, 3), (6, 3), (8, 2), (4, 6)] {
+        for f in 1..=(d - 2).max(1) as usize {
+            let s = node_fault_sweep(d, n, f, trials, 2024 + d + u64::from(n));
+            println!(
+                "{:>3} {:>3} {:>3} {:>10} {:>10} {:>8} {:>6}",
+                d, n, f, s.min_cycle, s.guarantee, s.max_eccentricity, s.all_meet_guarantee
+            );
+        }
+    }
+
+    println!("\nProposition 2.3: a single fault in B(2,n) leaves a cycle of length >= 2^n - (n+1)");
+    println!(
+        "{:>3} {:>3} {:>10} {:>10} {:>8} {:>6}",
+        "n", "f", "min cycle", "guarantee", "max ecc", "ok"
+    );
+    for n in 6..=12u32 {
+        let s = node_fault_sweep(2, n, 1, trials, 4096 + u64::from(n));
+        println!(
+            "{:>3} {:>3} {:>10} {:>10} {:>8} {:>6}",
+            n, 1, s.min_cycle, s.guarantee, s.max_eccentricity, s.all_meet_guarantee
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 2.1: size of the component containing R = 0…01 and the
+//! eccentricity of R in B(2,10) with f randomly distributed node faults.
+//!
+//! Usage: `cargo run --release -p dbg-bench --bin table_2_1 [trials]`
+//! (default 200 trials per row; the paper does not state its trial count).
+
+use dbg_bench::report::render_component_table;
+use dbg_bench::tables::{component_experiment, paper_fault_counts};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let rows = component_experiment(2, 10, &paper_fault_counts(), trials, 0xB210, threads);
+    println!(
+        "{}",
+        render_component_table(
+            &format!("Table 2.1 — B(2,10), root R = 0000000001, {trials} trials/row, seed 0xB210"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 2.2: size of the component containing R = 00001 and the
+//! eccentricity of R in B(4,5) with f randomly distributed node faults.
+//!
+//! Usage: `cargo run --release -p dbg-bench --bin table_2_2 [trials]`
+
+use dbg_bench::report::render_component_table;
+use dbg_bench::tables::{component_experiment, paper_fault_counts};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let rows = component_experiment(4, 5, &paper_fault_counts(), trials, 0xB45, threads);
+    println!(
+        "{}",
+        render_component_table(
+            &format!("Table 2.2 — B(4,5), root R = 00001, {trials} trials/row, seed 0xB45"),
+            &rows
+        )
+    );
+}

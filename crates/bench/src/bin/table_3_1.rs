@@ -1,0 +1,10 @@
+//! Regenerates Table 3.1: ψ(d), the guaranteed number of edge-disjoint
+//! Hamiltonian cycles in B(d,n), for 2 ≤ d ≤ 38.
+
+use dbg_bench::report::render_psi_table;
+use dbg_bench::tables::bounds_table;
+
+fn main() {
+    let rows = bounds_table(2..=38);
+    println!("{}", render_psi_table(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3.2: MAX{ψ(d) − 1, φ(d)}, the number of link failures
+//! B(d,n) tolerates while retaining a Hamiltonian cycle, for 2 ≤ d ≤ 35.
+
+use dbg_bench::report::render_tolerance_table;
+use dbg_bench::tables::bounds_table;
+
+fn main() {
+    let rows = bounds_table(2..=35);
+    println!("{}", render_tolerance_table(&rows));
+}

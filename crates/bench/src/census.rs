@@ -1,0 +1,115 @@
+//! The Chapter 4 necklace census.
+//!
+//! Regenerates every worked number of Section 4.3 (counts by length, by
+//! weight and by type) and cross-checks the closed formulas against an
+//! explicit enumeration on a graph small enough to enumerate.
+
+use dbg_algebra::words::WordSpace;
+use dbg_necklace::{
+    count_necklaces_by_length, count_necklaces_by_weight, count_necklaces_by_weight_and_length,
+    count_necklaces_total, NecklacePartition,
+};
+use serde::Serialize;
+
+/// A single census line: a described count and its value.
+#[derive(Clone, Debug, Serialize)]
+pub struct CensusLine {
+    /// Human-readable description of what is being counted.
+    pub description: String,
+    /// The count from the Möbius-inversion formula.
+    pub formula: u128,
+    /// The count from explicit enumeration (`None` when the graph is too
+    /// large to enumerate in a census run).
+    pub enumerated: Option<u128>,
+}
+
+/// Regenerates the Section 4.3 examples plus enumeration cross-checks.
+#[must_use]
+pub fn chapter_4_census() -> Vec<CensusLine> {
+    let mut lines = Vec::new();
+
+    lines.push(CensusLine {
+        description: "necklaces of length 6 in B(2,12)".into(),
+        formula: count_necklaces_by_length(2, 12, 6),
+        enumerated: Some(enumerate_by_length(2, 12, 6)),
+    });
+    lines.push(CensusLine {
+        description: "total necklaces in B(2,12)".into(),
+        formula: count_necklaces_total(2, 12),
+        enumerated: Some(enumerate_total(2, 12)),
+    });
+    lines.push(CensusLine {
+        description: "necklaces of weight 4 and length 6 in B(2,12)".into(),
+        formula: count_necklaces_by_weight_and_length(2, 12, 4, 6),
+        enumerated: Some(enumerate_by_weight_and_length(2, 12, 4, 6)),
+    });
+    lines.push(CensusLine {
+        description: "total necklaces of weight 4 in B(2,12)".into(),
+        formula: count_necklaces_by_weight(2, 12, 4),
+        enumerated: Some(enumerate_by_weight(2, 12, 4)),
+    });
+    lines.push(CensusLine {
+        description: "necklaces of weight 4 and length 4 in B(3,4)".into(),
+        formula: count_necklaces_by_weight_and_length(3, 4, 4, 4),
+        enumerated: Some(enumerate_by_weight_and_length(3, 4, 4, 4)),
+    });
+    // A couple of larger instances where only the formula is practical.
+    lines.push(CensusLine {
+        description: "total necklaces in B(2,24)".into(),
+        formula: count_necklaces_total(2, 24),
+        enumerated: None,
+    });
+    lines.push(CensusLine {
+        description: "total necklaces in B(4,12)".into(),
+        formula: count_necklaces_total(4, 12),
+        enumerated: None,
+    });
+    lines
+}
+
+fn enumerate_total(d: u64, n: u32) -> u128 {
+    NecklacePartition::new(WordSpace::new(d, n)).len() as u128
+}
+
+fn enumerate_by_length(d: u64, n: u32, t: u64) -> u128 {
+    NecklacePartition::new(WordSpace::new(d, n))
+        .necklaces()
+        .iter()
+        .filter(|x| x.len() as u64 == t)
+        .count() as u128
+}
+
+fn enumerate_by_weight(d: u64, n: u32, k: u64) -> u128 {
+    let space = WordSpace::new(d, n);
+    NecklacePartition::new(space)
+        .necklaces()
+        .iter()
+        .filter(|x| space.weight(x.representative()) == k)
+        .count() as u128
+}
+
+fn enumerate_by_weight_and_length(d: u64, n: u32, k: u64, t: u64) -> u128 {
+    let space = WordSpace::new(d, n);
+    NecklacePartition::new(space)
+        .necklaces()
+        .iter()
+        .filter(|x| x.len() as u64 == t && space.weight(x.representative()) == k)
+        .count() as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_paper_and_enumeration() {
+        let lines = chapter_4_census();
+        let expected_formulas: Vec<u128> = vec![9, 352, 2, 43, 4];
+        for (line, want) in lines.iter().zip(expected_formulas) {
+            assert_eq!(line.formula, want, "{}", line.description);
+            if let Some(enumerated) = line.enumerated {
+                assert_eq!(line.formula, enumerated, "{}", line.description);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The hypercube comparison from the Chapter 2 introduction.
+//!
+//! "It is known that a fault-free cycle of length 2^n − 2f exists in the
+//! 2^n-node hypercube when f ≤ n − 2. For example, a fault-free cycle of
+//! length 4092 can be found in the 4096-node hypercube when f = 2. By
+//! comparison, when there are two faults in the 4096-node De Bruijn graph
+//! B(4,6), a fault-free cycle of length at least 4084 can be found. It is
+//! worth mentioning that the hypercube has 50% more edges (24,576) than the
+//! De Bruijn graph (16,384) in this instance."
+//!
+//! This module runs both embeddings on equal node counts and reports the
+//! achieved cycle lengths, the guarantees and the hardware (link) budgets.
+
+use dbg_baselines::HypercubeRingEmbedder;
+use dbg_graph::{Hypercube, Topology};
+use debruijn_core::{Ffc, FfcOutcome};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One head-to-head comparison row.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ComparisonRow {
+    /// Number of processors in both networks.
+    pub nodes: usize,
+    /// Number of faults injected (same count in both networks).
+    pub faults: usize,
+    /// Directed edge count of the de Bruijn graph B(d,n).
+    pub debruijn_edges: usize,
+    /// Undirected link count of the hypercube Q(log2 nodes).
+    pub hypercube_links: usize,
+    /// Cycle length achieved by the FFC algorithm (averaged over trials).
+    pub debruijn_cycle_avg: f64,
+    /// The paper's de Bruijn guarantee d^n − n·f.
+    pub debruijn_guarantee: usize,
+    /// Cycle length achieved by the hypercube embedder (averaged).
+    pub hypercube_cycle_avg: f64,
+    /// The hypercube guarantee 2^n − 2f.
+    pub hypercube_guarantee: usize,
+}
+
+/// Runs the comparison for a hypercube dimension `m` (2^m nodes) against
+/// B(d,n) with d^n = 2^m, averaging over `trials` random fault placements.
+///
+/// # Panics
+/// Panics if `d^n != 2^m`.
+#[must_use]
+pub fn compare(d: u64, n: u32, m: u32, faults: usize, trials: usize, seed: u64) -> ComparisonRow {
+    let ffc = Ffc::new(d, n);
+    let cube = Hypercube::new(m);
+    let embedder = HypercubeRingEmbedder::new(m);
+    assert_eq!(ffc.graph().len(), cube.len(), "node counts must match for a fair comparison");
+
+    let total = cube.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..total).collect();
+    let mut db_sum = 0usize;
+    let mut hc_sum = 0usize;
+    for _ in 0..trials {
+        let (chosen, _) = all.partial_shuffle(&mut rng, faults);
+        let chosen: Vec<usize> = chosen.to_vec();
+        db_sum += ffc.embed(&chosen).cycle.len();
+        hc_sum += embedder.embed(&chosen).map_or(0, |c| c.len());
+    }
+
+    ComparisonRow {
+        nodes: total,
+        faults,
+        debruijn_edges: ffc.graph().edge_count(),
+        hypercube_links: cube.link_count(),
+        debruijn_cycle_avg: db_sum as f64 / trials as f64,
+        debruijn_guarantee: FfcOutcome::guarantee(d, n, faults),
+        hypercube_cycle_avg: hc_sum as f64 / trials as f64,
+        hypercube_guarantee: HypercubeRingEmbedder::guaranteed_length(m, faults),
+    }
+}
+
+/// The exact instance quoted by the paper: 4096 nodes, two faults.
+#[must_use]
+pub fn paper_headline(trials: usize, seed: u64) -> ComparisonRow {
+    compare(4, 6, 12, 2, trials, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_comparison_matches_paper_shape() {
+        // 256 nodes: B(4,4) vs Q(8), two faults. The de Bruijn ring loses at
+        // most n·f = 8 nodes, the hypercube at least 2f = 4; both embedders
+        // must meet their guarantees, and the hypercube needs more links.
+        let row = compare(4, 4, 8, 2, 5, 3);
+        assert_eq!(row.nodes, 256);
+        assert!(row.debruijn_cycle_avg >= row.debruijn_guarantee as f64);
+        assert!(row.hypercube_cycle_avg >= row.hypercube_guarantee as f64);
+        assert_eq!(row.debruijn_edges, 1024);
+        assert_eq!(row.hypercube_links, 1024);
+        assert_eq!(row.debruijn_guarantee, 256 - 8);
+        assert_eq!(row.hypercube_guarantee, 256 - 4);
+    }
+}

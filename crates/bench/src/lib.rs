@@ -1,0 +1,26 @@
+//! Experiment harness for the Rowley–Bose reproduction.
+//!
+//! Every table and figure of the thesis' evaluation has a regeneration
+//! entry point here, shared between the command-line binaries
+//! (`cargo run -p dbg-bench --bin table_2_1`, …) and the Criterion
+//! benchmarks (`cargo bench`). The functions return plain serde-serialisable
+//! structs so results can be both pretty-printed and archived.
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Tables 2.1 / 2.2 (component size & eccentricity under random faults) | [`tables`] |
+//! | Tables 3.1 / 3.2 (ψ(d) and MAX{ψ−1, φ}) | [`tables`] |
+//! | Chapter 2 intro hypercube comparison | [`comparison`] |
+//! | Propositions 2.2 / 2.3 / 3.3 / 3.4 sweeps | [`props`] |
+//! | Figures 1.1–3.5 and the worked examples | [`figures`] |
+//! | Chapter 4 necklace-census examples | [`census`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod comparison;
+pub mod figures;
+pub mod props;
+pub mod report;
+pub mod tables;

@@ -1,0 +1,159 @@
+//! Exhaustive/randomised verification sweeps for the paper's propositions.
+//!
+//! These are the "does the shape of the theory hold in the code?" harnesses:
+//! * Proposition 2.2 — cycle length ≥ d^n − n·f and root eccentricity ≤ 2n
+//!   under every fault set of size ≤ d − 2 (sampled when the space is too
+//!   large to enumerate);
+//! * Proposition 2.3 — binary single-fault bound 2^n − (n+1);
+//! * Propositions 3.3 / 3.4 — a fault-free Hamiltonian cycle under up to
+//!   MAX{ψ(d) − 1, φ(d)} random link faults.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use dbg_graph::DeBruijn;
+use debruijn_core::{EdgeFaultEmbedder, Ffc, FfcOutcome};
+
+/// Result of a node-fault sweep (Propositions 2.2 / 2.3).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NodeFaultSweep {
+    /// Alphabet size.
+    pub d: u64,
+    /// Word length.
+    pub n: u32,
+    /// Number of faults per trial.
+    pub faults: usize,
+    /// Number of fault sets examined.
+    pub trials: usize,
+    /// Shortest cycle observed.
+    pub min_cycle: usize,
+    /// The guarantee d^n − n·f.
+    pub guarantee: usize,
+    /// Largest eccentricity observed.
+    pub max_eccentricity: usize,
+    /// Whether every trial met the guarantee.
+    pub all_meet_guarantee: bool,
+}
+
+/// Sweeps random fault sets of size `faults` through B(d,n) and records the
+/// worst outcome (Proposition 2.2 check; with d = 2 and one fault this is
+/// the Proposition 2.3 check against 2^n − (n+1)).
+#[must_use]
+pub fn node_fault_sweep(d: u64, n: u32, faults: usize, trials: usize, seed: u64) -> NodeFaultSweep {
+    let ffc = Ffc::new(d, n);
+    let total = ffc.graph().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<usize> = (0..total).collect();
+    let mut min_cycle = usize::MAX;
+    let mut max_ecc = 0usize;
+    let guarantee = if d == 2 && faults == 1 {
+        total - (n as usize + 1)
+    } else {
+        FfcOutcome::guarantee(d, n, faults)
+    };
+    let mut all_ok = true;
+    for _ in 0..trials {
+        let (chosen, _) = nodes.partial_shuffle(&mut rng, faults);
+        let chosen: Vec<usize> = chosen.to_vec();
+        let out = ffc.embed(&chosen);
+        min_cycle = min_cycle.min(out.cycle.len());
+        max_ecc = max_ecc.max(out.eccentricity);
+        if out.cycle.len() < guarantee {
+            all_ok = false;
+        }
+    }
+    NodeFaultSweep {
+        d,
+        n,
+        faults,
+        trials,
+        min_cycle,
+        guarantee,
+        max_eccentricity: max_ecc,
+        all_meet_guarantee: all_ok,
+    }
+}
+
+/// Result of a link-fault sweep (Propositions 3.3 / 3.4).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EdgeFaultSweep {
+    /// Alphabet size.
+    pub d: u64,
+    /// Word length.
+    pub n: u32,
+    /// Number of faulty links per trial (the guaranteed tolerance).
+    pub faults: usize,
+    /// Number of fault sets examined.
+    pub trials: usize,
+    /// How many trials produced a fault-free Hamiltonian cycle.
+    pub successes: usize,
+}
+
+/// Sweeps random link-fault sets of the guaranteed size MAX{ψ(d)−1, φ(d)}
+/// through B(d,n) and counts how often a fault-free Hamiltonian cycle is
+/// found (the answer must be: always).
+#[must_use]
+pub fn edge_fault_sweep(d: u64, n: u32, trials: usize, seed: u64) -> EdgeFaultSweep {
+    let embedder = EdgeFaultEmbedder::new(d, n);
+    let g = DeBruijn::new(d, n);
+    let tolerance = EdgeFaultEmbedder::tolerance(d) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0usize;
+    for _ in 0..trials {
+        let mut faults = Vec::new();
+        while faults.len() < tolerance {
+            let u = rng.gen_range(0..g.len());
+            let v = g.successor(u, rng.gen_range(0..d));
+            if u != v && !faults.contains(&(u, v)) {
+                faults.push((u, v));
+            }
+        }
+        if let Some(cycle) = embedder.hamiltonian_avoiding(&faults) {
+            let valid = cycle.len() == g.len()
+                && (0..cycle.len()).all(|i| {
+                    let e = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                    g.is_edge(e.0, e.1) && !faults.contains(&e)
+                });
+            if valid {
+                successes += 1;
+            }
+        }
+    }
+    EdgeFaultSweep {
+        d,
+        n,
+        faults: tolerance,
+        trials,
+        successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposition_2_2_sweep() {
+        let sweep = node_fault_sweep(4, 3, 2, 30, 5);
+        assert!(sweep.all_meet_guarantee);
+        assert!(sweep.max_eccentricity <= 6);
+        assert_eq!(sweep.guarantee, 64 - 6);
+    }
+
+    #[test]
+    fn proposition_2_3_sweep_uses_binary_bound() {
+        let sweep = node_fault_sweep(2, 7, 1, 30, 5);
+        assert_eq!(sweep.guarantee, 128 - 8);
+        assert!(sweep.all_meet_guarantee);
+    }
+
+    #[test]
+    fn proposition_3_4_sweep() {
+        for d in [4u64, 5, 6] {
+            let sweep = edge_fault_sweep(d, 2, 10, 9);
+            assert_eq!(sweep.successes, sweep.trials, "d={d}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use crate::tables::{BoundRow, ComponentRow};
+
+/// Renders Table 2.1/2.2 rows in the paper's column layout.
+#[must_use]
+pub fn render_component_table(title: &str, rows: &[ComponentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8}\n",
+        "f", "Avg.Size", "Max.Size", "Min.Size", "d^n-nf", "Avg.Ecc", "Max.Ecc", "Min.Ecc"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>10.2} {:>10} {:>10} {:>10} {:>9.2} {:>8} {:>8}\n",
+            r.faults, r.avg_size, r.max_size, r.min_size, r.guarantee, r.avg_ecc, r.max_ecc, r.min_ecc
+        ));
+    }
+    out
+}
+
+/// Renders Table 3.1 (ψ) in the paper's layout.
+#[must_use]
+pub fn render_psi_table(rows: &[BoundRow]) -> String {
+    let mut out = String::from("Table 3.1: psi(d)\n   d: ");
+    for r in rows {
+        out.push_str(&format!("{:>4}", r.d));
+    }
+    out.push_str("\n psi: ");
+    for r in rows {
+        out.push_str(&format!("{:>4}", r.psi));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 3.2 (MAX{ψ−1, φ}) in the paper's layout.
+#[must_use]
+pub fn render_tolerance_table(rows: &[BoundRow]) -> String {
+    let mut out = String::from("Table 3.2: MAX{psi(d)-1, phi(d)}\n   d: ");
+    for r in rows {
+        out.push_str(&format!("{:>4}", r.d));
+    }
+    out.push_str("\n tol: ");
+    for r in rows {
+        out.push_str(&format!("{:>4}", r.tolerance));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::bounds_table;
+
+    #[test]
+    fn renderers_produce_aligned_rows() {
+        let rows = bounds_table(2..=6);
+        let psi = render_psi_table(&rows);
+        assert!(psi.contains("psi"));
+        assert_eq!(psi.lines().count(), 3);
+        let tol = render_tolerance_table(&rows);
+        assert!(tol.contains("MAX"));
+        let comp = render_component_table(
+            "Table X",
+            &[ComponentRow {
+                faults: 1,
+                trials: 2,
+                avg_size: 10.0,
+                max_size: 12,
+                min_size: 8,
+                guarantee: 9,
+                avg_ecc: 3.5,
+                max_ecc: 4,
+                min_ecc: 3,
+            }],
+        );
+        assert!(comp.contains("Avg.Size"));
+        assert!(comp.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Regeneration of the paper's tables.
+//!
+//! * Tables 2.1 and 2.2: Monte-Carlo simulation of the surviving component
+//!   of B(2,10) and B(4,5) under f randomly placed node faults — average,
+//!   maximum and minimum component size (= fault-free cycle length) and
+//!   eccentricity of the root R = 0…01, next to the analytic d^n − n·f
+//!   column.
+//! * Table 3.1: ψ(d) for 2 ≤ d ≤ 38.
+//! * Table 3.2: MAX{ψ(d) − 1, φ(d)} for 2 ≤ d ≤ 35.
+//!
+//! The Monte-Carlo sweep fans trials out over scoped threads (crossbeam)
+//! and merges the per-thread accumulators under a parking_lot mutex, so the
+//! 1024-node sweeps regenerate in seconds.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use debruijn_core::Ffc;
+
+/// One row of Table 2.1 / 2.2.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ComponentRow {
+    /// Number of random node faults injected.
+    pub faults: usize,
+    /// Number of Monte-Carlo trials behind the row.
+    pub trials: usize,
+    /// Average size of the component containing R (= average fault-free
+    /// cycle length found by the FFC algorithm).
+    pub avg_size: f64,
+    /// Maximum component size observed.
+    pub max_size: usize,
+    /// Minimum component size observed.
+    pub min_size: usize,
+    /// The analytic column d^n − n·f.
+    pub guarantee: i64,
+    /// Average eccentricity of R within its component (broadcast rounds).
+    pub avg_ecc: f64,
+    /// Maximum eccentricity observed.
+    pub max_ecc: usize,
+    /// Minimum eccentricity observed.
+    pub min_ecc: usize,
+}
+
+/// The fault counts tabulated by the paper: 0–10, then 20, 30, 40, 50.
+#[must_use]
+pub fn paper_fault_counts() -> Vec<usize> {
+    let mut v: Vec<usize> = (0..=10).collect();
+    v.extend([20, 30, 40, 50]);
+    v
+}
+
+/// Runs the Table 2.1/2.2 experiment for B(d,n): for each fault count,
+/// `trials` random fault sets are drawn (seeded, reproducible) and the
+/// component containing R = 0…01 is measured.
+#[must_use]
+pub fn component_experiment(
+    d: u64,
+    n: u32,
+    fault_counts: &[usize],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<ComponentRow> {
+    let ffc = Ffc::new(d, n);
+    let total_nodes = ffc.graph().len();
+    let threads = threads.max(1);
+
+    fault_counts
+        .iter()
+        .map(|&f| {
+            // (sum_size, max, min, sum_ecc, max_ecc, min_ecc)
+            let acc = Mutex::new((0u64, 0usize, usize::MAX, 0u64, 0usize, usize::MAX));
+            let per_thread = trials.div_ceil(threads);
+            thread::scope(|scope| {
+                for t in 0..threads {
+                    let ffc = &ffc;
+                    let acc = &acc;
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (f as u64).wrapping_mul(0x9e37_79b9) ^ (t as u64) << 32,
+                        );
+                        let count = per_thread.min(trials.saturating_sub(t * per_thread));
+                        let mut local = (0u64, 0usize, usize::MAX, 0u64, 0usize, usize::MAX);
+                        let mut nodes: Vec<usize> = (0..total_nodes).collect();
+                        for _ in 0..count {
+                            let (faults, _) = nodes.partial_shuffle(&mut rng, f);
+                            let faults: Vec<usize> = faults.to_vec();
+                            let out = ffc.embed(&faults);
+                            local.0 += out.component_size as u64;
+                            local.1 = local.1.max(out.component_size);
+                            local.2 = local.2.min(out.component_size);
+                            local.3 += out.eccentricity as u64;
+                            local.4 = local.4.max(out.eccentricity);
+                            local.5 = local.5.min(out.eccentricity);
+                        }
+                        let mut shared = acc.lock();
+                        shared.0 += local.0;
+                        shared.1 = shared.1.max(local.1);
+                        shared.2 = shared.2.min(local.2);
+                        shared.3 += local.3;
+                        shared.4 = shared.4.max(local.4);
+                        shared.5 = shared.5.min(local.5);
+                    });
+                }
+            })
+            .expect("worker threads do not panic");
+
+            let (sum_size, max_size, min_size, sum_ecc, max_ecc, min_ecc) = acc.into_inner();
+            ComponentRow {
+                faults: f,
+                trials,
+                avg_size: sum_size as f64 / trials as f64,
+                max_size,
+                min_size,
+                guarantee: total_nodes as i64 - (n as i64) * (f as i64),
+                avg_ecc: sum_ecc as f64 / trials as f64,
+                max_ecc,
+                min_ecc,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 3.1 / 3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct BoundRow {
+    /// Alphabet size d.
+    pub d: u64,
+    /// ψ(d): guaranteed number of disjoint Hamiltonian cycles.
+    pub psi: u64,
+    /// φ(d): the direct edge-fault tolerance of Proposition 3.3.
+    pub phi: u64,
+    /// MAX{ψ(d) − 1, φ(d)} (Table 3.2).
+    pub tolerance: u64,
+}
+
+/// Regenerates Table 3.1 (and simultaneously Table 3.2) for the range of d.
+#[must_use]
+pub fn bounds_table(d_range: std::ops::RangeInclusive<u64>) -> Vec<BoundRow> {
+    d_range
+        .map(|d| BoundRow {
+            d,
+            psi: debruijn_core::psi(d),
+            phi: debruijn_core::phi_edge_bound(d),
+            tolerance: debruijn_core::edge_fault_tolerance(d),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_row_is_exact() {
+        let rows = component_experiment(2, 6, &[0], 5, 1, 2);
+        assert_eq!(rows.len(), 1);
+        let r = rows[0];
+        assert_eq!(r.avg_size, 64.0);
+        assert_eq!(r.max_size, 64);
+        assert_eq!(r.min_size, 64);
+        assert_eq!(r.guarantee, 64);
+        assert_eq!(r.avg_ecc, 6.0);
+    }
+
+    #[test]
+    fn fault_rows_track_the_guarantee() {
+        // Small-scale version of Table 2.2: within the f ≤ d − 2 regime the
+        // component size is exactly d^n minus the removed necklace nodes, so
+        // the average never drops below d^n − n·f.
+        let rows = component_experiment(4, 4, &[1, 2], 40, 7, 4);
+        for r in rows {
+            assert!(r.avg_size >= r.guarantee as f64, "f={}: {} < {}", r.faults, r.avg_size, r.guarantee);
+            assert!(r.min_size as i64 >= r.guarantee);
+            assert!(r.min_ecc <= r.max_ecc);
+            assert!(r.max_ecc <= 8, "diameter of B* is at most 2n when f <= d-2");
+        }
+        // Beyond the guarantee (binary graph): sizes stay close to, but may
+        // dip slightly below, the analytic column (cf. Table 2.1).
+        let binary = component_experiment(2, 8, &[1, 2, 3], 40, 11, 4);
+        for r in binary {
+            assert!(r.avg_size >= (r.guarantee - 2 * r.faults as i64) as f64);
+        }
+    }
+
+    #[test]
+    fn bounds_rows_match_core() {
+        let rows = bounds_table(2..=10);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0], BoundRow { d: 2, psi: 1, phi: 0, tolerance: 0 });
+        assert_eq!(rows[6].d, 8);
+        assert_eq!(rows[6].psi, 7);
+    }
+
+    #[test]
+    fn paper_fault_counts_match_tables() {
+        assert_eq!(paper_fault_counts().len(), 15);
+        assert_eq!(paper_fault_counts()[14], 50);
+    }
+}

@@ -1,0 +1,195 @@
+//! Closed-form fault-tolerance bounds: ψ(d) and φ(d).
+//!
+//! * ψ(d) (Proposition 3.1 / 3.2, Table 3.1) is the number of pairwise
+//!   edge-disjoint Hamiltonian cycles this workspace can construct in
+//!   B(d,n); a fortiori B(d,n) tolerates ψ(d) − 1 link failures while
+//!   keeping a fault-free Hamiltonian cycle.
+//! * φ(d) (Section 3.3, written "cp(d)" in the thesis) is the direct
+//!   edge-fault tolerance `Σ p_i^{e_i} − 2k` obtained from Proposition 3.3;
+//!   for a prime power it equals d − 2, which is optimal.
+//! * The combined bound MAX{ψ(d) − 1, φ(d)} is Proposition 3.4 (Table 3.2).
+
+use dbg_algebra::num::{factorize, mod_pow, pow, primitive_roots};
+
+/// Whether the odd prime `p` satisfies condition (b) of Lemma 3.5: there is
+/// a primitive root λ of Z_p and *odd* exponents A, B with λ^A + λ^B ≡ 2.
+/// (Condition (a) — 2 is a nonresidue, i.e. 2 = λ^A with A odd — always
+/// holds when (b) fails, by Lemma 3.5.)
+#[must_use]
+pub fn condition_b(p: u64) -> bool {
+    assert!(p % 2 == 1 && p > 2, "condition_b is defined for odd primes");
+    decompose_two_as_odd_powers(p).is_some()
+}
+
+/// Finds a primitive root λ of Z_p and odd exponents (A, B) with
+/// λ^A + λ^B ≡ 2 (mod p), if any exist. Used by Strategy 2 of Section 3.2.1.
+#[must_use]
+pub fn decompose_two_as_odd_powers(p: u64) -> Option<(u64, u32, u32)> {
+    for lambda in primitive_roots(p) {
+        // Precompute λ^k for k in 1..p-1.
+        let mut powers = vec![0u64; (p - 1) as usize + 1];
+        for (k, slot) in powers.iter_mut().enumerate().skip(1) {
+            *slot = mod_pow(lambda, k as u64, p);
+        }
+        for a in (1..p as usize).step_by(2) {
+            for b in (a..p as usize).step_by(2) {
+                if (powers[a] + powers[b]) % p == 2 % p {
+                    return Some((lambda, a as u32, b as u32));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Finds a primitive root λ of Z_p and an odd exponent A with λ^A ≡ 2
+/// (condition (a) of Lemma 3.5; holds exactly when 2 is a quadratic
+/// nonresidue of p, i.e. p ≡ ±3 (mod 8)). Used by Strategy 3.
+#[must_use]
+pub fn two_as_odd_power(p: u64) -> Option<(u64, u32)> {
+    for lambda in primitive_roots(p) {
+        for a in (1..p).step_by(2) {
+            if mod_pow(lambda, a, p) == 2 % p {
+                return Some((lambda, a as u32));
+            }
+        }
+    }
+    None
+}
+
+/// ψ for a prime power p^e (Proposition 3.1):
+/// * p = 2 → p^e − 1 (Strategy 1, optimal),
+/// * p odd, (p−1)/2 even and condition (b) of Lemma 3.5 → (p^e + 1)/2,
+/// * otherwise → (p^e − 1)/2.
+#[must_use]
+pub fn psi_prime_power(p: u64, e: u32) -> u64 {
+    let q = pow(p, e);
+    if p == 2 {
+        q - 1
+    } else if (p - 1) / 2 % 2 == 0 && condition_b(p) {
+        (q + 1) / 2
+    } else {
+        (q - 1) / 2
+    }
+}
+
+/// ψ(d): the guaranteed number of pairwise edge-disjoint Hamiltonian cycles
+/// in B(d,n), multiplicative over the prime-power factorization of d
+/// (Proposition 3.2, Table 3.1).
+#[must_use]
+pub fn psi(d: u64) -> u64 {
+    assert!(d >= 2, "psi is defined for d >= 2");
+    factorize(d).into_iter().map(|(p, e)| psi_prime_power(p, e)).product()
+}
+
+/// φ(d) = Σ p_i^{e_i} − 2k for d = p_1^{e_1}…p_k^{e_k}: the number of edge
+/// faults Proposition 3.3 tolerates while keeping a Hamiltonian cycle. For
+/// a prime power this is d − 2, which is optimal.
+#[must_use]
+pub fn phi_edge_bound(d: u64) -> u64 {
+    assert!(d >= 2, "phi_edge_bound is defined for d >= 2");
+    let f = factorize(d);
+    let sum: u64 = f.iter().map(|&(p, e)| pow(p, e)).sum();
+    sum - 2 * f.len() as u64
+}
+
+/// MAX{ψ(d) − 1, φ(d)}: the edge-fault tolerance of Proposition 3.4
+/// (Table 3.2).
+#[must_use]
+pub fn edge_fault_tolerance(d: u64) -> u64 {
+    psi(d).saturating_sub(1).max(phi_edge_bound(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_matches_table_3_1() {
+        // Table 3.1: ψ(d) for 2 ≤ d ≤ 38.
+        let expected: [(u64, u64); 37] = [
+            (2, 1), (3, 1), (4, 3), (5, 2), (6, 1), (7, 3), (8, 7), (9, 4), (10, 2),
+            (11, 5), (12, 3), (13, 7), (14, 3), (15, 2), (16, 15), (17, 9), (18, 4),
+            (19, 9), (20, 6), (21, 3), (22, 5), (23, 11), (24, 7), (25, 12), (26, 7),
+            (27, 13), (28, 9), (29, 15), (30, 2), (31, 15), (32, 31), (33, 5), (34, 9),
+            (35, 6), (36, 12), (37, 19), (38, 9),
+        ];
+        for (d, want) in expected {
+            assert_eq!(psi(d), want, "psi({d})");
+        }
+    }
+
+    #[test]
+    fn phi_and_max_match_table_3_2() {
+        // Prime powers: φ(d) = d − 2.
+        for d in [2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32] {
+            assert_eq!(phi_edge_bound(d), d - 2, "phi({d})");
+        }
+        // Composite entries spot-checked against Table 3.2.
+        let expected: [(u64, u64); 13] = [
+            (6, 1), (10, 3), (12, 3), (14, 5), (15, 4), (20, 5), (21, 6), (22, 9),
+            (24, 7), (26, 11), (30, 4), (34, 15), (35, 8),
+        ];
+        for (d, want) in expected {
+            assert_eq!(edge_fault_tolerance(d), want, "MAX{{psi-1, phi}}({d})");
+        }
+        // d = 28 is the sole tabulated value where ψ−1 beats φ.
+        assert_eq!(phi_edge_bound(28), 7);
+        assert_eq!(psi(28) - 1, 8);
+        assert_eq!(edge_fault_tolerance(28), 8);
+    }
+
+    #[test]
+    fn condition_b_known_cases() {
+        // p = 13: 2 ≡ 7 + 7^9 with 7 a primitive root (Example 3.3).
+        assert!(condition_b(13));
+        let (lambda, a, b) = decompose_two_as_odd_powers(13).unwrap();
+        assert!(a % 2 == 1 && b % 2 == 1);
+        assert_eq!(
+            (mod_pow(lambda, u64::from(a), 13) + mod_pow(lambda, u64::from(b), 13)) % 13,
+            2
+        );
+        // p = 5: only condition (a) holds (the text notes this after Lemma 3.5).
+        assert!(!condition_b(5));
+        assert!(two_as_odd_power(5).is_some());
+    }
+
+    #[test]
+    fn lemma_3_5_at_least_one_condition_holds() {
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43] {
+            let a = two_as_odd_power(p).is_some();
+            let b = condition_b(p);
+            assert!(a || b, "Lemma 3.5 violated for p = {p}");
+            // Condition (a) ⟺ 2 is a nonresidue ⟺ p ≡ ±3 (mod 8).
+            let pm8 = p % 8;
+            assert_eq!(a, pm8 == 3 || pm8 == 5, "condition (a) parity check for p = {p}");
+        }
+    }
+
+    #[test]
+    fn two_as_odd_power_is_correct_when_found() {
+        for p in [3u64, 5, 11, 13, 19, 29, 37] {
+            if let Some((lambda, a)) = two_as_odd_power(p) {
+                assert_eq!(a % 2, 1);
+                assert_eq!(mod_pow(lambda, u64::from(a), p), 2 % p);
+            }
+        }
+    }
+
+    #[test]
+    fn psi_is_multiplicative_over_coprime_factors() {
+        assert_eq!(psi(36), psi(4) * psi(9));
+        assert_eq!(psi(30), psi(2) * psi(3) * psi(5));
+        assert_eq!(psi(20), psi(4) * psi(5));
+    }
+
+    #[test]
+    fn corollary_3_2_lower_bound() {
+        // ψ(d) ≥ φ_euler(d) / 2^k.
+        use dbg_algebra::num::euler_phi;
+        for d in 2..=38u64 {
+            let k = factorize(d).len() as u32;
+            assert!(psi(d) >= euler_phi(d) / 2u64.pow(k), "Corollary 3.2 fails at d = {d}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Lifting de Bruijn ring embeddings to butterfly networks (Section 3.4).
+//!
+//! The butterfly F(d,n) contracts onto B(d,n) by merging the node classes
+//! S_X = {(i, π^{-i}(X))}. The map Φ runs the contraction backwards: a
+//! k-cycle of B(d,n) unrolls to an LCM(k,n)-cycle of F(d,n) (Lemma 3.9),
+//! edge-disjoint cycles stay edge-disjoint, and a cycle that avoids a de
+//! Bruijn edge avoids every butterfly edge lying over it (Lemma 3.10).
+//! When gcd(d,n) = 1 a Hamiltonian cycle of B(d,n) lifts to a Hamiltonian
+//! cycle of F(d,n), giving Propositions 3.5 and 3.6.
+
+use dbg_algebra::num::lcm;
+use dbg_graph::Butterfly;
+
+use crate::bounds::psi;
+use crate::disjoint::DisjointHamiltonianCycles;
+use crate::edge_faults::EdgeFaultEmbedder;
+
+/// Lifts a cycle of B(d,n) (given as node ids) to the cycle Φ(C) of F(d,n):
+/// the i-th butterfly node is the level-(i mod n) member of the class of the
+/// (i mod k)-th de Bruijn node. The result has length LCM(k, n).
+#[must_use]
+pub fn lift_cycle(butterfly: &Butterfly, cycle: &[usize]) -> Vec<usize> {
+    let k = cycle.len() as u64;
+    let n = u64::from(butterfly.n());
+    let t = lcm(k, n);
+    (0..t)
+        .map(|i| {
+            let v = cycle[(i % k) as usize] as u64;
+            butterfly.debruijn_class_member(v, (i % n) as u32)
+        })
+        .collect()
+}
+
+/// Projects a butterfly edge back down to the de Bruijn edge it lies over:
+/// the edge from `(r, col)` to `(r+1, col')` covers the de Bruijn edge
+/// π^r(col) → π^{r+1}(col').
+#[must_use]
+pub fn project_edge(butterfly: &Butterfly, from: usize, to: usize) -> (usize, usize) {
+    let space = butterfly.space();
+    let (r_from, col_from) = butterfly.level_column(from);
+    let (r_to, col_to) = butterfly.level_column(to);
+    let u = space.rotate_left_by(col_from, r_from) as usize;
+    let v = space.rotate_left_by(col_to, r_to) as usize;
+    (u, v)
+}
+
+/// Ring embeddings in the d-ary butterfly F(d,n), obtained by lifting the
+/// de Bruijn constructions. Requires gcd(d, n) = 1 for Hamiltonian results.
+#[derive(Clone, Debug)]
+pub struct ButterflyEmbedder {
+    butterfly: Butterfly,
+}
+
+impl ButterflyEmbedder {
+    /// Creates the embedder for F(d,n).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        ButterflyEmbedder {
+            butterfly: Butterfly::new(d, n),
+        }
+    }
+
+    /// The underlying butterfly graph.
+    #[must_use]
+    pub fn butterfly(&self) -> &Butterfly {
+        &self.butterfly
+    }
+
+    /// Whether the Hamiltonian lifting applies (gcd(d, n) = 1).
+    #[must_use]
+    pub fn hamiltonian_lifting_applies(&self) -> bool {
+        dbg_algebra::num::gcd(self.butterfly.d(), u64::from(self.butterfly.n())) == 1
+    }
+
+    /// ψ(d) pairwise edge-disjoint Hamiltonian cycles of F(d,n)
+    /// (Proposition 3.6). Requires gcd(d,n) = 1 and n ≥ 2.
+    ///
+    /// # Panics
+    /// Panics if gcd(d, n) ≠ 1.
+    #[must_use]
+    pub fn disjoint_hamiltonian_cycles(&self) -> Vec<Vec<usize>> {
+        assert!(
+            self.hamiltonian_lifting_applies(),
+            "Proposition 3.6 requires gcd(d, n) = 1"
+        );
+        let d = self.butterfly.d();
+        let n = self.butterfly.n();
+        let family = DisjointHamiltonianCycles::construct(d, n);
+        debug_assert_eq!(family.count() as u64, psi(d));
+        family
+            .cycles()
+            .iter()
+            .map(|c| lift_cycle(&self.butterfly, c))
+            .collect()
+    }
+
+    /// A Hamiltonian cycle of F(d,n) avoiding the given faulty butterfly
+    /// edges (Proposition 3.5): project the faults to B(d,n), embed there,
+    /// and lift. Tolerates MAX{ψ(d)−1, φ(d)} faults; returns `None` if no
+    /// cycle is found. Requires gcd(d,n) = 1.
+    ///
+    /// # Panics
+    /// Panics if gcd(d, n) ≠ 1.
+    #[must_use]
+    pub fn hamiltonian_avoiding(&self, faulty_edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+        assert!(
+            self.hamiltonian_lifting_applies(),
+            "Proposition 3.5 requires gcd(d, n) = 1"
+        );
+        let projected: Vec<(usize, usize)> = faulty_edges
+            .iter()
+            .map(|&(a, b)| project_edge(&self.butterfly, a, b))
+            .collect();
+        let embedder = EdgeFaultEmbedder::new(self.butterfly.d(), self.butterfly.n());
+        let base = embedder.hamiltonian_avoiding(&projected)?;
+        Some(lift_cycle(&self.butterfly, &base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::algo::cycles::{all_pairwise_edge_disjoint, is_cycle, is_hamiltonian_cycle};
+    use dbg_graph::{DeBruijn, Topology};
+
+    #[test]
+    fn lemma_3_9_example_lift_of_a_4_cycle() {
+        // The 4-cycle (110, 100, 001, 011) of B(2,3) lifts to the 12-cycle
+        // listed after Lemma 3.9.
+        let b = DeBruijn::new(2, 3);
+        let f = Butterfly::new(2, 3);
+        let cycle: Vec<usize> = ["110", "100", "001", "011"]
+            .iter()
+            .map(|s| b.node(s).unwrap())
+            .collect();
+        let lifted = lift_cycle(&f, &cycle);
+        let expected: Vec<usize> = [
+            (0u32, "110"), (1, "010"), (2, "010"), (0, "011"), (1, "011"), (2, "001"),
+            (0, "001"), (1, "101"), (2, "101"), (0, "100"), (1, "100"), (2, "110"),
+        ]
+        .iter()
+        .map(|&(lvl, w)| f.node_id(lvl, f.space().parse(w).unwrap()))
+        .collect();
+        assert_eq!(lifted, expected);
+        assert!(is_cycle(&f, &lifted));
+    }
+
+    #[test]
+    fn lift_length_is_lcm() {
+        let f = Butterfly::new(3, 4);
+        let b = DeBruijn::new(3, 4);
+        // The necklace of 0012 is a 4-cycle; LCM(4,4) = 4.
+        let n0012 = b.node("0012").unwrap();
+        let cycle = vec![
+            n0012,
+            b.node("0120").unwrap(),
+            b.node("1200").unwrap(),
+            b.node("2001").unwrap(),
+        ];
+        assert_eq!(lift_cycle(&f, &cycle).len(), 4);
+        // A 6-cycle (the circular sequence 0,0,1,0,1,1) lifts to LCM(6,4) = 12.
+        let six = crate::seq::nodes_from_symbols(b.space(), &[0, 0, 1, 0, 1, 1]);
+        assert!(is_cycle(&b, &six));
+        let lifted = lift_cycle(&f, &six);
+        assert_eq!(lifted.len(), 12);
+        assert!(is_cycle(&f, &lifted));
+    }
+
+    #[test]
+    fn project_edge_inverts_lifting() {
+        let f = Butterfly::new(2, 3);
+        let b = DeBruijn::new(2, 3);
+        for v in 0..f.len() {
+            for u in f.successors(v) {
+                let (x, y) = project_edge(&f, v, u);
+                assert!(b.is_edge(x, y), "projection of a butterfly edge must be a de Bruijn edge");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_6_disjoint_hamiltonian_cycles() {
+        for (d, n) in [(2u64, 3u32), (3, 2), (4, 3), (5, 2)] {
+            let embedder = ButterflyEmbedder::new(d, n);
+            let cycles = embedder.disjoint_hamiltonian_cycles();
+            assert_eq!(cycles.len() as u64, psi(d), "d={d} n={n}");
+            let f = embedder.butterfly();
+            for c in &cycles {
+                assert!(is_hamiltonian_cycle(f, c), "d={d} n={n}: lift is not Hamiltonian");
+            }
+            assert!(all_pairwise_edge_disjoint(&cycles), "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn proposition_3_5_fault_tolerant_butterfly_embedding() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (d, n) in [(3u64, 2u32), (4, 3), (5, 2)] {
+            let embedder = ButterflyEmbedder::new(d, n);
+            let f = embedder.butterfly();
+            let tol = EdgeFaultEmbedder::tolerance(d) as usize;
+            let mut rng = StdRng::seed_from_u64(u64::from(n) * 97 + d);
+            for _ in 0..3 {
+                // Random butterfly edge faults up to the guaranteed tolerance.
+                let mut faults = Vec::new();
+                while faults.len() < tol {
+                    let v = rng.gen_range(0..f.len());
+                    let succs = f.successors(v);
+                    let u = succs[rng.gen_range(0..succs.len())];
+                    if !faults.contains(&(v, u)) {
+                        faults.push((v, u));
+                    }
+                }
+                let cycle = embedder
+                    .hamiltonian_avoiding(&faults)
+                    .expect("tolerance faults must be embeddable");
+                assert!(is_hamiltonian_cycle(f, &cycle));
+                for i in 0..cycle.len() {
+                    let e = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                    assert!(!faults.contains(&e), "lifted cycle uses a faulty butterfly edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gcd")]
+    fn hamiltonian_lift_requires_coprime_parameters() {
+        let embedder = ButterflyEmbedder::new(2, 4);
+        let _ = embedder.disjoint_hamiltonian_cycles();
+    }
+}

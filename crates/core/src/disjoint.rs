@@ -1,0 +1,755 @@
+//! Edge-disjoint Hamiltonian cycles in B(d,n) (Section 3.2).
+//!
+//! The construction pipeline follows the paper exactly:
+//!
+//! 1. For a prime power d, a primitive polynomial of degree n over GF(d)
+//!    yields a **maximal cycle** C of length d^n − 1 that misses only the
+//!    node 0^n (Section 3.1). Its d translates {s + C} are pairwise
+//!    edge-disjoint and partition the non-loop edges (Lemmas 3.1–3.3).
+//! 2. Each translate is upgraded to a Hamiltonian cycle H_s by rerouting
+//!    one edge α·s^{n−1} → s^{n−1}·â through the missing node s^n, where â
+//!    is chosen through a conflict-avoiding function f (Equation 3.3 and
+//!    Lemma 3.4).
+//! 3. A strategy for f — depending on the characteristic p of GF(d) —
+//!    selects a subfamily of pairwise disjoint H_s of size ψ(p^e)
+//!    (Strategies 1–3, Proposition 3.1).
+//! 4. For composite d, Hamiltonian cycles of the coprime factors are
+//!    combined with the Rees product (Lemmas 3.6–3.7, Proposition 3.2).
+//!
+//! The public entry point is [`DisjointHamiltonianCycles::construct`], which
+//! returns ψ(d) pairwise edge-disjoint Hamiltonian cycles of B(d,n).
+
+use std::collections::HashMap;
+
+use dbg_algebra::gf::GField;
+use dbg_algebra::num::{factorize, mod_pow, pow};
+use dbg_algebra::polygf::PolyGf;
+use dbg_algebra::words::WordSpace;
+
+use crate::bounds::{decompose_two_as_odd_powers, psi, two_as_odd_power};
+use crate::seq::{nodes_from_symbols, symbols_from_nodes};
+
+/// The family of translated maximal cycles {s + C : s ∈ GF(d)} in B(d,n),
+/// d a prime power, together with the bookkeeping needed to upgrade any of
+/// them to a Hamiltonian cycle.
+#[derive(Clone, Debug)]
+pub struct MaximalCycleFamily {
+    space: WordSpace,
+    field: GField,
+    poly: PolyGf,
+    recurrence: Vec<u64>,
+    omega: u64,
+    base_symbols: Vec<u64>,
+    /// node code → its position in C (usize::MAX for 0^n, which C misses).
+    position: Vec<usize>,
+}
+
+impl MaximalCycleFamily {
+    /// Builds the family for B(d,n) using the lexicographically first
+    /// primitive polynomial of degree n over GF(d).
+    ///
+    /// # Panics
+    /// Panics if `d` is not a prime power or `n < 2`.
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        let field = GField::new(d);
+        let poly = PolyGf::find_primitive(&field, n as usize);
+        Self::with_polynomial(field, poly)
+    }
+
+    /// Builds the family from an explicit primitive polynomial (degree n),
+    /// as the paper's worked examples do.
+    ///
+    /// # Panics
+    /// Panics if the polynomial is not primitive over the field or n < 2.
+    #[must_use]
+    pub fn with_polynomial(field: GField, poly: PolyGf) -> Self {
+        assert!(poly.is_primitive(&field), "the characteristic polynomial must be primitive");
+        let n = poly.degree() as u32;
+        assert!(n >= 2, "the disjoint-HC construction requires n >= 2");
+        let d = field.order();
+        let space = WordSpace::new(d, n);
+        let recurrence = poly.to_recurrence(&field);
+        let omega = field.sum(recurrence.iter().copied());
+        let mut initial = vec![0u64; n as usize];
+        initial[n as usize - 1] = 1;
+        let lfsr = dbg_algebra::lfsr::Lfsr::from_characteristic(field.clone(), &poly, &initial);
+        let base_symbols = lfsr.full_period();
+        debug_assert_eq!(base_symbols.len() as u64, pow(d, n) - 1);
+        let nodes = nodes_from_symbols(space, &base_symbols);
+        let mut position = vec![usize::MAX; space.count() as usize];
+        for (i, &v) in nodes.iter().enumerate() {
+            position[v] = i;
+        }
+        MaximalCycleFamily {
+            space,
+            field,
+            poly,
+            recurrence,
+            omega,
+            base_symbols,
+            position,
+        }
+    }
+
+    /// The alphabet size d.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.space.d()
+    }
+
+    /// The word length n.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.space.n()
+    }
+
+    /// The word space of B(d,n).
+    #[must_use]
+    pub fn space(&self) -> WordSpace {
+        self.space
+    }
+
+    /// The field GF(d).
+    #[must_use]
+    pub fn field(&self) -> &GField {
+        &self.field
+    }
+
+    /// The primitive characteristic polynomial of the recurrence.
+    #[must_use]
+    pub fn polynomial(&self) -> &PolyGf {
+        &self.poly
+    }
+
+    /// ω = a_0 + … + a_{n−1}, the recurrence-coefficient sum of Lemma 3.2.
+    #[must_use]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// The base maximal cycle C as a circular symbol sequence of length d^n − 1.
+    #[must_use]
+    pub fn base_symbols(&self) -> &[u64] {
+        &self.base_symbols
+    }
+
+    /// The translate s + C as a circular symbol sequence.
+    #[must_use]
+    pub fn translate_symbols(&self, s: u64) -> Vec<u64> {
+        self.base_symbols.iter().map(|&c| self.field.add(s, c)).collect()
+    }
+
+    /// The translate s + C as a node cycle of length d^n − 1 (it misses s^n).
+    #[must_use]
+    pub fn translate_nodes(&self, s: u64) -> Vec<usize> {
+        nodes_from_symbols(self.space, &self.translate_symbols(s))
+    }
+
+    /// The position of `node` within the cycle listing of s + C, or `None`
+    /// if `node` is the missing node s^n.
+    #[must_use]
+    pub fn position_in_translate(&self, s: u64, node: usize) -> Option<usize> {
+        // node lies at position i of s + C  iff  (node − s·1^n) lies at
+        // position i of C (digit-wise field subtraction).
+        let digits = self.space.digits(node as u64);
+        let shifted: Vec<u64> = digits.iter().map(|&x| self.field.sub(x, s)).collect();
+        let code = self.space.from_digits(&shifted) as usize;
+        if code == 0 {
+            return None;
+        }
+        Some(self.position[code])
+    }
+
+    /// Given a translate s and a chosen exit digit α ≠ s, the digit â that
+    /// Equation 3.3 forces for the re-entry node s^{n−1}·â:
+    /// â = a_0·α + s·(1 − a_0).
+    #[must_use]
+    pub fn reentry_digit(&self, s: u64, alpha: u64) -> u64 {
+        let a0 = self.recurrence[0];
+        self.field
+            .add(self.field.mul(a0, alpha), self.field.mul(s, self.field.sub(1, a0)))
+    }
+
+    /// The exit digit α induced by a conflict-avoidance value f(s)
+    /// (Definition of H_s in Section 3.2.1): from â = s·ω + f(s)·(1 − ω)
+    /// and Equation 3.3, α = a_0^{-1}(1 − ω)(f(s) − s) + s.
+    #[must_use]
+    pub fn exit_digit_for(&self, s: u64, f_s: u64) -> u64 {
+        let a0 = self.recurrence[0];
+        let one_minus_omega = self.field.sub(1, self.omega);
+        self.field.add(
+            self.field.mul(
+                self.field.inv(a0),
+                self.field.mul(one_minus_omega, self.field.sub(f_s, s)),
+            ),
+            s,
+        )
+    }
+
+    /// The two replacement edges used to route s + C through s^n when
+    /// exiting at digit α: (α·s^{n−1} → s^n) and (s^n → s^{n−1}·â).
+    #[must_use]
+    pub fn replacement_edges(&self, s: u64, alpha: u64) -> [(usize, usize); 2] {
+        let n = self.space.n() as usize;
+        let mut exit_digits = vec![s; n];
+        exit_digits[0] = alpha;
+        let exit = self.space.from_digits(&exit_digits) as usize;
+        let sn = self.space.constant(s) as usize;
+        let mut entry_digits = vec![s; n];
+        entry_digits[n - 1] = self.reentry_digit(s, alpha);
+        let entry = self.space.from_digits(&entry_digits) as usize;
+        [(exit, sn), (sn, entry)]
+    }
+
+    /// The Hamiltonian cycle H_s obtained by routing s + C through s^n with
+    /// exit digit α (which must differ from s).
+    #[must_use]
+    pub fn hamiltonian_with_alpha(&self, s: u64, alpha: u64) -> Vec<usize> {
+        assert_ne!(alpha, s, "the exit digit must differ from s (α ≠ s)");
+        let nodes = self.translate_nodes(s);
+        let n = self.space.n() as usize;
+        let mut exit_digits = vec![s; n];
+        exit_digits[0] = alpha;
+        let exit = self.space.from_digits(&exit_digits) as usize;
+        let pos = self
+            .position_in_translate(s, exit)
+            .expect("α·s^{n-1} with α ≠ s always lies on s + C");
+        let sn = self.space.constant(s) as usize;
+
+        let k = nodes.len();
+        let mut h = Vec::with_capacity(k + 1);
+        h.push(nodes[pos]);
+        h.push(sn);
+        for i in 1..k {
+            h.push(nodes[(pos + i) % k]);
+        }
+        debug_assert_eq!(h.len() as u64, self.space.count());
+        // The node after the splice must be s^{n-1}·â.
+        let mut entry_digits = vec![s; n];
+        entry_digits[n - 1] = self.reentry_digit(s, alpha);
+        debug_assert_eq!(h[2], self.space.from_digits(&entry_digits) as usize);
+        h
+    }
+
+    /// The Hamiltonian cycle H_s determined by a conflict-avoidance value
+    /// f(s) ≠ s (the form used by Strategies 1–3).
+    #[must_use]
+    pub fn hamiltonian_with_f(&self, s: u64, f_s: u64) -> Vec<usize> {
+        assert_ne!(f_s, s, "the strategy function must satisfy f(s) ≠ s");
+        self.hamiltonian_with_alpha(s, self.exit_digit_for(s, f_s))
+    }
+}
+
+/// The strategy used to choose the conflict-avoidance function f for a
+/// prime power d = p^e (Section 3.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Strategy 1 (p = 2): f(x) = 0 for x ≠ 0; all d − 1 nonzero translates
+    /// are selected.
+    CharacteristicTwo,
+    /// Strategy 2 (2 = λ^A + λ^B with A, B odd): f(x) = λ^A·x, f(0) = λ.
+    OddSum {
+        /// The primitive root λ of Z_p.
+        lambda: u64,
+        /// The odd exponent A.
+        a: u32,
+        /// The odd exponent B.
+        b: u32,
+        /// Whether H_0 can be added ((p−1)/2 even).
+        include_zero: bool,
+    },
+    /// Strategy 3 (2 = λ^A with A odd): f(x) = λ^A·x = 2x, f(0) = λ.
+    OddPower {
+        /// The primitive root λ of Z_p.
+        lambda: u64,
+        /// The odd exponent A.
+        a: u32,
+    },
+}
+
+impl Strategy {
+    /// Selects the strategy for characteristic p, preferring Strategy 2
+    /// (which can reach (p^e + 1)/2 cycles) when condition (b) holds.
+    #[must_use]
+    pub fn select(p: u64) -> Self {
+        if p == 2 {
+            return Strategy::CharacteristicTwo;
+        }
+        if let Some((lambda, a, b)) = decompose_two_as_odd_powers(p) {
+            return Strategy::OddSum {
+                lambda,
+                a,
+                b,
+                include_zero: (p - 1) / 2 % 2 == 0,
+            };
+        }
+        let (lambda, a) = two_as_odd_power(p)
+            .expect("Lemma 3.5: condition (a) holds whenever condition (b) fails");
+        Strategy::OddPower { lambda, a }
+    }
+
+    /// The value f(x) in GF(d) (with p = characteristic of `field`).
+    #[must_use]
+    pub fn f_value(&self, field: &GField, x: u64) -> u64 {
+        let p = field.characteristic();
+        match *self {
+            Strategy::CharacteristicTwo => 0,
+            Strategy::OddSum { lambda, a, .. } | Strategy::OddPower { lambda, a } => {
+                if x == 0 {
+                    field.embed_int(lambda)
+                } else {
+                    field.mul(field.embed_int(mod_pow(lambda, u64::from(a), p)), x)
+                }
+            }
+        }
+    }
+
+    /// The translates s whose Hamiltonian cycles H_s are pairwise disjoint
+    /// under this strategy (the set L of Section 3.2.1); |result| = ψ(p^e).
+    #[must_use]
+    pub fn selected_translates(&self, field: &GField) -> Vec<u64> {
+        let q = field.order();
+        let p = field.characteristic();
+        match *self {
+            Strategy::CharacteristicTwo => (1..q).collect(),
+            Strategy::OddSum { .. } | Strategy::OddPower { .. } => {
+                // J = ⟨λ⟩ = GF(p)^* embedded in GF(q); quadratic residues of
+                // Z_p are its even powers.
+                let residues: Vec<u64> = {
+                    let mut r: Vec<u64> = (1..p).map(|k| k * k % p).collect();
+                    r.sort_unstable();
+                    r.dedup();
+                    r
+                };
+                let subgroup: Vec<u64> = (1..p).collect();
+                let mut selected = Vec::new();
+                let mut seen = vec![false; q as usize];
+                for x in 1..q {
+                    if seen[x as usize] {
+                        continue;
+                    }
+                    // The coset x·J; its minimal element is the representative.
+                    let coset: Vec<u64> = subgroup.iter().map(|&j| field.mul(x, j)).collect();
+                    let rep = *coset.iter().min().expect("cosets are non-empty");
+                    for &c in &coset {
+                        seen[c as usize] = true;
+                    }
+                    for &r in &residues {
+                        selected.push(field.mul(rep, r));
+                    }
+                }
+                // H_0 joins the family only under Strategy 2 with (p−1)/2
+                // even; λ and −λ are nonresidues then, so no selected
+                // translate conflicts with it (Section 3.2.1).
+                if matches!(self, Strategy::OddSum { include_zero: true, .. }) {
+                    selected.push(0);
+                }
+                selected.sort_unstable();
+                selected
+            }
+        }
+    }
+
+    /// The translates y whose H_y may share an edge with H_x under this
+    /// strategy (Lemma 3.4): {f(x), 2x − f(x)} ∪ {y : x ∈ {f(y), 2y − f(y)}}.
+    /// Used to regenerate the conflict structure of Figure 3.2.
+    #[must_use]
+    pub fn conflict_partners(&self, field: &GField, x: u64) -> Vec<u64> {
+        let two = field.embed_int(2);
+        let mut partners = vec![
+            self.f_value(field, x),
+            field.sub(field.mul(two, x), self.f_value(field, x)),
+        ];
+        for y in field.elements() {
+            if y == x {
+                continue;
+            }
+            let fy = self.f_value(field, y);
+            if x == fy || x == field.sub(field.mul(two, y), fy) {
+                partners.push(y);
+            }
+        }
+        partners.retain(|&y| y != x);
+        partners.sort_unstable();
+        partners.dedup();
+        partners
+    }
+}
+
+/// The Rees product of two Hamiltonian cycles given as circular symbol
+/// sequences: A over Z_s (length s^n) and B over Z_t (length t^n) with
+/// gcd(s,t) = 1 produce the sequence whose i-th symbol is `a_i·t + b_i`
+/// (indices cyclic), a Hamiltonian cycle of B(st, n) (Lemma 3.6).
+#[must_use]
+pub fn rees_product(t: u64, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let len = a.len() * b.len();
+    (0..len).map(|i| a[i % a.len()] * t + b[i % b.len()]).collect()
+}
+
+/// Constructs ψ(d) pairwise edge-disjoint Hamiltonian cycles of B(d,n) as
+/// circular symbol sequences (length d^n each). Prime-power alphabets use
+/// Strategies 1–3; composite alphabets recurse through the Rees product.
+#[must_use]
+pub fn construct_symbol_family(d: u64, n: u32) -> Vec<Vec<u64>> {
+    assert!(d >= 2 && n >= 2, "disjoint-HC construction requires d >= 2 and n >= 2");
+    let factors = factorize(d);
+    if factors.len() == 1 {
+        return prime_power_symbol_family(d, n);
+    }
+    // Split off the largest prime-power factor and recurse (Proposition 3.2).
+    let (p, e) = *factors.last().expect("composite numbers have factors");
+    let t = pow(p, e);
+    let s = d / t;
+    let a_family = construct_symbol_family(s, n);
+    let b_family = construct_symbol_family(t, n);
+    let mut out = Vec::with_capacity(a_family.len() * b_family.len());
+    for a in &a_family {
+        for b in &b_family {
+            out.push(rees_product(t, a, b));
+        }
+    }
+    out
+}
+
+/// The prime-power case of [`construct_symbol_family`].
+fn prime_power_symbol_family(d: u64, n: u32) -> Vec<Vec<u64>> {
+    let family = MaximalCycleFamily::new(d, n);
+    let field = family.field().clone();
+    let strategy = Strategy::select(field.characteristic());
+    let selected = strategy.selected_translates(&field);
+    selected
+        .iter()
+        .map(|&s| {
+            let h = family.hamiltonian_with_f(s, strategy.f_value(&field, s));
+            symbols_from_nodes(family.space(), &h)
+        })
+        .collect()
+}
+
+/// A family of pairwise edge-disjoint Hamiltonian cycles of B(d,n).
+#[derive(Clone, Debug)]
+pub struct DisjointHamiltonianCycles {
+    d: u64,
+    n: u32,
+    cycles: Vec<Vec<usize>>,
+}
+
+impl DisjointHamiltonianCycles {
+    /// Constructs ψ(d) pairwise edge-disjoint Hamiltonian cycles of B(d,n)
+    /// (Propositions 3.1 and 3.2).
+    ///
+    /// # Panics
+    /// Panics if `d < 2` or `n < 2`.
+    #[must_use]
+    pub fn construct(d: u64, n: u32) -> Self {
+        let space = WordSpace::new(d, n);
+        let cycles = construct_symbol_family(d, n)
+            .into_iter()
+            .map(|symbols| nodes_from_symbols(space, &symbols))
+            .collect();
+        DisjointHamiltonianCycles { d, n, cycles }
+    }
+
+    /// Alphabet size d.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// Word length n.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The cycles, each a permutation of all d^n node ids.
+    #[must_use]
+    pub fn cycles(&self) -> &[Vec<usize>] {
+        &self.cycles
+    }
+
+    /// The number of cycles (equal to ψ(d)).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Consumes the family, returning the cycles.
+    #[must_use]
+    pub fn into_cycles(self) -> Vec<Vec<usize>> {
+        self.cycles
+    }
+
+    /// The cycles as circular symbol sequences (de Bruijn-like sequences in
+    /// which every (n+1)-window is distinct across the whole family).
+    #[must_use]
+    pub fn symbol_sequences(&self) -> Vec<Vec<u64>> {
+        let space = WordSpace::new(self.d, self.n);
+        self.cycles.iter().map(|c| symbols_from_nodes(space, c)).collect()
+    }
+
+    /// Returns the first cycle that avoids every edge in `faulty_edges`
+    /// (directed node pairs), if any. With at most ψ(d) − 1 faulty edges one
+    /// always exists (the Proposition 3.4 argument).
+    #[must_use]
+    pub fn fault_free_cycle(&self, faulty_edges: &[(usize, usize)]) -> Option<&Vec<usize>> {
+        use std::collections::HashSet;
+        let faults: HashSet<(usize, usize)> = faulty_edges.iter().copied().collect();
+        self.cycles.iter().find(|cycle| {
+            (0..cycle.len()).all(|i| {
+                let e = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                !faults.contains(&e)
+            })
+        })
+    }
+
+    /// Sanity helper: the expected family size ψ(d).
+    #[must_use]
+    pub fn expected_count(d: u64) -> u64 {
+        psi(d)
+    }
+}
+
+/// Verifies that the translates {s + C} of a maximal-cycle family partition
+/// the non-loop edges of B(d,n) (Lemma 3.3 plus a counting argument).
+/// Exposed for tests and the ablation benchmarks.
+#[must_use]
+pub fn translates_partition_edges(family: &MaximalCycleFamily) -> bool {
+    let d = family.d();
+    let space = family.space();
+    let mut seen: HashMap<(usize, usize), u32> = HashMap::new();
+    for s in 0..d {
+        let nodes = family.translate_nodes(s);
+        for i in 0..nodes.len() {
+            let e = (nodes[i], nodes[(i + 1) % nodes.len()]);
+            *seen.entry(e).or_insert(0) += 1;
+        }
+    }
+    // Every edge must appear exactly once, and the total count must be the
+    // number of non-loop edges d(d^n − 1).
+    seen.values().all(|&c| c == 1)
+        && seen.len() as u64 == d * (space.count() - 1)
+        && seen.keys().all(|&(u, v)| u != v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::algo::cycles::{all_pairwise_edge_disjoint, is_hamiltonian_cycle};
+    use dbg_graph::DeBruijn;
+
+    #[test]
+    fn translates_are_cycles_missing_only_sn() {
+        for (d, n) in [(2u64, 4u32), (3, 3), (4, 2), (5, 2)] {
+            let family = MaximalCycleFamily::new(d, n);
+            let g = DeBruijn::new(d, n);
+            for s in 0..d {
+                let nodes = family.translate_nodes(s);
+                assert_eq!(nodes.len() as u64, family.space().count() - 1);
+                // All nodes distinct, none equal to s^n, consecutive pairs are edges.
+                let sn = family.space().constant(s) as usize;
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), nodes.len());
+                assert!(!nodes.contains(&sn));
+                for i in 0..nodes.len() {
+                    assert!(g.is_edge(nodes[i], nodes[(i + 1) % nodes.len()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_translates_partition_non_loop_edges() {
+        for (d, n) in [(2u64, 3u32), (3, 3), (4, 2), (5, 2), (7, 2)] {
+            let family = MaximalCycleFamily::new(d, n);
+            assert!(translates_partition_edges(&family), "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_upgrade_produces_hamiltonian_cycles() {
+        for (d, n) in [(3u64, 3u32), (4, 2), (5, 2), (8, 2), (9, 2)] {
+            let family = MaximalCycleFamily::new(d, n);
+            let g = DeBruijn::new(d, n);
+            let field = family.field().clone();
+            for s in 0..d {
+                // Any α ≠ s works for a single cycle.
+                let alpha = field.elements().find(|&a| a != s).unwrap();
+                let h = family.hamiltonian_with_alpha(s, alpha);
+                assert!(is_hamiltonian_cycle(&g, &h), "d={d} n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_edges_are_debruijn_edges_into_and_out_of_sn() {
+        let family = MaximalCycleFamily::new(5, 2);
+        let g = DeBruijn::new(5, 2);
+        for s in 0..5 {
+            for alpha in (0..5).filter(|&a| a != s) {
+                let [e1, e2] = family.replacement_edges(s, alpha);
+                assert!(g.is_edge(e1.0, e1.1));
+                assert!(g.is_edge(e2.0, e2.1));
+                assert_eq!(e1.1, family.space().constant(s) as usize);
+                assert_eq!(e2.0, family.space().constant(s) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn example_3_2_gf4_three_disjoint_hcs() {
+        // B(4,2) admits 3 disjoint Hamiltonian cycles (Strategy 1).
+        let dhc = DisjointHamiltonianCycles::construct(4, 2);
+        assert_eq!(dhc.count() as u64, psi(4));
+        assert_eq!(dhc.count(), 3);
+        let g = DeBruijn::new(4, 2);
+        for c in dhc.cycles() {
+            assert!(is_hamiltonian_cycle(&g, c));
+        }
+        assert!(all_pairwise_edge_disjoint(dhc.cycles()));
+    }
+
+    #[test]
+    fn example_3_4_gf5_two_disjoint_hcs() {
+        let dhc = DisjointHamiltonianCycles::construct(5, 2);
+        assert_eq!(dhc.count() as u64, psi(5));
+        assert_eq!(dhc.count(), 2);
+        let g = DeBruijn::new(5, 2);
+        for c in dhc.cycles() {
+            assert!(is_hamiltonian_cycle(&g, c));
+        }
+        assert!(all_pairwise_edge_disjoint(dhc.cycles()));
+    }
+
+    #[test]
+    fn example_3_5_rees_product_matches_paper() {
+        // A = [0,0,1,1] (HC of B(2,2)), B = [0,0,2,2,1,2,0,1,1] (HC of B(3,2)).
+        let a = vec![0u64, 0, 1, 1];
+        let b = vec![0u64, 0, 2, 2, 1, 2, 0, 1, 1];
+        let ab = rees_product(3, &a, &b);
+        let expected = vec![
+            0u64, 0, 5, 5, 1, 2, 3, 4, 1, 0, 3, 5, 2, 1, 5, 3, 1, 1, 3, 3, 2, 2, 4, 5, 0, 1, 4,
+            3, 0, 2, 5, 4, 2, 0, 4, 4,
+        ];
+        assert_eq!(ab, expected);
+        // And it is a Hamiltonian cycle of B(6,2) (Lemma 3.6).
+        let g = DeBruijn::new(6, 2);
+        let nodes = nodes_from_symbols(WordSpace::new(6, 2), &ab);
+        assert!(is_hamiltonian_cycle(&g, &nodes));
+    }
+
+    #[test]
+    fn construction_matches_psi_and_is_disjoint() {
+        for (d, n) in [
+            (2u64, 3u32),
+            (2, 5),
+            (3, 3),
+            (4, 3),
+            (5, 2),
+            (6, 2),
+            (7, 2),
+            (8, 2),
+            (9, 2),
+            (10, 2),
+            (12, 2),
+            (13, 2),
+        ] {
+            let dhc = DisjointHamiltonianCycles::construct(d, n);
+            assert_eq!(dhc.count() as u64, psi(d), "count mismatch for d={d} n={n}");
+            let g = DeBruijn::new(d, n);
+            for c in dhc.cycles() {
+                assert!(is_hamiltonian_cycle(&g, c), "non-Hamiltonian member for d={d} n={n}");
+            }
+            assert!(
+                all_pairwise_edge_disjoint(dhc.cycles()),
+                "cycles not disjoint for d={d} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_2_includes_h0_for_13() {
+        // d = 13: ψ = 7 = (13+1)/2, so the zero translate is part of the family.
+        let field = GField::new(13);
+        let strategy = Strategy::select(13);
+        let selected = strategy.selected_translates(&field);
+        assert_eq!(selected.len() as u64, psi(13));
+        assert!(selected.contains(&0));
+    }
+
+    #[test]
+    fn strategy_3_for_5_excludes_h0() {
+        let field = GField::new(5);
+        let strategy = Strategy::select(5);
+        assert!(matches!(strategy, Strategy::OddPower { .. }));
+        let selected = strategy.selected_translates(&field);
+        assert_eq!(selected.len() as u64, psi(5));
+        assert!(!selected.contains(&0));
+        // The selected translates are the quadratic residues {1, 4}.
+        assert_eq!(selected, vec![1, 4]);
+    }
+
+    #[test]
+    fn figure_3_2_conflict_partners_for_13() {
+        // Under Strategy 2 with λ = 7, H_x conflicts with 7x, 7^9 x, 7^{-1}x, 7^{-9}x.
+        let field = GField::new(13);
+        let strategy = Strategy::OddSum { lambda: 7, a: 1, b: 9, include_zero: true };
+        let partners = strategy.conflict_partners(&field, 1);
+        let expected: Vec<u64> = {
+            let mut v = vec![
+                7 % 13,
+                mod_pow(7, 9, 13),
+                mod_pow(7, 11, 13), // 7^{-1}
+                mod_pow(7, 3, 13),  // 7^{-9}
+            ];
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for e in &expected {
+            assert!(partners.contains(e), "missing conflict partner {e}");
+        }
+        // H_0 conflicts only with H_λ and H_{-λ}.
+        let zero_partners = strategy.conflict_partners(&field, 0);
+        assert!(zero_partners.contains(&7));
+        assert!(zero_partners.contains(&(13 - 7)));
+    }
+
+    #[test]
+    fn selected_translates_never_conflict() {
+        for d in [4u64, 5, 7, 8, 9, 11, 13, 16, 17, 25] {
+            let field = GField::new(d);
+            let strategy = Strategy::select(field.characteristic());
+            let selected = strategy.selected_translates(&field);
+            assert_eq!(selected.len() as u64, psi(d), "d={d}");
+            for (i, &x) in selected.iter().enumerate() {
+                let partners = strategy.conflict_partners(&field, x);
+                for &y in &selected[i + 1..] {
+                    assert!(
+                        !partners.contains(&y),
+                        "selected translates {x} and {y} conflict for d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_cycle_selection() {
+        let dhc = DisjointHamiltonianCycles::construct(4, 2);
+        // Fail one edge of the first cycle; another cycle must survive.
+        let c0 = &dhc.cycles()[0];
+        let fault = (c0[0], c0[1]);
+        let survivor = dhc.fault_free_cycle(&[fault]).expect("psi(4)=3 > 1 fault");
+        assert!((0..survivor.len()).all(|i| {
+            (survivor[i], survivor[(i + 1) % survivor.len()]) != fault
+        }));
+        // Failing one edge from every cycle leaves nothing.
+        let all_faults: Vec<(usize, usize)> =
+            dhc.cycles().iter().map(|c| (c[0], c[1])).collect();
+        assert!(dhc.fault_free_cycle(&all_faults).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! Fault-free Hamiltonian cycles under link failures (Section 3.3).
+//!
+//! Two complementary mechanisms are combined, exactly as Proposition 3.4
+//! prescribes:
+//!
+//! * **Translate repair** (Proposition 3.3). For a prime power d, the d
+//!   edge-disjoint translates {s + C} mean that at most f of them can be
+//!   touched by f faulty links; a fault-free translate is then routed
+//!   through its missing node s^n by one of the d − 1 candidate edge pairs,
+//!   at most f of which can be spoiled. This tolerates φ(p^e) = p^e − 2
+//!   faults, which is optimal. For composite d the fault set is split
+//!   between the two coprime factors of the Rees product, giving
+//!   φ(d) = Σ p_i^{e_i} − 2k.
+//! * **Disjoint-family selection**. ψ(d) pairwise disjoint Hamiltonian
+//!   cycles exist (Section 3.2), so ψ(d) − 1 faults always leave one of
+//!   them untouched.
+//!
+//! The embedder tries both and returns whichever succeeds, so it realises
+//! the MAX{ψ(d) − 1, φ(d)} tolerance of Table 3.2.
+
+use dbg_algebra::num::{factorize, pow};
+use dbg_graph::DeBruijn;
+
+use crate::bounds::edge_fault_tolerance;
+use crate::disjoint::{rees_product, DisjointHamiltonianCycles, MaximalCycleFamily};
+use crate::seq::{nodes_from_symbols, symbols_from_nodes};
+
+/// Embeds fault-free Hamiltonian cycles in B(d,n) in the presence of faulty
+/// links.
+#[derive(Clone, Debug)]
+pub struct EdgeFaultEmbedder {
+    graph: DeBruijn,
+}
+
+impl EdgeFaultEmbedder {
+    /// Creates the embedder for B(d,n) (n ≥ 2).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        assert!(n >= 2, "edge-fault embedding requires n >= 2");
+        EdgeFaultEmbedder {
+            graph: DeBruijn::new(d, n),
+        }
+    }
+
+    /// The underlying de Bruijn graph.
+    #[must_use]
+    pub fn graph(&self) -> &DeBruijn {
+        &self.graph
+    }
+
+    /// The guaranteed tolerance MAX{ψ(d) − 1, φ(d)} (Proposition 3.4).
+    #[must_use]
+    pub fn tolerance(d: u64) -> u64 {
+        edge_fault_tolerance(d)
+    }
+
+    /// Finds a Hamiltonian cycle of B(d,n) that uses none of the faulty
+    /// directed edges. Guaranteed to succeed when the number of (non-loop,
+    /// genuine) faulty edges is at most [`EdgeFaultEmbedder::tolerance`];
+    /// beyond that it may still succeed but can return `None`.
+    #[must_use]
+    pub fn hamiltonian_avoiding(&self, faulty_edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+        let space = self.graph.space();
+        // Loop edges can never lie on a Hamiltonian cycle of ≥ 2 nodes, and
+        // non-edges cannot be used either; both are dropped.
+        let faults: Vec<(usize, usize)> = faulty_edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != v && self.graph.is_edge(u, v))
+            .collect();
+
+        // Mechanism 1: translate repair / Rees split (Proposition 3.3).
+        let fault_digits: Vec<Vec<u64>> = faults
+            .iter()
+            .map(|&(u, v)| {
+                let mut digits = space.digits(u as u64);
+                digits.push(v as u64 % space.d());
+                digits
+            })
+            .collect();
+        if let Some(symbols) = hamiltonian_symbols_avoiding(space.d(), space.n(), &fault_digits) {
+            let cycle = nodes_from_symbols(space, &symbols);
+            if cycle_avoids(&cycle, &faults) {
+                return Some(cycle);
+            }
+        }
+
+        // Mechanism 2: one of the ψ(d) disjoint Hamiltonian cycles survives.
+        let dhc = DisjointHamiltonianCycles::construct(space.d(), space.n());
+        dhc.fault_free_cycle(&faults).cloned()
+    }
+}
+
+/// Whether `cycle`, read circularly, uses none of the directed edges in `faults`.
+fn cycle_avoids(cycle: &[usize], faults: &[(usize, usize)]) -> bool {
+    use std::collections::HashSet;
+    let faults: HashSet<(usize, usize)> = faults.iter().copied().collect();
+    (0..cycle.len()).all(|i| !faults.contains(&(cycle[i], cycle[(i + 1) % cycle.len()])))
+}
+
+/// The recursive core of Proposition 3.3, operating on circular symbol
+/// sequences. `faults` are (n+1)-digit edge windows over Z_d. Returns a
+/// Hamiltonian symbol sequence of B(d,n) avoiding every fault, or `None`
+/// if this mechanism cannot produce one.
+#[must_use]
+pub fn hamiltonian_symbols_avoiding(d: u64, n: u32, faults: &[Vec<u64>]) -> Option<Vec<u64>> {
+    debug_assert!(faults.iter().all(|f| f.len() == n as usize + 1));
+    let factors = factorize(d);
+    if factors.len() == 1 {
+        return prime_power_avoiding(d, n, faults);
+    }
+
+    // Composite d: split the faults between the two coprime factors of the
+    // Rees product. A fault is avoided as soon as *either* projection is
+    // avoided by the corresponding factor cycle.
+    let (p, e) = *factors.last().expect("composite numbers have factors");
+    let t = pow(p, e);
+    let s = d / t;
+    let phi_s = crate::bounds::phi_edge_bound(s) as usize;
+    let a_share = faults.len().min(phi_s);
+    let a_faults: Vec<Vec<u64>> = faults[..a_share]
+        .iter()
+        .map(|f| f.iter().map(|&x| x / t).collect())
+        .collect();
+    let b_faults: Vec<Vec<u64>> = faults[a_share..]
+        .iter()
+        .map(|f| f.iter().map(|&x| x % t).collect())
+        .collect();
+    let a = hamiltonian_symbols_avoiding(s, n, &a_faults)?;
+    let b = hamiltonian_symbols_avoiding(t, n, &b_faults)?;
+    Some(rees_product(t, &a, &b))
+}
+
+/// Proposition 3.3 for a prime power d: pick an untouched translate s + C
+/// and an untouched replacement pair.
+fn prime_power_avoiding(d: u64, n: u32, faults: &[Vec<u64>]) -> Option<Vec<u64>> {
+    let family = MaximalCycleFamily::new(d, n);
+    let space = family.space();
+    // Decode each fault into its edge (u, v).
+    let fault_edges: Vec<(usize, usize)> = faults
+        .iter()
+        .map(|f| {
+            let u = space.from_digits(&f[..n as usize]) as usize;
+            let v = space.shift_append(u as u64, f[n as usize]) as usize;
+            (u, v)
+        })
+        .collect();
+
+    for s in 0..d {
+        // Is any fault on s + C?
+        let nodes = family.translate_nodes(s);
+        let on_translate = |&(u, v): &(usize, usize)| -> bool {
+            match family.position_in_translate(s, u) {
+                Some(pos) => nodes[(pos + 1) % nodes.len()] == v,
+                None => false,
+            }
+        };
+        if fault_edges.iter().any(on_translate) {
+            continue;
+        }
+        // Choose a replacement pair untouched by the faults.
+        for alpha in (0..d).filter(|&a| a != s) {
+            let [e1, e2] = family.replacement_edges(s, alpha);
+            if fault_edges.contains(&e1) || fault_edges.contains(&e2) {
+                continue;
+            }
+            let h = family.hamiltonian_with_alpha(s, alpha);
+            return Some(symbols_from_nodes(space, &h));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::algo::cycles::is_hamiltonian_cycle;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_non_loop_edges(d: u64, n: u32, count: usize, seed: u64) -> Vec<(usize, usize)> {
+        let g = DeBruijn::new(d, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        while out.len() < count {
+            let u = rng.gen_range(0..g.len());
+            let a = rng.gen_range(0..d);
+            let v = g.successor(u, a);
+            if u != v && !out.contains(&(u, v)) {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    fn check(d: u64, n: u32, faults: &[(usize, usize)]) {
+        let embedder = EdgeFaultEmbedder::new(d, n);
+        let cycle = embedder
+            .hamiltonian_avoiding(faults)
+            .unwrap_or_else(|| panic!("no HC found for d={d} n={n} faults={faults:?}"));
+        let g = DeBruijn::new(d, n);
+        assert!(is_hamiltonian_cycle(&g, &cycle), "d={d} n={n}");
+        assert!(cycle_avoids(&cycle, faults), "d={d} n={n}: cycle uses a faulty edge");
+    }
+
+    #[test]
+    fn proposition_3_3_prime_powers_tolerate_d_minus_2() {
+        for (d, n) in [(3u64, 3u32), (4, 2), (5, 2), (7, 2), (8, 2), (9, 2), (4, 3)] {
+            let f = (d - 2) as usize;
+            for seed in 0..5u64 {
+                let faults = random_non_loop_edges(d, n, f, seed * 31 + d);
+                check(d, n, &faults);
+            }
+        }
+    }
+
+    #[test]
+    fn composite_alphabets_tolerate_phi() {
+        for (d, n) in [(6u64, 2u32), (6, 3), (10, 2), (12, 2), (15, 2)] {
+            let f = crate::bounds::phi_edge_bound(d) as usize;
+            for seed in 0..4u64 {
+                let faults = random_non_loop_edges(d, n, f, seed * 17 + d);
+                check(d, n, &faults);
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_4_tolerance_for_28() {
+        // d = 28 is the tabulated case where ψ(d) − 1 = 8 exceeds φ(d) = 7.
+        let d = 28u64;
+        let n = 2u32;
+        assert_eq!(EdgeFaultEmbedder::tolerance(d), 8);
+        let faults = random_non_loop_edges(d, n, 8, 7);
+        check(d, n, &faults);
+    }
+
+    #[test]
+    fn binary_graph_tolerates_no_edge_faults_but_zero_fault_case_works() {
+        // φ(2) = 0 and ψ(2) − 1 = 0: only the fault-free case is guaranteed.
+        let embedder = EdgeFaultEmbedder::new(2, 4);
+        let cycle = embedder.hamiltonian_avoiding(&[]).unwrap();
+        assert!(is_hamiltonian_cycle(&DeBruijn::new(2, 4), &cycle));
+    }
+
+    #[test]
+    fn worst_case_d_minus_1_faults_around_zero_defeat_embedding() {
+        // Removing the d − 1 non-loop edges terminating at 0^n makes B(d,n)
+        // non-Hamiltonian (Section 3.3), so the embedder must return None.
+        let d = 4u64;
+        let n = 2u32;
+        let g = DeBruijn::new(d, n);
+        let zero = 0usize;
+        let faults: Vec<(usize, usize)> = g
+            .predecessors(zero)
+            .into_iter()
+            .filter(|&u| u != zero)
+            .map(|u| (u, zero))
+            .collect();
+        assert_eq!(faults.len() as u64, d - 1);
+        let embedder = EdgeFaultEmbedder::new(d, n);
+        assert!(embedder.hamiltonian_avoiding(&faults).is_none());
+    }
+
+    #[test]
+    fn loop_and_bogus_faults_are_ignored() {
+        let embedder = EdgeFaultEmbedder::new(3, 3);
+        let g = DeBruijn::new(3, 3);
+        // A loop edge, a non-edge and one real fault.
+        let zero = 0usize;
+        let real = (g.node("012").unwrap(), g.node("121").unwrap());
+        let faults = vec![(zero, zero), (1, 20), real];
+        let cycle = embedder.hamiltonian_avoiding(&faults).unwrap();
+        assert!(is_hamiltonian_cycle(&g, &cycle));
+        assert!(cycle_avoids(&cycle, &[real]));
+    }
+
+    #[test]
+    fn adversarial_faults_on_every_translate_edge_pair() {
+        // Place faults specifically on the replacement pairs of one
+        // translate to force the algorithm to pick a different α or s.
+        let d = 5u64;
+        let n = 2u32;
+        let family = MaximalCycleFamily::new(d, n);
+        let mut faults = Vec::new();
+        for alpha in 1..d.min(4) {
+            let [e1, _] = family.replacement_edges(0, alpha);
+            faults.push(e1);
+        }
+        check(d, n, &faults);
+    }
+}

@@ -1,0 +1,522 @@
+//! The fault-free cycle (FFC) algorithm for node failures (Chapter 2).
+//!
+//! Given a set of faulty processors in B(d,n), the algorithm
+//!
+//! 1. declares every necklace containing a faulty node *faulty* and removes
+//!    it, keeping the component B* of what remains that contains the root;
+//! 2. builds a spanning tree T of the necklace adjacency graph N* from the
+//!    propagation pattern of a broadcast out of the root R (each w-labeled
+//!    subtree T_w has height one because nodes wα and wβ share their
+//!    earliest predecessor);
+//! 3. turns every T_w into a directed cycle of w-edges (the modified tree
+//!    D) and reads off a successor function: node αw leaves its necklace
+//!    through the w-edge of D if its necklace has one, and otherwise
+//!    follows its own necklace.
+//!
+//! The resulting successor function traces a Hamiltonian cycle of B*
+//! (Proposition 2.1). When f ≤ d−2 processors fail the cycle has length at
+//! least d^n − n·f and the broadcast finishes within 2n rounds
+//! (Proposition 2.2); a single failure in the binary graph still leaves a
+//! cycle of length ≥ 2^n − (n+1) (Proposition 2.3).
+//!
+//! This module is the *centralized* reference implementation; the
+//! message-passing version that mirrors Section 2.4 round by round lives in
+//! the `dbg-netsim` crate and is checked against this one.
+
+use std::collections::HashMap;
+
+use dbg_graph::algo::bfs::bfs_tree;
+use dbg_graph::algo::components::strongly_connected_components;
+use dbg_graph::{DeBruijn, Topology};
+use dbg_necklace::NecklacePartition;
+
+/// The FFC embedder for a fixed B(d,n): owns the necklace partition so that
+/// repeated embeddings (e.g. the Monte-Carlo sweeps of Tables 2.1/2.2) do
+/// not recompute it.
+#[derive(Clone, Debug)]
+pub struct Ffc {
+    graph: DeBruijn,
+    partition: NecklacePartition,
+}
+
+/// The result of one FFC embedding.
+#[derive(Clone, Debug)]
+pub struct FfcOutcome {
+    /// The root processor R used for the broadcast (always the minimal node
+    /// of its necklace).
+    pub root: usize,
+    /// The fault-free cycle, as a sequence of node ids. Its length equals
+    /// the size of B*. A single-node "cycle" is only meaningful when that
+    /// node carries a self-loop (the constant words).
+    pub cycle: Vec<usize>,
+    /// |B*|: the number of nodes in the surviving component of the root.
+    pub component_size: usize,
+    /// The eccentricity of the root within B* — the number of broadcast
+    /// rounds Step 1.1 needs (the K of the O(K + n) bound).
+    pub eccentricity: usize,
+    /// Number of faulty necklaces removed.
+    pub faulty_necklaces: usize,
+    /// Total number of nodes removed with the faulty necklaces (N_F ≤ n·f).
+    pub removed_nodes: usize,
+}
+
+impl FfcOutcome {
+    /// The paper's guaranteed minimum cycle length d^n − n·f for `f` faults
+    /// (meaningful when f ≤ d−2).
+    #[must_use]
+    pub fn guarantee(d: u64, n: u32, faults: usize) -> usize {
+        let total = dbg_algebra::num::pow(d, n) as usize;
+        total.saturating_sub(n as usize * faults)
+    }
+}
+
+/// A de Bruijn graph restricted to an alive-node mask, used internally for
+/// component and BFS computations without materialising subgraphs.
+struct Masked<'a> {
+    graph: &'a DeBruijn,
+    alive: &'a [bool],
+}
+
+impl Topology for Masked<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        if !self.alive[v] {
+            return;
+        }
+        self.graph.for_each_successor(v, &mut |u| {
+            if self.alive[u] {
+                visit(u);
+            }
+        });
+    }
+}
+
+impl Ffc {
+    /// Creates the embedder for B(d,n).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        let graph = DeBruijn::new(d, n);
+        let partition = NecklacePartition::new(graph.space());
+        Ffc { graph, partition }
+    }
+
+    /// The underlying de Bruijn graph.
+    #[must_use]
+    pub fn graph(&self) -> &DeBruijn {
+        &self.graph
+    }
+
+    /// The necklace partition of the node set.
+    #[must_use]
+    pub fn partition(&self) -> &NecklacePartition {
+        &self.partition
+    }
+
+    /// The default root R = 0…01 used by the paper's simulations.
+    #[must_use]
+    pub fn default_root(&self) -> usize {
+        1
+    }
+
+    /// Embeds a fault-free cycle avoiding `faulty_nodes`, rooted at the
+    /// default root R = 0…01 (if R's necklace is faulty, the nearest
+    /// non-faulty node found by a breadth-first probe is used instead,
+    /// matching the protocol of Section 2.5.2).
+    #[must_use]
+    pub fn embed(&self, faulty_nodes: &[usize]) -> FfcOutcome {
+        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
+        let root = self.pick_root(self.default_root(), &faulty_mask);
+        self.embed_with_mask(root, &faulty_mask)
+    }
+
+    /// Embeds a fault-free cycle avoiding `faulty_nodes`, rooted at (the
+    /// necklace representative of) `root`.
+    ///
+    /// # Panics
+    /// Panics if `root`'s necklace is itself faulty.
+    #[must_use]
+    pub fn embed_from(&self, faulty_nodes: &[usize], root: usize) -> FfcOutcome {
+        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
+        assert!(
+            !faulty_mask[self.partition.id_of(root as u64)],
+            "the requested root lies on a faulty necklace"
+        );
+        self.embed_with_mask(root, &faulty_mask)
+    }
+
+    /// The boolean per-necklace fault mask induced by a set of faulty nodes.
+    #[must_use]
+    pub fn faulty_necklace_mask(&self, faulty_nodes: &[usize]) -> Vec<bool> {
+        for &v in faulty_nodes {
+            assert!(v < self.graph.len(), "faulty node id {v} out of range");
+        }
+        self.partition
+            .faulty_necklaces(faulty_nodes.iter().map(|&v| v as u64))
+    }
+
+    /// Picks a live root: `preferred` if its necklace survives, otherwise
+    /// the nearest live node found by BFS from `preferred` over the full
+    /// graph (ignoring faults while searching), otherwise the smallest live
+    /// node.
+    #[must_use]
+    pub fn pick_root(&self, preferred: usize, faulty_mask: &[bool]) -> usize {
+        let alive = |v: usize| !faulty_mask[self.partition.id_of(v as u64)];
+        if alive(preferred) {
+            return preferred;
+        }
+        let tree = bfs_tree(&self.graph, preferred);
+        if let Some(&v) = tree.order.iter().find(|&&v| alive(v)) {
+            return v;
+        }
+        (0..self.graph.len())
+            .find(|&v| alive(v))
+            .expect("every node of B(d,n) lies on a faulty necklace")
+    }
+
+    fn embed_with_mask(&self, root: usize, faulty_mask: &[bool]) -> FfcOutcome {
+        let space = self.graph.space();
+        let d = self.graph.d();
+        let suffix_count = space.msd_place();
+        let n_nodes = self.graph.len();
+
+        // Root is normalised to the minimal node of its necklace so that
+        // N(R) = [R], as Step 1.1 requires.
+        let root = space.canonical_rotation(root as u64) as usize;
+
+        // Per-node aliveness induced by the necklace fault mask.
+        let alive: Vec<bool> = (0..n_nodes)
+            .map(|v| !faulty_mask[self.partition.id_of(v as u64)])
+            .collect();
+        let faulty_necklaces = faulty_mask.iter().filter(|&&b| b).count();
+        let removed_nodes = alive.iter().filter(|&&a| !a).count();
+
+        // B*: the strongly connected component of the surviving graph that
+        // contains the root. (The paper's "component" of a digraph.)
+        let masked = Masked {
+            graph: &self.graph,
+            alive: &alive,
+        };
+        let mut in_bstar = vec![false; n_nodes];
+        let sccs = strongly_connected_components(&masked);
+        let comp = sccs
+            .iter()
+            .find(|c| c.contains(&root))
+            .expect("the root always belongs to some component");
+        for &v in comp {
+            in_bstar[v] = true;
+        }
+        // Degenerate case: a dead root component (possible only if the root
+        // itself was faulty, which pick_root prevents) — keep alive nodes only.
+        let component_size = comp.len();
+
+        // Necklaces are unions of cycles, so they are wholly inside or
+        // wholly outside B*.
+        debug_assert!((0..n_nodes).all(|v| {
+            !in_bstar[v] || {
+                let rep = self.partition.necklace_of(v as u64).representative() as usize;
+                in_bstar[rep]
+            }
+        }));
+
+        // Step 1.1: broadcast from the root over B* (synchronous BFS with
+        // minimal-predecessor tie-breaking).
+        let restricted = Masked {
+            graph: &self.graph,
+            alive: &in_bstar,
+        };
+        let tree = bfs_tree(&restricted, root);
+        let eccentricity = tree.depth();
+
+        // Step 1.2: spanning tree T of N*. For every non-root live necklace
+        // pick the node Y that received the broadcast first (ties: minimal
+        // id); the tree edge enters [Y]'s necklace from the necklace of Y's
+        // BFS parent, labeled with Y's (n−1)-digit prefix.
+        let root_necklace = self.partition.id_of(root as u64);
+        // label w -> (parent necklace, children necklaces)
+        let mut groups: HashMap<u64, (usize, Vec<usize>)> = HashMap::new();
+        for (id, neck) in self.partition.necklaces().iter().enumerate() {
+            if faulty_mask[id] || id == root_necklace {
+                continue;
+            }
+            let rep = neck.representative() as usize;
+            if !in_bstar[rep] {
+                continue;
+            }
+            let chosen = neck
+                .nodes(space)
+                .into_iter()
+                .map(|c| c as usize)
+                .min_by_key(|&v| (tree.level[v], v))
+                .expect("necklaces are non-empty");
+            debug_assert!(tree.reached(chosen), "B* node not reached by the broadcast");
+            let parent = tree.parent[chosen];
+            let parent_necklace = self.partition.id_of(parent as u64);
+            let label = chosen as u64 / d; // the (n−1)-digit prefix of Y
+            debug_assert_eq!(parent as u64 % suffix_count, label);
+            let entry = groups.entry(label).or_insert((parent_necklace, Vec::new()));
+            debug_assert_eq!(
+                entry.0, parent_necklace,
+                "T_w must have a single parent necklace (height-one property)"
+            );
+            entry.1.push(id);
+        }
+
+        // Step 2: modify each T_w into a directed cycle of w-edges (D).
+        // Members are ordered by necklace representative, which coincides
+        // with necklace id order.
+        let mut d_edges: HashMap<(usize, u64), usize> = HashMap::new();
+        for (&label, (parent, children)) in &groups {
+            let mut members = children.clone();
+            members.push(*parent);
+            members.sort_unstable();
+            members.dedup();
+            let k = members.len();
+            for i in 0..k {
+                d_edges.insert((members[i], label), members[(i + 1) % k]);
+            }
+        }
+
+        // Step 3: successor function and cycle extraction.
+        let successor = |v: usize| -> usize {
+            let w = v as u64 % suffix_count; // suffix of v = label of its exit edge
+            let my_necklace = self.partition.id_of(v as u64);
+            if let Some(&target) = d_edges.get(&(my_necklace, w)) {
+                // Leave the necklace: successor is wβ where βw lies on the
+                // target necklace.
+                for beta in 0..d {
+                    let entering = w * d + beta; // the node wβ
+                    let beta_w = beta * suffix_count + w; // the node βw (same necklace)
+                    if self.partition.id_of(beta_w) == target {
+                        debug_assert!(in_bstar[entering as usize]);
+                        return entering as usize;
+                    }
+                }
+                unreachable!("a w-edge of D always has an entry node on the target necklace");
+            }
+            // Stay on the necklace.
+            space.rotate_left(v as u64) as usize
+        };
+
+        let mut cycle = Vec::with_capacity(component_size);
+        let mut v = root;
+        loop {
+            cycle.push(v);
+            v = successor(v);
+            if v == root {
+                break;
+            }
+            debug_assert!(
+                cycle.len() <= component_size,
+                "successor walk escaped B* or looped early"
+            );
+        }
+
+        FfcOutcome {
+            root,
+            cycle,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::algo::cycles::is_cycle;
+    use dbg_graph::FaultSet;
+
+    /// Checks that an outcome's cycle is a genuine simple cycle of the
+    /// faulty graph that avoids every faulty necklace.
+    fn check_outcome(d: u64, n: u32, faulty_nodes: &[usize], out: &FfcOutcome) {
+        let ffc = Ffc::new(d, n);
+        let mask = ffc.faulty_necklace_mask(faulty_nodes);
+        // Every cycle node is live.
+        for &v in &out.cycle {
+            assert!(!mask[ffc.partition().id_of(v as u64)], "cycle visits a faulty necklace");
+        }
+        // The cycle is a simple cycle of the graph minus faulty necklaces.
+        let dead: Vec<usize> = (0..ffc.graph().len())
+            .filter(|&v| mask[ffc.partition().id_of(v as u64)])
+            .collect();
+        let faults = FaultSet::from_nodes(dead);
+        let view = faults.view(ffc.graph());
+        if out.cycle.len() > 1 {
+            assert!(is_cycle(&view, &out.cycle), "FFC output is not a cycle");
+        }
+        assert_eq!(out.cycle.len(), out.component_size, "cycle must be Hamiltonian in B*");
+    }
+
+    #[test]
+    fn no_faults_gives_hamiltonian_cycle() {
+        for (d, n) in [(2u64, 4u32), (2, 6), (3, 3), (4, 2), (5, 2)] {
+            let ffc = Ffc::new(d, n);
+            let out = ffc.embed(&[]);
+            assert_eq!(out.cycle.len(), ffc.graph().len(), "d={d} n={n}");
+            assert_eq!(out.faulty_necklaces, 0);
+            assert_eq!(out.removed_nodes, 0);
+            check_outcome(d, n, &[], &out);
+        }
+    }
+
+    #[test]
+    fn example_2_1_reproduced() {
+        // Faults at 020 and 112 in B(3,3): a 21-node fault-free cycle exists.
+        let ffc = Ffc::new(3, 3);
+        let g = ffc.graph();
+        let faults = vec![g.node("020").unwrap(), g.node("112").unwrap()];
+        let out = ffc.embed(&faults);
+        assert_eq!(out.component_size, 21);
+        assert_eq!(out.cycle.len(), 21);
+        assert_eq!(out.faulty_necklaces, 2);
+        assert_eq!(out.removed_nodes, 6);
+        check_outcome(3, 3, &faults, &out);
+    }
+
+    #[test]
+    fn proposition_2_2_guarantee_holds() {
+        // For f ≤ d−2 faults the cycle has length ≥ d^n − n·f and the
+        // broadcast depth is at most 2n.
+        for (d, n) in [(3u64, 3u32), (4, 3), (5, 2), (4, 4)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let max_f = (d - 2) as usize;
+            // Exhaustive over single faults, plus structured multi-fault sets.
+            for v in 0..total.min(80) {
+                let out = ffc.embed(&[v]);
+                assert!(
+                    out.cycle.len() >= FfcOutcome::guarantee(d, n, 1),
+                    "d={d} n={n} single fault at {v}: {} < {}",
+                    out.cycle.len(),
+                    FfcOutcome::guarantee(d, n, 1)
+                );
+                assert!(out.eccentricity <= 2 * n as usize);
+            }
+            if max_f >= 2 {
+                // The paper's worst-case fault pattern {a^{n-1}(d-1)}.
+                let space = ffc.graph().space();
+                let worst: Vec<usize> = (0..max_f as u64)
+                    .map(|a| {
+                        let mut digits = vec![a; n as usize];
+                        digits[n as usize - 1] = d - 1;
+                        space.from_digits(&digits) as usize
+                    })
+                    .collect();
+                let out = ffc.embed(&worst);
+                assert!(out.cycle.len() >= FfcOutcome::guarantee(d, n, worst.len()));
+                check_outcome(d, n, &worst, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_pattern_is_tight() {
+        // With faults {a^{n-1}(d-1) : 0 ≤ a ≤ f-1} each faulty necklace is
+        // aperiodic and distinct, so exactly n·f nodes are removed and the
+        // FFC cycle meets the optimum d^n − n·f exactly (Section 2.5).
+        let (d, n) = (5u64, 3u32);
+        let ffc = Ffc::new(d, n);
+        let space = ffc.graph().space();
+        for f in 1..=(d - 2) as usize {
+            let faults: Vec<usize> = (0..f as u64)
+                .map(|a| {
+                    let mut digits = vec![a; n as usize];
+                    digits[n as usize - 1] = d - 1;
+                    space.from_digits(&digits) as usize
+                })
+                .collect();
+            let out = ffc.embed(&faults);
+            assert_eq!(out.cycle.len(), FfcOutcome::guarantee(d, n, f), "f={f}");
+            check_outcome(d, n, &faults, &out);
+        }
+    }
+
+    #[test]
+    fn proposition_2_3_binary_single_fault() {
+        // B(2,n) with one faulty node: cycle length ≥ 2^n − (n+1).
+        for n in 4..=9u32 {
+            let ffc = Ffc::new(2, n);
+            let total = ffc.graph().len();
+            for v in (0..total).step_by(7) {
+                let out = ffc.embed(&[v]);
+                let bound = total - (n as usize + 1);
+                assert!(
+                    out.cycle.len() >= bound,
+                    "n={n} fault={v}: {} < {bound}",
+                    out.cycle.len()
+                );
+                check_outcome(2, n, &[v], &out);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_faults_on_same_necklace_cost_only_one_necklace() {
+        let ffc = Ffc::new(3, 4);
+        let g = ffc.graph();
+        // 0112 and 1120 are rotations of each other.
+        let faults = vec![g.node("0112").unwrap(), g.node("1120").unwrap()];
+        let out = ffc.embed(&faults);
+        assert_eq!(out.faulty_necklaces, 1);
+        assert_eq!(out.removed_nodes, 4);
+        assert_eq!(out.cycle.len(), 81 - 4);
+        check_outcome(3, 4, &faults, &out);
+    }
+
+    #[test]
+    fn root_is_rerouted_when_its_necklace_fails() {
+        let ffc = Ffc::new(2, 5);
+        // Fail the default root 00001 itself.
+        let out = ffc.embed(&[1]);
+        assert_ne!(out.root, 1);
+        assert!(out.cycle.len() >= 32 - 6);
+        check_outcome(2, 5, &[1], &out);
+    }
+
+    #[test]
+    fn heavy_fault_load_still_yields_valid_cycle() {
+        // Way beyond the d−2 guarantee: the algorithm still returns a valid
+        // (possibly much shorter) cycle — this is what Tables 2.1/2.2 probe.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let ffc = Ffc::new(2, 8);
+        for trial in 0..20 {
+            let f = 5 + trial % 10;
+            let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..256)).collect();
+            let out = ffc.embed(&faults);
+            check_outcome(2, 8, &faults, &out);
+        }
+    }
+
+    #[test]
+    fn embed_from_respects_requested_root() {
+        let ffc = Ffc::new(3, 3);
+        let g = ffc.graph();
+        let root = g.node("012").unwrap();
+        let out = ffc.embed_from(&[g.node("020").unwrap()], root);
+        // Root is normalised to its necklace representative — 012 already is.
+        assert_eq!(out.root, root);
+        assert!(out.cycle.contains(&root));
+    }
+
+    #[test]
+    #[should_panic(expected = "faulty necklace")]
+    fn embed_from_rejects_faulty_root() {
+        let ffc = Ffc::new(3, 3);
+        let g = ffc.graph();
+        let _ = ffc.embed_from(&[g.node("012").unwrap()], g.node("120").unwrap());
+    }
+
+    #[test]
+    fn guarantee_helper() {
+        assert_eq!(FfcOutcome::guarantee(4, 6, 2), 4096 - 12);
+        assert_eq!(FfcOutcome::guarantee(2, 10, 50), 1024 - 500);
+        assert_eq!(FfcOutcome::guarantee(2, 3, 100), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fault-tolerant ring embedding in de Bruijn networks.
+//!
+//! This crate is the primary contribution of the Rowley–Bose reproduction:
+//! given a d-ary de Bruijn network B(d,n) with failed processors or failed
+//! links, it finds the largest fault-free ring the theory guarantees.
+//!
+//! * [`ffc`] — the **fault-free cycle (FFC) algorithm** of Chapter 2:
+//!   tolerate node failures by stitching non-faulty necklaces into a single
+//!   cycle. For f ≤ d−2 failures the cycle has length at least d^n − n·f
+//!   (Proposition 2.2), and for a single failure in the binary graph at
+//!   least 2^n − (n+1) (Proposition 2.3).
+//! * [`necklace_graph`] — the necklace adjacency graph N* and its spanning
+//!   structures (Figures 2.1–2.4).
+//! * [`disjoint`] — edge-disjoint Hamiltonian cycles (Section 3.2):
+//!   maximal cycles from linear recurrences, the translate family s + C,
+//!   Strategies 1–3, the Rees product for composite alphabets, and the
+//!   bound ψ(d) of Table 3.1.
+//! * [`edge_faults`] — fault-free Hamiltonian cycles under link failures
+//!   (Section 3.3): tolerance MAX{ψ(d)−1, φ(d)} (Propositions 3.3, 3.4 and
+//!   Table 3.2).
+//! * [`modified`] — the modified graph MB(d,n) and its Hamiltonian
+//!   decomposition (Section 3.2.3, Figure 3.3).
+//! * [`butterfly`] — lifting de Bruijn cycles to butterfly networks via the
+//!   Φ map (Section 3.4, Propositions 3.5 and 3.6).
+//! * [`bounds`] — the closed-form fault-tolerance bounds ψ(d) and φ(d).
+//! * [`verify`] — validation helpers shared by tests, benches and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod butterfly;
+pub mod disjoint;
+pub mod edge_faults;
+pub mod ffc;
+pub mod modified;
+pub mod necklace_graph;
+pub mod seq;
+pub mod verify;
+
+pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
+pub use butterfly::{lift_cycle, ButterflyEmbedder};
+pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
+pub use edge_faults::EdgeFaultEmbedder;
+pub use ffc::{Ffc, FfcOutcome};
+pub use modified::ModifiedDeBruijn;
+pub use necklace_graph::NecklaceAdjacency;

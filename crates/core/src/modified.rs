@@ -1,0 +1,345 @@
+//! The modified de Bruijn graph MB(d,n) and its Hamiltonian decomposition
+//! (Section 3.2.3, Figure 3.3).
+//!
+//! B(d,n) itself can never be decomposed into Hamiltonian cycles: the d^n
+//! loop edges belong to no Hamiltonian cycle, so at most d − 1 disjoint HCs
+//! exist. The paper therefore *modifies* the graph: every translate s + C
+//! is routed through its missing node s^n by breaking one **p-edge**
+//! (the edge between the two alternating words αβαβ… and βαβα…), producing
+//! d pairwise disjoint Hamiltonian cycles whose union MB(d,n) is a
+//! d-in/d-out digraph admitting a Hamiltonian decomposition — while the
+//! undirected UMB(d,n) still contains UB(d,n).
+//!
+//! Two constructions are implemented, following the paper: odd prime power
+//! d (any n ≥ 2), and d = 2 (n ≥ 3, Example 3.6 / Figure 3.3).
+
+use dbg_algebra::words::WordSpace;
+use dbg_graph::{DiGraph, UnGraph};
+
+use crate::disjoint::MaximalCycleFamily;
+
+/// The Hamiltonian decomposition of the modified de Bruijn graph MB(d,n).
+#[derive(Clone, Debug)]
+pub struct ModifiedDeBruijn {
+    space: WordSpace,
+    cycles: Vec<Vec<usize>>,
+}
+
+/// Decomposes `digits` as an alternating word αβαβ… with α ≠ β, if it is one.
+fn alternating_pair(digits: &[u64]) -> Option<(u64, u64)> {
+    let alpha = digits[0];
+    let beta = *digits.get(1)?;
+    if alpha == beta {
+        return None;
+    }
+    for (i, &x) in digits.iter().enumerate() {
+        let expect = if i % 2 == 0 { alpha } else { beta };
+        if x != expect {
+            return None;
+        }
+    }
+    Some((alpha, beta))
+}
+
+impl ModifiedDeBruijn {
+    /// Builds the decomposition. Requires d to be 2 (with n ≥ 3) or an odd
+    /// prime power (with n ≥ 2).
+    ///
+    /// # Panics
+    /// Panics for unsupported (d, n) combinations.
+    #[must_use]
+    pub fn construct(d: u64, n: u32) -> Self {
+        let space = WordSpace::new(d, n);
+        let cycles = if d == 2 {
+            assert!(n >= 3, "the binary modification requires n >= 3 (Example 3.6 uses n = 3)");
+            Self::binary_cycles(n)
+        } else {
+            assert!(
+                dbg_algebra::num::prime_power(d).map(|(p, _)| p % 2 == 1) == Some(true),
+                "MB(d,n) is constructed for d = 2 or an odd prime power (got d = {d})"
+            );
+            assert!(n >= 2);
+            Self::odd_prime_power_cycles(d, n)
+        };
+        ModifiedDeBruijn { space, cycles }
+    }
+
+    /// The d pairwise edge-disjoint Hamiltonian cycles of MB(d,n).
+    #[must_use]
+    pub fn cycles(&self) -> &[Vec<usize>] {
+        &self.cycles
+    }
+
+    /// The word space (d, n).
+    #[must_use]
+    pub fn space(&self) -> WordSpace {
+        self.space
+    }
+
+    /// The modified digraph MB(d,n): the union of the edges of the cycles.
+    /// Every node has in-degree and out-degree d.
+    #[must_use]
+    pub fn graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.space.count() as usize);
+        for cycle in &self.cycles {
+            for i in 0..cycle.len() {
+                g.add_edge(cycle[i], cycle[(i + 1) % cycle.len()]);
+            }
+        }
+        g
+    }
+
+    /// The undirected modified graph UMB(d,n) (a multigraph: antiparallel
+    /// directed edges become a doubled undirected edge).
+    #[must_use]
+    pub fn undirected(&self) -> UnGraph {
+        let mut g = UnGraph::new(self.space.count() as usize);
+        for cycle in &self.cycles {
+            for i in 0..cycle.len() {
+                g.add_edge(cycle[i], cycle[(i + 1) % cycle.len()]);
+            }
+        }
+        g
+    }
+
+    /// The directed edges of MB(d,n) that are *not* edges of B(d,n) — the
+    /// price paid for the decomposition (2d edges for odd prime powers,
+    /// 3 for the binary case).
+    #[must_use]
+    pub fn extra_edges(&self) -> Vec<(usize, usize)> {
+        let b = dbg_graph::DeBruijn::new(self.space.d(), self.space.n());
+        let mut out = Vec::new();
+        for cycle in &self.cycles {
+            for i in 0..cycle.len() {
+                let e = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                if !b.is_edge(e.0, e.1) {
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Odd prime power construction: break the p-edge E_s of each translate
+    /// s + C and route through s^n.
+    ///
+    /// A p-edge (αβαβ…, βαβα…) works for every n ≥ 3. For n = 2 the
+    /// replacement edge (α+s)(β+s) → ss would be a *real* de Bruijn edge
+    /// whenever β = 0, colliding with another translate, so a p-edge with
+    /// both symbols nonzero is required; if the default maximal cycle does
+    /// not contain one, other primitive polynomials are tried.
+    fn odd_prime_power_cycles(d: u64, n: u32) -> Vec<Vec<usize>> {
+        let field = dbg_algebra::gf::GField::new(d);
+        let mut families: Vec<MaximalCycleFamily> = Vec::new();
+        families.push(MaximalCycleFamily::new(d, n));
+        if n == 2 {
+            // Enumerate further primitive polynomials as fallbacks.
+            let q = field.order();
+            for code in 0..q * q {
+                let coeffs = vec![code % q, code / q, 1];
+                let poly = dbg_algebra::polygf::PolyGf::new(&coeffs);
+                if poly.coeff(0) != 0 && poly.degree() == 2 && poly.is_primitive(&field) {
+                    families.push(MaximalCycleFamily::with_polynomial(field.clone(), poly));
+                }
+            }
+        }
+
+        for family in &families {
+            let space = family.space();
+            let base_nodes = family.translate_nodes(0);
+            let k = base_nodes.len();
+            // Find a usable p-edge in C: consecutive nodes (alt(α,β), alt(β,α)),
+            // with nonzero symbols when n = 2.
+            let p_edge_pos = (0..k).find(|&i| {
+                let u = space.digits(base_nodes[i] as u64);
+                let v = space.digits(base_nodes[(i + 1) % k] as u64);
+                match (alternating_pair(&u), alternating_pair(&v)) {
+                    (Some((a, b)), Some((c, e))) => {
+                        c == b && e == a && (n >= 3 || (a != 0 && b != 0))
+                    }
+                    _ => false,
+                }
+            });
+            let Some(p_edge_pos) = p_edge_pos else {
+                continue;
+            };
+
+            return (0..d)
+                .map(|s| {
+                    let nodes = family.translate_nodes(s);
+                    let sn = space.constant(s) as usize;
+                    // E_s sits at the same position as E in C; splice s^n there.
+                    let mut h = Vec::with_capacity(k + 1);
+                    h.push(nodes[p_edge_pos]);
+                    h.push(sn);
+                    for i in 1..k {
+                        h.push(nodes[(p_edge_pos + i) % k]);
+                    }
+                    h
+                })
+                .collect();
+        }
+        unreachable!("some maximal cycle of B({d},{n}) contains a usable p-edge")
+    }
+
+    /// Binary construction (Example 3.6): extend C through 0^n, then reroute
+    /// 1 + C around 0^n and through both 0^n and 1^n via its p-edge.
+    fn binary_cycles(n: u32) -> Vec<Vec<usize>> {
+        let family = MaximalCycleFamily::new(2, n);
+        let space = family.space();
+        let zero = space.constant(0) as usize;
+        let one = space.constant(1) as usize;
+
+        // C' = C with 0^n inserted between 10^{n-1} and 0^{n-1}1.
+        let c_nodes = family.translate_nodes(0);
+        let exit = space.from_digits(
+            &std::iter::once(1)
+                .chain(std::iter::repeat(0).take(n as usize - 1))
+                .collect::<Vec<_>>(),
+        ) as usize;
+        let pos = family
+            .position_in_translate(0, exit)
+            .expect("10^{n-1} lies on C");
+        let k = c_nodes.len();
+        let mut c_prime = Vec::with_capacity(k + 1);
+        c_prime.push(c_nodes[pos]);
+        c_prime.push(zero);
+        for i in 1..k {
+            c_prime.push(c_nodes[(pos + i) % k]);
+        }
+
+        // 1 + C with 0^n removed (bypass), then its p-edge rerouted through
+        // 0^n and 1^n.
+        let t_nodes = family.translate_nodes(1);
+        let reduced: Vec<usize> = t_nodes.iter().copied().filter(|&v| v != zero).collect();
+        // Find the directed p-edge inside the reduced cycle.
+        let m = reduced.len();
+        let p_pos = (0..m)
+            .find(|&i| {
+                let u = space.digits(reduced[i] as u64);
+                let v = space.digits(reduced[(i + 1) % m] as u64);
+                match (alternating_pair(&u), alternating_pair(&v)) {
+                    (Some((a, b)), Some((c, e))) => c == b && e == a,
+                    _ => false,
+                }
+            })
+            .expect("1 + C contains one directed p-edge");
+        let mut second = Vec::with_capacity(m + 2);
+        second.push(reduced[p_pos]);
+        second.push(zero);
+        second.push(one);
+        for i in 1..m {
+            second.push(reduced[(p_pos + i) % m]);
+        }
+
+        vec![c_prime, second]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::algo::cycles::all_pairwise_edge_disjoint;
+    use dbg_graph::DeBruijn;
+
+    fn check_decomposition(d: u64, n: u32) {
+        let m = ModifiedDeBruijn::construct(d, n);
+        let total = m.space().count() as usize;
+        assert_eq!(m.cycles().len() as u64, d, "d={d} n={n}: expected d cycles");
+        for c in m.cycles() {
+            assert_eq!(c.len(), total, "d={d} n={n}: each cycle must be Hamiltonian");
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), total, "d={d} n={n}: repeated node in a cycle");
+        }
+        assert!(all_pairwise_edge_disjoint(m.cycles()), "d={d} n={n}: cycles share an edge");
+        // MB(d,n) is d-regular in and out.
+        let g = m.graph();
+        for v in 0..total {
+            assert_eq!(g.out_neighbors(v).len() as u64, d, "d={d} n={n} v={v}");
+            assert_eq!(g.in_degree(v) as u64, d, "d={d} n={n} v={v}");
+        }
+        // UMB(d,n) contains UB(d,n).
+        let umb = m.undirected();
+        let ub = DeBruijn::new(d, n).to_undirected();
+        for (a, b) in ub.edges() {
+            assert!(umb.has_edge(a, b), "d={d} n={n}: UB edge {a}-{b} missing from UMB");
+        }
+    }
+
+    #[test]
+    fn binary_decomposition_example_3_6() {
+        check_decomposition(2, 3);
+        let m = ModifiedDeBruijn::construct(2, 3);
+        // Exactly three directed edges are new (Figure 3.3): they involve
+        // 000 and 111 in ways B(2,3) does not provide.
+        let extra = m.extra_edges();
+        assert_eq!(extra.len(), 3);
+        let space = m.space();
+        for (u, v) in extra {
+            let constants = [space.constant(0) as usize, space.constant(1) as usize];
+            assert!(
+                constants.contains(&u) || constants.contains(&v),
+                "extra edges touch 0^n or 1^n"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_decomposition_larger_n() {
+        check_decomposition(2, 4);
+        check_decomposition(2, 5);
+        check_decomposition(2, 6);
+    }
+
+    #[test]
+    fn odd_prime_power_decompositions() {
+        check_decomposition(3, 3);
+        check_decomposition(3, 4);
+        check_decomposition(5, 2);
+        check_decomposition(5, 3);
+        check_decomposition(7, 2);
+        check_decomposition(9, 2);
+    }
+
+    #[test]
+    fn odd_prime_power_extra_edge_count_is_2d() {
+        for (d, n) in [(3u64, 3u32), (5, 2), (7, 2)] {
+            let m = ModifiedDeBruijn::construct(d, n);
+            assert_eq!(m.extra_edges().len() as u64, 2 * d, "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn at_most_one_direction_of_each_p_edge_is_dropped() {
+        // UMB keeps every undirected p-edge because only one orientation is
+        // ever replaced (the argument at the end of Section 3.2.3).
+        let m = ModifiedDeBruijn::construct(5, 2);
+        let space = m.space();
+        let umb = m.undirected();
+        for alpha in 0..5u64 {
+            for beta in 0..5u64 {
+                if alpha == beta {
+                    continue;
+                }
+                let u = space.alternating(alpha, beta) as usize;
+                let v = space.alternating(beta, alpha) as usize;
+                assert!(umb.has_edge(u, v), "p-edge {alpha}{beta} lost from UMB");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd prime power")]
+    fn composite_alphabets_are_rejected() {
+        let _ = ModifiedDeBruijn::construct(6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn binary_n2_is_rejected() {
+        let _ = ModifiedDeBruijn::construct(2, 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Circular sequences vs node cycles (Section 3.1).
+//!
+//! Chapter 3 moves freely between two representations of a closed walk of
+//! B(d,n):
+//!
+//! * a **circular symbol sequence** `[c_0, c_1, …, c_{k−1}]` over Z_d, where
+//!   the i-th node of the walk is the window `c_i c_{i+1} … c_{i+n−1}`; and
+//! * the explicit **node sequence** of those windows.
+//!
+//! The sequence form is what linear recurrences and the Rees product
+//! produce; the node form is what the graph layer verifies and what rings
+//! are ultimately used as. This module converts between them.
+
+use dbg_algebra::words::WordSpace;
+
+/// Converts a circular symbol sequence into the node cycle it denotes in
+/// B(d,n): node i is the window of length n starting at position i.
+/// The sequence length must be at least 1; the result has the same length.
+#[must_use]
+pub fn nodes_from_symbols(space: WordSpace, symbols: &[u64]) -> Vec<usize> {
+    let k = symbols.len();
+    assert!(k >= 1, "empty symbol sequence");
+    let n = space.n() as usize;
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let window: Vec<u64> = (0..n).map(|j| symbols[(i + j) % k]).collect();
+        out.push(space.from_digits(&window) as usize);
+    }
+    out
+}
+
+/// Converts a node cycle back into its circular symbol sequence: symbol i is
+/// the leading digit of node i. (Inverse of [`nodes_from_symbols`] whenever
+/// the node sequence really is a walk of B(d,n).)
+#[must_use]
+pub fn symbols_from_nodes(space: WordSpace, nodes: &[usize]) -> Vec<u64> {
+    nodes.iter().map(|&v| space.digit(v as u64, 1)).collect()
+}
+
+/// Whether a circular symbol sequence denotes a *cycle* (all windows
+/// distinct), per the criterion of Section 3.1.
+#[must_use]
+pub fn is_cycle_sequence(space: WordSpace, symbols: &[u64]) -> bool {
+    let nodes = nodes_from_symbols(space, symbols);
+    let mut sorted = nodes.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len() == nodes.len()
+}
+
+/// The (n+1)-symbol windows of a circular sequence: these are the *edges*
+/// of the walk (Section 3.1: "(n+1)-tuples correspond to edges"). Each edge
+/// is encoded as a base-d integer with n+1 digits.
+#[must_use]
+pub fn edge_codes(space: WordSpace, symbols: &[u64]) -> Vec<u64> {
+    let k = symbols.len();
+    let n = space.n() as usize;
+    let d = space.d();
+    (0..k)
+        .map(|i| {
+            let mut code = 0u64;
+            for j in 0..=n {
+                code = code * d + symbols[(i + j) % k];
+            }
+            code
+        })
+        .collect()
+}
+
+/// The edge code of the de Bruijn edge `u → v` (u's digits followed by v's
+/// last digit), matching the encoding of [`edge_codes`].
+#[must_use]
+pub fn edge_code_of(space: WordSpace, u: usize, v: usize) -> u64 {
+    u as u64 * space.d() + (v as u64 % space.d())
+}
+
+/// Adds the field/ring element `s` to every symbol of a sequence using the
+/// provided addition — the translate `s + C` of Lemma 3.1.
+#[must_use]
+pub fn translate<F: Fn(u64, u64) -> u64>(symbols: &[u64], s: u64, add: F) -> Vec<u64> {
+    symbols.iter().map(|&c| add(s, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_sequence_from_section_3_1() {
+        // [0,1,2,1,2] denotes the 5-cycle (012, 121, 212, 120, 201) in B(3,3).
+        let space = WordSpace::new(3, 3);
+        let nodes = nodes_from_symbols(space, &[0, 1, 2, 1, 2]);
+        let labels: Vec<String> = nodes.iter().map(|&v| space.format(v as u64)).collect();
+        assert_eq!(labels, vec!["012", "121", "212", "120", "201"]);
+        assert!(is_cycle_sequence(space, &[0, 1, 2, 1, 2]));
+        assert_eq!(symbols_from_nodes(space, &nodes), vec![0, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn repeated_window_is_not_a_cycle() {
+        let space = WordSpace::new(2, 2);
+        // 0,1,0,1 has windows 01,10,01,10 — a closed walk but not a cycle.
+        assert!(!is_cycle_sequence(space, &[0, 1, 0, 1]));
+        assert!(is_cycle_sequence(space, &[0, 1]));
+    }
+
+    #[test]
+    fn edges_are_n_plus_1_windows() {
+        let space = WordSpace::new(2, 2);
+        let symbols = [0u64, 0, 1, 1];
+        let edges = edge_codes(space, &symbols);
+        // Windows of length 3: 001, 011, 110, 100 → codes 1, 3, 6, 4.
+        assert_eq!(edges, vec![1, 3, 6, 4]);
+        let nodes = nodes_from_symbols(space, &symbols);
+        for (i, &e) in edges.iter().enumerate() {
+            let u = nodes[i];
+            let v = nodes[(i + 1) % nodes.len()];
+            assert_eq!(edge_code_of(space, u, v), e);
+        }
+    }
+
+    #[test]
+    fn translate_adds_elementwise() {
+        let doubled = translate(&[0, 1, 2], 1, |a, b| (a + b) % 3);
+        assert_eq!(doubled, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn node_symbol_roundtrip_on_hamiltonian_cycle() {
+        // A de Bruijn sequence of order 3: 00010111.
+        let space = WordSpace::new(2, 3);
+        let symbols = [0u64, 0, 0, 1, 0, 1, 1, 1];
+        assert!(is_cycle_sequence(space, &symbols));
+        let nodes = nodes_from_symbols(space, &symbols);
+        assert_eq!(nodes.len(), 8);
+        assert_eq!(symbols_from_nodes(space, &nodes), symbols.to_vec());
+    }
+}

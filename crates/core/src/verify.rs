@@ -1,0 +1,80 @@
+//! Validation helpers shared by tests, benchmarks and examples.
+//!
+//! A ring embedding with unit dilation and congestion is simply a simple
+//! cycle of the (faulty) host graph, so "did the algorithm work?" always
+//! reduces to a handful of checks collected here.
+
+use std::collections::HashSet;
+
+use dbg_graph::algo::cycles::{all_pairwise_edge_disjoint, is_cycle};
+use dbg_graph::{DeBruijn, Topology};
+
+/// Whether `cycle` is a simple cycle of B(d,n).
+#[must_use]
+pub fn is_debruijn_ring(d: u64, n: u32, cycle: &[usize]) -> bool {
+    let g = DeBruijn::new(d, n);
+    is_cycle(&g, cycle)
+}
+
+/// Whether `cycle` is a Hamiltonian cycle of B(d,n).
+#[must_use]
+pub fn is_debruijn_hamiltonian(d: u64, n: u32, cycle: &[usize]) -> bool {
+    let g = DeBruijn::new(d, n);
+    cycle.len() == g.len() && is_cycle(&g, cycle)
+}
+
+/// Whether the ring avoids every node in `faulty_nodes`.
+#[must_use]
+pub fn ring_avoids_nodes(cycle: &[usize], faulty_nodes: &[usize]) -> bool {
+    let faults: HashSet<usize> = faulty_nodes.iter().copied().collect();
+    cycle.iter().all(|v| !faults.contains(v))
+}
+
+/// Whether the ring uses none of the directed edges in `faulty_edges`.
+#[must_use]
+pub fn ring_avoids_edges(cycle: &[usize], faulty_edges: &[(usize, usize)]) -> bool {
+    let faults: HashSet<(usize, usize)> = faulty_edges.iter().copied().collect();
+    (0..cycle.len()).all(|i| !faults.contains(&(cycle[i], cycle[(i + 1) % cycle.len()])))
+}
+
+/// Whether every pair of cycles in the family is edge-disjoint.
+#[must_use]
+pub fn family_is_edge_disjoint(cycles: &[Vec<usize>]) -> bool {
+    all_pairwise_edge_disjoint(cycles)
+}
+
+/// Whether `cycle` is a simple cycle of an arbitrary topology — re-exported
+/// for callers that work with butterflies or hypercubes.
+#[must_use]
+pub fn is_ring_of<T: Topology + ?Sized>(graph: &T, cycle: &[usize]) -> bool {
+    is_cycle(graph, cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debruijn_ring_checks() {
+        // 000 → 001 → 010 → 100 → 000 is a 4-cycle of B(2,3).
+        let g = DeBruijn::new(2, 3);
+        let cycle = vec![
+            g.node("000").unwrap(),
+            g.node("001").unwrap(),
+            g.node("010").unwrap(),
+            g.node("100").unwrap(),
+        ];
+        assert!(is_debruijn_ring(2, 3, &cycle));
+        assert!(!is_debruijn_hamiltonian(2, 3, &cycle));
+        assert!(ring_avoids_nodes(&cycle, &[g.node("111").unwrap()]));
+        assert!(!ring_avoids_nodes(&cycle, &[g.node("010").unwrap()]));
+        assert!(ring_avoids_edges(&cycle, &[(g.node("001").unwrap(), g.node("011").unwrap())]));
+        assert!(!ring_avoids_edges(&cycle, &[(g.node("000").unwrap(), g.node("001").unwrap())]));
+    }
+
+    #[test]
+    fn family_disjointness_wrapper() {
+        assert!(family_is_edge_disjoint(&[vec![0, 1, 2], vec![0, 2, 1]]));
+        assert!(!family_is_edge_disjoint(&[vec![0, 1, 2], vec![1, 2, 0]]));
+    }
+}

@@ -1,0 +1,150 @@
+//! Breadth-first search, distances, eccentricity and BFS spanning trees.
+//!
+//! The network-level FFC algorithm (Section 2.4) builds its spanning tree
+//! T′ from the propagation pattern of a broadcast: a node's parent is the
+//! predecessor from which it *first* received the message, ties broken by
+//! the minimal predecessor. A synchronous BFS that scans nodes in
+//! increasing id order per level reproduces exactly that rule, so
+//! [`bfs_tree`] is both a generic utility and the centralized model of the
+//! broadcast phase. The number of rounds equals the eccentricity of the
+//! root — the quantity tabulated in Tables 2.1 and 2.2.
+
+use crate::topology::Topology;
+
+/// The result of a BFS from a root: parents and levels of reached nodes.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The BFS root.
+    pub root: usize,
+    /// `parent[v]` is the BFS parent of `v`, or `usize::MAX` if `v` is the
+    /// root or unreached.
+    pub parent: Vec<usize>,
+    /// `level[v]` is the distance from the root, or `usize::MAX` if unreached.
+    pub level: Vec<usize>,
+    /// Nodes in the order they were discovered (level by level, increasing
+    /// id within a level).
+    pub order: Vec<usize>,
+}
+
+impl BfsTree {
+    /// Whether `v` was reached from the root.
+    #[must_use]
+    pub fn reached(&self, v: usize) -> bool {
+        self.level[v] != usize::MAX
+    }
+
+    /// The number of reached nodes (including the root).
+    #[must_use]
+    pub fn reached_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The largest level reached — the eccentricity of the root within its
+    /// component, and the number of broadcast rounds in the FFC protocol.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.order.iter().map(|&v| self.level[v]).max().unwrap_or(0)
+    }
+}
+
+/// BFS from `root` over `graph`, breaking parent ties by the *minimal
+/// predecessor* exactly as the paper's broadcast does. Nodes with no path
+/// from `root` get level `usize::MAX`.
+#[must_use]
+pub fn bfs_tree<T: Topology + ?Sized>(graph: &T, root: usize) -> BfsTree {
+    let n = graph.node_count();
+    let mut parent = vec![usize::MAX; n];
+    let mut level = vec![usize::MAX; n];
+    let mut order = Vec::new();
+    level[root] = 0;
+    order.push(root);
+    let mut frontier = vec![root];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        // Collect candidate parents per newly-reached node; the minimal
+        // predecessor that reaches it on this round wins.
+        let mut next: Vec<usize> = Vec::new();
+        // Frontier is scanned in increasing node id so the first assignment
+        // of a parent is already the minimal one.
+        let mut sorted = frontier.clone();
+        sorted.sort_unstable();
+        for &v in &sorted {
+            graph.for_each_successor(v, &mut |u| {
+                if level[u] == usize::MAX {
+                    level[u] = depth;
+                    parent[u] = v;
+                    next.push(u);
+                } else if level[u] == depth && parent[u] > v {
+                    parent[u] = v;
+                }
+            });
+        }
+        next.sort_unstable();
+        next.dedup();
+        order.extend(next.iter().copied());
+        frontier = next;
+    }
+    BfsTree { root, parent, level, order }
+}
+
+/// Shortest-path distances from `root`; unreachable nodes get `usize::MAX`.
+#[must_use]
+pub fn bfs_distances<T: Topology + ?Sized>(graph: &T, root: usize) -> Vec<usize> {
+    bfs_tree(graph, root).level
+}
+
+/// The eccentricity of `root` *within its reachable set*: the greatest
+/// distance from `root` to any node it can reach.
+#[must_use]
+pub fn eccentricity<T: Topology + ?Sized>(graph: &T, root: usize) -> usize {
+    bfs_tree(graph, root).depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+    use crate::digraph::DiGraph;
+
+    #[test]
+    fn path_graph_distances() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.level, vec![0, 1, 2, 3]);
+        assert_eq!(t.parent[3], 2);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.reached_count(), 4);
+        assert_eq!(eccentricity(&g, 0), 3);
+        // Unreachable direction.
+        let back = bfs_distances(&g, 3);
+        assert_eq!(back[0], usize::MAX);
+    }
+
+    #[test]
+    fn parent_tie_break_is_minimal_predecessor() {
+        // Both 0 and 1 reach 3 at distance 1 from a virtual root 2.
+        let g = DiGraph::from_edges(4, &[(2, 0), (2, 1), (0, 3), (1, 3)]);
+        let t = bfs_tree(&g, 2);
+        assert_eq!(t.level[3], 2);
+        assert_eq!(t.parent[3], 0, "minimal predecessor wins the tie");
+    }
+
+    #[test]
+    fn debruijn_diameter_is_n() {
+        // diam(B(d,n)) = n.
+        for (d, n) in [(2u64, 4u32), (3, 3), (4, 2)] {
+            let g = DeBruijn::new(d, n);
+            let ecc = eccentricity(&g, 0);
+            assert_eq!(ecc, n as usize, "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn reached_flags() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]);
+        let t = bfs_tree(&g, 0);
+        assert!(t.reached(1));
+        assert!(!t.reached(2));
+    }
+}

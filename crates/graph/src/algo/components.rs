@@ -1,0 +1,237 @@
+//! Connected components (weak and strong).
+//!
+//! The faulty de Bruijn graph B* of Chapter 2 is "the largest component in
+//! the graph obtained by removing the faulty necklaces". For the sizes of
+//! fault set the paper analyses (f ≤ d−2) the graph stays strongly
+//! connected (Proposition 2.2), but the Monte-Carlo sweeps of Tables 2.1
+//! and 2.2 push the fault count far beyond the bound, so a real component
+//! search is needed. Strong connectivity (Tarjan) is what matters for a
+//! digraph-embedded ring; weak connectivity is also provided for
+//! diagnostics.
+
+use crate::topology::Topology;
+
+/// Labels each node with a weak-component id (edges treated as undirected);
+/// returns `(labels, component_count)`.
+#[must_use]
+pub fn weak_components<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    // Build an undirected adjacency once; successor-only traversal cannot
+    // walk backwards over directed edges.
+    let mut undirected: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        graph.for_each_successor(v, &mut |u| {
+            undirected[v].push(u as u32);
+            undirected[u].push(v as u32);
+        });
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = count;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &u in &undirected[v] {
+                let u = u as usize;
+                if label[u] == usize::MAX {
+                    label[u] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// Whether the graph is weakly connected.
+#[must_use]
+pub fn weakly_connected<T: Topology + ?Sized>(graph: &T) -> bool {
+    weak_components(graph).1 <= 1
+}
+
+/// Strongly connected components via an iterative Tarjan algorithm.
+/// Returns one vector of node ids per component, in reverse topological
+/// order of the condensation.
+#[must_use]
+pub fn strongly_connected_components<T: Topology + ?Sized>(graph: &T) -> Vec<Vec<usize>> {
+    let n = graph.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS frames: (node, successor list, next child position).
+    struct Frame {
+        v: usize,
+        succ: Vec<usize>,
+        child: usize,
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            v: start,
+            succ: graph.successors(start),
+            child: 0,
+        }];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            if frame.child < frame.succ.len() {
+                let w = frame.succ[frame.child];
+                frame.child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame {
+                        v: w,
+                        succ: graph.successors(w),
+                        child: 0,
+                    });
+                } else if on_stack[w] {
+                    let v = frame.v;
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                let v = frame.v;
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.v;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The nodes of the largest weak component among nodes satisfying `alive`
+/// (nodes failing the predicate are ignored entirely). Used to extract B*
+/// from the faulty de Bruijn graph: pass the necklace-fault predicate.
+#[must_use]
+pub fn largest_weak_component<T, F>(graph: &T, alive: F) -> Vec<usize>
+where
+    T: Topology + ?Sized,
+    F: Fn(usize) -> bool,
+{
+    let n = graph.node_count();
+    let mut undirected: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if !alive(v) {
+            continue;
+        }
+        graph.for_each_successor(v, &mut |u| {
+            if alive(u) {
+                undirected[v].push(u as u32);
+                undirected[u].push(v as u32);
+            }
+        });
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut best: Vec<usize> = Vec::new();
+    let mut count = 0usize;
+    for start in 0..n {
+        if !alive(start) || label[start] != usize::MAX {
+            continue;
+        }
+        let mut comp = vec![start];
+        label[start] = count;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &u in &undirected[v] {
+                let u = u as usize;
+                if label[u] == usize::MAX {
+                    label[u] = count;
+                    comp.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        if comp.len() > best.len() {
+            best = comp;
+        }
+        count += 1;
+    }
+    best.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+    use crate::digraph::DiGraph;
+
+    #[test]
+    fn weak_components_of_disjoint_cycles() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let (labels, count) = weak_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!weakly_connected(&g));
+    }
+
+    #[test]
+    fn scc_of_two_cycles_joined_one_way() {
+        // 0→1→2→0 and 3→4→3, with a one-way bridge 2→3.
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
+        let mut sccs = strongly_connected_components(&g);
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn debruijn_is_strongly_connected() {
+        for (d, n) in [(2u64, 4u32), (3, 3)] {
+            let g = DeBruijn::new(d, n);
+            let sccs = strongly_connected_components(&g);
+            assert_eq!(sccs.len(), 1, "B({d},{n}) should be strongly connected");
+            assert!(weakly_connected(&g));
+        }
+    }
+
+    #[test]
+    fn largest_component_respects_alive_mask() {
+        // A 4-cycle and a 3-cycle; kill two opposite nodes of the 4-cycle so
+        // the 3-cycle becomes the largest surviving component.
+        let g = DiGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 4)],
+        );
+        let comp = largest_weak_component(&g, |v| v != 1 && v != 3);
+        assert_eq!(comp, vec![4, 5, 6]);
+        let all = largest_weak_component(&g, |_| true);
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+}

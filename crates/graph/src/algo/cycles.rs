@@ -1,0 +1,187 @@
+//! Cycle validation and small-instance exact longest-cycle search.
+//!
+//! Every embedding this workspace produces is ultimately *checked* by the
+//! routines here: a ring embedding with unit dilation is nothing more than
+//! a simple cycle of the (faulty) graph, so [`is_cycle`] is the ground
+//! truth the property tests lean on. [`longest_cycle_brute_force`] gives
+//! exact optima on tiny instances, which is how the worst-case optimality
+//! claims (Section 2.5) and the naive-baseline ablation are validated.
+
+use std::collections::HashSet;
+
+use crate::topology::Topology;
+
+/// Whether `nodes`, read circularly, is a simple cycle of `graph`
+/// (all nodes distinct, every consecutive pair an edge, length ≥ 1;
+/// a single node counts only if it has a self-loop).
+#[must_use]
+pub fn is_cycle<T: Topology + ?Sized>(graph: &T, nodes: &[usize]) -> bool {
+    if nodes.is_empty() {
+        return false;
+    }
+    let mut seen = HashSet::with_capacity(nodes.len());
+    for &v in nodes {
+        if v >= graph.node_count() || !seen.insert(v) {
+            return false;
+        }
+    }
+    for i in 0..nodes.len() {
+        let u = nodes[i];
+        let v = nodes[(i + 1) % nodes.len()];
+        if !graph.has_edge(u, v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `nodes` is a Hamiltonian cycle of `graph`.
+#[must_use]
+pub fn is_hamiltonian_cycle<T: Topology + ?Sized>(graph: &T, nodes: &[usize]) -> bool {
+    nodes.len() == graph.node_count() && is_cycle(graph, nodes)
+}
+
+/// The directed edge list of a cycle (consecutive pairs, wrapping around).
+#[must_use]
+pub fn cycle_edges(nodes: &[usize]) -> Vec<(usize, usize)> {
+    (0..nodes.len())
+        .map(|i| (nodes[i], nodes[(i + 1) % nodes.len()]))
+        .collect()
+}
+
+/// Whether two cycles are edge-disjoint (share no directed edge).
+#[must_use]
+pub fn cycles_edge_disjoint(a: &[usize], b: &[usize]) -> bool {
+    let ea: HashSet<(usize, usize)> = cycle_edges(a).into_iter().collect();
+    cycle_edges(b).iter().all(|e| !ea.contains(e))
+}
+
+/// Whether every pair of the given cycles is edge-disjoint.
+#[must_use]
+pub fn all_pairwise_edge_disjoint(cycles: &[Vec<usize>]) -> bool {
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for c in cycles {
+        for e in cycle_edges(c) {
+            if !seen.insert(e) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exact longest simple cycle by exhaustive DFS. Exponential — intended for
+/// graphs of at most ~20 nodes (worst-case optimality checks and the naive
+/// baseline on toy instances). Returns an empty vector if the graph is
+/// acyclic.
+#[must_use]
+pub fn longest_cycle_brute_force<T: Topology + ?Sized>(graph: &T, node_limit: usize) -> Vec<usize> {
+    let n = graph.node_count();
+    assert!(
+        n <= node_limit,
+        "longest_cycle_brute_force is exponential; refusing {n} nodes (limit {node_limit})"
+    );
+    let mut best: Vec<usize> = Vec::new();
+    let mut path: Vec<usize> = Vec::new();
+    let mut on_path = vec![false; n];
+
+    // A simple cycle's minimal node can be taken as the start, so only
+    // search paths whose nodes all exceed the start node.
+    fn dfs<T: Topology + ?Sized>(
+        graph: &T,
+        start: usize,
+        v: usize,
+        path: &mut Vec<usize>,
+        on_path: &mut Vec<bool>,
+        best: &mut Vec<usize>,
+    ) {
+        for u in graph.successors(v) {
+            if u == start && path.len() > best.len() {
+                *best = path.clone();
+            }
+            if u > start && !on_path[u] {
+                path.push(u);
+                on_path[u] = true;
+                dfs(graph, start, u, path, on_path, best);
+                on_path[u] = false;
+                path.pop();
+            }
+        }
+    }
+
+    for start in 0..n {
+        path.push(start);
+        on_path[start] = true;
+        dfs(graph, start, start, &mut path, &mut on_path, &mut best);
+        on_path[start] = false;
+        path.pop();
+        if best.len() == n {
+            break; // Hamiltonian — cannot do better.
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+    use crate::digraph::DiGraph;
+
+    #[test]
+    fn cycle_validation() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 0)]);
+        assert!(is_cycle(&g, &[0, 1, 2, 3]));
+        assert!(is_hamiltonian_cycle(&g, &[0, 1, 2, 3]));
+        assert!(is_cycle(&g, &[0])); // self-loop
+        assert!(!is_cycle(&g, &[1]));
+        assert!(!is_cycle(&g, &[0, 1, 2])); // 2→0 missing
+        assert!(!is_cycle(&g, &[0, 1, 1, 2])); // repeated node
+        assert!(!is_cycle(&g, &[]));
+    }
+
+    #[test]
+    fn edge_utilities() {
+        assert_eq!(cycle_edges(&[3, 1, 2]), vec![(3, 1), (1, 2), (2, 3)]);
+        assert!(cycles_edge_disjoint(&[0, 1, 2], &[0, 2, 1]));
+        assert!(!cycles_edge_disjoint(&[0, 1, 2], &[1, 2, 0]));
+        assert!(all_pairwise_edge_disjoint(&[vec![0, 1, 2], vec![0, 2, 1]]));
+        assert!(!all_pairwise_edge_disjoint(&[vec![0, 1, 2], vec![1, 2, 0]]));
+    }
+
+    #[test]
+    fn brute_force_finds_hamiltonian_in_b23() {
+        let g = DeBruijn::new(2, 3);
+        let cycle = longest_cycle_brute_force(&g, 16);
+        assert_eq!(cycle.len(), 8, "B(2,3) is Hamiltonian");
+        assert!(is_hamiltonian_cycle(&g, &cycle));
+    }
+
+    #[test]
+    fn brute_force_on_dag_returns_empty() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(longest_cycle_brute_force(&g, 16).is_empty());
+    }
+
+    #[test]
+    fn brute_force_respects_faulty_view() {
+        use crate::faults::FaultSet;
+        let g = DeBruijn::new(2, 3);
+        // Kill node 010. The longest fault-free cycle is
+        // 000→001→011→111→110→100→000 with 6 nodes (any cycle through 101
+        // is forced onto the 4-cycle 110→101→011→111→110 or shorter).
+        let faults = FaultSet::from_nodes([g.node("010").unwrap()]);
+        let view = faults.view(&g);
+        let cycle = longest_cycle_brute_force(&view, 16);
+        assert!(is_cycle(&view, &cycle));
+        assert!(!cycle.contains(&g.node("010").unwrap()));
+        assert_eq!(cycle.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn brute_force_refuses_large_graphs() {
+        let g = DeBruijn::new(2, 6);
+        let _ = longest_cycle_brute_force(&g, 20);
+    }
+}

@@ -1,0 +1,150 @@
+//! Eulerian circuits in directed multigraphs (Hierholzer's algorithm).
+//!
+//! Two places in the paper lean on Euler circuits:
+//!
+//! * the FFC correctness proof shows that the path J traced through the
+//!   modified necklace tree D is an Eulerian circuit of D (Lemma 2.2), and
+//! * the worst-case optimality argument of Section 2.5 removes a circuit
+//!   from B(d,n−1) and partitions what is left into Eulerian components.
+//!
+//! The classical fact used there — a digraph has an Eulerian circuit iff it
+//! is connected (ignoring isolated nodes) and balanced — is implemented
+//! here and exercised by the tests.
+
+use crate::digraph::DiGraph;
+
+/// Whether the digraph has an Eulerian circuit: every node balanced and all
+/// edges in a single weakly connected component.
+#[must_use]
+pub fn is_eulerian(graph: &DiGraph) -> bool {
+    if !graph.is_balanced() {
+        return false;
+    }
+    // All nodes with degree > 0 must be weakly connected.
+    let n = graph.len();
+    let start = (0..n).find(|&v| graph.out_neighbors(v).len() > 0);
+    let Some(start) = start else {
+        return true; // no edges at all
+    };
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start] = true;
+    while let Some(v) = stack.pop() {
+        for &u in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+            let u = u as usize;
+            if !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    (0..n).all(|v| seen[v] || (graph.out_neighbors(v).is_empty() && graph.in_neighbors(v).is_empty()))
+}
+
+/// An Eulerian circuit of the digraph as a node sequence
+/// `v_0, v_1, …, v_m = v_0` traversing every edge exactly once, or `None`
+/// if the graph is not Eulerian. The circuit starts at `start` if that node
+/// has outgoing edges.
+#[must_use]
+pub fn eulerian_circuit(graph: &DiGraph, start: usize) -> Option<Vec<usize>> {
+    if !is_eulerian(graph) {
+        return None;
+    }
+    let m = graph.num_edges();
+    if m == 0 {
+        return Some(vec![start]);
+    }
+    let start = if graph.out_neighbors(start).is_empty() {
+        (0..graph.len()).find(|&v| !graph.out_neighbors(v).is_empty())?
+    } else {
+        start
+    };
+    // Hierholzer with explicit per-node cursors.
+    let mut cursor = vec![0usize; graph.len()];
+    let mut stack = vec![start];
+    let mut circuit = Vec::with_capacity(m + 1);
+    while let Some(&v) = stack.last() {
+        if cursor[v] < graph.out_neighbors(v).len() {
+            let u = graph.out_neighbors(v)[cursor[v]] as usize;
+            cursor[v] += 1;
+            stack.push(u);
+        } else {
+            circuit.push(v);
+            stack.pop();
+        }
+    }
+    circuit.reverse();
+    if circuit.len() != m + 1 {
+        return None; // disconnected edge set (defensive; is_eulerian should have caught it)
+    }
+    Some(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+
+    fn verify_circuit(graph: &DiGraph, circuit: &[usize]) {
+        use std::collections::HashMap;
+        let mut used: HashMap<(usize, usize), usize> = HashMap::new();
+        for w in circuit.windows(2) {
+            *used.entry((w[0], w[1])).or_insert(0) += 1;
+        }
+        let mut expected: HashMap<(usize, usize), usize> = HashMap::new();
+        for e in graph.edges() {
+            *expected.entry(e).or_insert(0) += 1;
+        }
+        assert_eq!(used, expected, "circuit must traverse every edge exactly once");
+        assert_eq!(circuit.first(), circuit.last());
+    }
+
+    #[test]
+    fn simple_eulerian_digraph() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2), (2, 1), (1, 0)]);
+        assert!(is_eulerian(&g));
+        let c = eulerian_circuit(&g, 0).unwrap();
+        verify_circuit(&g, &c);
+    }
+
+    #[test]
+    fn non_balanced_graph_is_not_eulerian() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_eulerian(&g));
+        assert!(eulerian_circuit(&g, 0).is_none());
+    }
+
+    #[test]
+    fn disconnected_balanced_graph_is_not_eulerian() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert!(g.is_balanced());
+        assert!(!is_eulerian(&g));
+    }
+
+    #[test]
+    fn debruijn_digraph_is_eulerian() {
+        // B(d,n) with loops is balanced and strongly connected, so it has an
+        // Eulerian circuit; the circuit corresponds to a de Bruijn sequence
+        // of order n+1 (the line-graph correspondence of Section 2.5).
+        let g = DeBruijn::new(2, 3).to_digraph();
+        assert!(is_eulerian(&g));
+        let c = eulerian_circuit(&g, 0).unwrap();
+        verify_circuit(&g, &c);
+        assert_eq!(c.len(), g.num_edges() + 1);
+    }
+
+    #[test]
+    fn empty_graph_trivially_eulerian() {
+        let g = DiGraph::new(3);
+        assert!(is_eulerian(&g));
+        assert_eq!(eulerian_circuit(&g, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn isolated_nodes_are_allowed() {
+        let g = DiGraph::from_edges(5, &[(1, 2), (2, 1)]);
+        assert!(is_eulerian(&g));
+        let c = eulerian_circuit(&g, 1).unwrap();
+        verify_circuit(&g, &c);
+    }
+}

@@ -1,0 +1,15 @@
+//! Graph algorithms used by the embedding layer.
+
+pub mod bfs;
+pub mod components;
+pub mod cycles;
+pub mod euler;
+
+pub use bfs::{bfs_distances, bfs_tree, eccentricity, BfsTree};
+pub use components::{
+    largest_weak_component, strongly_connected_components, weak_components, weakly_connected,
+};
+pub use cycles::{
+    cycle_edges, cycles_edge_disjoint, is_cycle, is_hamiltonian_cycle, longest_cycle_brute_force,
+};
+pub use euler::{eulerian_circuit, is_eulerian};

@@ -1,0 +1,231 @@
+//! The d-ary (wrapped) butterfly digraph F(d,n).
+//!
+//! Section 3.4: F(d,n) has node set Z_n × Z_d^n, with edges from
+//! `(k, x_1…x_n)` to `(k+1 mod n, x_1 … x_k a x_{k+2} … x_n)` for every
+//! symbol `a` — i.e. moving from level k to level k+1 may rewrite the
+//! (k+1)-st digit of the column word (1-based), and nothing else.
+//!
+//! The key structural fact (Annexstein–Baumslag–Rosenberg, reproduced as
+//! Lemma 3.8) is that grouping the butterfly nodes
+//! `S_X = {(i, π^{-i}(X)) : 0 ≤ i < n}` — one node per level, with the
+//! column rotated right i times — and contracting each group yields exactly
+//! B(d,n). The embedding results of Section 3.4 ride on that map, which is
+//! exposed here as [`Butterfly::debruijn_class_member`].
+
+use dbg_algebra::words::WordSpace;
+
+use crate::digraph::DiGraph;
+use crate::topology::Topology;
+
+/// The d-ary butterfly digraph F(d,n) with n·d^n nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Butterfly {
+    space: WordSpace,
+}
+
+impl Butterfly {
+    /// Creates F(d,n).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        Butterfly {
+            space: WordSpace::new(d, n),
+        }
+    }
+
+    /// Alphabet size d.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.space.d()
+    }
+
+    /// Number of levels n (also the column word length).
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.space.n()
+    }
+
+    /// The column word space.
+    #[must_use]
+    pub fn space(&self) -> WordSpace {
+        self.space
+    }
+
+    /// Number of nodes, n·d^n.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n() as usize * self.space.count() as usize
+    }
+
+    /// Always false.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Packs a (level, column) pair into a node id.
+    #[must_use]
+    pub fn node_id(&self, level: u32, column: u64) -> usize {
+        debug_assert!(level < self.n());
+        debug_assert!(column < self.space.count());
+        level as usize * self.space.count() as usize + column as usize
+    }
+
+    /// Unpacks a node id into its (level, column) pair.
+    #[must_use]
+    pub fn level_column(&self, v: usize) -> (u32, u64) {
+        let count = self.space.count() as usize;
+        ((v / count) as u32, (v % count) as u64)
+    }
+
+    /// The successor of `(level, column)` obtained by writing symbol `a`
+    /// into digit position `level + 1` (1-based) while stepping to the next
+    /// level.
+    #[must_use]
+    pub fn successor(&self, v: usize, a: u64) -> usize {
+        let (level, column) = self.level_column(v);
+        let next_level = (level + 1) % self.n();
+        let digits_pos = level + 1; // 1-based digit rewritten on this hop
+        let place = dbg_algebra::num::pow(self.space.d(), self.space.n() - digits_pos);
+        let old_digit = (column / place) % self.space.d();
+        let new_column = column - old_digit * place + a * place;
+        self.node_id(next_level, new_column)
+    }
+
+    /// Materialises the digraph.
+    #[must_use]
+    pub fn to_digraph(&self) -> DiGraph {
+        DiGraph::from_topology(self)
+    }
+
+    /// The butterfly node at level `i` in the de Bruijn class S_X of word
+    /// `x`: `(i, π^{-i}(x))` (the column is `x` rotated *right* i times).
+    /// This is the `S_X^i` notation of Section 3.4.
+    #[must_use]
+    pub fn debruijn_class_member(&self, x: u64, i: u32) -> usize {
+        let mut col = x;
+        for _ in 0..(i % self.n()) {
+            col = self.space.rotate_right(col);
+        }
+        self.node_id(i % self.n(), col)
+    }
+
+    /// The full de Bruijn class S_X = {(i, π^{-i}(x)) : 0 ≤ i < n}.
+    #[must_use]
+    pub fn debruijn_class(&self, x: u64) -> Vec<usize> {
+        (0..self.n()).map(|i| self.debruijn_class_member(x, i)).collect()
+    }
+
+    /// Formats a node id as `(level, column-word)`.
+    #[must_use]
+    pub fn label(&self, v: usize) -> String {
+        let (level, column) = self.level_column(v);
+        format!("({level},{})", self.space.format(column))
+    }
+}
+
+impl Topology for Butterfly {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        for a in 0..self.d() {
+            visit(self.successor(v, a));
+        }
+    }
+
+    fn out_degree(&self, _v: usize) -> usize {
+        self.d() as usize
+    }
+
+    fn edge_count(&self) -> usize {
+        self.len() * self.d() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+
+    #[test]
+    fn f23_counts_match_figure_3_4() {
+        let f = Butterfly::new(2, 3);
+        assert_eq!(f.len(), 24);
+        assert_eq!(f.edge_count(), 48);
+        let dg = f.to_digraph();
+        for v in 0..f.len() {
+            assert_eq!(dg.out_neighbors(v).len(), 2);
+            assert_eq!(dg.in_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let f = Butterfly::new(3, 4);
+        for level in 0..4 {
+            for col in 0..81 {
+                let id = f.node_id(level, col);
+                assert_eq!(f.level_column(id), (level, col));
+            }
+        }
+    }
+
+    #[test]
+    fn successors_only_touch_one_digit_and_advance_level() {
+        let f = Butterfly::new(3, 3);
+        let s = f.space();
+        for v in 0..f.len() {
+            let (level, col) = f.level_column(v);
+            for a in 0..3 {
+                let (nl, nc) = f.level_column(f.successor(v, a));
+                assert_eq!(nl, (level + 1) % 3);
+                // The two columns differ at most in digit level+1 (1-based).
+                let mut diff = 0;
+                for i in 1..=3u32 {
+                    if s.digit(col, i) != s.digit(nc, i) {
+                        assert_eq!(i, level + 1);
+                        diff += 1;
+                    }
+                }
+                assert!(diff <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_8_debruijn_edges_lift_to_butterfly_edges() {
+        // For every de Bruijn edge X → Y and level i, there is a butterfly
+        // edge from the level-i member of S_X to the level-(i+1) member of S_Y.
+        for (d, n) in [(2u64, 3u32), (3, 3), (2, 4)] {
+            let b = DeBruijn::new(d, n);
+            let f = Butterfly::new(d, n);
+            for x in 0..b.len() {
+                for y in b.successors(x) {
+                    for i in 0..n {
+                        let from = f.debruijn_class_member(x as u64, i);
+                        let to = f.debruijn_class_member(y as u64, (i + 1) % n);
+                        assert!(
+                            f.successors(from).contains(&to),
+                            "missing lifted edge d={d} n={n} x={x} y={y} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debruijn_classes_partition_the_butterfly() {
+        let f = Butterfly::new(2, 3);
+        let b = DeBruijn::new(2, 3);
+        let mut seen = vec![false; f.len()];
+        for x in 0..b.len() {
+            for v in f.debruijn_class(x as u64) {
+                assert!(!seen[v], "butterfly node in two classes");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,311 @@
+//! The d-ary de Bruijn digraph B(d,n) and its undirected version UB(d,n).
+//!
+//! B(d,n) (Section 1.2) has the d^n words of length n over `{0,…,d−1}` as
+//! nodes and a directed edge from `x_1…x_n` to `x_2…x_n·a` for every symbol
+//! `a`. Every node has in-degree and out-degree d, and the constant words
+//! `a^n` carry self-loops. Node ids are the base-d codes of the words (see
+//! [`dbg_algebra::words::WordSpace`]), so the graph never has to be
+//! materialised for algorithms that only need successor enumeration.
+//!
+//! UB(d,n) is obtained by deleting loops, forgetting orientation and merging
+//! parallel edges; its degree profile (d nodes of degree 2d−2, d(d−1) of
+//! degree 2d−1, the rest of degree 2d) is checked in the tests.
+
+use dbg_algebra::words::WordSpace;
+
+use crate::digraph::DiGraph;
+use crate::topology::Topology;
+use crate::ungraph::UnGraph;
+
+/// The directed de Bruijn graph B(d,n), represented implicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct DeBruijn {
+    space: WordSpace,
+}
+
+impl DeBruijn {
+    /// Creates B(d,n).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        DeBruijn {
+            space: WordSpace::new(d, n),
+        }
+    }
+
+    /// The word space (alphabet size and word length) of the node labels.
+    #[must_use]
+    pub fn space(&self) -> WordSpace {
+        self.space
+    }
+
+    /// Alphabet size d.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.space.d()
+    }
+
+    /// Word length n.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.space.n()
+    }
+
+    /// Number of nodes, d^n.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.space.count() as usize
+    }
+
+    /// Always false (B(d,n) has at least 2^1 = 2 nodes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The de Bruijn successor obtained by appending symbol `a`.
+    #[must_use]
+    pub fn successor(&self, v: usize, a: u64) -> usize {
+        self.space.shift_append(v as u64, a) as usize
+    }
+
+    /// The de Bruijn predecessor obtained by prepending symbol `a`.
+    #[must_use]
+    pub fn predecessor(&self, v: usize, a: u64) -> usize {
+        self.space.shift_prepend(v as u64, a) as usize
+    }
+
+    /// All d predecessors of `v`.
+    #[must_use]
+    pub fn predecessors(&self, v: usize) -> Vec<usize> {
+        (0..self.d()).map(|a| self.predecessor(v, a)).collect()
+    }
+
+    /// Whether `(u, v)` is a de Bruijn edge (including loops).
+    #[must_use]
+    pub fn is_edge(&self, u: usize, v: usize) -> bool {
+        let d = self.d();
+        (0..d).any(|a| self.successor(u, a) == v)
+    }
+
+    /// Materialises the digraph (d^n nodes, d^(n+1) edges including loops).
+    #[must_use]
+    pub fn to_digraph(&self) -> DiGraph {
+        DiGraph::from_topology(self)
+    }
+
+    /// The undirected de Bruijn graph UB(d,n): loops removed, orientation
+    /// dropped, parallel edges merged.
+    #[must_use]
+    pub fn to_undirected(&self) -> UnGraph {
+        let n = self.len();
+        let mut g = UnGraph::new(n);
+        for v in 0..n {
+            for a in 0..self.d() {
+                let u = self.successor(v, a);
+                if u != v && !g.has_edge(v, u) {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        g
+    }
+
+    /// The number of non-loop directed edges, d(d^n − 1). (The paper's
+    /// hypercube comparison in the Chapter 2 intro quotes the total
+    /// directed-edge count d·d^n = 16 384 for B(4,6), i.e. loops included;
+    /// that figure is [`Topology::edge_count`].)
+    #[must_use]
+    pub fn non_loop_edge_count(&self) -> usize {
+        (self.d() as usize) * (self.len() - 1)
+    }
+
+    /// Formats node `v` as its digit string.
+    #[must_use]
+    pub fn label(&self, v: usize) -> String {
+        self.space.format(v as u64)
+    }
+
+    /// Parses a digit string into a node id.
+    #[must_use]
+    pub fn node(&self, s: &str) -> Option<usize> {
+        self.space.parse(s).map(|c| c as usize)
+    }
+}
+
+impl Topology for DeBruijn {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        for a in 0..self.d() {
+            visit(self.successor(v, a));
+        }
+    }
+
+    fn out_degree(&self, _v: usize) -> usize {
+        self.d() as usize
+    }
+
+    fn edge_count(&self) -> usize {
+        self.len() * self.d() as usize
+    }
+
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.is_edge(u, v)
+    }
+}
+
+/// The undirected de Bruijn graph UB(d,n), kept as a thin wrapper that
+/// remembers its parameters alongside the materialised adjacency.
+#[derive(Clone, Debug)]
+pub struct UndirectedDeBruijn {
+    debruijn: DeBruijn,
+    graph: UnGraph,
+}
+
+impl UndirectedDeBruijn {
+    /// Creates UB(d,n).
+    #[must_use]
+    pub fn new(d: u64, n: u32) -> Self {
+        let debruijn = DeBruijn::new(d, n);
+        let graph = debruijn.to_undirected();
+        UndirectedDeBruijn { debruijn, graph }
+    }
+
+    /// The underlying directed de Bruijn graph.
+    #[must_use]
+    pub fn directed(&self) -> &DeBruijn {
+        &self.debruijn
+    }
+
+    /// The materialised undirected graph.
+    #[must_use]
+    pub fn graph(&self) -> &UnGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b23_structure_matches_figure_1_1a() {
+        let g = DeBruijn::new(2, 3);
+        assert_eq!(g.len(), 8);
+        // 000 → 000, 001 ; 101 → 010, 011.
+        assert_eq!(g.successors(g.node("000").unwrap()), vec![0, 1]);
+        let n101 = g.node("101").unwrap();
+        assert_eq!(
+            g.successors(n101),
+            vec![g.node("010").unwrap(), g.node("011").unwrap()]
+        );
+        // Loops at constant words only.
+        for v in 0..g.len() {
+            let has_loop = g.is_edge(v, v);
+            let is_constant = v == g.node("000").unwrap() || v == g.node("111").unwrap();
+            assert_eq!(has_loop, is_constant, "loop mismatch at {}", g.label(v));
+        }
+    }
+
+    #[test]
+    fn in_and_out_degree_are_d() {
+        let g = DeBruijn::new(3, 3);
+        let dg = g.to_digraph();
+        for v in 0..g.len() {
+            assert_eq!(dg.out_neighbors(v).len(), 3);
+            assert_eq!(dg.in_degree(v), 3);
+        }
+        assert_eq!(dg.num_edges(), 27 * 3);
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let g = DeBruijn::new(4, 3);
+        for v in 0..g.len() {
+            for a in 0..4 {
+                let u = g.successor(v, a);
+                assert!(g.predecessors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_degree_profile_pr82() {
+        // UB(d,n): d nodes of degree 2d−2, d(d−1) of degree 2d−1, rest 2d.
+        for (d, n) in [(2u64, 3u32), (2, 4), (3, 3), (4, 3)] {
+            let ub = DeBruijn::new(d, n).to_undirected();
+            let mut deg_counts = std::collections::HashMap::new();
+            for v in 0..ub.len() {
+                *deg_counts.entry(ub.degree(v)).or_insert(0usize) += 1;
+            }
+            let d = d as usize;
+            let dn = ub.len();
+            assert_eq!(deg_counts.get(&(2 * d - 2)).copied().unwrap_or(0), d, "d={d} n={n}");
+            assert_eq!(
+                deg_counts.get(&(2 * d - 1)).copied().unwrap_or(0),
+                d * (d - 1),
+                "d={d} n={n}"
+            );
+            assert_eq!(
+                deg_counts.get(&(2 * d)).copied().unwrap_or(0),
+                dn - d * d,
+                "d={d} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ub23_matches_figure_1_2() {
+        let ub = UndirectedDeBruijn::new(2, 3);
+        let g = ub.graph();
+        let node = |s: &str| ub.directed().node(s).unwrap();
+        // Fig 1.2 edges (loops removed, 100↔110 etc.).
+        for (a, b) in [
+            ("000", "001"),
+            ("001", "010"),
+            ("001", "011"),
+            ("010", "100"),
+            ("010", "101"),
+            ("011", "110"),
+            ("011", "111"),
+            ("100", "001"),
+            ("101", "011"),
+            ("110", "101"),
+            ("110", "100"),
+            ("111", "110"),
+        ] {
+            assert!(g.has_edge(node(a), node(b)), "missing edge {a}-{b}");
+        }
+        assert!(!g.has_edge(node("000"), node("000")));
+    }
+
+    #[test]
+    fn edge_counts_match_paper_comparison() {
+        // The Chapter 2 intro quotes 16 384 edges for the 4096-node B(4,6)
+        // (d·d^n directed edges); without the d loops that is 16 380.
+        let g = DeBruijn::new(4, 6);
+        assert_eq!(g.edge_count(), 16_384);
+        assert_eq!(g.non_loop_edge_count(), 16_380);
+    }
+
+    #[test]
+    fn line_graph_property() {
+        // B(d,n) is the line graph of B(d,n−1): the cycle
+        // (012,122,221,212,120,201) in B(3,3) corresponds to the circuit
+        // (01,12,22,21,12,20) in B(3,2) — Section 2.5.
+        let g3 = DeBruijn::new(3, 3);
+        let g2 = DeBruijn::new(3, 2);
+        let cycle = ["012", "122", "221", "212", "120", "201"];
+        for w in cycle.windows(2) {
+            let u = g3.node(w[0]).unwrap();
+            let v = g3.node(w[1]).unwrap();
+            assert!(g3.is_edge(u, v));
+            // Nodes of B(3,3) are edges of B(3,2): first two digits → last two digits.
+            let (a, b) = (&w[0][..2], &w[0][1..]);
+            assert!(g2.is_edge(g2.node(a).unwrap(), g2.node(b).unwrap()));
+            let _ = b;
+        }
+    }
+}

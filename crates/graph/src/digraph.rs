@@ -1,0 +1,215 @@
+//! A materialised directed multigraph with adjacency lists.
+
+use crate::topology::Topology;
+
+/// A directed multigraph over nodes `0..n`. Parallel edges and self-loops
+/// are allowed (the de Bruijn digraph has loops at the constant words, and
+/// the modified graph MB(d,n) of Section 3.2.3 is genuinely a multigraph).
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.out.len() && v < self.out.len(), "edge endpoint out of range");
+        self.out[u].push(v as u32);
+        self.inn[v].push(u as u32);
+        self.edges += 1;
+    }
+
+    /// Adds `(u, v)` only if it is not already present; returns whether it was added.
+    pub fn add_edge_unique(&mut self, u: usize, v: usize) -> bool {
+        if self.out[u].iter().any(|&w| w as usize == v) {
+            false
+        } else {
+            self.add_edge(u, v);
+            true
+        }
+    }
+
+    /// Removes one copy of the directed edge `(u, v)`; returns whether an edge was removed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if let Some(pos) = self.out[u].iter().position(|&w| w as usize == v) {
+            self.out[u].swap_remove(pos);
+            let ipos = self.inn[v]
+                .iter()
+                .position(|&w| w as usize == u)
+                .expect("in/out adjacency lists out of sync");
+            self.inn[v].swap_remove(ipos);
+            self.edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Number of directed edges (with multiplicity).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Successor list of `v`.
+    #[must_use]
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.out[v]
+    }
+
+    /// Predecessor list of `v`.
+    #[must_use]
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.inn[v]
+    }
+
+    /// In-degree of `v`.
+    #[must_use]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.inn[v].len()
+    }
+
+    /// Whether every node has equal in-degree and out-degree (a *balanced*
+    /// digraph — the Eulerian-circuit condition used in Section 2.5).
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        (0..self.len()).all(|v| self.out[v].len() == self.inn[v].len())
+    }
+
+    /// Iterates over all directed edges `(u, v)` with multiplicity.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// Builds a graph from an explicit edge list over `n` nodes.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The reverse (transpose) graph.
+    #[must_use]
+    pub fn reverse(&self) -> Self {
+        DiGraph {
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+            edges: self.edges,
+        }
+    }
+
+    /// Materialises any [`Topology`] into a `DiGraph`.
+    #[must_use]
+    pub fn from_topology<T: Topology + ?Sized>(t: &T) -> Self {
+        let n = t.node_count();
+        let mut g = Self::new(n);
+        for v in 0..n {
+            t.for_each_successor(v, &mut |u| g.add_edge(v, u));
+        }
+        g
+    }
+}
+
+impl Topology for DiGraph {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        for &u in &self.out[v] {
+            visit(u as usize);
+        }
+    }
+
+    fn successors(&self, v: usize) -> Vec<usize> {
+        self.out[v].iter().map(|&u| u as usize).collect()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+        assert_eq!(g.in_neighbors(1), &[0, 0]);
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.in_degree(1), 0);
+    }
+
+    #[test]
+    fn add_edge_unique() {
+        let mut g = DiGraph::new(2);
+        assert!(g.add_edge_unique(0, 1));
+        assert!(!g.add_edge_unique(0, 1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn balanced_and_reverse() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(g.is_balanced());
+        let r = g.reverse();
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(0, 1));
+        let unbalanced = DiGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert!(!unbalanced.is_balanced());
+    }
+
+    #[test]
+    fn edge_iterator_and_from_topology() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (2, 2)]);
+        let collected: Vec<_> = g.edges().collect();
+        assert_eq!(collected.len(), 4);
+        let g2 = DiGraph::from_topology(&g);
+        assert_eq!(g2.num_edges(), 4);
+        assert!(g2.has_edge(2, 2));
+    }
+}

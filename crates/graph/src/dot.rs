@@ -1,0 +1,102 @@
+//! Graphviz DOT export.
+//!
+//! The figure-regeneration binaries (`dbg-bench`, `figures`) emit DOT text
+//! for the paper's structural figures (Figures 1.1, 1.2, 2.3, 3.3, 3.4) so
+//! they can be rendered and compared against the thesis drawings.
+
+use crate::digraph::DiGraph;
+use crate::ungraph::UnGraph;
+
+/// Renders a directed graph to DOT. `label` maps node ids to display labels.
+#[must_use]
+pub fn digraph_to_dot<F: Fn(usize) -> String>(graph: &DiGraph, name: &str, label: F) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{name}\" {{\n"));
+    out.push_str("  node [shape=circle];\n");
+    for v in 0..graph.len() {
+        out.push_str(&format!("  n{v} [label=\"{}\"];\n", label(v)));
+    }
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("  n{u} -> n{v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an undirected graph to DOT.
+#[must_use]
+pub fn ungraph_to_dot<F: Fn(usize) -> String>(graph: &UnGraph, name: &str, label: F) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{name}\" {{\n"));
+    out.push_str("  node [shape=circle];\n");
+    for v in 0..graph.len() {
+        out.push_str(&format!("  n{v} [label=\"{}\"];\n", label(v)));
+    }
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("  n{u} -- n{v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a directed graph where a subset of edges is highlighted (used to
+/// overlay an embedded ring on the host graph).
+#[must_use]
+pub fn digraph_with_highlight<F: Fn(usize) -> String>(
+    graph: &DiGraph,
+    highlighted: &[(usize, usize)],
+    name: &str,
+    label: F,
+) -> String {
+    use std::collections::HashSet;
+    let hi: HashSet<(usize, usize)> = highlighted.iter().copied().collect();
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{name}\" {{\n"));
+    out.push_str("  node [shape=circle];\n");
+    for v in 0..graph.len() {
+        out.push_str(&format!("  n{v} [label=\"{}\"];\n", label(v)));
+    }
+    for (u, v) in graph.edges() {
+        if hi.contains(&(u, v)) {
+            out.push_str(&format!("  n{u} -> n{v} [color=red, penwidth=2.0];\n"));
+        } else {
+            out.push_str(&format!("  n{u} -> n{v} [color=gray];\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+
+    #[test]
+    fn dot_output_contains_all_edges_and_labels() {
+        let b = DeBruijn::new(2, 3);
+        let g = b.to_digraph();
+        let dot = digraph_to_dot(&g, "B(2,3)", |v| b.label(v));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"000\""));
+        assert!(dot.contains("label=\"111\""));
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn undirected_dot() {
+        let ub = DeBruijn::new(2, 3).to_undirected();
+        let dot = ungraph_to_dot(&ub, "UB(2,3)", |v| format!("{v}"));
+        assert!(dot.starts_with("graph"));
+        assert_eq!(dot.matches(" -- ").count(), ub.num_edges());
+    }
+
+    #[test]
+    fn highlight_marks_requested_edges() {
+        let b = DeBruijn::new(2, 3);
+        let g = b.to_digraph();
+        let dot = digraph_with_highlight(&g, &[(0, 1)], "B", |v| b.label(v));
+        assert!(dot.contains("n0 -> n1 [color=red"));
+        assert!(dot.contains("color=gray"));
+    }
+}

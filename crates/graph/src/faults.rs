@@ -1,0 +1,210 @@
+//! Fault models: failed processors (nodes) and failed links (edges).
+//!
+//! The paper's fault model (Section 1.1) is *total* failure: a faulty node
+//! can neither compute nor route, so it is removed from the graph together
+//! with its incident edges; a faulty link is removed on its own. A
+//! [`FaultSet`] records both kinds, and [`FaultyView`] presents any
+//! [`Topology`] with the faults masked out — no copying of the underlying
+//! graph is needed, which matters for the Monte-Carlo sweeps of Tables 2.1
+//! and 2.2.
+
+use std::collections::HashSet;
+
+use crate::topology::Topology;
+
+/// A set of faulty nodes and faulty directed edges.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSet {
+    nodes: HashSet<usize>,
+    edges: HashSet<(usize, usize)>,
+}
+
+impl FaultSet {
+    /// An empty fault set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fault set with the given faulty nodes.
+    #[must_use]
+    pub fn from_nodes<I: IntoIterator<Item = usize>>(nodes: I) -> Self {
+        FaultSet {
+            nodes: nodes.into_iter().collect(),
+            edges: HashSet::new(),
+        }
+    }
+
+    /// A fault set with the given faulty directed edges.
+    #[must_use]
+    pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(edges: I) -> Self {
+        FaultSet {
+            nodes: HashSet::new(),
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// Marks a node as faulty.
+    pub fn fail_node(&mut self, v: usize) {
+        self.nodes.insert(v);
+    }
+
+    /// Marks a directed edge as faulty.
+    pub fn fail_edge(&mut self, u: usize, v: usize) {
+        self.edges.insert((u, v));
+    }
+
+    /// Marks an undirected link as faulty (both directions).
+    pub fn fail_link(&mut self, u: usize, v: usize) {
+        self.edges.insert((u, v));
+        self.edges.insert((v, u));
+    }
+
+    /// Whether node `v` is faulty.
+    #[must_use]
+    pub fn node_is_faulty(&self, v: usize) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Whether the directed edge `(u, v)` is faulty (either explicitly or
+    /// because one of its endpoints is a faulty node).
+    #[must_use]
+    pub fn edge_is_faulty(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u, v)) || self.nodes.contains(&u) || self.nodes.contains(&v)
+    }
+
+    /// The faulty nodes.
+    #[must_use]
+    pub fn faulty_nodes(&self) -> &HashSet<usize> {
+        &self.nodes
+    }
+
+    /// The explicitly faulty edges (node-induced edge failures are not listed).
+    #[must_use]
+    pub fn faulty_edges(&self) -> &HashSet<(usize, usize)> {
+        &self.edges
+    }
+
+    /// Number of faulty nodes.
+    #[must_use]
+    pub fn node_fault_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of explicitly faulty edges.
+    #[must_use]
+    pub fn edge_fault_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no faults are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Restricts a topology to its fault-free part.
+    #[must_use]
+    pub fn view<'a, T: Topology>(&'a self, graph: &'a T) -> FaultyView<'a, T> {
+        FaultyView { graph, faults: self }
+    }
+}
+
+/// A [`Topology`] with the faults of a [`FaultSet`] masked out. Faulty nodes
+/// keep their ids (so node numbering is stable) but have no incident edges.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultyView<'a, T: Topology> {
+    graph: &'a T,
+    faults: &'a FaultSet,
+}
+
+impl<'a, T: Topology> FaultyView<'a, T> {
+    /// Creates a view of `graph` with `faults` removed.
+    #[must_use]
+    pub fn new(graph: &'a T, faults: &'a FaultSet) -> Self {
+        FaultyView { graph, faults }
+    }
+
+    /// The underlying fault set.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSet {
+        self.faults
+    }
+
+    /// The underlying (fault-free) topology.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        self.graph
+    }
+
+    /// Whether node `v` participates in the faulty graph.
+    #[must_use]
+    pub fn node_is_alive(&self, v: usize) -> bool {
+        !self.faults.node_is_faulty(v)
+    }
+}
+
+impl<T: Topology> Topology for FaultyView<'_, T> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        if self.faults.node_is_faulty(v) {
+            return;
+        }
+        self.graph.for_each_successor(v, &mut |u| {
+            if !self.faults.node_is_faulty(u) && !self.faults.edge_is_faulty(v, u) {
+                visit(u);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    #[test]
+    fn node_faults_remove_incident_edges() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let faults = FaultSet::from_nodes([2]);
+        let view = faults.view(&g);
+        assert_eq!(view.successors(1), Vec::<usize>::new());
+        assert_eq!(view.successors(2), Vec::<usize>::new());
+        assert_eq!(view.successors(0), vec![1]);
+        assert!(view.node_is_alive(0));
+        assert!(!view.node_is_alive(2));
+        assert_eq!(view.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_faults_are_directed_links_are_bidirectional() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let mut faults = FaultSet::new();
+        faults.fail_edge(0, 1);
+        let view = faults.view(&g);
+        assert_eq!(view.successors(0), Vec::<usize>::new());
+        assert_eq!(view.successors(1), vec![0, 2]);
+
+        let mut link_faults = FaultSet::new();
+        link_faults.fail_link(0, 1);
+        let view2 = link_faults.view(&g);
+        assert_eq!(view2.successors(0), Vec::<usize>::new());
+        assert_eq!(view2.successors(1), vec![2]);
+        assert_eq!(link_faults.edge_fault_count(), 2);
+    }
+
+    #[test]
+    fn constructors_and_queries() {
+        let f = FaultSet::from_edges([(1, 2), (3, 4)]);
+        assert!(f.edge_is_faulty(1, 2));
+        assert!(!f.edge_is_faulty(2, 1));
+        assert!(!f.node_is_faulty(1));
+        assert_eq!(f.edge_fault_count(), 2);
+        assert_eq!(f.node_fault_count(), 0);
+        assert!(!f.is_empty());
+        assert!(FaultSet::new().is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! The binary hypercube Q(n).
+//!
+//! The hypercube is the paper's yard-stick: Chapter 2 compares the length
+//! of the fault-free cycle found in B(4,6) against the known
+//! 2^n − 2f bound for the 2^n-node hypercube [WC92, CL91a], and notes that
+//! the hypercube needs 50% more links for the same node count. The
+//! [`dbg-baselines`](../../baselines) crate builds the actual fault-tolerant
+//! ring embedding on top of this topology.
+
+use crate::topology::Topology;
+use crate::ungraph::UnGraph;
+
+/// The n-dimensional hypercube with 2^n nodes; node ids are bit strings.
+#[derive(Clone, Copy, Debug)]
+pub struct Hypercube {
+    n: u32,
+}
+
+impl Hypercube {
+    /// Creates Q(n).
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or `2^n` overflows usize.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1 && n < usize::BITS, "hypercube dimension out of range");
+        Hypercube { n }
+    }
+
+    /// The dimension n.
+    #[must_use]
+    pub fn dimension(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes, 2^n.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// Always false.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The neighbor of `v` across dimension `i`.
+    #[must_use]
+    pub fn neighbor(&self, v: usize, i: u32) -> usize {
+        debug_assert!(i < self.n);
+        v ^ (1usize << i)
+    }
+
+    /// All n neighbors of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        (0..self.n).map(|i| self.neighbor(v, i)).collect()
+    }
+
+    /// Number of undirected links, n·2^(n−1).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        (self.n as usize) << (self.n - 1)
+    }
+
+    /// Hamming distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, u: usize, v: usize) -> u32 {
+        ((u ^ v) as u64).count_ones()
+    }
+
+    /// Materialises the undirected graph.
+    #[must_use]
+    pub fn to_ungraph(&self) -> UnGraph {
+        let mut g = UnGraph::new(self.len());
+        for v in 0..self.len() {
+            for i in 0..self.n {
+                let u = self.neighbor(v, i);
+                if u > v {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        g
+    }
+
+    /// The standard reflected Gray code: a Hamiltonian cycle of Q(n)
+    /// starting at 0, as a sequence of node ids.
+    #[must_use]
+    pub fn gray_code_cycle(&self) -> Vec<usize> {
+        (0..self.len()).map(|i| i ^ (i >> 1)).collect()
+    }
+}
+
+impl Topology for Hypercube {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        for i in 0..self.n {
+            visit(self.neighbor(v, i));
+        }
+    }
+
+    fn out_degree(&self, _v: usize) -> usize {
+        self.n as usize
+    }
+
+    fn edge_count(&self) -> usize {
+        self.len() * self.n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_structure() {
+        let q = Hypercube::new(3);
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.link_count(), 12);
+        assert_eq!(q.neighbors(0b000), vec![0b001, 0b010, 0b100]);
+        assert_eq!(q.distance(0b000, 0b111), 3);
+        let g = q.to_ungraph();
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn q12_link_count_matches_paper_comparison() {
+        // The 4096-node hypercube has 24 576 links (Chapter 2 intro).
+        let q = Hypercube::new(12);
+        assert_eq!(q.len(), 4096);
+        assert_eq!(q.link_count(), 24_576);
+    }
+
+    #[test]
+    fn gray_code_is_hamiltonian_cycle() {
+        for n in 2..=10u32 {
+            let q = Hypercube::new(n);
+            let cycle = q.gray_code_cycle();
+            assert_eq!(cycle.len(), q.len());
+            let mut seen = vec![false; q.len()];
+            for w in 0..cycle.len() {
+                let a = cycle[w];
+                let b = cycle[(w + 1) % cycle.len()];
+                assert_eq!(q.distance(a, b), 1, "non-adjacent consecutive nodes");
+                assert!(!seen[a]);
+                seen[a] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Routing in the de Bruijn digraph.
+//!
+//! Two routing schemes:
+//!
+//! * [`shortest_route`] — the classical shift-register route: align the
+//!   longest suffix of the source with a prefix of the destination and
+//!   append the remaining digits; at most n hops (the diameter of B(d,n)).
+//! * [`fault_avoiding_route`] — the constructive routing scheme inside the
+//!   proof of Proposition 2.2: route through a constant word a^n (with the
+//!   one-hop shortcut that skips the constant word itself), choosing the
+//!   entry symbol `a` and exit offset `i` so that every intermediate
+//!   necklace is fault-free. Because the d entry paths are pairwise
+//!   necklace-disjoint and the d − 1 exit paths are pairwise
+//!   necklace-disjoint, up to d − 2 faulty necklaces can always be avoided,
+//!   and the route has at most 2n hops.
+
+use dbg_algebra::words::WordSpace;
+
+/// The length of the shortest path from `u` to `v` in B(d,n): n minus the
+/// longest overlap between a suffix of `u` and a prefix of `v`.
+#[must_use]
+pub fn distance(space: WordSpace, u: usize, v: usize) -> u32 {
+    let n = space.n();
+    let du = space.digits(u as u64);
+    let dv = space.digits(v as u64);
+    for overlap in (0..=n).rev() {
+        let k = overlap as usize;
+        if du[(n as usize - k)..] == dv[..k] {
+            return n - overlap;
+        }
+    }
+    n
+}
+
+/// The shortest route from `u` to `v` as a node sequence (inclusive of both
+/// endpoints); its length is `distance(u, v) + 1`.
+#[must_use]
+pub fn shortest_route(space: WordSpace, u: usize, v: usize) -> Vec<usize> {
+    let hops = distance(space, u, v);
+    let dv = space.digits(v as u64);
+    let mut path = vec![u];
+    let mut cur = u as u64;
+    let n = space.n();
+    for step in 0..hops {
+        let digit = dv[(n - hops + step) as usize];
+        cur = space.shift_append(cur, digit);
+        path.push(cur as usize);
+    }
+    debug_assert_eq!(*path.last().unwrap(), v);
+    path
+}
+
+/// The Proposition 2.2 path from `x` toward the constant word a^n: the
+/// prefix path P_a, stopping at the node x_n·a^{n−1} (one hop short of a^n).
+#[must_use]
+pub fn entry_path(space: WordSpace, x: usize, a: u64) -> Vec<usize> {
+    let n = space.n();
+    let mut path = vec![x];
+    let mut cur = x as u64;
+    for _ in 0..n - 1 {
+        cur = space.shift_append(cur, a);
+        path.push(cur as usize);
+    }
+    path
+}
+
+/// The Proposition 2.2 path from a^{n−1}(a+i) to `y`: the suffix path Q_i
+/// entered just after the skipped constant word.
+#[must_use]
+pub fn exit_path(space: WordSpace, y: usize, a: u64, i: u64) -> Vec<usize> {
+    let d = space.d();
+    let n = space.n();
+    debug_assert!(i >= 1 && i < d);
+    let mut digits = vec![a; n as usize];
+    digits[n as usize - 1] = (a + i) % d;
+    let mut cur = space.from_digits(&digits);
+    let mut path = vec![cur as usize];
+    let dy = space.digits(y as u64);
+    for &digit in &dy {
+        cur = space.shift_append(cur, digit);
+        path.push(cur as usize);
+    }
+    debug_assert_eq!(*path.last().unwrap(), y);
+    path
+}
+
+/// The full Proposition 2.2 route from `x` to `y` through the neighbourhood
+/// of a^n with exit offset `i`: entry path, the shortcut hop, then the exit
+/// path. At most 2n hops.
+#[must_use]
+pub fn route_via_constant(space: WordSpace, x: usize, y: usize, a: u64, i: u64) -> Vec<usize> {
+    let mut path = entry_path(space, x, a);
+    let exit = exit_path(space, y, a, i);
+    // The shortcut: x_n·a^{n−1} → a^{n−1}(a+i) is a single de Bruijn hop.
+    path.extend(exit);
+    // Collapse an accidental duplicate if x already ends the entry path at
+    // the exit path's first node (possible when x is itself near a^n).
+    path.dedup();
+    path
+}
+
+/// A route from `x` to `y` that avoids every node for which `blocked`
+/// returns true (typically: membership of a faulty necklace), following the
+/// Proposition 2.2 construction. Neither `x` nor `y` may be blocked.
+/// Returns `None` only if every (a, i) combination is blocked — impossible
+/// when fewer than d − 1 necklaces are faulty.
+#[must_use]
+pub fn fault_avoiding_route<F: Fn(usize) -> bool>(
+    space: WordSpace,
+    x: usize,
+    y: usize,
+    blocked: F,
+) -> Option<Vec<usize>> {
+    if blocked(x) || blocked(y) {
+        return None;
+    }
+    if x == y {
+        return Some(vec![x]);
+    }
+    // Fast path: the direct shift route, if it is clean.
+    let direct = shortest_route(space, x, y);
+    if direct.iter().all(|&v| !blocked(v)) {
+        return Some(direct);
+    }
+    let d = space.d();
+    for a in 0..d {
+        let entry = entry_path(space, x, a);
+        if entry.iter().skip(1).any(|&v| blocked(v)) {
+            continue;
+        }
+        for i in 1..d {
+            let exit = exit_path(space, y, a, i);
+            if exit.iter().take(exit.len() - 1).any(|&v| blocked(v)) {
+                continue;
+            }
+            let mut path = entry.clone();
+            path.extend(exit);
+            path.dedup();
+            // The construction can revisit a node when x and y are close to
+            // the constant words; fall back to other (a, i) pairs then.
+            let mut seen = std::collections::HashSet::new();
+            if path.iter().all(|&v| seen.insert(v)) {
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::DeBruijn;
+    use dbg_necklace::NecklacePartition;
+
+    fn check_path(g: &DeBruijn, path: &[usize]) {
+        for w in path.windows(2) {
+            assert!(g.is_edge(w[0], w[1]), "{} -> {} is not an edge", g.label(w[0]), g.label(w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_route_is_correct_and_within_diameter() {
+        for (d, n) in [(2u64, 5u32), (3, 3), (4, 3)] {
+            let g = DeBruijn::new(d, n);
+            let s = g.space();
+            for u in (0..g.len()).step_by(5) {
+                for v in (0..g.len()).step_by(7) {
+                    let path = shortest_route(s, u, v);
+                    check_path(&g, &path);
+                    assert_eq!(path[0], u);
+                    assert_eq!(*path.last().unwrap(), v);
+                    assert!(distance(s, u, v) <= n);
+                    assert_eq!(path.len() as u32, distance(s, u, v) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_examples() {
+        let s = WordSpace::new(2, 4);
+        let g = DeBruijn::new(2, 4);
+        assert_eq!(distance(s, g.node("0110").unwrap(), g.node("1101").unwrap()), 1);
+        assert_eq!(distance(s, g.node("0110").unwrap(), g.node("0110").unwrap()), 0);
+        assert_eq!(distance(s, g.node("0000").unwrap(), g.node("1111").unwrap()), 4);
+        // 0101 and 0111 overlap in "01", so two hops: 0101 → 1011 → 0111.
+        assert_eq!(distance(s, g.node("0101").unwrap(), g.node("0111").unwrap()), 2);
+    }
+
+    #[test]
+    fn proposition_2_2_entry_paths_are_necklace_disjoint() {
+        // The d paths P_a share no intermediate necklace (the core of the
+        // Proposition 2.2 proof).
+        for (d, n) in [(3u64, 3u32), (4, 3), (5, 2)] {
+            let g = DeBruijn::new(d, n);
+            let s = g.space();
+            let part = NecklacePartition::new(s);
+            for x in (0..g.len()).step_by(11) {
+                for a in 0..d {
+                    check_path(&g, &entry_path(s, x, a));
+                }
+                // Cross-path disjointness of intermediate necklaces.
+                for a in 0..d {
+                    for b in (a + 1)..d {
+                        let pa: std::collections::HashSet<usize> = entry_path(s, x, a)
+                            .iter()
+                            .skip(1)
+                            .map(|&v| part.id_of(v as u64))
+                            .collect();
+                        let pb: std::collections::HashSet<usize> = entry_path(s, x, b)
+                            .iter()
+                            .skip(1)
+                            .map(|&v| part.id_of(v as u64))
+                            .collect();
+                        assert!(pa.is_disjoint(&pb), "P_{a} and P_{b} share a necklace");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_avoiding_route_dodges_faulty_necklaces() {
+        let d = 5u64;
+        let n = 3u32;
+        let g = DeBruijn::new(d, n);
+        let s = g.space();
+        let part = NecklacePartition::new(s);
+        // Block d − 2 = 3 necklaces.
+        let blocked_necklaces: Vec<usize> = vec![
+            part.id_of(s.parse("012").unwrap()),
+            part.id_of(s.parse("123").unwrap()),
+            part.id_of(s.parse("044").unwrap()),
+        ];
+        let blocked = |v: usize| blocked_necklaces.contains(&part.id_of(v as u64));
+        let mut routed = 0;
+        for x in (0..g.len()).step_by(13) {
+            for y in (0..g.len()).step_by(17) {
+                if blocked(x) || blocked(y) {
+                    continue;
+                }
+                let path = fault_avoiding_route(s, x, y, blocked)
+                    .unwrap_or_else(|| panic!("no route {x} -> {y}"));
+                check_path(&g, &path);
+                assert_eq!(path[0], x);
+                assert_eq!(*path.last().unwrap(), y);
+                assert!(path.iter().all(|&v| !blocked(v)));
+                assert!(path.len() <= 2 * n as usize + 1, "route longer than 2n hops");
+                routed += 1;
+            }
+        }
+        assert!(routed > 50);
+    }
+
+    #[test]
+    fn fault_avoiding_route_degenerate_cases() {
+        let s = WordSpace::new(3, 3);
+        assert_eq!(fault_avoiding_route(s, 5, 5, |_| false), Some(vec![5]));
+        assert_eq!(fault_avoiding_route(s, 5, 7, |v| v == 5), None);
+    }
+}

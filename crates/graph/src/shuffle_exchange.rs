@@ -1,0 +1,128 @@
+//! The binary shuffle-exchange graph SE(n).
+//!
+//! B(2,n) contains the shuffle-exchange graph as a subgraph (Section 1.2),
+//! and the necklace structure exploited by the FFC algorithm was first
+//! studied for shuffle-exchange layouts [Lei83, LHC89]. The graph is
+//! included for completeness of the substrate and for the necklace-census
+//! example.
+
+use dbg_algebra::words::WordSpace;
+
+use crate::topology::Topology;
+use crate::ungraph::UnGraph;
+
+/// The shuffle-exchange graph on 2^n nodes: shuffle edges rotate the word
+/// left by one, exchange edges flip the last bit.
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffleExchange {
+    space: WordSpace,
+}
+
+impl ShuffleExchange {
+    /// Creates SE(n) on binary words of length n.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        ShuffleExchange {
+            space: WordSpace::new(2, n),
+        }
+    }
+
+    /// Word length n.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.space.n()
+    }
+
+    /// Number of nodes, 2^n.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.space.count() as usize
+    }
+
+    /// Always false.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shuffle neighbor (left rotation).
+    #[must_use]
+    pub fn shuffle(&self, v: usize) -> usize {
+        self.space.rotate_left(v as u64) as usize
+    }
+
+    /// The inverse-shuffle neighbor (right rotation).
+    #[must_use]
+    pub fn unshuffle(&self, v: usize) -> usize {
+        self.space.rotate_right(v as u64) as usize
+    }
+
+    /// The exchange neighbor (last bit flipped).
+    #[must_use]
+    pub fn exchange(&self, v: usize) -> usize {
+        v ^ 1
+    }
+
+    /// Materialises the undirected shuffle-exchange graph.
+    #[must_use]
+    pub fn to_ungraph(&self) -> UnGraph {
+        let mut g = UnGraph::new(self.len());
+        for v in 0..self.len() {
+            let s = self.shuffle(v);
+            if s != v {
+                g.add_edge_unique(v, s);
+            }
+            let e = self.exchange(v);
+            if e != v {
+                g.add_edge_unique(v, e);
+            }
+        }
+        g
+    }
+}
+
+impl Topology for ShuffleExchange {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        visit(self.shuffle(v));
+        visit(self.unshuffle(v));
+        visit(self.exchange(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn se3_basics() {
+        let se = ShuffleExchange::new(3);
+        assert_eq!(se.len(), 8);
+        assert_eq!(se.shuffle(0b011), 0b110);
+        assert_eq!(se.unshuffle(0b110), 0b011);
+        assert_eq!(se.exchange(0b110), 0b111);
+        let g = se.to_ungraph();
+        assert!(g.is_connected());
+        // Every node has degree at most 3.
+        for v in 0..8 {
+            assert!(g.degree(v) <= 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_orbit_is_necklace() {
+        let se = ShuffleExchange::new(4);
+        // The orbit of 0011 under shuffling is its necklace of size 4.
+        let mut orbit = std::collections::HashSet::new();
+        let mut v = 0b0011usize;
+        for _ in 0..4 {
+            orbit.insert(v);
+            v = se.shuffle(v);
+        }
+        assert_eq!(orbit.len(), 4);
+        assert_eq!(v, 0b0011);
+    }
+}

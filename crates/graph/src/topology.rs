@@ -1,0 +1,101 @@
+//! The [`Topology`] trait: a uniform directed-graph view.
+//!
+//! Graph algorithms in this workspace (BFS, component search, cycle
+//! validation, the FFC embedding itself) only ever need two things from a
+//! network: how many nodes it has, and the successors of a node. Expressing
+//! that as a trait lets the same algorithm run over
+//!
+//! * a materialised [`DiGraph`](crate::digraph::DiGraph),
+//! * an implicit generator such as [`DeBruijn`](crate::debruijn::DeBruijn)
+//!   (important for B(2,20)-sized instances where edge lists are wasteful),
+//! * or a [`FaultyView`](crate::faults::FaultyView) that masks failed
+//!   nodes/links without copying the graph.
+
+/// A directed graph with nodes `0..node_count()`.
+pub trait Topology {
+    /// Number of nodes. Node ids are `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// Calls `visit` for every successor of `v` (duplicates allowed if the
+    /// underlying multigraph has parallel edges; self-loops included).
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize));
+
+    /// The successors of `v`, collected into a vector.
+    fn successors(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_successor(v, &mut |u| out.push(u));
+        out
+    }
+
+    /// Total number of directed edges (counted with multiplicity).
+    fn edge_count(&self) -> usize {
+        let mut m = 0usize;
+        for v in 0..self.node_count() {
+            self.for_each_successor(v, &mut |_| m += 1);
+        }
+        m
+    }
+
+    /// Whether `(u, v)` is an edge.
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        let mut found = false;
+        self.for_each_successor(u, &mut |w| {
+            if w == v {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: usize) -> usize {
+        let mut c = 0;
+        self.for_each_successor(v, &mut |_| c += 1);
+        c
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        (**self).for_each_successor(v, visit);
+    }
+    fn successors(&self, v: usize) -> Vec<usize> {
+        (**self).successors(v)
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        (**self).has_edge(u, v)
+    }
+    fn out_degree(&self, v: usize) -> usize {
+        (**self).out_degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    #[test]
+    fn default_methods_consistent() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(Topology::successors(&g, 0), vec![1, 0]);
+        // Reference blanket impl.
+        let r: &dyn Topology = &g;
+        assert_eq!(r.node_count(), 3);
+        assert_eq!((&g).edge_count(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! A materialised undirected multigraph.
+
+/// An undirected multigraph over nodes `0..n`. Used for the undirected de
+/// Bruijn graph UB(d,n), the hypercube and the Hamiltonian-decomposition
+/// figures of Section 3.2.3 (where the modified graph UMB may have doubled
+/// edges).
+#[derive(Clone, Debug, Default)]
+pub struct UnGraph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl UnGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnGraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` (self-loops allowed, stored once).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        self.adj[u].push(v as u32);
+        if u != v {
+            self.adj[v].push(u as u32);
+        }
+        self.edges += 1;
+    }
+
+    /// Adds `{u, v}` only if not already present; returns whether it was added.
+    pub fn add_edge_unique(&mut self, u: usize, v: usize) -> bool {
+        if self.has_edge(u, v) {
+            false
+        } else {
+            self.add_edge(u, v);
+            true
+        }
+    }
+
+    /// Whether `{u, v}` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].iter().any(|&w| w as usize == v)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges (with multiplicity).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Neighbors of `v` (with multiplicity; a self-loop appears once).
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` counting a self-loop once.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterates over each undirected edge once, as `(min, max)` pairs with multiplicity.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, vs)| {
+            vs.iter()
+                .filter(move |&&v| v as usize >= u)
+                .map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// Whether the graph is connected (ignoring isolated-node-free special
+    /// cases: the empty graph is considered connected).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in &self.adj[v] {
+                let u = u as usize;
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// The degree multiset as a sorted vector — handy for checking the
+    /// degree profile of UB(d,n) stated in Section 1.2.
+    #[must_use]
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = (0..self.len()).map(|v| self.degree(v)).collect();
+        d.sort_unstable();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_edges() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(!g.is_connected());
+        g.add_edge(1, 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn unique_edges_and_degree_sequence() {
+        let mut g = UnGraph::new(3);
+        assert!(g.add_edge_unique(0, 1));
+        assert!(!g.add_edge_unique(1, 0));
+        g.add_edge(1, 2);
+        assert_eq!(g.degree_sequence(), vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Necklace counting by Möbius inversion (Chapter 4).
+//!
+//! The paper's Propositions 4.1 and 4.2: for any pair of functions (f, g)
+//! satisfying Conditions A and B, the number of necklaces of length t | n
+//! whose nodes satisfy `f(x) = g(n)` is
+//!
+//! ```text
+//! (1/t) Σ_{j | t} #Γ(j) · μ(t/j)           (Proposition 4.1)
+//! ```
+//!
+//! and the total number of such necklaces is
+//!
+//! ```text
+//! (1/n) Σ_{j | n} #Γ(j) · φ(n/j)           (Proposition 4.2)
+//! ```
+//!
+//! where `Γ(j) = {x ∈ Z_d^j : f(x) = g(j)}`. The module exposes the general
+//! inversion as [`count_by_class_size`] / [`count_total_by_class_size`] and
+//! the paper's concrete specialisations: counting by length, by weight (for
+//! any alphabet size, using the bounded-composition counts c_d(n,k)), and
+//! by type.
+
+use dbg_algebra::num::{divisors, euler_phi, mobius, pow};
+
+/// Binomial coefficient C(n, k) as u128 (exact for the ranges used here).
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * u128::from(n - i) / u128::from(i + 1);
+    }
+    num
+}
+
+/// c_d(n, k): the number of d-ary n-tuples of weight (digit sum) k, i.e.
+/// the number of ways to choose k among n objects with each object taken at
+/// most d−1 times. Chapter 4 gives the inclusion–exclusion form
+/// `Σ_i (−1)^i C(n,i) C(n−1+k−d·i, n−1)`.
+#[must_use]
+pub fn tuples_of_weight(d: u64, n: u64, k: u64) -> u128 {
+    if d == 0 || n == 0 {
+        return u128::from(k == 0);
+    }
+    if k > n * (d - 1) {
+        return 0;
+    }
+    let mut total: i128 = 0;
+    for i in 0..=k / d {
+        let term = binomial(n, i) as i128 * binomial(n - 1 + k - d * i, n - 1) as i128;
+        if i % 2 == 0 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    debug_assert!(total >= 0);
+    total as u128
+}
+
+/// The generic Proposition 4.1: the number of necklaces of length `t`
+/// (which must divide n) whose nodes lie in the class whose size on
+/// j-tuples is `class_size(j)` (= #Γ(j)).
+///
+/// `class_size(j)` must return 0 whenever the class is empty or undefined
+/// for length j (e.g. a fractional target weight).
+#[must_use]
+pub fn count_by_class_size<F: Fn(u64) -> u128>(t: u64, class_size: F) -> u128 {
+    let mut sum: i128 = 0;
+    for j in divisors(t) {
+        sum += class_size(j) as i128 * i128::from(mobius(t / j));
+    }
+    debug_assert!(sum >= 0, "Möbius inversion produced a negative count");
+    (sum / i128::from(t)) as u128
+}
+
+/// The generic Proposition 4.2: the total number of necklaces (over all
+/// lengths dividing n) whose nodes lie in the class of size `class_size(j)`.
+#[must_use]
+pub fn count_total_by_class_size<F: Fn(u64) -> u128>(n: u64, class_size: F) -> u128 {
+    let mut sum: u128 = 0;
+    for j in divisors(n) {
+        sum += class_size(j) * u128::from(euler_phi(n / j));
+    }
+    sum / u128::from(n)
+}
+
+/// The number of necklaces of length `t` in B(d,n) (t must divide n):
+/// `(1/t) Σ_{j|t} d^j μ(t/j)`.
+#[must_use]
+pub fn count_necklaces_by_length(d: u64, n: u64, t: u64) -> u128 {
+    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    count_by_class_size(t, |j| u128::from(pow(d, j as u32)))
+}
+
+/// The total number of necklaces in B(d,n): `(1/n) Σ_{j|n} d^j φ(n/j)`.
+#[must_use]
+pub fn count_necklaces_total(d: u64, n: u64) -> u128 {
+    count_total_by_class_size(n, |j| u128::from(pow(d, j as u32)))
+}
+
+/// The number of necklaces of length `t` in B(d,n) made up of nodes of
+/// weight `k` (t must divide n). The class size for j-tuples is
+/// c_d(j, jk/n) when jk/n is an integer and 0 otherwise.
+#[must_use]
+pub fn count_necklaces_by_weight_and_length(d: u64, n: u64, k: u64, t: u64) -> u128 {
+    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    count_by_class_size(t, |j| {
+        if (j * k) % n == 0 {
+            tuples_of_weight(d, j, j * k / n)
+        } else {
+            0
+        }
+    })
+}
+
+/// The total number of necklaces of weight `k` in B(d,n).
+#[must_use]
+pub fn count_necklaces_by_weight(d: u64, n: u64, k: u64) -> u128 {
+    count_total_by_class_size(n, |j| {
+        if (j * k) % n == 0 {
+            tuples_of_weight(d, j, j * k / n)
+        } else {
+            0
+        }
+    })
+}
+
+/// Multinomial coefficient `(Σ k_i)! / Π k_i!`.
+#[must_use]
+pub fn multinomial(parts: &[u64]) -> u128 {
+    let mut total = 0u64;
+    let mut result: u128 = 1;
+    for &k in parts {
+        total += k;
+        result *= binomial(total, k);
+    }
+    result
+}
+
+/// The number of necklaces of length `t` in B(d,n) whose nodes have type
+/// `K = [k_0, …, k_{d−1}]` (digit a occurring k_a times, Σ k_a = n).
+/// The class size for j-tuples is the multinomial `j!/Π(j·k_a/n)!` when all
+/// the scaled counts are integers, else 0.
+#[must_use]
+pub fn count_necklaces_by_type(d: u64, n: u64, node_type: &[u64], t: u64) -> u128 {
+    assert_eq!(node_type.len() as u64, d, "type vector must have d entries");
+    assert_eq!(node_type.iter().sum::<u64>(), n, "type entries must sum to n");
+    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    count_by_class_size(t, |j| {
+        if node_type.iter().all(|&k| (j * k) % n == 0) {
+            let parts: Vec<u64> = node_type.iter().map(|&k| j * k / n).collect();
+            multinomial(&parts)
+        } else {
+            0
+        }
+    })
+}
+
+/// The total number of necklaces of the given type in B(d,n), over all
+/// lengths dividing n.
+#[must_use]
+pub fn count_necklaces_by_type_total(d: u64, n: u64, node_type: &[u64]) -> u128 {
+    assert_eq!(node_type.len() as u64, d, "type vector must have d entries");
+    assert_eq!(node_type.iter().sum::<u64>(), n, "type entries must sum to n");
+    count_total_by_class_size(n, |j| {
+        if node_type.iter().all(|&k| (j * k) % n == 0) {
+            let parts: Vec<u64> = node_type.iter().map(|&k| j * k / n).collect();
+            multinomial(&parts)
+        } else {
+            0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::necklace::NecklacePartition;
+    use dbg_algebra::words::WordSpace;
+
+    #[test]
+    fn binomial_and_multinomial() {
+        assert_eq!(binomial(6, 2), 15);
+        assert_eq!(binomial(12, 4), 495);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(multinomial(&[3, 2, 1]), 60);
+        assert_eq!(multinomial(&[0, 0]), 1);
+    }
+
+    #[test]
+    fn tuples_of_weight_small_cases() {
+        // Binary: c_2(n,k) = C(n,k).
+        for n in 0..8u64 {
+            for k in 0..=n {
+                assert_eq!(tuples_of_weight(2, n, k), binomial(n, k));
+            }
+        }
+        // Ternary 4-tuples of weight 4: 19 (used in the paper's B(3,4) example).
+        assert_eq!(tuples_of_weight(3, 4, 4), 19);
+        assert_eq!(tuples_of_weight(3, 2, 2), 3);
+        assert_eq!(tuples_of_weight(3, 1, 1), 1);
+        // Out-of-range weights.
+        assert_eq!(tuples_of_weight(3, 2, 5), 0);
+    }
+
+    #[test]
+    fn tuples_of_weight_matches_enumeration() {
+        for (d, n) in [(3u64, 4u32), (4, 3), (5, 3)] {
+            let s = WordSpace::new(d, n);
+            let mut by_weight = std::collections::HashMap::new();
+            for code in s.iter() {
+                *by_weight.entry(s.weight(code)).or_insert(0u128) += 1;
+            }
+            for k in 0..=(u64::from(n) * (d - 1)) {
+                assert_eq!(
+                    tuples_of_weight(d, u64::from(n), k),
+                    by_weight.get(&k).copied().unwrap_or(0),
+                    "d={d} n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_length_6_in_b2_12() {
+        // (1/6)[2μ(6) + 4μ(3) + 8μ(2) + 64μ(1)] = (2 − 4 − 8 + 64)/6 = 9.
+        assert_eq!(count_necklaces_by_length(2, 12, 6), 9);
+    }
+
+    #[test]
+    fn paper_example_total_in_b2_12() {
+        // (1/12)[2φ(12)+4φ(6)+8φ(4)+16φ(3)+64φ(2)+4096φ(1)] = 352.
+        assert_eq!(count_necklaces_total(2, 12), 352);
+    }
+
+    #[test]
+    fn paper_example_weight_4_length_6_in_b2_12() {
+        // (1/6)[C(6,2)μ(1) + C(3,1)μ(2)] = (15 − 3)/6 = 2.
+        assert_eq!(count_necklaces_by_weight_and_length(2, 12, 4, 6), 2);
+    }
+
+    #[test]
+    fn paper_example_weight_4_total_in_b2_12() {
+        // (1/12)[C(12,4)φ(1) + C(6,2)φ(2) + C(3,1)φ(4)] = (495+15+6)/12 = 43.
+        assert_eq!(count_necklaces_by_weight(2, 12, 4), 43);
+    }
+
+    #[test]
+    fn paper_example_weight_4_length_4_in_b3_4() {
+        // (1/4)[c3(4,4)μ(1) + c3(2,2)μ(2) + c3(1,1)μ(4)] = (19 − 3)/4 = 4.
+        assert_eq!(count_necklaces_by_weight_and_length(3, 4, 4, 4), 4);
+    }
+
+    #[test]
+    fn totals_match_explicit_partition() {
+        for (d, n) in [(2u64, 8u32), (3, 5), (4, 4), (5, 3)] {
+            let part = NecklacePartition::new(WordSpace::new(d, n));
+            assert_eq!(
+                count_necklaces_total(d, u64::from(n)),
+                part.len() as u128,
+                "d={d} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_counts_match_explicit_partition() {
+        for (d, n) in [(2u64, 12u32), (3, 6), (4, 4)] {
+            let part = NecklacePartition::new(WordSpace::new(d, n));
+            for t in dbg_algebra::num::divisors(u64::from(n)) {
+                let explicit = part.necklaces().iter().filter(|x| x.len() as u64 == t).count();
+                assert_eq!(
+                    count_necklaces_by_length(d, u64::from(n), t),
+                    explicit as u128,
+                    "d={d} n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_counts_match_explicit_partition() {
+        for (d, n) in [(2u64, 10u32), (3, 5)] {
+            let s = WordSpace::new(d, n);
+            let part = NecklacePartition::new(s);
+            for k in 0..=(u64::from(n) * (d - 1)) {
+                let explicit = part
+                    .necklaces()
+                    .iter()
+                    .filter(|x| s.weight(x.representative()) == k)
+                    .count();
+                assert_eq!(
+                    count_necklaces_by_weight(d, u64::from(n), k),
+                    explicit as u128,
+                    "d={d} n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type_counts_match_explicit_partition() {
+        let d = 3u64;
+        let n = 4u32;
+        let s = WordSpace::new(d, n);
+        let part = NecklacePartition::new(s);
+        // Check every type vector that sums to n.
+        for k0 in 0..=4u64 {
+            for k1 in 0..=(4 - k0) {
+                let k2 = 4 - k0 - k1;
+                let ty = vec![k0, k1, k2];
+                let explicit_total = part
+                    .necklaces()
+                    .iter()
+                    .filter(|x| {
+                        s.word_type(x.representative())
+                            .iter()
+                            .map(|&c| u64::from(c))
+                            .collect::<Vec<_>>()
+                            == ty
+                    })
+                    .count();
+                assert_eq!(
+                    count_necklaces_by_type_total(d, u64::from(n), &ty),
+                    explicit_total as u128,
+                    "type {ty:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_type_equals_weight() {
+        // For d = 2, type [n−k, k] iff weight k (noted at the end of Ch. 4).
+        for n in 2..=10u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    count_necklaces_by_type_total(2, n, &[n - k, k]),
+                    count_necklaces_by_weight(2, n, k)
+                );
+            }
+        }
+    }
+}

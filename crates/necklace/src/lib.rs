@@ -1,0 +1,26 @@
+//! Necklaces (rotation classes) of d-ary words and their enumeration.
+//!
+//! The node set of B(d,n) is partitioned by the cycles
+//! `N(x) = (x_1…x_n, x_2…x_n x_1, …)` obtained by rotating a word — the
+//! paper calls these **necklaces** (Section 2.1). They are simultaneously
+//!
+//! * the small disjoint cycles the FFC algorithm stitches into a large
+//!   fault-free ring (Chapter 2), and
+//! * the combinatorial objects counted in Chapter 4.
+//!
+//! [`necklace`] holds the structural machinery (representatives, periods,
+//! the partition of B(d,n), fault marking); [`count`] holds the
+//! Möbius-inversion counting formulas (Propositions 4.1 and 4.2) together
+//! with the specialisations by length, weight and type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod necklace;
+
+pub use count::{
+    count_necklaces_by_length, count_necklaces_by_type, count_necklaces_by_weight,
+    count_necklaces_by_weight_and_length, count_necklaces_total, tuples_of_weight,
+};
+pub use necklace::{Necklace, NecklacePartition};

@@ -1,0 +1,31 @@
+//! Synchronous message-passing simulation of de Bruijn networks and the
+//! distributed fault-free-cycle protocol (Section 2.4 of Rowley & Bose).
+//!
+//! The thesis describes the FFC algorithm twice: as a graph construction
+//! (Chapter 2, reproduced in `debruijn-core::ffc`) and as a *network-level
+//! distributed algorithm* in which every processor only ever uses its own
+//! state and the messages it receives from direct neighbours, finishing in
+//! O(K + n) communication rounds. This crate builds the second view:
+//!
+//! * [`network`] — a synchronous round-based message-passing fabric over
+//!   any [`Topology`](dbg_graph::Topology), with node and link fault
+//!   injection, edge-validity enforcement and message accounting.
+//! * [`ffc_distributed`] — the five-phase distributed FFC protocol
+//!   (necklace probing, broadcast, necklace-level tree construction,
+//!   w-group cycling, local successor computation), whose output is checked
+//!   against the centralized algorithm.
+//! * [`ring`] — ring-structured collective communication (all-to-all
+//!   broadcast over one embedded ring, or split across several edge-disjoint
+//!   rings), the workload that motivates the ring embeddings in the first
+//!   place (Chapter 3 introduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ffc_distributed;
+pub mod network;
+pub mod ring;
+
+pub use ffc_distributed::{DistributedFfc, DistributedOutcome};
+pub use network::{Network, NetworkStats};
+pub use ring::{all_to_all_broadcast, split_all_to_all_broadcast, RingBroadcastReport};

@@ -1,0 +1,190 @@
+//! A synchronous, round-based message-passing network.
+//!
+//! The model matches the assumptions of Section 2.4: computation proceeds
+//! in lock-step rounds; in each round a processor may send one message to
+//! every out-neighbour (multi-port communication); messages sent in round r
+//! are delivered at the start of round r + 1. Failed processors neither
+//! send nor receive; failed links silently drop traffic (and the drops are
+//! counted, since a protocol that "works" by luck should be visible as
+//! such in the statistics).
+
+use dbg_graph::{FaultSet, Topology};
+
+/// Counters accumulated over a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct NetworkStats {
+    /// Completed communication rounds.
+    pub rounds: usize,
+    /// Messages handed to the fabric by senders.
+    pub messages_sent: u64,
+    /// Messages actually delivered to a live receiver.
+    pub messages_delivered: u64,
+    /// Messages dropped because of a faulty link or endpoint.
+    pub messages_dropped: u64,
+}
+
+/// An outgoing message: `(from, to, payload)`.
+pub type Outgoing<M> = (usize, usize, M);
+
+/// A synchronous message-passing network over a topology with faults.
+#[derive(Debug)]
+pub struct Network<'a, T: Topology> {
+    topology: &'a T,
+    faults: &'a FaultSet,
+    stats: NetworkStats,
+}
+
+impl<'a, T: Topology> Network<'a, T> {
+    /// Creates a network over `topology` with the given fault set.
+    #[must_use]
+    pub fn new(topology: &'a T, faults: &'a FaultSet) -> Self {
+        Network {
+            topology,
+            faults,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &T {
+        self.topology
+    }
+
+    /// The number of processors (including failed ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// Whether the network has no processors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.topology.node_count() == 0
+    }
+
+    /// Whether processor `v` is alive.
+    #[must_use]
+    pub fn alive(&self, v: usize) -> bool {
+        !self.faults.node_is_faulty(v)
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Executes one synchronous round: takes every message produced by the
+    /// senders this round and returns, for each node, the inbox it will see
+    /// at the start of the next round.
+    ///
+    /// # Panics
+    /// Panics if a message is sent along a pair that is not an edge of the
+    /// topology — that is a protocol bug, not a fault.
+    pub fn exchange<M>(&mut self, outgoing: Vec<Outgoing<M>>) -> Vec<Vec<M>> {
+        let mut inboxes: Vec<Vec<M>> = (0..self.len()).map(|_| Vec::new()).collect();
+        for (from, to, payload) in outgoing {
+            assert!(
+                self.topology.has_edge(from, to),
+                "protocol bug: message sent along non-edge {from} -> {to}"
+            );
+            self.stats.messages_sent += 1;
+            if self.faults.node_is_faulty(from)
+                || self.faults.node_is_faulty(to)
+                || self.faults.edge_is_faulty(from, to)
+            {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            self.stats.messages_delivered += 1;
+            inboxes[to].push(payload);
+        }
+        self.stats.rounds += 1;
+        inboxes
+    }
+
+    /// Runs a round in which every live node computes its outgoing messages
+    /// from its current inbox via `step(node, inbox) -> messages`, returning
+    /// the next inboxes. Convenience wrapper over [`Network::exchange`].
+    pub fn round<M, F>(&mut self, inboxes: &[Vec<M>], mut step: F) -> Vec<Vec<M>>
+    where
+        F: FnMut(usize, &[M]) -> Vec<(usize, M)>,
+    {
+        let mut outgoing = Vec::new();
+        for v in 0..self.len() {
+            if !self.alive(v) {
+                continue;
+            }
+            for (to, payload) in step(v, &inboxes[v]) {
+                outgoing.push((v, to, payload));
+            }
+        }
+        self.exchange(outgoing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbg_graph::DeBruijn;
+
+    #[test]
+    fn messages_travel_one_hop_per_round() {
+        let g = DeBruijn::new(2, 3);
+        let faults = FaultSet::new();
+        let mut net = Network::new(&g, &faults);
+        // 000 sends its id to 001.
+        let inboxes = net.exchange(vec![(0usize, 1usize, 42u32)]);
+        assert_eq!(inboxes[1], vec![42]);
+        assert!(inboxes[0].is_empty());
+        let stats = net.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.messages_delivered, 1);
+        assert_eq!(stats.messages_dropped, 0);
+    }
+
+    #[test]
+    fn faulty_nodes_and_links_drop_messages() {
+        let g = DeBruijn::new(2, 3);
+        let mut faults = FaultSet::new();
+        faults.fail_node(1);
+        faults.fail_edge(2, 4);
+        let mut net = Network::new(&g, &faults);
+        let inboxes = net.exchange(vec![(0, 1, "a"), (2, 4, "b"), (2, 5, "c")]);
+        assert!(inboxes[1].is_empty());
+        assert!(inboxes[4].is_empty());
+        assert_eq!(inboxes[5], vec!["c"]);
+        assert_eq!(net.stats().messages_dropped, 2);
+        assert_eq!(net.stats().messages_delivered, 1);
+        assert!(!net.alive(1));
+        assert!(net.alive(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn sending_over_a_non_edge_is_a_protocol_bug() {
+        let g = DeBruijn::new(2, 3);
+        let faults = FaultSet::new();
+        let mut net = Network::new(&g, &faults);
+        let _ = net.exchange(vec![(0usize, 7usize, ())]);
+    }
+
+    #[test]
+    fn round_helper_skips_dead_nodes() {
+        let g = DeBruijn::new(2, 2);
+        let mut faults = FaultSet::new();
+        faults.fail_node(3);
+        let mut net = Network::new(&g, &faults);
+        let empty: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        // Every node tries to flood its id to all successors.
+        let inboxes = net.round(&empty, |v, _| {
+            g.successors(v).into_iter().map(|u| (u, v as u32)).collect()
+        });
+        // Node 3 is dead: it neither sent nor received.
+        assert!(inboxes[3].is_empty());
+        // Node 1 receives from 0 (edge 0->1) but not from dead 3... (3->1 does not exist in B(2,2): 3=11 -> 10,11)
+        assert!(inboxes[1].contains(&0));
+        assert_eq!(net.stats().rounds, 1);
+    }
+}

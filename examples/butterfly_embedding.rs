@@ -1,0 +1,54 @@
+//! Lifting de Bruijn rings into a butterfly network (Section 3.4).
+//!
+//! The wrapped butterfly F(d,n) contracts onto B(d,n); when gcd(d,n) = 1
+//! every Hamiltonian cycle of the de Bruijn graph unrolls to a Hamiltonian
+//! cycle of the butterfly, carrying the edge-fault tolerance with it.
+//!
+//! Run with: `cargo run --release --example butterfly_embedding`
+
+use debruijn_rings::prelude::*;
+
+fn main() {
+    let d = 4;
+    let n = 3; // gcd(4,3) = 1, F(4,3) has 192 processors
+    let embedder = ButterflyEmbedder::new(d, n);
+    let butterfly = embedder.butterfly();
+    println!(
+        "F({d},{n}): {} processors across {} levels, {} directed links",
+        butterfly.len(),
+        butterfly.n(),
+        butterfly.edge_count()
+    );
+
+    // psi(4) = 3 edge-disjoint Hamiltonian cycles, lifted from B(4,3).
+    let rings = embedder.disjoint_hamiltonian_cycles();
+    println!("lifted {} edge-disjoint Hamiltonian cycles (psi({d}) = {})", rings.len(), psi(d));
+    for (i, ring) in rings.iter().enumerate() {
+        println!("  ring {}: {} butterfly nodes, starts at {}", i, ring.len(), butterfly.label(ring[0]));
+    }
+
+    // Link failures in the butterfly are projected down to B(d,n), solved
+    // there, and the solution lifted back (Proposition 3.5).
+    let faults: Vec<(usize, usize)> = rings[0][..2]
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .chain(rings[1][..2].windows(2).map(|w| (w[0], w[1])))
+        .collect();
+    let cycle = embedder
+        .hamiltonian_avoiding(&faults)
+        .expect("two link failures are within MAX{psi-1, phi} = 2 for d = 4");
+    println!(
+        "after {} butterfly link failures: Hamiltonian ring of {} processors recovered",
+        faults.len(),
+        cycle.len()
+    );
+
+    // The contraction in the other direction: de Bruijn classes partition
+    // the butterfly nodes.
+    let debruijn = DeBruijn::new(d, n);
+    let class = butterfly.debruijn_class(debruijn.node("012").unwrap() as u64);
+    println!(
+        "butterfly class of de Bruijn node 012: {:?}",
+        class.iter().map(|&v| butterfly.label(v)).collect::<Vec<_>>()
+    );
+}

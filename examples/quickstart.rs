@@ -1,0 +1,59 @@
+//! Quickstart: embed a fault-free ring in a 4096-processor de Bruijn
+//! network with failed processors, and compare against the hypercube
+//! baseline the paper uses as its yard-stick.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use debruijn_rings::prelude::*;
+
+fn main() {
+    // The paper's headline instance: B(4,6) has 4096 processors, the same
+    // as the 12-dimensional hypercube, but 1.5x fewer links.
+    let ffc = Ffc::new(4, 6);
+    let graph = ffc.graph();
+    println!(
+        "B(4,6): {} processors, {} directed links",
+        graph.len(),
+        graph.edge_count()
+    );
+
+    // Two processors fail.
+    let failed = vec![
+        graph.node("012301").expect("valid label"),
+        graph.node("330011").expect("valid label"),
+    ];
+    println!(
+        "failed processors: {:?}",
+        failed.iter().map(|&v| graph.label(v)).collect::<Vec<_>>()
+    );
+
+    // The FFC algorithm joins the surviving necklaces into one ring.
+    let outcome = ffc.embed(&failed);
+    println!(
+        "fault-free ring: {} of {} processors (guarantee for f = {}: {})",
+        outcome.cycle.len(),
+        graph.len(),
+        failed.len(),
+        FfcOutcome::guarantee(4, 6, failed.len())
+    );
+    println!(
+        "necklaces removed: {} ({} processors), broadcast depth: {} rounds",
+        outcome.faulty_necklaces, outcome.removed_nodes, outcome.eccentricity
+    );
+
+    // The hypercube with the same number of processors and the same faults.
+    let hypercube = HypercubeRingEmbedder::new(12);
+    let hc_ring = hypercube.embed(&failed).expect("two faults are within n-2");
+    println!(
+        "hypercube Q(12): ring of {} processors (guarantee {}), using {} links",
+        hc_ring.len(),
+        HypercubeRingEmbedder::guaranteed_length(12, failed.len()),
+        Hypercube::new(12).link_count()
+    );
+
+    // How many link failures could B(4,6) absorb while staying Hamiltonian?
+    println!(
+        "link-failure tolerance of B(4,·): MAX{{psi-1, phi}} = {}",
+        edge_fault_tolerance(4)
+    );
+}

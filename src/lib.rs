@@ -1,0 +1,76 @@
+//! # debruijn-rings
+//!
+//! Fault-tolerant ring embedding in de Bruijn networks — a full Rust
+//! implementation of Rowley & Bose's results (ICPP 1991 / IEEE ToC 1993 and
+//! the 1993 OSU thesis of the same title).
+//!
+//! This facade crate re-exports the workspace so applications can depend on
+//! a single crate:
+//!
+//! * [`algebra`] — number theory, finite fields GF(p^e), polynomials, LFSR
+//!   sequences and d-ary words.
+//! * [`graph`] — de Bruijn, butterfly, hypercube, shuffle-exchange and Kautz
+//!   topologies plus the graph algorithms used by the embeddings.
+//! * [`necklace`] — necklace (rotation-class) machinery and the Chapter 4
+//!   counting formulas.
+//! * [`core`] — the embeddings themselves: the FFC algorithm for node
+//!   failures, edge-disjoint Hamiltonian cycles, link-failure-tolerant
+//!   Hamiltonian cycles, the modified graph MB(d,n) and butterfly lifting.
+//! * [`netsim`] — a synchronous message-passing simulator, the distributed
+//!   FFC protocol of Section 2.4 and ring-based collectives.
+//! * [`baselines`] — the hypercube ring embedder and a greedy baseline used
+//!   for comparisons.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use debruijn_rings::prelude::*;
+//!
+//! // A 4096-processor network B(4,6) with two failed processors.
+//! let ffc = Ffc::new(4, 6);
+//! let failed = vec![17, 2048];
+//! let ring = ffc.embed(&failed);
+//! assert!(ring.cycle.len() >= FfcOutcome::guarantee(4, 6, failed.len())); // ≥ 4084
+//!
+//! // Three edge-disjoint Hamiltonian cycles of B(4,2) (ψ(4) = 3).
+//! let family = DisjointHamiltonianCycles::construct(4, 2);
+//! assert_eq!(family.count(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dbg_algebra as algebra;
+pub use dbg_baselines as baselines;
+pub use dbg_graph as graph;
+pub use dbg_necklace as necklace;
+pub use dbg_netsim as netsim;
+pub use debruijn_core as core;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dbg_algebra::words::WordSpace;
+    pub use dbg_algebra::{GField, Lfsr};
+    pub use dbg_baselines::HypercubeRingEmbedder;
+    pub use dbg_graph::{Butterfly, DeBruijn, FaultSet, Hypercube, Topology, UndirectedDeBruijn};
+    pub use dbg_necklace::{Necklace, NecklacePartition};
+    pub use dbg_netsim::{all_to_all_broadcast, split_all_to_all_broadcast, DistributedFfc, Network};
+    pub use debruijn_core::{
+        edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, ButterflyEmbedder,
+        DisjointHamiltonianCycles, EdgeFaultEmbedder, Ffc, FfcOutcome, MaximalCycleFamily,
+        ModifiedDeBruijn, NecklaceAdjacency,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let ffc = Ffc::new(3, 3);
+        let out = ffc.embed(&[4]);
+        assert!(out.cycle.len() >= FfcOutcome::guarantee(3, 3, 1));
+        assert_eq!(psi(4), 3);
+    }
+}

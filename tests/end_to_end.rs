@@ -1,0 +1,149 @@
+//! Cross-crate integration tests exercising the public facade the same way
+//! the examples do: topology construction → fault injection → embedding →
+//! verification → simulation.
+
+use debruijn_rings::core::verify;
+use debruijn_rings::prelude::*;
+
+#[test]
+fn node_fault_pipeline_end_to_end() {
+    // B(4,5), the Table 2.2 network, with two failed processors.
+    let ffc = Ffc::new(4, 5);
+    let graph = ffc.graph();
+    let failed = vec![graph.node("01230").unwrap(), graph.node("33211").unwrap()];
+
+    let outcome = ffc.embed(&failed);
+    // The ring is a genuine cycle of the de Bruijn graph, avoids the faulty
+    // necklaces entirely, and meets the d^n − n·f guarantee.
+    assert!(verify::is_debruijn_ring(4, 5, &outcome.cycle));
+    let partition = ffc.partition();
+    let dead: Vec<usize> = (0..graph.len())
+        .filter(|&v| {
+            failed
+                .iter()
+                .any(|&f| partition.same_necklace(v as u64, f as u64))
+        })
+        .collect();
+    assert!(verify::ring_avoids_nodes(&outcome.cycle, &dead));
+    assert!(outcome.cycle.len() >= FfcOutcome::guarantee(4, 5, failed.len()));
+
+    // The ring actually carries a collective.
+    let report = all_to_all_broadcast(graph, &outcome.cycle);
+    assert!(report.complete);
+    assert_eq!(report.rounds, outcome.cycle.len() - 1);
+}
+
+#[test]
+fn link_fault_pipeline_end_to_end() {
+    let d = 9;
+    let n = 2;
+    let graph = DeBruijn::new(d, n);
+    let embedder = EdgeFaultEmbedder::new(d, n);
+    // Break the guaranteed-tolerable number of links, spread deterministically.
+    let tolerance = edge_fault_tolerance(d) as usize;
+    let faults: Vec<(usize, usize)> = (0..graph.len())
+        .flat_map(|u| graph.successors(u).into_iter().map(move |v| (u, v)))
+        .filter(|&(u, v)| u != v)
+        .step_by(17)
+        .take(tolerance)
+        .collect();
+    assert_eq!(faults.len(), tolerance);
+
+    let ring = embedder.hamiltonian_avoiding(&faults).expect("within tolerance");
+    assert!(verify::is_debruijn_hamiltonian(d, n, &ring));
+    assert!(verify::ring_avoids_edges(&ring, &faults));
+}
+
+#[test]
+fn disjoint_family_feeds_split_broadcast() {
+    let d = 5;
+    let n = 3;
+    let graph = DeBruijn::new(d, n);
+    let family = DisjointHamiltonianCycles::construct(d, n);
+    assert_eq!(family.count() as u64, psi(d));
+    assert!(verify::family_is_edge_disjoint(family.cycles()));
+    for cycle in family.cycles() {
+        assert!(verify::is_debruijn_hamiltonian(d, n, cycle));
+    }
+    let report = split_all_to_all_broadcast(&graph, family.cycles());
+    assert!(report.complete);
+    assert_eq!(report.participants, graph.len());
+}
+
+#[test]
+fn distributed_protocol_agrees_with_centralized_through_the_facade() {
+    let protocol = DistributedFfc::new(4, 3);
+    let failed = vec![5usize, 44];
+    let distributed = protocol.run(&failed);
+    let centralized = protocol.reference().embed(&failed);
+    assert_eq!(distributed.cycle.unwrap(), centralized.cycle);
+    assert_eq!(distributed.rounds.broadcast_depth, centralized.eccentricity);
+}
+
+#[test]
+fn butterfly_lift_preserves_fault_avoidance() {
+    let embedder = ButterflyEmbedder::new(3, 4); // gcd(3,4) = 1
+    let butterfly = embedder.butterfly();
+    let rings = embedder.disjoint_hamiltonian_cycles();
+    assert_eq!(rings.len() as u64, psi(3));
+    for ring in &rings {
+        assert_eq!(ring.len(), butterfly.len());
+        assert!(verify::is_ring_of(butterfly, ring));
+    }
+    // Knock out one butterfly link used by the first ring and re-embed.
+    let fault = (rings[0][0], rings[0][1]);
+    let recovered = embedder.hamiltonian_avoiding(&[fault]).expect("phi(3) = 1");
+    assert!(verify::is_ring_of(butterfly, &recovered));
+    assert!(verify::ring_avoids_edges(&recovered, &[fault]));
+}
+
+#[test]
+fn modified_graph_decomposition_via_facade() {
+    let m = ModifiedDeBruijn::construct(5, 2);
+    assert_eq!(m.cycles().len(), 5);
+    assert!(verify::family_is_edge_disjoint(m.cycles()));
+    // UMB contains UB.
+    let ub = UndirectedDeBruijn::new(5, 2);
+    let umb = m.undirected();
+    for (a, b) in ub.graph().edges() {
+        assert!(umb.has_edge(a, b));
+    }
+}
+
+#[test]
+fn hypercube_baseline_and_debruijn_meet_their_guarantees_on_equal_sizes() {
+    // 256 processors: B(4,4) vs Q(8), with the same two failures.
+    let ffc = Ffc::new(4, 4);
+    let hypercube = HypercubeRingEmbedder::new(8);
+    let failed = vec![7usize, 200];
+    let db = ffc.embed(&failed);
+    let hc = hypercube.embed(&failed).unwrap();
+    assert!(db.cycle.len() >= FfcOutcome::guarantee(4, 4, 2));
+    assert!(hc.len() >= HypercubeRingEmbedder::guaranteed_length(8, 2));
+}
+
+#[test]
+fn necklace_counts_agree_with_graph_partition() {
+    use debruijn_rings::necklace::count_necklaces_total;
+    for (d, n) in [(2u64, 9u32), (3, 5), (5, 4)] {
+        let partition = NecklacePartition::new(WordSpace::new(d, n));
+        assert_eq!(count_necklaces_total(d, u64::from(n)), partition.len() as u128);
+    }
+}
+
+#[test]
+fn algebra_layer_supports_the_construction_it_claims() {
+    // A maximal cycle built from the algebra layer really is a cycle of the
+    // graph layer missing exactly one node.
+    let family = MaximalCycleFamily::new(9, 2);
+    let graph = DeBruijn::new(9, 2);
+    let nodes = family.translate_nodes(4);
+    assert_eq!(nodes.len(), graph.len() - 1);
+    for i in 0..nodes.len() {
+        assert!(graph.is_edge(nodes[i], nodes[(i + 1) % nodes.len()]));
+    }
+    let field = GField::new(9);
+    assert_eq!(field.characteristic(), 3);
+    let lfsr = Lfsr::new(field, &[1, 1], &[0, 1]);
+    assert!(lfsr.period() > 1);
+}

@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction. Each property is phrased over randomly drawn parameters and
+//! fault patterns, and every failure shrinks to a minimal counterexample.
+
+use proptest::prelude::*;
+
+use debruijn_rings::core::verify;
+use debruijn_rings::prelude::*;
+
+/// Strategy for a small (d, n) pair with d^n bounded, so each case stays fast.
+fn small_debruijn() -> impl Strategy<Value = (u64, u32)> {
+    prop_oneof![
+        (2u64..=2, 3u32..=9),
+        (3u64..=3, 2u32..=5),
+        (4u64..=4, 2u32..=4),
+        (5u64..=5, 2u32..=3),
+        (6u64..=7, 2u32..=3),
+        (8u64..=9, 2u32..=2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Words: rotation is a bijection of period dividing n, and the
+    /// canonical rotation is a fixed representative of the orbit.
+    #[test]
+    fn word_rotation_properties((d, n) in small_debruijn(), raw in any::<u64>()) {
+        let space = WordSpace::new(d, n);
+        let code = raw % space.count();
+        let rotated = space.rotate_left_by(code, n);
+        prop_assert_eq!(rotated, code);
+        let canon = space.canonical_rotation(code);
+        prop_assert!(canon <= code);
+        prop_assert_eq!(space.canonical_rotation(space.rotate_left(code)), canon);
+        prop_assert_eq!(u64::from(n) % u64::from(space.period(code)), 0);
+    }
+
+    /// The FFC embedding always returns a simple fault-free cycle whose
+    /// length equals the surviving component, and meets the d^n − n·f bound
+    /// whenever f ≤ d − 2.
+    #[test]
+    fn ffc_cycle_is_always_valid((d, n) in small_debruijn(), seed in any::<u64>(), faults in 0usize..6) {
+        let ffc = Ffc::new(d, n);
+        let total = ffc.graph().len();
+        let fault_nodes: Vec<usize> = (0..faults)
+            .map(|i| ((seed >> (i * 7)) as usize).wrapping_mul(2654435761) % total)
+            .collect();
+        // Keep the root's necklace alive so `embed` never panics on an empty graph.
+        let outcome = ffc.embed(&fault_nodes);
+        prop_assert_eq!(outcome.cycle.len(), outcome.component_size);
+        if outcome.cycle.len() > 1 {
+            prop_assert!(verify::is_debruijn_ring(d, n, &outcome.cycle));
+        }
+        let partition = ffc.partition();
+        for &v in &outcome.cycle {
+            for &f in &fault_nodes {
+                prop_assert!(!partition.same_necklace(v as u64, f as u64));
+            }
+        }
+        if fault_nodes.len() <= (d.saturating_sub(2)) as usize {
+            prop_assert!(outcome.cycle.len() >= FfcOutcome::guarantee(d, n, fault_nodes.len()));
+            prop_assert!(outcome.eccentricity <= 2 * n as usize);
+        }
+    }
+
+    /// The necklace partition really partitions: sizes sum to d^n, members
+    /// map back to their necklace, and the counting formula agrees.
+    #[test]
+    fn necklace_partition_is_a_partition((d, n) in small_debruijn()) {
+        let space = WordSpace::new(d, n);
+        let partition = NecklacePartition::new(space);
+        let sum: usize = partition.necklaces().iter().map(|x| x.len()).sum();
+        prop_assert_eq!(sum as u64, space.count());
+        prop_assert_eq!(
+            debruijn_rings::necklace::count_necklaces_total(d, u64::from(n)),
+            partition.len() as u128
+        );
+    }
+
+    /// Finite-field sanity over random element pairs: field axioms that the
+    /// table-driven implementation must satisfy.
+    #[test]
+    fn field_arithmetic_properties(q in prop_oneof![Just(4u64), Just(5), Just(7), Just(8), Just(9), Just(16), Just(25), Just(27)], a in any::<u64>(), b in any::<u64>()) {
+        let field = GField::new(q);
+        let a = a % q;
+        let b = b % q;
+        prop_assert_eq!(field.add(a, b), field.add(b, a));
+        prop_assert_eq!(field.mul(a, b), field.mul(b, a));
+        prop_assert_eq!(field.sub(field.add(a, b), b), a);
+        if b != 0 {
+            prop_assert_eq!(field.mul(field.div(a, b), b), a);
+        }
+        prop_assert_eq!(field.mul(a, field.add(b, 1)), field.add(field.mul(a, b), a));
+    }
+
+    /// Every cycle of the disjoint family is Hamiltonian and the family is
+    /// pairwise edge-disjoint, with exactly ψ(d) members.
+    #[test]
+    fn disjoint_family_properties(d in prop_oneof![Just(4u64), Just(5), Just(6), Just(7), Just(8), Just(9), Just(10)], n in 2u32..=3) {
+        prop_assume!(dbg_pow(d, n) <= 1024);
+        let family = DisjointHamiltonianCycles::construct(d, n);
+        prop_assert_eq!(family.count() as u64, psi(d));
+        for cycle in family.cycles() {
+            prop_assert!(verify::is_debruijn_hamiltonian(d, n, cycle));
+        }
+        prop_assert!(verify::family_is_edge_disjoint(family.cycles()));
+    }
+
+    /// Within the guaranteed tolerance, the edge-fault embedder always finds
+    /// a Hamiltonian cycle avoiding the faulty links.
+    #[test]
+    fn edge_fault_embedding_meets_tolerance(d in prop_oneof![Just(4u64), Just(5), Just(6), Just(7), Just(8)], seed in any::<u64>()) {
+        let n = 2u32;
+        let graph = DeBruijn::new(d, n);
+        let tolerance = edge_fault_tolerance(d) as usize;
+        let mut faults = Vec::new();
+        let mut state = seed | 1;
+        while faults.len() < tolerance {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 16) as usize % graph.len();
+            let v = graph.successor(u, (state >> 40) % d);
+            if u != v && !faults.contains(&(u, v)) {
+                faults.push((u, v));
+            }
+        }
+        let cycle = EdgeFaultEmbedder::new(d, n).hamiltonian_avoiding(&faults);
+        prop_assert!(cycle.is_some());
+        let cycle = cycle.unwrap();
+        prop_assert!(verify::is_debruijn_hamiltonian(d, n, &cycle));
+        prop_assert!(verify::ring_avoids_edges(&cycle, &faults));
+    }
+
+    /// Lifting a de Bruijn cycle to the butterfly multiplies its length by
+    /// LCM(k, n)/k and produces a genuine butterfly cycle.
+    #[test]
+    fn butterfly_lift_properties(seed in any::<u64>()) {
+        let d = 3u64;
+        let n = 3u32;
+        let graph = DeBruijn::new(d, n);
+        let butterfly = Butterfly::new(d, n);
+        // Use a necklace as the base cycle: always a valid small cycle.
+        let space = graph.space();
+        let start = seed % space.count();
+        let partition = NecklacePartition::new(space);
+        let neck = partition.necklace_of(start);
+        let cycle: Vec<usize> = neck.nodes(space).into_iter().map(|v| v as usize).collect();
+        let lifted = lift_cycle(&butterfly, &cycle);
+        let expected = dbg_lcm(cycle.len(), n as usize);
+        prop_assert_eq!(lifted.len(), expected);
+        prop_assert!(verify::is_ring_of(&butterfly, &lifted));
+    }
+
+    /// The distributed protocol always reproduces the centralized cycle when
+    /// the fault count is within the strong-connectivity guarantee.
+    #[test]
+    fn distributed_matches_centralized(seed in any::<u64>()) {
+        let d = 4u64;
+        let n = 3u32;
+        let protocol = DistributedFfc::new(d, n);
+        let total = protocol.graph().len();
+        let faults: Vec<usize> = (0..2).map(|i| ((seed >> (i * 13)) as usize) % total).collect();
+        let distributed = protocol.run(&faults);
+        let centralized = protocol.reference().embed(&faults);
+        prop_assert_eq!(distributed.cycle, Some(centralized.cycle));
+    }
+}
+
+fn dbg_pow(d: u64, n: u32) -> u64 {
+    d.pow(n)
+}
+
+fn dbg_lcm(a: usize, b: usize) -> usize {
+    let gcd = {
+        let (mut x, mut y) = (a, b);
+        while y != 0 {
+            let t = x % y;
+            x = y;
+            y = t;
+        }
+        x
+    };
+    a / gcd * b
+}
