@@ -96,10 +96,9 @@ pub fn recurrence_generates(field: &GField, recurrence: &[u64], sequence: &[u64]
         return true;
     }
     (l..sequence.len()).all(|i| {
-        let predicted = recurrence
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (k, &a)| field.add(acc, field.mul(a, sequence[i - l + k])));
+        let predicted = recurrence.iter().enumerate().fold(0u64, |acc, (k, &a)| {
+            field.add(acc, field.mul(a, sequence[i - l + k]))
+        });
         predicted == sequence[i]
     })
 }

@@ -109,7 +109,14 @@ impl GField {
         }
         debug_assert_eq!(cur, 1, "the modulus polynomial generates the full group");
 
-        GField { p, e, q, modulus, exp, log }
+        GField {
+            p,
+            e,
+            q,
+            modulus,
+            exp,
+            log,
+        }
     }
 
     /// The characteristic p.

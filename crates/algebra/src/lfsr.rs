@@ -36,11 +36,24 @@ impl Lfsr {
     /// contain values outside the field.
     #[must_use]
     pub fn new(field: GField, recurrence: &[u64], initial: &[u64]) -> Self {
-        assert!(!recurrence.is_empty(), "the recurrence order must be at least 1");
-        assert_eq!(recurrence.len(), initial.len(), "recurrence/initial length mismatch");
+        assert!(
+            !recurrence.is_empty(),
+            "the recurrence order must be at least 1"
+        );
+        assert_eq!(
+            recurrence.len(),
+            initial.len(),
+            "recurrence/initial length mismatch"
+        );
         let q = field.order();
-        assert!(recurrence.iter().all(|&a| a < q), "recurrence coefficient outside GF({q})");
-        assert!(initial.iter().all(|&c| c < q), "initial condition outside GF({q})");
+        assert!(
+            recurrence.iter().all(|&a| a < q),
+            "recurrence coefficient outside GF({q})"
+        );
+        assert!(
+            initial.iter().all(|&c| c < q),
+            "initial condition outside GF({q})"
+        );
         Lfsr {
             field,
             recurrence: recurrence.to_vec(),
@@ -122,8 +135,8 @@ impl Lfsr {
     pub fn period(&self) -> u64 {
         let start = self.state.clone();
         let mut probe = self.clone();
-        let limit = checked_pow(self.field.order(), self.order() as u32)
-            .expect("q^n overflows u64");
+        let limit =
+            checked_pow(self.field.order(), self.order() as u32).expect("q^n overflows u64");
         for k in 1..=limit {
             probe.step();
             if probe.state == start {
@@ -205,7 +218,15 @@ mod tests {
 
     #[test]
     fn maximal_sequence_lengths() {
-        for (d, n) in [(2u64, 3usize), (2, 5), (3, 3), (4, 2), (5, 2), (8, 2), (9, 2)] {
+        for (d, n) in [
+            (2u64, 3usize),
+            (2, 5),
+            (3, 3),
+            (4, 2),
+            (5, 2),
+            (8, 2),
+            (9, 2),
+        ] {
             let (field, seq) = maximal_sequence(d, n);
             assert_eq!(field.order(), d);
             assert_eq!(seq.len() as u64, crate::num::pow(d, n as u32) - 1);

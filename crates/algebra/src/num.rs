@@ -81,14 +81,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // n - 1 = d * 2^s with d odd.
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -121,9 +121,9 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     }
     let mut p = 2u64;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             let mut e = 0;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 e += 1;
             }
@@ -189,7 +189,7 @@ pub fn mobius(n: u64) -> i64 {
     let f = factorize(n);
     if f.iter().any(|&(_, e)| e > 1) {
         0
-    } else if f.len() % 2 == 0 {
+    } else if f.len().is_multiple_of(2) {
         1
     } else {
         -1
@@ -219,7 +219,7 @@ pub fn multiplicative_order(a: u64, m: u64) -> Option<u64> {
     let group = euler_phi(m);
     let mut order = group;
     for p in prime_divisors(group) {
-        while order % p == 0 && mod_pow(a, order / p, m) == 1 {
+        while order.is_multiple_of(p) && mod_pow(a, order / p, m) == 1 {
             order /= p;
         }
     }
@@ -229,7 +229,7 @@ pub fn multiplicative_order(a: u64, m: u64) -> Option<u64> {
 /// Tests whether `g` generates the multiplicative group of Z_p (p prime).
 #[must_use]
 pub fn is_primitive_root(g: u64, p: u64) -> bool {
-    if p < 2 || g % p == 0 {
+    if p < 2 || g.is_multiple_of(p) {
         return false;
     }
     multiplicative_order(g, p) == Some(p - 1)
@@ -266,7 +266,7 @@ pub fn primitive_roots(p: u64) -> Vec<u64> {
 /// (Euler's criterion). Zero is not considered a residue here.
 #[must_use]
 pub fn is_quadratic_residue(a: u64, p: u64) -> bool {
-    if a % p == 0 {
+    if a.is_multiple_of(p) {
         return false;
     }
     mod_pow(a, (p - 1) / 2, p) == 1
@@ -347,7 +347,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 
@@ -431,7 +434,10 @@ mod tests {
         assert_eq!(qr, vec![1, 3, 4, 9, 10, 12]);
         // 2 is a nonresidue iff p ≡ ±3 (mod 8).
         for &p in &[3u64, 5, 11, 13, 19, 29] {
-            assert!(!is_quadratic_residue(2, p), "2 should be a nonresidue mod {p}");
+            assert!(
+                !is_quadratic_residue(2, p),
+                "2 should be a nonresidue mod {p}"
+            );
         }
         for &p in &[7u64, 17, 23, 31] {
             assert!(is_quadratic_residue(2, p), "2 should be a residue mod {p}");

@@ -78,7 +78,9 @@ impl PolyGf {
     #[must_use]
     pub fn add(&self, other: &Self, f: &GField) -> Self {
         let len = self.coeffs.len().max(other.coeffs.len());
-        let c: Vec<u64> = (0..len).map(|i| f.add(self.coeff(i), other.coeff(i))).collect();
+        let c: Vec<u64> = (0..len)
+            .map(|i| f.add(self.coeff(i), other.coeff(i)))
+            .collect();
         Self::new(&c)
     }
 
@@ -86,7 +88,9 @@ impl PolyGf {
     #[must_use]
     pub fn sub(&self, other: &Self, f: &GField) -> Self {
         let len = self.coeffs.len().max(other.coeffs.len());
-        let c: Vec<u64> = (0..len).map(|i| f.sub(self.coeff(i), other.coeff(i))).collect();
+        let c: Vec<u64> = (0..len)
+            .map(|i| f.sub(self.coeff(i), other.coeff(i)))
+            .collect();
         Self::new(&c)
     }
 

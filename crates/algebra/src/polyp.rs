@@ -171,7 +171,11 @@ impl PolyP {
     /// Multiplication by a scalar from Z_p.
     #[must_use]
     pub fn scale(&self, k: u64) -> Self {
-        let c: Vec<u64> = self.coeffs.iter().map(|&a| a * (k % self.p) % self.p).collect();
+        let c: Vec<u64> = self
+            .coeffs
+            .iter()
+            .map(|&a| a * (k % self.p) % self.p)
+            .collect();
         Self::new(self.p, &c)
     }
 
@@ -314,9 +318,7 @@ impl PolyP {
             let x = Self::x(self.p);
             let mut order = group;
             for (q, _) in factorize(group) {
-                while order % q == 0
-                    && self.pow_mod(&x, order / q) == Self::one(self.p)
-                {
+                while order.is_multiple_of(q) && self.pow_mod(&x, order / q) == Self::one(self.p) {
                     order /= q;
                 }
             }
@@ -458,7 +460,13 @@ mod tests {
     #[test]
     fn irreducible_count_matches_necklace_formula() {
         // #monic irreducibles of degree n over GF(p) = (1/n) Σ_{d|n} μ(d) p^(n/d).
-        for &(p, n, expected) in &[(2u64, 3usize, 2usize), (2, 4, 3), (3, 2, 3), (3, 3, 8), (5, 2, 10)] {
+        for &(p, n, expected) in &[
+            (2u64, 3usize, 2usize),
+            (2, 4, 3),
+            (3, 2, 3),
+            (3, 3, 8),
+            (5, 2, 10),
+        ] {
             assert_eq!(PolyP::all_irreducible(p, n).len(), expected, "p={p} n={n}");
         }
     }
@@ -483,7 +491,16 @@ mod tests {
 
     #[test]
     fn find_primitive_various_fields() {
-        for &(p, n) in &[(2u64, 1usize), (2, 3), (2, 5), (3, 2), (3, 3), (5, 2), (7, 2), (13, 1)] {
+        for &(p, n) in &[
+            (2u64, 1usize),
+            (2, 3),
+            (2, 5),
+            (3, 2),
+            (3, 3),
+            (5, 2),
+            (7, 2),
+            (13, 1),
+        ] {
             let f = PolyP::find_primitive(p, n);
             assert_eq!(f.degree(), n);
             assert!(f.is_monic());

@@ -264,9 +264,13 @@ impl WordSpace {
     #[must_use]
     pub fn parse(&self, s: &str) -> Option<u64> {
         let digits: Vec<u64> = if self.d <= 10 {
-            s.chars().map(|c| c.to_digit(10).map(u64::from)).collect::<Option<Vec<_>>>()?
+            s.chars()
+                .map(|c| c.to_digit(10).map(u64::from))
+                .collect::<Option<Vec<_>>>()?
         } else {
-            s.split('.').map(|t| t.parse().ok()).collect::<Option<Vec<_>>>()?
+            s.split('.')
+                .map(|t| t.parse().ok())
+                .collect::<Option<Vec<_>>>()?
         };
         if digits.len() != self.n as usize || digits.iter().any(|&x| x >= self.d) {
             return None;
@@ -457,7 +461,7 @@ mod tests {
         assert_eq!(s.period(s.parse("001001").unwrap()), 3);
         assert_eq!(s.period(s.parse("000000").unwrap()), 1);
         assert_eq!(s.period(s.parse("000001").unwrap()), 6);
-        assert!(s.is_aperiodic(s.parse("011011").unwrap()) == false);
+        assert!(!s.is_aperiodic(s.parse("011011").unwrap()));
         assert!(s.is_aperiodic(s.parse("000111").unwrap()));
     }
 

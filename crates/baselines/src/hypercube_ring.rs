@@ -124,8 +124,16 @@ fn embed_rec(dims: &[u32], base: usize, faults: &HashSet<usize>) -> Option<Vec<u
     let bit = 1usize << split;
     let base0 = base & !bit;
     let base1 = base | bit;
-    let faults0: Vec<usize> = local_faults.iter().copied().filter(|v| v & bit == 0).collect();
-    let faults1: Vec<usize> = local_faults.iter().copied().filter(|v| v & bit != 0).collect();
+    let faults0: Vec<usize> = local_faults
+        .iter()
+        .copied()
+        .filter(|v| v & bit == 0)
+        .collect();
+    let faults1: Vec<usize> = local_faults
+        .iter()
+        .copied()
+        .filter(|v| v & bit != 0)
+        .collect();
 
     // Embed the half with more faults first, then splice the other half on.
     let (first_base, second_base, second_fault_free) = if faults0.len() >= faults1.len() {
@@ -164,7 +172,11 @@ fn embed_rec(dims: &[u32], base: usize, faults: &HashSet<usize>) -> Option<Vec<u
             }
         }
         // Last resort: keep the longer of the two rings.
-        Some(if first.len() >= second.len() { first.clone() } else { second })
+        Some(if first.len() >= second.len() {
+            first.clone()
+        } else {
+            second
+        })
     })
 }
 
@@ -289,7 +301,11 @@ mod tests {
         for i in 0..cycle.len() {
             let a = cycle[i];
             let b = cycle[(i + 1) % cycle.len()];
-            assert_eq!(cube.distance(a, b), 1, "non-adjacent ring neighbours {a} {b}");
+            assert_eq!(
+                cube.distance(a, b),
+                1,
+                "non-adjacent ring neighbours {a} {b}"
+            );
         }
     }
 

@@ -61,5 +61,10 @@ fn bench_edge_fault_embedding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maximal_cycle, bench_disjoint_family, bench_edge_fault_embedding);
+criterion_group!(
+    benches,
+    bench_maximal_cycle,
+    bench_disjoint_family,
+    bench_edge_fault_embedding
+);
 criterion_main!(benches);

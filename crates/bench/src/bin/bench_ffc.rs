@@ -1,0 +1,135 @@
+//! Machine-readable FFC engine benchmark: writes `BENCH_ffc.json` at the
+//! repository root so successive PRs can track the perf trajectory.
+//!
+//! For each of B(2,10), B(2,14), B(4,5) and B(4,7) it measures
+//!
+//! * `setup_ns` — one `Ffc::new` (partition + engine tables);
+//! * `embed_ns` — mean wall time of one `embed_into` on a reused scratch
+//!   over a Table 2.1-style trial schedule (f cycles 0..=8);
+//! * `embeds_per_sec` — the reciprocal throughput of the same loop;
+//! * `reference_embed_ns` — the retained textbook implementation on the
+//!   same fault sets (fewer trials; it is the slow baseline);
+//! * `speedup` — reference / engine.
+//!
+//! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]`
+//! (default output: `<repo root>/BENCH_ffc.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use debruijn_core::{EmbedScratch, Ffc};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One benchmarked configuration.
+struct Config {
+    d: u64,
+    n: u32,
+    /// Engine trials (reference runs `trials / 20`, at least 20).
+    trials: usize,
+}
+
+/// A Table 2.1-style trial schedule: fault sets with f cycling 0..=8.
+fn fault_sets(total: usize, trials: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<usize> = (0..total).collect();
+    (0..trials)
+        .map(|t| {
+            let f = t % 9;
+            let (chosen, _) = nodes.partial_shuffle(&mut rng, f);
+            chosen.to_vec()
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("{}/../../BENCH_ffc.json", env!("CARGO_MANIFEST_DIR")));
+    let configs = [
+        Config {
+            d: 2,
+            n: 10,
+            trials: 4000,
+        },
+        Config {
+            d: 2,
+            n: 14,
+            trials: 400,
+        },
+        Config {
+            d: 4,
+            n: 5,
+            trials: 4000,
+        },
+        Config {
+            d: 4,
+            n: 7,
+            trials: 400,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    for cfg in &configs {
+        let setup_start = Instant::now();
+        let ffc = Ffc::new(cfg.d, cfg.n);
+        let setup_ns = setup_start.elapsed().as_nanos();
+
+        let total = ffc.graph().len();
+        let sets = fault_sets(total, cfg.trials, 0xB * u64::from(cfg.n) + cfg.d);
+        let mut scratch = EmbedScratch::new();
+        // Warm-up sizes every scratch buffer.
+        let mut checksum = ffc.embed_into(&mut scratch, &sets[0]).component_size;
+
+        let start = Instant::now();
+        for faults in &sets {
+            checksum ^= ffc.embed_into(&mut scratch, faults).component_size;
+        }
+        let engine = start.elapsed();
+        let embed_ns = engine.as_nanos() as f64 / sets.len() as f64;
+        let embeds_per_sec = sets.len() as f64 / engine.as_secs_f64();
+
+        let ref_trials = (cfg.trials / 20).max(20).min(sets.len());
+        let start = Instant::now();
+        for faults in sets.iter().take(ref_trials) {
+            checksum ^= ffc.embed_reference(faults).component_size;
+        }
+        let reference = start.elapsed();
+        let reference_embed_ns = reference.as_nanos() as f64 / ref_trials as f64;
+
+        let label = format!("B({},{})", cfg.d, cfg.n);
+        eprintln!(
+            "{label}: setup {:.2} ms, embed {:.1} µs ({embeds_per_sec:.0} embeds/s), \
+             reference {:.1} µs, speedup {:.1}x  [checksum {checksum}]",
+            setup_ns as f64 / 1e6,
+            embed_ns / 1e3,
+            reference_embed_ns / 1e3,
+            reference_embed_ns / embed_ns,
+        );
+
+        let mut entry = String::new();
+        write!(
+            entry,
+            "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
+             \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+             \"embed_ns\": {embed_ns:.1},\n      \"embeds_per_sec\": {embeds_per_sec:.1},\n      \
+             \"reference_trials\": {ref_trials},\n      \
+             \"reference_embed_ns\": {reference_embed_ns:.1},\n      \
+             \"speedup\": {:.2}\n    }}",
+            sets.len(),
+            reference_embed_ns / embed_ns,
+        )
+        .expect("writing to a String cannot fail");
+        entries.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ffc_embed\",\n  \"schedule\": \"f cycles 0..=8, random fault sets\",\n  \
+         \"unit_note\": \"embed_ns is mean wall time per embed_into on a reused scratch\",\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_ffc.json");
+    eprintln!("wrote {out_path}");
+}

@@ -24,9 +24,18 @@ fn main() {
         );
     }
     if want(3) {
-        println!("==== Examples 3.1-3.4 ====\n{}", figures::examples_3_1_to_3_4());
+        println!(
+            "==== Examples 3.1-3.4 ====\n{}",
+            figures::examples_3_1_to_3_4()
+        );
         println!("==== Figure 3.2 ====\n{}", figures::figure_3_2());
-        println!("==== Figure 3.3 / Example 3.6 ====\n{}", figures::figure_3_3());
-        println!("==== Figures 3.4 / 3.5 ====\n{}", figures::figures_3_4_and_3_5());
+        println!(
+            "==== Figure 3.3 / Example 3.6 ====\n{}",
+            figures::figure_3_3()
+        );
+        println!(
+            "==== Figures 3.4 / 3.5 ====\n{}",
+            figures::figures_3_4_and_3_5()
+        );
     }
 }

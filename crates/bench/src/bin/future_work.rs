@@ -40,7 +40,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
 
-    println!("Chapter 5, Question 3: longest fault-free cycle in UB(d,n) with f < 2(d-1) faulty nodes");
+    println!(
+        "Chapter 5, Question 3: longest fault-free cycle in UB(d,n) with f < 2(d-1) faulty nodes"
+    );
     println!(
         "{:>3} {:>3} {:>3} {:>12} {:>12} {:>8}",
         "d", "n", "f", "longest(UB)", "d^n - n*f", "holds?"
@@ -59,7 +61,11 @@ fn main() {
                 let faulty: Vec<usize> = faulty.to_vec();
                 // Remove whole necklaces, as in the directed algorithm.
                 let dead: Vec<usize> = (0..total)
-                    .filter(|&v| faulty.iter().any(|&x| part.same_necklace(v as u64, x as u64)))
+                    .filter(|&v| {
+                        faulty
+                            .iter()
+                            .any(|&x| part.same_necklace(v as u64, x as u64))
+                    })
                     .collect();
                 let g = undirected_minus(d, n, &dead);
                 let cycle = longest_cycle_brute_force(&g, 16);

@@ -36,7 +36,11 @@ fn main() {
         let row = compare(4, 6, 12, f, trials, 0xCAFE + f as u64);
         println!(
             "{:>3} {:>16.1} {:>16} {:>16.1} {:>16}",
-            f, row.debruijn_cycle_avg, row.debruijn_guarantee, row.hypercube_cycle_avg, row.hypercube_guarantee
+            f,
+            row.debruijn_cycle_avg,
+            row.debruijn_guarantee,
+            row.hypercube_cycle_avg,
+            row.hypercube_guarantee
         );
     }
 }

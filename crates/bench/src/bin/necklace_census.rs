@@ -10,6 +10,9 @@ fn main() {
         let enumerated = line
             .enumerated
             .map_or_else(|| "-".to_string(), |v| v.to_string());
-        println!("{:>60} {:>14} {:>14}", line.description, line.formula, enumerated);
+        println!(
+            "{:>60} {:>14} {:>14}",
+            line.description, line.formula, enumerated
+        );
     }
 }

@@ -13,7 +13,7 @@
 
 use dbg_baselines::HypercubeRingEmbedder;
 use dbg_graph::{Hypercube, Topology};
-use debruijn_core::{Ffc, FfcOutcome};
+use debruijn_core::{EmbedScratch, Ffc, FfcOutcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -50,18 +50,22 @@ pub fn compare(d: u64, n: u32, m: u32, faults: usize, trials: usize, seed: u64) 
     let ffc = Ffc::new(d, n);
     let cube = Hypercube::new(m);
     let embedder = HypercubeRingEmbedder::new(m);
-    assert_eq!(ffc.graph().len(), cube.len(), "node counts must match for a fair comparison");
+    assert_eq!(
+        ffc.graph().len(),
+        cube.len(),
+        "node counts must match for a fair comparison"
+    );
 
     let total = cube.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut all: Vec<usize> = (0..total).collect();
     let mut db_sum = 0usize;
     let mut hc_sum = 0usize;
+    let mut scratch = EmbedScratch::new();
     for _ in 0..trials {
         let (chosen, _) = all.partial_shuffle(&mut rng, faults);
-        let chosen: Vec<usize> = chosen.to_vec();
-        db_sum += ffc.embed(&chosen).cycle.len();
-        hc_sum += embedder.embed(&chosen).map_or(0, |c| c.len());
+        db_sum += ffc.embed_into(&mut scratch, chosen).component_size;
+        hc_sum += embedder.embed(chosen).map_or(0, |c| c.len());
     }
 
     ComparisonRow {

@@ -11,7 +11,9 @@ use dbg_graph::dot::{digraph_to_dot, ungraph_to_dot};
 use dbg_graph::{Butterfly, DeBruijn};
 use dbg_necklace::NecklacePartition;
 use debruijn_core::disjoint::{MaximalCycleFamily, Strategy};
-use debruijn_core::{lift_cycle, DisjointHamiltonianCycles, Ffc, ModifiedDeBruijn, NecklaceAdjacency};
+use debruijn_core::{
+    lift_cycle, DisjointHamiltonianCycles, Ffc, ModifiedDeBruijn, NecklaceAdjacency,
+};
 
 /// Figure 1.1: the binary de Bruijn graphs B(2,3) and B(2,4), as DOT.
 #[must_use]
@@ -19,7 +21,11 @@ pub fn figure_1_1() -> String {
     let mut out = String::new();
     for n in [3u32, 4] {
         let g = DeBruijn::new(2, n);
-        out.push_str(&digraph_to_dot(&g.to_digraph(), &format!("B(2,{n})"), |v| g.label(v)));
+        out.push_str(&digraph_to_dot(
+            &g.to_digraph(),
+            &format!("B(2,{n})"),
+            |v| g.label(v),
+        ));
         out.push('\n');
     }
     out
@@ -124,7 +130,11 @@ pub fn figure_3_3() -> String {
         out.push_str(&format!(
             "cycle {} = ({})\n",
             i + 1,
-            cycle.iter().map(|&v| space.format(v as u64)).collect::<Vec<_>>().join(", ")
+            cycle
+                .iter()
+                .map(|&v| space.format(v as u64))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
     }
     out.push_str(&format!(
@@ -186,15 +196,12 @@ pub fn figure_2_2_modified_tree() -> String {
         if !part.same_necklace(u as u64, v as u64) {
             let w = u as u64 % space.msd_place();
             let label_space = dbg_algebra::words::WordSpace::new(space.d(), space.n() - 1);
-            groups
-                .entry(w)
-                .or_default()
-                .push(format!(
-                    "{} --{}--> {}",
-                    part.necklace_of(u as u64).format(space),
-                    label_space.format(w),
-                    part.necklace_of(v as u64).format(space)
-                ));
+            groups.entry(w).or_default().push(format!(
+                "{} --{}--> {}",
+                part.necklace_of(u as u64).format(space),
+                label_space.format(w),
+                part.necklace_of(v as u64).format(space)
+            ));
         }
     }
     let mut out = String::from("# Modified tree D for Example 2.1 (w-edges actually used by H)\n");
@@ -228,6 +235,8 @@ mod tests {
     #[test]
     fn example_3_1_sequence_matches_paper() {
         let s = examples_3_1_to_3_4();
-        assert!(s.contains("[0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3, 0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2]"));
+        assert!(
+            s.contains("[0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3, 0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2]")
+        );
     }
 }

@@ -14,7 +14,14 @@ pub fn render_component_table(title: &str, rows: &[ComponentRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:>4} {:>10.2} {:>10} {:>10} {:>10} {:>9.2} {:>8} {:>8}\n",
-            r.faults, r.avg_size, r.max_size, r.min_size, r.guarantee, r.avg_ecc, r.max_ecc, r.min_ecc
+            r.faults,
+            r.avg_size,
+            r.max_size,
+            r.min_size,
+            r.guarantee,
+            r.avg_ecc,
+            r.max_ecc,
+            r.min_ecc
         ));
     }
     out

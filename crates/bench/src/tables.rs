@@ -9,8 +9,11 @@
 //! * Table 3.2: MAX{ψ(d) − 1, φ(d)} for 2 ≤ d ≤ 35.
 //!
 //! The Monte-Carlo sweep fans trials out over scoped threads (crossbeam)
-//! and merges the per-thread accumulators under a parking_lot mutex, so the
-//! 1024-node sweeps regenerate in seconds.
+//! and merges the per-thread accumulators under a parking_lot mutex. Each
+//! worker owns one [`EmbedScratch`] reused across all of its trials, so the
+//! steady-state loop is allocation-free: drawing a fault set shuffles a
+//! preallocated id array in place and `embed_into` runs entirely on the
+//! scratch. The 1024-node sweeps regenerate in milliseconds.
 
 use crossbeam::thread;
 use parking_lot::Mutex;
@@ -19,7 +22,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use debruijn_core::Ffc;
+use debruijn_core::{EmbedScratch, Ffc};
 
 /// One row of Table 2.1 / 2.2.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -86,10 +89,10 @@ pub fn component_experiment(
                         let count = per_thread.min(trials.saturating_sub(t * per_thread));
                         let mut local = (0u64, 0usize, usize::MAX, 0u64, 0usize, usize::MAX);
                         let mut nodes: Vec<usize> = (0..total_nodes).collect();
+                        let mut scratch = EmbedScratch::new();
                         for _ in 0..count {
                             let (faults, _) = nodes.partial_shuffle(&mut rng, f);
-                            let faults: Vec<usize> = faults.to_vec();
-                            let out = ffc.embed(&faults);
+                            let out = ffc.embed_into(&mut scratch, faults);
                             local.0 += out.component_size as u64;
                             local.1 = local.1.max(out.component_size);
                             local.2 = local.2.min(out.component_size);
@@ -174,7 +177,13 @@ mod tests {
         // the average never drops below d^n − n·f.
         let rows = component_experiment(4, 4, &[1, 2], 40, 7, 4);
         for r in rows {
-            assert!(r.avg_size >= r.guarantee as f64, "f={}: {} < {}", r.faults, r.avg_size, r.guarantee);
+            assert!(
+                r.avg_size >= r.guarantee as f64,
+                "f={}: {} < {}",
+                r.faults,
+                r.avg_size,
+                r.guarantee
+            );
             assert!(r.min_size as i64 >= r.guarantee);
             assert!(r.min_ecc <= r.max_ecc);
             assert!(r.max_ecc <= 8, "diameter of B* is at most 2n when f <= d-2");
@@ -191,7 +200,15 @@ mod tests {
     fn bounds_rows_match_core() {
         let rows = bounds_table(2..=10);
         assert_eq!(rows.len(), 9);
-        assert_eq!(rows[0], BoundRow { d: 2, psi: 1, phi: 0, tolerance: 0 });
+        assert_eq!(
+            rows[0],
+            BoundRow {
+                d: 2,
+                psi: 1,
+                phi: 0,
+                tolerance: 0
+            }
+        );
         assert_eq!(rows[6].d, 8);
         assert_eq!(rows[6].psi, 7);
     }

@@ -66,8 +66,8 @@ pub fn psi_prime_power(p: u64, e: u32) -> u64 {
     let q = pow(p, e);
     if p == 2 {
         q - 1
-    } else if (p - 1) / 2 % 2 == 0 && condition_b(p) {
-        (q + 1) / 2
+    } else if ((p - 1) / 2).is_multiple_of(2) && condition_b(p) {
+        q.div_ceil(2)
     } else {
         (q - 1) / 2
     }
@@ -79,7 +79,10 @@ pub fn psi_prime_power(p: u64, e: u32) -> u64 {
 #[must_use]
 pub fn psi(d: u64) -> u64 {
     assert!(d >= 2, "psi is defined for d >= 2");
-    factorize(d).into_iter().map(|(p, e)| psi_prime_power(p, e)).product()
+    factorize(d)
+        .into_iter()
+        .map(|(p, e)| psi_prime_power(p, e))
+        .product()
 }
 
 /// φ(d) = Σ p_i^{e_i} − 2k for d = p_1^{e_1}…p_k^{e_k}: the number of edge
@@ -108,11 +111,43 @@ mod tests {
     fn psi_matches_table_3_1() {
         // Table 3.1: ψ(d) for 2 ≤ d ≤ 38.
         let expected: [(u64, u64); 37] = [
-            (2, 1), (3, 1), (4, 3), (5, 2), (6, 1), (7, 3), (8, 7), (9, 4), (10, 2),
-            (11, 5), (12, 3), (13, 7), (14, 3), (15, 2), (16, 15), (17, 9), (18, 4),
-            (19, 9), (20, 6), (21, 3), (22, 5), (23, 11), (24, 7), (25, 12), (26, 7),
-            (27, 13), (28, 9), (29, 15), (30, 2), (31, 15), (32, 31), (33, 5), (34, 9),
-            (35, 6), (36, 12), (37, 19), (38, 9),
+            (2, 1),
+            (3, 1),
+            (4, 3),
+            (5, 2),
+            (6, 1),
+            (7, 3),
+            (8, 7),
+            (9, 4),
+            (10, 2),
+            (11, 5),
+            (12, 3),
+            (13, 7),
+            (14, 3),
+            (15, 2),
+            (16, 15),
+            (17, 9),
+            (18, 4),
+            (19, 9),
+            (20, 6),
+            (21, 3),
+            (22, 5),
+            (23, 11),
+            (24, 7),
+            (25, 12),
+            (26, 7),
+            (27, 13),
+            (28, 9),
+            (29, 15),
+            (30, 2),
+            (31, 15),
+            (32, 31),
+            (33, 5),
+            (34, 9),
+            (35, 6),
+            (36, 12),
+            (37, 19),
+            (38, 9),
         ];
         for (d, want) in expected {
             assert_eq!(psi(d), want, "psi({d})");
@@ -122,13 +157,26 @@ mod tests {
     #[test]
     fn phi_and_max_match_table_3_2() {
         // Prime powers: φ(d) = d − 2.
-        for d in [2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32] {
+        for d in [
+            2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32,
+        ] {
             assert_eq!(phi_edge_bound(d), d - 2, "phi({d})");
         }
         // Composite entries spot-checked against Table 3.2.
         let expected: [(u64, u64); 13] = [
-            (6, 1), (10, 3), (12, 3), (14, 5), (15, 4), (20, 5), (21, 6), (22, 9),
-            (24, 7), (26, 11), (30, 4), (34, 15), (35, 8),
+            (6, 1),
+            (10, 3),
+            (12, 3),
+            (14, 5),
+            (15, 4),
+            (20, 5),
+            (21, 6),
+            (22, 9),
+            (24, 7),
+            (26, 11),
+            (30, 4),
+            (34, 15),
+            (35, 8),
         ];
         for (d, want) in expected {
             assert_eq!(edge_fault_tolerance(d), want, "MAX{{psi-1, phi}}({d})");
@@ -162,7 +210,11 @@ mod tests {
             assert!(a || b, "Lemma 3.5 violated for p = {p}");
             // Condition (a) ⟺ 2 is a nonresidue ⟺ p ≡ ±3 (mod 8).
             let pm8 = p % 8;
-            assert_eq!(a, pm8 == 3 || pm8 == 5, "condition (a) parity check for p = {p}");
+            assert_eq!(
+                a,
+                pm8 == 3 || pm8 == 5,
+                "condition (a) parity check for p = {p}"
+            );
         }
     }
 
@@ -189,7 +241,10 @@ mod tests {
         use dbg_algebra::num::euler_phi;
         for d in 2..=38u64 {
             let k = factorize(d).len() as u32;
-            assert!(psi(d) >= euler_phi(d) / 2u64.pow(k), "Corollary 3.2 fails at d = {d}");
+            assert!(
+                psi(d) >= euler_phi(d) / 2u64.pow(k),
+                "Corollary 3.2 fails at d = {d}"
+            );
         }
     }
 }

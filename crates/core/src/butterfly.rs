@@ -135,8 +135,18 @@ mod tests {
             .collect();
         let lifted = lift_cycle(&f, &cycle);
         let expected: Vec<usize> = [
-            (0u32, "110"), (1, "010"), (2, "010"), (0, "011"), (1, "011"), (2, "001"),
-            (0, "001"), (1, "101"), (2, "101"), (0, "100"), (1, "100"), (2, "110"),
+            (0u32, "110"),
+            (1, "010"),
+            (2, "010"),
+            (0, "011"),
+            (1, "011"),
+            (2, "001"),
+            (0, "001"),
+            (1, "101"),
+            (2, "101"),
+            (0, "100"),
+            (1, "100"),
+            (2, "110"),
         ]
         .iter()
         .map(|&(lvl, w)| f.node_id(lvl, f.space().parse(w).unwrap()))
@@ -173,7 +183,10 @@ mod tests {
         for v in 0..f.len() {
             for u in f.successors(v) {
                 let (x, y) = project_edge(&f, v, u);
-                assert!(b.is_edge(x, y), "projection of a butterfly edge must be a de Bruijn edge");
+                assert!(
+                    b.is_edge(x, y),
+                    "projection of a butterfly edge must be a de Bruijn edge"
+                );
             }
         }
     }
@@ -186,7 +199,10 @@ mod tests {
             assert_eq!(cycles.len() as u64, psi(d), "d={d} n={n}");
             let f = embedder.butterfly();
             for c in &cycles {
-                assert!(is_hamiltonian_cycle(f, c), "d={d} n={n}: lift is not Hamiltonian");
+                assert!(
+                    is_hamiltonian_cycle(f, c),
+                    "d={d} n={n}: lift is not Hamiltonian"
+                );
             }
             assert!(all_pairwise_edge_disjoint(&cycles), "d={d} n={n}");
         }
@@ -218,7 +234,10 @@ mod tests {
                 assert!(is_hamiltonian_cycle(f, &cycle));
                 for i in 0..cycle.len() {
                     let e = (cycle[i], cycle[(i + 1) % cycle.len()]);
-                    assert!(!faults.contains(&e), "lifted cycle uses a faulty butterfly edge");
+                    assert!(
+                        !faults.contains(&e),
+                        "lifted cycle uses a faulty butterfly edge"
+                    );
                 }
             }
         }

@@ -64,7 +64,10 @@ impl MaximalCycleFamily {
     /// Panics if the polynomial is not primitive over the field or n < 2.
     #[must_use]
     pub fn with_polynomial(field: GField, poly: PolyGf) -> Self {
-        assert!(poly.is_primitive(&field), "the characteristic polynomial must be primitive");
+        assert!(
+            poly.is_primitive(&field),
+            "the characteristic polynomial must be primitive"
+        );
         let n = poly.degree() as u32;
         assert!(n >= 2, "the disjoint-HC construction requires n >= 2");
         let d = field.order();
@@ -137,7 +140,10 @@ impl MaximalCycleFamily {
     /// The translate s + C as a circular symbol sequence.
     #[must_use]
     pub fn translate_symbols(&self, s: u64) -> Vec<u64> {
-        self.base_symbols.iter().map(|&c| self.field.add(s, c)).collect()
+        self.base_symbols
+            .iter()
+            .map(|&c| self.field.add(s, c))
+            .collect()
     }
 
     /// The translate s + C as a node cycle of length d^n − 1 (it misses s^n).
@@ -167,8 +173,10 @@ impl MaximalCycleFamily {
     #[must_use]
     pub fn reentry_digit(&self, s: u64, alpha: u64) -> u64 {
         let a0 = self.recurrence[0];
-        self.field
-            .add(self.field.mul(a0, alpha), self.field.mul(s, self.field.sub(1, a0)))
+        self.field.add(
+            self.field.mul(a0, alpha),
+            self.field.mul(s, self.field.sub(1, a0)),
+        )
     }
 
     /// The exit digit α induced by a conflict-avoidance value f(s)
@@ -281,7 +289,7 @@ impl Strategy {
                 lambda,
                 a,
                 b,
-                include_zero: (p - 1) / 2 % 2 == 0,
+                include_zero: ((p - 1) / 2).is_multiple_of(2),
             };
         }
         let (lambda, a) = two_as_odd_power(p)
@@ -342,7 +350,13 @@ impl Strategy {
                 // H_0 joins the family only under Strategy 2 with (p−1)/2
                 // even; λ and −λ are nonresidues then, so no selected
                 // translate conflicts with it (Section 3.2.1).
-                if matches!(self, Strategy::OddSum { include_zero: true, .. }) {
+                if matches!(
+                    self,
+                    Strategy::OddSum {
+                        include_zero: true,
+                        ..
+                    }
+                ) {
                     selected.push(0);
                 }
                 selected.sort_unstable();
@@ -384,7 +398,9 @@ impl Strategy {
 #[must_use]
 pub fn rees_product(t: u64, a: &[u64], b: &[u64]) -> Vec<u64> {
     let len = a.len() * b.len();
-    (0..len).map(|i| a[i % a.len()] * t + b[i % b.len()]).collect()
+    (0..len)
+        .map(|i| a[i % a.len()] * t + b[i % b.len()])
+        .collect()
 }
 
 /// Constructs ψ(d) pairwise edge-disjoint Hamiltonian cycles of B(d,n) as
@@ -392,7 +408,10 @@ pub fn rees_product(t: u64, a: &[u64], b: &[u64]) -> Vec<u64> {
 /// Strategies 1–3; composite alphabets recurse through the Rees product.
 #[must_use]
 pub fn construct_symbol_family(d: u64, n: u32) -> Vec<Vec<u64>> {
-    assert!(d >= 2 && n >= 2, "disjoint-HC construction requires d >= 2 and n >= 2");
+    assert!(
+        d >= 2 && n >= 2,
+        "disjoint-HC construction requires d >= 2 and n >= 2"
+    );
     let factors = factorize(d);
     if factors.len() == 1 {
         return prime_power_symbol_family(d, n);
@@ -486,7 +505,10 @@ impl DisjointHamiltonianCycles {
     #[must_use]
     pub fn symbol_sequences(&self) -> Vec<Vec<u64>> {
         let space = WordSpace::new(self.d, self.n);
-        self.cycles.iter().map(|c| symbols_from_nodes(space, c)).collect()
+        self.cycles
+            .iter()
+            .map(|c| symbols_from_nodes(space, c))
+            .collect()
     }
 
     /// Returns the first cycle that avoids every edge in `faulty_edges`
@@ -631,8 +653,8 @@ mod tests {
         let b = vec![0u64, 0, 2, 2, 1, 2, 0, 1, 1];
         let ab = rees_product(3, &a, &b);
         let expected = vec![
-            0u64, 0, 5, 5, 1, 2, 3, 4, 1, 0, 3, 5, 2, 1, 5, 3, 1, 1, 3, 3, 2, 2, 4, 5, 0, 1, 4,
-            3, 0, 2, 5, 4, 2, 0, 4, 4,
+            0u64, 0, 5, 5, 1, 2, 3, 4, 1, 0, 3, 5, 2, 1, 5, 3, 1, 1, 3, 3, 2, 2, 4, 5, 0, 1, 4, 3,
+            0, 2, 5, 4, 2, 0, 4, 4,
         ];
         assert_eq!(ab, expected);
         // And it is a Hamiltonian cycle of B(6,2) (Lemma 3.6).
@@ -661,7 +683,10 @@ mod tests {
             assert_eq!(dhc.count() as u64, psi(d), "count mismatch for d={d} n={n}");
             let g = DeBruijn::new(d, n);
             for c in dhc.cycles() {
-                assert!(is_hamiltonian_cycle(&g, c), "non-Hamiltonian member for d={d} n={n}");
+                assert!(
+                    is_hamiltonian_cycle(&g, c),
+                    "non-Hamiltonian member for d={d} n={n}"
+                );
             }
             assert!(
                 all_pairwise_edge_disjoint(dhc.cycles()),
@@ -696,11 +721,16 @@ mod tests {
     fn figure_3_2_conflict_partners_for_13() {
         // Under Strategy 2 with λ = 7, H_x conflicts with 7x, 7^9 x, 7^{-1}x, 7^{-9}x.
         let field = GField::new(13);
-        let strategy = Strategy::OddSum { lambda: 7, a: 1, b: 9, include_zero: true };
+        let strategy = Strategy::OddSum {
+            lambda: 7,
+            a: 1,
+            b: 9,
+            include_zero: true,
+        };
         let partners = strategy.conflict_partners(&field, 1);
         let expected: Vec<u64> = {
             let mut v = vec![
-                7 % 13,
+                7,
                 mod_pow(7, 9, 13),
                 mod_pow(7, 11, 13), // 7^{-1}
                 mod_pow(7, 3, 13),  // 7^{-9}
@@ -744,12 +774,10 @@ mod tests {
         let c0 = &dhc.cycles()[0];
         let fault = (c0[0], c0[1]);
         let survivor = dhc.fault_free_cycle(&[fault]).expect("psi(4)=3 > 1 fault");
-        assert!((0..survivor.len()).all(|i| {
-            (survivor[i], survivor[(i + 1) % survivor.len()]) != fault
-        }));
+        assert!((0..survivor.len())
+            .all(|i| { (survivor[i], survivor[(i + 1) % survivor.len()]) != fault }));
         // Failing one edge from every cycle leaves nothing.
-        let all_faults: Vec<(usize, usize)> =
-            dhc.cycles().iter().map(|c| (c[0], c[1])).collect();
+        let all_faults: Vec<(usize, usize)> = dhc.cycles().iter().map(|c| (c[0], c[1])).collect();
         assert!(dhc.fault_free_cycle(&all_faults).is_none());
     }
 }

@@ -200,7 +200,10 @@ mod tests {
             .unwrap_or_else(|| panic!("no HC found for d={d} n={n} faults={faults:?}"));
         let g = DeBruijn::new(d, n);
         assert!(is_hamiltonian_cycle(&g, &cycle), "d={d} n={n}");
-        assert!(cycle_avoids(&cycle, faults), "d={d} n={n}: cycle uses a faulty edge");
+        assert!(
+            cycle_avoids(&cycle, faults),
+            "d={d} n={n}: cycle uses a faulty edge"
+        );
     }
 
     #[test]

@@ -19,6 +19,36 @@
 //! (Proposition 2.2); a single failure in the binary graph still leaves a
 //! cycle of length ≥ 2^n − (n+1) (Proposition 2.3).
 //!
+//! # The embedding engine
+//!
+//! The paper's headline experiments (Tables 2.1/2.2) re-run this embedding
+//! thousands of times per (d, n, f) cell, so the hot path is organised as
+//! an *engine*: [`Ffc::new`] precomputes immutable flat tables once (node →
+//! necklace id, necklace representatives/lengths, and a CSR layout of
+//! necklace members), and a reusable [`EmbedScratch`] owns every piece of
+//! per-call mutable state — stamped visit masks, BFS queues, the successor
+//! array, and the output cycle buffer. After the first call at a given
+//! (d, n) ("warm-up"), [`Ffc::embed_into`] performs **no heap allocation**:
+//! buffers are stamp-invalidated, not cleared, and only ever grow.
+//!
+//! Per call the engine does:
+//!
+//! * **Component**: instead of a whole-graph Tarjan SCC pass, a
+//!   forward-BFS and a backward-BFS from the root over the implicit
+//!   successor/predecessor arithmetic of B(d,n), restricted to live nodes;
+//!   the intersection of the two reachable sets is exactly the strongly
+//!   connected component B* of the root.
+//! * **Broadcast**: a level-synchronous BFS with minimal-predecessor tie
+//!   breaking over B* only.
+//! * **Cycle construction**: the w-group tables are flat arrays keyed by
+//!   necklace id / edge label (no hash maps); the successor function is
+//!   materialised into a flat array and the cycle is read off by pointer
+//!   chasing.
+//!
+//! The textbook formulation (materialised SCCs + hash-map groups) is kept
+//! as [`Ffc::embed_reference`]; it is used by the differential tests and
+//! as the baseline in the Criterion benchmarks.
+//!
 //! This module is the *centralized* reference implementation; the
 //! message-passing version that mirrors Section 2.4 round by round lives in
 //! the `dbg-netsim` crate and is checked against this one.
@@ -26,17 +56,40 @@
 use std::collections::HashMap;
 
 use dbg_graph::algo::bfs::bfs_tree;
-use dbg_graph::algo::components::strongly_connected_components;
+use dbg_graph::algo::components::scc_component_ids;
 use dbg_graph::{DeBruijn, Topology};
 use dbg_necklace::NecklacePartition;
 
-/// The FFC embedder for a fixed B(d,n): owns the necklace partition so that
-/// repeated embeddings (e.g. the Monte-Carlo sweeps of Tables 2.1/2.2) do
-/// not recompute it.
+/// The FFC embedder for a fixed B(d,n): owns the necklace partition and the
+/// engine's immutable lookup tables so that repeated embeddings (e.g. the
+/// Monte-Carlo sweeps of Tables 2.1/2.2) recompute nothing.
 #[derive(Clone, Debug)]
 pub struct Ffc {
     graph: DeBruijn,
     partition: NecklacePartition,
+    tables: EngineTables,
+}
+
+/// Immutable flat tables shared by every embedding at a fixed (d, n).
+#[derive(Clone, Debug)]
+struct EngineTables {
+    /// Alphabet size d, as usize for index arithmetic.
+    d: usize,
+    /// d^(n−1): the place value of the leading digit, and the number of
+    /// distinct (n−1)-digit edge labels.
+    suffix_count: usize,
+    /// d^n.
+    n_nodes: usize,
+    /// Number of necklaces.
+    n_necks: usize,
+    /// Necklace id → representative (minimal member node).
+    rep: Vec<u32>,
+    /// Necklace id → length (period of its words).
+    neck_len: Vec<u32>,
+    /// CSR offsets into [`EngineTables::neck_node`] (length `n_necks + 1`).
+    neck_offset: Vec<u32>,
+    /// Necklace members in rotation order starting at the representative.
+    neck_node: Vec<u32>,
 }
 
 /// The result of one FFC embedding.
@@ -70,8 +123,183 @@ impl FfcOutcome {
     }
 }
 
-/// A de Bruijn graph restricted to an alive-node mask, used internally for
-/// component and BFS computations without materialising subgraphs.
+/// The scalar results of one [`Ffc::embed_into`] call; the cycle itself
+/// stays in the scratch's buffer ([`EmbedScratch::cycle`]).
+#[derive(Clone, Copy, Debug)]
+pub struct EmbedStats {
+    /// The root processor R used for the broadcast.
+    pub root: usize,
+    /// |B*| — also the length of the cycle left in the scratch.
+    pub component_size: usize,
+    /// Eccentricity of the root within B* (broadcast rounds).
+    pub eccentricity: usize,
+    /// Number of faulty necklaces removed.
+    pub faulty_necklaces: usize,
+    /// Nodes removed with the faulty necklaces.
+    pub removed_nodes: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Reusable per-call state for the embedding engine.
+///
+/// One scratch serves any number of [`Ffc::embed_into`] calls (including
+/// across different (d, n) — buffers grow to the largest graph seen and
+/// never shrink). Invalidation is by stamping: each call increments a
+/// call counter and a slot is "set this call" iff it holds the current
+/// stamp, so no O(d^n) clearing happens between calls. After the first
+/// call at a fixed (d, n), **no method of this type allocates**.
+#[derive(Clone, Debug, Default)]
+pub struct EmbedScratch {
+    /// Monotone per-call stamp; slot arrays compare against this.
+    stamp: u32,
+    // Per-necklace state.
+    /// Stamp: necklace is faulty this call.
+    faulty: Vec<u32>,
+    /// Stamp: `best_key` is valid this call.
+    best_stamp: Vec<u32>,
+    /// Packed (broadcast level << 32 | node): the earliest-reached member.
+    best_key: Vec<u64>,
+    // Per-node state.
+    /// Stamp: reached by the root-repair probe.
+    probe: Vec<u32>,
+    /// Stamp: forward-reachable from the root among live nodes.
+    fwd: Vec<u32>,
+    /// Stamp: backward-reachable from the root among live nodes.
+    bwd: Vec<u32>,
+    /// Stamp: reached by the Step 1.1 broadcast.
+    vis: Vec<u32>,
+    /// Broadcast level (valid when `vis` is stamped).
+    level: Vec<u32>,
+    /// Broadcast parent (valid when `vis` is stamped; `NONE` at the root).
+    parent: Vec<u32>,
+    /// Successor pointers over B* (valid where `vis` is stamped).
+    succ: Vec<u32>,
+    // Per-label state (indexed by (n−1)-digit edge label).
+    /// Stamp: label has a w-group this call.
+    label_stamp: Vec<u32>,
+    /// Parent necklace of the label's w-group.
+    label_parent: Vec<u32>,
+    // Worklists (cleared per call; capacity persists).
+    /// Current BFS frontier / FIFO queue.
+    queue: Vec<u32>,
+    /// Next BFS frontier.
+    next: Vec<u32>,
+    /// The nodes of B*, in backward-BFS discovery order.
+    bstar: Vec<u32>,
+    /// Live non-root necklaces of B*.
+    live_necks: Vec<u32>,
+    /// Packed (label << 32 | necklace id) w-group membership records.
+    group_entries: Vec<u64>,
+    /// Member necklaces of the w-group being wired.
+    members: Vec<u32>,
+    /// The output cycle of the most recent call.
+    cycle: Vec<usize>,
+}
+
+impl EmbedScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first
+    /// embedding that uses it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fault-free cycle produced by the most recent
+    /// [`Ffc::embed_into`] call on this scratch.
+    #[must_use]
+    pub fn cycle(&self) -> &[usize] {
+        &self.cycle
+    }
+
+    /// Total bytes currently reserved by the scratch's buffers. Constant
+    /// across repeated embeddings at a fixed (d, n) — the no-allocation
+    /// property the engine tests pin down.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        4 * (self.faulty.capacity()
+            + self.best_stamp.capacity()
+            + self.probe.capacity()
+            + self.fwd.capacity()
+            + self.bwd.capacity()
+            + self.vis.capacity()
+            + self.level.capacity()
+            + self.parent.capacity()
+            + self.succ.capacity()
+            + self.label_stamp.capacity()
+            + self.label_parent.capacity()
+            + self.queue.capacity()
+            + self.next.capacity()
+            + self.bstar.capacity()
+            + self.live_necks.capacity()
+            + self.members.capacity())
+            + 8 * (self.best_key.capacity() + self.group_entries.capacity())
+            + std::mem::size_of::<usize>() * self.cycle.capacity()
+    }
+
+    /// Grows the slot arrays to the engine's sizes and advances the stamp.
+    fn prepare(&mut self, t: &EngineTables) {
+        if self.stamp == u32::MAX {
+            // Stamp wrap-around (once per 2^32 calls): forget all slots.
+            for arr in [
+                &mut self.faulty,
+                &mut self.best_stamp,
+                &mut self.probe,
+                &mut self.fwd,
+                &mut self.bwd,
+                &mut self.vis,
+                &mut self.label_stamp,
+            ] {
+                arr.iter_mut().for_each(|s| *s = 0);
+            }
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        grow(&mut self.faulty, t.n_necks);
+        grow(&mut self.best_stamp, t.n_necks);
+        grow(&mut self.best_key, t.n_necks);
+        grow(&mut self.probe, t.n_nodes);
+        grow(&mut self.fwd, t.n_nodes);
+        grow(&mut self.bwd, t.n_nodes);
+        grow(&mut self.vis, t.n_nodes);
+        grow(&mut self.level, t.n_nodes);
+        grow(&mut self.parent, t.n_nodes);
+        grow(&mut self.succ, t.n_nodes);
+        grow(&mut self.label_stamp, t.suffix_count);
+        grow(&mut self.label_parent, t.suffix_count);
+        // Worklists are cleared and presized to their worst-case bounds, so
+        // no fault pattern can grow them after the first call at this size:
+        // frontiers and the cycle hold at most every node, the necklace
+        // lists at most every necklace, and each live necklace contributes
+        // at most two group records (itself plus a first-seen parent).
+        reserve(&mut self.queue, t.n_nodes);
+        reserve(&mut self.next, t.n_nodes);
+        reserve(&mut self.bstar, t.n_nodes);
+        reserve(&mut self.live_necks, t.n_necks);
+        reserve(&mut self.group_entries, 2 * t.n_necks);
+        reserve(&mut self.members, t.n_necks);
+        reserve(&mut self.cycle, t.n_nodes);
+    }
+}
+
+/// Grows a slot vector to at least `len` entries without ever shrinking.
+fn grow<T: Default + Clone>(v: &mut Vec<T>, len: usize) {
+    if v.len() < len {
+        v.resize(len, T::default());
+    }
+}
+
+/// Empties a worklist and guarantees room for `cap` entries.
+fn reserve<T>(v: &mut Vec<T>, cap: usize) {
+    v.clear();
+    if v.capacity() < cap {
+        v.reserve_exact(cap - v.len());
+    }
+}
+
+/// A de Bruijn graph restricted to an alive-node mask, used by the
+/// reference implementation for component and BFS computations without
+/// materialising subgraphs.
 struct Masked<'a> {
     graph: &'a DeBruijn,
     alive: &'a [bool],
@@ -95,12 +323,49 @@ impl Topology for Masked<'_> {
 }
 
 impl Ffc {
-    /// Creates the embedder for B(d,n).
+    /// Creates the embedder for B(d,n), precomputing the necklace partition
+    /// and the engine's flat lookup tables.
     #[must_use]
     pub fn new(d: u64, n: u32) -> Self {
         let graph = DeBruijn::new(d, n);
         let partition = NecklacePartition::new(graph.space());
-        Ffc { graph, partition }
+        let n_nodes = graph.len();
+        assert!(
+            u32::try_from(n_nodes).is_ok(),
+            "engine tables index nodes with u32; B({d},{n}) is too large"
+        );
+        let n_necks = partition.len();
+        let space = graph.space();
+        let mut rep = Vec::with_capacity(n_necks);
+        let mut neck_len = Vec::with_capacity(n_necks);
+        let mut neck_offset = Vec::with_capacity(n_necks + 1);
+        let mut neck_node = Vec::with_capacity(n_nodes);
+        neck_offset.push(0u32);
+        for neck in partition.necklaces() {
+            rep.push(neck.representative() as u32);
+            neck_len.push(neck.len() as u32);
+            let mut cur = neck.representative();
+            for _ in 0..neck.len() {
+                neck_node.push(cur as u32);
+                cur = space.rotate_left(cur);
+            }
+            neck_offset.push(neck_node.len() as u32);
+        }
+        let tables = EngineTables {
+            d: graph.d() as usize,
+            suffix_count: space.msd_place() as usize,
+            n_nodes,
+            n_necks,
+            rep,
+            neck_len,
+            neck_offset,
+            neck_node,
+        };
+        Ffc {
+            graph,
+            partition,
+            tables,
+        }
     }
 
     /// The underlying de Bruijn graph.
@@ -115,6 +380,22 @@ impl Ffc {
         &self.partition
     }
 
+    /// The representative (minimal member) of `v`'s necklace — a flat table
+    /// lookup, unlike the O(n) `WordSpace::canonical_rotation`.
+    #[must_use]
+    pub fn representative_of(&self, v: usize) -> usize {
+        self.tables.rep[self.partition.membership()[v] as usize] as usize
+    }
+
+    /// The members of necklace `id` in rotation order starting at its
+    /// representative (a slice of the precomputed CSR layout).
+    #[must_use]
+    pub fn necklace_members(&self, id: usize) -> &[u32] {
+        let lo = self.tables.neck_offset[id] as usize;
+        let hi = self.tables.neck_offset[id + 1] as usize;
+        &self.tables.neck_node[lo..hi]
+    }
+
     /// The default root R = 0…01 used by the paper's simulations.
     #[must_use]
     pub fn default_root(&self) -> usize {
@@ -125,11 +406,15 @@ impl Ffc {
     /// default root R = 0…01 (if R's necklace is faulty, the nearest
     /// non-faulty node found by a breadth-first probe is used instead,
     /// matching the protocol of Section 2.5.2).
+    ///
+    /// Allocates a fresh [`EmbedScratch`] per call; steady-state callers
+    /// (sweeps, services) should hold a scratch and use
+    /// [`Ffc::embed_into`].
     #[must_use]
     pub fn embed(&self, faulty_nodes: &[usize]) -> FfcOutcome {
-        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
-        let root = self.pick_root(self.default_root(), &faulty_mask);
-        self.embed_with_mask(root, &faulty_mask)
+        let mut scratch = EmbedScratch::new();
+        let stats = self.embed_into(&mut scratch, faulty_nodes);
+        outcome_from(stats, std::mem::take(&mut scratch.cycle))
     }
 
     /// Embeds a fault-free cycle avoiding `faulty_nodes`, rooted at (the
@@ -139,12 +424,30 @@ impl Ffc {
     /// Panics if `root`'s necklace is itself faulty.
     #[must_use]
     pub fn embed_from(&self, faulty_nodes: &[usize], root: usize) -> FfcOutcome {
-        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
-        assert!(
-            !faulty_mask[self.partition.id_of(root as u64)],
-            "the requested root lies on a faulty necklace"
-        );
-        self.embed_with_mask(root, &faulty_mask)
+        let mut scratch = EmbedScratch::new();
+        let stats = self.embed_into_from(&mut scratch, faulty_nodes, root);
+        outcome_from(stats, std::mem::take(&mut scratch.cycle))
+    }
+
+    /// Embeds a fault-free cycle avoiding `faulty_nodes` using `scratch`
+    /// for all mutable state; the cycle is left in [`EmbedScratch::cycle`].
+    /// Root selection follows [`Ffc::embed`]. After the scratch has warmed
+    /// up at this (d, n), the call performs no heap allocation.
+    pub fn embed_into(&self, scratch: &mut EmbedScratch, faulty_nodes: &[usize]) -> EmbedStats {
+        self.engine_embed(scratch, faulty_nodes, None)
+    }
+
+    /// [`Ffc::embed_into`] with an explicit root, like [`Ffc::embed_from`].
+    ///
+    /// # Panics
+    /// Panics if `root`'s necklace is itself faulty.
+    pub fn embed_into_from(
+        &self,
+        scratch: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+        root: usize,
+    ) -> EmbedStats {
+        self.engine_embed(scratch, faulty_nodes, Some(root))
     }
 
     /// The boolean per-necklace fault mask induced by a set of faulty nodes.
@@ -176,6 +479,314 @@ impl Ffc {
             .expect("every node of B(d,n) lies on a faulty necklace")
     }
 
+    // ------------------------------------------------------------------
+    // The engine.
+    // ------------------------------------------------------------------
+
+    /// One full embedding on reusable state. `forced_root` is `Some` for
+    /// [`Ffc::embed_into_from`] (panics if its necklace is faulty) and
+    /// `None` for the default-root-with-repair policy of [`Ffc::embed_into`].
+    fn engine_embed(
+        &self,
+        s: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+        forced_root: Option<usize>,
+    ) -> EmbedStats {
+        let t = &self.tables;
+        let membership = self.partition.membership();
+        let d = t.d;
+        let suffix = t.suffix_count;
+        s.prepare(t);
+        let stamp = s.stamp;
+
+        // Mark faulty necklaces (stamped — no per-call mask allocation).
+        let mut faulty_necklaces = 0usize;
+        let mut removed_nodes = 0usize;
+        for &v in faulty_nodes {
+            assert!(v < t.n_nodes, "faulty node id {v} out of range");
+            let nid = membership[v] as usize;
+            if s.faulty[nid] != stamp {
+                s.faulty[nid] = stamp;
+                faulty_necklaces += 1;
+                removed_nodes += t.neck_len[nid] as usize;
+            }
+        }
+
+        // Root selection (Section 2.5.2): the preferred root if live, else
+        // the nearest live node by a breadth-first probe over the *full*
+        // graph — identical to `pick_root`, but allocation-free.
+        let root = match forced_root {
+            Some(r) => {
+                assert!(r < t.n_nodes, "root id {r} out of range");
+                assert!(
+                    s.faulty[membership[r] as usize] != stamp,
+                    "the requested root lies on a faulty necklace"
+                );
+                r
+            }
+            None => {
+                let preferred = self.default_root();
+                if s.faulty[membership[preferred] as usize] != stamp {
+                    preferred
+                } else {
+                    self.probe_for_live_root(s, preferred)
+                }
+            }
+        };
+        // Normalise to the minimal node of its necklace so N(R) = [R].
+        let root = t.rep[membership[root] as usize] as usize;
+        let root_neck = membership[root] as usize;
+
+        // B*: the strongly connected component of the surviving graph that
+        // contains the root — the intersection of the live forward- and
+        // backward-reachable sets of the root, found by two BFS passes over
+        // the implicit shift arithmetic (no Tarjan, no materialised SCCs).
+        s.queue.clear();
+        s.fwd[root] = stamp;
+        s.queue.push(root as u32);
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            let base = (v % suffix) * d;
+            for a in 0..d {
+                let u = base + a;
+                if s.fwd[u] != stamp && s.faulty[membership[u] as usize] != stamp {
+                    s.fwd[u] = stamp;
+                    s.queue.push(u as u32);
+                }
+            }
+        }
+        s.queue.clear();
+        s.bwd[root] = stamp;
+        s.queue.push(root as u32);
+        s.bstar.push(root as u32);
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            let base = v / d;
+            for a in 0..d {
+                let u = base + a * suffix;
+                if s.bwd[u] != stamp && s.faulty[membership[u] as usize] != stamp {
+                    s.bwd[u] = stamp;
+                    s.queue.push(u as u32);
+                    if s.fwd[u] == stamp {
+                        s.bstar.push(u as u32);
+                    }
+                }
+            }
+        }
+        let component_size = s.bstar.len();
+
+        // Step 1.1: broadcast from the root over B* (level-synchronous BFS
+        // with minimal-predecessor tie-breaking: every same-level
+        // predecessor attempts a min-update of the parent, so the result is
+        // independent of frontier scan order and no per-level sort is
+        // needed — nothing downstream consumes discovery order).
+        s.queue.clear();
+        s.vis[root] = stamp;
+        s.level[root] = 0;
+        s.parent[root] = NONE;
+        s.queue.push(root as u32);
+        let mut depth = 0u32;
+        loop {
+            s.next.clear();
+            for &v in &s.queue {
+                let v = v as usize;
+                let base = (v % suffix) * d;
+                for a in 0..d {
+                    let u = base + a;
+                    if s.fwd[u] != stamp || s.bwd[u] != stamp {
+                        continue;
+                    }
+                    if s.vis[u] != stamp {
+                        s.vis[u] = stamp;
+                        s.level[u] = depth + 1;
+                        s.parent[u] = v as u32;
+                        s.next.push(u as u32);
+                    } else if s.level[u] == depth + 1 && s.parent[u] > v as u32 {
+                        s.parent[u] = v as u32;
+                    }
+                }
+            }
+            if s.next.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut s.queue, &mut s.next);
+            depth += 1;
+        }
+        let eccentricity = depth as usize;
+
+        // Step 1.2: for every non-root live necklace of B*, the member Y
+        // reached earliest (ties: minimal id) defines the tree edge — its
+        // (n−1)-digit prefix is the label w, its BFS parent's necklace the
+        // parent in T. One pass over B* with per-necklace best slots.
+        for &v in &s.bstar {
+            let v = v as usize;
+            debug_assert!(s.vis[v] == stamp, "B* node not reached by the broadcast");
+            let nid = membership[v] as usize;
+            if nid == root_neck {
+                continue;
+            }
+            let key = (u64::from(s.level[v]) << 32) | v as u64;
+            if s.best_stamp[nid] != stamp {
+                s.best_stamp[nid] = stamp;
+                s.best_key[nid] = key;
+                s.live_necks.push(nid as u32);
+            } else if key < s.best_key[nid] {
+                s.best_key[nid] = key;
+            }
+        }
+
+        // Step 2: group the tree edges by label w and close each group
+        // (children + parent necklace) into a directed cycle of w-edges —
+        // the modified tree D. Flat arrays replace the reference
+        // implementation's two hash maps: `label_parent` records the
+        // single parent necklace of T_w (height-one property), and the
+        // packed (label, necklace) records are sorted so each group is a
+        // contiguous run, in necklace-id order.
+        for &nid in &s.live_necks {
+            let nid = nid as usize;
+            let chosen = (s.best_key[nid] & u64::from(u32::MAX)) as usize;
+            let parent = s.parent[chosen] as usize;
+            debug_assert!(parent != NONE as usize, "non-root necklace chose the root");
+            let label = chosen / d; // the (n−1)-digit prefix of Y
+            debug_assert_eq!(parent % suffix, label);
+            let parent_neck = membership[parent] as usize;
+            if s.label_stamp[label] != stamp {
+                s.label_stamp[label] = stamp;
+                s.label_parent[label] = parent_neck as u32;
+                s.group_entries
+                    .push(((label as u64) << 32) | parent_neck as u64);
+            } else {
+                debug_assert_eq!(
+                    s.label_parent[label] as usize, parent_neck,
+                    "T_w must have a single parent necklace (height-one property)"
+                );
+            }
+            s.group_entries.push(((label as u64) << 32) | nid as u64);
+        }
+        s.group_entries.sort_unstable();
+
+        // Step 3: successor function. Default: follow the necklace (left
+        // rotation). Then, for every w-edge of D from necklace m to
+        // necklace m′: the unique member αw of m exits to wβ, where βw is
+        // the member of m′ with suffix w.
+        for &v in &s.bstar {
+            let v = v as usize;
+            s.succ[v] = ((v % suffix) * d + v / suffix) as u32;
+        }
+        let mut i = 0;
+        while i < s.group_entries.len() {
+            let label = (s.group_entries[i] >> 32) as usize;
+            s.members.clear();
+            let mut j = i;
+            while j < s.group_entries.len() && (s.group_entries[j] >> 32) as usize == label {
+                let nid = (s.group_entries[j] & u64::from(u32::MAX)) as u32;
+                // Entries are sorted, so duplicates (a parent that is also
+                // a child of the same label) are adjacent.
+                if s.members.last() != Some(&nid) {
+                    s.members.push(nid);
+                }
+                j += 1;
+            }
+            let k = s.members.len();
+            for idx in 0..k {
+                let m = s.members[idx] as usize;
+                let target = s.members[(idx + 1) % k] as usize;
+                let exit = (0..d)
+                    .map(|alpha| alpha * suffix + label)
+                    .find(|&cand| membership[cand] as usize == m)
+                    .expect("a w-edge of D always has an exit node on the source necklace");
+                let entry = (0..d)
+                    .find(|&beta| membership[beta * suffix + label] as usize == target)
+                    .map(|beta| label * d + beta)
+                    .expect("a w-edge of D always has an entry node on the target necklace");
+                debug_assert!(s.fwd[entry] == stamp && s.bwd[entry] == stamp);
+                s.succ[exit] = entry as u32;
+            }
+            i = j;
+        }
+
+        // Read off the cycle from the root.
+        let mut v = root;
+        loop {
+            s.cycle.push(v);
+            v = s.succ[v] as usize;
+            if v == root {
+                break;
+            }
+            debug_assert!(
+                s.cycle.len() <= component_size,
+                "successor walk escaped B* or looped early"
+            );
+        }
+
+        EmbedStats {
+            root,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+
+    /// Allocation-free equivalent of the BFS fallback in [`Ffc::pick_root`]:
+    /// finds the live node nearest to `preferred` (levels scanned in
+    /// increasing node id, exactly like `bfs_tree`'s discovery order).
+    ///
+    /// # Panics
+    /// Panics if every necklace is faulty.
+    fn probe_for_live_root(&self, s: &mut EmbedScratch, preferred: usize) -> usize {
+        let t = &self.tables;
+        let membership = self.partition.membership();
+        let stamp = s.stamp;
+        let (d, suffix) = (t.d, t.suffix_count);
+        s.queue.clear();
+        s.probe[preferred] = stamp;
+        s.queue.push(preferred as u32);
+        while !s.queue.is_empty() {
+            s.next.clear();
+            for &v in &s.queue {
+                let base = (v as usize % suffix) * d;
+                for a in 0..d {
+                    let u = base + a;
+                    if s.probe[u] != stamp {
+                        s.probe[u] = stamp;
+                        s.next.push(u as u32);
+                    }
+                }
+            }
+            s.next.sort_unstable();
+            if let Some(&u) = s
+                .next
+                .iter()
+                .find(|&&u| s.faulty[membership[u as usize] as usize] != stamp)
+            {
+                s.queue.clear();
+                return u as usize;
+            }
+            std::mem::swap(&mut s.queue, &mut s.next);
+        }
+        panic!("every node of B(d,n) lies on a faulty necklace");
+    }
+
+    // ------------------------------------------------------------------
+    // The reference implementation (differential tests, benchmarks).
+    // ------------------------------------------------------------------
+
+    /// The textbook formulation of the algorithm: materialised SCC search
+    /// plus hash-map w-groups, rebuilding every intermediate from scratch.
+    /// Kept as the differential-testing oracle for the engine and as the
+    /// "naive fresh embed" baseline in the Criterion benchmarks.
+    #[must_use]
+    pub fn embed_reference(&self, faulty_nodes: &[usize]) -> FfcOutcome {
+        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
+        let root = self.pick_root(self.default_root(), &faulty_mask);
+        self.embed_with_mask(root, &faulty_mask)
+    }
+
     fn embed_with_mask(&self, root: usize, faulty_mask: &[bool]) -> FfcOutcome {
         let space = self.graph.space();
         let d = self.graph.d();
@@ -194,23 +805,23 @@ impl Ffc {
         let removed_nodes = alive.iter().filter(|&&a| !a).count();
 
         // B*: the strongly connected component of the surviving graph that
-        // contains the root. (The paper's "component" of a digraph.)
+        // contains the root. (The paper's "component" of a digraph.) The
+        // node → component-id labelling makes the root lookup O(1) instead
+        // of scanning every component's node list.
         let masked = Masked {
             graph: &self.graph,
             alive: &alive,
         };
+        let (comp_ids, _) = scc_component_ids(&masked);
+        let root_comp = comp_ids[root];
         let mut in_bstar = vec![false; n_nodes];
-        let sccs = strongly_connected_components(&masked);
-        let comp = sccs
-            .iter()
-            .find(|c| c.contains(&root))
-            .expect("the root always belongs to some component");
-        for &v in comp {
-            in_bstar[v] = true;
+        let mut component_size = 0usize;
+        for v in 0..n_nodes {
+            if comp_ids[v] == root_comp {
+                in_bstar[v] = true;
+                component_size += 1;
+            }
         }
-        // Degenerate case: a dead root component (possible only if the root
-        // itself was faulty, which pick_root prevents) — keep alive nodes only.
-        let component_size = comp.len();
 
         // Necklaces are unions of cycles, so they are wholly inside or
         // wholly outside B*.
@@ -325,6 +936,18 @@ impl Ffc {
     }
 }
 
+/// Builds an [`FfcOutcome`] from engine stats and an owned cycle buffer.
+fn outcome_from(stats: EmbedStats, cycle: Vec<usize>) -> FfcOutcome {
+    FfcOutcome {
+        root: stats.root,
+        cycle,
+        component_size: stats.component_size,
+        eccentricity: stats.eccentricity,
+        faulty_necklaces: stats.faulty_necklaces,
+        removed_nodes: stats.removed_nodes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,7 +961,10 @@ mod tests {
         let mask = ffc.faulty_necklace_mask(faulty_nodes);
         // Every cycle node is live.
         for &v in &out.cycle {
-            assert!(!mask[ffc.partition().id_of(v as u64)], "cycle visits a faulty necklace");
+            assert!(
+                !mask[ffc.partition().id_of(v as u64)],
+                "cycle visits a faulty necklace"
+            );
         }
         // The cycle is a simple cycle of the graph minus faulty necklaces.
         let dead: Vec<usize> = (0..ffc.graph().len())
@@ -349,7 +975,11 @@ mod tests {
         if out.cycle.len() > 1 {
             assert!(is_cycle(&view, &out.cycle), "FFC output is not a cycle");
         }
-        assert_eq!(out.cycle.len(), out.component_size, "cycle must be Hamiltonian in B*");
+        assert_eq!(
+            out.cycle.len(),
+            out.component_size,
+            "cycle must be Hamiltonian in B*"
+        );
     }
 
     #[test]
@@ -518,5 +1148,130 @@ mod tests {
         assert_eq!(FfcOutcome::guarantee(4, 6, 2), 4096 - 12);
         assert_eq!(FfcOutcome::guarantee(2, 10, 50), 1024 - 500);
         assert_eq!(FfcOutcome::guarantee(2, 3, 100), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-specific tests.
+    // ------------------------------------------------------------------
+
+    /// The engine and the textbook reference must agree on every output
+    /// field for identical inputs.
+    fn assert_engine_matches_reference(ffc: &Ffc, scratch: &mut EmbedScratch, faults: &[usize]) {
+        let reference = ffc.embed_reference(faults);
+        let stats = ffc.embed_into(scratch, faults);
+        assert_eq!(stats.root, reference.root, "root mismatch for {faults:?}");
+        assert_eq!(
+            scratch.cycle(),
+            &reference.cycle[..],
+            "cycle mismatch for {faults:?}"
+        );
+        assert_eq!(stats.component_size, reference.component_size);
+        assert_eq!(stats.eccentricity, reference.eccentricity, "{faults:?}");
+        assert_eq!(stats.faulty_necklaces, reference.faulty_necklaces);
+        assert_eq!(stats.removed_nodes, reference.removed_nodes);
+    }
+
+    #[test]
+    fn engine_matches_reference_exhaustively_on_single_faults() {
+        for (d, n) in [(2u64, 6u32), (3, 3), (3, 4), (4, 3), (5, 2)] {
+            let ffc = Ffc::new(d, n);
+            let mut scratch = EmbedScratch::new();
+            assert_engine_matches_reference(&ffc, &mut scratch, &[]);
+            for v in 0..ffc.graph().len() {
+                assert_engine_matches_reference(&ffc, &mut scratch, &[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_heavy_fault_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2026);
+        for (d, n) in [(2u64, 8u32), (2, 10), (3, 5), (4, 4)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let mut scratch = EmbedScratch::new();
+            for trial in 0..40 {
+                let f = trial % 13;
+                let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+                assert_engine_matches_reference(&ffc, &mut scratch, &faults);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sizes() {
+        // One scratch, many graphs: buffers grow to the largest and results
+        // stay correct when hopping between (d, n).
+        let mut scratch = EmbedScratch::new();
+        for (d, n) in [(2u64, 4u32), (4, 4), (2, 6), (3, 3), (2, 10), (3, 3)] {
+            let ffc = Ffc::new(d, n);
+            let stats = ffc.embed_into(&mut scratch, &[0]);
+            assert_eq!(stats.component_size, scratch.cycle().len(), "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn embed_into_does_not_allocate_after_warmup() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ffc = Ffc::new(2, 10);
+        let total = ffc.graph().len();
+        let mut scratch = EmbedScratch::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Warm up: the worst-case cycle length (no faults) sizes the cycle
+        // buffer; a faulty-root call sizes the probe path.
+        let _ = ffc.embed_into(&mut scratch, &[]);
+        let _ = ffc.embed_into(&mut scratch, &[1]);
+        let warm = scratch.allocated_bytes();
+        let cycle_ptr = scratch.cycle().as_ptr();
+        for trial in 0..200 {
+            let f = trial % 17;
+            let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            let _ = ffc.embed_into(&mut scratch, &faults);
+            assert_eq!(
+                scratch.allocated_bytes(),
+                warm,
+                "scratch grew on trial {trial} (faults {faults:?})"
+            );
+        }
+        // The cycle buffer never reallocated either.
+        let _ = ffc.embed_into(&mut scratch, &[]);
+        assert_eq!(scratch.cycle().as_ptr(), cycle_ptr);
+        assert_eq!(scratch.allocated_bytes(), warm);
+    }
+
+    #[test]
+    fn representative_and_members_match_partition() {
+        let ffc = Ffc::new(3, 4);
+        let space = ffc.graph().space();
+        for v in 0..ffc.graph().len() {
+            assert_eq!(
+                ffc.representative_of(v),
+                space.canonical_rotation(v as u64) as usize
+            );
+        }
+        for (id, neck) in ffc.partition().necklaces().iter().enumerate() {
+            let members: Vec<u64> = ffc
+                .necklace_members(id)
+                .iter()
+                .map(|&v| u64::from(v))
+                .collect();
+            assert_eq!(members, neck.nodes(space));
+        }
+    }
+
+    #[test]
+    fn embed_into_from_matches_embed_from() {
+        let ffc = Ffc::new(3, 3);
+        let g = ffc.graph();
+        let root = g.node("012").unwrap();
+        let faults = vec![g.node("020").unwrap()];
+        let mut scratch = EmbedScratch::new();
+        let stats = ffc.embed_into_from(&mut scratch, &faults, root);
+        let out = ffc.embed_from(&faults, root);
+        assert_eq!(stats.root, out.root);
+        assert_eq!(scratch.cycle(), &out.cycle[..]);
     }
 }

@@ -42,6 +42,6 @@ pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
 pub use edge_faults::EdgeFaultEmbedder;
-pub use ffc::{Ffc, FfcOutcome};
+pub use ffc::{EmbedScratch, EmbedStats, Ffc, FfcOutcome};
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;

@@ -51,7 +51,10 @@ impl ModifiedDeBruijn {
     pub fn construct(d: u64, n: u32) -> Self {
         let space = WordSpace::new(d, n);
         let cycles = if d == 2 {
-            assert!(n >= 3, "the binary modification requires n >= 3 (Example 3.6 uses n = 3)");
+            assert!(
+                n >= 3,
+                "the binary modification requires n >= 3 (Example 3.6 uses n = 3)"
+            );
             Self::binary_cycles(n)
         } else {
             assert!(
@@ -195,7 +198,7 @@ impl ModifiedDeBruijn {
         let c_nodes = family.translate_nodes(0);
         let exit = space.from_digits(
             &std::iter::once(1)
-                .chain(std::iter::repeat(0).take(n as usize - 1))
+                .chain(std::iter::repeat_n(0, n as usize - 1))
                 .collect::<Vec<_>>(),
         ) as usize;
         let pos = family
@@ -248,13 +251,20 @@ mod tests {
         let total = m.space().count() as usize;
         assert_eq!(m.cycles().len() as u64, d, "d={d} n={n}: expected d cycles");
         for c in m.cycles() {
-            assert_eq!(c.len(), total, "d={d} n={n}: each cycle must be Hamiltonian");
+            assert_eq!(
+                c.len(),
+                total,
+                "d={d} n={n}: each cycle must be Hamiltonian"
+            );
             let mut sorted = c.clone();
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), total, "d={d} n={n}: repeated node in a cycle");
         }
-        assert!(all_pairwise_edge_disjoint(m.cycles()), "d={d} n={n}: cycles share an edge");
+        assert!(
+            all_pairwise_edge_disjoint(m.cycles()),
+            "d={d} n={n}: cycles share an edge"
+        );
         // MB(d,n) is d-regular in and out.
         let g = m.graph();
         for v in 0..total {
@@ -265,7 +275,10 @@ mod tests {
         let umb = m.undirected();
         let ub = DeBruijn::new(d, n).to_undirected();
         for (a, b) in ub.edges() {
-            assert!(umb.has_edge(a, b), "d={d} n={n}: UB edge {a}-{b} missing from UMB");
+            assert!(
+                umb.has_edge(a, b),
+                "d={d} n={n}: UB edge {a}-{b} missing from UMB"
+            );
         }
     }
 

@@ -122,8 +122,12 @@ impl NecklaceAdjacency {
         if self.live.is_empty() {
             return true;
         }
-        let index: BTreeMap<usize, usize> =
-            self.live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let index: BTreeMap<usize, usize> = self
+            .live
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.live.len()];
         for e in &self.edges {
             adj[index[&e.from]].push(index[&e.to]);
@@ -205,7 +209,9 @@ mod tests {
             .iter()
             .map(|&id| part.necklace(id).format(s))
             .collect();
-        for expected in ["[000]", "[001]", "[011]", "[111]", "[012]", "[021]", "[022]", "[122]", "[222]"] {
+        for expected in [
+            "[000]", "[001]", "[011]", "[111]", "[012]", "[021]", "[022]", "[122]", "[222]",
+        ] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
     }
@@ -262,7 +268,9 @@ mod tests {
         let adj = NecklaceAdjacency::build(&g, &part, |id| !faulty[id]);
         for e in adj.edges() {
             assert!(
-                adj.edges().iter().any(|r| r.from == e.to && r.to == e.from && r.label == e.label),
+                adj.edges()
+                    .iter()
+                    .any(|r| r.from == e.to && r.to == e.from && r.label == e.label),
                 "missing antiparallel twin of {e:?}"
             );
         }

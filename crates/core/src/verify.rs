@@ -68,8 +68,14 @@ mod tests {
         assert!(!is_debruijn_hamiltonian(2, 3, &cycle));
         assert!(ring_avoids_nodes(&cycle, &[g.node("111").unwrap()]));
         assert!(!ring_avoids_nodes(&cycle, &[g.node("010").unwrap()]));
-        assert!(ring_avoids_edges(&cycle, &[(g.node("001").unwrap(), g.node("011").unwrap())]));
-        assert!(!ring_avoids_edges(&cycle, &[(g.node("000").unwrap(), g.node("001").unwrap())]));
+        assert!(ring_avoids_edges(
+            &cycle,
+            &[(g.node("001").unwrap(), g.node("011").unwrap())]
+        ));
+        assert!(!ring_avoids_edges(
+            &cycle,
+            &[(g.node("000").unwrap(), g.node("001").unwrap())]
+        ));
     }
 
     #[test]

@@ -85,7 +85,12 @@ pub fn bfs_tree<T: Topology + ?Sized>(graph: &T, root: usize) -> BfsTree {
         order.extend(next.iter().copied());
         frontier = next;
     }
-    BfsTree { root, parent, level, order }
+    BfsTree {
+        root,
+        parent,
+        level,
+        order,
+    }
 }
 
 /// Shortest-path distances from `root`; unreachable nodes get `usize::MAX`.

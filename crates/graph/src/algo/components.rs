@@ -132,6 +132,25 @@ pub fn strongly_connected_components<T: Topology + ?Sized>(graph: &T) -> Vec<Vec
     components
 }
 
+/// Labels every node with the id of its strongly connected component;
+/// returns `(ids, component_count)`. Component ids follow the same reverse
+/// topological order as [`strongly_connected_components`].
+///
+/// Use this instead of scanning the component *lists* when all that is
+/// needed is membership queries — `ids[u] == ids[v]` is O(1), whereas
+/// `components.iter().find(|c| c.contains(&v))` is O(components × size).
+#[must_use]
+pub fn scc_component_ids<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize) {
+    let sccs = strongly_connected_components(graph);
+    let mut ids = vec![usize::MAX; graph.node_count()];
+    for (id, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            ids[v] = id;
+        }
+    }
+    (ids, sccs.len())
+}
+
 /// The nodes of the largest weak component among nodes satisfying `alive`
 /// (nodes failing the predicate are ignored entirely). Used to extract B*
 /// from the faulty de Bruijn graph: pass the necklace-fault predicate.
@@ -222,13 +241,27 @@ mod tests {
     }
 
     #[test]
+    fn component_ids_agree_with_component_lists() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
+        let (ids, count) = scc_component_ids(&g);
+        assert_eq!(count, 2);
+        let lists = strongly_connected_components(&g);
+        for (id, comp) in lists.iter().enumerate() {
+            for &v in comp {
+                assert_eq!(ids[v], id, "node {v}");
+            }
+        }
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
     fn largest_component_respects_alive_mask() {
         // A 4-cycle and a 3-cycle; kill two opposite nodes of the 4-cycle so
         // the 3-cycle becomes the largest surviving component.
-        let g = DiGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 4)],
-        );
+        let g = DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 4)]);
         let comp = largest_weak_component(&g, |v| v != 1 && v != 3);
         assert_eq!(comp, vec![4, 5, 6]);
         let all = largest_weak_component(&g, |_| true);

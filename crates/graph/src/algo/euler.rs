@@ -22,7 +22,7 @@ pub fn is_eulerian(graph: &DiGraph) -> bool {
     }
     // All nodes with degree > 0 must be weakly connected.
     let n = graph.len();
-    let start = (0..n).find(|&v| graph.out_neighbors(v).len() > 0);
+    let start = (0..n).find(|&v| !graph.out_neighbors(v).is_empty());
     let Some(start) = start else {
         return true; // no edges at all
     };
@@ -38,7 +38,8 @@ pub fn is_eulerian(graph: &DiGraph) -> bool {
             }
         }
     }
-    (0..n).all(|v| seen[v] || (graph.out_neighbors(v).is_empty() && graph.in_neighbors(v).is_empty()))
+    (0..n)
+        .all(|v| seen[v] || (graph.out_neighbors(v).is_empty() && graph.in_neighbors(v).is_empty()))
 }
 
 /// An Eulerian circuit of the digraph as a node sequence
@@ -95,7 +96,10 @@ mod tests {
         for e in graph.edges() {
             *expected.entry(e).or_insert(0) += 1;
         }
-        assert_eq!(used, expected, "circuit must traverse every edge exactly once");
+        assert_eq!(
+            used, expected,
+            "circuit must traverse every edge exactly once"
+        );
         assert_eq!(circuit.first(), circuit.last());
     }
 

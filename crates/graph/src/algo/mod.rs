@@ -7,7 +7,8 @@ pub mod euler;
 
 pub use bfs::{bfs_distances, bfs_tree, eccentricity, BfsTree};
 pub use components::{
-    largest_weak_component, strongly_connected_components, weak_components, weakly_connected,
+    largest_weak_component, scc_component_ids, strongly_connected_components, weak_components,
+    weakly_connected,
 };
 pub use cycles::{
     cycle_edges, cycles_edge_disjoint, is_cycle, is_hamiltonian_cycle, longest_cycle_brute_force,

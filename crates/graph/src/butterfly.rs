@@ -112,7 +112,9 @@ impl Butterfly {
     /// The full de Bruijn class S_X = {(i, π^{-i}(x)) : 0 ≤ i < n}.
     #[must_use]
     pub fn debruijn_class(&self, x: u64) -> Vec<usize> {
-        (0..self.n()).map(|i| self.debruijn_class_member(x, i)).collect()
+        (0..self.n())
+            .map(|i| self.debruijn_class_member(x, i))
+            .collect()
     }
 
     /// Formats a node id as `(level, column-word)`.

@@ -242,7 +242,11 @@ mod tests {
             }
             let d = d as usize;
             let dn = ub.len();
-            assert_eq!(deg_counts.get(&(2 * d - 2)).copied().unwrap_or(0), d, "d={d} n={n}");
+            assert_eq!(
+                deg_counts.get(&(2 * d - 2)).copied().unwrap_or(0),
+                d,
+                "d={d} n={n}"
+            );
             assert_eq!(
                 deg_counts.get(&(2 * d - 1)).copied().unwrap_or(0),
                 d * (d - 1),

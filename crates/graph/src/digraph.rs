@@ -25,7 +25,10 @@ impl DiGraph {
 
     /// Adds the directed edge `(u, v)`.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.out.len() && v < self.out.len(), "edge endpoint out of range");
+        assert!(
+            u < self.out.len() && v < self.out.len(),
+            "edge endpoint out of range"
+        );
         self.out[u].push(v as u32);
         self.inn[v].push(u as u32);
         self.edges += 1;

@@ -7,16 +7,25 @@
 //! [`Topology`] with the faults masked out — no copying of the underlying
 //! graph is needed, which matters for the Monte-Carlo sweeps of Tables 2.1
 //! and 2.2.
-
-use std::collections::HashSet;
+//!
+//! Node faults are held in a word-packed bitset, so the membership test on
+//! the hot path of every masked traversal is one shift/mask pair instead
+//! of a hash probe, and a fault set for a d^n-node graph costs d^n / 8
+//! bytes. Edge faults (rare, and only ever a handful per experiment) live
+//! in a small sorted vector searched by binary search.
 
 use crate::topology::Topology;
 
 /// A set of faulty nodes and faulty directed edges.
 #[derive(Clone, Debug, Default)]
 pub struct FaultSet {
-    nodes: HashSet<usize>,
-    edges: HashSet<(usize, usize)>,
+    /// Word-packed node-fault bitset: bit `v` set ⟺ node `v` is faulty.
+    /// Grows on demand; absent words mean "not faulty".
+    node_bits: Vec<u64>,
+    /// Number of set bits in `node_bits`.
+    node_count: usize,
+    /// Explicitly failed directed edges, sorted and deduplicated.
+    edges: Vec<(usize, usize)>,
 }
 
 impl FaultSet {
@@ -29,66 +38,88 @@ impl FaultSet {
     /// A fault set with the given faulty nodes.
     #[must_use]
     pub fn from_nodes<I: IntoIterator<Item = usize>>(nodes: I) -> Self {
-        FaultSet {
-            nodes: nodes.into_iter().collect(),
-            edges: HashSet::new(),
+        let mut set = FaultSet::new();
+        for v in nodes {
+            set.fail_node(v);
         }
+        set
     }
 
     /// A fault set with the given faulty directed edges.
     #[must_use]
     pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(edges: I) -> Self {
-        FaultSet {
-            nodes: HashSet::new(),
-            edges: edges.into_iter().collect(),
+        let mut set = FaultSet::new();
+        for (u, v) in edges {
+            set.fail_edge(u, v);
         }
+        set
     }
 
     /// Marks a node as faulty.
     pub fn fail_node(&mut self, v: usize) {
-        self.nodes.insert(v);
+        let word = v / 64;
+        if word >= self.node_bits.len() {
+            self.node_bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (v % 64);
+        if self.node_bits[word] & mask == 0 {
+            self.node_bits[word] |= mask;
+            self.node_count += 1;
+        }
     }
 
     /// Marks a directed edge as faulty.
     pub fn fail_edge(&mut self, u: usize, v: usize) {
-        self.edges.insert((u, v));
+        if let Err(pos) = self.edges.binary_search(&(u, v)) {
+            self.edges.insert(pos, (u, v));
+        }
     }
 
     /// Marks an undirected link as faulty (both directions).
     pub fn fail_link(&mut self, u: usize, v: usize) {
-        self.edges.insert((u, v));
-        self.edges.insert((v, u));
+        self.fail_edge(u, v);
+        self.fail_edge(v, u);
     }
 
     /// Whether node `v` is faulty.
+    #[inline]
     #[must_use]
     pub fn node_is_faulty(&self, v: usize) -> bool {
-        self.nodes.contains(&v)
+        self.node_bits
+            .get(v / 64)
+            .is_some_and(|w| w & (1u64 << (v % 64)) != 0)
     }
 
     /// Whether the directed edge `(u, v)` is faulty (either explicitly or
     /// because one of its endpoints is a faulty node).
+    #[inline]
     #[must_use]
     pub fn edge_is_faulty(&self, u: usize, v: usize) -> bool {
-        self.edges.contains(&(u, v)) || self.nodes.contains(&u) || self.nodes.contains(&v)
+        self.node_is_faulty(u)
+            || self.node_is_faulty(v)
+            || (!self.edges.is_empty() && self.edges.binary_search(&(u, v)).is_ok())
     }
 
-    /// The faulty nodes.
-    #[must_use]
-    pub fn faulty_nodes(&self) -> &HashSet<usize> {
-        &self.nodes
+    /// The faulty nodes, in increasing id order.
+    pub fn faulty_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.node_bits.iter().enumerate().flat_map(|(i, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| i * 64 + b)
+        })
     }
 
-    /// The explicitly faulty edges (node-induced edge failures are not listed).
+    /// The explicitly faulty edges in sorted order (node-induced edge
+    /// failures are not listed).
     #[must_use]
-    pub fn faulty_edges(&self) -> &HashSet<(usize, usize)> {
+    pub fn faulty_edges(&self) -> &[(usize, usize)] {
         &self.edges
     }
 
     /// Number of faulty nodes.
     #[must_use]
     pub fn node_fault_count(&self) -> usize {
-        self.nodes.len()
+        self.node_count
     }
 
     /// Number of explicitly faulty edges.
@@ -100,13 +131,16 @@ impl FaultSet {
     /// Whether no faults are recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty() && self.edges.is_empty()
+        self.node_count == 0 && self.edges.is_empty()
     }
 
     /// Restricts a topology to its fault-free part.
     #[must_use]
     pub fn view<'a, T: Topology>(&'a self, graph: &'a T) -> FaultyView<'a, T> {
-        FaultyView { graph, faults: self }
+        FaultyView {
+            graph,
+            faults: self,
+        }
     }
 }
 
@@ -206,5 +240,29 @@ mod tests {
         assert_eq!(f.node_fault_count(), 0);
         assert!(!f.is_empty());
         assert!(FaultSet::new().is_empty());
+    }
+
+    #[test]
+    fn bitset_semantics_match_set_semantics() {
+        let mut f = FaultSet::new();
+        // Duplicates count once; ids far apart pack into separate words.
+        f.fail_node(3);
+        f.fail_node(3);
+        f.fail_node(64);
+        f.fail_node(1000);
+        assert_eq!(f.node_fault_count(), 3);
+        assert!(f.node_is_faulty(3));
+        assert!(f.node_is_faulty(64));
+        assert!(f.node_is_faulty(1000));
+        assert!(!f.node_is_faulty(2));
+        assert!(!f.node_is_faulty(65));
+        // Queries far beyond the grown range are simply "not faulty".
+        assert!(!f.node_is_faulty(1 << 30));
+        assert_eq!(f.faulty_nodes().collect::<Vec<_>>(), vec![3, 64, 1000]);
+        // Edge dedup.
+        f.fail_edge(5, 6);
+        f.fail_edge(5, 6);
+        assert_eq!(f.edge_fault_count(), 1);
+        assert_eq!(f.faulty_edges(), &[(5, 6)]);
     }
 }

@@ -23,7 +23,10 @@ impl Hypercube {
     /// Panics if `n` is 0 or `2^n` overflows usize.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && n < usize::BITS, "hypercube dimension out of range");
+        assert!(
+            (1..usize::BITS).contains(&n),
+            "hypercube dimension out of range"
+        );
         Hypercube { n }
     }
 

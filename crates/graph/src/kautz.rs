@@ -37,7 +37,11 @@ impl Kautz {
                 codes.push(code);
             }
         }
-        Kautz { space, codes, index }
+        Kautz {
+            space,
+            codes,
+            index,
+        }
     }
 
     /// Degree parameter d (out-degree of every node).

@@ -155,7 +155,12 @@ mod tests {
 
     fn check_path(g: &DeBruijn, path: &[usize]) {
         for w in path.windows(2) {
-            assert!(g.is_edge(w[0], w[1]), "{} -> {} is not an edge", g.label(w[0]), g.label(w[1]));
+            assert!(
+                g.is_edge(w[0], w[1]),
+                "{} -> {} is not an edge",
+                g.label(w[0]),
+                g.label(w[1])
+            );
         }
     }
 
@@ -181,11 +186,23 @@ mod tests {
     fn distance_examples() {
         let s = WordSpace::new(2, 4);
         let g = DeBruijn::new(2, 4);
-        assert_eq!(distance(s, g.node("0110").unwrap(), g.node("1101").unwrap()), 1);
-        assert_eq!(distance(s, g.node("0110").unwrap(), g.node("0110").unwrap()), 0);
-        assert_eq!(distance(s, g.node("0000").unwrap(), g.node("1111").unwrap()), 4);
+        assert_eq!(
+            distance(s, g.node("0110").unwrap(), g.node("1101").unwrap()),
+            1
+        );
+        assert_eq!(
+            distance(s, g.node("0110").unwrap(), g.node("0110").unwrap()),
+            0
+        );
+        assert_eq!(
+            distance(s, g.node("0000").unwrap(), g.node("1111").unwrap()),
+            4
+        );
         // 0101 and 0111 overlap in "01", so two hops: 0101 → 1011 → 0111.
-        assert_eq!(distance(s, g.node("0101").unwrap(), g.node("0111").unwrap()), 2);
+        assert_eq!(
+            distance(s, g.node("0101").unwrap(), g.node("0111").unwrap()),
+            2
+        );
     }
 
     #[test]
@@ -246,7 +263,10 @@ mod tests {
                 assert_eq!(path[0], x);
                 assert_eq!(*path.last().unwrap(), y);
                 assert!(path.iter().all(|&v| !blocked(v)));
-                assert!(path.len() <= 2 * n as usize + 1, "route longer than 2n hops");
+                assert!(
+                    path.len() <= 2 * n as usize + 1,
+                    "route longer than 2n hops"
+                );
                 routed += 1;
             }
         }

@@ -96,6 +96,6 @@ mod tests {
         // Reference blanket impl.
         let r: &dyn Topology = &g;
         assert_eq!(r.node_count(), 3);
-        assert_eq!((&g).edge_count(), 4);
+        assert_eq!(g.edge_count(), 4);
     }
 }

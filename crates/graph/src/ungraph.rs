@@ -22,7 +22,10 @@ impl UnGraph {
 
     /// Adds the undirected edge `{u, v}` (self-loops allowed, stored once).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
         self.adj[u].push(v as u32);
         if u != v {
             self.adj[v].push(u as u32);

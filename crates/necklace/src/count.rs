@@ -92,7 +92,10 @@ pub fn count_total_by_class_size<F: Fn(u64) -> u128>(n: u64, class_size: F) -> u
 /// `(1/t) Σ_{j|t} d^j μ(t/j)`.
 #[must_use]
 pub fn count_necklaces_by_length(d: u64, n: u64, t: u64) -> u128 {
-    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    assert!(
+        t >= 1 && n.is_multiple_of(t),
+        "necklace length must divide n"
+    );
     count_by_class_size(t, |j| u128::from(pow(d, j as u32)))
 }
 
@@ -107,9 +110,12 @@ pub fn count_necklaces_total(d: u64, n: u64) -> u128 {
 /// c_d(j, jk/n) when jk/n is an integer and 0 otherwise.
 #[must_use]
 pub fn count_necklaces_by_weight_and_length(d: u64, n: u64, k: u64, t: u64) -> u128 {
-    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    assert!(
+        t >= 1 && n.is_multiple_of(t),
+        "necklace length must divide n"
+    );
     count_by_class_size(t, |j| {
-        if (j * k) % n == 0 {
+        if (j * k).is_multiple_of(n) {
             tuples_of_weight(d, j, j * k / n)
         } else {
             0
@@ -121,7 +127,7 @@ pub fn count_necklaces_by_weight_and_length(d: u64, n: u64, k: u64, t: u64) -> u
 #[must_use]
 pub fn count_necklaces_by_weight(d: u64, n: u64, k: u64) -> u128 {
     count_total_by_class_size(n, |j| {
-        if (j * k) % n == 0 {
+        if (j * k).is_multiple_of(n) {
             tuples_of_weight(d, j, j * k / n)
         } else {
             0
@@ -148,8 +154,15 @@ pub fn multinomial(parts: &[u64]) -> u128 {
 #[must_use]
 pub fn count_necklaces_by_type(d: u64, n: u64, node_type: &[u64], t: u64) -> u128 {
     assert_eq!(node_type.len() as u64, d, "type vector must have d entries");
-    assert_eq!(node_type.iter().sum::<u64>(), n, "type entries must sum to n");
-    assert!(t >= 1 && n % t == 0, "necklace length must divide n");
+    assert_eq!(
+        node_type.iter().sum::<u64>(),
+        n,
+        "type entries must sum to n"
+    );
+    assert!(
+        t >= 1 && n.is_multiple_of(t),
+        "necklace length must divide n"
+    );
     count_by_class_size(t, |j| {
         if node_type.iter().all(|&k| (j * k) % n == 0) {
             let parts: Vec<u64> = node_type.iter().map(|&k| j * k / n).collect();
@@ -165,7 +178,11 @@ pub fn count_necklaces_by_type(d: u64, n: u64, node_type: &[u64], t: u64) -> u12
 #[must_use]
 pub fn count_necklaces_by_type_total(d: u64, n: u64, node_type: &[u64]) -> u128 {
     assert_eq!(node_type.len() as u64, d, "type vector must have d entries");
-    assert_eq!(node_type.iter().sum::<u64>(), n, "type entries must sum to n");
+    assert_eq!(
+        node_type.iter().sum::<u64>(),
+        n,
+        "type entries must sum to n"
+    );
     count_total_by_class_size(n, |j| {
         if node_type.iter().all(|&k| (j * k) % n == 0) {
             let parts: Vec<u64> = node_type.iter().map(|&k| j * k / n).collect();
@@ -272,7 +289,11 @@ mod tests {
         for (d, n) in [(2u64, 12u32), (3, 6), (4, 4)] {
             let part = NecklacePartition::new(WordSpace::new(d, n));
             for t in dbg_algebra::num::divisors(u64::from(n)) {
-                let explicit = part.necklaces().iter().filter(|x| x.len() as u64 == t).count();
+                let explicit = part
+                    .necklaces()
+                    .iter()
+                    .filter(|x| x.len() as u64 == t)
+                    .count();
                 assert_eq!(
                     count_necklaces_by_length(d, u64::from(n), t),
                     explicit as u128,

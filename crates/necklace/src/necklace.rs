@@ -137,6 +137,15 @@ impl NecklacePartition {
         self.membership[code as usize] as usize
     }
 
+    /// The raw word → necklace-id table, indexed by word code. Exposed so
+    /// hot paths (the FFC embedding engine, the distributed protocol) can
+    /// do flat-array lookups without going through `id_of`'s `usize`
+    /// conversions per call.
+    #[must_use]
+    pub fn membership(&self) -> &[u32] {
+        &self.membership
+    }
+
     /// The necklace with a given id.
     #[must_use]
     pub fn necklace(&self, id: usize) -> &Necklace {
@@ -246,7 +255,11 @@ mod tests {
     fn representatives_are_sorted_and_minimal() {
         let s = WordSpace::new(3, 4);
         let part = NecklacePartition::new(s);
-        let reps: Vec<u64> = part.necklaces().iter().map(Necklace::representative).collect();
+        let reps: Vec<u64> = part
+            .necklaces()
+            .iter()
+            .map(Necklace::representative)
+            .collect();
         let mut sorted = reps.clone();
         sorted.sort_unstable();
         assert_eq!(reps, sorted);

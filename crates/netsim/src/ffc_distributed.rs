@@ -73,7 +73,11 @@ enum Msg {
     /// Necklace-internal share of (node, level, parent) records.
     Share { records: Vec<(usize, usize, usize)> },
     /// A child necklace announcing itself to a w-group.
-    Announce { label: u64, member_rep: usize, parent_rep: usize },
+    Announce {
+        label: u64,
+        member_rep: usize,
+        parent_rep: usize,
+    },
     /// Necklace-internal circulation of w-group membership facts.
     Circulate { items: Vec<(u64, usize, usize)> },
 }
@@ -147,7 +151,9 @@ impl DistributedFfc {
     #[must_use]
     pub fn run(&self, faulty_nodes: &[usize]) -> DistributedOutcome {
         let mask = self.reference.faulty_necklace_mask(faulty_nodes);
-        let root = self.reference.pick_root(self.reference.default_root(), &mask);
+        let root = self
+            .reference
+            .pick_root(self.reference.default_root(), &mask);
         self.run_from(faulty_nodes, root)
     }
 
@@ -160,7 +166,11 @@ impl DistributedFfc {
         let n = space.n() as usize;
         let suffix_count = space.msd_place();
         let total = g.len();
-        let root = space.canonical_rotation(root as u64) as usize;
+        // All rotation-class lookups below reuse the centralized embedder's
+        // precomputed partition tables (flat node → representative lookups)
+        // instead of recomputing O(n) canonical rotations per query.
+        let rep_of = |v: usize| self.reference.representative_of(v);
+        let root = rep_of(root);
 
         let faults = FaultSet::from_nodes(faulty_nodes.iter().copied());
         let mut net = Network::new(g, &faults);
@@ -173,6 +183,7 @@ impl DistributedFfc {
         let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); total];
         for _ in 0..n {
             let mut outgoing = Vec::new();
+            #[allow(clippy::needless_range_loop)] // node id v is the protagonist, not the inbox
             for v in 0..total {
                 if !net.alive(v) {
                     continue;
@@ -183,7 +194,10 @@ impl DistributedFfc {
                     outgoing.push((
                         v,
                         succ,
-                        Msg::Probe { origin: v, members: vec![v] },
+                        Msg::Probe {
+                            origin: v,
+                            members: vec![v],
+                        },
                     ));
                 }
                 // Forward probes received last round (unless they are home).
@@ -194,7 +208,14 @@ impl DistributedFfc {
                         }
                         let mut members = members.clone();
                         members.push(v);
-                        outgoing.push((v, succ, Msg::Probe { origin: *origin, members }));
+                        outgoing.push((
+                            v,
+                            succ,
+                            Msg::Probe {
+                                origin: *origin,
+                                members,
+                            },
+                        ));
                     }
                 }
             }
@@ -309,12 +330,13 @@ impl DistributedFfc {
         rounds.share = n;
 
         // Local step 1.2: pick Y, the tree label w and the parent necklace.
-        let root_rep = space.canonical_rotation(root as u64) as usize;
+        let root_rep = rep_of(root);
+        #[allow(clippy::needless_range_loop)] // reads and writes disjoint fields of states[v]
         for v in 0..total {
             if !states[v].necklace_alive || states[v].level.is_none() {
                 continue;
             }
-            let my_rep = space.canonical_rotation(v as u64) as usize;
+            let my_rep = rep_of(v);
             if my_rep == root_rep {
                 continue; // the root necklace has no tree edge
             }
@@ -325,7 +347,7 @@ impl DistributedFfc {
                 .map(|(&node, &(_, parent))| (node, parent));
             if let Some((y, parent)) = chosen {
                 states[v].tree_label = Some(y as u64 / d);
-                states[v].parent_rep = Some(space.canonical_rotation(parent as u64) as usize);
+                states[v].parent_rep = Some(rep_of(parent));
             }
         }
 
@@ -343,9 +365,17 @@ impl DistributedFfc {
             if v as u64 % suffix_count != label {
                 continue; // only the node with suffix w announces
             }
-            let member_rep = space.canonical_rotation(v as u64) as usize;
+            let member_rep = rep_of(v);
             for u in g.successors(v) {
-                outgoing.push((v, u, Msg::Announce { label, member_rep, parent_rep }));
+                outgoing.push((
+                    v,
+                    u,
+                    Msg::Announce {
+                        label,
+                        member_rep,
+                        parent_rep,
+                    },
+                ));
             }
         }
         let delivered = net.exchange(outgoing);
@@ -354,9 +384,14 @@ impl DistributedFfc {
             if !states[v].necklace_alive {
                 continue;
             }
-            let my_rep = space.canonical_rotation(v as u64) as usize;
+            let my_rep = rep_of(v);
             for msg in inbox {
-                if let Msg::Announce { label, member_rep, parent_rep } = *msg {
+                if let Msg::Announce {
+                    label,
+                    member_rep,
+                    parent_rep,
+                } = *msg
+                {
                     let i_am_parent = my_rep == parent_rep;
                     let i_am_sibling = states[v].tree_label == Some(label)
                         && states[v].parent_rep == Some(parent_rep);
@@ -400,22 +435,26 @@ impl DistributedFfc {
         // ------------------------------------------------------------------
         // Phase 5: local successor computation (no communication).
         // ------------------------------------------------------------------
+        #[allow(clippy::needless_range_loop)] // reads and writes disjoint fields of states[v]
         for v in 0..total {
             if !states[v].necklace_alive || states[v].level.is_none() {
                 continue;
             }
             let w = v as u64 % suffix_count;
-            let my_rep = space.canonical_rotation(v as u64) as usize;
+            let my_rep = rep_of(v);
             let successor = match states[v].groups.get(&w) {
                 Some(members) if members.contains(&my_rep) => {
                     // Leave through the w-edge of D: next member in
                     // representative order, wrapping around.
                     let ordered: Vec<usize> = members.iter().copied().collect();
-                    let idx = ordered.iter().position(|&r| r == my_rep).expect("member set contains self");
+                    let idx = ordered
+                        .iter()
+                        .position(|&r| r == my_rep)
+                        .expect("member set contains self");
                     let target = ordered[(idx + 1) % ordered.len()];
                     (0..d)
                         .map(|beta| (beta, beta * suffix_count + w))
-                        .find(|&(_, beta_w)| space.canonical_rotation(beta_w) as usize == target)
+                        .find(|&(_, beta_w)| rep_of(beta_w as usize) == target)
                         .map(|(beta, _)| (w * d + beta) as usize)
                         .expect("the target necklace contains a node of the form βw")
                 }
@@ -469,13 +508,19 @@ mod tests {
         let runner = DistributedFfc::new(d, n);
         let outcome = runner.run(faults);
         let reference = runner.reference().embed(faults);
-        let cycle = outcome.cycle.clone().expect("distributed protocol must close the cycle");
+        let cycle = outcome
+            .cycle
+            .clone()
+            .expect("distributed protocol must close the cycle");
         assert_eq!(
             cycle.len(),
             reference.cycle.len(),
             "distributed and centralized cycle lengths differ (d={d}, n={n})"
         );
-        assert_eq!(cycle, reference.cycle, "distributed cycle deviates from centralized (d={d}, n={n})");
+        assert_eq!(
+            cycle, reference.cycle,
+            "distributed cycle deviates from centralized (d={d}, n={n})"
+        );
         assert_eq!(outcome.rounds.broadcast_depth, reference.eccentricity);
         outcome
     }
@@ -521,8 +566,14 @@ mod tests {
         let n = 6usize;
         // broadcast uses depth+1 rounds (the last one detects quiescence).
         assert!(out.rounds.broadcast <= out.rounds.broadcast_depth + 1);
-        assert_eq!(out.rounds.total, out.rounds.probe + out.rounds.broadcast + out.rounds.share + out.rounds.group);
-        assert_eq!(out.rounds.probe + out.rounds.share + out.rounds.group, 3 * n + 1);
+        assert_eq!(
+            out.rounds.total,
+            out.rounds.probe + out.rounds.broadcast + out.rounds.share + out.rounds.group
+        );
+        assert_eq!(
+            out.rounds.probe + out.rounds.share + out.rounds.group,
+            3 * n + 1
+        );
     }
 
     #[test]
@@ -560,6 +611,41 @@ mod tests {
         let out = runner.run(&faults);
         let cycle = out.cycle.expect("the root necklace survives");
         assert_eq!(cycle.len(), 3); // the necklace of 001
+    }
+
+    /// Exhaustive cross-implementation check: on every fault set of size
+    /// ≤ 2, the distributed protocol and the centralized engine must trace
+    /// the identical cycle (same nodes, same order). Both B(2,5) and
+    /// B(3,3) push past the f ≤ d−2 guarantee, so this also covers fault
+    /// loads where B* needs a genuine component search.
+    #[test]
+    fn exhaustively_matches_centralized_on_small_fault_sets() {
+        for (d, n) in [(2u64, 5u32), (3, 3)] {
+            let runner = DistributedFfc::new(d, n);
+            let total = runner.graph().len();
+            let mut fault_sets: Vec<Vec<usize>> = vec![Vec::new()];
+            fault_sets.extend((0..total).map(|a| vec![a]));
+            for a in 0..total {
+                for b in (a + 1)..total {
+                    fault_sets.push(vec![a, b]);
+                }
+            }
+            for faults in &fault_sets {
+                let reference = runner.reference().embed(faults);
+                let distributed = runner.run(faults);
+                assert_eq!(
+                    distributed.root, reference.root,
+                    "root differs for {faults:?} in B({d},{n})"
+                );
+                let cycle = distributed.cycle.unwrap_or_else(|| {
+                    panic!("distributed walk did not close for {faults:?} in B({d},{n})")
+                });
+                assert_eq!(
+                    cycle, reference.cycle,
+                    "cycle differs for {faults:?} in B({d},{n})"
+                );
+            }
+        }
     }
 
     #[test]

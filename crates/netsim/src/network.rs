@@ -112,6 +112,7 @@ impl<'a, T: Topology> Network<'a, T> {
         F: FnMut(usize, &[M]) -> Vec<(usize, M)>,
     {
         let mut outgoing = Vec::new();
+        #[allow(clippy::needless_range_loop)] // v is a node id; inboxes is indexed incidentally
         for v in 0..self.len() {
             if !self.alive(v) {
                 continue;

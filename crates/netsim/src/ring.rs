@@ -80,7 +80,10 @@ pub fn split_all_to_all_broadcast<T: Topology>(
         for i in 0..ring.len() {
             let from = ring[i];
             let to = ring[(i + 1) % ring.len()];
-            assert!(topology.has_edge(from, to), "ring edge {from}->{to} missing from topology");
+            assert!(
+                topology.has_edge(from, to),
+                "ring edge {from}->{to} missing from topology"
+            );
             succ[from] = to;
         }
         successor.push(succ);

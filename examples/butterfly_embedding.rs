@@ -22,9 +22,18 @@ fn main() {
 
     // psi(4) = 3 edge-disjoint Hamiltonian cycles, lifted from B(4,3).
     let rings = embedder.disjoint_hamiltonian_cycles();
-    println!("lifted {} edge-disjoint Hamiltonian cycles (psi({d}) = {})", rings.len(), psi(d));
+    println!(
+        "lifted {} edge-disjoint Hamiltonian cycles (psi({d}) = {})",
+        rings.len(),
+        psi(d)
+    );
     for (i, ring) in rings.iter().enumerate() {
-        println!("  ring {}: {} butterfly nodes, starts at {}", i, ring.len(), butterfly.label(ring[0]));
+        println!(
+            "  ring {}: {} butterfly nodes, starts at {}",
+            i,
+            ring.len(),
+            butterfly.label(ring[0])
+        );
     }
 
     // Link failures in the butterfly are projected down to B(d,n), solved
@@ -49,6 +58,9 @@ fn main() {
     let class = butterfly.debruijn_class(debruijn.node("012").unwrap() as u64);
     println!(
         "butterfly class of de Bruijn node 012: {:?}",
-        class.iter().map(|&v| butterfly.label(v)).collect::<Vec<_>>()
+        class
+            .iter()
+            .map(|&v| butterfly.label(v))
+            .collect::<Vec<_>>()
     );
 }

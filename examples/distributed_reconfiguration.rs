@@ -30,10 +30,15 @@ fn main() {
     );
     println!("  necklace aggregation: {:>3}", rounds.share);
     println!("  w-group formation   : {:>3}", rounds.group);
-    println!("  total               : {:>3}  (= K + 3n + 2)", rounds.total);
+    println!(
+        "  total               : {:>3}  (= K + 3n + 2)",
+        rounds.total
+    );
     println!(
         "fabric traffic: {} messages sent, {} delivered, {} dropped by faults",
-        outcome.network.messages_sent, outcome.network.messages_delivered, outcome.network.messages_dropped
+        outcome.network.messages_sent,
+        outcome.network.messages_delivered,
+        outcome.network.messages_dropped
     );
 
     let distributed_cycle = outcome.cycle.expect("faults are within the guarantee");

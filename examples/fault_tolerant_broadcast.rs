@@ -17,7 +17,9 @@ fn main() {
 
     for fault_count in [0usize, 2, 10] {
         // Deterministic "failures" spread across the address space.
-        let failed: Vec<usize> = (0..fault_count).map(|i| (i * 97 + 13) % graph.len()).collect();
+        let failed: Vec<usize> = (0..fault_count)
+            .map(|i| (i * 97 + 13) % graph.len())
+            .collect();
         let outcome = ffc.embed(&failed);
         let report = all_to_all_broadcast(graph, &outcome.cycle);
         println!(

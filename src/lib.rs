@@ -32,6 +32,15 @@
 //! let ring = ffc.embed(&failed);
 //! assert!(ring.cycle.len() >= FfcOutcome::guarantee(4, 6, failed.len())); // ≥ 4084
 //!
+//! // Steady-state embedding (Monte-Carlo sweeps, reconfiguration services):
+//! // hold an EmbedScratch and re-embed with zero heap allocation per call.
+//! let mut scratch = EmbedScratch::new();
+//! for f in 0..8usize {
+//!     let faults: Vec<usize> = (0..f).map(|i| 17 * i + 3).collect();
+//!     let stats = ffc.embed_into(&mut scratch, &faults);
+//!     assert_eq!(scratch.cycle().len(), stats.component_size);
+//! }
+//!
 //! // Three edge-disjoint Hamiltonian cycles of B(4,2) (ψ(4) = 3).
 //! let family = DisjointHamiltonianCycles::construct(4, 2);
 //! assert_eq!(family.count(), 3);
@@ -54,11 +63,13 @@ pub mod prelude {
     pub use dbg_baselines::HypercubeRingEmbedder;
     pub use dbg_graph::{Butterfly, DeBruijn, FaultSet, Hypercube, Topology, UndirectedDeBruijn};
     pub use dbg_necklace::{Necklace, NecklacePartition};
-    pub use dbg_netsim::{all_to_all_broadcast, split_all_to_all_broadcast, DistributedFfc, Network};
+    pub use dbg_netsim::{
+        all_to_all_broadcast, split_all_to_all_broadcast, DistributedFfc, Network,
+    };
     pub use debruijn_core::{
         edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, ButterflyEmbedder,
-        DisjointHamiltonianCycles, EdgeFaultEmbedder, Ffc, FfcOutcome, MaximalCycleFamily,
-        ModifiedDeBruijn, NecklaceAdjacency,
+        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedStats, Ffc, FfcOutcome,
+        MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
     };
 }
 

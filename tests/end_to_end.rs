@@ -49,7 +49,9 @@ fn link_fault_pipeline_end_to_end() {
         .collect();
     assert_eq!(faults.len(), tolerance);
 
-    let ring = embedder.hamiltonian_avoiding(&faults).expect("within tolerance");
+    let ring = embedder
+        .hamiltonian_avoiding(&faults)
+        .expect("within tolerance");
     assert!(verify::is_debruijn_hamiltonian(d, n, &ring));
     assert!(verify::ring_avoids_edges(&ring, &faults));
 }
@@ -127,7 +129,10 @@ fn necklace_counts_agree_with_graph_partition() {
     use debruijn_rings::necklace::count_necklaces_total;
     for (d, n) in [(2u64, 9u32), (3, 5), (5, 4)] {
         let partition = NecklacePartition::new(WordSpace::new(d, n));
-        assert_eq!(count_necklaces_total(d, u64::from(n)), partition.len() as u128);
+        assert_eq!(
+            count_necklaces_total(d, u64::from(n)),
+            partition.len() as u128
+        );
     }
 }
 

@@ -1,0 +1,62 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses:
+//! scoped threads. Since Rust 1.63 the standard library provides
+//! `std::thread::scope`, so this shim is a thin adapter that preserves the
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| …); }).expect(…)` call shape
+//! used by the Monte-Carlo sweeps.
+
+/// Scoped threads, adapted onto `std::thread::scope`.
+pub mod thread {
+    /// The error half of [`Result`]: a propagated panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; closures spawned through it may borrow the
+    /// environment of the enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-environment threads can be
+    /// spawned; joins them all before returning. Panics in spawned threads
+    /// are propagated by `std::thread::scope`, so the result is always `Ok`
+    /// unless the closure itself is at fault — the `Result` wrapper exists
+    /// for call-site compatibility with crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    let sum: u64 = chunk.iter().sum();
+                    *total.lock().unwrap() += sum;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(*total.lock().unwrap(), 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for the parts of `parking_lot` this workspace uses: a
+//! [`Mutex`] whose `lock()` returns the guard directly (no poisoning
+//! `Result`). Backed by `std::sync::Mutex`; a poisoned lock propagates the
+//! original panic, which matches how the benchmarks use it.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()` shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5usize);
+        *m.lock() += 2;
+        assert_eq!(m.into_inner(), 7);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn prop(pat in strategy, …) { … } }`
+//! macro shape, integer-range and tuple strategies, `any::<T>()`, `Just`,
+//! `prop_oneof!`, and the `prop_assert*`/`prop_assume!` macros. Sampling is
+//! driven by a deterministic per-test generator (seeded from the test
+//! name), so failures reproduce exactly; there is **no shrinking** — a
+//! failing case panics with the case number so it can be replayed by
+//! running the same test again.
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+    }
+
+    /// A uniform choice among boxed strategies of a common value type
+    /// (the expansion of [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        branches: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; panics if no branch is given.
+        pub fn new(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.branches.len() as u64) as usize;
+            self.branches[idx].sample(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    /// The strategy of arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Test-runner plumbing: configuration and the deterministic generator.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(…)]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (the test name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label for a stable, well-mixed seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Everything a property-test file needs, re-exported flat.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` sampled executions of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform random choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($branch)),+])
+    };
+}
+
+/// Asserts a property-level condition (panics — no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u32)> {
+        prop_oneof![(2u64..=2, 3u32..=5), (3u64..=4, 2u32..=3)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds; tuples compose.
+        #[test]
+        fn ranges_in_bounds((d, n) in pair(), x in 0usize..10, raw in any::<u64>()) {
+            prop_assert!((2..=4).contains(&d));
+            prop_assert!((2..=5).contains(&n));
+            prop_assert!(x < 10);
+            prop_assume!(raw != 1);
+            prop_assert_ne!(raw, 1);
+        }
+
+        /// Just yields its value.
+        #[test]
+        fn just_yields(v in Just(17u64)) {
+            prop_assert_eq!(v, 17);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors a minimal, API-compatible subset: [`rngs::StdRng`]
+//! (a SplitMix64 generator — deterministic given a seed, which is all the
+//! reproduction needs), the [`Rng`]/[`SeedableRng`] traits with
+//! `gen_range` over half-open integer ranges, and
+//! [`seq::SliceRandom::partial_shuffle`]. The statistical quality of
+//! SplitMix64 is more than adequate for the Monte-Carlo fault sweeps; the
+//! streams differ from upstream `rand`, so seeds are comparable only
+//! within this workspace.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Integer types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Draws a value uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u128;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64 per
+                // draw, far below anything the experiments can observe.
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let x = rng.next_u64() as u128;
+                (low as i128 + ((x * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Convenience methods on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the half-open `range`.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draws a boolean that is `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Deterministic, full 64-bit state, passes BigCrush as a component of
+    /// xoshiro; entirely sufficient for seeded Monte-Carlo experiments.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the first `amount` positions into a uniform random
+        /// sample of the slice (Fisher–Yates prefix); returns the shuffled
+        /// prefix and the remainder.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// Fully shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let len = self.len();
+            let amount = amount.min(len);
+            for i in 0..amount {
+                let j = rng.gen_range(i..len);
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            let len = self.len();
+            self.partial_shuffle(rng, len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let u: u64 = rng.gen_range(0..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn partial_shuffle_is_a_permutation_prefix() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        let (prefix, rest) = v.partial_shuffle(&mut rng, 10);
+        assert_eq!(prefix.len(), 10);
+        assert_eq!(rest.len(), 90);
+        let mut all: Vec<usize> = prefix.iter().chain(rest.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

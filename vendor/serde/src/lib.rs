@@ -1,0 +1,26 @@
+//! Offline stand-in for the parts of `serde` this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize` as a marker of
+//! machine-readable result types — nothing serializes through serde's
+//! data model (JSON artefacts are written by hand in `dbg-bench`). The
+//! trait is therefore a marker with no required methods, and the derive
+//! macro (re-exported from the local `serde_derive` stub) emits an empty
+//! impl. Code written against this stub stays source-compatible with real
+//! serde's `#[derive(Serialize)]` usage.
+
+pub use serde_derive::Serialize;
+
+/// Marker trait for types whose values are serialisable result records.
+pub trait Serialize {}
+
+// Common scalar impls so generic bounds like `T: Serialize` stay usable.
+macro_rules! impl_marker {
+    ($($t:ty),*) => {$( impl Serialize for $t {} )*};
+}
+impl_marker!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

@@ -1,0 +1,33 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` emits an empty
+//! impl of the marker trait `serde::Serialize` (see the vendored `serde`
+//! stub). Handles plain (non-generic) structs and enums, which is all the
+//! workspace derives on. Written against `proc_macro` alone so it builds
+//! with no registry access.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker impl for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Serialize): could not find type name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
