@@ -9,15 +9,24 @@
 //! * `embeds_per_sec` — the reciprocal throughput of the same loop;
 //! * `reference_embed_ns` — the retained textbook implementation on the
 //!   same fault sets (fewer trials; it is the slow baseline);
-//! * `speedup` — reference / engine.
+//! * `speedup` — reference / engine;
+//! * `batch` — the batch sweep engine (`Ffc::embed_batch`, stats-only
+//!   plan) at 1, 2, 4 and 8 shards: embeds/sec and the speedup over the
+//!   serial `embed_into` loop above. The stats-only fast path plus shard
+//!   parallelism is what the Monte-Carlo tables run on.
 //!
-//! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]`
-//! (default output: `<repo root>/BENCH_ffc.json`).
+//! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
+//! [--smoke] [--check]`
+//!
+//! * default output: `<repo root>/BENCH_ffc.json`;
+//! * `--smoke`: CI-sized trial counts (20× fewer trials, minimum 60);
+//! * `--check`: after writing, re-read and validate the file — exits
+//!   non-zero if the JSON is malformed or any `speedup` is below 1.0.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use debruijn_core::{EmbedScratch, Ffc};
+use debruijn_core::{BatchEmbedder, EmbedScratch, FaultSchedule, Ffc, SweepAccumulator, SweepPlan};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -29,6 +38,12 @@ struct Config {
     /// Engine trials (reference runs `trials / 20`, at least 20).
     trials: usize,
 }
+
+/// Shard counts the batch engine is measured at.
+const BATCH_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per measurement; the fastest is reported.
+const REPS: usize = 3;
 
 /// A Table 2.1-style trial schedule: fault sets with f cycling 0..=8.
 fn fault_sets(total: usize, trials: usize, seed: u64) -> Vec<Vec<usize>> {
@@ -43,30 +58,127 @@ fn fault_sets(total: usize, trials: usize, seed: u64) -> Vec<Vec<usize>> {
         .collect()
 }
 
+/// XOR-checksum accumulator: keeps the optimiser honest and is
+/// merge-order-independent.
+#[derive(Clone, Copy, Debug, Default)]
+struct Checksum(u64);
+
+impl SweepAccumulator for Checksum {
+    fn merge(&mut self, other: Self) {
+        self.0 ^= other.0;
+    }
+}
+
+/// Validates a written benchmark file: structural JSON sanity (balanced
+/// brackets, the expected top-level keys) and every `"speedup"` value at
+/// least 1.0. Returns the list of problems found.
+fn validate(contents: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in contents.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    problems.push("unbalanced brackets".into());
+                    return problems;
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        problems.push("unbalanced brackets or unterminated string".into());
+    }
+    for key in [
+        "\"benchmark\"",
+        "\"configs\"",
+        "\"batch\"",
+        "\"embeds_per_sec\"",
+    ] {
+        if !contents.contains(key) {
+            problems.push(format!("missing key {key}"));
+        }
+    }
+    let mut speedups = 0usize;
+    let mut rest = contents;
+    while let Some(pos) = rest.find("\"speedup\":") {
+        rest = &rest[pos + "\"speedup\":".len()..];
+        let num: String = rest
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        match num.parse::<f64>() {
+            Ok(v) if v >= 1.0 => speedups += 1,
+            Ok(v) => problems.push(format!("speedup regressed below 1.0: {v}")),
+            Err(_) => problems.push(format!("unparseable speedup value: {num:?}")),
+        }
+    }
+    if speedups == 0 && problems.is_empty() {
+        problems.push("no speedup values found".into());
+    }
+    problems
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| format!("{}/../../BENCH_ffc.json", env!("CARGO_MANIFEST_DIR")));
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}; usage: bench_ffc [out.json] [--smoke] [--check]");
+                std::process::exit(2);
+            }
+            path => out_path = Some(path.to_string()),
+        }
+    }
+    let out_path =
+        out_path.unwrap_or_else(|| format!("{}/../../BENCH_ffc.json", env!("CARGO_MANIFEST_DIR")));
+    let scale = |trials: usize| {
+        if smoke {
+            (trials / 20).max(60)
+        } else {
+            trials
+        }
+    };
     let configs = [
         Config {
             d: 2,
             n: 10,
-            trials: 4000,
+            trials: scale(4000),
         },
         Config {
             d: 2,
             n: 14,
-            trials: 400,
+            trials: scale(400),
         },
         Config {
             d: 4,
             n: 5,
-            trials: 4000,
+            trials: scale(4000),
         },
         Config {
             d: 4,
             n: 7,
-            trials: 400,
+            trials: scale(400),
         },
     ];
 
@@ -77,16 +189,21 @@ fn main() {
         let setup_ns = setup_start.elapsed().as_nanos();
 
         let total = ffc.graph().len();
-        let sets = fault_sets(total, cfg.trials, 0xB * u64::from(cfg.n) + cfg.d);
+        let seed = 0xB * u64::from(cfg.n) + cfg.d;
+        let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
         // Warm-up sizes every scratch buffer.
         let mut checksum = ffc.embed_into(&mut scratch, &sets[0]).component_size;
 
-        let start = Instant::now();
-        for faults in &sets {
-            checksum ^= ffc.embed_into(&mut scratch, faults).component_size;
+        // Best of REPS timed repetitions, to damp scheduler noise.
+        let mut engine = std::time::Duration::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for faults in &sets {
+                checksum ^= ffc.embed_into(&mut scratch, faults).component_size;
+            }
+            engine = engine.min(start.elapsed());
         }
-        let engine = start.elapsed();
         let embed_ns = engine.as_nanos() as f64 / sets.len() as f64;
         let embeds_per_sec = sets.len() as f64 / engine.as_secs_f64();
 
@@ -108,6 +225,39 @@ fn main() {
             reference_embed_ns / embed_ns,
         );
 
+        // Batch sweep engine: the same f 0..=8 schedule as a stats-only
+        // plan, at increasing shard counts.
+        let plan = SweepPlan::new(FaultSchedule::Cycling((0..=8).collect()), cfg.trials, seed);
+        let mut batch_rows = Vec::new();
+        for &shards in &BATCH_SHARDS {
+            let mut batch = BatchEmbedder::new(shards);
+            // Warm up every shard's scratch before timing.
+            let warm = SweepPlan::new(FaultSchedule::Cycling((0..=8).collect()), 2 * shards, seed);
+            let _ = ffc.embed_batch(&mut batch, &warm, |acc: &mut Checksum, trial| {
+                acc.0 ^= trial.stats.component_size as u64;
+            });
+            let mut elapsed = std::time::Duration::MAX;
+            let mut sum = Checksum::default();
+            for _ in 0..REPS {
+                let start = Instant::now();
+                sum = ffc.embed_batch(&mut batch, &plan, |acc: &mut Checksum, trial| {
+                    acc.0 ^= trial.stats.component_size as u64;
+                });
+                elapsed = elapsed.min(start.elapsed());
+            }
+            let batch_eps = plan.trials() as f64 / elapsed.as_secs_f64();
+            let speedup = batch_eps / embeds_per_sec;
+            eprintln!(
+                "{label}: batch x{shards}: {batch_eps:.0} embeds/s \
+                 ({speedup:.2}x serial engine)  [checksum {}]",
+                sum.0
+            );
+            batch_rows.push(format!(
+                "        {{ \"shards\": {shards}, \"embeds_per_sec\": {batch_eps:.1}, \
+                 \"speedup\": {speedup:.2} }}"
+            ));
+        }
+
         let mut entry = String::new();
         write!(
             entry,
@@ -116,9 +266,10 @@ fn main() {
              \"embed_ns\": {embed_ns:.1},\n      \"embeds_per_sec\": {embeds_per_sec:.1},\n      \
              \"reference_trials\": {ref_trials},\n      \
              \"reference_embed_ns\": {reference_embed_ns:.1},\n      \
-             \"speedup\": {:.2}\n    }}",
+             \"speedup\": {:.2},\n      \"batch\": [\n{}\n      ]\n    }}",
             sets.len(),
             reference_embed_ns / embed_ns,
+            batch_rows.join(",\n"),
         )
         .expect("writing to a String cannot fail");
         entries.push(entry);
@@ -126,10 +277,24 @@ fn main() {
 
     let json = format!(
         "{{\n  \"benchmark\": \"ffc_embed\",\n  \"schedule\": \"f cycles 0..=8, random fault sets\",\n  \
-         \"unit_note\": \"embed_ns is mean wall time per embed_into on a reused scratch\",\n  \
+         \"unit_note\": \"embed_ns is mean wall time per embed_into on a reused scratch; \
+         batch rows are the stats-only sweep engine (embed_batch), speedup vs the serial engine loop\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_ffc.json");
     eprintln!("wrote {out_path}");
+
+    if check {
+        let contents = std::fs::read_to_string(&out_path).expect("re-read benchmark file");
+        let problems = validate(&contents);
+        if problems.is_empty() {
+            eprintln!("check passed: JSON well-formed, all speedups >= 1.0");
+        } else {
+            for p in &problems {
+                eprintln!("check FAILED: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -13,10 +13,7 @@
 
 use dbg_baselines::HypercubeRingEmbedder;
 use dbg_graph::{Hypercube, Topology};
-use debruijn_core::{EmbedScratch, Ffc, FfcOutcome};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use debruijn_core::{BatchEmbedder, FaultSchedule, Ffc, FfcOutcome, SweepAccumulator, SweepPlan};
 use serde::Serialize;
 
 /// One head-to-head comparison row.
@@ -40,8 +37,27 @@ pub struct ComparisonRow {
     pub hypercube_guarantee: usize,
 }
 
+/// The per-shard accumulator of the head-to-head comparison.
+#[derive(Clone, Copy, Debug, Default)]
+struct CompareAcc {
+    trials: usize,
+    db_sum: u64,
+    hc_sum: u64,
+}
+
+impl SweepAccumulator for CompareAcc {
+    fn merge(&mut self, other: Self) {
+        self.trials += other.trials;
+        self.db_sum += other.db_sum;
+        self.hc_sum += other.hc_sum;
+    }
+}
+
 /// Runs the comparison for a hypercube dimension `m` (2^m nodes) against
 /// B(d,n) with d^n = 2^m, averaging over `trials` random fault placements.
+/// Both embedders see the identical per-trial fault sets: the de Bruijn
+/// side runs on the batch sweep engine and the hypercube embedder consumes
+/// each trial's drawn faults inside the sweep's `record` hook.
 ///
 /// # Panics
 /// Panics if `d^n != 2^m`.
@@ -56,26 +72,23 @@ pub fn compare(d: u64, n: u32, m: u32, faults: usize, trials: usize, seed: u64) 
         "node counts must match for a fair comparison"
     );
 
-    let total = cube.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut all: Vec<usize> = (0..total).collect();
-    let mut db_sum = 0usize;
-    let mut hc_sum = 0usize;
-    let mut scratch = EmbedScratch::new();
-    for _ in 0..trials {
-        let (chosen, _) = all.partial_shuffle(&mut rng, faults);
-        db_sum += ffc.embed_into(&mut scratch, chosen).component_size;
-        hc_sum += embedder.embed(chosen).map_or(0, |c| c.len());
-    }
+    let mut batch = BatchEmbedder::new(1);
+    let plan = SweepPlan::new(FaultSchedule::Constant(faults), trials, seed);
+    let acc = ffc.embed_batch(&mut batch, &plan, |acc: &mut CompareAcc, trial| {
+        acc.trials += 1;
+        acc.db_sum += trial.stats.component_size as u64;
+        acc.hc_sum += embedder.embed(trial.faults).map_or(0, |c| c.len()) as u64;
+    });
+    let denom = acc.trials.max(1) as f64;
 
     ComparisonRow {
-        nodes: total,
+        nodes: cube.len(),
         faults,
         debruijn_edges: ffc.graph().edge_count(),
         hypercube_links: cube.link_count(),
-        debruijn_cycle_avg: db_sum as f64 / trials as f64,
+        debruijn_cycle_avg: acc.db_sum as f64 / denom,
         debruijn_guarantee: FfcOutcome::guarantee(d, n, faults),
-        hypercube_cycle_avg: hc_sum as f64 / trials as f64,
+        hypercube_cycle_avg: acc.hc_sum as f64 / denom,
         hypercube_guarantee: HypercubeRingEmbedder::guaranteed_length(m, faults),
     }
 }

@@ -8,28 +8,24 @@
 //! * Table 3.1: ψ(d) for 2 ≤ d ≤ 38.
 //! * Table 3.2: MAX{ψ(d) − 1, φ(d)} for 2 ≤ d ≤ 35.
 //!
-//! The Monte-Carlo sweep fans trials out over scoped threads (crossbeam)
-//! and merges the per-thread accumulators under a parking_lot mutex. Each
-//! worker owns one [`EmbedScratch`] reused across all of its trials, so the
-//! steady-state loop is allocation-free: drawing a fault set shuffles a
-//! preallocated id array in place and `embed_into` runs entirely on the
-//! scratch. The 1024-node sweeps regenerate in milliseconds.
+//! The Monte-Carlo sweep runs on the core batch engine: each row is a
+//! [`SweepPlan`] (constant fault count, deterministic per-trial seeding)
+//! executed by [`Ffc::embed_batch`] over a shared [`BatchEmbedder`], whose
+//! sharded scratches and fault drawers make the steady-state loop
+//! allocation-free and the results bit-identical at any shard count. The
+//! rows only tabulate component sizes and eccentricities, so every trial
+//! takes the engine's stats-only fast path (no cycle materialisation).
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::Serialize;
 
-use debruijn_core::{EmbedScratch, Ffc};
+use debruijn_core::{BatchEmbedder, FaultSchedule, Ffc, SweepAccumulator, SweepPlan};
 
 /// One row of Table 2.1 / 2.2.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct ComponentRow {
     /// Number of random node faults injected.
     pub faults: usize,
-    /// Number of Monte-Carlo trials behind the row.
+    /// Number of Monte-Carlo trials actually executed behind the row.
     pub trials: usize,
     /// Average size of the component containing R (= average fault-free
     /// cycle length found by the FFC algorithm).
@@ -56,9 +52,53 @@ pub fn paper_fault_counts() -> Vec<usize> {
     v
 }
 
+/// The per-row accumulator of the component experiment: running sums and
+/// extrema, merged across shards by the batch engine.
+#[derive(Clone, Copy, Debug)]
+struct ComponentAcc {
+    trials: usize,
+    sum_size: u64,
+    max_size: usize,
+    min_size: usize,
+    sum_ecc: u64,
+    max_ecc: usize,
+    min_ecc: usize,
+}
+
+impl Default for ComponentAcc {
+    fn default() -> Self {
+        ComponentAcc {
+            trials: 0,
+            sum_size: 0,
+            max_size: 0,
+            min_size: usize::MAX,
+            sum_ecc: 0,
+            max_ecc: 0,
+            min_ecc: usize::MAX,
+        }
+    }
+}
+
+impl SweepAccumulator for ComponentAcc {
+    fn merge(&mut self, other: Self) {
+        self.trials += other.trials;
+        self.sum_size += other.sum_size;
+        self.max_size = self.max_size.max(other.max_size);
+        self.min_size = self.min_size.min(other.min_size);
+        self.sum_ecc += other.sum_ecc;
+        self.max_ecc = self.max_ecc.max(other.max_ecc);
+        self.min_ecc = self.min_ecc.min(other.min_ecc);
+    }
+}
+
 /// Runs the Table 2.1/2.2 experiment for B(d,n): for each fault count,
-/// `trials` random fault sets are drawn (seeded, reproducible) and the
-/// component containing R = 0…01 is measured.
+/// `trials` random fault sets are drawn (seeded, reproducible — the draw of
+/// trial t depends only on the seed and t, so results are independent of
+/// `shards`) and the component containing R = 0…01 is measured.
+///
+/// `trials == 0` yields a well-defined empty row: all statistics are zero
+/// and the row's `trials` field is 0 (no NaN averages, no `usize::MAX`
+/// minima).
 #[must_use]
 pub fn component_experiment(
     d: u64,
@@ -66,63 +106,57 @@ pub fn component_experiment(
     fault_counts: &[usize],
     trials: usize,
     seed: u64,
-    threads: usize,
+    shards: usize,
 ) -> Vec<ComponentRow> {
     let ffc = Ffc::new(d, n);
     let total_nodes = ffc.graph().len();
-    let threads = threads.max(1);
+    let mut batch = BatchEmbedder::new(shards);
 
     fault_counts
         .iter()
         .map(|&f| {
-            // (sum_size, max, min, sum_ecc, max_ecc, min_ecc)
-            let acc = Mutex::new((0u64, 0usize, usize::MAX, 0u64, 0usize, usize::MAX));
-            let per_thread = trials.div_ceil(threads);
-            thread::scope(|scope| {
-                for t in 0..threads {
-                    let ffc = &ffc;
-                    let acc = &acc;
-                    scope.spawn(move |_| {
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (f as u64).wrapping_mul(0x9e37_79b9) ^ (t as u64) << 32,
-                        );
-                        let count = per_thread.min(trials.saturating_sub(t * per_thread));
-                        let mut local = (0u64, 0usize, usize::MAX, 0u64, 0usize, usize::MAX);
-                        let mut nodes: Vec<usize> = (0..total_nodes).collect();
-                        let mut scratch = EmbedScratch::new();
-                        for _ in 0..count {
-                            let (faults, _) = nodes.partial_shuffle(&mut rng, f);
-                            let out = ffc.embed_into(&mut scratch, faults);
-                            local.0 += out.component_size as u64;
-                            local.1 = local.1.max(out.component_size);
-                            local.2 = local.2.min(out.component_size);
-                            local.3 += out.eccentricity as u64;
-                            local.4 = local.4.max(out.eccentricity);
-                            local.5 = local.5.min(out.eccentricity);
-                        }
-                        let mut shared = acc.lock();
-                        shared.0 += local.0;
-                        shared.1 = shared.1.max(local.1);
-                        shared.2 = shared.2.min(local.2);
-                        shared.3 += local.3;
-                        shared.4 = shared.4.max(local.4);
-                        shared.5 = shared.5.min(local.5);
-                    });
-                }
-            })
-            .expect("worker threads do not panic");
-
-            let (sum_size, max_size, min_size, sum_ecc, max_ecc, min_ecc) = acc.into_inner();
+            let plan = SweepPlan::new(
+                FaultSchedule::Constant(f),
+                trials,
+                seed ^ (f as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let acc = ffc.embed_batch(&mut batch, &plan, |acc: &mut ComponentAcc, trial| {
+                acc.trials += 1;
+                acc.sum_size += trial.stats.component_size as u64;
+                acc.max_size = acc.max_size.max(trial.stats.component_size);
+                acc.min_size = acc.min_size.min(trial.stats.component_size);
+                acc.sum_ecc += trial.stats.eccentricity as u64;
+                acc.max_ecc = acc.max_ecc.max(trial.stats.eccentricity);
+                acc.min_ecc = acc.min_ecc.min(trial.stats.eccentricity);
+            });
+            assert_eq!(
+                acc.trials, trials,
+                "the accumulator must reflect the trials actually executed"
+            );
+            let guarantee = total_nodes as i64 - (n as i64) * (f as i64);
+            if acc.trials == 0 {
+                return ComponentRow {
+                    faults: f,
+                    trials: 0,
+                    avg_size: 0.0,
+                    max_size: 0,
+                    min_size: 0,
+                    guarantee,
+                    avg_ecc: 0.0,
+                    max_ecc: 0,
+                    min_ecc: 0,
+                };
+            }
             ComponentRow {
                 faults: f,
-                trials,
-                avg_size: sum_size as f64 / trials as f64,
-                max_size,
-                min_size,
-                guarantee: total_nodes as i64 - (n as i64) * (f as i64),
-                avg_ecc: sum_ecc as f64 / trials as f64,
-                max_ecc,
-                min_ecc,
+                trials: acc.trials,
+                avg_size: acc.sum_size as f64 / acc.trials as f64,
+                max_size: acc.max_size,
+                min_size: acc.min_size,
+                guarantee,
+                avg_ecc: acc.sum_ecc as f64 / acc.trials as f64,
+                max_ecc: acc.max_ecc,
+                min_ecc: acc.min_ecc,
             }
         })
         .collect()
@@ -163,11 +197,50 @@ mod tests {
         let rows = component_experiment(2, 6, &[0], 5, 1, 2);
         assert_eq!(rows.len(), 1);
         let r = rows[0];
+        assert_eq!(r.trials, 5);
         assert_eq!(r.avg_size, 64.0);
         assert_eq!(r.max_size, 64);
         assert_eq!(r.min_size, 64);
         assert_eq!(r.guarantee, 64);
         assert_eq!(r.avg_ecc, 6.0);
+    }
+
+    #[test]
+    fn zero_trials_gives_a_well_defined_empty_row() {
+        // Regression: trials == 0 used to divide by zero (NaN averages) and
+        // report usize::MAX minima.
+        let rows = component_experiment(2, 6, &[0, 3, 7], 0, 1, 4);
+        assert_eq!(rows.len(), 3);
+        for r in rows {
+            assert_eq!(r.trials, 0, "f={}", r.faults);
+            assert_eq!(r.avg_size, 0.0);
+            assert!(r.avg_size.is_finite());
+            assert_eq!(r.avg_ecc, 0.0);
+            assert!(r.avg_ecc.is_finite());
+            assert_eq!(r.max_size, 0);
+            assert_eq!(r.min_size, 0);
+            assert_eq!(r.max_ecc, 0);
+            assert_eq!(r.min_ecc, 0);
+        }
+    }
+
+    #[test]
+    fn rows_are_shard_count_invariant() {
+        // The per-trial seeding makes a row's statistics bit-identical for
+        // any shard count.
+        let one = component_experiment(2, 7, &[2, 5], 60, 9, 1);
+        for shards in [2usize, 3, 8] {
+            let many = component_experiment(2, 7, &[2, 5], 60, 9, shards);
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.trials, b.trials, "shards={shards}");
+                assert_eq!(a.avg_size, b.avg_size, "shards={shards}");
+                assert_eq!(a.max_size, b.max_size);
+                assert_eq!(a.min_size, b.min_size);
+                assert_eq!(a.avg_ecc, b.avg_ecc);
+                assert_eq!(a.max_ecc, b.max_ecc);
+                assert_eq!(a.min_ecc, b.min_ecc);
+            }
+        }
     }
 
     #[test]

@@ -62,12 +62,18 @@ impl EdgeFaultEmbedder {
     pub fn hamiltonian_avoiding(&self, faulty_edges: &[(usize, usize)]) -> Option<Vec<usize>> {
         let space = self.graph.space();
         // Loop edges can never lie on a Hamiltonian cycle of ≥ 2 nodes, and
-        // non-edges cannot be used either; both are dropped.
-        let faults: Vec<(usize, usize)> = faulty_edges
+        // non-edges cannot be used either; both are dropped. Repeated fault
+        // edges are also collapsed: the Rees split below budgets by *count*
+        // (`a_share = faults.len().min(phi_s)`), so a duplicate would eat
+        // the φ(d) tolerance twice — displacing a distinct fault across the
+        // split boundary into a factor whose budget it then exceeds.
+        let mut faults: Vec<(usize, usize)> = faulty_edges
             .iter()
             .copied()
             .filter(|&(u, v)| u != v && self.graph.is_edge(u, v))
             .collect();
+        faults.sort_unstable();
+        faults.dedup();
 
         // Mechanism 1: translate repair / Rees split (Proposition 3.3).
         let fault_digits: Vec<Vec<u64>> = faults
@@ -276,6 +282,68 @@ mod tests {
         let cycle = embedder.hamiltonian_avoiding(&faults).unwrap();
         assert!(is_hamiltonian_cycle(&g, &cycle));
         assert!(cycle_avoids(&cycle, &[real]));
+    }
+
+    #[test]
+    fn duplicated_faults_do_not_consume_the_rees_budget_twice() {
+        // Regression for the dedup fix, pinned on B(15,2): φ(15) = 4,
+        // ψ(15) = 2, tolerance = 4, Rees split t = 5 / s = 3 with budgets
+        // φ(5) = 3 and φ(3) = 1. The four distinct faults below are chosen
+        // adversarially: their %5 projections are the four non-loop
+        // in-edges of node 00 of B(5,2) (which make that factor graph
+        // non-Hamiltonian if all four land on it), and F1/F2 lie on the two
+        // disjoint Hamiltonian cycles of B(15,2) (so mechanism 2 cannot
+        // rescue the embedding either). Submitting F1 twice used to push
+        // all four distinct projections into the t = 5 factor — one over
+        // its budget — and `hamiltonian_avoiding` returned None at exactly
+        // the guaranteed tolerance. With dedup, the split sees 4 distinct
+        // faults and succeeds.
+        let (d, n) = (15u64, 2u32);
+        assert_eq!(crate::bounds::phi_edge_bound(d), 4);
+        assert_eq!(crate::bounds::psi(d), 2);
+        let g = DeBruijn::new(d, n);
+        let f1 = (105usize, 10usize);
+        let f2 = (120usize, 10usize);
+        let f3 = (15usize, 0usize);
+        let f4 = (60usize, 0usize);
+        let distinct = [f1, f2, f3, f4];
+        for &(u, v) in &distinct {
+            assert!(g.is_edge(u, v) && u != v);
+        }
+        // Mechanism 1 alone is genuinely defeated by the duplicated
+        // submission order (this is what the embedder used to forward).
+        let space = g.space();
+        let windows: Vec<Vec<u64>> = [f1, f1, f2, f3, f4]
+            .iter()
+            .map(|&(u, v)| {
+                let mut w = space.digits(u as u64);
+                w.push(v as u64 % d);
+                w
+            })
+            .collect();
+        assert!(
+            hamiltonian_symbols_avoiding(d, n, &windows).is_none(),
+            "the duplicated split should still defeat mechanism 1 — if this \
+             starts passing, the pinned fault set no longer exercises the bug"
+        );
+        // And mechanism 2 is defeated by construction (both disjoint cycles
+        // are touched), so only dedup saves the embedding.
+        let dhc = DisjointHamiltonianCycles::construct(d, n);
+        assert!(dhc.fault_free_cycle(&distinct).is_none());
+        let embedder = EdgeFaultEmbedder::new(d, n);
+        let duplicated = vec![f1, f1, f2, f3, f4];
+        let cycle = embedder
+            .hamiltonian_avoiding(&duplicated)
+            .expect("4 distinct faults are within φ(15); duplicates must not shrink the budget");
+        assert!(is_hamiltonian_cycle(&g, &cycle));
+        assert!(cycle_avoids(&cycle, &distinct));
+        // Heavier duplication changes nothing.
+        let mut many = Vec::new();
+        for _ in 0..3 {
+            many.extend_from_slice(&distinct);
+        }
+        let cycle = embedder.hamiltonian_avoiding(&many).expect("triplicated");
+        assert!(cycle_avoids(&cycle, &distinct));
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl FfcOutcome {
 
 /// The scalar results of one [`Ffc::embed_into`] call; the cycle itself
 /// stays in the scratch's buffer ([`EmbedScratch::cycle`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EmbedStats {
     /// The root processor R used for the broadcast.
     pub root: usize,
@@ -153,6 +153,11 @@ const NONE: u32 = u32::MAX;
 pub struct EmbedScratch {
     /// Monotone per-call stamp; slot arrays compare against this.
     stamp: u32,
+    /// Stamp for the stats-only reachability arrays below. One byte per
+    /// slot quarters the hot working set of `embed_stats_into` (the sweep
+    /// engine's fast path); it wraps every 255 calls, at which point the
+    /// arrays are cleared once (amortised O(1/255) per call).
+    stamp8: u8,
     // Per-necklace state.
     /// Stamp: necklace is faulty this call.
     faulty: Vec<u32>,
@@ -163,6 +168,12 @@ pub struct EmbedScratch {
     // Per-node state.
     /// Stamp: reached by the root-repair probe.
     probe: Vec<u32>,
+    /// Byte-stamp: forward-reachable, stats-only path.
+    fwd8: Vec<u8>,
+    /// Byte-stamp: backward-reachable, stats-only path.
+    bwd8: Vec<u8>,
+    /// Byte-stamp: broadcast-reached, stats-only path.
+    vis8: Vec<u8>,
     /// Stamp: forward-reachable from the root among live nodes.
     fwd: Vec<u32>,
     /// Stamp: backward-reachable from the root among live nodes.
@@ -233,6 +244,7 @@ impl EmbedScratch {
             + self.bstar.capacity()
             + self.live_necks.capacity()
             + self.members.capacity())
+            + (self.fwd8.capacity() + self.bwd8.capacity() + self.vis8.capacity())
             + 8 * (self.best_key.capacity() + self.group_entries.capacity())
             + std::mem::size_of::<usize>() * self.cycle.capacity()
     }
@@ -279,6 +291,21 @@ impl EmbedScratch {
         reserve(&mut self.group_entries, 2 * t.n_necks);
         reserve(&mut self.members, t.n_necks);
         reserve(&mut self.cycle, t.n_nodes);
+    }
+
+    /// Grows and (on wrap-around) clears the byte-stamped reachability
+    /// arrays of the stats-only path, and advances their stamp.
+    fn prepare_stats(&mut self, t: &EngineTables) {
+        grow(&mut self.fwd8, t.n_nodes);
+        grow(&mut self.bwd8, t.n_nodes);
+        grow(&mut self.vis8, t.n_nodes);
+        self.stamp8 = self.stamp8.wrapping_add(1);
+        if self.stamp8 == 0 {
+            for arr in [&mut self.fwd8, &mut self.bwd8, &mut self.vis8] {
+                arr.iter_mut().for_each(|b| *b = 0);
+            }
+            self.stamp8 = 1;
+        }
     }
 }
 
@@ -450,6 +477,208 @@ impl Ffc {
         self.engine_embed(scratch, faulty_nodes, Some(root))
     }
 
+    /// The scalar half of an embedding, without materialising the cycle:
+    /// identical [`EmbedStats`] to [`Ffc::embed_into`] on the same faults
+    /// (same root-repair policy, same component, same eccentricity), but
+    /// the spanning-tree, successor-function and cycle-readoff phases are
+    /// skipped entirely and [`EmbedScratch::cycle`] is left empty.
+    ///
+    /// This is the hot path of Monte-Carlo sweeps that only tabulate
+    /// component sizes and eccentricities (Tables 2.1/2.2):
+    /// [`Ffc::embed_batch`] uses it whenever the plan does not request
+    /// cycles. Like `embed_into`, it performs no heap allocation after the
+    /// scratch has warmed up at this (d, n).
+    pub fn embed_stats_into(
+        &self,
+        scratch: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+    ) -> EmbedStats {
+        let t = &self.tables;
+        let membership = self.partition.membership();
+        let d = t.d;
+        let s = scratch;
+        s.prepare(t);
+        s.prepare_stats(t);
+        let stamp = s.stamp;
+        let stamp8 = s.stamp8;
+
+        // Fault marking and root repair: byte-for-byte the policy of
+        // `engine_embed` with `forced_root = None`. Every node of a faulty
+        // necklace is additionally pre-stamped as "already visited" in the
+        // byte-stamped fwd8/bwd8/vis8 arrays (O(n·f) stores via the
+        // necklace CSR): the BFS loops below then never enqueue a dead
+        // node, and their liveness check collapses into the visited check —
+        // a single one-byte load per edge instead of the membership →
+        // faulty indirection.
+        let mut faulty_necklaces = 0usize;
+        let mut removed_nodes = 0usize;
+        for &v in faulty_nodes {
+            assert!(v < t.n_nodes, "faulty node id {v} out of range");
+            let nid = membership[v] as usize;
+            if s.faulty[nid] != stamp {
+                s.faulty[nid] = stamp;
+                faulty_necklaces += 1;
+                removed_nodes += t.neck_len[nid] as usize;
+                let lo = t.neck_offset[nid] as usize;
+                let hi = t.neck_offset[nid + 1] as usize;
+                for &member in &t.neck_node[lo..hi] {
+                    s.fwd8[member as usize] = stamp8;
+                    s.bwd8[member as usize] = stamp8;
+                    s.vis8[member as usize] = stamp8;
+                }
+            }
+        }
+        let preferred = self.default_root();
+        let root = if s.faulty[membership[preferred] as usize] != stamp {
+            preferred
+        } else {
+            self.probe_for_live_root(s, preferred)
+        };
+        let root = t.rep[membership[root] as usize] as usize;
+
+        // The reachability passes are monomorphised on whether d is a power
+        // of two: the per-edge `% suffix` / `/ d` then compile to masks and
+        // shifts instead of hardware divisions, which dominate the
+        // otherwise load-light loops of the binary graphs.
+        let (component_size, eccentricity) = if d.is_power_of_two() {
+            self.stats_reach::<true>(s, root, stamp8)
+        } else {
+            self.stats_reach::<false>(s, root, stamp8)
+        };
+
+        EmbedStats {
+            root,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+
+    /// The reachability passes of [`Ffc::embed_stats_into`]: forward BFS,
+    /// backward BFS and (only when needed) the broadcast over B*. Returns
+    /// (|B*|, eccentricity of the root within B*). `POW2` selects the
+    /// shift/mask address arithmetic for power-of-two d.
+    fn stats_reach<const POW2: bool>(
+        &self,
+        s: &mut EmbedScratch,
+        root: usize,
+        stamp8: u8,
+    ) -> (usize, usize) {
+        let t = &self.tables;
+        let d = t.d;
+        let suffix = t.suffix_count;
+        let d_log = d.trailing_zeros();
+        let suffix_log = suffix.trailing_zeros();
+        let suffix_mask = suffix.wrapping_sub(1);
+        debug_assert!(!POW2 || (d.is_power_of_two() && suffix.is_power_of_two()));
+        let succ_base = |v: usize| -> usize {
+            if POW2 {
+                (v & suffix_mask) << d_log
+            } else {
+                (v % suffix) * d
+            }
+        };
+        let pred_base = |v: usize| -> usize {
+            if POW2 {
+                v >> d_log
+            } else {
+                v / d
+            }
+        };
+        let pred_step = |a: usize| -> usize {
+            if POW2 {
+                a << suffix_log
+            } else {
+                a * suffix
+            }
+        };
+
+        // Forward reachability, level-synchronous so its depth doubles as
+        // the broadcast depth when B* turns out to be the whole forward set.
+        s.queue.clear();
+        s.fwd8[root] = stamp8;
+        s.queue.push(root as u32);
+        let mut fwd_count = 1usize;
+        let mut fwd_depth = 0u32;
+        loop {
+            s.next.clear();
+            for &v in &s.queue {
+                let base = succ_base(v as usize);
+                for a in 0..d {
+                    let u = base + a;
+                    if s.fwd8[u] != stamp8 {
+                        s.fwd8[u] = stamp8;
+                        s.next.push(u as u32);
+                    }
+                }
+            }
+            if s.next.is_empty() {
+                break;
+            }
+            fwd_count += s.next.len();
+            fwd_depth += 1;
+            std::mem::swap(&mut s.queue, &mut s.next);
+        }
+
+        // Backward reachability (plain FIFO); |B*| is counted, not listed.
+        s.queue.clear();
+        s.bwd8[root] = stamp8;
+        s.queue.push(root as u32);
+        let mut component_size = 1usize;
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            let base = pred_base(v);
+            for a in 0..d {
+                let u = base + pred_step(a);
+                if s.bwd8[u] != stamp8 {
+                    s.bwd8[u] = stamp8;
+                    s.queue.push(u as u32);
+                    if s.fwd8[u] == stamp8 {
+                        component_size += 1;
+                    }
+                }
+            }
+        }
+
+        // Eccentricity of the root within B*. When every forward-reachable
+        // node is also backward-reachable (B* equals the forward set — the
+        // common case for light fault loads), the forward BFS above *was*
+        // the broadcast, so its depth is the answer and the third pass is
+        // skipped. Otherwise run the broadcast restricted to B*, levels
+        // only (the spanning-tree parents are not needed for stats).
+        let eccentricity = if component_size == fwd_count {
+            fwd_depth as usize
+        } else {
+            s.queue.clear();
+            s.vis8[root] = stamp8;
+            s.queue.push(root as u32);
+            let mut depth = 0u32;
+            loop {
+                s.next.clear();
+                for &v in &s.queue {
+                    let base = succ_base(v as usize);
+                    for a in 0..d {
+                        let u = base + a;
+                        if s.fwd8[u] == stamp8 && s.bwd8[u] == stamp8 && s.vis8[u] != stamp8 {
+                            s.vis8[u] = stamp8;
+                            s.next.push(u as u32);
+                        }
+                    }
+                }
+                if s.next.is_empty() {
+                    break;
+                }
+                depth += 1;
+                std::mem::swap(&mut s.queue, &mut s.next);
+            }
+            depth as usize
+        };
+        (component_size, eccentricity)
+    }
+
     /// The boolean per-necklace fault mask induced by a set of faulty nodes.
     #[must_use]
     pub fn faulty_necklace_mask(&self, faulty_nodes: &[usize]) -> Vec<bool> {
@@ -461,22 +690,33 @@ impl Ffc {
     }
 
     /// Picks a live root: `preferred` if its necklace survives, otherwise
-    /// the nearest live node found by BFS from `preferred` over the full
-    /// graph (ignoring faults while searching), otherwise the smallest live
-    /// node.
+    /// the repair root — the **nearest live node by breadth-first distance
+    /// from `preferred` over the full graph (faults ignored while
+    /// searching), ties broken by minimal node id**.
+    ///
+    /// The repair policy is implemented exactly once: this method stamps a
+    /// throwaway scratch from the mask and delegates to the engine's
+    /// `probe_for_live_root`, so the two public entry points cannot drift
+    /// apart (an exhaustive differential test additionally pins the
+    /// policy).
+    ///
+    /// # Panics
+    /// Panics if every necklace is faulty.
     #[must_use]
     pub fn pick_root(&self, preferred: usize, faulty_mask: &[bool]) -> usize {
         let alive = |v: usize| !faulty_mask[self.partition.id_of(v as u64)];
         if alive(preferred) {
             return preferred;
         }
-        let tree = bfs_tree(&self.graph, preferred);
-        if let Some(&v) = tree.order.iter().find(|&&v| alive(v)) {
-            return v;
+        let mut scratch = EmbedScratch::new();
+        scratch.prepare(&self.tables);
+        let stamp = scratch.stamp;
+        for (nid, &faulty) in faulty_mask.iter().enumerate() {
+            if faulty {
+                scratch.faulty[nid] = stamp;
+            }
         }
-        (0..self.graph.len())
-            .find(|&v| alive(v))
-            .expect("every node of B(d,n) lies on a faulty necklace")
+        self.probe_for_live_root(&mut scratch, preferred)
     }
 
     // ------------------------------------------------------------------
@@ -732,9 +972,12 @@ impl Ffc {
         }
     }
 
-    /// Allocation-free equivalent of the BFS fallback in [`Ffc::pick_root`]:
-    /// finds the live node nearest to `preferred` (levels scanned in
-    /// increasing node id, exactly like `bfs_tree`'s discovery order).
+    /// The single implementation of root repair, shared by the engine and
+    /// (via a stamped throwaway scratch) by [`Ffc::pick_root`]: the nearest
+    /// live node by breadth-first distance from `preferred`, ties broken by
+    /// minimal node id (each level is sorted before it is scanned). The
+    /// exhaustive differential test `root_repair_order_is_identical` pins
+    /// the policy.
     ///
     /// # Panics
     /// Panics if every necklace is faulty.
@@ -1259,6 +1502,108 @@ mod tests {
                 .map(|&v| u64::from(v))
                 .collect();
             assert_eq!(members, neck.nodes(space));
+        }
+    }
+
+    /// Root repair must be one policy, not two: for every fault set of size
+    /// ≤ 2 that kills the preferred root's necklace — exhaustively in
+    /// B(2,5) and B(3,3), and for non-default preferred roots as well —
+    /// `pick_root` and the engine's `probe_for_live_root` must return the
+    /// identical node ("nearest live node, ties broken by minimal id").
+    #[test]
+    fn root_repair_order_is_identical() {
+        for (d, n) in [(2u64, 5u32), (3, 3)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let mut scratch = EmbedScratch::new();
+            let mut fault_sets: Vec<Vec<usize>> = (0..total).map(|a| vec![a]).collect();
+            for a in 0..total {
+                for b in (a + 1)..total {
+                    fault_sets.push(vec![a, b]);
+                }
+            }
+            for preferred in [ffc.default_root(), 0, total / 2, total - 1] {
+                for faults in &fault_sets {
+                    let mask = ffc.faulty_necklace_mask(faults);
+                    if !mask[ffc.partition().id_of(preferred as u64)] {
+                        continue; // repair only kicks in when the root dies
+                    }
+                    let picked = ffc.pick_root(preferred, &mask);
+                    // Replay the engine's fault marking, then probe.
+                    scratch.prepare(&ffc.tables);
+                    let stamp = scratch.stamp;
+                    for &v in faults {
+                        scratch.faulty[ffc.partition().membership()[v] as usize] = stamp;
+                    }
+                    let probed = ffc.probe_for_live_root(&mut scratch, preferred);
+                    assert_eq!(
+                        probed, picked,
+                        "repair roots diverge for preferred={preferred} faults={faults:?} \
+                         in B({d},{n})"
+                    );
+                    // And the engine's public entry point agrees (modulo the
+                    // normalisation to the necklace representative).
+                    if preferred == ffc.default_root() {
+                        let stats = ffc.embed_into(&mut scratch, faults);
+                        assert_eq!(stats.root, ffc.representative_of(picked), "{faults:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `embed_stats_into` must report the identical scalars to the full
+    /// pipeline — exhaustively over single faults and on random heavy
+    /// loads, which exercises both the merged-broadcast fast path and the
+    /// genuine three-pass fallback.
+    #[test]
+    fn stats_only_path_matches_full_pipeline() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for (d, n) in [(2u64, 6u32), (2, 9), (3, 4), (4, 3)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let mut full = EmbedScratch::new();
+            let mut fast = EmbedScratch::new();
+            let mut check = |faults: &[usize]| {
+                let expected = ffc.embed_into(&mut full, faults);
+                let got = ffc.embed_stats_into(&mut fast, faults);
+                assert_eq!(got, expected, "stats diverge for {faults:?} in B({d},{n})");
+                assert!(fast.cycle().is_empty(), "stats path must not build a cycle");
+            };
+            check(&[]);
+            for v in 0..total {
+                check(&[v]);
+            }
+            for trial in 0..60 {
+                let f = trial % 17;
+                let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+                check(&faults);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_only_path_does_not_allocate_after_warmup() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ffc = Ffc::new(2, 10);
+        let total = ffc.graph().len();
+        let mut scratch = EmbedScratch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = ffc.embed_stats_into(&mut scratch, &[]);
+        let _ = ffc.embed_stats_into(&mut scratch, &[1]);
+        let warm = scratch.allocated_bytes();
+        for trial in 0..200 {
+            let f = trial % 17;
+            let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            let _ = ffc.embed_stats_into(&mut scratch, &faults);
+            assert_eq!(
+                scratch.allocated_bytes(),
+                warm,
+                "scratch grew on trial {trial}"
+            );
         }
     }
 

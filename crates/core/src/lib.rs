@@ -23,6 +23,10 @@
 //! * [`butterfly`] — lifting de Bruijn cycles to butterfly networks via the
 //!   Φ map (Section 3.4, Propositions 3.5 and 3.6).
 //! * [`bounds`] — the closed-form fault-tolerance bounds ψ(d) and φ(d).
+//! * [`sweep`] — the batch sweep engine: deterministic Monte-Carlo plans
+//!   ([`SweepPlan`]), sharded allocation-free execution
+//!   ([`BatchEmbedder`], [`Ffc::embed_batch`]) and reusable fault drawing,
+//!   behind which Tables 2.1/2.2-style experiments run.
 //! * [`verify`] — validation helpers shared by tests, benches and examples.
 
 #![forbid(unsafe_code)]
@@ -36,6 +40,7 @@ pub mod ffc;
 pub mod modified;
 pub mod necklace_graph;
 pub mod seq;
+pub mod sweep;
 pub mod verify;
 
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
@@ -45,3 +50,4 @@ pub use edge_faults::EdgeFaultEmbedder;
 pub use ffc::{EmbedScratch, EmbedStats, Ffc, FfcOutcome};
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;
+pub use sweep::{BatchEmbedder, FaultDrawer, FaultSchedule, SweepAccumulator, SweepPlan, Trial};

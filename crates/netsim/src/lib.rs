@@ -18,6 +18,10 @@
 //!   broadcast over one embedded ring, or split across several edge-disjoint
 //!   rings), the workload that motivates the ring embeddings in the first
 //!   place (Chapter 3 introduction).
+//! * [`sweep`] — distributed Monte-Carlo sweeps driven by the centralized
+//!   batch engine's deterministic [`SweepPlan`](debruijn_core::SweepPlan)
+//!   seeding: a remote worker reconstructs any trial's fault set from
+//!   `(plan, trial index)` alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +29,9 @@
 pub mod ffc_distributed;
 pub mod network;
 pub mod ring;
+pub mod sweep;
 
 pub use ffc_distributed::{DistributedFfc, DistributedOutcome};
 pub use network::{Network, NetworkStats};
 pub use ring::{all_to_all_broadcast, split_all_to_all_broadcast, RingBroadcastReport};
+pub use sweep::{distributed_sweep, distributed_sweep_range, DistributedTrial};

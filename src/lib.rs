@@ -41,6 +41,15 @@
 //!     assert_eq!(scratch.cycle().len(), stats.component_size);
 //! }
 //!
+//! // Monte-Carlo sweeps: a deterministic plan on the batch engine.
+//! // Per-trial seeding makes results bit-identical at any shard count.
+//! let mut batch = BatchEmbedder::new(2);
+//! let plan = SweepPlan::new(FaultSchedule::Constant(2), 50, 7);
+//! let sizes = ffc.embed_batch(&mut batch, &plan, |acc: &mut Vec<usize>, t| {
+//!     acc.push(t.stats.component_size);
+//! });
+//! assert_eq!(sizes.len(), 50);
+//!
 //! // Three edge-disjoint Hamiltonian cycles of B(4,2) (ψ(4) = 3).
 //! let family = DisjointHamiltonianCycles::construct(4, 2);
 //! assert_eq!(family.count(), 3);
@@ -64,12 +73,14 @@ pub mod prelude {
     pub use dbg_graph::{Butterfly, DeBruijn, FaultSet, Hypercube, Topology, UndirectedDeBruijn};
     pub use dbg_necklace::{Necklace, NecklacePartition};
     pub use dbg_netsim::{
-        all_to_all_broadcast, split_all_to_all_broadcast, DistributedFfc, Network,
+        all_to_all_broadcast, distributed_sweep, split_all_to_all_broadcast, DistributedFfc,
+        Network,
     };
     pub use debruijn_core::{
-        edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, ButterflyEmbedder,
-        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedStats, Ffc, FfcOutcome,
-        MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
+        edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, BatchEmbedder, ButterflyEmbedder,
+        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedStats, FaultDrawer,
+        FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
+        SweepAccumulator, SweepPlan,
     };
 }
 

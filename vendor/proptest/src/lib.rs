@@ -19,6 +19,29 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for Box<S> {
@@ -215,7 +238,7 @@ pub mod test_runner {
 /// Everything a property-test file needs, re-exported flat.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::strategy::{Just, Map, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestRng};
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
@@ -322,6 +345,13 @@ mod tests {
         #[test]
         fn just_yields(v in Just(17u64)) {
             prop_assert_eq!(v, 17);
+        }
+
+        /// prop_map transforms samples and composes with other strategies.
+        #[test]
+        fn prop_map_transforms(v in (0u64..10).prop_map(|x| 2 * x + 1), w in (1usize..4).prop_map(|k| vec![0u8; k])) {
+            prop_assert!(v % 2 == 1 && v < 20);
+            prop_assert!((1..4).contains(&w.len()));
         }
     }
 }
