@@ -26,6 +26,14 @@ use std::fmt;
 pub struct WordSpace {
     d: u64,
     n: u32,
+    /// d^(n−1), cached at construction (recomputing the power on every
+    /// rotation/shift made the per-call cost O(n)).
+    msd: u64,
+    /// `Some((log2 d, log2 d^(n−1)))` when both are powers of two, so the
+    /// hot rotation/shift arithmetic runs on masks and shifts instead of
+    /// hardware divisions. Derived from `(d, n)`, so the derived
+    /// `PartialEq`/`Hash` stay consistent.
+    pow2: Option<(u32, u32)>,
 }
 
 impl WordSpace {
@@ -41,7 +49,10 @@ impl WordSpace {
             crate::num::checked_pow(d, n).is_some(),
             "d^n overflows u64 (d = {d}, n = {n})"
         );
-        Self { d, n }
+        let msd = crate::num::pow(d, n - 1);
+        let pow2 = (d.is_power_of_two() && msd.is_power_of_two())
+            .then(|| (d.trailing_zeros(), msd.trailing_zeros()));
+        Self { d, n, msd, pow2 }
     }
 
     /// The alphabet size d.
@@ -69,7 +80,7 @@ impl WordSpace {
     #[inline]
     #[must_use]
     pub fn msd_place(&self) -> u64 {
-        crate::num::pow(self.d, self.n - 1)
+        self.msd
     }
 
     /// Returns the digits `x_1 … x_n` of `code`, leftmost first.
@@ -123,8 +134,10 @@ impl WordSpace {
     #[inline]
     #[must_use]
     pub fn rotate_left(&self, code: u64) -> u64 {
-        let msd = code / self.msd_place();
-        (code % self.msd_place()) * self.d + msd
+        match self.pow2 {
+            Some((d_log, m_log)) => ((code & (self.msd - 1)) << d_log) | (code >> m_log),
+            None => (code % self.msd) * self.d + code / self.msd,
+        }
     }
 
     /// Left rotation by `i` positions (π^i(x) in the paper's notation).

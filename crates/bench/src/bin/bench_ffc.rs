@@ -1,27 +1,39 @@
 //! Machine-readable FFC engine benchmark: writes `BENCH_ffc.json` at the
 //! repository root so successive PRs can track the perf trajectory.
 //!
-//! For each of B(2,10), B(2,14), B(4,5) and B(4,7) it measures
+//! Two kinds of configuration are measured:
 //!
-//! * `setup_ns` — one `Ffc::new` (partition + engine tables);
-//! * `embed_ns` — mean wall time of one `embed_into` on a reused scratch
-//!   over a Table 2.1-style trial schedule (f cycles 0..=8);
-//! * `embeds_per_sec` — the reciprocal throughput of the same loop;
-//! * `reference_embed_ns` — the retained textbook implementation on the
-//!   same fault sets (fewer trials; it is the slow baseline);
-//! * `speedup` — reference / engine;
-//! * `batch` — the batch sweep engine (`Ffc::embed_batch`, stats-only
-//!   plan) at 1, 2, 4 and 8 shards: embeds/sec and the speedup over the
-//!   serial `embed_into` loop above. The stats-only fast path plus shard
-//!   parallelism is what the Monte-Carlo tables run on.
+//! * **Full tiers** — B(2,10), B(2,14), B(4,5) and B(4,7):
+//!   - `setup_ns` — one `Ffc::new` (FKM partition build + engine tables);
+//!   - `embed_ns` / `embeds_per_sec` — the full `embed_into` pipeline on a
+//!     reused scratch over a Table 2.1-style trial schedule (f cycles
+//!     0..=8);
+//!   - `reference_embed_ns` / `speedup` — the retained textbook
+//!     implementation on the same fault sets (fewer trials);
+//!   - `stats_only` — the stats-only paths head to head: the PR 2
+//!     u8-stamp engine (`embed_stats_into_u8`) vs the bit-parallel engine
+//!     (`embed_stats_into`), with `speedup` = u8 / bit;
+//!   - `batch` — the batch sweep engine (`Ffc::embed_batch`, stats-only
+//!     plan, bit-parallel path) at 1, 2, 4 and 8 shards; `speedup` is vs
+//!     the serial `embed_into` loop above.
+//! * **Stats-only tiers** (`"mode": "stats_only"`) — B(2,18) and B(2,20),
+//!   the million-node scale the bit-parallel engine exists for. The full
+//!   pipeline and the textbook reference are far too slow to sweep here,
+//!   so the row records `setup_ns`, the `stats_only` comparison, and
+//!   `batch` rows whose `speedup` is vs the serial **u8-stamp** loop (the
+//!   PR 2 engine this PR replaces).
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
-//! [--smoke] [--check]`
+//! [--smoke] [--check] [--trials N]`
 //!
 //! * default output: `<repo root>/BENCH_ffc.json`;
-//! * `--smoke`: CI-sized trial counts (20× fewer trials, minimum 60);
+//! * `--smoke`: CI-sized trial counts (20× fewer trials, minimum 60) and
+//!   the B(2,20) tier skipped, so the job stays bounded;
+//! * `--trials N`: hard cap on every configuration's trial count (applied
+//!   after `--smoke` scaling) — the CI knob for bounding total job time;
 //! * `--check`: after writing, re-read and validate the file — exits
-//!   non-zero if the JSON is malformed or any `speedup` is below 1.0.
+//!   non-zero if the JSON is malformed or any `speedup` is below 1.0
+//!   (engine-vs-reference, bit-vs-u8, or batch-vs-serial).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,6 +49,11 @@ struct Config {
     n: u32,
     /// Engine trials (reference runs `trials / 20`, at least 20).
     trials: usize,
+    /// Whether the full `embed_into` + reference loops run (small tiers)
+    /// or only the stats-only engines (large tiers).
+    full: bool,
+    /// Skipped under `--smoke` (the B(2,20) tier).
+    skip_in_smoke: bool,
 }
 
 /// Shard counts the batch engine is measured at.
@@ -67,6 +84,27 @@ impl SweepAccumulator for Checksum {
     fn merge(&mut self, other: Self) {
         self.0 ^= other.0;
     }
+}
+
+/// Times `body` over the trial schedule, best of [`REPS`], returning
+/// (mean ns per trial, trials per second, checksum). The checksum is the
+/// XOR over **one** repetition (every rep produces the same value, so it
+/// is independent of `REPS`) — callers compare it across engines to keep
+/// the optimiser honest and the paths provably in agreement.
+fn time_loop<F: FnMut(&[usize]) -> usize>(sets: &[Vec<usize>], mut body: F) -> (f64, f64, usize) {
+    let mut best = std::time::Duration::MAX;
+    let mut checksum = 0usize;
+    for _ in 0..REPS {
+        let mut rep_checksum = 0usize;
+        let start = Instant::now();
+        for faults in sets {
+            rep_checksum ^= body(faults);
+        }
+        best = best.min(start.elapsed());
+        checksum = rep_checksum;
+    }
+    let ns = best.as_nanos() as f64 / sets.len() as f64;
+    (ns, sets.len() as f64 / best.as_secs_f64(), checksum)
 }
 
 /// Validates a written benchmark file: structural JSON sanity (balanced
@@ -109,6 +147,7 @@ fn validate(contents: &str) -> Vec<String> {
         "\"configs\"",
         "\"batch\"",
         "\"embeds_per_sec\"",
+        "\"stats_only\"",
     ] {
         if !contents.contains(key) {
             problems.push(format!("missing key {key}"));
@@ -135,16 +174,33 @@ fn validate(contents: &str) -> Vec<String> {
     problems
 }
 
+#[allow(clippy::too_many_lines)] // one linear measurement script
 fn main() {
     let mut out_path: Option<String> = None;
     let mut smoke = false;
     let mut check = false;
-    for arg in std::env::args().skip(1) {
+    let mut trial_cap: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--check" => check = true,
+            "--trials" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--trials needs a positive integer");
+                        std::process::exit(2);
+                    });
+                trial_cap = Some(n);
+            }
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag {flag}; usage: bench_ffc [out.json] [--smoke] [--check]");
+                eprintln!(
+                    "unknown flag {flag}; usage: bench_ffc [out.json] [--smoke] [--check] \
+                     [--trials N]"
+                );
                 std::process::exit(2);
             }
             path => out_path = Some(path.to_string()),
@@ -153,37 +209,37 @@ fn main() {
     let out_path =
         out_path.unwrap_or_else(|| format!("{}/../../BENCH_ffc.json", env!("CARGO_MANIFEST_DIR")));
     let scale = |trials: usize| {
-        if smoke {
-            (trials / 20).max(60)
-        } else {
-            trials
-        }
+        let t = if smoke { (trials / 20).max(60) } else { trials };
+        t.min(trial_cap.unwrap_or(usize::MAX)).max(1)
+    };
+    let full = |d, n, trials| Config {
+        d,
+        n,
+        trials: scale(trials),
+        full: true,
+        skip_in_smoke: false,
+    };
+    let stats_tier = |d, n, trials, skip_in_smoke| Config {
+        d,
+        n,
+        trials: scale(trials),
+        full: false,
+        skip_in_smoke,
     };
     let configs = [
-        Config {
-            d: 2,
-            n: 10,
-            trials: scale(4000),
-        },
-        Config {
-            d: 2,
-            n: 14,
-            trials: scale(400),
-        },
-        Config {
-            d: 4,
-            n: 5,
-            trials: scale(4000),
-        },
-        Config {
-            d: 4,
-            n: 7,
-            trials: scale(400),
-        },
+        full(2, 10, 4000),
+        full(2, 14, 400),
+        full(4, 5, 4000),
+        full(4, 7, 400),
+        stats_tier(2, 18, 60, false),
+        stats_tier(2, 20, 20, true),
     ];
 
     let mut entries = Vec::new();
     for cfg in &configs {
+        if smoke && cfg.skip_in_smoke {
+            continue;
+        }
         let setup_start = Instant::now();
         let ffc = Ffc::new(cfg.d, cfg.n);
         let setup_ns = setup_start.elapsed().as_nanos();
@@ -192,38 +248,72 @@ fn main() {
         let seed = 0xB * u64::from(cfg.n) + cfg.d;
         let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
-        // Warm-up sizes every scratch buffer.
-        let mut checksum = ffc.embed_into(&mut scratch, &sets[0]).component_size;
-
-        // Best of REPS timed repetitions, to damp scheduler noise.
-        let mut engine = std::time::Duration::MAX;
-        for _ in 0..REPS {
-            let start = Instant::now();
-            for faults in &sets {
-                checksum ^= ffc.embed_into(&mut scratch, faults).component_size;
-            }
-            engine = engine.min(start.elapsed());
-        }
-        let embed_ns = engine.as_nanos() as f64 / sets.len() as f64;
-        let embeds_per_sec = sets.len() as f64 / engine.as_secs_f64();
-
-        let ref_trials = (cfg.trials / 20).max(20).min(sets.len());
-        let start = Instant::now();
-        for faults in sets.iter().take(ref_trials) {
-            checksum ^= ffc.embed_reference(faults).component_size;
-        }
-        let reference = start.elapsed();
-        let reference_embed_ns = reference.as_nanos() as f64 / ref_trials as f64;
-
         let label = format!("B({},{})", cfg.d, cfg.n);
+
+        // Stats-only paths head to head: PR 2's u8-stamp engine vs the
+        // bit-parallel engine (warm-up sizes every buffer first).
+        let _ = ffc.embed_stats_into_u8(&mut scratch, &sets[0]);
+        let _ = ffc.embed_stats_into(&mut scratch, &sets[0]);
+        let (u8_ns, u8_eps, c1) = time_loop(&sets, |f| {
+            ffc.embed_stats_into_u8(&mut scratch, f).component_size
+        });
+        let (bit_ns, bit_eps, c2) = time_loop(&sets, |f| {
+            ffc.embed_stats_into(&mut scratch, f).component_size
+        });
+        assert_eq!(c1, c2, "stats engines disagree on {label}");
+        let stats_speedup = u8_ns / bit_ns;
         eprintln!(
-            "{label}: setup {:.2} ms, embed {:.1} µs ({embeds_per_sec:.0} embeds/s), \
-             reference {:.1} µs, speedup {:.1}x  [checksum {checksum}]",
+            "{label}: setup {:.2} ms, stats u8 {:.1} µs vs bit {:.1} µs ({stats_speedup:.2}x) \
+             [checksum {c1}]",
             setup_ns as f64 / 1e6,
-            embed_ns / 1e3,
-            reference_embed_ns / 1e3,
-            reference_embed_ns / embed_ns,
+            u8_ns / 1e3,
+            bit_ns / 1e3,
         );
+        let stats_block = format!(
+            "      \"stats_only\": {{ \"u8_embeds_per_sec\": {u8_eps:.1}, \
+             \"bit_embeds_per_sec\": {bit_eps:.1}, \"speedup\": {stats_speedup:.2} }}"
+        );
+
+        // Full tiers additionally run the whole pipeline and the textbook
+        // reference; their batch rows compare against the serial
+        // `embed_into` loop. Stats tiers compare batch against the serial
+        // u8 loop (the engine this PR replaces).
+        let (serial_block, batch_baseline_eps) = if cfg.full {
+            let _ = ffc.embed_into(&mut scratch, &sets[0]);
+            let (embed_ns, embeds_per_sec, mut checksum) =
+                time_loop(&sets, |f| ffc.embed_into(&mut scratch, f).component_size);
+
+            let ref_trials = (cfg.trials / 20).max(20).min(sets.len());
+            let start = Instant::now();
+            for faults in sets.iter().take(ref_trials) {
+                checksum ^= ffc.embed_reference(faults).component_size;
+            }
+            let reference = start.elapsed();
+            let reference_embed_ns = reference.as_nanos() as f64 / ref_trials as f64;
+            eprintln!(
+                "{label}: embed {:.1} µs ({embeds_per_sec:.0} embeds/s), reference {:.1} µs, \
+                 speedup {:.1}x  [checksum {checksum}]",
+                embed_ns / 1e3,
+                reference_embed_ns / 1e3,
+                reference_embed_ns / embed_ns,
+            );
+            let block = format!(
+                "      \"embed_ns\": {embed_ns:.1},\n      \
+                 \"embeds_per_sec\": {embeds_per_sec:.1},\n      \
+                 \"reference_trials\": {ref_trials},\n      \
+                 \"reference_embed_ns\": {reference_embed_ns:.1},\n      \
+                 \"speedup\": {:.2},\n",
+                reference_embed_ns / embed_ns,
+            );
+            (block, embeds_per_sec)
+        } else {
+            (
+                format!(
+                    "      \"mode\": \"stats_only\",\n      \"embeds_per_sec\": {bit_eps:.1},\n"
+                ),
+                u8_eps,
+            )
+        };
 
         // Batch sweep engine: the same f 0..=8 schedule as a stats-only
         // plan, at increasing shard counts.
@@ -246,10 +336,10 @@ fn main() {
                 elapsed = elapsed.min(start.elapsed());
             }
             let batch_eps = plan.trials() as f64 / elapsed.as_secs_f64();
-            let speedup = batch_eps / embeds_per_sec;
+            let speedup = batch_eps / batch_baseline_eps;
             eprintln!(
                 "{label}: batch x{shards}: {batch_eps:.0} embeds/s \
-                 ({speedup:.2}x serial engine)  [checksum {}]",
+                 ({speedup:.2}x serial baseline)  [checksum {}]",
                 sum.0
             );
             batch_rows.push(format!(
@@ -262,13 +352,9 @@ fn main() {
         write!(
             entry,
             "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
-             \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
-             \"embed_ns\": {embed_ns:.1},\n      \"embeds_per_sec\": {embeds_per_sec:.1},\n      \
-             \"reference_trials\": {ref_trials},\n      \
-             \"reference_embed_ns\": {reference_embed_ns:.1},\n      \
-             \"speedup\": {:.2},\n      \"batch\": [\n{}\n      ]\n    }}",
+             \"trials\": {},\n      \"setup_ns\": {setup_ns},\n\
+             {serial_block}{stats_block},\n      \"batch\": [\n{}\n      ]\n    }}",
             sets.len(),
-            reference_embed_ns / embed_ns,
             batch_rows.join(",\n"),
         )
         .expect("writing to a String cannot fail");
@@ -277,8 +363,12 @@ fn main() {
 
     let json = format!(
         "{{\n  \"benchmark\": \"ffc_embed\",\n  \"schedule\": \"f cycles 0..=8, random fault sets\",\n  \
-         \"unit_note\": \"embed_ns is mean wall time per embed_into on a reused scratch; \
-         batch rows are the stats-only sweep engine (embed_batch), speedup vs the serial engine loop\",\n  \
+         \"unit_note\": \"timed loops take the best of {REPS} repetitions; embed_ns is the mean \
+         wall time per embed_into within that best repetition, on a reused scratch; \
+         stats_only compares the u8-stamp stats engine (PR 2) against the bit-parallel engine \
+         (speedup = u8/bit); batch rows are the stats-only sweep engine (embed_batch) — \
+         speedup vs the serial embed_into loop on full tiers, vs the serial u8-stamp loop on \
+         mode=stats_only tiers\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

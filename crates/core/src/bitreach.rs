@@ -1,0 +1,886 @@
+//! Bit-parallel reachability over the implicit shift arithmetic of B(d,n).
+//!
+//! The FFC engine's hot loops are three BFS passes (forward, backward,
+//! broadcast) over a de Bruijn graph with some necklaces removed. For a
+//! power-of-two alphabet the successor set of a *set* of nodes is pure
+//! word arithmetic on its bitmap: node `v`'s successors are the aligned
+//! block `d·(v mod d^(n−1)) + a`, so
+//!
+//! * the image of a frontier `F` under one BFS step is
+//!   `expand_d(fold_d(F))`, where `fold_d` ORs the `d` equal chunks of `F`
+//!   (erasing the leading digit) and `expand_d` duplicates every bit into
+//!   `d` adjacent positions (appending every trailing digit) — 64 nodes
+//!   per handful of shift/mask ops, branch-free;
+//! * the preimage is the mirror image, `replicate_d(squash_d(F))`, where
+//!   `squash_d` ORs each aligned `d`-bit group into one bit and the result
+//!   is replicated across the `d` chunks of the address space.
+//!
+//! [`BitReach`] packages those kernels behind direction-optimizing BFS
+//! passes: while the frontier is sparse a scalar top-down walk over a
+//! queue wins (it touches only live edges); once the frontier passes a
+//! density threshold the pass switches to the word-parallel bottom-up
+//! sweep, where dead nodes are masked out by a single AND per 64 nodes
+//! against the word-packed visited set (faulty necklaces are pre-marked
+//! visited, exactly like the u8-stamp engine it replaces). A
+//! [`BitFrontier`] carries the frontier in whichever representation the
+//! current regime wants and converts between them at level boundaries.
+//!
+//! Non-power-of-two alphabets (and graphs too small to fill whole words)
+//! keep the scalar top-down walk throughout — same results, no dense
+//! sweeps — so every (d, n) runs through one code path with one set of
+//! buffers ([`BitScratch`], embedded in the engine's `EmbedScratch`).
+
+/// Spreads the low 32 bits of `x` so that bit `i` lands on bits `2i` and
+/// `2i+1` — the factor-two bit expansion of the forward sweep.
+#[inline]
+#[must_use]
+pub fn spread2(x: u64) -> u64 {
+    debug_assert!(x <= u64::from(u32::MAX));
+    let mut x = x;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x | (x << 1)
+}
+
+/// ORs each adjacent bit pair of `x` into one bit of the low 32 —
+/// the factor-two compression of the backward sweep (inverse direction of
+/// [`spread2`]): output bit `i` is `x[2i] | x[2i+1]`.
+#[inline]
+#[must_use]
+pub fn squash2(x: u64) -> u64 {
+    let mut x = (x | (x >> 1)) & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// When the dense (bottom-up) regime is allowed to kick in. `Auto` is the
+/// production policy; `Never`/`Always` pin one regime so the differential
+/// tests can compare them bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DensePolicy {
+    /// Direction-optimizing: top-down while sparse, bottom-up once the
+    /// frontier carries at least one edge per [`DENSE_SWITCH`] nodes.
+    #[default]
+    Auto,
+    /// Scalar top-down only (also what unsupported shapes always do).
+    Never,
+    /// Bottom-up from the first level, when the shape supports it.
+    Always,
+}
+
+/// Auto switches **to** the dense regime when `frontier · d · DENSE_SWITCH
+/// ≥ n_nodes` — one frontier edge per 64 nodes, the break-even between a
+/// scalar walk of the frontier's edges and a whole-bitmap sweep.
+pub const DENSE_SWITCH: usize = 64;
+
+/// Auto switches **back** to top-down when `frontier · d · SPARSE_SWITCH <
+/// n_nodes` (4× hysteresis below [`DENSE_SWITCH`]), so the shrinking tail
+/// of a pass doesn't pay full sweeps for near-empty levels.
+pub const SPARSE_SWITCH: usize = 256;
+
+/// A BFS frontier in either representation: a queue of node ids (sparse /
+/// top-down) or a word-packed bitmap (dense / bottom-up). Both buffers
+/// persist so conversions and reuse never allocate after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct BitFrontier {
+    queue: Vec<u32>,
+    bits: Vec<u64>,
+    dense: bool,
+    len: usize,
+}
+
+impl BitFrontier {
+    /// Number of nodes on the frontier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the frontier currently lives in the dense bitmap.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Resets to a single-node sparse frontier.
+    fn reset_to(&mut self, root: u32) {
+        self.queue.clear();
+        self.queue.push(root);
+        self.dense = false;
+        self.len = 1;
+    }
+
+    /// Converts sparse → dense (zeroes the live words, then sets the
+    /// queued bits).
+    fn make_dense(&mut self, words: usize) {
+        debug_assert!(!self.dense);
+        self.bits[..words].fill(0);
+        for &v in &self.queue {
+            self.bits[v as usize / 64] |= 1u64 << (v % 64);
+        }
+        self.dense = true;
+    }
+
+    /// Converts dense → sparse (extracts the set bits in increasing id
+    /// order).
+    fn make_sparse(&mut self, words: usize) {
+        debug_assert!(self.dense);
+        self.queue.clear();
+        for (j, &word) in self.bits[..words].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                self.queue.push((j * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        self.dense = false;
+    }
+}
+
+/// Per-level node emission of [`BitReach::broadcast_levels`]: `nodes` gets
+/// every reached node, `offsets` the CSR boundaries of the levels
+/// (`offsets[l]..offsets[l+1]` indexes level `l`'s slice of `nodes`).
+struct LevelSink<'a> {
+    nodes: &'a mut Vec<u32>,
+    offsets: &'a mut Vec<u32>,
+}
+
+/// The reusable buffers of the bit-parallel engine: the per-call fault
+/// bitmap, the three visited sets, the fold scratch of the dense kernels
+/// and the two frontiers. Grow-only; after the first call at a given
+/// graph size no method allocates.
+#[derive(Clone, Debug, Default)]
+pub struct BitScratch {
+    /// Bit `v` set ⟺ node `v` was removed with a faulty necklace.
+    dead: Vec<u64>,
+    /// Forward-reachable visited set (dead bits pre-set).
+    fwd: Vec<u64>,
+    /// Backward-reachable visited set (dead bits pre-set).
+    bwd: Vec<u64>,
+    /// Broadcast visited set (everything outside B* pre-set).
+    vis: Vec<u64>,
+    /// Fold/squash scratch of the dense kernels (`suffix / 64` words).
+    fold: Vec<u64>,
+    /// Current-level frontier.
+    cur: BitFrontier,
+    /// Next-level frontier.
+    nxt: BitFrontier,
+}
+
+impl BitScratch {
+    /// Creates an empty scratch; buffers are sized by the first pass.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently reserved by the scratch's buffers — constant
+    /// across repeated passes at a fixed graph size (the no-allocation
+    /// property the engine tests pin down).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        8 * (self.dead.capacity()
+            + self.fwd.capacity()
+            + self.bwd.capacity()
+            + self.vis.capacity()
+            + self.fold.capacity()
+            + self.cur.bits.capacity()
+            + self.nxt.bits.capacity())
+            + 4 * (self.cur.queue.capacity() + self.nxt.queue.capacity())
+    }
+}
+
+/// Grows a word buffer to at least `words` entries without shrinking.
+fn grow_words(v: &mut Vec<u64>, words: usize) {
+    if v.len() < words {
+        v.resize(words, 0);
+    }
+}
+
+/// The bit-parallel reachability engine for one B(d,n) shape: word-level
+/// constants plus the three direction-optimizing passes the FFC embedding
+/// runs (forward, backward, broadcast).
+#[derive(Clone, Copy, Debug)]
+pub struct BitReach {
+    d: usize,
+    n_nodes: usize,
+    /// d^(n−1) — the chunk size of the fold/replicate direction.
+    suffix: usize,
+    /// Live words of every bitmap (`ceil(n_nodes / 64)`).
+    words: usize,
+    /// `suffix / 64` — fold-buffer words (0 when dense sweeps are off).
+    suffix_words: usize,
+    /// log2 d (meaningful only when `pow2`).
+    d_log: u32,
+    /// log2 d^(n−1) (meaningful only when `pow2`).
+    suffix_log: u32,
+    /// Power-of-two d: scalar walks use masks/shifts instead of divisions.
+    pow2: bool,
+    /// Dense sweeps available: pow2, d ≤ 64, chunks word-aligned.
+    dense_capable: bool,
+    policy: DensePolicy,
+}
+
+impl BitReach {
+    /// The engine for B(d,n) given `d` and `n_nodes = d^n`, with the
+    /// production [`DensePolicy::Auto`].
+    #[must_use]
+    pub fn new(d: usize, n_nodes: usize) -> Self {
+        Self::with_policy(d, n_nodes, DensePolicy::Auto)
+    }
+
+    /// [`BitReach::new`] with an explicit density policy (the differential
+    /// tests pin `Never == Auto == Always`).
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` is not `d` times a whole suffix count.
+    #[must_use]
+    pub fn with_policy(d: usize, n_nodes: usize, policy: DensePolicy) -> Self {
+        assert!(d >= 2, "alphabet size d must be at least 2");
+        assert_eq!(n_nodes % d, 0, "n_nodes must be d^n");
+        let suffix = n_nodes / d;
+        let pow2 = d.is_power_of_two() && suffix.is_power_of_two();
+        let dense_capable = pow2 && d <= 64 && suffix.is_multiple_of(64);
+        BitReach {
+            d,
+            n_nodes,
+            suffix,
+            words: n_nodes.div_ceil(64),
+            suffix_words: if dense_capable { suffix / 64 } else { 0 },
+            d_log: d.trailing_zeros(),
+            suffix_log: suffix.trailing_zeros(),
+            pow2,
+            dense_capable,
+            policy,
+        }
+    }
+
+    /// Whether this shape can run the word-parallel bottom-up sweeps.
+    #[must_use]
+    pub fn dense_capable(&self) -> bool {
+        self.dense_capable
+    }
+
+    /// Grows the scratch to this shape and clears the fault bitmap; call
+    /// once per embedding before [`BitReach::kill`]ing the faulty nodes.
+    pub fn prepare(&self, s: &mut BitScratch) {
+        grow_words(&mut s.dead, self.words);
+        grow_words(&mut s.fwd, self.words);
+        grow_words(&mut s.bwd, self.words);
+        grow_words(&mut s.vis, self.words);
+        grow_words(&mut s.fold, self.suffix_words);
+        grow_words(&mut s.cur.bits, self.words);
+        grow_words(&mut s.nxt.bits, self.words);
+        // A level can hold every node; presize so pushes never reallocate.
+        crate::ffc::reserve(&mut s.cur.queue, self.n_nodes);
+        crate::ffc::reserve(&mut s.nxt.queue, self.n_nodes);
+        s.dead[..self.words].fill(0);
+    }
+
+    /// Marks node `v` dead (member of a faulty necklace).
+    #[inline]
+    pub fn kill(&self, s: &mut BitScratch, v: usize) {
+        debug_assert!(v < self.n_nodes);
+        s.dead[v / 64] |= 1u64 << (v % 64);
+    }
+
+    /// Whether node `v` was marked dead this call.
+    #[inline]
+    #[must_use]
+    pub fn is_dead(&self, s: &BitScratch, v: usize) -> bool {
+        s.dead[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Whether `v` lies in B* — forward- and backward-reachable and live.
+    /// Valid after [`BitReach::forward`] and [`BitReach::backward`].
+    #[inline]
+    #[must_use]
+    pub fn in_bstar(&self, s: &BitScratch, v: usize) -> bool {
+        let (j, m) = (v / 64, 1u64 << (v % 64));
+        s.fwd[j] & s.bwd[j] & !s.dead[j] & m != 0
+    }
+
+    /// Forward BFS from `root` over live nodes. Returns `(reached, depth)`
+    /// where `reached` counts live forward-reachable nodes including the
+    /// root and `depth` is the last level with a new node — the broadcast
+    /// eccentricity whenever B* turns out to equal the forward set.
+    pub fn forward(&self, s: &mut BitScratch, root: usize) -> (usize, usize) {
+        let BitScratch {
+            dead,
+            fwd,
+            cur,
+            nxt,
+            fold,
+            ..
+        } = s;
+        fwd[..self.words].copy_from_slice(&dead[..self.words]);
+        if self.pow2 {
+            self.run::<true, false>(fwd, cur, nxt, fold, root, None)
+        } else {
+            self.run::<false, false>(fwd, cur, nxt, fold, root, None)
+        }
+    }
+
+    /// Backward BFS from `root` over live nodes (visited set left in the
+    /// scratch for [`BitReach::component_size`] / [`BitReach::in_bstar`]).
+    pub fn backward(&self, s: &mut BitScratch, root: usize) {
+        let BitScratch {
+            dead,
+            bwd,
+            cur,
+            nxt,
+            fold,
+            ..
+        } = s;
+        bwd[..self.words].copy_from_slice(&dead[..self.words]);
+        if self.pow2 {
+            self.run::<true, true>(bwd, cur, nxt, fold, root, None);
+        } else {
+            self.run::<false, true>(bwd, cur, nxt, fold, root, None);
+        }
+    }
+
+    /// |B*| after the two passes: the popcount of `fwd ∧ bwd` minus the
+    /// `removed_nodes` dead bits (dead nodes are pre-visited in both sets).
+    #[must_use]
+    pub fn component_size(&self, s: &BitScratch, removed_nodes: usize) -> usize {
+        let both: usize = s.fwd[..self.words]
+            .iter()
+            .zip(&s.bwd[..self.words])
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum();
+        both - removed_nodes
+    }
+
+    /// The broadcast restricted to B*, levels only: returns the
+    /// eccentricity of `root` within B*. Requires the forward and backward
+    /// passes to have run.
+    pub fn broadcast_depth(&self, s: &mut BitScratch, root: usize) -> usize {
+        self.broadcast(s, root, None).1
+    }
+
+    /// The broadcast restricted to B*, emitting every reached node level
+    /// by level: `nodes` receives the nodes (cleared first), `offsets` the
+    /// CSR level boundaries (`offsets[l]..offsets[l+1]` is level `l`;
+    /// `offsets.len()` ends up `depth + 2`). Returns `(reached, depth)`.
+    /// The within-level order is unspecified (discovery order top-down,
+    /// increasing id bottom-up) — callers must not depend on it.
+    pub fn broadcast_levels(
+        &self,
+        s: &mut BitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+    ) -> (usize, usize) {
+        nodes.clear();
+        offsets.clear();
+        self.broadcast(s, root, Some(LevelSink { nodes, offsets }))
+    }
+
+    /// Shared broadcast setup: visited starts as "outside B* or dead".
+    fn broadcast(
+        &self,
+        s: &mut BitScratch,
+        root: usize,
+        sink: Option<LevelSink<'_>>,
+    ) -> (usize, usize) {
+        let BitScratch {
+            dead,
+            fwd,
+            bwd,
+            vis,
+            cur,
+            nxt,
+            fold,
+        } = s;
+        for (((v, &f), &b), &x) in vis[..self.words]
+            .iter_mut()
+            .zip(&fwd[..self.words])
+            .zip(&bwd[..self.words])
+            .zip(&dead[..self.words])
+        {
+            *v = !(f & b) | x;
+        }
+        if self.pow2 {
+            self.run::<true, false>(vis, cur, nxt, fold, root, sink)
+        } else {
+            self.run::<false, false>(vis, cur, nxt, fold, root, sink)
+        }
+    }
+
+    /// One direction-optimizing BFS pass over `vis` (bits already set are
+    /// never re-entered; the caller pre-sets dead / out-of-scope bits).
+    /// Returns `(newly visited count incl. root, depth)`.
+    fn run<const POW2: bool, const BACKWARD: bool>(
+        &self,
+        vis: &mut [u64],
+        cur: &mut BitFrontier,
+        nxt: &mut BitFrontier,
+        fold: &mut [u64],
+        root: usize,
+        mut sink: Option<LevelSink<'_>>,
+    ) -> (usize, usize) {
+        debug_assert!(root < self.n_nodes, "root out of range");
+        debug_assert!(vis[root / 64] & (1 << (root % 64)) == 0, "root not live");
+        vis[root / 64] |= 1 << (root % 64);
+        cur.reset_to(root as u32);
+        if self.want_dense(cur.len, false) {
+            cur.make_dense(self.words);
+        }
+        if let Some(sink) = sink.as_mut() {
+            sink.offsets.push(0);
+            sink.nodes.push(root as u32);
+        }
+        let mut count = 1usize;
+        let mut depth = 0usize;
+        loop {
+            if cur.dense {
+                self.step_dense::<BACKWARD>(vis, cur, nxt, fold);
+            } else {
+                self.step_sparse::<POW2, BACKWARD>(vis, cur, nxt);
+            }
+            if nxt.len == 0 {
+                break;
+            }
+            count += nxt.len;
+            depth += 1;
+            if let Some(sink) = sink.as_mut() {
+                if nxt.dense {
+                    emit_bits(sink, &nxt.bits[..self.words]);
+                } else {
+                    emit_queue(sink, &nxt.queue);
+                }
+            }
+            // Pick the representation for the next expansion.
+            let dense = self.want_dense(nxt.len, nxt.dense);
+            if nxt.dense && !dense {
+                nxt.make_sparse(self.words);
+            } else if !nxt.dense && dense {
+                nxt.make_dense(self.words);
+            }
+            std::mem::swap(cur, nxt);
+        }
+        if let Some(sink) = sink.as_mut() {
+            sink.offsets.push(sink.nodes.len() as u32);
+        }
+        (count, depth)
+    }
+
+    /// Whether a frontier of `len` nodes should expand bottom-up. Under
+    /// `Auto` the up- and down-switches use different thresholds
+    /// ([`DENSE_SWITCH`] / [`SPARSE_SWITCH`]) so a frontier hovering at
+    /// the boundary doesn't pay a conversion per level.
+    fn want_dense(&self, len: usize, currently_dense: bool) -> bool {
+        self.dense_capable
+            && match self.policy {
+                DensePolicy::Never => false,
+                DensePolicy::Always => true,
+                DensePolicy::Auto => {
+                    let scale = if currently_dense {
+                        SPARSE_SWITCH
+                    } else {
+                        DENSE_SWITCH
+                    };
+                    len * self.d * scale >= self.n_nodes
+                }
+            }
+    }
+
+    /// Scalar top-down step: walk the queue's edges, test-and-set bits.
+    fn step_sparse<const POW2: bool, const BACKWARD: bool>(
+        &self,
+        vis: &mut [u64],
+        cur: &BitFrontier,
+        nxt: &mut BitFrontier,
+    ) {
+        debug_assert!(!cur.dense);
+        nxt.queue.clear();
+        for &v in &cur.queue {
+            let v = v as usize;
+            for a in 0..self.d {
+                let u = if BACKWARD {
+                    let base = if POW2 { v >> self.d_log } else { v / self.d };
+                    base + if POW2 {
+                        a << self.suffix_log
+                    } else {
+                        a * self.suffix
+                    }
+                } else {
+                    let base = if POW2 {
+                        (v & (self.suffix - 1)) << self.d_log
+                    } else {
+                        (v % self.suffix) * self.d
+                    };
+                    base + a
+                };
+                let (j, m) = (u / 64, 1u64 << (u % 64));
+                if vis[j] & m == 0 {
+                    vis[j] |= m;
+                    nxt.queue.push(u as u32);
+                }
+            }
+        }
+        nxt.dense = false;
+        nxt.len = nxt.queue.len();
+    }
+
+    /// Word-parallel bottom-up step: fold the frontier, expand (or
+    /// replicate) it, and mask against the visited set — 64 nodes per
+    /// handful of word ops.
+    fn step_dense<const BACKWARD: bool>(
+        &self,
+        vis: &mut [u64],
+        cur: &BitFrontier,
+        nxt: &mut BitFrontier,
+        fold: &mut [u64],
+    ) {
+        debug_assert!(cur.dense && self.dense_capable);
+        let d = self.d;
+        let bits_per = 64 / d;
+        let chunk_mask = if bits_per == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits_per) - 1
+        };
+        if BACKWARD {
+            // H[k] = OR of the d-bit successor block at k: u is a
+            // predecessor of the frontier iff H[u mod suffix] is set.
+            for (i, h) in fold[..self.suffix_words].iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for t in 0..d {
+                    acc |= self.squash(cur.bits[d * i + t]) << (t * bits_per);
+                }
+                *h = acc;
+            }
+        } else {
+            // G[k] = OR over leading digits: the frontier's successor set
+            // is G expanded d-fold.
+            for (i, g) in fold[..self.suffix_words].iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for a in 0..d {
+                    acc |= cur.bits[i + a * self.suffix_words];
+                }
+                *g = acc;
+            }
+        }
+        let mut newly = 0usize;
+        let mut j = 0usize;
+        if BACKWARD {
+            // P word j replicates H word (j mod suffix_words).
+            for _a in 0..d {
+                for &h in &fold[..self.suffix_words] {
+                    let new = h & !vis[j];
+                    vis[j] |= new;
+                    nxt.bits[j] = new;
+                    newly += new.count_ones() as usize;
+                    j += 1;
+                }
+            }
+        } else {
+            // S word j expands the (j mod d)-th chunk of G word (j div d).
+            for &g in &fold[..self.suffix_words] {
+                for r in 0..d {
+                    let new = self.expand((g >> (r * bits_per)) & chunk_mask) & !vis[j];
+                    vis[j] |= new;
+                    nxt.bits[j] = new;
+                    newly += new.count_ones() as usize;
+                    j += 1;
+                }
+            }
+        }
+        nxt.dense = true;
+        nxt.len = newly;
+    }
+
+    /// Duplicates each of the low 64/d bits of `x` into d adjacent bits.
+    #[inline]
+    fn expand(&self, x: u64) -> u64 {
+        let mut x = x;
+        for _ in 0..self.d_log {
+            x = spread2(x);
+        }
+        x
+    }
+
+    /// ORs each aligned d-bit group of `x` into one of the low 64/d bits.
+    #[inline]
+    fn squash(&self, x: u64) -> u64 {
+        let mut x = x;
+        for _ in 0..self.d_log {
+            x = squash2(x);
+        }
+        x
+    }
+}
+
+/// Appends a sparse level to the sink.
+fn emit_queue(sink: &mut LevelSink<'_>, queue: &[u32]) {
+    sink.offsets.push(sink.nodes.len() as u32);
+    sink.nodes.extend_from_slice(queue);
+}
+
+/// Appends a dense level to the sink (set bits in increasing id order).
+fn emit_bits(sink: &mut LevelSink<'_>, bits: &[u64]) {
+    sink.offsets.push(sink.nodes.len() as u32);
+    for (j, &word) in bits.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            sink.nodes.push((j * 64) as u32 + w.trailing_zeros());
+            w &= w - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn spread2_matches_bit_by_bit_definition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for case in 0..2000u64 {
+            let x = if case < 64 {
+                1u64 << (case % 32)
+            } else {
+                rng.next_u64() & u64::from(u32::MAX)
+            };
+            let got = spread2(x);
+            let mut want = 0u64;
+            for i in 0..32 {
+                if x & (1 << i) != 0 {
+                    want |= 0b11 << (2 * i);
+                }
+            }
+            assert_eq!(got, want, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn squash2_matches_bit_by_bit_definition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for case in 0..2000u64 {
+            let x = if case < 64 {
+                1u64 << case
+            } else {
+                rng.next_u64()
+            };
+            let got = squash2(x);
+            let mut want = 0u64;
+            for i in 0..32 {
+                if x & (0b11 << (2 * i)) != 0 {
+                    want |= 1 << i;
+                }
+            }
+            assert_eq!(got, want, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn squash2_inverts_spread2() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let x = rng.next_u64() & u64::from(u32::MAX);
+            assert_eq!(squash2(spread2(x)), x);
+        }
+    }
+
+    /// Scalar oracle: plain queue BFS over the shift arithmetic with a
+    /// per-node visited array, returning (levels, reached, depth).
+    fn oracle_bfs(
+        d: usize,
+        n_nodes: usize,
+        dead: &[bool],
+        root: usize,
+        backward: bool,
+        restrict: Option<&[bool]>,
+    ) -> (Vec<usize>, usize, usize) {
+        let suffix = n_nodes / d;
+        let inside = |u: usize| -> bool { !dead[u] && restrict.is_none_or(|r| r[u]) };
+        let mut level = vec![usize::MAX; n_nodes];
+        level[root] = 0;
+        let mut frontier = vec![root];
+        let mut reached = 1usize;
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for a in 0..d {
+                    let u = if backward {
+                        v / d + a * suffix
+                    } else {
+                        (v % suffix) * d + a
+                    };
+                    if level[u] == usize::MAX && inside(u) {
+                        level[u] = depth + 1;
+                        next.push(u);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            reached += next.len();
+            depth += 1;
+            frontier = next;
+        }
+        (level, reached, depth)
+    }
+
+    /// Random dead mask that never kills the chosen root.
+    fn random_dead(n_nodes: usize, deaths: usize, root: usize, rng: &mut StdRng) -> Vec<bool> {
+        let mut dead = vec![false; n_nodes];
+        for _ in 0..deaths {
+            let v = rng.gen_range(0..n_nodes);
+            if v != root {
+                dead[v] = true;
+            }
+        }
+        dead
+    }
+
+    /// All three policies must agree with the scalar oracle on every pass
+    /// (forward counts/depths, component sizes, broadcast levels).
+    #[test]
+    fn passes_match_scalar_oracle_under_every_policy() {
+        let shapes = [
+            (2usize, 1 << 9),
+            (2, 1 << 7),
+            (4, 1 << 10),
+            (3, 243),
+            (8, 512),
+        ];
+        let mut rng = StdRng::seed_from_u64(2026);
+        for &(d, n_nodes) in &shapes {
+            for trial in 0..24 {
+                let root = 1usize;
+                let deaths = [0, 1, 3, n_nodes / 20, n_nodes / 4][trial % 5];
+                let dead = random_dead(n_nodes, deaths, root, &mut rng);
+                let removed = dead.iter().filter(|&&x| x).count();
+                let (fl, fwd_reached, fwd_depth) = oracle_bfs(d, n_nodes, &dead, root, false, None);
+                let (bl, _, _) = oracle_bfs(d, n_nodes, &dead, root, true, None);
+                let bstar: Vec<bool> = (0..n_nodes)
+                    .map(|v| fl[v] != usize::MAX && bl[v] != usize::MAX)
+                    .collect();
+                let component = bstar.iter().filter(|&&x| x).count();
+                let (vl, _, ecc) = oracle_bfs(d, n_nodes, &dead, root, false, Some(&bstar));
+                for policy in [DensePolicy::Auto, DensePolicy::Never, DensePolicy::Always] {
+                    let reach = BitReach::with_policy(d, n_nodes, policy);
+                    let mut s = BitScratch::new();
+                    reach.prepare(&mut s);
+                    for (v, &x) in dead.iter().enumerate() {
+                        if x {
+                            reach.kill(&mut s, v);
+                        }
+                    }
+                    let (count, depth) = reach.forward(&mut s, root);
+                    assert_eq!(
+                        (count, depth),
+                        (fwd_reached, fwd_depth),
+                        "forward d={d} n={n_nodes} deaths={deaths} {policy:?}"
+                    );
+                    reach.backward(&mut s, root);
+                    assert_eq!(
+                        reach.component_size(&s, removed),
+                        component,
+                        "component d={d} n={n_nodes} deaths={deaths} {policy:?}"
+                    );
+                    for (v, &want) in bstar.iter().enumerate() {
+                        assert_eq!(reach.in_bstar(&s, v), want, "v={v} {policy:?}");
+                    }
+                    let mut nodes = Vec::new();
+                    let mut offsets = Vec::new();
+                    let (breached, bdepth) =
+                        reach.broadcast_levels(&mut s, root, &mut nodes, &mut offsets);
+                    assert_eq!(bdepth, ecc, "broadcast depth {policy:?}");
+                    assert_eq!(breached, component, "broadcast covers B* {policy:?}");
+                    assert_eq!(nodes.len(), component);
+                    assert_eq!(offsets.len(), bdepth + 2);
+                    for l in 0..=bdepth {
+                        let mut lvl: Vec<u32> =
+                            nodes[offsets[l] as usize..offsets[l + 1] as usize].to_vec();
+                        lvl.sort_unstable();
+                        let mut want: Vec<u32> = (0..n_nodes)
+                            .filter(|&v| bstar[v] && vl[v] == l)
+                            .map(|v| v as u32)
+                            .collect();
+                        want.sort_unstable();
+                        assert_eq!(lvl, want, "level {l} {policy:?}");
+                    }
+                    // And the stats-only depth variant agrees.
+                    assert_eq!(reach.broadcast_depth(&mut s, root), ecc, "{policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_never_leaks_state() {
+        let mut s = BitScratch::new();
+        for &(d, n_nodes) in &[(2usize, 1 << 10), (4, 256), (2, 64), (3, 81), (2, 1 << 10)] {
+            let reach = BitReach::new(d, n_nodes);
+            reach.prepare(&mut s);
+            reach.kill(&mut s, 0); // kill the self-loop word 0^n
+            let (count, _) = reach.forward(&mut s, 1);
+            reach.backward(&mut s, 1);
+            assert_eq!(count, n_nodes - 1, "d={d} n={n_nodes}");
+            assert_eq!(reach.component_size(&s, 1), n_nodes - 1);
+        }
+    }
+
+    #[test]
+    fn dense_capability_matches_shape() {
+        assert!(BitReach::new(2, 1 << 10).dense_capable());
+        assert!(BitReach::new(4, 1 << 10).dense_capable());
+        assert!(!BitReach::new(3, 243).dense_capable()); // not pow2
+        assert!(!BitReach::new(2, 32).dense_capable()); // suffix below a word
+    }
+
+    #[test]
+    fn no_allocation_after_first_pass_in_both_regimes() {
+        let reach = BitReach::new(2, 1 << 12);
+        let mut s = BitScratch::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Warm up one dense-regime and one sparse-regime pass.
+        for deaths in [0, 1 << 10] {
+            let dead = random_dead(1 << 12, deaths, 1, &mut rng);
+            reach.prepare(&mut s);
+            for (v, &x) in dead.iter().enumerate() {
+                if x {
+                    reach.kill(&mut s, v);
+                }
+            }
+            let _ = reach.forward(&mut s, 1);
+            reach.backward(&mut s, 1);
+            let _ = reach.broadcast_depth(&mut s, 1);
+        }
+        let warm = s.allocated_bytes();
+        for trial in 0..100 {
+            let deaths = [0, 3, 1 << 6, 1 << 10][trial % 4];
+            let dead = random_dead(1 << 12, deaths, 1, &mut rng);
+            reach.prepare(&mut s);
+            for (v, &x) in dead.iter().enumerate() {
+                if x {
+                    reach.kill(&mut s, v);
+                }
+            }
+            let _ = reach.forward(&mut s, 1);
+            reach.backward(&mut s, 1);
+            let _ = reach.broadcast_depth(&mut s, 1);
+            assert_eq!(s.allocated_bytes(), warm, "trial {trial}");
+        }
+    }
+}

@@ -60,6 +60,8 @@ use dbg_graph::algo::components::scc_component_ids;
 use dbg_graph::{DeBruijn, Topology};
 use dbg_necklace::NecklacePartition;
 
+use crate::bitreach::{BitReach, BitScratch};
+
 /// The FFC embedder for a fixed B(d,n): owns the necklace partition and the
 /// engine's immutable lookup tables so that repeated embeddings (e.g. the
 /// Monte-Carlo sweeps of Tables 2.1/2.2) recompute nothing.
@@ -70,7 +72,10 @@ pub struct Ffc {
     tables: EngineTables,
 }
 
-/// Immutable flat tables shared by every embedding at a fixed (d, n).
+/// Immutable engine constants shared by every embedding at a fixed (d, n).
+/// The per-necklace tables (representatives, lengths, member CSR) live on
+/// the [`NecklacePartition`], which builds them in its single
+/// FKM-enumeration pass — the engine no longer duplicates them.
 #[derive(Clone, Debug)]
 struct EngineTables {
     /// Alphabet size d, as usize for index arithmetic.
@@ -82,14 +87,8 @@ struct EngineTables {
     n_nodes: usize,
     /// Number of necklaces.
     n_necks: usize,
-    /// Necklace id → representative (minimal member node).
-    rep: Vec<u32>,
-    /// Necklace id → length (period of its words).
-    neck_len: Vec<u32>,
-    /// CSR offsets into [`EngineTables::neck_node`] (length `n_necks + 1`).
-    neck_offset: Vec<u32>,
-    /// Necklace members in rotation order starting at the representative.
-    neck_node: Vec<u32>,
+    /// The bit-parallel reachability engine for this shape.
+    reach: BitReach,
 }
 
 /// The result of one FFC embedding.
@@ -168,17 +167,17 @@ pub struct EmbedScratch {
     // Per-node state.
     /// Stamp: reached by the root-repair probe.
     probe: Vec<u32>,
-    /// Byte-stamp: forward-reachable, stats-only path.
+    /// Byte-stamp: forward-reachable, u8-stamp oracle path.
     fwd8: Vec<u8>,
-    /// Byte-stamp: backward-reachable, stats-only path.
+    /// Byte-stamp: backward-reachable, u8-stamp oracle path.
     bwd8: Vec<u8>,
-    /// Byte-stamp: broadcast-reached, stats-only path.
+    /// Byte-stamp: broadcast-reached, u8-stamp oracle path.
     vis8: Vec<u8>,
-    /// Stamp: forward-reachable from the root among live nodes.
-    fwd: Vec<u32>,
-    /// Stamp: backward-reachable from the root among live nodes.
-    bwd: Vec<u32>,
-    /// Stamp: reached by the Step 1.1 broadcast.
+    /// Word-packed bitmaps and frontiers of the bit-parallel reachability
+    /// engine (fault mask, forward/backward/broadcast visited sets).
+    bits: BitScratch,
+    /// Stamp: reached by the Step 1.1 broadcast (validity guard for
+    /// `level`/`parent` when the engine assigns tree parents).
     vis: Vec<u32>,
     /// Broadcast level (valid when `vis` is stamped).
     level: Vec<u32>,
@@ -196,8 +195,10 @@ pub struct EmbedScratch {
     queue: Vec<u32>,
     /// Next BFS frontier.
     next: Vec<u32>,
-    /// The nodes of B*, in backward-BFS discovery order.
+    /// The nodes of B*, as emitted level by level from the broadcast.
     bstar: Vec<u32>,
+    /// CSR boundaries of the broadcast levels within `bstar`.
+    level_offsets: Vec<u32>,
     /// Live non-root necklaces of B*.
     live_necks: Vec<u32>,
     /// Packed (label << 32 | necklace id) w-group membership records.
@@ -231,8 +232,6 @@ impl EmbedScratch {
         4 * (self.faulty.capacity()
             + self.best_stamp.capacity()
             + self.probe.capacity()
-            + self.fwd.capacity()
-            + self.bwd.capacity()
             + self.vis.capacity()
             + self.level.capacity()
             + self.parent.capacity()
@@ -242,9 +241,11 @@ impl EmbedScratch {
             + self.queue.capacity()
             + self.next.capacity()
             + self.bstar.capacity()
+            + self.level_offsets.capacity()
             + self.live_necks.capacity()
             + self.members.capacity())
             + (self.fwd8.capacity() + self.bwd8.capacity() + self.vis8.capacity())
+            + self.bits.allocated_bytes()
             + 8 * (self.best_key.capacity() + self.group_entries.capacity())
             + std::mem::size_of::<usize>() * self.cycle.capacity()
     }
@@ -257,8 +258,6 @@ impl EmbedScratch {
                 &mut self.faulty,
                 &mut self.best_stamp,
                 &mut self.probe,
-                &mut self.fwd,
-                &mut self.bwd,
                 &mut self.vis,
                 &mut self.label_stamp,
             ] {
@@ -271,8 +270,6 @@ impl EmbedScratch {
         grow(&mut self.best_stamp, t.n_necks);
         grow(&mut self.best_key, t.n_necks);
         grow(&mut self.probe, t.n_nodes);
-        grow(&mut self.fwd, t.n_nodes);
-        grow(&mut self.bwd, t.n_nodes);
         grow(&mut self.vis, t.n_nodes);
         grow(&mut self.level, t.n_nodes);
         grow(&mut self.parent, t.n_nodes);
@@ -282,11 +279,14 @@ impl EmbedScratch {
         // Worklists are cleared and presized to their worst-case bounds, so
         // no fault pattern can grow them after the first call at this size:
         // frontiers and the cycle hold at most every node, the necklace
-        // lists at most every necklace, and each live necklace contributes
-        // at most two group records (itself plus a first-seen parent).
+        // lists at most every necklace, each live necklace contributes
+        // at most two group records (itself plus a first-seen parent), and
+        // the broadcast can have at most one level per node (plus the two
+        // CSR sentinels).
         reserve(&mut self.queue, t.n_nodes);
         reserve(&mut self.next, t.n_nodes);
         reserve(&mut self.bstar, t.n_nodes);
+        reserve(&mut self.level_offsets, t.n_nodes + 2);
         reserve(&mut self.live_necks, t.n_necks);
         reserve(&mut self.group_entries, 2 * t.n_necks);
         reserve(&mut self.members, t.n_necks);
@@ -316,8 +316,9 @@ fn grow<T: Default + Clone>(v: &mut Vec<T>, len: usize) {
     }
 }
 
-/// Empties a worklist and guarantees room for `cap` entries.
-fn reserve<T>(v: &mut Vec<T>, cap: usize) {
+/// Empties a worklist and guarantees room for `cap` entries (shared with
+/// the bit-parallel scratch's frontier queues).
+pub(crate) fn reserve<T>(v: &mut Vec<T>, cap: usize) {
     v.clear();
     if v.capacity() < cap {
         v.reserve_exact(cap - v.len());
@@ -350,43 +351,34 @@ impl Topology for Masked<'_> {
 }
 
 impl Ffc {
-    /// Creates the embedder for B(d,n), precomputing the necklace partition
-    /// and the engine's flat lookup tables.
+    /// Creates the embedder for B(d,n): one FKM necklace-enumeration pass
+    /// builds the partition (membership table + member CSR) that the
+    /// engine reads directly.
     #[must_use]
     pub fn new(d: u64, n: u32) -> Self {
+        Self::with_shards(d, n, 1)
+    }
+
+    /// [`Ffc::new`] with the partition's membership/CSR fill sharded over
+    /// `shards` scoped threads ([`NecklacePartition::with_shards`]) — the
+    /// table construction analogue of [`Ffc::embed_batch`]'s sharding,
+    /// useful for B(2,20)-scale setup on multi-core hosts. The tables are
+    /// bit-identical at any shard count.
+    #[must_use]
+    pub fn with_shards(d: u64, n: u32, shards: usize) -> Self {
         let graph = DeBruijn::new(d, n);
-        let partition = NecklacePartition::new(graph.space());
         let n_nodes = graph.len();
         assert!(
             u32::try_from(n_nodes).is_ok(),
             "engine tables index nodes with u32; B({d},{n}) is too large"
         );
-        let n_necks = partition.len();
-        let space = graph.space();
-        let mut rep = Vec::with_capacity(n_necks);
-        let mut neck_len = Vec::with_capacity(n_necks);
-        let mut neck_offset = Vec::with_capacity(n_necks + 1);
-        let mut neck_node = Vec::with_capacity(n_nodes);
-        neck_offset.push(0u32);
-        for neck in partition.necklaces() {
-            rep.push(neck.representative() as u32);
-            neck_len.push(neck.len() as u32);
-            let mut cur = neck.representative();
-            for _ in 0..neck.len() {
-                neck_node.push(cur as u32);
-                cur = space.rotate_left(cur);
-            }
-            neck_offset.push(neck_node.len() as u32);
-        }
+        let partition = NecklacePartition::with_shards(graph.space(), shards);
         let tables = EngineTables {
             d: graph.d() as usize,
-            suffix_count: space.msd_place() as usize,
+            suffix_count: graph.space().msd_place() as usize,
             n_nodes,
-            n_necks,
-            rep,
-            neck_len,
-            neck_offset,
-            neck_node,
+            n_necks: partition.len(),
+            reach: BitReach::new(graph.d() as usize, n_nodes),
         };
         Ffc {
             graph,
@@ -411,16 +403,16 @@ impl Ffc {
     /// lookup, unlike the O(n) `WordSpace::canonical_rotation`.
     #[must_use]
     pub fn representative_of(&self, v: usize) -> usize {
-        self.tables.rep[self.partition.membership()[v] as usize] as usize
+        self.partition
+            .necklace(self.partition.membership()[v] as usize)
+            .representative() as usize
     }
 
     /// The members of necklace `id` in rotation order starting at its
-    /// representative (a slice of the precomputed CSR layout).
+    /// representative (a slice of the partition's precomputed CSR layout).
     #[must_use]
     pub fn necklace_members(&self, id: usize) -> &[u32] {
-        let lo = self.tables.neck_offset[id] as usize;
-        let hi = self.tables.neck_offset[id + 1] as usize;
-        &self.tables.neck_node[lo..hi]
+        self.partition.members(id)
     }
 
     /// The default root R = 0…01 used by the paper's simulations.
@@ -486,9 +478,58 @@ impl Ffc {
     /// This is the hot path of Monte-Carlo sweeps that only tabulate
     /// component sizes and eccentricities (Tables 2.1/2.2):
     /// [`Ffc::embed_batch`] uses it whenever the plan does not request
-    /// cycles. Like `embed_into`, it performs no heap allocation after the
-    /// scratch has warmed up at this (d, n).
+    /// cycles. The reachability passes run on the bit-parallel engine
+    /// ([`crate::bitreach`]): direction-optimizing BFS whose dense regime
+    /// advances 64 nodes per word op, with faulty necklaces masked out as
+    /// word-packed pre-visited bits. Like `embed_into`, it performs no
+    /// heap allocation after the scratch has warmed up at this (d, n).
     pub fn embed_stats_into(
+        &self,
+        scratch: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+    ) -> EmbedStats {
+        let t = &self.tables;
+        let reach = t.reach;
+        let s = scratch;
+        s.prepare(t);
+        reach.prepare(&mut s.bits);
+
+        let (faulty_necklaces, removed_nodes) = self.mark_faults_bits(s, faulty_nodes);
+        let membership = self.partition.membership();
+        let preferred = self.default_root();
+        let root = if s.faulty[membership[preferred] as usize] != s.stamp {
+            preferred
+        } else {
+            self.probe_for_live_root(s, preferred)
+        };
+        let root = self.representative_of(root);
+
+        // Forward pass first: when B* turns out to equal the forward set
+        // (the common light-fault case) its depth *is* the broadcast
+        // eccentricity and the third pass is skipped entirely.
+        let (fwd_count, fwd_depth) = reach.forward(&mut s.bits, root);
+        reach.backward(&mut s.bits, root);
+        let component_size = reach.component_size(&s.bits, removed_nodes);
+        let eccentricity = if component_size == fwd_count {
+            fwd_depth
+        } else {
+            reach.broadcast_depth(&mut s.bits, root)
+        };
+
+        EmbedStats {
+            root,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+
+    /// The u8-stamp stats path of PR 2, retained verbatim as the
+    /// differential oracle for the bit-parallel engine and as the baseline
+    /// the `bench_ffc` large-graph tiers compare against. Semantically
+    /// identical to [`Ffc::embed_stats_into`].
+    pub fn embed_stats_into_u8(
         &self,
         scratch: &mut EmbedScratch,
         faulty_nodes: &[usize],
@@ -518,10 +559,8 @@ impl Ffc {
             if s.faulty[nid] != stamp {
                 s.faulty[nid] = stamp;
                 faulty_necklaces += 1;
-                removed_nodes += t.neck_len[nid] as usize;
-                let lo = t.neck_offset[nid] as usize;
-                let hi = t.neck_offset[nid + 1] as usize;
-                for &member in &t.neck_node[lo..hi] {
+                removed_nodes += self.partition.necklace(nid).len();
+                for &member in self.partition.members(nid) {
                     s.fwd8[member as usize] = stamp8;
                     s.bwd8[member as usize] = stamp8;
                     s.vis8[member as usize] = stamp8;
@@ -534,7 +573,7 @@ impl Ffc {
         } else {
             self.probe_for_live_root(s, preferred)
         };
-        let root = t.rep[membership[root] as usize] as usize;
+        let root = self.representative_of(root);
 
         // The reachability passes are monomorphised on whether d is a power
         // of two: the per-edge `% suffix` / `/ d` then compile to masks and
@@ -555,7 +594,34 @@ impl Ffc {
         }
     }
 
-    /// The reachability passes of [`Ffc::embed_stats_into`]: forward BFS,
+    /// Shared fault marking of the bit-parallel paths: stamps each faulty
+    /// necklace once and kills its members in the word-packed fault mask.
+    /// Returns `(faulty_necklaces, removed_nodes)`.
+    fn mark_faults_bits(&self, s: &mut EmbedScratch, faulty_nodes: &[usize]) -> (usize, usize) {
+        let t = &self.tables;
+        let membership = self.partition.membership();
+        let stamp = s.stamp;
+        let mut faulty_necklaces = 0usize;
+        let mut removed_nodes = 0usize;
+        for &v in faulty_nodes {
+            assert!(v < t.n_nodes, "faulty node id {v} out of range");
+            let nid = membership[v] as usize;
+            if s.faulty[nid] != stamp {
+                s.faulty[nid] = stamp;
+                faulty_necklaces += 1;
+                let members = self.partition.members(nid);
+                removed_nodes += members.len();
+                for &member in members {
+                    t.reach.kill(&mut s.bits, member as usize);
+                }
+            }
+        }
+        (faulty_necklaces, removed_nodes)
+    }
+
+    /// The reachability passes of [`Ffc::embed_stats_into_u8`] (the
+    /// retained u8-stamp oracle — the production stats path runs on
+    /// [`crate::bitreach`]): forward BFS,
     /// backward BFS and (only when needed) the broadcast over B*. Returns
     /// (|B*|, eccentricity of the root within B*). `POW2` selects the
     /// shift/mask address arithmetic for power-of-two d.
@@ -733,24 +799,19 @@ impl Ffc {
         forced_root: Option<usize>,
     ) -> EmbedStats {
         let t = &self.tables;
+        let reach = t.reach;
         let membership = self.partition.membership();
         let d = t.d;
         let suffix = t.suffix_count;
         s.prepare(t);
+        // The bit scratch sizes its bitmaps and clears the fault mask
+        // here, not in `prepare` — the u8 oracle path never pays for it.
+        reach.prepare(&mut s.bits);
         let stamp = s.stamp;
 
-        // Mark faulty necklaces (stamped — no per-call mask allocation).
-        let mut faulty_necklaces = 0usize;
-        let mut removed_nodes = 0usize;
-        for &v in faulty_nodes {
-            assert!(v < t.n_nodes, "faulty node id {v} out of range");
-            let nid = membership[v] as usize;
-            if s.faulty[nid] != stamp {
-                s.faulty[nid] = stamp;
-                faulty_necklaces += 1;
-                removed_nodes += t.neck_len[nid] as usize;
-            }
-        }
+        // Mark faulty necklaces: stamped per necklace, and every member
+        // killed in the word-packed fault mask of the bit engine.
+        let (faulty_necklaces, removed_nodes) = self.mark_faults_bits(s, faulty_nodes);
 
         // Root selection (Section 2.5.2): the preferred root if live, else
         // the nearest live node by a breadth-first probe over the *full*
@@ -774,89 +835,52 @@ impl Ffc {
             }
         };
         // Normalise to the minimal node of its necklace so N(R) = [R].
-        let root = t.rep[membership[root] as usize] as usize;
+        let root = self.representative_of(root);
         let root_neck = membership[root] as usize;
 
         // B*: the strongly connected component of the surviving graph that
         // contains the root — the intersection of the live forward- and
-        // backward-reachable sets of the root, found by two BFS passes over
-        // the implicit shift arithmetic (no Tarjan, no materialised SCCs).
-        s.queue.clear();
-        s.fwd[root] = stamp;
-        s.queue.push(root as u32);
-        let mut head = 0;
-        while head < s.queue.len() {
-            let v = s.queue[head] as usize;
-            head += 1;
-            let base = (v % suffix) * d;
-            for a in 0..d {
-                let u = base + a;
-                if s.fwd[u] != stamp && s.faulty[membership[u] as usize] != stamp {
-                    s.fwd[u] = stamp;
-                    s.queue.push(u as u32);
-                }
-            }
-        }
-        s.queue.clear();
-        s.bwd[root] = stamp;
-        s.queue.push(root as u32);
-        s.bstar.push(root as u32);
-        let mut head = 0;
-        while head < s.queue.len() {
-            let v = s.queue[head] as usize;
-            head += 1;
-            let base = v / d;
-            for a in 0..d {
-                let u = base + a * suffix;
-                if s.bwd[u] != stamp && s.faulty[membership[u] as usize] != stamp {
-                    s.bwd[u] = stamp;
-                    s.queue.push(u as u32);
-                    if s.fwd[u] == stamp {
-                        s.bstar.push(u as u32);
-                    }
-                }
-            }
-        }
-        let component_size = s.bstar.len();
+        // backward-reachable sets of the root, found by two
+        // direction-optimizing bit-parallel passes (no Tarjan, no
+        // materialised SCCs).
+        let _ = reach.forward(&mut s.bits, root);
+        reach.backward(&mut s.bits, root);
+        let component_size = reach.component_size(&s.bits, removed_nodes);
 
-        // Step 1.1: broadcast from the root over B* (level-synchronous BFS
-        // with minimal-predecessor tie-breaking: every same-level
-        // predecessor attempts a min-update of the parent, so the result is
-        // independent of frontier scan order and no per-level sort is
-        // needed — nothing downstream consumes discovery order).
-        s.queue.clear();
+        // Step 1.1: broadcast from the root over B*. The bit engine runs
+        // the frontier expansion and emits the reached nodes level by
+        // level into `bstar` (which therefore lists exactly B*); the
+        // spanning-tree parents are then assigned per level with the
+        // paper's minimal-predecessor tie-break: a node reached at level
+        // l+1 hangs off its minimal predecessor at level l. Scanning a
+        // node's d predecessors once is equivalent to the old per-edge
+        // min-update over the frontier, and independent of scan order.
+        let (reached, depth) =
+            reach.broadcast_levels(&mut s.bits, root, &mut s.bstar, &mut s.level_offsets);
+        debug_assert_eq!(reached, component_size, "broadcast must cover B*");
         s.vis[root] = stamp;
         s.level[root] = 0;
         s.parent[root] = NONE;
-        s.queue.push(root as u32);
-        let mut depth = 0u32;
-        loop {
-            s.next.clear();
-            for &v in &s.queue {
-                let v = v as usize;
-                let base = (v % suffix) * d;
+        for l in 1..=depth {
+            let lo = s.level_offsets[l] as usize;
+            let hi = s.level_offsets[l + 1] as usize;
+            for idx in lo..hi {
+                let u = s.bstar[idx] as usize;
+                let base = u / d;
+                let mut best = NONE;
                 for a in 0..d {
-                    let u = base + a;
-                    if s.fwd[u] != stamp || s.bwd[u] != stamp {
-                        continue;
-                    }
-                    if s.vis[u] != stamp {
-                        s.vis[u] = stamp;
-                        s.level[u] = depth + 1;
-                        s.parent[u] = v as u32;
-                        s.next.push(u as u32);
-                    } else if s.level[u] == depth + 1 && s.parent[u] > v as u32 {
-                        s.parent[u] = v as u32;
+                    let p = base + a * suffix;
+                    if s.vis[p] == stamp && s.level[p] == (l - 1) as u32 && (p as u32) < best {
+                        best = p as u32;
                     }
                 }
+                debug_assert!(best != NONE, "level-{l} node with no frontier predecessor");
+                s.vis[u] = stamp;
+                s.level[u] = l as u32;
+                s.parent[u] = best;
             }
-            if s.next.is_empty() {
-                break;
-            }
-            std::mem::swap(&mut s.queue, &mut s.next);
-            depth += 1;
         }
-        let eccentricity = depth as usize;
+        let eccentricity = depth;
 
         // Step 1.2: for every non-root live necklace of B*, the member Y
         // reached earliest (ties: minimal id) defines the tree edge — its
@@ -943,7 +967,7 @@ impl Ffc {
                     .find(|&beta| membership[beta * suffix + label] as usize == target)
                     .map(|beta| label * d + beta)
                     .expect("a w-edge of D always has an entry node on the target necklace");
-                debug_assert!(s.fwd[entry] == stamp && s.bwd[entry] == stamp);
+                debug_assert!(reach.in_bstar(&s.bits, entry));
                 s.succ[exit] = entry as u32;
             }
             i = j;
@@ -1464,19 +1488,27 @@ mod tests {
         let mut scratch = EmbedScratch::new();
         let mut rng = StdRng::seed_from_u64(7);
         // Warm up: the worst-case cycle length (no faults) sizes the cycle
-        // buffer; a faulty-root call sizes the probe path.
+        // buffer (and exercises the dense bit-parallel regime); a
+        // faulty-root call sizes the probe path; a heavy fault load keeps
+        // the bit passes in the sparse regime.
         let _ = ffc.embed_into(&mut scratch, &[]);
         let _ = ffc.embed_into(&mut scratch, &[1]);
+        let heavy: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
+        let _ = ffc.embed_into(&mut scratch, &heavy);
         let warm = scratch.allocated_bytes();
         let cycle_ptr = scratch.cycle().as_ptr();
         for trial in 0..200 {
-            let f = trial % 17;
+            let f = if trial % 3 == 0 {
+                250 + trial % 100
+            } else {
+                trial % 17
+            };
             let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
             let _ = ffc.embed_into(&mut scratch, &faults);
             assert_eq!(
                 scratch.allocated_bytes(),
                 warm,
-                "scratch grew on trial {trial} (faults {faults:?})"
+                "scratch grew on trial {trial} (f={f})"
             );
         }
         // The cycle buffer never reallocated either.
@@ -1584,26 +1616,110 @@ mod tests {
         }
     }
 
+    /// The no-allocation property must hold across *both* density regimes
+    /// of the bit-parallel stats path — light faults drive the
+    /// dense/bottom-up sweeps (and their fold buffers), heavy faults keep
+    /// the pass sparse/top-down — and on the retained u8 oracle path.
     #[test]
     fn stats_only_path_does_not_allocate_after_warmup() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let ffc = Ffc::new(2, 10);
+        assert!(ffc.tables.reach.dense_capable());
         let total = ffc.graph().len();
         let mut scratch = EmbedScratch::new();
         let mut rng = StdRng::seed_from_u64(3);
+        // Warm-up: no faults (dense regime, bottom-up buffers), a faulty
+        // root (probe path), and a heavy load (sparse regime throughout).
         let _ = ffc.embed_stats_into(&mut scratch, &[]);
         let _ = ffc.embed_stats_into(&mut scratch, &[1]);
+        let heavy: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
+        let _ = ffc.embed_stats_into(&mut scratch, &heavy);
+        let _ = ffc.embed_stats_into_u8(&mut scratch, &[1]);
         let warm = scratch.allocated_bytes();
         for trial in 0..200 {
-            let f = trial % 17;
+            let f = match trial % 3 {
+                0 => trial % 17,
+                1 => 60 + trial % 40,
+                _ => 250 + trial % 100,
+            };
             let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
             let _ = ffc.embed_stats_into(&mut scratch, &faults);
             assert_eq!(
                 scratch.allocated_bytes(),
                 warm,
-                "scratch grew on trial {trial}"
+                "bit path grew on trial {trial} (f={f})"
             );
+            let _ = ffc.embed_stats_into_u8(&mut scratch, &faults);
+            assert_eq!(
+                scratch.allocated_bytes(),
+                warm,
+                "u8 path grew on trial {trial} (f={f})"
+            );
+        }
+    }
+
+    /// Satellite differential: the bit-parallel stats path, the retained
+    /// u8-stamp path and the textbook reference must report identical
+    /// scalars for **every** fault set of size ≤ 2 on B(2,5) and B(3,3).
+    #[test]
+    fn bit_u8_and_reference_stats_agree_exhaustively() {
+        for (d, n) in [(2u64, 5u32), (3, 3)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let mut bit = EmbedScratch::new();
+            let mut u8s = EmbedScratch::new();
+            let mut fault_sets: Vec<Vec<usize>> = vec![Vec::new()];
+            fault_sets.extend((0..total).map(|a| vec![a]));
+            for a in 0..total {
+                for b in (a + 1)..total {
+                    fault_sets.push(vec![a, b]);
+                }
+            }
+            for faults in &fault_sets {
+                let want = ffc.embed_reference(faults);
+                let got_bit = ffc.embed_stats_into(&mut bit, faults);
+                let got_u8 = ffc.embed_stats_into_u8(&mut u8s, faults);
+                assert_eq!(got_bit, got_u8, "bit vs u8 for {faults:?} in B({d},{n})");
+                assert_eq!(got_bit.root, want.root, "{faults:?}");
+                assert_eq!(got_bit.component_size, want.component_size, "{faults:?}");
+                assert_eq!(got_bit.eccentricity, want.eccentricity, "{faults:?}");
+                assert_eq!(got_bit.faulty_necklaces, want.faulty_necklaces);
+                assert_eq!(got_bit.removed_nodes, want.removed_nodes);
+            }
+        }
+    }
+
+    /// Satellite property test: on B(2,14) the bit-parallel path must
+    /// agree with the u8 oracle under fault loads on both sides of the
+    /// density-switch threshold — light loads run the dense bottom-up
+    /// sweeps, heavy loads (component shredded) stay sparse top-down.
+    #[test]
+    fn bit_stats_match_u8_on_b2_14_across_density_regimes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ffc = Ffc::new(2, 14);
+        assert!(ffc.tables.reach.dense_capable());
+        let total = ffc.graph().len();
+        let mut bit = EmbedScratch::new();
+        let mut u8s = EmbedScratch::new();
+        let mut rng = StdRng::seed_from_u64(0xB17);
+        let mut check = |faults: &[usize]| {
+            let got = ffc.embed_stats_into(&mut bit, faults);
+            let want = ffc.embed_stats_into_u8(&mut u8s, faults);
+            assert_eq!(got, want, "{} faults", faults.len());
+        };
+        check(&[]);
+        for trial in 0..12 {
+            // Dense side: a handful of faults, B* stays near-complete.
+            let f = trial % 9;
+            let light: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            check(&light);
+            // Sparse side: thousands of faults shred the graph so no
+            // frontier ever reaches the dense threshold.
+            let f = 2000 + 500 * (trial % 4);
+            let heavy: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            check(&heavy);
         }
     }
 

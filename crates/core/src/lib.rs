@@ -22,6 +22,10 @@
 //!   decomposition (Section 3.2.3, Figure 3.3).
 //! * [`butterfly`] — lifting de Bruijn cycles to butterfly networks via the
 //!   Φ map (Section 3.4, Propositions 3.5 and 3.6).
+//! * [`bitreach`] — the bit-parallel reachability engine under the FFC
+//!   hot paths: word-packed visited/frontier/fault sets and
+//!   direction-optimizing BFS that advances 64 nodes per word op on
+//!   power-of-two alphabets (the B(2,20)-scale workhorse).
 //! * [`bounds`] — the closed-form fault-tolerance bounds ψ(d) and φ(d).
 //! * [`sweep`] — the batch sweep engine: deterministic Monte-Carlo plans
 //!   ([`SweepPlan`]), sharded allocation-free execution
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitreach;
 pub mod bounds;
 pub mod butterfly;
 pub mod disjoint;
@@ -43,6 +48,7 @@ pub mod seq;
 pub mod sweep;
 pub mod verify;
 
+pub use bitreach::{BitFrontier, BitReach, BitScratch, DensePolicy};
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};

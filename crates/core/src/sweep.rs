@@ -187,6 +187,12 @@ impl FaultDrawer {
     /// Draws `f` distinct node ids out of `0..n_nodes` from the stream of
     /// `seed`. The returned slice lives in the drawer's buffer and is valid
     /// until the next draw.
+    ///
+    /// `f` is clamped to `n_nodes`: a schedule whose fault count meets or
+    /// exceeds the graph size (easy to write when one plan sweeps graphs
+    /// of very different sizes) draws every node exactly once instead of
+    /// indexing out of bounds. The clamp is pinned by
+    /// `draw_clamps_oversized_fault_counts`.
     pub fn draw(&mut self, n_nodes: usize, seed: u64, f: usize) -> &[usize] {
         assert!(
             u32::try_from(n_nodes).is_ok(),
@@ -436,6 +442,32 @@ mod tests {
             let (expected, _) = nodes.partial_shuffle(&mut rng, f);
             assert_eq!(drawn, expected, "n={n} f={f} seed={seed}");
             // The internal buffer is the identity again.
+            assert_eq!(drawer.nodes, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// A fault count at or beyond the node count must clamp to a full
+    /// permutation draw — never index out of bounds — so large-graph sweep
+    /// schedules can reuse fault counts written for larger graphs.
+    #[test]
+    fn draw_clamps_oversized_fault_counts() {
+        let mut drawer = FaultDrawer::new();
+        for (n, f) in [
+            (10usize, 10usize),
+            (10, 11),
+            (10, 25),
+            (10, usize::MAX),
+            (1, 5),
+        ] {
+            let drawn = drawer.draw(n, 99, f).to_vec();
+            assert_eq!(drawn.len(), n, "n={n} f={f}");
+            let mut sorted = drawn.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n={n} f={f}");
+            // The clamped draw is exactly the f == n draw, so schedules
+            // stay deterministic whichever oversized count they carry.
+            assert_eq!(drawn, drawer.draw(n, 99, n).to_vec(), "n={n} f={f}");
+            // And the drawer is reusable afterwards (identity restored).
             assert_eq!(drawer.nodes, (0..n).collect::<Vec<_>>());
         }
     }

@@ -51,7 +51,7 @@ impl BfsTree {
 /// predecessor* exactly as the paper's broadcast does. Nodes with no path
 /// from `root` get level `usize::MAX`.
 #[must_use]
-pub fn bfs_tree<T: Topology + ?Sized>(graph: &T, root: usize) -> BfsTree {
+pub fn bfs_tree<T: Topology>(graph: &T, root: usize) -> BfsTree {
     let n = graph.node_count();
     let mut parent = vec![usize::MAX; n];
     let mut level = vec![usize::MAX; n];
@@ -70,7 +70,7 @@ pub fn bfs_tree<T: Topology + ?Sized>(graph: &T, root: usize) -> BfsTree {
         let mut sorted = frontier.clone();
         sorted.sort_unstable();
         for &v in &sorted {
-            graph.for_each_successor(v, &mut |u| {
+            graph.visit_successors(v, |u| {
                 if level[u] == usize::MAX {
                     level[u] = depth;
                     parent[u] = v;
@@ -95,14 +95,14 @@ pub fn bfs_tree<T: Topology + ?Sized>(graph: &T, root: usize) -> BfsTree {
 
 /// Shortest-path distances from `root`; unreachable nodes get `usize::MAX`.
 #[must_use]
-pub fn bfs_distances<T: Topology + ?Sized>(graph: &T, root: usize) -> Vec<usize> {
+pub fn bfs_distances<T: Topology>(graph: &T, root: usize) -> Vec<usize> {
     bfs_tree(graph, root).level
 }
 
 /// The eccentricity of `root` *within its reachable set*: the greatest
 /// distance from `root` to any node it can reach.
 #[must_use]
-pub fn eccentricity<T: Topology + ?Sized>(graph: &T, root: usize) -> usize {
+pub fn eccentricity<T: Topology>(graph: &T, root: usize) -> usize {
     bfs_tree(graph, root).depth()
 }
 

@@ -14,13 +14,13 @@ use crate::topology::Topology;
 /// Labels each node with a weak-component id (edges treated as undirected);
 /// returns `(labels, component_count)`.
 #[must_use]
-pub fn weak_components<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize) {
+pub fn weak_components<T: Topology>(graph: &T) -> (Vec<usize>, usize) {
     let n = graph.node_count();
     // Build an undirected adjacency once; successor-only traversal cannot
     // walk backwards over directed edges.
     let mut undirected: Vec<Vec<u32>> = vec![Vec::new(); n];
     for v in 0..n {
-        graph.for_each_successor(v, &mut |u| {
+        graph.visit_successors(v, |u| {
             undirected[v].push(u as u32);
             undirected[u].push(v as u32);
         });
@@ -49,7 +49,7 @@ pub fn weak_components<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize) {
 
 /// Whether the graph is weakly connected.
 #[must_use]
-pub fn weakly_connected<T: Topology + ?Sized>(graph: &T) -> bool {
+pub fn weakly_connected<T: Topology>(graph: &T) -> bool {
     weak_components(graph).1 <= 1
 }
 
@@ -57,7 +57,7 @@ pub fn weakly_connected<T: Topology + ?Sized>(graph: &T) -> bool {
 /// Returns one vector of node ids per component, in reverse topological
 /// order of the condensation.
 #[must_use]
-pub fn strongly_connected_components<T: Topology + ?Sized>(graph: &T) -> Vec<Vec<usize>> {
+pub fn strongly_connected_components<T: Topology>(graph: &T) -> Vec<Vec<usize>> {
     let n = graph.node_count();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![usize::MAX; n];
@@ -140,7 +140,7 @@ pub fn strongly_connected_components<T: Topology + ?Sized>(graph: &T) -> Vec<Vec
 /// needed is membership queries — `ids[u] == ids[v]` is O(1), whereas
 /// `components.iter().find(|c| c.contains(&v))` is O(components × size).
 #[must_use]
-pub fn scc_component_ids<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize) {
+pub fn scc_component_ids<T: Topology>(graph: &T) -> (Vec<usize>, usize) {
     let sccs = strongly_connected_components(graph);
     let mut ids = vec![usize::MAX; graph.node_count()];
     for (id, comp) in sccs.iter().enumerate() {
@@ -157,7 +157,7 @@ pub fn scc_component_ids<T: Topology + ?Sized>(graph: &T) -> (Vec<usize>, usize)
 #[must_use]
 pub fn largest_weak_component<T, F>(graph: &T, alive: F) -> Vec<usize>
 where
-    T: Topology + ?Sized,
+    T: Topology,
     F: Fn(usize) -> bool,
 {
     let n = graph.node_count();
@@ -166,7 +166,7 @@ where
         if !alive(v) {
             continue;
         }
-        graph.for_each_successor(v, &mut |u| {
+        graph.visit_successors(v, |u| {
             if alive(u) {
                 undirected[v].push(u as u32);
                 undirected[u].push(v as u32);

@@ -143,6 +143,16 @@ impl Topology for DeBruijn {
         }
     }
 
+    #[inline]
+    fn visit_successors<F: FnMut(usize)>(&self, v: usize, mut visit: F) {
+        // The d successors are the contiguous block starting at the
+        // shifted prefix — one multiply-add per node, d adds per edge.
+        let base = self.space.shift_append(v as u64, 0) as usize;
+        for a in 0..self.d() as usize {
+            visit(base + a);
+        }
+    }
+
     fn out_degree(&self, _v: usize) -> usize {
         self.d() as usize
     }

@@ -154,6 +154,13 @@ impl Topology for DiGraph {
         }
     }
 
+    #[inline]
+    fn visit_successors<F: FnMut(usize)>(&self, v: usize, mut visit: F) {
+        for &u in &self.out[v] {
+            visit(u as usize);
+        }
+    }
+
     fn successors(&self, v: usize) -> Vec<usize> {
         self.out[v].iter().map(|&u| u as usize).collect()
     }

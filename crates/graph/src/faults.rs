@@ -193,6 +193,25 @@ impl<T: Topology> Topology for FaultyView<'_, T> {
             }
         });
     }
+
+    #[inline]
+    fn visit_successors<F: FnMut(usize)>(&self, v: usize, mut visit: F) {
+        if self.faults.node_is_faulty(v) {
+            return;
+        }
+        self.graph.visit_successors(v, |u| {
+            if !self.faults.node_is_faulty(u) && !self.faults.edge_is_faulty(v, u) {
+                visit(u);
+            }
+        });
+    }
+
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        !self.faults.node_is_faulty(u)
+            && !self.faults.node_is_faulty(v)
+            && !self.faults.edge_is_faulty(u, v)
+            && self.graph.has_edge(u, v)
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,21 @@ pub trait Topology {
     /// underlying multigraph has parallel edges; self-loops included).
     fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize));
 
+    /// Monomorphized successor visit: like [`Topology::for_each_successor`]
+    /// but generic over the closure, so hot loops (BFS, component search,
+    /// protocol flooding) pay no dynamic dispatch per edge. The default
+    /// forwards to `for_each_successor`; implementors on hot paths
+    /// (implicit generators, fault-masked views) override it with a direct
+    /// loop. Not available on `dyn Topology` — trait objects keep using
+    /// `for_each_successor`.
+    #[inline]
+    fn visit_successors<F: FnMut(usize)>(&self, v: usize, mut visit: F)
+    where
+        Self: Sized,
+    {
+        self.for_each_successor(v, &mut visit);
+    }
+
     /// The successors of `v`, collected into a vector.
     fn successors(&self, v: usize) -> Vec<usize> {
         let mut out = Vec::new();
@@ -97,5 +112,44 @@ mod tests {
         let r: &dyn Topology = &g;
         assert_eq!(r.node_count(), 3);
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn visit_successors_matches_for_each_successor() {
+        use crate::debruijn::DeBruijn;
+        use crate::faults::FaultSet;
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 3);
+        g.add_edge(1, 2);
+        for v in 0..4 {
+            let mut a = Vec::new();
+            g.for_each_successor(v, &mut |u| a.push(u));
+            let mut b = Vec::new();
+            g.visit_successors(v, |u| b.push(u));
+            assert_eq!(a, b, "DiGraph node {v}");
+        }
+        let db = DeBruijn::new(3, 3);
+        let faults = FaultSet::from_nodes([5, 9]);
+        let view = faults.view(&db);
+        for v in 0..db.len() {
+            let mut a = Vec::new();
+            db.for_each_successor(v, &mut |u| a.push(u));
+            let mut b = Vec::new();
+            db.visit_successors(v, |u| b.push(u));
+            assert_eq!(a, b, "DeBruijn node {v}");
+            let mut a = Vec::new();
+            view.for_each_successor(v, &mut |u| a.push(u));
+            let mut b = Vec::new();
+            view.visit_successors(v, |u| b.push(u));
+            assert_eq!(a, b, "FaultyView node {v}");
+            for u in 0..db.len() {
+                assert_eq!(
+                    view.has_edge(v, u),
+                    a.contains(&u),
+                    "FaultyView has_edge({v},{u})"
+                );
+            }
+        }
     }
 }

@@ -72,7 +72,7 @@ impl Necklace {
 }
 
 /// The partition of all d^n words into necklaces, with O(1) lookup from a
-/// word to its necklace id.
+/// word to its necklace id and a CSR layout of every necklace's members.
 #[derive(Clone, Debug)]
 pub struct NecklacePartition {
     space: WordSpace,
@@ -80,36 +80,70 @@ pub struct NecklacePartition {
     membership: Vec<u32>,
     /// The necklaces, ordered by increasing representative.
     necklaces: Vec<Necklace>,
+    /// CSR offsets into [`NecklacePartition::neck_node`] (`len() + 1` entries).
+    neck_offset: Vec<u32>,
+    /// Necklace members in rotation order starting at the representative.
+    neck_node: Vec<u32>,
 }
 
 impl NecklacePartition {
-    /// Builds the necklace partition of the words of `space`.
+    /// Builds the necklace partition of the words of `space` with a single
+    /// FKM (Fredricksen–Kessler–Maiorana) necklace-enumeration pass: the
+    /// representatives arrive in increasing order with their periods for
+    /// free, so no word is ever canonicalised individually.
     #[must_use]
     pub fn new(space: WordSpace) -> Self {
+        Self::with_shards(space, 1)
+    }
+
+    /// [`NecklacePartition::new`] with the membership/CSR fill sharded
+    /// over `shards` scoped threads (clamped to at least 1). The output is
+    /// bit-identical at any shard count: shards own disjoint necklace-id
+    /// ranges, so every membership slot and CSR entry has exactly one
+    /// writer.
+    ///
+    /// # Panics
+    /// Panics if the space has more than `u32::MAX` words (the same node
+    /// indexing limit as the embedding engine's tables).
+    #[must_use]
+    pub fn with_shards(space: WordSpace, shards: usize) -> Self {
         let count = space.count() as usize;
-        let mut membership = vec![u32::MAX; count];
-        let mut necklaces = Vec::new();
-        for code in space.iter() {
-            if membership[code as usize] != u32::MAX {
-                continue;
-            }
-            // `code` is the smallest unvisited word, hence the representative.
-            let id = necklaces.len() as u32;
-            let neck = Necklace {
-                representative: code,
-                length: space.period(code),
-            };
-            let mut cur = code;
-            for _ in 0..neck.length {
-                membership[cur as usize] = id;
-                cur = space.rotate_left(cur);
-            }
-            necklaces.push(neck);
+        assert!(
+            u32::try_from(count).is_ok(),
+            "necklace tables index words with u32; {count} words is too large"
+        );
+        let necklaces = enumerate_necklaces(space);
+        let mut neck_offset = Vec::with_capacity(necklaces.len() + 1);
+        neck_offset.push(0u32);
+        let mut total = 0u32;
+        for neck in &necklaces {
+            total += neck.length;
+            neck_offset.push(total);
         }
+        debug_assert_eq!(total as usize, count, "necklace lengths must tile d^n");
+
+        let shards = shards.max(1).min(necklaces.len().max(1));
+        let (membership, neck_node) = if shards == 1 {
+            let mut membership = vec![u32::MAX; count];
+            let mut neck_node = vec![0u32; count];
+            fill_members(
+                &necklaces,
+                &neck_offset,
+                0,
+                space,
+                &mut neck_node,
+                |code, id| membership[code] = id,
+            );
+            (membership, neck_node)
+        } else {
+            fill_members_sharded(&necklaces, &neck_offset, space, count, shards)
+        };
         NecklacePartition {
             space,
             membership,
             necklaces,
+            neck_offset,
+            neck_node,
         }
     }
 
@@ -150,6 +184,23 @@ impl NecklacePartition {
     #[must_use]
     pub fn necklace(&self, id: usize) -> &Necklace {
         &self.necklaces[id]
+    }
+
+    /// The members of necklace `id` in rotation order starting at its
+    /// representative — a slice of the precomputed CSR layout, so hot
+    /// paths (fault marking in the embedding engine) never re-rotate.
+    #[must_use]
+    pub fn members(&self, id: usize) -> &[u32] {
+        let lo = self.neck_offset[id] as usize;
+        let hi = self.neck_offset[id + 1] as usize;
+        &self.neck_node[lo..hi]
+    }
+
+    /// The CSR offsets of [`NecklacePartition::members`] (`len() + 1`
+    /// entries): necklace `id` owns `neck_node[offset[id]..offset[id+1]]`.
+    #[must_use]
+    pub fn member_offsets(&self) -> &[u32] {
+        &self.neck_offset
     }
 
     /// All necklaces, ordered by increasing representative.
@@ -193,6 +244,125 @@ impl NecklacePartition {
             .map(|(_, n)| n.len())
             .sum()
     }
+}
+
+/// Enumerates every necklace of the space in increasing representative
+/// order via the FKM algorithm (Knuth 7.2.1.1, Algorithm F): generate the
+/// prenecklaces of length n in lex order; a prenecklace whose Lyndon-prefix
+/// length `i` divides n is a necklace with representative `a[1..=n]` and
+/// period `i`. Total work is linear in d^n — no per-word canonicalisation.
+fn enumerate_necklaces(space: WordSpace) -> Vec<Necklace> {
+    let d = space.d();
+    let n = space.n() as usize;
+    let mut a = vec![0u64; n + 1];
+    let code_of = |digits: &[u64]| -> u64 {
+        let mut v = 0u64;
+        for &x in &digits[1..=n] {
+            v = v * d + x;
+        }
+        v
+    };
+    let mut out = Vec::new();
+    // The all-zero word is the first necklace (period 1).
+    out.push(Necklace {
+        representative: 0,
+        length: 1,
+    });
+    loop {
+        let mut i = n;
+        while i > 0 && a[i] == d - 1 {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        a[i] += 1;
+        for j in (i + 1)..=n {
+            a[j] = a[j - i];
+        }
+        if n.is_multiple_of(i) {
+            out.push(Necklace {
+                representative: code_of(&a),
+                length: i as u32,
+            });
+        }
+    }
+    out
+}
+
+/// Walks the members of `necklaces[first_id..]` whose CSR slots fall in
+/// `neck_node` (already narrowed to the shard's slice): writes the CSR
+/// entries in rotation order ([`WordSpace::rotate_left`] is mask/shift
+/// arithmetic for power-of-two alphabets) and reports each `(code, id)`
+/// pair to `membership` (a closure so the serial and sharded fills can
+/// share the loop while storing into `Vec<u32>` and `Vec<AtomicU32>`
+/// respectively).
+fn fill_members<F: FnMut(usize, u32)>(
+    necklaces: &[Necklace],
+    neck_offset: &[u32],
+    first_id: usize,
+    space: WordSpace,
+    neck_node: &mut [u32],
+    mut membership: F,
+) {
+    let base = neck_offset[first_id] as usize;
+    for (k, neck) in necklaces.iter().enumerate() {
+        let id = (first_id + k) as u32;
+        let lo = neck_offset[first_id + k] as usize - base;
+        let mut cur = neck.representative;
+        for slot in &mut neck_node[lo..lo + neck.length as usize] {
+            *slot = cur as u32;
+            membership(cur as usize, id);
+            cur = space.rotate_left(cur);
+        }
+    }
+}
+
+/// The sharded membership/CSR fill: necklace ids are split into contiguous
+/// ranges balanced by member count; each scoped thread writes its own
+/// `neck_node` slice (disjoint by construction) and its members' slots of
+/// an atomic membership table (every word belongs to exactly one necklace,
+/// so the relaxed stores never race on a slot).
+fn fill_members_sharded(
+    necklaces: &[Necklace],
+    neck_offset: &[u32],
+    space: WordSpace,
+    count: usize,
+    shards: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    let membership: Vec<AtomicU32> = (0..count).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut neck_node = vec![0u32; count];
+    // Shard k owns necklace ids [bounds[k], bounds[k+1]): the first id
+    // whose CSR offset reaches the k-th equal slice of the node count.
+    let bounds: Vec<usize> = (0..=shards)
+        .map(|k| neck_offset.partition_point(|&o| (o as usize) < count * k / shards))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut rest = neck_node.as_mut_slice();
+        let mut consumed = 0usize;
+        for k in 0..shards {
+            let (lo, hi) = (bounds[k], bounds[k + 1]);
+            let span = neck_offset[hi] as usize - neck_offset[lo] as usize;
+            let (mine, tail) = rest.split_at_mut(span);
+            rest = tail;
+            debug_assert_eq!(neck_offset[lo] as usize, consumed);
+            consumed += span;
+            let necks = &necklaces[lo..hi];
+            let membership = &membership;
+            scope.spawn(move || {
+                fill_members(necks, neck_offset, lo, space, mine, |code, id| {
+                    membership[code].store(id, Ordering::Relaxed);
+                });
+            });
+        }
+    });
+    let membership = membership
+        .into_iter()
+        .map(std::sync::atomic::AtomicU32::into_inner)
+        .collect();
+    (membership, neck_node)
 }
 
 #[cfg(test)]
@@ -266,6 +436,89 @@ mod tests {
         for neck in part.necklaces() {
             for node in neck.nodes(s) {
                 assert!(neck.representative() <= node);
+            }
+        }
+    }
+
+    /// The retired per-node construction, kept as the oracle for the FKM
+    /// enumeration pass: scan codes in increasing order, claim each
+    /// unvisited code as a representative and rotate through its members.
+    fn reference_partition(space: WordSpace) -> (Vec<u32>, Vec<(u64, u32)>) {
+        let count = space.count() as usize;
+        let mut membership = vec![u32::MAX; count];
+        let mut necklaces = Vec::new();
+        for code in space.iter() {
+            if membership[code as usize] != u32::MAX {
+                continue;
+            }
+            let id = necklaces.len() as u32;
+            let period = space.period(code);
+            necklaces.push((code, period));
+            let mut cur = code;
+            for _ in 0..period {
+                membership[cur as usize] = id;
+                cur = space.rotate_left(cur);
+            }
+        }
+        (membership, necklaces)
+    }
+
+    #[test]
+    fn fkm_build_matches_per_node_reference() {
+        for (d, n) in [
+            (2u64, 1u32),
+            (2, 8),
+            (3, 5),
+            (4, 3),
+            (5, 2),
+            (6, 3),
+            (13, 2),
+        ] {
+            let s = WordSpace::new(d, n);
+            let part = NecklacePartition::new(s);
+            let (membership, necklaces) = reference_partition(s);
+            assert_eq!(part.membership(), &membership[..], "d={d} n={n}");
+            assert_eq!(part.len(), necklaces.len(), "d={d} n={n}");
+            for (neck, &(rep, period)) in part.necklaces().iter().zip(&necklaces) {
+                assert_eq!(neck.representative(), rep, "d={d} n={n}");
+                assert_eq!(neck.len() as u32, period, "d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_at_any_shard_count() {
+        for (d, n) in [(2u64, 9u32), (3, 4), (4, 3), (5, 2)] {
+            let s = WordSpace::new(d, n);
+            let serial = NecklacePartition::new(s);
+            for shards in [2usize, 3, 5, 16, 1000] {
+                let sharded = NecklacePartition::with_shards(s, shards);
+                assert_eq!(sharded.membership(), serial.membership(), "shards={shards}");
+                assert_eq!(sharded.necklaces(), serial.necklaces(), "shards={shards}");
+                assert_eq!(
+                    sharded.member_offsets(),
+                    serial.member_offsets(),
+                    "shards={shards}"
+                );
+                for id in 0..serial.len() {
+                    assert_eq!(sharded.members(id), serial.members(id), "shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_csr_matches_rotation_order() {
+        for (d, n) in [(2u64, 6u32), (3, 4)] {
+            let s = WordSpace::new(d, n);
+            let part = NecklacePartition::new(s);
+            for (id, neck) in part.necklaces().iter().enumerate() {
+                let members: Vec<u64> = part.members(id).iter().map(|&v| u64::from(v)).collect();
+                assert_eq!(members, neck.nodes(s), "d={d} n={n} id={id}");
+                assert_eq!(
+                    part.member_offsets()[id + 1] - part.member_offsets()[id],
+                    neck.len() as u32
+                );
             }
         }
     }

@@ -256,9 +256,9 @@ impl DistributedFfc {
                 broadcast_round += 1;
                 let mut outgoing = Vec::new();
                 for &v in &frontier {
-                    for u in g.successors(v) {
+                    g.visit_successors(v, |u| {
                         outgoing.push((v, u, Msg::Token { sender: v }));
-                    }
+                    });
                 }
                 if outgoing.is_empty() {
                     break;
@@ -366,7 +366,7 @@ impl DistributedFfc {
                 continue; // only the node with suffix w announces
             }
             let member_rep = rep_of(v);
-            for u in g.successors(v) {
+            g.visit_successors(v, |u| {
                 outgoing.push((
                     v,
                     u,
@@ -376,7 +376,7 @@ impl DistributedFfc {
                         parent_rep,
                     },
                 ));
-            }
+            });
         }
         let delivered = net.exchange(outgoing);
         // Absorb announcements relevant to the receiver's necklace.

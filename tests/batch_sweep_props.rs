@@ -91,8 +91,10 @@ proptest! {
         }
     }
 
-    /// Stats-only plans: the fast path reports the identical stats (and no
-    /// cycle) at every shard count.
+    /// Stats-only plans: the bit-parallel fast path reports the identical
+    /// stats (and no cycle) at every shard count — identical to both the
+    /// full-pipeline serial loop and the retained u8-stamp oracle path on
+    /// the same per-trial draws.
     #[test]
     fn stats_only_embed_batch_matches_serial(
         (d, n) in small_debruijn(),
@@ -103,6 +105,13 @@ proptest! {
         let ffc = Ffc::new(d, n);
         let plan = SweepPlan::new(sched, trials, seed);
         let expected = serial_oracle(&ffc, &plan.clone().collect_cycles(true));
+        // The u8-stamp oracle must agree with the full pipeline trial for
+        // trial before it is used as the comparison baseline.
+        let mut u8_scratch = EmbedScratch::new();
+        for (faults, stats, _) in &expected {
+            let got = ffc.embed_stats_into_u8(&mut u8_scratch, faults);
+            prop_assert_eq!(&got, stats, "u8 oracle diverges for {:?}", faults);
+        }
         for shards in [1usize, 2, 5] {
             let mut batch = BatchEmbedder::new(shards);
             type Row = (usize, Vec<usize>, EmbedStats, bool);
