@@ -22,6 +22,15 @@
 //!   so the row records `setup_ns`, the `stats_only` comparison, and
 //!   `batch` rows whose `speedup` is vs the serial **u8-stamp** loop (the
 //!   PR 2 engine this PR replaces).
+//! * **Full-ring tiers** (`"mode": "full"`) — B(2,16), B(2,18) and
+//!   B(2,20): the serial `embed_into` pipeline vs the parallel engine
+//!   (`embed_into_parallel`) at 1, 2, 4 and 8 shards, with the **cycle
+//!   bytes checksummed and asserted identical** between the two engines
+//!   at every shard count. The row's `speedup` is the best parallel
+//!   configuration over the serial full-embed loop; per-shard rows carry
+//!   `vs_serial`. This is the gate that keeps full-ring construction at
+//!   million-node scale monotone (and the CI bench-smoke job runs the
+//!   B(2,16) tier).
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
 //! [--smoke] [--check] [--trials N]`
@@ -43,21 +52,34 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// What a configuration measures.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Small tiers: full `embed_into` + textbook reference + stats-only
+    /// engines + batch rows.
+    Small,
+    /// Large tiers, stats-only engines and batch rows (no cycles).
+    StatsOnly,
+    /// Large tiers, full-ring construction: serial `embed_into` vs the
+    /// parallel engine, cycle bytes asserted identical.
+    FullRing,
+}
+
 /// One benchmarked configuration.
 struct Config {
     d: u64,
     n: u32,
     /// Engine trials (reference runs `trials / 20`, at least 20).
     trials: usize,
-    /// Whether the full `embed_into` + reference loops run (small tiers)
-    /// or only the stats-only engines (large tiers).
-    full: bool,
-    /// Skipped under `--smoke` (the B(2,20) tier).
+    /// What this tier measures.
+    mode: Mode,
+    /// Skipped under `--smoke` (the biggest tiers).
     skip_in_smoke: bool,
 }
 
-/// Shard counts the batch engine is measured at.
-const BATCH_SHARDS: [usize; 4] = [1, 2, 4, 8];
+/// Shard counts the batch engine and the parallel full-ring engine are
+/// measured at.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Timed repetitions per measurement; the fastest is reported.
 const REPS: usize = 3;
@@ -148,6 +170,7 @@ fn validate(contents: &str) -> Vec<String> {
         "\"batch\"",
         "\"embeds_per_sec\"",
         "\"stats_only\"",
+        "\"parallel\"",
     ] {
         if !contents.contains(key) {
             problems.push(format!("missing key {key}"));
@@ -216,14 +239,21 @@ fn main() {
         d,
         n,
         trials: scale(trials),
-        full: true,
+        mode: Mode::Small,
         skip_in_smoke: false,
     };
     let stats_tier = |d, n, trials, skip_in_smoke| Config {
         d,
         n,
         trials: scale(trials),
-        full: false,
+        mode: Mode::StatsOnly,
+        skip_in_smoke,
+    };
+    let ring_tier = |d, n, trials, skip_in_smoke| Config {
+        d,
+        n,
+        trials: scale(trials),
+        mode: Mode::FullRing,
         skip_in_smoke,
     };
     let configs = [
@@ -233,6 +263,9 @@ fn main() {
         full(4, 7, 400),
         stats_tier(2, 18, 60, false),
         stats_tier(2, 20, 20, true),
+        ring_tier(2, 16, 60, false),
+        ring_tier(2, 18, 16, true),
+        ring_tier(2, 20, 6, true),
     ];
 
     let mut entries = Vec::new();
@@ -249,6 +282,75 @@ fn main() {
         let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
         let label = format!("B({},{})", cfg.d, cfg.n);
+
+        if cfg.mode == Mode::FullRing {
+            // Full-ring tiers: the serial embed_into pipeline vs the
+            // parallel engine, cycle bytes checksummed and asserted
+            // identical at every shard count.
+            fn cycle_hash(scratch: &EmbedScratch) -> usize {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &v in scratch.cycle() {
+                    h = (h ^ v as u64).wrapping_mul(0x0100_0000_01b3);
+                }
+                h as usize
+            }
+            let _ = ffc.embed_into(&mut scratch, &sets[0]);
+            let (serial_ns, serial_eps, serial_sum) = time_loop(&sets, |f| {
+                let _ = ffc.embed_into(&mut scratch, f);
+                cycle_hash(&scratch)
+            });
+            eprintln!(
+                "{label}: full-ring serial {:.2} ms ({serial_eps:.1} embeds/s) \
+                 [checksum {serial_sum}]",
+                serial_ns / 1e6,
+            );
+            let mut par_rows = Vec::new();
+            let mut best_eps = 0.0f64;
+            let mut best_shards = 1usize;
+            for &shards in &SHARD_COUNTS {
+                let _ = ffc.embed_into_parallel(&mut scratch, &sets[0], shards);
+                let (par_ns, par_eps, par_sum) = time_loop(&sets, |f| {
+                    let _ = ffc.embed_into_parallel(&mut scratch, f, shards);
+                    cycle_hash(&scratch)
+                });
+                assert_eq!(
+                    par_sum, serial_sum,
+                    "parallel cycles diverge from serial on {label} x{shards}"
+                );
+                let vs = par_eps / serial_eps;
+                eprintln!(
+                    "{label}: full-ring parallel x{shards}: {:.2} ms ({vs:.2}x serial) \
+                     [checksum {par_sum}]",
+                    par_ns / 1e6,
+                );
+                if par_eps > best_eps {
+                    best_eps = par_eps;
+                    best_shards = shards;
+                }
+                par_rows.push(format!(
+                    "        {{ \"shards\": {shards}, \"embeds_per_sec\": {par_eps:.2}, \
+                     \"vs_serial\": {vs:.2} }}"
+                ));
+            }
+            let speedup = best_eps / serial_eps;
+            let mut entry = String::new();
+            write!(
+                entry,
+                "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
+                 \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+                 \"mode\": \"full\",\n      \
+                 \"embed_ns\": {serial_ns:.1},\n      \
+                 \"embeds_per_sec\": {serial_eps:.2},\n      \
+                 \"parallel\": [\n{}\n      ],\n      \
+                 \"parallel_best_shards\": {best_shards},\n      \
+                 \"speedup\": {speedup:.2}\n    }}",
+                sets.len(),
+                par_rows.join(",\n"),
+            )
+            .expect("writing to a String cannot fail");
+            entries.push(entry);
+            continue;
+        }
 
         // Stats-only paths head to head: PR 2's u8-stamp engine vs the
         // bit-parallel engine (warm-up sizes every buffer first).
@@ -278,7 +380,7 @@ fn main() {
         // reference; their batch rows compare against the serial
         // `embed_into` loop. Stats tiers compare batch against the serial
         // u8 loop (the engine this PR replaces).
-        let (serial_block, batch_baseline_eps) = if cfg.full {
+        let (serial_block, batch_baseline_eps) = if cfg.mode == Mode::Small {
             let _ = ffc.embed_into(&mut scratch, &sets[0]);
             let (embed_ns, embeds_per_sec, mut checksum) =
                 time_loop(&sets, |f| ffc.embed_into(&mut scratch, f).component_size);
@@ -319,7 +421,7 @@ fn main() {
         // plan, at increasing shard counts.
         let plan = SweepPlan::new(FaultSchedule::Cycling((0..=8).collect()), cfg.trials, seed);
         let mut batch_rows = Vec::new();
-        for &shards in &BATCH_SHARDS {
+        for &shards in &SHARD_COUNTS {
             let mut batch = BatchEmbedder::new(shards);
             // Warm up every shard's scratch before timing.
             let warm = SweepPlan::new(FaultSchedule::Cycling((0..=8).collect()), 2 * shards, seed);
@@ -368,7 +470,9 @@ fn main() {
          stats_only compares the u8-stamp stats engine (PR 2) against the bit-parallel engine \
          (speedup = u8/bit); batch rows are the stats-only sweep engine (embed_batch) — \
          speedup vs the serial embed_into loop on full tiers, vs the serial u8-stamp loop on \
-         mode=stats_only tiers\",\n  \
+         mode=stats_only tiers; mode=full tiers compare the serial embed_into pipeline against \
+         embed_into_parallel (cycle checksums asserted identical; speedup = best parallel \
+         configuration / serial, per-shard rows carry vs_serial)\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

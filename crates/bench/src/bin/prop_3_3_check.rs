@@ -1,9 +1,16 @@
 //! Verification sweep for Propositions 3.3 and 3.4: a fault-free Hamiltonian
 //! cycle exists under up to MAX{ψ(d)−1, φ(d)} link failures.
 //!
+//! Every row tallies per-trial outcomes — a trial beyond the guarantee that
+//! finds no cycle is *recorded* in the row (the typed `NoFaultFreeCycle`
+//! failure), never a reason to abort the sweep. Each (d, n) is swept both at
+//! the guaranteed tolerance and one fault past it (marked `+1`, informational:
+//! the theory promises nothing there). The process exits non-zero only if a
+//! **guaranteed** row missed a cycle.
+//!
 //! Usage: `cargo run --release -p dbg-bench --bin prop_3_3_check [trials]`
 
-use dbg_bench::props::edge_fault_sweep;
+use dbg_bench::props::edge_fault_sweep_at;
 use debruijn_core::{edge_fault_tolerance, phi_edge_bound, psi};
 
 fn main() {
@@ -14,9 +21,10 @@ fn main() {
 
     println!("Propositions 3.3/3.4: fault-free Hamiltonian cycles under link failures");
     println!(
-        "{:>3} {:>3} {:>6} {:>6} {:>10} {:>10} {:>10}",
-        "d", "n", "psi", "phi", "tolerance", "trials", "successes"
+        "{:>3} {:>3} {:>6} {:>6} {:>10} {:>8} {:>10} {:>10}",
+        "d", "n", "psi", "phi", "faults", "within", "trials", "successes"
     );
+    let mut violations = Vec::new();
     for (d, n) in [
         (3u64, 3u32),
         (4, 3),
@@ -29,18 +37,35 @@ fn main() {
         (12, 2),
         (28, 2),
     ] {
-        let s = edge_fault_sweep(d, n, trials, 31 * d + u64::from(n));
-        println!(
-            "{:>3} {:>3} {:>6} {:>6} {:>10} {:>10} {:>10}",
-            d,
-            n,
-            psi(d),
-            phi_edge_bound(d),
-            edge_fault_tolerance(d),
-            s.trials,
-            s.successes
-        );
-        assert_eq!(s.successes, s.trials, "tolerance violated for d={d}, n={n}");
+        let tolerance = edge_fault_tolerance(d) as usize;
+        for faults in [tolerance, tolerance + 1] {
+            let s = edge_fault_sweep_at(d, n, faults, trials, 31 * d + u64::from(n));
+            println!(
+                "{:>3} {:>3} {:>6} {:>6} {:>9}{} {:>8} {:>10} {:>10}",
+                d,
+                n,
+                psi(d),
+                phi_edge_bound(d),
+                s.faults,
+                if faults > tolerance { "+" } else { " " },
+                if s.guaranteed { "yes" } else { "no" },
+                s.trials,
+                s.successes
+            );
+            if s.guaranteed && s.successes != s.trials {
+                violations.push(format!(
+                    "tolerance violated for d={d}, n={n}: {}/{} trials succeeded",
+                    s.successes, s.trials
+                ));
+            }
+        }
     }
-    println!("\nAll sweeps met the guaranteed tolerance.");
+    if violations.is_empty() {
+        println!("\nAll guaranteed rows met the tolerance (over-budget rows are informational).");
+    } else {
+        for v in &violations {
+            eprintln!("FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
 }

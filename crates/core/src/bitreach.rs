@@ -29,6 +29,53 @@
 //! keep the scalar top-down walk throughout — same results, no dense
 //! sweeps — so every (d, n) runs through one code path with one set of
 //! buffers ([`BitScratch`], embedded in the engine's `EmbedScratch`).
+//!
+//! # The multi-shard parallel passes
+//!
+//! [`BitReach::forward_par`], [`BitReach::backward_par`] and
+//! [`BitReach::broadcast_levels_par`] run the same direction-optimizing
+//! passes sharded over scoped threads: every bitmap (visited, the
+//! ping-pong frontiers, the fold buffer) is split into contiguous
+//! **word ranges**, each owned by exactly one shard, and the per-level
+//! fold → expand phases are separated by barriers so a shard only ever
+//! reads words another shard wrote *before* the last barrier. The cells
+//! are relaxed atomics ([`AtomicCells`]) — single-writer-per-word, with
+//! the barriers providing the ordering — the same discipline as
+//! `NecklacePartition::with_shards`. Sparse (top-down) levels are
+//! executed by shard 0 alone while the others wait, exactly mirroring
+//! the serial regime schedule, so the visited sets, level counts **and
+//! emission bytes** are bit-identical to the serial engine at every
+//! shard count. Shapes that cannot run dense sweeps (and `shards <= 1`)
+//! simply delegate to the serial pass.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// The engine indexes nodes with `u32` (queues, CSR offsets, frontier
+/// ids): a space whose node count exceeds [`u32::MAX`] cannot be
+/// represented. Returned by [`BitReach::try_new`] (and re-used by
+/// `Ffc::try_new`) instead of silently truncating ids in release builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpaceTooLarge {
+    /// The node count that overflowed the u32 id space, when it is itself
+    /// representable in a u64 (`None` when even d^n overflowed u64).
+    pub n_nodes: Option<u64>,
+}
+
+impl std::fmt::Display for SpaceTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.n_nodes {
+            Some(n) => write!(
+                f,
+                "graph has {n} nodes, but the engine indexes nodes with u32 (max {})",
+                u32::MAX
+            ),
+            None => write!(f, "graph node count d^n overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceTooLarge {}
 
 /// Spreads the low 32 bits of `x` so that bit `i` lands on bits `2i` and
 /// `2i+1` — the factor-two bit expansion of the forward sweep.
@@ -209,6 +256,139 @@ fn grow_words(v: &mut Vec<u64>, words: usize) {
     }
 }
 
+/// A growable vector of relaxed-atomic u64 cells — the shared-write
+/// buffers of the multi-shard passes. Every cell has exactly one writer
+/// per phase; the inter-phase barriers (or the scope join) provide the
+/// ordering, so all accesses are `Relaxed` (plain loads/stores on every
+/// mainstream ISA).
+#[derive(Debug, Default)]
+pub struct AtomicCells(Vec<AtomicU64>);
+
+impl Clone for AtomicCells {
+    fn clone(&self) -> Self {
+        AtomicCells(
+            self.0
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+        )
+    }
+}
+
+impl AtomicCells {
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Grows to at least `len` zeroed cells without shrinking.
+    pub fn grow(&mut self, len: usize) {
+        if self.0.len() < len {
+            self.0.resize_with(len, AtomicU64::default);
+        }
+    }
+
+    /// Relaxed load of cell `i`.
+    #[inline]
+    #[must_use]
+    pub fn load(&self, i: usize) -> u64 {
+        self.0[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store to cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        self.0[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Relaxed atomic minimum on cell `i` (for cross-shard min-reductions).
+    #[inline]
+    pub fn fetch_min(&self, i: usize, v: u64) {
+        self.0[i].fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        8 * self.0.capacity()
+    }
+}
+
+/// The shared-write buffers of the multi-shard parallel passes: the
+/// active visited bitmap, the ping-pong frontier bitmaps, the fold
+/// scratch, and the per-shard/level bookkeeping cells. Grow-only, like
+/// [`BitScratch`]; after the first parallel pass at a given shape and
+/// shard count no method allocates (beyond the scoped worker threads
+/// themselves).
+#[derive(Debug, Default)]
+pub struct ParBitScratch {
+    /// Visited bitmap of the running pass (copied back into the plain
+    /// [`BitScratch`] set when the pass finishes).
+    vis: AtomicCells,
+    /// Ping-pong frontier bitmaps (`front[pp]` is the current level).
+    front: [AtomicCells; 2],
+    /// Fold/squash scratch of the dense kernels.
+    fold: AtomicCells,
+    /// Per-shard newly-visited counts of the current dense level.
+    counts: AtomicCells,
+    /// Frontier length published by shard 0 after a sparse level.
+    sparse_len: AtomicUsize,
+}
+
+impl Clone for ParBitScratch {
+    fn clone(&self) -> Self {
+        ParBitScratch {
+            vis: self.vis.clone(),
+            front: self.front.clone(),
+            fold: self.fold.clone(),
+            counts: self.counts.clone(),
+            sparse_len: AtomicUsize::new(self.sparse_len.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl ParBitScratch {
+    /// Creates an empty scratch; buffers are sized by the first pass.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently reserved by the scratch's buffers.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.vis.allocated_bytes()
+            + self.front[0].allocated_bytes()
+            + self.front[1].allocated_bytes()
+            + self.fold.allocated_bytes()
+            + self.counts.allocated_bytes()
+    }
+
+    /// Grows the buffers to `reach`'s shape and `shards` workers.
+    fn prepare(&mut self, reach: &BitReach, shards: usize) {
+        self.vis.grow(reach.words);
+        self.front[0].grow(reach.words);
+        self.front[1].grow(reach.words);
+        self.fold.grow(reach.suffix_words);
+        self.counts.grow(shards);
+    }
+}
+
+/// The contiguous word range shard `shard` of `shards` owns out of
+/// `words` total (the same even split at every call site, so fold and
+/// expand ranges always tile their buffers).
+pub(crate) fn shard_words(words: usize, shards: usize, shard: usize) -> std::ops::Range<usize> {
+    let per = words.div_ceil(shards.max(1));
+    (shard * per).min(words)..((shard + 1) * per).min(words)
+}
+
 /// The bit-parallel reachability engine for one B(d,n) shape: word-level
 /// constants plus the three direction-optimizing passes the FFC embedding
 /// runs (forward, backward, broadcast).
@@ -236,20 +416,61 @@ pub struct BitReach {
 impl BitReach {
     /// The engine for B(d,n) given `d` and `n_nodes = d^n`, with the
     /// production [`DensePolicy::Auto`].
+    ///
+    /// # Panics
+    /// Panics if the node ids do not fit the engine's u32 indexing
+    /// ([`BitReach::try_new`] is the non-panicking variant).
     #[must_use]
     pub fn new(d: usize, n_nodes: usize) -> Self {
         Self::with_policy(d, n_nodes, DensePolicy::Auto)
+    }
+
+    /// [`BitReach::new`], rejecting spaces whose node ids overflow the
+    /// engine's u32 indexing with a typed error instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`SpaceTooLarge`] when `n_nodes > u32::MAX` — in release
+    /// builds the queue and CSR stores would otherwise silently truncate
+    /// ids (`v as u32`).
+    pub fn try_new(d: usize, n_nodes: usize) -> Result<Self, SpaceTooLarge> {
+        Self::try_with_policy(d, n_nodes, DensePolicy::Auto)
+    }
+
+    /// [`BitReach::try_new`] with an explicit density policy.
+    ///
+    /// # Errors
+    /// Returns [`SpaceTooLarge`] when `n_nodes` exceeds [`u32::MAX`].
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` is not `d` times a whole suffix count.
+    pub fn try_with_policy(
+        d: usize,
+        n_nodes: usize,
+        policy: DensePolicy,
+    ) -> Result<Self, SpaceTooLarge> {
+        if u32::try_from(n_nodes).is_err() {
+            return Err(SpaceTooLarge {
+                n_nodes: Some(n_nodes as u64),
+            });
+        }
+        Ok(Self::with_policy(d, n_nodes, policy))
     }
 
     /// [`BitReach::new`] with an explicit density policy (the differential
     /// tests pin `Never == Auto == Always`).
     ///
     /// # Panics
-    /// Panics if `n_nodes` is not `d` times a whole suffix count.
+    /// Panics if `n_nodes` is not `d` times a whole suffix count, or if
+    /// the node ids do not fit the engine's u32 indexing.
     #[must_use]
     pub fn with_policy(d: usize, n_nodes: usize, policy: DensePolicy) -> Self {
         assert!(d >= 2, "alphabet size d must be at least 2");
         assert_eq!(n_nodes % d, 0, "n_nodes must be d^n");
+        assert!(
+            u32::try_from(n_nodes).is_ok(),
+            "the engine indexes nodes with u32; {n_nodes} nodes is too large \
+             (use BitReach::try_new to handle this without panicking)"
+        );
         let suffix = n_nodes / d;
         let pow2 = d.is_power_of_two() && suffix.is_power_of_two();
         let dense_capable = pow2 && d <= 64 && suffix.is_multiple_of(64);
@@ -417,6 +638,371 @@ impl BitReach {
             self.run::<true, false>(vis, cur, nxt, fold, root, sink)
         } else {
             self.run::<false, false>(vis, cur, nxt, fold, root, sink)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The multi-shard parallel passes.
+    // ------------------------------------------------------------------
+
+    /// [`BitReach::forward`] sharded over `shards` scoped threads —
+    /// bit-identical results (visited set, count, depth) at any shard
+    /// count. Delegates to the serial pass when `shards <= 1` or the
+    /// shape cannot run dense sweeps.
+    pub fn forward_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        shards: usize,
+    ) -> (usize, usize) {
+        if shards <= 1 || !self.dense_capable {
+            return self.forward(s, root);
+        }
+        par.prepare(self, shards);
+        let BitScratch {
+            dead,
+            fwd,
+            cur,
+            nxt,
+            ..
+        } = s;
+        fwd[..self.words].copy_from_slice(&dead[..self.words]);
+        self.run_par::<false>(fwd, &mut cur.queue, &mut nxt.queue, par, root, shards, None)
+    }
+
+    /// [`BitReach::backward`] sharded over `shards` scoped threads (see
+    /// [`BitReach::forward_par`] for the delegation rules).
+    pub fn backward_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        shards: usize,
+    ) {
+        if shards <= 1 || !self.dense_capable {
+            return self.backward(s, root);
+        }
+        par.prepare(self, shards);
+        let BitScratch {
+            dead,
+            bwd,
+            cur,
+            nxt,
+            ..
+        } = s;
+        bwd[..self.words].copy_from_slice(&dead[..self.words]);
+        let _ = self.run_par::<true>(bwd, &mut cur.queue, &mut nxt.queue, par, root, shards, None);
+    }
+
+    /// [`BitReach::broadcast_levels`] sharded over `shards` scoped
+    /// threads. The emitted nodes and CSR offsets are **byte-identical**
+    /// to the serial pass at any shard count: the parallel pass follows
+    /// the identical sparse/dense regime schedule (the switch depends
+    /// only on the global frontier length), sparse levels are emitted in
+    /// the serial discovery order by shard 0, and dense levels in
+    /// increasing id order like the serial bottom-up sweep.
+    pub fn broadcast_levels_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        shards: usize,
+    ) -> (usize, usize) {
+        if shards <= 1 || !self.dense_capable {
+            return self.broadcast_levels(s, root, nodes, offsets);
+        }
+        par.prepare(self, shards);
+        let BitScratch {
+            dead,
+            fwd,
+            bwd,
+            vis,
+            cur,
+            nxt,
+            ..
+        } = s;
+        for (((v, &f), &b), &x) in vis[..self.words]
+            .iter_mut()
+            .zip(&fwd[..self.words])
+            .zip(&bwd[..self.words])
+            .zip(&dead[..self.words])
+        {
+            *v = !(f & b) | x;
+        }
+        nodes.clear();
+        offsets.clear();
+        self.run_par::<false>(
+            vis,
+            &mut cur.queue,
+            &mut nxt.queue,
+            par,
+            root,
+            shards,
+            Some(LevelSink { nodes, offsets }),
+        )
+    }
+
+    /// The sharded direction-optimizing pass: shard 0 (the caller thread)
+    /// leads — it runs the scalar sparse levels, the sink emission and
+    /// the representation conversions — while `shards - 1` scoped
+    /// workers join it for the word-range-sharded dense levels, with two
+    /// to three barriers per level keeping the single-writer-per-word
+    /// discipline. `vis` arrives seeded (dead / out-of-scope bits set)
+    /// and receives the final visited bitmap back.
+    #[allow(clippy::too_many_arguments)] // one pass kernel, not an API
+    fn run_par<const BACKWARD: bool>(
+        &self,
+        vis: &mut [u64],
+        qcur: &mut Vec<u32>,
+        qnxt: &mut Vec<u32>,
+        par: &ParBitScratch,
+        root: usize,
+        shards: usize,
+        mut sink: Option<LevelSink<'_>>,
+    ) -> (usize, usize) {
+        debug_assert!(self.dense_capable && shards > 1);
+        debug_assert!(root < self.n_nodes, "root out of range");
+        debug_assert!(vis[root / 64] & (1 << (root % 64)) == 0, "root not live");
+        vis[root / 64] |= 1 << (root % 64);
+        for (i, &w) in vis[..self.words].iter().enumerate() {
+            par.vis.store(i, w);
+        }
+        qcur.clear();
+        qcur.push(root as u32);
+        let init_dense = self.want_dense(1, false);
+        if init_dense {
+            for i in 0..self.words {
+                par.front[0].store(i, 0);
+            }
+            par.front[0].store(root / 64, 1u64 << (root % 64));
+        }
+        if let Some(sink) = sink.as_mut() {
+            sink.offsets.push(0);
+            sink.nodes.push(root as u32);
+        }
+        let barrier = Barrier::new(shards);
+        let (count, depth) = std::thread::scope(|scope| {
+            for k in 1..shards {
+                let barrier = &barrier;
+                let par = &*par;
+                scope.spawn(move || {
+                    self.par_worker::<BACKWARD>(par, barrier, shards, k, init_dense);
+                });
+            }
+            // Shard 0: the leader loop.
+            let srange = shard_words(self.suffix_words, shards, 0);
+            let wrange = shard_words(self.words, shards, 0);
+            let mut cur_dense = init_dense;
+            let mut pp = 0usize;
+            let mut count = 1usize;
+            let mut depth = 0usize;
+            loop {
+                if cur_dense {
+                    self.par_fold::<BACKWARD>(par, pp, srange.clone());
+                    barrier.wait();
+                    let newly = self.par_expand::<BACKWARD>(par, pp, wrange.clone());
+                    par.counts.store(0, newly as u64);
+                } else {
+                    self.par_step_sparse::<BACKWARD>(par, qcur, qnxt);
+                    par.sparse_len.store(qnxt.len(), Ordering::Relaxed);
+                }
+                barrier.wait();
+                let nxt_len = if cur_dense {
+                    (0..shards).map(|k| par.counts.load(k) as usize).sum()
+                } else {
+                    qnxt.len()
+                };
+                if nxt_len == 0 {
+                    break;
+                }
+                count += nxt_len;
+                depth += 1;
+                if let Some(sink) = sink.as_mut() {
+                    if cur_dense {
+                        emit_cells(sink, &par.front[pp ^ 1], self.words);
+                    } else {
+                        emit_queue(sink, qnxt);
+                    }
+                }
+                let want = self.want_dense(nxt_len, cur_dense);
+                match (cur_dense, want) {
+                    // Stay sparse: the new queue becomes current.
+                    (false, false) => std::mem::swap(qcur, qnxt),
+                    // Sparse → dense: materialise the new frontier bitmap
+                    // where the flip will look for it.
+                    (false, true) => {
+                        for i in 0..self.words {
+                            par.front[pp ^ 1].store(i, 0);
+                        }
+                        for &v in qnxt.iter() {
+                            let v = v as usize;
+                            let j = v / 64;
+                            par.front[pp ^ 1].store(j, par.front[pp ^ 1].load(j) | 1 << (v % 64));
+                        }
+                    }
+                    // Dense → sparse: extract ids in increasing order
+                    // (the serial conversion's order).
+                    (true, false) => {
+                        qcur.clear();
+                        for j in 0..self.words {
+                            let mut w = par.front[pp ^ 1].load(j);
+                            while w != 0 {
+                                qcur.push((j * 64) as u32 + w.trailing_zeros());
+                                w &= w - 1;
+                            }
+                        }
+                    }
+                    (true, true) => {}
+                }
+                barrier.wait();
+                pp ^= 1;
+                cur_dense = want;
+            }
+            (count, depth)
+        });
+        if let Some(sink) = sink.as_mut() {
+            sink.offsets.push(sink.nodes.len() as u32);
+        }
+        // Hand the visited bitmap back for component/B* queries.
+        for (i, w) in vis[..self.words].iter_mut().enumerate() {
+            *w = par.vis.load(i);
+        }
+        (count, depth)
+    }
+
+    /// A follower shard's level loop: joins the dense fold/expand phases
+    /// over its word ranges and idles through sparse levels. Its regime
+    /// decisions replay the leader's exactly (they depend only on the
+    /// shared level lengths), so the barrier sequences always agree.
+    fn par_worker<const BACKWARD: bool>(
+        &self,
+        par: &ParBitScratch,
+        barrier: &Barrier,
+        shards: usize,
+        shard: usize,
+        init_dense: bool,
+    ) {
+        let srange = shard_words(self.suffix_words, shards, shard);
+        let wrange = shard_words(self.words, shards, shard);
+        let mut cur_dense = init_dense;
+        let mut pp = 0usize;
+        loop {
+            if cur_dense {
+                self.par_fold::<BACKWARD>(par, pp, srange.clone());
+                barrier.wait();
+                let newly = self.par_expand::<BACKWARD>(par, pp, wrange.clone());
+                par.counts.store(shard, newly as u64);
+            }
+            barrier.wait();
+            let nxt_len = if cur_dense {
+                (0..shards).map(|k| par.counts.load(k) as usize).sum()
+            } else {
+                par.sparse_len.load(Ordering::Relaxed)
+            };
+            if nxt_len == 0 {
+                return;
+            }
+            let want = self.want_dense(nxt_len, cur_dense);
+            barrier.wait();
+            pp ^= 1;
+            cur_dense = want;
+        }
+    }
+
+    /// Fold phase of one sharded dense level over `range` of the fold
+    /// buffer (reads the whole current frontier, writes only `range`).
+    fn par_fold<const BACKWARD: bool>(
+        &self,
+        par: &ParBitScratch,
+        pp: usize,
+        range: std::ops::Range<usize>,
+    ) {
+        let d = self.d;
+        let bits_per = 64 / d;
+        let cur = &par.front[pp];
+        if BACKWARD {
+            for i in range {
+                let mut acc = 0u64;
+                for t in 0..d {
+                    acc |= self.squash(cur.load(d * i + t)) << (t * bits_per);
+                }
+                par.fold.store(i, acc);
+            }
+        } else {
+            for i in range {
+                let mut acc = 0u64;
+                for a in 0..d {
+                    acc |= cur.load(i + a * self.suffix_words);
+                }
+                par.fold.store(i, acc);
+            }
+        }
+    }
+
+    /// Expand phase of one sharded dense level over `range` of the
+    /// visited/next bitmaps (single writer per word); returns the number
+    /// of newly visited nodes in the range. Identical word math to the
+    /// serial [`BitReach::step_dense`].
+    fn par_expand<const BACKWARD: bool>(
+        &self,
+        par: &ParBitScratch,
+        pp: usize,
+        range: std::ops::Range<usize>,
+    ) -> usize {
+        let d = self.d;
+        let bits_per = 64 / d;
+        let chunk_mask = if bits_per == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits_per) - 1
+        };
+        let nxt = &par.front[pp ^ 1];
+        let mut newly = 0usize;
+        for j in range {
+            let word = if BACKWARD {
+                par.fold.load(j % self.suffix_words)
+            } else {
+                let g = par.fold.load(j / d);
+                self.expand((g >> ((j % d) * bits_per)) & chunk_mask)
+            };
+            let seen = par.vis.load(j);
+            let new = word & !seen;
+            par.vis.store(j, seen | new);
+            nxt.store(j, new);
+            newly += new.count_ones() as usize;
+        }
+        newly
+    }
+
+    /// The leader's scalar sparse step on the shared visited bitmap —
+    /// the atomic-cell twin of [`BitReach::step_sparse`] (parallel
+    /// passes only run on dense-capable, hence power-of-two, shapes).
+    fn par_step_sparse<const BACKWARD: bool>(
+        &self,
+        par: &ParBitScratch,
+        qcur: &[u32],
+        qnxt: &mut Vec<u32>,
+    ) {
+        debug_assert!(self.pow2);
+        qnxt.clear();
+        for &v in qcur {
+            let v = v as usize;
+            for a in 0..self.d {
+                let u = if BACKWARD {
+                    (v >> self.d_log) + (a << self.suffix_log)
+                } else {
+                    ((v & (self.suffix - 1)) << self.d_log) + a
+                };
+                let (j, m) = (u / 64, 1u64 << (u % 64));
+                let seen = par.vis.load(j);
+                if seen & m == 0 {
+                    par.vis.store(j, seen | m);
+                    qnxt.push(u as u32);
+                }
+            }
         }
     }
 
@@ -631,6 +1217,19 @@ fn emit_queue(sink: &mut LevelSink<'_>, queue: &[u32]) {
     sink.nodes.extend_from_slice(queue);
 }
 
+/// Appends a dense level held in atomic cells to the sink (set bits in
+/// increasing id order, exactly like [`emit_bits`]).
+fn emit_cells(sink: &mut LevelSink<'_>, cells: &AtomicCells, words: usize) {
+    sink.offsets.push(sink.nodes.len() as u32);
+    for j in 0..words {
+        let mut w = cells.load(j);
+        while w != 0 {
+            sink.nodes.push((j * 64) as u32 + w.trailing_zeros());
+            w &= w - 1;
+        }
+    }
+}
+
 /// Appends a dense level to the sink (set bits in increasing id order).
 fn emit_bits(sink: &mut LevelSink<'_>, bits: &[u64]) {
     sink.offsets.push(sink.nodes.len() as u32);
@@ -825,6 +1424,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The sharded passes must reproduce the serial engine byte for byte
+    /// at every shard count: forward counts/depths, the visited sets (via
+    /// `in_bstar` over every node), component sizes, and the broadcast's
+    /// emitted nodes/offsets **including their order** — on dense-capable
+    /// shapes (both regimes) and on shapes that delegate to the serial
+    /// pass.
+    #[test]
+    fn parallel_passes_match_serial_at_every_shard_count() {
+        let shapes = [(2usize, 1 << 10), (4, 1 << 10), (2, 1 << 7), (3, 243)];
+        let mut rng = StdRng::seed_from_u64(0x9a11);
+        for &(d, n_nodes) in &shapes {
+            let reach = BitReach::new(d, n_nodes);
+            for trial in 0..10 {
+                let root = 1usize;
+                let deaths = [0, 1, 3, n_nodes / 16, n_nodes / 3][trial % 5];
+                let dead = random_dead(n_nodes, deaths, root, &mut rng);
+                let removed = dead.iter().filter(|&&x| x).count();
+                // Serial oracle run.
+                let mut ser = BitScratch::new();
+                reach.prepare(&mut ser);
+                for (v, &x) in dead.iter().enumerate() {
+                    if x {
+                        reach.kill(&mut ser, v);
+                    }
+                }
+                let want_fwd = reach.forward(&mut ser, root);
+                reach.backward(&mut ser, root);
+                let want_component = reach.component_size(&ser, removed);
+                let mut want_nodes = Vec::new();
+                let mut want_offsets = Vec::new();
+                let want_bcast =
+                    reach.broadcast_levels(&mut ser, root, &mut want_nodes, &mut want_offsets);
+                for shards in 1..=5usize {
+                    let mut s = BitScratch::new();
+                    let mut par = ParBitScratch::new();
+                    reach.prepare(&mut s);
+                    for (v, &x) in dead.iter().enumerate() {
+                        if x {
+                            reach.kill(&mut s, v);
+                        }
+                    }
+                    let got_fwd = reach.forward_par(&mut s, &mut par, root, shards);
+                    assert_eq!(got_fwd, want_fwd, "forward d={d} n={n_nodes} x{shards}");
+                    reach.backward_par(&mut s, &mut par, root, shards);
+                    assert_eq!(
+                        reach.component_size(&s, removed),
+                        want_component,
+                        "component d={d} n={n_nodes} x{shards}"
+                    );
+                    for v in 0..n_nodes {
+                        assert_eq!(
+                            reach.in_bstar(&s, v),
+                            reach.in_bstar(&ser, v),
+                            "in_bstar v={v} x{shards}"
+                        );
+                    }
+                    let mut nodes = Vec::new();
+                    let mut offsets = Vec::new();
+                    let got_bcast = reach.broadcast_levels_par(
+                        &mut s,
+                        &mut par,
+                        root,
+                        &mut nodes,
+                        &mut offsets,
+                        shards,
+                    );
+                    assert_eq!(
+                        got_bcast, want_bcast,
+                        "broadcast d={d} n={n_nodes} x{shards}"
+                    );
+                    assert_eq!(
+                        nodes, want_nodes,
+                        "emission bytes d={d} n={n_nodes} x{shards}"
+                    );
+                    assert_eq!(offsets, want_offsets, "offsets d={d} n={n_nodes} x{shards}");
+                }
+            }
+        }
+    }
+
+    /// Oversized node spaces must be rejected with the typed error, not
+    /// silently truncated to u32 ids in release builds.
+    #[test]
+    fn oversized_spaces_are_rejected_with_a_typed_error() {
+        let too_big = (u64::from(u32::MAX) + 1) as usize;
+        let err = BitReach::try_new(2, too_big).expect_err("2^32 nodes must not fit");
+        assert_eq!(err.n_nodes, Some(too_big as u64));
+        assert!(err.to_string().contains("u32"));
+        // The boundary itself is fine (ids 0..=u32::MAX - 1).
+        assert!(BitReach::try_new(2, 1 << 20).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_space_panics_in_the_panicking_constructor() {
+        let _ = BitReach::new(2, (u64::from(u32::MAX) + 1) as usize);
     }
 
     #[test]

@@ -32,6 +32,32 @@ pub struct EdgeFaultEmbedder {
     graph: DeBruijn,
 }
 
+/// Typed failure of [`EdgeFaultEmbedder::try_hamiltonian_avoiding`]: both
+/// mechanisms came up empty. Guaranteed not to occur while the genuine
+/// fault count stays within [`EdgeFaultEmbedder::tolerance`]; beyond the
+/// guarantee it is an *expected* per-input outcome that sweep rows should
+/// record, not a reason to abort a whole run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoFaultFreeCycle {
+    /// Genuine faulty links considered (non-loop, existing, deduplicated).
+    pub faults: usize,
+    /// The guaranteed tolerance MAX{ψ(d) − 1, φ(d)} of this alphabet.
+    pub tolerance: u64,
+}
+
+impl std::fmt::Display for NoFaultFreeCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no fault-free Hamiltonian cycle found for {} faulty links \
+             (guaranteed only up to the tolerance of {})",
+            self.faults, self.tolerance
+        )
+    }
+}
+
+impl std::error::Error for NoFaultFreeCycle {}
+
 impl EdgeFaultEmbedder {
     /// Creates the embedder for B(d,n) (n ≥ 2).
     #[must_use]
@@ -60,6 +86,22 @@ impl EdgeFaultEmbedder {
     /// beyond that it may still succeed but can return `None`.
     #[must_use]
     pub fn hamiltonian_avoiding(&self, faulty_edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+        self.try_hamiltonian_avoiding(faulty_edges).ok()
+    }
+
+    /// [`EdgeFaultEmbedder::hamiltonian_avoiding`] with a typed failure:
+    /// on over-budget inputs the error carries the genuine fault count
+    /// next to the guarantee, so sweep drivers (the table-3.x binaries)
+    /// can record a per-row failure instead of aborting the whole run.
+    ///
+    /// # Errors
+    /// Returns [`NoFaultFreeCycle`] when neither the translate-repair
+    /// mechanism nor the disjoint-family selection produces a fault-free
+    /// Hamiltonian cycle — possible only beyond the guaranteed tolerance.
+    pub fn try_hamiltonian_avoiding(
+        &self,
+        faulty_edges: &[(usize, usize)],
+    ) -> Result<Vec<usize>, NoFaultFreeCycle> {
         let space = self.graph.space();
         // Loop edges can never lie on a Hamiltonian cycle of ≥ 2 nodes, and
         // non-edges cannot be used either; both are dropped. Repeated fault
@@ -87,13 +129,18 @@ impl EdgeFaultEmbedder {
         if let Some(symbols) = hamiltonian_symbols_avoiding(space.d(), space.n(), &fault_digits) {
             let cycle = nodes_from_symbols(space, &symbols);
             if cycle_avoids(&cycle, &faults) {
-                return Some(cycle);
+                return Ok(cycle);
             }
         }
 
         // Mechanism 2: one of the ψ(d) disjoint Hamiltonian cycles survives.
         let dhc = DisjointHamiltonianCycles::construct(space.d(), space.n());
-        dhc.fault_free_cycle(&faults).cloned()
+        dhc.fault_free_cycle(&faults)
+            .cloned()
+            .ok_or(NoFaultFreeCycle {
+                faults: faults.len(),
+                tolerance: Self::tolerance(space.d()),
+            })
     }
 }
 
@@ -269,6 +316,38 @@ mod tests {
         assert_eq!(faults.len() as u64, d - 1);
         let embedder = EdgeFaultEmbedder::new(d, n);
         assert!(embedder.hamiltonian_avoiding(&faults).is_none());
+    }
+
+    /// Satellite regression: an over-budget fault set must surface as a
+    /// typed, recordable failure — carrying the genuine fault count next
+    /// to the guarantee — rather than forcing callers to panic the whole
+    /// sweep (the old `unwrap_or_else(panic!)` table-driver pattern).
+    #[test]
+    fn over_budget_fault_sets_report_a_typed_failure() {
+        let (d, n) = (4u64, 2u32);
+        let g = DeBruijn::new(d, n);
+        let zero = 0usize;
+        // The d − 1 = 3 in-edges of 0^n: one past φ(4) = 2 and
+        // ψ(4) − 1 = 2, and provably unembeddable.
+        let faults: Vec<(usize, usize)> = g
+            .predecessors(zero)
+            .into_iter()
+            .filter(|&u| u != zero)
+            .map(|u| (u, zero))
+            .collect();
+        let embedder = EdgeFaultEmbedder::new(d, n);
+        let err = embedder
+            .try_hamiltonian_avoiding(&faults)
+            .expect_err("3 faults around 0^n defeat B(4,2)");
+        assert_eq!(err.faults, 3);
+        assert_eq!(err.tolerance, EdgeFaultEmbedder::tolerance(d));
+        assert!(err.faults as u64 > err.tolerance, "failure is over budget");
+        assert!(err.to_string().contains("3 faulty links"));
+        // Within budget, the Result arm round-trips the same cycles.
+        let ok = embedder
+            .try_hamiltonian_avoiding(&faults[..2])
+            .expect("2 faults are within the guarantee");
+        assert_eq!(Some(ok), embedder.hamiltonian_avoiding(&faults[..2]));
     }
 
     #[test]

@@ -60,7 +60,7 @@ use dbg_graph::algo::components::scc_component_ids;
 use dbg_graph::{DeBruijn, Topology};
 use dbg_necklace::NecklacePartition;
 
-use crate::bitreach::{BitReach, BitScratch};
+use crate::bitreach::{AtomicCells, BitReach, BitScratch, ParBitScratch, SpaceTooLarge};
 
 /// The FFC embedder for a fixed B(d,n): owns the necklace partition and the
 /// engine's immutable lookup tables so that repeated embeddings (e.g. the
@@ -176,6 +176,22 @@ pub struct EmbedScratch {
     /// Word-packed bitmaps and frontiers of the bit-parallel reachability
     /// engine (fault mask, forward/backward/broadcast visited sets).
     bits: BitScratch,
+    /// Shared-write bitmaps of the multi-shard parallel passes
+    /// ([`Ffc::embed_into_parallel`]).
+    pbits: ParBitScratch,
+    /// Parallel engine: packed (stamp << 32 | broadcast level) per node —
+    /// one combined visited/level slot, so the parent lookup costs a
+    /// single random read where the serial engine reads `vis` and `level`.
+    plvl: AtomicCells,
+    /// Parallel engine: per-necklace min (level << 32 | node) over B*
+    /// (`u64::MAX` = necklace not in B* this call; cleared per call).
+    pbest: AtomicCells,
+    /// Parallel engine: bit `v` set ⟺ node `v` leaves its necklace
+    /// through a w-edge. The streaming cycle readoff tests this bitmap
+    /// (L2-resident even at B(2,20)) and computes the necklace rotation
+    /// arithmetically, instead of loading a fully materialised successor
+    /// array from DRAM on every step.
+    exit_bits: Vec<u64>,
     /// Stamp: reached by the Step 1.1 broadcast (validity guard for
     /// `level`/`parent` when the engine assigns tree parents).
     vis: Vec<u32>,
@@ -246,6 +262,10 @@ impl EmbedScratch {
             + self.members.capacity())
             + (self.fwd8.capacity() + self.bwd8.capacity() + self.vis8.capacity())
             + self.bits.allocated_bytes()
+            + self.pbits.allocated_bytes()
+            + self.plvl.allocated_bytes()
+            + self.pbest.allocated_bytes()
+            + 8 * self.exit_bits.capacity()
             + 8 * (self.best_key.capacity() + self.group_entries.capacity())
             + std::mem::size_of::<usize>() * self.cycle.capacity()
     }
@@ -262,6 +282,11 @@ impl EmbedScratch {
                 &mut self.label_stamp,
             ] {
                 arr.iter_mut().for_each(|s| *s = 0);
+            }
+            // The packed (stamp | level) slots of the parallel engine carry
+            // the stamp in their high half; zero is never a current stamp.
+            for i in 0..self.plvl.len() {
+                self.plvl.store(i, 0);
             }
             self.stamp = 0;
         }
@@ -291,6 +316,24 @@ impl EmbedScratch {
         reserve(&mut self.group_entries, 2 * t.n_necks);
         reserve(&mut self.members, t.n_necks);
         reserve(&mut self.cycle, t.n_nodes);
+    }
+
+    /// Grows (and clears where required) the parallel engine's slot
+    /// arrays: the packed level slots are stamp-invalidated like the rest
+    /// of the scratch, while the per-necklace best keys and the exit
+    /// bitmap are cleared per call — both are O(d^n / n) or smaller, a
+    /// vanishing fraction of the embedding itself.
+    fn prepare_parallel(&mut self, t: &EngineTables) {
+        self.plvl.grow(t.n_nodes);
+        self.pbest.grow(t.n_necks);
+        for nid in 0..t.n_necks {
+            self.pbest.store(nid, u64::MAX);
+        }
+        let words = t.n_nodes.div_ceil(64);
+        if self.exit_bits.len() < words {
+            self.exit_bits.resize(words, 0);
+        }
+        self.exit_bits[..words].fill(0);
     }
 
     /// Grows and (on wrap-around) clears the byte-stamped reachability
@@ -359,19 +402,53 @@ impl Ffc {
         Self::with_shards(d, n, 1)
     }
 
+    /// [`Ffc::new`], rejecting spaces whose node ids overflow the
+    /// engine's u32 indexing with a typed error instead of panicking —
+    /// and without allocating any table for the oversized graph.
+    ///
+    /// # Errors
+    /// Returns [`SpaceTooLarge`] when d^n exceeds [`u32::MAX`] (or
+    /// overflows u64 entirely).
+    pub fn try_new(d: u64, n: u32) -> Result<Self, SpaceTooLarge> {
+        Self::try_with_shards(d, n, 1)
+    }
+
+    /// [`Ffc::with_shards`] with the [`Ffc::try_new`] error contract.
+    ///
+    /// # Errors
+    /// Returns [`SpaceTooLarge`] when d^n exceeds [`u32::MAX`] (or
+    /// overflows u64 entirely).
+    pub fn try_with_shards(d: u64, n: u32, shards: usize) -> Result<Self, SpaceTooLarge> {
+        let n_nodes = dbg_algebra::num::checked_pow(d, n).ok_or(SpaceTooLarge { n_nodes: None })?;
+        if u32::try_from(n_nodes).is_err() {
+            return Err(SpaceTooLarge {
+                n_nodes: Some(n_nodes),
+            });
+        }
+        Ok(Self::build(d, n, shards))
+    }
+
     /// [`Ffc::new`] with the partition's membership/CSR fill sharded over
     /// `shards` scoped threads ([`NecklacePartition::with_shards`]) — the
     /// table construction analogue of [`Ffc::embed_batch`]'s sharding,
     /// useful for B(2,20)-scale setup on multi-core hosts. The tables are
     /// bit-identical at any shard count.
+    ///
+    /// # Panics
+    /// Panics if d^n overflows the engine's u32 node indexing
+    /// ([`Ffc::try_with_shards`] is the non-panicking variant).
     #[must_use]
     pub fn with_shards(d: u64, n: u32, shards: usize) -> Self {
+        match Self::try_with_shards(d, n, shards) {
+            Ok(ffc) => ffc,
+            Err(e) => panic!("engine tables index nodes with u32; B({d},{n}) is too large: {e}"),
+        }
+    }
+
+    /// Constructs the embedder once the node count has been validated.
+    fn build(d: u64, n: u32, shards: usize) -> Self {
         let graph = DeBruijn::new(d, n);
         let n_nodes = graph.len();
-        assert!(
-            u32::try_from(n_nodes).is_ok(),
-            "engine tables index nodes with u32; B({d},{n}) is too large"
-        );
         let partition = NecklacePartition::with_shards(graph.space(), shards);
         let tables = EngineTables {
             d: graph.d() as usize,
@@ -467,6 +544,46 @@ impl Ffc {
         root: usize,
     ) -> EmbedStats {
         self.engine_embed(scratch, faulty_nodes, Some(root))
+    }
+
+    /// [`Ffc::embed_into`] on the multi-shard parallel engine: produces
+    /// **bit-identical** [`EmbedStats`] and cycle bytes to the serial
+    /// engine on the same faults, at every shard count (the serial path
+    /// is retained as the differential oracle; exhaustive ≤2-fault
+    /// equality plus B(2,14) property tests pin the contract).
+    ///
+    /// What runs differently:
+    ///
+    /// * the forward/backward component passes and the level-emitting
+    ///   broadcast run on the word-range-sharded bit engine
+    ///   ([`crate::bitreach`]'s `*_par` passes) over `shards` scoped
+    ///   threads;
+    /// * the level-CSR scatter (stamping each B* node's broadcast level)
+    ///   and the per-necklace earliest-member reduction are fused into
+    ///   one sharded pass over the emitted levels;
+    /// * spanning-tree parents are computed **only for the d^n/n chosen
+    ///   necklace nodes** (a packed stamp|level slot makes each lookup
+    ///   one random read), not for every node of B*;
+    /// * the successor function is never materialised for
+    ///   necklace-following nodes: the streaming cycle readoff computes
+    ///   the rotation arithmetically and consults the override slots only
+    ///   at w-edge exits, flagged by an L2-resident exit bitmap.
+    ///
+    /// Those last three make the path faster than [`Ffc::embed_into`]
+    /// even at `shards == 1` (where no threads are spawned at all) —
+    /// see the `"mode": "full"` tiers of `BENCH_ffc.json`. `shards` is
+    /// clamped to at least 1; `shards - 1` scoped worker threads are
+    /// spawned per call, so steady-state callers on small graphs should
+    /// keep `shards == 1`. Root selection follows [`Ffc::embed_into`].
+    /// After warm-up the call performs no heap allocation beyond the
+    /// worker threads themselves.
+    pub fn embed_into_parallel(
+        &self,
+        scratch: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+        shards: usize,
+    ) -> EmbedStats {
+        self.engine_embed_parallel(scratch, faulty_nodes, shards.max(1))
     }
 
     /// The scalar half of an embedding, without materialising the cycle:
@@ -941,6 +1058,42 @@ impl Ffc {
             let v = v as usize;
             s.succ[v] = ((v % suffix) * d + v / suffix) as u32;
         }
+        self.wire_w_groups(s, false);
+
+        // Read off the cycle from the root.
+        let mut v = root;
+        loop {
+            s.cycle.push(v);
+            v = s.succ[v] as usize;
+            if v == root {
+                break;
+            }
+            debug_assert!(
+                s.cycle.len() <= component_size,
+                "successor walk escaped B* or looped early"
+            );
+        }
+
+        EmbedStats {
+            root,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+
+    /// The Step 2 → Step 3 wiring shared by the serial and parallel
+    /// engines: walks the sorted `group_entries` runs, closes each
+    /// w-group (children + parent necklace, in necklace-id order) into a
+    /// directed cycle of w-edges — the modified tree D — and writes the
+    /// successor override of every w-edge. With `mark_exit_bits` the exit
+    /// nodes are additionally recorded in the word-packed exit bitmap the
+    /// parallel engine's streaming readoff tests.
+    fn wire_w_groups(&self, s: &mut EmbedScratch, mark_exit_bits: bool) {
+        let t = &self.tables;
+        let (d, suffix) = (t.d, t.suffix_count);
+        let membership = self.partition.membership();
         let mut i = 0;
         while i < s.group_entries.len() {
             let label = (s.group_entries[i] >> 32) as usize;
@@ -967,24 +1120,168 @@ impl Ffc {
                     .find(|&beta| membership[beta * suffix + label] as usize == target)
                     .map(|beta| label * d + beta)
                     .expect("a w-edge of D always has an entry node on the target necklace");
-                debug_assert!(reach.in_bstar(&s.bits, entry));
+                debug_assert!(t.reach.in_bstar(&s.bits, entry));
                 s.succ[exit] = entry as u32;
+                if mark_exit_bits {
+                    s.exit_bits[exit / 64] |= 1u64 << (exit % 64);
+                }
             }
             i = j;
         }
+    }
 
-        // Read off the cycle from the root.
-        let mut v = root;
-        loop {
-            s.cycle.push(v);
-            v = s.succ[v] as usize;
-            if v == root {
-                break;
+    /// One full embedding on the parallel engine (see
+    /// [`Ffc::embed_into_parallel`] for the phase breakdown). Uses the
+    /// default-root-with-repair policy of [`Ffc::embed_into`].
+    fn engine_embed_parallel(
+        &self,
+        s: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+        shards: usize,
+    ) -> EmbedStats {
+        let t = &self.tables;
+        let reach = t.reach;
+        let membership = self.partition.membership();
+        let d = t.d;
+        let suffix = t.suffix_count;
+        s.prepare(t);
+        s.prepare_parallel(t);
+        reach.prepare(&mut s.bits);
+        let stamp = s.stamp;
+
+        let (faulty_necklaces, removed_nodes) = self.mark_faults_bits(s, faulty_nodes);
+
+        let preferred = self.default_root();
+        let root = if s.faulty[membership[preferred] as usize] != stamp {
+            preferred
+        } else {
+            self.probe_for_live_root(s, preferred)
+        };
+        let root = self.representative_of(root);
+        let root_neck = membership[root] as usize;
+
+        // B* and the broadcast, on the word-range-sharded passes (which
+        // delegate to the serial engine at one shard or on shapes without
+        // dense sweeps — bit-identical either way).
+        let (component_size, depth) = {
+            let EmbedScratch {
+                bits,
+                pbits,
+                bstar,
+                level_offsets,
+                ..
+            } = s;
+            let _ = reach.forward_par(bits, pbits, root, shards);
+            reach.backward_par(bits, pbits, root, shards);
+            let component_size = reach.component_size(bits, removed_nodes);
+            let (reached, depth) =
+                reach.broadcast_levels_par(bits, pbits, root, bstar, level_offsets, shards);
+            debug_assert_eq!(reached, component_size, "broadcast must cover B*");
+            (component_size, depth)
+        };
+        let eccentricity = depth;
+
+        // Fused level scatter + Step 1.2 reduction: one sharded pass over
+        // the emitted level CSR stamps every B* node's packed
+        // (stamp | level) slot and folds each non-root necklace's
+        // earliest (level, node) key with an atomic min. Contiguous CSR
+        // chunks; every slot has one logical writer per call and the min
+        // reduction is order-independent, so the result is identical at
+        // any shard count.
+        {
+            let EmbedScratch {
+                plvl,
+                pbest,
+                bstar,
+                level_offsets,
+                ..
+            } = s;
+            let bstar = &bstar[..];
+            let offsets = &level_offsets[..];
+            if shards == 1 {
+                scan_levels::<false>(
+                    plvl,
+                    pbest,
+                    bstar,
+                    offsets,
+                    membership,
+                    stamp,
+                    root_neck,
+                    0..bstar.len(),
+                );
+            } else {
+                std::thread::scope(|scope| {
+                    for k in 1..shards {
+                        let range = crate::bitreach::shard_words(bstar.len(), shards, k);
+                        let (plvl, pbest) = (&*plvl, &*pbest);
+                        scope.spawn(move || {
+                            scan_levels::<true>(
+                                plvl, pbest, bstar, offsets, membership, stamp, root_neck, range,
+                            );
+                        });
+                    }
+                    scan_levels::<true>(
+                        plvl,
+                        pbest,
+                        bstar,
+                        offsets,
+                        membership,
+                        stamp,
+                        root_neck,
+                        crate::bitreach::shard_words(bstar.len(), shards, 0),
+                    );
+                });
             }
-            debug_assert!(
-                s.cycle.len() <= component_size,
-                "successor walk escaped B* or looped early"
-            );
+        }
+
+        // Steps 1.2 (tail) and 2: for every live non-root necklace, its
+        // best key names the earliest-reached member Y; the spanning-tree
+        // parent is computed **here, once per necklace** — the minimal
+        // predecessor of Y one level up, a packed-slot compare per
+        // candidate — instead of being materialised for every node of B*
+        // like the serial engine does. Group records and their sort are
+        // byte-identical to the serial engine's.
+        let stamp_hi = u64::from(stamp) << 32;
+        for nid in 0..t.n_necks {
+            let key = s.pbest.load(nid);
+            if key == u64::MAX {
+                continue;
+            }
+            debug_assert_ne!(nid, root_neck, "the root necklace has no tree edge");
+            let chosen = (key & u64::from(u32::MAX)) as usize;
+            let lstar = (key >> 32) as u32;
+            debug_assert!(lstar >= 1, "non-root necklace reached at level 0");
+            let label = chosen / d; // the (n−1)-digit prefix of Y
+            let want = stamp_hi | u64::from(lstar - 1);
+            let parent = (0..d)
+                .map(|a| label + a * suffix)
+                .find(|&p| s.plvl.load(p) == want)
+                .expect("chosen node with no frontier predecessor");
+            let parent_neck = membership[parent] as usize;
+            if s.label_stamp[label] != stamp {
+                s.label_stamp[label] = stamp;
+                s.label_parent[label] = parent_neck as u32;
+                s.group_entries
+                    .push(((label as u64) << 32) | parent_neck as u64);
+            } else {
+                debug_assert_eq!(
+                    s.label_parent[label] as usize, parent_neck,
+                    "T_w must have a single parent necklace (height-one property)"
+                );
+            }
+            s.group_entries.push(((label as u64) << 32) | nid as u64);
+        }
+        s.group_entries.sort_unstable();
+
+        // Step 3: wire the w-edges (successor overrides + exit bitmap).
+        self.wire_w_groups(s, true);
+
+        // Streaming cycle readoff: necklace rotation is arithmetic, the
+        // exit bitmap says when to consult the override slot instead.
+        if d.is_power_of_two() && suffix.is_power_of_two() {
+            read_off_cycle::<true>(s, root, d, suffix, component_size);
+        } else {
+            read_off_cycle::<false>(s, root, d, suffix, component_size);
         }
 
         EmbedStats {
@@ -1200,6 +1497,83 @@ impl Ffc {
             faulty_necklaces,
             removed_nodes,
         }
+    }
+}
+
+/// One shard of the parallel engine's fused level-scatter + best-key
+/// pass: for every CSR index in `range`, stamps the node's packed
+/// (stamp | level) slot and folds the necklace's (level, node) min.
+/// `ATOMIC` selects `fetch_min` (cross-shard) vs a plain
+/// load/compare/store (single shard, no locked instructions).
+#[allow(clippy::too_many_arguments)] // one scatter kernel, not an API
+fn scan_levels<const ATOMIC: bool>(
+    plvl: &AtomicCells,
+    pbest: &AtomicCells,
+    bstar: &[u32],
+    offsets: &[u32],
+    membership: &[u32],
+    stamp: u32,
+    root_neck: usize,
+    range: std::ops::Range<usize>,
+) {
+    if range.is_empty() {
+        return;
+    }
+    let stamp_hi = u64::from(stamp) << 32;
+    // Level of the first index: the last CSR boundary at or before it.
+    let mut l = offsets.partition_point(|&o| (o as usize) <= range.start) - 1;
+    for idx in range {
+        while (offsets[l + 1] as usize) <= idx {
+            l += 1;
+        }
+        let v = bstar[idx] as usize;
+        plvl.store(v, stamp_hi | l as u64);
+        let nid = membership[v] as usize;
+        if nid == root_neck {
+            continue;
+        }
+        let key = ((l as u64) << 32) | v as u64;
+        if ATOMIC {
+            pbest.fetch_min(nid, key);
+        } else if key < pbest.load(nid) {
+            pbest.store(nid, key);
+        }
+    }
+}
+
+/// The parallel engine's streaming readoff: walks the successor
+/// permutation from `root` into the scratch's cycle buffer, computing
+/// the necklace rotation arithmetically and consulting the override
+/// slot only where the exit bitmap is set. `POW2` compiles the rotation
+/// to masks and shifts.
+fn read_off_cycle<const POW2: bool>(
+    s: &mut EmbedScratch,
+    root: usize,
+    d: usize,
+    suffix: usize,
+    component_size: usize,
+) {
+    let d_log = d.trailing_zeros();
+    let suffix_log = suffix.trailing_zeros();
+    let suffix_mask = suffix.wrapping_sub(1);
+    debug_assert!(!POW2 || (d.is_power_of_two() && suffix.is_power_of_two()));
+    let mut v = root;
+    loop {
+        s.cycle.push(v);
+        v = if s.exit_bits[v / 64] >> (v % 64) & 1 == 1 {
+            s.succ[v] as usize
+        } else if POW2 {
+            ((v & suffix_mask) << d_log) | (v >> suffix_log)
+        } else {
+            (v % suffix) * d + v / suffix
+        };
+        if v == root {
+            break;
+        }
+        debug_assert!(
+            s.cycle.len() <= component_size,
+            "successor walk escaped B* or looped early"
+        );
     }
 }
 
@@ -1721,6 +2095,137 @@ mod tests {
             let heavy: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
             check(&heavy);
         }
+    }
+
+    /// Satellite exhaustive differential: the parallel engine must
+    /// reproduce the serial engine's stats **and cycle bytes** for every
+    /// fault set of size ≤ 2 on B(2,5) and B(3,3), at shard counts 1, 2
+    /// and 5 (B(3,3) and B(2,5) both delegate the reachability passes —
+    /// non-pow2 / sub-word shapes — so this also pins the delegation).
+    #[test]
+    fn parallel_engine_matches_serial_exhaustively_on_small_fault_sets() {
+        for (d, n) in [(2u64, 5u32), (3, 3)] {
+            let ffc = Ffc::new(d, n);
+            let total = ffc.graph().len();
+            let mut serial = EmbedScratch::new();
+            let mut par = EmbedScratch::new();
+            let mut fault_sets: Vec<Vec<usize>> = vec![Vec::new()];
+            fault_sets.extend((0..total).map(|a| vec![a]));
+            for a in 0..total {
+                for b in (a + 1)..total {
+                    fault_sets.push(vec![a, b]);
+                }
+            }
+            for faults in &fault_sets {
+                let want = ffc.embed_into(&mut serial, faults);
+                for shards in [1usize, 2, 5] {
+                    let got = ffc.embed_into_parallel(&mut par, faults, shards);
+                    assert_eq!(
+                        got, want,
+                        "stats diverge for {faults:?} x{shards} B({d},{n})"
+                    );
+                    assert_eq!(
+                        par.cycle(),
+                        serial.cycle(),
+                        "cycle bytes diverge for {faults:?} x{shards} B({d},{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite property test: on B(2,14) the parallel engine must match
+    /// the serial engine under fault loads on both sides of the
+    /// density-switch threshold, at shards 1, 2 and 5 — light loads run
+    /// the sharded dense sweeps, heavy loads keep every level in the
+    /// leader's sparse regime.
+    #[test]
+    fn parallel_engine_matches_serial_on_b2_14_across_density_regimes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ffc = Ffc::new(2, 14);
+        assert!(ffc.tables.reach.dense_capable());
+        let total = ffc.graph().len();
+        let mut serial = EmbedScratch::new();
+        let mut par = EmbedScratch::new();
+        let mut rng = StdRng::seed_from_u64(0xFA12);
+        let mut check = |faults: &[usize]| {
+            let want = ffc.embed_into(&mut serial, faults);
+            for shards in [1usize, 2, 5] {
+                let got = ffc.embed_into_parallel(&mut par, faults, shards);
+                assert_eq!(got, want, "{} faults x{shards}", faults.len());
+                assert_eq!(
+                    par.cycle(),
+                    serial.cycle(),
+                    "{} faults x{shards}",
+                    faults.len()
+                );
+            }
+        };
+        check(&[]);
+        for trial in 0..8 {
+            // Dense side: a handful of faults, B* stays near-complete.
+            let f = trial % 7;
+            let light: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            check(&light);
+            // Sparse side: thousands of faults shred the graph so no
+            // frontier ever reaches the dense threshold.
+            let f = 2000 + 500 * (trial % 4);
+            let heavy: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+            check(&heavy);
+        }
+    }
+
+    /// The parallel engine honours the scratch's no-allocation contract
+    /// once warmed up at a fixed (d, n) and shard count (worker threads
+    /// aside — those are scoped and carry no scratch state).
+    #[test]
+    fn parallel_engine_does_not_allocate_after_warmup() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ffc = Ffc::new(2, 10);
+        let total = ffc.graph().len();
+        let mut scratch = EmbedScratch::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for shards in [1usize, 3] {
+            let _ = ffc.embed_into_parallel(&mut scratch, &[], shards);
+            let _ = ffc.embed_into_parallel(&mut scratch, &[1], shards);
+            let heavy: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
+            let _ = ffc.embed_into_parallel(&mut scratch, &heavy, shards);
+            let warm = scratch.allocated_bytes();
+            for trial in 0..60 {
+                let f = [0usize, 5, 40, 300][trial % 4];
+                let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
+                let _ = ffc.embed_into_parallel(&mut scratch, &faults, shards);
+                assert_eq!(
+                    scratch.allocated_bytes(),
+                    warm,
+                    "scratch grew on trial {trial} x{shards}"
+                );
+            }
+        }
+    }
+
+    /// Satellite regression: oversized spaces are rejected with the typed
+    /// error before any table is allocated, instead of truncating node
+    /// ids in release builds.
+    #[test]
+    fn try_new_rejects_oversized_spaces() {
+        // B(2,32) has 2^32 nodes — one past the u32 id space.
+        let err = Ffc::try_new(2, 32).expect_err("B(2,32) must not fit u32 ids");
+        assert_eq!(err.n_nodes, Some(1 << 32));
+        // B(2,64) overflows u64 entirely.
+        let err = Ffc::try_new(2, 64).expect_err("B(2,64) overflows u64");
+        assert_eq!(err.n_nodes, None);
+        // In-range shapes still construct.
+        assert!(Ffc::try_new(2, 10).is_ok());
+        assert!(Ffc::try_with_shards(3, 3, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn new_panics_on_oversized_spaces() {
+        let _ = Ffc::new(2, 32);
     }
 
     #[test]

@@ -48,11 +48,13 @@ pub mod seq;
 pub mod sweep;
 pub mod verify;
 
-pub use bitreach::{BitFrontier, BitReach, BitScratch, DensePolicy};
+pub use bitreach::{
+    AtomicCells, BitFrontier, BitReach, BitScratch, DensePolicy, ParBitScratch, SpaceTooLarge,
+};
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
-pub use edge_faults::EdgeFaultEmbedder;
+pub use edge_faults::{EdgeFaultEmbedder, NoFaultFreeCycle};
 pub use ffc::{EmbedScratch, EmbedStats, Ffc, FfcOutcome};
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;

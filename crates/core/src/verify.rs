@@ -3,24 +3,44 @@
 //! A ring embedding with unit dilation and congestion is simply a simple
 //! cycle of the (faulty) host graph, so "did the algorithm work?" always
 //! reduces to a handful of checks collected here.
+//!
+//! A **ring** here always means a cycle of at least [`MIN_RING_LEN`] = 3
+//! processors: that is the embedding the paper constructs, and shorter
+//! sequences are degenerate as *rings* even when they are legitimate
+//! directed cycles of the graph — a single node's wrap-around "edge"
+//! `(v, v)` is a self-pair, and a 2-node "ring" is just one pair of
+//! processors talking over their mutual links, not a ring topology. The
+//! helpers in this module therefore reject them outright instead of
+//! accidentally validating them (the regression the boundary tests pin
+//! down); callers that need raw directed-cycle checks, 2-cycles
+//! included, should use `dbg_graph::algo::cycles::is_cycle` directly.
 
 use std::collections::HashSet;
 
 use dbg_graph::algo::cycles::{all_pairwise_edge_disjoint, is_cycle};
 use dbg_graph::{DeBruijn, Topology};
 
-/// Whether `cycle` is a simple cycle of B(d,n).
+/// The shortest node sequence the verify helpers accept as a ring.
+/// `(cycle[i], cycle[(i + 1) % len])` degenerates to a self-pair at
+/// length 1, and a 2-node sequence — although a genuine directed
+/// 2-cycle when both edges exist — is a point-to-point link pair, not a
+/// ring embedding.
+pub const MIN_RING_LEN: usize = 3;
+
+/// Whether `cycle` is a simple cycle of B(d,n) with at least
+/// [`MIN_RING_LEN`] nodes.
 #[must_use]
 pub fn is_debruijn_ring(d: u64, n: u32, cycle: &[usize]) -> bool {
     let g = DeBruijn::new(d, n);
-    is_cycle(&g, cycle)
+    cycle.len() >= MIN_RING_LEN && is_cycle(&g, cycle)
 }
 
-/// Whether `cycle` is a Hamiltonian cycle of B(d,n).
+/// Whether `cycle` is a Hamiltonian cycle of B(d,n) (n ≥ 2, so every
+/// Hamiltonian cycle clears [`MIN_RING_LEN`]).
 #[must_use]
 pub fn is_debruijn_hamiltonian(d: u64, n: u32, cycle: &[usize]) -> bool {
     let g = DeBruijn::new(d, n);
-    cycle.len() == g.len() && is_cycle(&g, cycle)
+    cycle.len() == g.len() && cycle.len() >= MIN_RING_LEN && is_cycle(&g, cycle)
 }
 
 /// Whether the ring avoids every node in `faulty_nodes`.
@@ -31,8 +51,14 @@ pub fn ring_avoids_nodes(cycle: &[usize], faulty_nodes: &[usize]) -> bool {
 }
 
 /// Whether the ring uses none of the directed edges in `faulty_edges`.
+/// Degenerate rings (shorter than [`MIN_RING_LEN`]) are rejected: their
+/// wrap-around pairs are not genuine edges, so "avoids everything" would
+/// be vacuously — and misleadingly — true.
 #[must_use]
 pub fn ring_avoids_edges(cycle: &[usize], faulty_edges: &[(usize, usize)]) -> bool {
+    if cycle.len() < MIN_RING_LEN {
+        return false;
+    }
     let faults: HashSet<(usize, usize)> = faulty_edges.iter().copied().collect();
     (0..cycle.len()).all(|i| !faults.contains(&(cycle[i], cycle[(i + 1) % cycle.len()])))
 }
@@ -43,11 +69,12 @@ pub fn family_is_edge_disjoint(cycles: &[Vec<usize>]) -> bool {
     all_pairwise_edge_disjoint(cycles)
 }
 
-/// Whether `cycle` is a simple cycle of an arbitrary topology — re-exported
-/// for callers that work with butterflies or hypercubes.
+/// Whether `cycle` is a simple cycle of at least [`MIN_RING_LEN`] nodes
+/// of an arbitrary topology — re-exported for callers that work with
+/// butterflies or hypercubes.
 #[must_use]
 pub fn is_ring_of<T: Topology + ?Sized>(graph: &T, cycle: &[usize]) -> bool {
-    is_cycle(graph, cycle)
+    cycle.len() >= MIN_RING_LEN && is_cycle(graph, cycle)
 }
 
 #[cfg(test)]
@@ -76,6 +103,37 @@ mod tests {
             &cycle,
             &[(g.node("000").unwrap(), g.node("001").unwrap())]
         ));
+    }
+
+    /// The degenerate boundary: length-1 and length-2 "cycles" — whose
+    /// wrap-around pairs are a self-pair and a doubly-used link — must be
+    /// rejected by every ring helper, and length 3 accepted. Regression
+    /// for the verify helpers vacuously passing short sequences.
+    #[test]
+    fn rings_shorter_than_three_are_rejected() {
+        let g = DeBruijn::new(2, 3);
+        // 000 carries a genuine self-loop and 010 ⇄ 101 a genuine 2-cycle,
+        // so these are the strongest short inputs: every edge they use
+        // exists, and they are still not rings.
+        let loop1 = vec![g.node("000").unwrap()];
+        let two = vec![g.node("010").unwrap(), g.node("101").unwrap()];
+        let three = vec![
+            g.node("011").unwrap(),
+            g.node("110").unwrap(),
+            g.node("101").unwrap(),
+        ];
+        for short in [&[] as &[usize], &loop1, &two] {
+            assert!(!is_debruijn_ring(2, 3, short), "{short:?}");
+            assert!(!is_ring_of(&g, short), "{short:?}");
+            assert!(!ring_avoids_edges(short, &[]), "{short:?}");
+        }
+        assert!(is_debruijn_ring(2, 3, &three));
+        assert!(is_ring_of(&g, &three));
+        assert!(ring_avoids_edges(&three, &[]));
+        assert_eq!(MIN_RING_LEN, 3);
+        // A degenerate "Hamiltonian" can only occur below n = 2; the
+        // length gate closes that door too.
+        assert!(!is_debruijn_hamiltonian(2, 1, &[0, 1]));
     }
 
     #[test]

@@ -614,15 +614,18 @@ mod tests {
     }
 
     /// Exhaustive cross-implementation check: on every fault set of size
-    /// ≤ 2, the distributed protocol and the centralized engine must trace
-    /// the identical cycle (same nodes, same order). Both B(2,5) and
-    /// B(3,3) push past the f ≤ d−2 guarantee, so this also covers fault
-    /// loads where B* needs a genuine component search.
+    /// ≤ 2, the distributed protocol, the centralized serial engine and
+    /// the centralized **parallel** engine (`embed_into_parallel`, at a
+    /// genuinely multi-threaded shard count) must all trace the identical
+    /// cycle (same nodes, same order). Both B(2,5) and B(3,3) push past
+    /// the f ≤ d−2 guarantee, so this also covers fault loads where B*
+    /// needs a genuine component search.
     #[test]
     fn exhaustively_matches_centralized_on_small_fault_sets() {
         for (d, n) in [(2u64, 5u32), (3, 3)] {
             let runner = DistributedFfc::new(d, n);
             let total = runner.graph().len();
+            let mut scratch = debruijn_core::EmbedScratch::new();
             let mut fault_sets: Vec<Vec<usize>> = vec![Vec::new()];
             fault_sets.extend((0..total).map(|a| vec![a]));
             for a in 0..total {
@@ -643,6 +646,15 @@ mod tests {
                 assert_eq!(
                     cycle, reference.cycle,
                     "cycle differs for {faults:?} in B({d},{n})"
+                );
+                let parallel = runner
+                    .reference()
+                    .embed_into_parallel(&mut scratch, faults, 3);
+                assert_eq!(parallel.root, reference.root, "{faults:?} in B({d},{n})");
+                assert_eq!(
+                    scratch.cycle(),
+                    &cycle[..],
+                    "parallel engine deviates from the protocol for {faults:?} in B({d},{n})"
                 );
             }
         }

@@ -80,7 +80,7 @@ pub mod prelude {
         edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, BatchEmbedder, ButterflyEmbedder,
         DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedStats, FaultDrawer,
         FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
-        SweepAccumulator, SweepPlan,
+        NoFaultFreeCycle, SpaceTooLarge, SweepAccumulator, SweepPlan,
     };
 }
 
