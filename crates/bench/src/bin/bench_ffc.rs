@@ -31,23 +31,37 @@
 //!   `vs_serial`. This is the gate that keeps full-ring construction at
 //!   million-node scale monotone (and the CI bench-smoke job runs the
 //!   B(2,16) tier).
+//! * **Incremental tiers** (`"mode": "incremental"`) — B(2,16), B(2,18)
+//!   and B(2,20): single-fault repair on the `RingMaintainer`
+//!   (`add_fault` + `clear_fault` events over random single faults)
+//!   against the from-scratch serial `embed_into` loop (`speedup`, the CI
+//!   gate) and the from-scratch `embed_into_parallel` loop
+//!   (`vs_parallel`) on the same fault schedule. The per-event stats are
+//!   checksummed and asserted identical to the serial loop's, and the
+//!   row records how many events repaired incrementally vs rebuilt.
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
-//! [--smoke] [--check] [--trials N]`
+//! [--smoke] [--check] [--trials N] [--filter GRAPH]`
 //!
 //! * default output: `<repo root>/BENCH_ffc.json`;
 //! * `--smoke`: CI-sized trial counts (20× fewer trials, minimum 60) and
 //!   the B(2,20) tier skipped, so the job stays bounded;
 //! * `--trials N`: hard cap on every configuration's trial count (applied
 //!   after `--smoke` scaling) — the CI knob for bounding total job time;
+//! * `--filter GRAPH`: run only the configurations whose label contains
+//!   `GRAPH` (e.g. `--filter "B(2,20)"` or `--filter 2,2`) — a single
+//!   tier without editing the config list. A filter matching nothing is
+//!   an error;
 //! * `--check`: after writing, re-read and validate the file — exits
-//!   non-zero if the JSON is malformed or any `speedup` is below 1.0
-//!   (engine-vs-reference, bit-vs-u8, or batch-vs-serial).
+//!   non-zero if the JSON is malformed or any `speedup` (or incremental
+//!   `vs_parallel`) is below 1.0.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use debruijn_core::{BatchEmbedder, EmbedScratch, FaultSchedule, Ffc, SweepAccumulator, SweepPlan};
+use debruijn_core::{
+    BatchEmbedder, EmbedScratch, FaultSchedule, Ffc, RingMaintainer, SweepAccumulator, SweepPlan,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -63,6 +77,10 @@ enum Mode {
     /// Large tiers, full-ring construction: serial `embed_into` vs the
     /// parallel engine, cycle bytes asserted identical.
     FullRing,
+    /// Large tiers, online repair: single-fault `RingMaintainer` events vs
+    /// the from-scratch serial and parallel pipelines, stats checksums
+    /// asserted identical to the serial loop.
+    Incremental,
 }
 
 /// One benchmarked configuration.
@@ -130,9 +148,11 @@ fn time_loop<F: FnMut(&[usize]) -> usize>(sets: &[Vec<usize>], mut body: F) -> (
 }
 
 /// Validates a written benchmark file: structural JSON sanity (balanced
-/// brackets, the expected top-level keys) and every `"speedup"` value at
-/// least 1.0. Returns the list of problems found.
-fn validate(contents: &str) -> Vec<String> {
+/// brackets, the expected top-level keys) and every `"speedup"` /
+/// `"vs_parallel"` value at least 1.0. `filtered` skips the
+/// required-key checks (a `--filter` run only writes one tier's shape).
+/// Returns the list of problems found.
+fn validate(contents: &str, filtered: bool) -> Vec<String> {
     let mut problems = Vec::new();
     let mut depth = 0i64;
     let mut in_string = false;
@@ -164,31 +184,36 @@ fn validate(contents: &str) -> Vec<String> {
     if depth != 0 || in_string {
         problems.push("unbalanced brackets or unterminated string".into());
     }
-    for key in [
-        "\"benchmark\"",
-        "\"configs\"",
-        "\"batch\"",
-        "\"embeds_per_sec\"",
-        "\"stats_only\"",
-        "\"parallel\"",
-    ] {
-        if !contents.contains(key) {
-            problems.push(format!("missing key {key}"));
+    if !filtered {
+        for key in [
+            "\"benchmark\"",
+            "\"configs\"",
+            "\"batch\"",
+            "\"embeds_per_sec\"",
+            "\"stats_only\"",
+            "\"parallel\"",
+            "\"repair_ns\"",
+        ] {
+            if !contents.contains(key) {
+                problems.push(format!("missing key {key}"));
+            }
         }
     }
     let mut speedups = 0usize;
-    let mut rest = contents;
-    while let Some(pos) = rest.find("\"speedup\":") {
-        rest = &rest[pos + "\"speedup\":".len()..];
-        let num: String = rest
-            .chars()
-            .skip_while(|c| c.is_whitespace())
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
-            .collect();
-        match num.parse::<f64>() {
-            Ok(v) if v >= 1.0 => speedups += 1,
-            Ok(v) => problems.push(format!("speedup regressed below 1.0: {v}")),
-            Err(_) => problems.push(format!("unparseable speedup value: {num:?}")),
+    for key in ["\"speedup\":", "\"vs_parallel\":"] {
+        let mut rest = contents;
+        while let Some(pos) = rest.find(key) {
+            rest = &rest[pos + key.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v >= 1.0 => speedups += 1,
+                Ok(v) => problems.push(format!("{key} regressed below 1.0: {v}")),
+                Err(_) => problems.push(format!("unparseable {key} value: {num:?}")),
+            }
         }
     }
     if speedups == 0 && problems.is_empty() {
@@ -203,6 +228,7 @@ fn main() {
     let mut smoke = false;
     let mut check = false;
     let mut trial_cap: Option<usize> = None;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -219,10 +245,17 @@ fn main() {
                     });
                 trial_cap = Some(n);
             }
+            "--filter" => {
+                let pat = args.next().filter(|p| !p.is_empty()).unwrap_or_else(|| {
+                    eprintln!("--filter needs a graph label substring, e.g. \"B(2,20)\"");
+                    std::process::exit(2);
+                });
+                filter = Some(pat);
+            }
             flag if flag.starts_with('-') => {
                 eprintln!(
                     "unknown flag {flag}; usage: bench_ffc [out.json] [--smoke] [--check] \
-                     [--trials N]"
+                     [--trials N] [--filter GRAPH]"
                 );
                 std::process::exit(2);
             }
@@ -256,6 +289,13 @@ fn main() {
         mode: Mode::FullRing,
         skip_in_smoke,
     };
+    let incr_tier = |d, n, trials, skip_in_smoke| Config {
+        d,
+        n,
+        trials: scale(trials),
+        mode: Mode::Incremental,
+        skip_in_smoke,
+    };
     let configs = [
         full(2, 10, 4000),
         full(2, 14, 400),
@@ -266,13 +306,23 @@ fn main() {
         ring_tier(2, 16, 60, false),
         ring_tier(2, 18, 16, true),
         ring_tier(2, 20, 6, true),
+        incr_tier(2, 16, 60, false),
+        incr_tier(2, 18, 16, true),
+        incr_tier(2, 20, 6, true),
     ];
 
+    let mut matched = 0usize;
     let mut entries = Vec::new();
     for cfg in &configs {
         if smoke && cfg.skip_in_smoke {
             continue;
         }
+        if let Some(pat) = &filter {
+            if !format!("B({},{})", cfg.d, cfg.n).contains(pat.as_str()) {
+                continue;
+            }
+        }
+        matched += 1;
         let setup_start = Instant::now();
         let ffc = Ffc::new(cfg.d, cfg.n);
         let setup_ns = setup_start.elapsed().as_nanos();
@@ -282,6 +332,90 @@ fn main() {
         let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
         let label = format!("B({},{})", cfg.d, cfg.n);
+
+        if cfg.mode == Mode::Incremental {
+            // Incremental tier: single-fault repair events on the
+            // RingMaintainer vs from-scratch serial and parallel embeds of
+            // the same faults. Stats checksums keep the three loops
+            // provably in agreement (rare root-necklace faults force the
+            // maintainer through its rebuild fallback and stay in the
+            // mean, which is the honest service-level number).
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1EC);
+            let mut nodes: Vec<usize> = (0..total).collect();
+            let singles: Vec<Vec<usize>> = (0..cfg.trials)
+                .map(|_| {
+                    let (one, _) = nodes.partial_shuffle(&mut rng, 1);
+                    one.to_vec()
+                })
+                .collect();
+            let _ = ffc.embed_into(&mut scratch, &singles[0]);
+            let (serial_ns, _serial_eps, serial_sum) =
+                time_loop(&singles, |f| ffc.embed_into(&mut scratch, f).component_size);
+            let _ = ffc.embed_into_parallel(&mut scratch, &singles[0], 1);
+            let (par_ns, _par_eps, par_sum) = time_loop(&singles, |f| {
+                ffc.embed_into_parallel(&mut scratch, f, 1).component_size
+            });
+            assert_eq!(par_sum, serial_sum, "parallel embeds diverge on {label}");
+            let mut maint = RingMaintainer::new();
+            maint.reset(&ffc, &[]);
+            let _ = maint.add_fault(&ffc, singles[0][0]);
+            let _ = maint.clear_fault(&ffc, singles[0][0]);
+            let before = maint.repairs();
+            let mut best = std::time::Duration::MAX;
+            let mut repair_sum = 0usize;
+            for _ in 0..REPS {
+                let mut rep_sum = 0usize;
+                let start = Instant::now();
+                for f in &singles {
+                    rep_sum ^= maint.add_fault(&ffc, f[0]).component_size;
+                    let _ = maint.clear_fault(&ffc, f[0]);
+                }
+                best = best.min(start.elapsed());
+                repair_sum = rep_sum;
+            }
+            assert_eq!(
+                repair_sum, serial_sum,
+                "incremental repairs diverge from the serial engine on {label}"
+            );
+            let events = 2 * singles.len();
+            let repair_ns = best.as_nanos() as f64 / events as f64;
+            let after = maint.repairs();
+            let (incr, rebuilds) = (
+                after.incremental - before.incremental,
+                after.rebuilds - before.rebuilds,
+            );
+            let speedup = serial_ns / repair_ns;
+            let vs_parallel = par_ns / repair_ns;
+            eprintln!(
+                "{label}: repair {:.1} µs/event vs serial {:.2} ms ({speedup:.1}x) / parallel \
+                 {:.2} ms ({vs_parallel:.1}x), {incr} delta + {rebuilds} rebuilds per rep \
+                 [checksum {repair_sum}]",
+                repair_ns / 1e3,
+                serial_ns / 1e6,
+                par_ns / 1e6,
+            );
+            let mut entry = String::new();
+            write!(
+                entry,
+                "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
+                 \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+                 \"mode\": \"incremental\",\n      \
+                 \"embed_ns\": {serial_ns:.1},\n      \
+                 \"parallel_embed_ns\": {par_ns:.1},\n      \
+                 \"repair_ns\": {repair_ns:.1},\n      \
+                 \"repairs_per_sec\": {:.1},\n      \
+                 \"delta_events\": {},\n      \"rebuild_events\": {},\n      \
+                 \"vs_parallel\": {vs_parallel:.2},\n      \
+                 \"speedup\": {speedup:.2}\n    }}",
+                singles.len(),
+                1e9 / repair_ns,
+                incr / REPS,
+                rebuilds.div_ceil(REPS),
+            )
+            .expect("writing to a String cannot fail");
+            entries.push(entry);
+            continue;
+        }
 
         if cfg.mode == Mode::FullRing {
             // Full-ring tiers: the serial embed_into pipeline vs the
@@ -463,6 +597,10 @@ fn main() {
         entries.push(entry);
     }
 
+    if filter.is_some() && matched == 0 {
+        eprintln!("--filter matched no configuration");
+        std::process::exit(2);
+    }
     let json = format!(
         "{{\n  \"benchmark\": \"ffc_embed\",\n  \"schedule\": \"f cycles 0..=8, random fault sets\",\n  \
          \"unit_note\": \"timed loops take the best of {REPS} repetitions; embed_ns is the mean \
@@ -472,7 +610,11 @@ fn main() {
          speedup vs the serial embed_into loop on full tiers, vs the serial u8-stamp loop on \
          mode=stats_only tiers; mode=full tiers compare the serial embed_into pipeline against \
          embed_into_parallel (cycle checksums asserted identical; speedup = best parallel \
-         configuration / serial, per-shard rows carry vs_serial)\",\n  \
+         configuration / serial, per-shard rows carry vs_serial); mode=incremental tiers time \
+         single-fault RingMaintainer repair events (add_fault + clear_fault) against \
+         from-scratch embeds of the same faults — speedup = serial embed_into / repair event, \
+         vs_parallel = embed_into_parallel / repair event, stats checksums asserted identical \
+         to the serial loop\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
@@ -481,7 +623,7 @@ fn main() {
 
     if check {
         let contents = std::fs::read_to_string(&out_path).expect("re-read benchmark file");
-        let problems = validate(&contents);
+        let problems = validate(&contents, filter.is_some());
         if problems.is_empty() {
             eprintln!("check passed: JSON well-formed, all speedups >= 1.0");
         } else {

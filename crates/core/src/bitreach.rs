@@ -1211,6 +1211,606 @@ impl BitReach {
     }
 }
 
+impl BitReach {
+    /// [`BitReach::forward`] with per-level node emission: identical
+    /// visited set, count and depth, but every reached node is also
+    /// emitted level by level into `nodes`/`offsets` (the same CSR shape
+    /// as [`BitReach::broadcast_levels`]). This is the pass the
+    /// incremental engine's [`crate::ffc::EmbedSession`] rebuilds its
+    /// forward level array from.
+    pub fn forward_levels(
+        &self,
+        s: &mut BitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+    ) -> (usize, usize) {
+        let BitScratch {
+            dead,
+            fwd,
+            cur,
+            nxt,
+            fold,
+            ..
+        } = s;
+        fwd[..self.words].copy_from_slice(&dead[..self.words]);
+        nodes.clear();
+        offsets.clear();
+        let sink = Some(LevelSink { nodes, offsets });
+        if self.pow2 {
+            self.run::<true, false>(fwd, cur, nxt, fold, root, sink)
+        } else {
+            self.run::<false, false>(fwd, cur, nxt, fold, root, sink)
+        }
+    }
+
+    /// [`BitReach::backward`] with per-level node emission (see
+    /// [`BitReach::forward_levels`]); returns `(reached, depth)` of the
+    /// backward pass.
+    pub fn backward_levels(
+        &self,
+        s: &mut BitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+    ) -> (usize, usize) {
+        let BitScratch {
+            dead,
+            bwd,
+            cur,
+            nxt,
+            fold,
+            ..
+        } = s;
+        bwd[..self.words].copy_from_slice(&dead[..self.words]);
+        nodes.clear();
+        offsets.clear();
+        let sink = Some(LevelSink { nodes, offsets });
+        if self.pow2 {
+            self.run::<true, true>(bwd, cur, nxt, fold, root, sink)
+        } else {
+            self.run::<false, true>(bwd, cur, nxt, fold, root, sink)
+        }
+    }
+
+    /// [`BitReach::forward_levels`] sharded over `shards` scoped threads —
+    /// emission bytes identical to the serial pass at any shard count
+    /// (delegates like [`BitReach::forward_par`]).
+    pub fn forward_levels_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        shards: usize,
+    ) -> (usize, usize) {
+        if shards <= 1 || !self.dense_capable {
+            return self.forward_levels(s, root, nodes, offsets);
+        }
+        par.prepare(self, shards);
+        let BitScratch {
+            dead,
+            fwd,
+            cur,
+            nxt,
+            ..
+        } = s;
+        fwd[..self.words].copy_from_slice(&dead[..self.words]);
+        nodes.clear();
+        offsets.clear();
+        self.run_par::<false>(
+            fwd,
+            &mut cur.queue,
+            &mut nxt.queue,
+            par,
+            root,
+            shards,
+            Some(LevelSink { nodes, offsets }),
+        )
+    }
+
+    /// [`BitReach::backward_levels`] sharded over `shards` scoped threads
+    /// (delegates like [`BitReach::backward_par`]).
+    pub fn backward_levels_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        shards: usize,
+    ) -> (usize, usize) {
+        if shards <= 1 || !self.dense_capable {
+            return self.backward_levels(s, root, nodes, offsets);
+        }
+        par.prepare(self, shards);
+        let BitScratch {
+            dead,
+            bwd,
+            cur,
+            nxt,
+            ..
+        } = s;
+        bwd[..self.words].copy_from_slice(&dead[..self.words]);
+        nodes.clear();
+        offsets.clear();
+        self.run_par::<true>(
+            bwd,
+            &mut cur.queue,
+            &mut nxt.queue,
+            par,
+            root,
+            shards,
+            Some(LevelSink { nodes, offsets }),
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// The delta level-repair passes (incremental reachability).
+// ----------------------------------------------------------------------
+
+/// Level value of a node outside the structure (unreachable, dead, or not
+/// a member). The delta passes treat it as +∞.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Returned by the delta passes when a repair's queue work exceeds the
+/// caller's budget — the signal that a from-scratch recompute is cheaper
+/// than continuing the delta (the [`crate::ffc::RingMaintainer`] then
+/// falls back to a full rebuild).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaBudgetExceeded {
+    /// Queue pops performed before giving up.
+    pub pops: usize,
+}
+
+impl std::fmt::Display for DeltaBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "delta level repair exceeded its work budget after {} queue pops",
+            self.pops
+        )
+    }
+}
+
+impl std::error::Error for DeltaBudgetExceeded {}
+
+/// Reusable state of the delta level-repair passes
+/// ([`BitReach::levels_delete`] / [`BitReach::levels_insert`]): a
+/// monotone two-level queue (during the drain every push lands exactly
+/// one level above the level being processed, so a sorted seed list plus
+/// a current/next ping-pong replaces a priority queue at O(1) per
+/// operation), the changed-node log, and the deduplication stamps.
+/// Grow-only; the queues are reserved to their worst case up front, so
+/// repairs perform no heap allocation after warm-up at a fixed graph
+/// size.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaScratch {
+    /// Seed entries as packed `level << 32 | node`, sorted ascending and
+    /// merged into the drain level by level.
+    seeds: Vec<u64>,
+    /// Nodes pending at the level currently being drained.
+    cur: Vec<u32>,
+    /// Nodes pending one level up.
+    nxt: Vec<u32>,
+    /// The level each node is currently queued at (NONE-like
+    /// [`UNREACHED`] = not queued) — dedups pushes and catches stale
+    /// entries.
+    pending: Vec<u32>,
+    /// Nodes whose level changed in the most recent pass, in first-change
+    /// order.
+    changed: Vec<u32>,
+    /// The pre-pass level of each changed node (parallel to `changed`;
+    /// [`UNREACHED`] for nodes that entered the structure).
+    old_levels: Vec<u32>,
+    /// Per-node stamp marking "already logged this pass".
+    changed_stamp: Vec<u32>,
+    /// Monotone pass stamp for the log dedup.
+    stamp: u32,
+}
+
+impl DeltaScratch {
+    /// Creates an empty scratch; buffers are sized by the first pass.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The nodes whose level changed in the most recent pass (each node
+    /// appears exactly once, in first-change order).
+    #[must_use]
+    pub fn changed_nodes(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// The pre-pass levels of [`DeltaScratch::changed_nodes`], parallel to
+    /// it ([`UNREACHED`] for nodes that entered the structure).
+    #[must_use]
+    pub fn old_levels(&self) -> &[u32] {
+        &self.old_levels
+    }
+
+    /// `(node, pre-pass level)` pairs of the most recent pass.
+    pub fn changed(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.changed
+            .iter()
+            .copied()
+            .zip(self.old_levels.iter().copied())
+    }
+
+    /// Total bytes currently reserved by the scratch's buffers.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        4 * (self.changed.capacity()
+            + self.old_levels.capacity()
+            + self.changed_stamp.capacity()
+            + self.cur.capacity()
+            + self.nxt.capacity()
+            + self.pending.capacity())
+            + 8 * self.seeds.capacity()
+    }
+
+    /// Starts a pass: advances the stamp, clears the log, and sizes the
+    /// queues so the pass never reallocates.
+    fn begin(&mut self, n_nodes: usize, seed_cap: usize) {
+        if self.changed_stamp.len() < n_nodes {
+            self.changed_stamp.resize(n_nodes, 0);
+        }
+        if self.pending.len() < n_nodes {
+            self.pending.resize(n_nodes, UNREACHED);
+        }
+        if self.stamp == u32::MAX {
+            self.changed_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.changed.clear();
+        self.old_levels.clear();
+        self.seeds.clear();
+        self.cur.clear();
+        self.nxt.clear();
+        reserve_more(&mut self.seeds, seed_cap);
+        reserve_more(&mut self.cur, n_nodes);
+        reserve_more(&mut self.nxt, n_nodes);
+        reserve_more(&mut self.changed, n_nodes);
+        reserve_more(&mut self.old_levels, n_nodes);
+    }
+
+    /// Logs `v`'s first level change of this pass (later changes of the
+    /// same node keep the original pre-pass level).
+    #[inline]
+    fn record(&mut self, v: u32, old: u32) {
+        if self.changed_stamp[v as usize] != self.stamp {
+            self.changed_stamp[v as usize] = self.stamp;
+            self.changed.push(v);
+            self.old_levels.push(old);
+        }
+    }
+
+    /// Clears the pending markers of every still-queued entry (budget
+    /// aborts leave the queues mid-drain).
+    fn abort(&mut self) {
+        for &u in self.cur.iter().chain(&self.nxt) {
+            self.pending[u as usize] = UNREACHED;
+        }
+        for &e in &self.seeds {
+            self.pending[(e & u64::from(u32::MAX)) as usize] = UNREACHED;
+        }
+        self.cur.clear();
+        self.nxt.clear();
+        self.seeds.clear();
+    }
+}
+
+/// Guarantees capacity for `cap` entries without touching the length.
+pub(crate) fn reserve_more<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve_exact(cap - v.len());
+    }
+}
+
+impl BitReach {
+    /// Batch **node-deletion** repair of a BFS level array — the delta
+    /// pass behind [`crate::ffc::RingMaintainer::add_fault`].
+    ///
+    /// `levels[v]` holds the BFS distance from a fixed root over the
+    /// subgraph induced by `member` (with `UNREACHED` outside), following
+    /// successor edges (`backward == false`) or predecessor edges
+    /// (`backward == true`). The caller has just removed `deleted` from
+    /// the membership (each of them must already test `!member`); this
+    /// pass sets their levels to [`UNREACHED`], then repairs every other
+    /// node whose distance grew, Even–Shiloach style: nodes are
+    /// re-evaluated in increasing level order, a node with a surviving
+    /// predecessor one level up stays put, and a node without one is
+    /// bumped a level and its dependents re-enqueued, until the array
+    /// again equals what a from-scratch BFS over the new membership would
+    /// produce — **bit-identical to recompute** (levels are canonical, so
+    /// this is exact, not approximate).
+    ///
+    /// Every node whose level changed (including the deleted nodes) is
+    /// logged in `ds` with its pre-pass level. Levels only ever increase;
+    /// a node whose level would reach `n_nodes` is unreachable and goes to
+    /// [`UNREACHED`] directly. On success the number of queue pops the
+    /// repair consumed is returned, so a caller running several passes per
+    /// event can deduct them from one shared budget.
+    ///
+    /// # Errors
+    /// Returns [`DeltaBudgetExceeded`] when more than `budget` queue pops
+    /// were needed — the levels array is then partially repaired and must
+    /// be rebuilt from scratch (the log is meaningless in that case).
+    ///
+    /// The root must never be deleted (rebuild instead); `member` must
+    /// already reflect the post-deletion membership.
+    pub fn levels_delete<M: Fn(usize) -> bool>(
+        &self,
+        levels: &mut [u32],
+        ds: &mut DeltaScratch,
+        deleted: &[u32],
+        member: M,
+        backward: bool,
+        budget: usize,
+    ) -> Result<usize, DeltaBudgetExceeded> {
+        if self.pow2 {
+            self.levels_delete_impl::<true, M>(levels, ds, deleted, member, backward, budget)
+        } else {
+            self.levels_delete_impl::<false, M>(levels, ds, deleted, member, backward, budget)
+        }
+    }
+
+    fn levels_delete_impl<const POW2: bool, M: Fn(usize) -> bool>(
+        &self,
+        levels: &mut [u32],
+        ds: &mut DeltaScratch,
+        deleted: &[u32],
+        member: M,
+        backward: bool,
+        budget: usize,
+    ) -> Result<usize, DeltaBudgetExceeded> {
+        let d = self.d;
+        ds.begin(self.n_nodes, deleted.len() * d + 1);
+        // Out-edges of the structure (the direction levels grow along) and
+        // in-edges (the direction support is checked along).
+        let out = |v: usize, a: usize| self.edge::<POW2>(v, a, backward);
+        let inn = |v: usize, a: usize| self.edge::<POW2>(v, a, !backward);
+        // Seed: drop the deleted nodes and stage their dependents.
+        for &x in deleted {
+            let xi = x as usize;
+            debug_assert!(!member(xi), "deleted node still tests as a member");
+            let lx = levels[xi];
+            if lx == UNREACHED {
+                continue;
+            }
+            ds.record(x, lx);
+            levels[xi] = UNREACHED;
+        }
+        for i in 0..ds.changed.len() {
+            let (x, lx) = (ds.changed[i] as usize, ds.old_levels[i]);
+            for a in 0..d {
+                let s = out(x, a);
+                if member(s) && levels[s] == lx + 1 && ds.pending[s] != lx + 1 {
+                    ds.pending[s] = lx + 1;
+                    ds.seeds.push((u64::from(lx + 1) << 32) | s as u64);
+                }
+            }
+        }
+        if ds.seeds.is_empty() {
+            return Ok(0);
+        }
+        ds.seeds.sort_unstable();
+        // Drain level by level: all pushes land exactly one level up, so a
+        // current/next ping-pong with seed merging replaces a heap.
+        let mut si = 0usize;
+        let mut l = (ds.seeds[0] >> 32) as usize;
+        let mut pops = 0usize;
+        loop {
+            while si < ds.seeds.len() && (ds.seeds[si] >> 32) as usize == l {
+                ds.cur.push((ds.seeds[si] & u64::from(u32::MAX)) as u32);
+                si += 1;
+            }
+            if ds.cur.is_empty() {
+                if si >= ds.seeds.len() {
+                    break;
+                }
+                l = (ds.seeds[si] >> 32) as usize;
+                continue;
+            }
+            let mut head = 0usize;
+            while head < ds.cur.len() {
+                let u = ds.cur[head];
+                head += 1;
+                let ui = u as usize;
+                if ds.pending[ui] == l as u32 {
+                    ds.pending[ui] = UNREACHED;
+                }
+                if levels[ui] != l as u32 {
+                    continue; // stale entry
+                }
+                pops += 1;
+                if pops > budget {
+                    ds.abort();
+                    return Err(DeltaBudgetExceeded { pops });
+                }
+                // A surviving predecessor one level up keeps u settled:
+                // every level below l is final, so the check is exact.
+                let supported = (0..d).any(|a| {
+                    let p = inn(ui, a);
+                    member(p) && levels[p] == (l - 1) as u32
+                });
+                if supported {
+                    continue;
+                }
+                ds.record(u, l as u32);
+                for a in 0..d {
+                    let s = out(ui, a);
+                    if member(s) && levels[s] == (l + 1) as u32 && ds.pending[s] != (l + 1) as u32 {
+                        ds.pending[s] = (l + 1) as u32;
+                        ds.nxt.push(s as u32);
+                    }
+                }
+                if l + 1 >= self.n_nodes {
+                    levels[ui] = UNREACHED;
+                } else {
+                    levels[ui] = (l + 1) as u32;
+                    if ds.pending[ui] != (l + 1) as u32 {
+                        ds.pending[ui] = (l + 1) as u32;
+                        ds.nxt.push(u);
+                    }
+                }
+            }
+            ds.cur.clear();
+            std::mem::swap(&mut ds.cur, &mut ds.nxt);
+            l += 1;
+            if ds.cur.is_empty() && si >= ds.seeds.len() {
+                break;
+            }
+        }
+        Ok(pops)
+    }
+
+    /// Batch **node-insertion** repair of a BFS level array — the delta
+    /// pass behind [`crate::ffc::RingMaintainer::clear_fault`], and the
+    /// exact mirror of [`BitReach::levels_delete`]: the caller has just
+    /// added `inserted` to the membership (each must already test `member`
+    /// and carry [`UNREACHED`]), and this pass computes their levels and
+    /// relaxes every node whose distance shrank — unit-weight Dijkstra out
+    /// of the healed frontier, **bit-identical to recompute**. Levels only
+    /// ever decrease; changes are logged like the delete pass, and the
+    /// consumed queue pops are returned on success.
+    ///
+    /// # Errors
+    /// Returns [`DeltaBudgetExceeded`] when more than `budget` queue pops
+    /// were needed (same contract as [`BitReach::levels_delete`]).
+    pub fn levels_insert<M: Fn(usize) -> bool>(
+        &self,
+        levels: &mut [u32],
+        ds: &mut DeltaScratch,
+        inserted: &[u32],
+        member: M,
+        backward: bool,
+        budget: usize,
+    ) -> Result<usize, DeltaBudgetExceeded> {
+        if self.pow2 {
+            self.levels_insert_impl::<true, M>(levels, ds, inserted, member, backward, budget)
+        } else {
+            self.levels_insert_impl::<false, M>(levels, ds, inserted, member, backward, budget)
+        }
+    }
+
+    fn levels_insert_impl<const POW2: bool, M: Fn(usize) -> bool>(
+        &self,
+        levels: &mut [u32],
+        ds: &mut DeltaScratch,
+        inserted: &[u32],
+        member: M,
+        backward: bool,
+        budget: usize,
+    ) -> Result<usize, DeltaBudgetExceeded> {
+        let d = self.d;
+        ds.begin(self.n_nodes, inserted.len() + 1);
+        let out = |v: usize, a: usize| self.edge::<POW2>(v, a, backward);
+        let inn = |v: usize, a: usize| self.edge::<POW2>(v, a, !backward);
+        // Seed: each revived node joins one level below its best live
+        // predecessor (if it has one yet — relaxation finds the rest).
+        for &x in inserted {
+            let xi = x as usize;
+            debug_assert!(member(xi), "inserted node does not test as a member");
+            debug_assert_eq!(levels[xi], UNREACHED, "inserted node already has a level");
+            let mut best = UNREACHED;
+            for a in 0..d {
+                let p = inn(xi, a);
+                if member(p) && levels[p] < best {
+                    best = levels[p];
+                }
+            }
+            if best != UNREACHED {
+                ds.record(x, UNREACHED);
+                levels[xi] = best + 1;
+                ds.pending[xi] = best + 1;
+                ds.seeds.push((u64::from(best + 1) << 32) | u64::from(x));
+            }
+        }
+        if ds.seeds.is_empty() {
+            return Ok(0);
+        }
+        ds.seeds.sort_unstable();
+        let mut si = 0usize;
+        let mut l = (ds.seeds[0] >> 32) as usize;
+        let mut pops = 0usize;
+        loop {
+            while si < ds.seeds.len() && (ds.seeds[si] >> 32) as usize == l {
+                ds.cur.push((ds.seeds[si] & u64::from(u32::MAX)) as u32);
+                si += 1;
+            }
+            if ds.cur.is_empty() {
+                if si >= ds.seeds.len() {
+                    break;
+                }
+                l = (ds.seeds[si] >> 32) as usize;
+                continue;
+            }
+            let mut head = 0usize;
+            while head < ds.cur.len() {
+                let u = ds.cur[head];
+                head += 1;
+                let ui = u as usize;
+                if ds.pending[ui] == l as u32 {
+                    ds.pending[ui] = UNREACHED;
+                }
+                if levels[ui] != l as u32 {
+                    continue; // stale entry (relaxed below its queued level)
+                }
+                pops += 1;
+                if pops > budget {
+                    ds.abort();
+                    return Err(DeltaBudgetExceeded { pops });
+                }
+                for a in 0..d {
+                    let s = out(ui, a);
+                    if member(s) && levels[s] > (l + 1) as u32 {
+                        ds.record(s as u32, levels[s]);
+                        levels[s] = (l + 1) as u32;
+                        if ds.pending[s] != (l + 1) as u32 {
+                            ds.pending[s] = (l + 1) as u32;
+                            ds.nxt.push(s as u32);
+                        }
+                    }
+                }
+            }
+            ds.cur.clear();
+            std::mem::swap(&mut ds.cur, &mut ds.nxt);
+            l += 1;
+            if ds.cur.is_empty() && si >= ds.seeds.len() {
+                break;
+            }
+        }
+        Ok(pops)
+    }
+
+    /// One implicit edge of the structure: `forward == false` follows a
+    /// graph successor, `true` a graph predecessor. `POW2` compiles the
+    /// arithmetic to shifts and masks.
+    #[inline]
+    fn edge<const POW2: bool>(&self, v: usize, a: usize, backward: bool) -> usize {
+        if backward {
+            let base = if POW2 { v >> self.d_log } else { v / self.d };
+            base + if POW2 {
+                a << self.suffix_log
+            } else {
+                a * self.suffix
+            }
+        } else {
+            let base = if POW2 {
+                (v & (self.suffix - 1)) << self.d_log
+            } else {
+                (v % self.suffix) * self.d
+            };
+            base + a
+        }
+    }
+}
+
 /// Appends a sparse level to the sink.
 fn emit_queue(sink: &mut LevelSink<'_>, queue: &[u32]) {
     sink.offsets.push(sink.nodes.len() as u32);
@@ -1544,6 +2144,210 @@ mod tests {
         assert!(BitReach::new(4, 1 << 10).dense_capable());
         assert!(!BitReach::new(3, 243).dense_capable()); // not pow2
         assert!(!BitReach::new(2, 32).dense_capable()); // suffix below a word
+    }
+
+    /// The level-emitting forward/backward passes must produce the scalar
+    /// oracle's levels, and the sharded variants must be byte-identical to
+    /// the serial ones at every shard count (including the backward
+    /// emission order, which no earlier pass covered).
+    #[test]
+    fn level_emitting_passes_match_oracle_and_shard_invariantly() {
+        let shapes = [(2usize, 1 << 10), (4, 1 << 10), (2, 1 << 7), (3, 243)];
+        let mut rng = StdRng::seed_from_u64(0x1e7e15);
+        for &(d, n_nodes) in &shapes {
+            let reach = BitReach::new(d, n_nodes);
+            for trial in 0..6 {
+                let root = 1usize;
+                let deaths = [0, 1, n_nodes / 16, n_nodes / 3][trial % 4];
+                let dead = random_dead(n_nodes, deaths, root, &mut rng);
+                let scatter = |nodes: &[u32], offsets: &[u32]| -> Vec<usize> {
+                    let mut lv = vec![usize::MAX; n_nodes];
+                    for l in 0..offsets.len() - 1 {
+                        for &v in &nodes[offsets[l] as usize..offsets[l + 1] as usize] {
+                            lv[v as usize] = l;
+                        }
+                    }
+                    lv
+                };
+                for backward in [false, true] {
+                    let (want_lv, want_reached, want_depth) =
+                        oracle_bfs(d, n_nodes, &dead, root, backward, None);
+                    let mut s = BitScratch::new();
+                    reach.prepare(&mut s);
+                    for (v, &x) in dead.iter().enumerate() {
+                        if x {
+                            reach.kill(&mut s, v);
+                        }
+                    }
+                    let mut nodes = Vec::new();
+                    let mut offsets = Vec::new();
+                    let got = if backward {
+                        reach.backward_levels(&mut s, root, &mut nodes, &mut offsets)
+                    } else {
+                        reach.forward_levels(&mut s, root, &mut nodes, &mut offsets)
+                    };
+                    assert_eq!(got, (want_reached, want_depth), "d={d} bwd={backward}");
+                    assert_eq!(scatter(&nodes, &offsets), want_lv, "d={d} bwd={backward}");
+                    for shards in 2..=5usize {
+                        let mut sp = BitScratch::new();
+                        let mut par = ParBitScratch::new();
+                        reach.prepare(&mut sp);
+                        for (v, &x) in dead.iter().enumerate() {
+                            if x {
+                                reach.kill(&mut sp, v);
+                            }
+                        }
+                        let mut pn = Vec::new();
+                        let mut po = Vec::new();
+                        let gp = if backward {
+                            reach.backward_levels_par(
+                                &mut sp, &mut par, root, &mut pn, &mut po, shards,
+                            )
+                        } else {
+                            reach.forward_levels_par(
+                                &mut sp, &mut par, root, &mut pn, &mut po, shards,
+                            )
+                        };
+                        assert_eq!(gp, got, "x{shards} bwd={backward}");
+                        assert_eq!(pn, nodes, "emission bytes x{shards} bwd={backward}");
+                        assert_eq!(po, offsets, "offsets x{shards} bwd={backward}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scalar level oracle as a u32 array with [`UNREACHED`] holes.
+    fn oracle_levels(
+        d: usize,
+        n_nodes: usize,
+        member: &[bool],
+        root: usize,
+        backward: bool,
+    ) -> Vec<u32> {
+        let dead: Vec<bool> = member.iter().map(|&m| !m).collect();
+        let (lv, _, _) = oracle_bfs(d, n_nodes, &dead, root, backward, None);
+        lv.iter()
+            .map(|&l| if l == usize::MAX { UNREACHED } else { l as u32 })
+            .collect()
+    }
+
+    /// The delta passes must be **bit-identical to recompute**: after any
+    /// batch of deletions or insertions, the repaired level array equals a
+    /// from-scratch BFS over the new membership — in both edge directions,
+    /// across several mutation rounds on the same scratch, and the changed
+    /// log must name exactly the nodes whose level differs (with their
+    /// true pre-pass levels).
+    #[test]
+    fn delta_passes_are_bit_identical_to_recompute() {
+        let shapes = [(2usize, 1 << 9), (3, 243), (4, 256), (2, 64)];
+        let mut rng = StdRng::seed_from_u64(0xde17a);
+        for &(d, n_nodes) in &shapes {
+            let reach = BitReach::new(d, n_nodes);
+            for backward in [false, true] {
+                let root = 1usize;
+                let mut member = vec![true; n_nodes];
+                let mut levels = oracle_levels(d, n_nodes, &member, root, backward);
+                let mut ds = DeltaScratch::new();
+                let mut removed: Vec<u32> = Vec::new();
+                for round in 0..30 {
+                    let before = levels.clone();
+                    let delete = round % 2 == 0 || removed.is_empty();
+                    let batch: Vec<u32> = if delete {
+                        let k = 1 + rng.gen_range(0..4);
+                        let mut b = Vec::new();
+                        for _ in 0..k {
+                            let v = rng.gen_range(0..n_nodes);
+                            if v != root && member[v] && !b.contains(&(v as u32)) {
+                                b.push(v as u32);
+                            }
+                        }
+                        b
+                    } else {
+                        let k = 1 + rng.gen_range(0..removed.len());
+                        removed.drain(..k).collect()
+                    };
+                    if delete {
+                        for &v in &batch {
+                            member[v as usize] = false;
+                            removed.push(v);
+                        }
+                        reach
+                            .levels_delete(
+                                &mut levels,
+                                &mut ds,
+                                &batch,
+                                |u| member[u],
+                                backward,
+                                usize::MAX,
+                            )
+                            .expect("unbounded budget");
+                    } else {
+                        for &v in &batch {
+                            member[v as usize] = true;
+                        }
+                        reach
+                            .levels_insert(
+                                &mut levels,
+                                &mut ds,
+                                &batch,
+                                |u| member[u],
+                                backward,
+                                usize::MAX,
+                            )
+                            .expect("unbounded budget");
+                    }
+                    let want = oracle_levels(d, n_nodes, &member, root, backward);
+                    assert_eq!(
+                        levels, want,
+                        "d={d} n={n_nodes} bwd={backward} round={round} delete={delete}"
+                    );
+                    // The changed log is exact: every difference against the
+                    // pre-pass array is logged once with its true old level.
+                    let mut diff: Vec<(u32, u32)> = before
+                        .iter()
+                        .enumerate()
+                        .filter(|&(v, &l)| l != levels[v])
+                        .map(|(v, &l)| (v as u32, l))
+                        .collect();
+                    let mut logged: Vec<(u32, u32)> = ds.changed().collect();
+                    diff.sort_unstable();
+                    logged.sort_unstable();
+                    assert_eq!(logged, diff, "changed log round={round}");
+                }
+            }
+        }
+    }
+
+    /// A pathological deletion (large detached cycle) must trip the work
+    /// budget instead of grinding level-by-level to the cap, and an
+    /// unbounded retry from scratch still converges.
+    #[test]
+    fn delta_delete_respects_the_work_budget() {
+        let (d, n_nodes) = (2usize, 1 << 9);
+        let reach = BitReach::new(d, n_nodes);
+        let root = 1usize;
+        let mut member = vec![true; n_nodes];
+        let mut levels = oracle_levels(d, n_nodes, &member, root, backward_false());
+        let mut ds = DeltaScratch::new();
+        // Kill a thick band of nodes: plenty of cascading work.
+        let batch: Vec<u32> = (64..256u32).collect();
+        for &v in &batch {
+            member[v as usize] = false;
+        }
+        let err = reach
+            .levels_delete(&mut levels, &mut ds, &batch, |u| member[u], false, 3)
+            .expect_err("three pops cannot absorb a 192-node deletion");
+        assert!(err.pops > 3);
+        // The array is now partial; a recompute (what the maintainer's
+        // rebuild fallback does) restores the canonical levels.
+        let want = oracle_levels(d, n_nodes, &member, root, false);
+        levels.copy_from_slice(&want);
+        assert_eq!(levels, want);
+    }
+
+    fn backward_false() -> bool {
+        false
     }
 
     #[test]

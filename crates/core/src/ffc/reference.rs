@@ -1,0 +1,199 @@
+//! The textbook reference implementation: materialised SCC search plus
+//! hash-map w-groups, rebuilding every intermediate from scratch. Kept
+//! verbatim as the differential-testing oracle for the engine (and the
+//! "naive fresh embed" baseline in the Criterion benchmarks) — every other
+//! pipeline in this module tree is ultimately pinned against it.
+
+use std::collections::HashMap;
+
+use dbg_graph::algo::bfs::bfs_tree;
+use dbg_graph::algo::components::scc_component_ids;
+use dbg_graph::{DeBruijn, Topology};
+
+use super::{Ffc, FfcOutcome};
+
+/// A de Bruijn graph restricted to an alive-node mask, used by the
+/// reference implementation for component and BFS computations without
+/// materialising subgraphs.
+struct Masked<'a> {
+    graph: &'a DeBruijn,
+    alive: &'a [bool],
+}
+
+impl Topology for Masked<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn for_each_successor(&self, v: usize, visit: &mut dyn FnMut(usize)) {
+        if !self.alive[v] {
+            return;
+        }
+        self.graph.for_each_successor(v, &mut |u| {
+            if self.alive[u] {
+                visit(u);
+            }
+        });
+    }
+}
+
+impl Ffc {
+    /// The textbook formulation of the algorithm: materialised SCC search
+    /// plus hash-map w-groups, rebuilding every intermediate from scratch.
+    /// Kept as the differential-testing oracle for the engine and as the
+    /// "naive fresh embed" baseline in the Criterion benchmarks.
+    #[must_use]
+    pub fn embed_reference(&self, faulty_nodes: &[usize]) -> FfcOutcome {
+        let faulty_mask = self.faulty_necklace_mask(faulty_nodes);
+        let root = self.pick_root(self.default_root(), &faulty_mask);
+        self.embed_with_mask(root, &faulty_mask)
+    }
+
+    fn embed_with_mask(&self, root: usize, faulty_mask: &[bool]) -> FfcOutcome {
+        let space = self.graph.space();
+        let d = self.graph.d();
+        let suffix_count = space.msd_place();
+        let n_nodes = self.graph.len();
+
+        // Root is normalised to the minimal node of its necklace so that
+        // N(R) = [R], as Step 1.1 requires.
+        let root = space.canonical_rotation(root as u64) as usize;
+
+        // Per-node aliveness induced by the necklace fault mask.
+        let alive: Vec<bool> = (0..n_nodes)
+            .map(|v| !faulty_mask[self.partition.id_of(v as u64)])
+            .collect();
+        let faulty_necklaces = faulty_mask.iter().filter(|&&b| b).count();
+        let removed_nodes = alive.iter().filter(|&&a| !a).count();
+
+        // B*: the strongly connected component of the surviving graph that
+        // contains the root. (The paper's "component" of a digraph.) The
+        // node → component-id labelling makes the root lookup O(1) instead
+        // of scanning every component's node list.
+        let masked = Masked {
+            graph: &self.graph,
+            alive: &alive,
+        };
+        let (comp_ids, _) = scc_component_ids(&masked);
+        let root_comp = comp_ids[root];
+        let mut in_bstar = vec![false; n_nodes];
+        let mut component_size = 0usize;
+        for v in 0..n_nodes {
+            if comp_ids[v] == root_comp {
+                in_bstar[v] = true;
+                component_size += 1;
+            }
+        }
+
+        // Necklaces are unions of cycles, so they are wholly inside or
+        // wholly outside B*.
+        debug_assert!((0..n_nodes).all(|v| {
+            !in_bstar[v] || {
+                let rep = self.partition.necklace_of(v as u64).representative() as usize;
+                in_bstar[rep]
+            }
+        }));
+
+        // Step 1.1: broadcast from the root over B* (synchronous BFS with
+        // minimal-predecessor tie-breaking).
+        let restricted = Masked {
+            graph: &self.graph,
+            alive: &in_bstar,
+        };
+        let tree = bfs_tree(&restricted, root);
+        let eccentricity = tree.depth();
+
+        // Step 1.2: spanning tree T of N*. For every non-root live necklace
+        // pick the node Y that received the broadcast first (ties: minimal
+        // id); the tree edge enters [Y]'s necklace from the necklace of Y's
+        // BFS parent, labeled with Y's (n−1)-digit prefix.
+        let root_necklace = self.partition.id_of(root as u64);
+        // label w -> (parent necklace, children necklaces)
+        let mut groups: HashMap<u64, (usize, Vec<usize>)> = HashMap::new();
+        for (id, neck) in self.partition.necklaces().iter().enumerate() {
+            if faulty_mask[id] || id == root_necklace {
+                continue;
+            }
+            let rep = neck.representative() as usize;
+            if !in_bstar[rep] {
+                continue;
+            }
+            let chosen = neck
+                .nodes(space)
+                .into_iter()
+                .map(|c| c as usize)
+                .min_by_key(|&v| (tree.level[v], v))
+                .expect("necklaces are non-empty");
+            debug_assert!(tree.reached(chosen), "B* node not reached by the broadcast");
+            let parent = tree.parent[chosen];
+            let parent_necklace = self.partition.id_of(parent as u64);
+            let label = chosen as u64 / d; // the (n−1)-digit prefix of Y
+            debug_assert_eq!(parent as u64 % suffix_count, label);
+            let entry = groups.entry(label).or_insert((parent_necklace, Vec::new()));
+            debug_assert_eq!(
+                entry.0, parent_necklace,
+                "T_w must have a single parent necklace (height-one property)"
+            );
+            entry.1.push(id);
+        }
+
+        // Step 2: modify each T_w into a directed cycle of w-edges (D).
+        // Members are ordered by necklace representative, which coincides
+        // with necklace id order.
+        let mut d_edges: HashMap<(usize, u64), usize> = HashMap::new();
+        for (&label, (parent, children)) in &groups {
+            let mut members = children.clone();
+            members.push(*parent);
+            members.sort_unstable();
+            members.dedup();
+            let k = members.len();
+            for i in 0..k {
+                d_edges.insert((members[i], label), members[(i + 1) % k]);
+            }
+        }
+
+        // Step 3: successor function and cycle extraction.
+        let successor = |v: usize| -> usize {
+            let w = v as u64 % suffix_count; // suffix of v = label of its exit edge
+            let my_necklace = self.partition.id_of(v as u64);
+            if let Some(&target) = d_edges.get(&(my_necklace, w)) {
+                // Leave the necklace: successor is wβ where βw lies on the
+                // target necklace.
+                for beta in 0..d {
+                    let entering = w * d + beta; // the node wβ
+                    let beta_w = beta * suffix_count + w; // the node βw (same necklace)
+                    if self.partition.id_of(beta_w) == target {
+                        debug_assert!(in_bstar[entering as usize]);
+                        return entering as usize;
+                    }
+                }
+                unreachable!("a w-edge of D always has an entry node on the target necklace");
+            }
+            // Stay on the necklace.
+            space.rotate_left(v as u64) as usize
+        };
+
+        let mut cycle = Vec::with_capacity(component_size);
+        let mut v = root;
+        loop {
+            cycle.push(v);
+            v = successor(v);
+            if v == root {
+                break;
+            }
+            debug_assert!(
+                cycle.len() <= component_size,
+                "successor walk escaped B* or looped early"
+            );
+        }
+
+        FfcOutcome {
+            root,
+            cycle,
+            component_size,
+            eccentricity,
+            faulty_necklaces,
+            removed_nodes,
+        }
+    }
+}

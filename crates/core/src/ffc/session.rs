@@ -1,0 +1,1186 @@
+//! Persistent phase outputs and the incremental fault-update engine.
+//!
+//! The phase pipeline of [`super::phases`] recomputes everything per call;
+//! a long-lived reconfiguration service absorbing a *stream* of fault
+//! events should repair, not rebuild. This module persists every phase's
+//! output in an [`EmbedSession`]:
+//!
+//! * **Reachability snapshot** — the forward and backward BFS *level*
+//!   arrays over the live graph (not just the reachable bitmaps: the
+//!   levels are the certificate that makes node deletion repairable), the
+//!   derived B* membership and |B*|;
+//! * **Spanning tree** — the broadcast level array over B* plus its level
+//!   histogram (the eccentricity is its maximum);
+//! * **Necklace selection** — per-necklace records (earliest member Y,
+//!   tree label w, parent necklace) and the per-label w-group child lists;
+//! * **Cycle readoff** — the successor overrides and exit bitmap, from
+//!   which the ring is walked on demand ([`EmbedSession::ring_into`]).
+//!
+//! [`RingMaintainer`] drives the session through
+//! [`RingMaintainer::add_fault`] / [`RingMaintainer::clear_fault`] events.
+//! A fault arrival kills one necklace: the bit engine's delta passes
+//! ([`crate::bitreach::BitReach::levels_delete`]) invalidate exactly the
+//! necklace's forward/backward cones (the nodes whose BFS support ran
+//! through it) and re-settle them in increasing level order; a fault
+//! removal re-expands from the healed frontier
+//! ([`crate::bitreach::BitReach::levels_insert`]). Both are
+//! **bit-identical to recompute** — BFS levels are canonical — so every
+//! downstream phase repair (necklace re-selection, w-group rewiring) is
+//! confined to the necklaces whose members or predecessor levels actually
+//! changed, and the session's stats and ring bytes equal a from-scratch
+//! [`Ffc::embed_into`] of the accumulated fault set after every event
+//! (pinned exhaustively over all arrival orders of ≤2-fault sets and by
+//! B(2,14) property tests).
+//!
+//! When the delta's queue work exceeds a budget (a pathological cascade —
+//! e.g. a huge region losing reachability at once), or when the event
+//! changes the repair root, the maintainer falls back to a from-scratch
+//! rebuild of the session (on the sharded level-emitting passes), which
+//! costs one `embed_into_parallel`-shaped pipeline run. [`RepairStats`]
+//! counts which path each event took.
+
+use crate::bitreach::{
+    reserve_more, BitScratch, DeltaBudgetExceeded, DeltaScratch, ParBitScratch, UNREACHED,
+};
+
+use super::{EmbedStats, Ffc, NONE};
+
+/// How many [`RingMaintainer`] events ran as true delta repairs and how
+/// many fell back to a from-scratch session rebuild.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Events absorbed by the delta passes alone.
+    pub incremental: usize,
+    /// Events that rebuilt the session (root change, budget exceeded, or
+    /// an explicit [`RingMaintainer::reset`]).
+    pub rebuilds: usize,
+}
+
+/// The persisted outputs of the embedding pipeline's phases, plus the
+/// accumulated fault state they were computed under. See the module docs
+/// for the phase-by-phase layout. All mutation goes through
+/// [`RingMaintainer`]; the session itself exposes read-only views.
+#[derive(Clone, Debug, Default)]
+pub struct EmbedSession {
+    // -- shape (asserted against the `Ffc` of every call) --
+    d: usize,
+    suffix: usize,
+    n_nodes: usize,
+    n_necks: usize,
+    initialized: bool,
+    // -- accumulated fault state --
+    /// Node-level fault flags (the accumulated fault *set*; duplicate adds
+    /// are no-ops at the maintainer).
+    node_faulty: Vec<bool>,
+    /// The accumulated faulty nodes, unordered.
+    fault_list: Vec<usize>,
+    /// Position of each faulty node within `fault_list` (NONE otherwise).
+    fault_pos: Vec<u32>,
+    /// Number of faulty nodes per necklace; a necklace is dead iff > 0.
+    neck_fault_count: Vec<u32>,
+    /// Per node: member of a dead necklace.
+    node_dead: Vec<bool>,
+    faulty_necklaces: usize,
+    removed_nodes: usize,
+    // -- reachability snapshot --
+    root: usize,
+    root_neck: usize,
+    /// Forward BFS levels from the root over live nodes (UNREACHED = dead
+    /// or unreachable).
+    fwd_level: Vec<u32>,
+    /// Backward BFS levels (distance *to* the root) over live nodes.
+    bwd_level: Vec<u32>,
+    /// B* membership: forward- and backward-reachable and live.
+    in_bstar: Vec<bool>,
+    component_size: usize,
+    // -- spanning tree --
+    /// Broadcast levels over the B*-induced subgraph.
+    bcast_level: Vec<u32>,
+    /// Histogram of `bcast_level` (eccentricity = the last non-zero bin).
+    level_counts: Vec<u32>,
+    max_level: usize,
+    // -- necklace selection --
+    /// Earliest-reached member Y per necklace (NONE = no tree record:
+    /// dead, outside B*, or the root necklace).
+    neck_chosen: Vec<u32>,
+    /// Tree label w of the necklace's record (valid iff `neck_chosen` set).
+    neck_label: Vec<u32>,
+    /// Parent necklace of the record (valid iff `neck_chosen` set).
+    neck_parent: Vec<u32>,
+    /// d sorted child slots per label (NONE = empty): the necklaces whose
+    /// tree edge carries this label. A label's w-group is its children
+    /// plus their shared parent necklace.
+    label_children: Vec<u32>,
+    // -- cycle readoff --
+    /// Successor overrides (meaningful where the exit bit is set).
+    succ: Vec<u32>,
+    /// Bit v set ⟺ node v leaves its necklace through a w-edge.
+    exit_bits: Vec<u64>,
+    // -- reusable machinery --
+    bits: BitScratch,
+    pbits: ParBitScratch,
+    delta: DeltaScratch,
+    /// CSR buffers of the level-emitting rebuild passes.
+    nodes_buf: Vec<u32>,
+    offsets_buf: Vec<u32>,
+    /// Per-necklace best (level, node) fold of the rebuild.
+    best_key: Vec<u64>,
+    best_stamp: Vec<u32>,
+    live_necks: Vec<u32>,
+    /// Event-scoped dedup stamps and worklists of the delta path.
+    stamp: u32,
+    cand_stamp: Vec<u32>,
+    cand_buf: Vec<u32>,
+    batch_buf: Vec<u32>,
+    moved_buf: Vec<u32>,
+    dirty_stamp: Vec<u32>,
+    dirty_necks: Vec<u32>,
+    label_stamp: Vec<u32>,
+    dirty_labels: Vec<u32>,
+    member_buf: Vec<u32>,
+    /// Root-probe state (mirrors the engine's allocation-free probe).
+    probe_stamp: Vec<u32>,
+    probe_queue: Vec<u32>,
+    probe_next: Vec<u32>,
+}
+
+impl EmbedSession {
+    /// The scalar results the accumulated fault set embeds to — identical
+    /// to [`Ffc::embed_into`] of that set.
+    #[must_use]
+    pub fn stats(&self) -> EmbedStats {
+        EmbedStats {
+            root: self.root,
+            component_size: self.component_size,
+            eccentricity: self.max_level,
+            faulty_necklaces: self.faulty_necklaces,
+            removed_nodes: self.removed_nodes,
+        }
+    }
+
+    /// The accumulated faulty nodes (unordered).
+    #[must_use]
+    pub fn faulty_nodes(&self) -> &[usize] {
+        &self.fault_list
+    }
+
+    /// Whether node `v` lies in B* under the accumulated fault set.
+    #[must_use]
+    pub fn in_bstar(&self, v: usize) -> bool {
+        self.in_bstar[v]
+    }
+
+    /// The current repair root (necklace representative).
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The length of the maintained ring (= |B*|).
+    #[must_use]
+    pub fn ring_len(&self) -> usize {
+        self.component_size
+    }
+
+    /// Walks the maintained ring from the root into `out` — byte-identical
+    /// to the cycle a from-scratch [`Ffc::embed_into`] of the accumulated
+    /// fault set leaves in its scratch. O(|B*|); the repair events
+    /// themselves never pay this walk, which is what makes single-fault
+    /// repair sublinear in the ring length.
+    pub fn ring_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        let (d, suffix) = (self.d, self.suffix);
+        let mut v = self.root;
+        loop {
+            out.push(v);
+            v = if self.exit_bits[v / 64] >> (v % 64) & 1 == 1 {
+                self.succ[v] as usize
+            } else {
+                (v % suffix) * d + v / suffix
+            };
+            if v == self.root {
+                break;
+            }
+            debug_assert!(
+                out.len() <= self.component_size,
+                "ring walk escaped B* or looped early"
+            );
+        }
+    }
+
+    /// Histogram of the forward BFS levels over live nodes (index = level,
+    /// value = nodes first reached at that level). This is exactly the
+    /// per-round new-receiver count of the distributed protocol's
+    /// broadcast phase, which the netsim online harness asserts its
+    /// message trace against.
+    #[must_use]
+    pub fn forward_level_counts(&self) -> Vec<usize> {
+        let mut counts = Vec::new();
+        for &l in &self.fwd_level[..self.n_nodes] {
+            if l == UNREACHED {
+                continue;
+            }
+            let l = l as usize;
+            if counts.len() <= l {
+                counts.resize(l + 1, 0usize);
+            }
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Total bytes currently reserved by the session's buffers — constant
+    /// across repair events at a fixed (d, n), the incremental engine's
+    /// analogue of [`super::EmbedScratch::allocated_bytes`].
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.node_faulty.capacity()
+            + self.node_dead.capacity()
+            + self.in_bstar.capacity()
+            + std::mem::size_of::<usize>() * self.fault_list.capacity()
+            + 4 * (self.fault_pos.capacity()
+                + self.neck_fault_count.capacity()
+                + self.fwd_level.capacity()
+                + self.bwd_level.capacity()
+                + self.bcast_level.capacity()
+                + self.level_counts.capacity()
+                + self.neck_chosen.capacity()
+                + self.neck_label.capacity()
+                + self.neck_parent.capacity()
+                + self.label_children.capacity()
+                + self.succ.capacity()
+                + self.nodes_buf.capacity()
+                + self.offsets_buf.capacity()
+                + self.best_stamp.capacity()
+                + self.live_necks.capacity()
+                + self.cand_stamp.capacity()
+                + self.cand_buf.capacity()
+                + self.batch_buf.capacity()
+                + self.moved_buf.capacity()
+                + self.dirty_stamp.capacity()
+                + self.dirty_necks.capacity()
+                + self.label_stamp.capacity()
+                + self.dirty_labels.capacity()
+                + self.member_buf.capacity()
+                + self.probe_stamp.capacity()
+                + self.probe_queue.capacity()
+                + self.probe_next.capacity())
+            + 8 * (self.exit_bits.capacity() + self.best_key.capacity())
+            + self.bits.allocated_bytes()
+            + self.pbits.allocated_bytes()
+            + self.delta.allocated_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Sizing and fault bookkeeping.
+    // ------------------------------------------------------------------
+
+    /// Advances the event stamp, clearing every stamp array on wrap-around
+    /// (once per 2^32 stamped scopes).
+    fn bump_stamp(&mut self) -> u32 {
+        if self.stamp == u32::MAX {
+            for arr in [
+                &mut self.probe_stamp,
+                &mut self.cand_stamp,
+                &mut self.best_stamp,
+                &mut self.dirty_stamp,
+                &mut self.label_stamp,
+            ] {
+                arr.iter_mut().for_each(|x| *x = 0);
+            }
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Sizes every buffer for `ffc`'s shape and clears the fault state.
+    fn adopt_shape(&mut self, ffc: &Ffc) {
+        let t = &ffc.tables;
+        self.d = t.d;
+        self.suffix = t.suffix_count;
+        self.n_nodes = t.n_nodes;
+        self.n_necks = t.n_necks;
+        let n = self.n_nodes;
+        grow_to(&mut self.node_faulty, n, false);
+        grow_to(&mut self.node_dead, n, false);
+        grow_to(&mut self.in_bstar, n, false);
+        grow_to(&mut self.fault_pos, n, NONE);
+        grow_to(&mut self.fwd_level, n, UNREACHED);
+        grow_to(&mut self.bwd_level, n, UNREACHED);
+        grow_to(&mut self.bcast_level, n, UNREACHED);
+        grow_to(&mut self.succ, n, 0);
+        grow_to(&mut self.label_children, t.suffix_count * t.d, NONE);
+        grow_to(&mut self.cand_stamp, n, 0);
+        grow_to(&mut self.probe_stamp, n, 0);
+        grow_to(&mut self.exit_bits, n.div_ceil(64), 0);
+        grow_to(&mut self.neck_fault_count, self.n_necks, 0);
+        grow_to(&mut self.neck_chosen, self.n_necks, NONE);
+        grow_to(&mut self.neck_label, self.n_necks, 0);
+        grow_to(&mut self.neck_parent, self.n_necks, 0);
+        grow_to(&mut self.best_key, self.n_necks, 0);
+        grow_to(&mut self.best_stamp, self.n_necks, 0);
+        grow_to(&mut self.dirty_stamp, self.n_necks, 0);
+        grow_to(&mut self.label_stamp, t.suffix_count, 0);
+        // Worklists are presized to their worst-case bounds so repair
+        // events never grow them; `level_counts` can in principle index up
+        // to n_nodes - 1 during a delete cascade, so it gets full range.
+        reserve_more(&mut self.fault_list, n);
+        reserve_more(&mut self.cand_buf, n);
+        reserve_more(&mut self.moved_buf, n);
+        reserve_more(&mut self.batch_buf, n);
+        reserve_more(&mut self.nodes_buf, n);
+        reserve_more(&mut self.offsets_buf, n + 2);
+        reserve_more(&mut self.level_counts, n + 1);
+        reserve_more(&mut self.live_necks, self.n_necks);
+        reserve_more(&mut self.dirty_necks, self.n_necks);
+        reserve_more(&mut self.dirty_labels, t.suffix_count);
+        reserve_more(&mut self.member_buf, t.d + 1);
+        reserve_more(&mut self.probe_queue, n);
+        reserve_more(&mut self.probe_next, n);
+        // Fault state restarts from empty.
+        self.node_faulty[..n].fill(false);
+        self.node_dead[..n].fill(false);
+        self.fault_pos[..n].fill(NONE);
+        self.neck_fault_count[..self.n_necks].fill(0);
+        self.fault_list.clear();
+        self.faulty_necklaces = 0;
+        self.removed_nodes = 0;
+        self.initialized = true;
+    }
+
+    /// Asserts this session was built for `ffc`'s shape.
+    fn check_shape(&self, ffc: &Ffc) {
+        assert!(self.initialized, "RingMaintainer::reset must run first");
+        let t = &ffc.tables;
+        assert!(
+            self.d == t.d && self.n_nodes == t.n_nodes && self.n_necks == t.n_necks,
+            "RingMaintainer is bound to a graph with {} nodes; reset it before switching graphs",
+            self.n_nodes
+        );
+    }
+
+    /// Registers node `v` as faulty; returns `Some(nid)` when this kills
+    /// `v`'s necklace (first fault on it), `None` otherwise.
+    fn book_fault(&mut self, ffc: &Ffc, v: usize) -> Option<usize> {
+        debug_assert!(!self.node_faulty[v]);
+        self.node_faulty[v] = true;
+        self.fault_pos[v] = self.fault_list.len() as u32;
+        self.fault_list.push(v);
+        let nid = ffc.partition.membership()[v] as usize;
+        self.neck_fault_count[nid] += 1;
+        if self.neck_fault_count[nid] > 1 {
+            return None;
+        }
+        self.faulty_necklaces += 1;
+        let members = ffc.partition.members(nid);
+        self.removed_nodes += members.len();
+        for &m in members {
+            self.node_dead[m as usize] = true;
+        }
+        Some(nid)
+    }
+
+    /// Unregisters faulty node `v`; returns `Some(nid)` when this revives
+    /// `v`'s necklace (last fault on it), `None` otherwise.
+    fn book_clear(&mut self, ffc: &Ffc, v: usize) -> Option<usize> {
+        debug_assert!(self.node_faulty[v]);
+        self.node_faulty[v] = false;
+        let pos = self.fault_pos[v] as usize;
+        self.fault_pos[v] = NONE;
+        self.fault_list.swap_remove(pos);
+        if let Some(&moved) = self.fault_list.get(pos) {
+            self.fault_pos[moved] = pos as u32;
+        }
+        let nid = ffc.partition.membership()[v] as usize;
+        self.neck_fault_count[nid] -= 1;
+        if self.neck_fault_count[nid] > 0 {
+            return None;
+        }
+        self.faulty_necklaces -= 1;
+        let members = ffc.partition.members(nid);
+        self.removed_nodes -= members.len();
+        for &m in members {
+            self.node_dead[m as usize] = false;
+        }
+        Some(nid)
+    }
+
+    // ------------------------------------------------------------------
+    // Root policy.
+    // ------------------------------------------------------------------
+
+    /// The root the from-scratch policy would pick for the current fault
+    /// set (Section 2.5.2): the preferred root if its necklace survives,
+    /// else the nearest live node by breadth-first distance over the full
+    /// graph, ties broken by minimal id — the identical order to
+    /// [`Ffc::pick_root`] and the engine's probe.
+    ///
+    /// # Panics
+    /// Panics if every necklace is faulty.
+    fn policy_root(&mut self, ffc: &Ffc) -> usize {
+        let preferred = ffc.default_root();
+        let membership = ffc.partition.membership();
+        if self.neck_fault_count[membership[preferred] as usize] == 0 {
+            return ffc.representative_of(preferred);
+        }
+        let stamp = self.bump_stamp();
+        let (d, suffix) = (self.d, self.suffix);
+        self.probe_queue.clear();
+        self.probe_stamp[preferred] = stamp;
+        self.probe_queue.push(preferred as u32);
+        while !self.probe_queue.is_empty() {
+            self.probe_next.clear();
+            for i in 0..self.probe_queue.len() {
+                let v = self.probe_queue[i] as usize;
+                let base = (v % suffix) * d;
+                for a in 0..d {
+                    let u = base + a;
+                    if self.probe_stamp[u] != stamp {
+                        self.probe_stamp[u] = stamp;
+                        self.probe_next.push(u as u32);
+                    }
+                }
+            }
+            self.probe_next.sort_unstable();
+            if let Some(&u) = self
+                .probe_next
+                .iter()
+                .find(|&&u| self.neck_fault_count[membership[u as usize] as usize] == 0)
+            {
+                return ffc.representative_of(u as usize);
+            }
+            std::mem::swap(&mut self.probe_queue, &mut self.probe_next);
+        }
+        panic!("every node of B(d,n) lies on a faulty necklace");
+    }
+
+    // ------------------------------------------------------------------
+    // The from-scratch rebuild (fallback and initialisation).
+    // ------------------------------------------------------------------
+
+    /// Runs the full phase pipeline into the session: the level-emitting
+    /// reachability passes (sharded over `shards` when the shape supports
+    /// it), B* and the broadcast histogram, every necklace record, the
+    /// w-group tables and the exit/override wiring.
+    fn rebuild(&mut self, ffc: &Ffc, shards: usize) {
+        let t = &ffc.tables;
+        let reach = t.reach;
+        let membership = ffc.partition.membership();
+        let n = self.n_nodes;
+
+        // Fault mask: kill every member of every dead necklace.
+        reach.prepare(&mut self.bits);
+        for v in 0..n {
+            if self.node_dead[v] {
+                reach.kill(&mut self.bits, v);
+            }
+        }
+        self.root = self.policy_root(ffc);
+        self.root_neck = membership[self.root] as usize;
+
+        // Reachability snapshot, with levels persisted.
+        let _ = reach.forward_levels_par(
+            &mut self.bits,
+            &mut self.pbits,
+            self.root,
+            &mut self.nodes_buf,
+            &mut self.offsets_buf,
+            shards,
+        );
+        scatter_levels(&mut self.fwd_level, n, &self.nodes_buf, &self.offsets_buf);
+        let _ = reach.backward_levels_par(
+            &mut self.bits,
+            &mut self.pbits,
+            self.root,
+            &mut self.nodes_buf,
+            &mut self.offsets_buf,
+            shards,
+        );
+        scatter_levels(&mut self.bwd_level, n, &self.nodes_buf, &self.offsets_buf);
+        let mut component = 0usize;
+        for v in 0..n {
+            let b = self.fwd_level[v] != UNREACHED && self.bwd_level[v] != UNREACHED;
+            self.in_bstar[v] = b;
+            component += usize::from(b);
+        }
+        self.component_size = component;
+
+        // Spanning tree: broadcast levels over B* plus their histogram.
+        let (reached, depth) = reach.broadcast_levels_par(
+            &mut self.bits,
+            &mut self.pbits,
+            self.root,
+            &mut self.nodes_buf,
+            &mut self.offsets_buf,
+            shards,
+        );
+        debug_assert_eq!(reached, component, "broadcast must cover B*");
+        let _ = reached;
+        scatter_levels(&mut self.bcast_level, n, &self.nodes_buf, &self.offsets_buf);
+        self.level_counts.clear();
+        self.level_counts.resize(depth + 1, 0);
+        for l in 0..=depth {
+            self.level_counts[l] = self.offsets_buf[l + 1] - self.offsets_buf[l];
+        }
+        self.max_level = depth;
+
+        // Necklace selection: per-necklace earliest members, labels,
+        // parents; then the per-label child tables and the wiring.
+        self.neck_chosen[..self.n_necks].fill(NONE);
+        self.label_children[..self.suffix * self.d].fill(NONE);
+        let words = n.div_ceil(64);
+        self.exit_bits[..words].fill(0);
+        let stamp = self.bump_stamp();
+        self.live_necks.clear();
+        for l in 0..=depth {
+            let (lo, hi) = (
+                self.offsets_buf[l] as usize,
+                self.offsets_buf[l + 1] as usize,
+            );
+            for &v in &self.nodes_buf[lo..hi] {
+                let nid = membership[v as usize] as usize;
+                if nid == self.root_neck {
+                    continue;
+                }
+                let key = ((l as u64) << 32) | u64::from(v);
+                if self.best_stamp[nid] != stamp {
+                    self.best_stamp[nid] = stamp;
+                    self.best_key[nid] = key;
+                    self.live_necks.push(nid as u32);
+                } else if key < self.best_key[nid] {
+                    self.best_key[nid] = key;
+                }
+            }
+        }
+        self.dirty_labels.clear();
+        for i in 0..self.live_necks.len() {
+            let nid = self.live_necks[i] as usize;
+            let chosen = (self.best_key[nid] & u64::from(u32::MAX)) as usize;
+            let (label, parent_neck) = self.record_fields(ffc, chosen);
+            self.neck_chosen[nid] = chosen as u32;
+            self.neck_label[nid] = label as u32;
+            self.neck_parent[nid] = parent_neck as u32;
+            insert_child(&mut self.label_children, self.d, label, nid as u32);
+            if self.label_stamp[label] != stamp {
+                self.label_stamp[label] = stamp;
+                self.dirty_labels.push(label as u32);
+            }
+        }
+        for i in 0..self.dirty_labels.len() {
+            let label = self.dirty_labels[i] as usize;
+            self.rewire_label(ffc, label);
+        }
+    }
+
+    /// The (label, parent necklace) of a chosen node: its (n−1)-digit
+    /// prefix and its minimal predecessor one broadcast level up.
+    fn record_fields(&self, ffc: &Ffc, chosen: usize) -> (usize, usize) {
+        let (d, suffix) = (self.d, self.suffix);
+        let label = chosen / d;
+        let lvl = self.bcast_level[chosen];
+        debug_assert!(lvl != UNREACHED && lvl >= 1, "chosen node outside the tree");
+        let parent = (0..d)
+            .map(|a| label + a * suffix)
+            .find(|&p| self.bcast_level[p] == lvl - 1)
+            .expect("chosen node with no frontier predecessor");
+        (label, ffc.partition.membership()[parent] as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // The delta repairs.
+    // ------------------------------------------------------------------
+
+    /// Delta path of a fault arrival that killed necklace `nid`: shrink
+    /// the forward/backward level structures by the necklace's members,
+    /// retire the nodes that fell out of B*, shrink the broadcast
+    /// structure by exactly those, and repair the affected necklace
+    /// records and w-groups.
+    fn delta_kill(
+        &mut self,
+        ffc: &Ffc,
+        nid: usize,
+        budget: usize,
+    ) -> Result<(), DeltaBudgetExceeded> {
+        let reach = ffc.tables.reach;
+        self.batch_buf.clear();
+        self.batch_buf.extend_from_slice(ffc.partition.members(nid));
+        let stamp = self.bump_stamp();
+        self.cand_buf.clear();
+        // One budget covers the whole event: each pass deducts the pops it
+        // consumed, so the per-event cap holds across all three structures.
+        let mut remaining = budget;
+
+        {
+            let Self {
+                fwd_level,
+                bwd_level,
+                node_dead,
+                delta,
+                batch_buf,
+                cand_buf,
+                cand_stamp,
+                ..
+            } = self;
+            for pass in 0..2 {
+                let (levels, backward) = if pass == 0 {
+                    (&mut *fwd_level, false)
+                } else {
+                    (&mut *bwd_level, true)
+                };
+                let pops = reach.levels_delete(
+                    levels,
+                    delta,
+                    batch_buf,
+                    |u| !node_dead[u],
+                    backward,
+                    remaining,
+                )?;
+                remaining = remaining.saturating_sub(pops);
+                for &u in batch_buf.iter().chain(delta.changed_nodes()) {
+                    if cand_stamp[u as usize] != stamp {
+                        cand_stamp[u as usize] = stamp;
+                        cand_buf.push(u);
+                    }
+                }
+            }
+        }
+
+        // B* removals: candidates that lost liveness or a direction.
+        self.moved_buf.clear();
+        for i in 0..self.cand_buf.len() {
+            let u = self.cand_buf[i] as usize;
+            if self.in_bstar[u]
+                && (self.node_dead[u]
+                    || self.fwd_level[u] == UNREACHED
+                    || self.bwd_level[u] == UNREACHED)
+            {
+                self.in_bstar[u] = false;
+                self.moved_buf.push(u as u32);
+            }
+        }
+        self.component_size -= self.moved_buf.len();
+
+        {
+            let Self {
+                bcast_level,
+                in_bstar,
+                delta,
+                moved_buf,
+                ..
+            } = self;
+            let _ = reach.levels_delete(
+                bcast_level,
+                delta,
+                moved_buf,
+                |u| in_bstar[u],
+                false,
+                remaining,
+            )?;
+        }
+        self.absorb_bcast_changes(ffc);
+        Ok(())
+    }
+
+    /// Delta path of a fault removal that revived necklace `nid` — the
+    /// exact mirror of [`EmbedSession::delta_kill`], re-expanding from the
+    /// healed frontier.
+    fn delta_revive(
+        &mut self,
+        ffc: &Ffc,
+        nid: usize,
+        budget: usize,
+    ) -> Result<(), DeltaBudgetExceeded> {
+        let reach = ffc.tables.reach;
+        self.batch_buf.clear();
+        self.batch_buf.extend_from_slice(ffc.partition.members(nid));
+        let stamp = self.bump_stamp();
+        self.cand_buf.clear();
+        // One budget covers the whole event, as in `delta_kill`.
+        let mut remaining = budget;
+
+        {
+            let Self {
+                fwd_level,
+                bwd_level,
+                node_dead,
+                delta,
+                batch_buf,
+                cand_buf,
+                cand_stamp,
+                ..
+            } = self;
+            for pass in 0..2 {
+                let (levels, backward) = if pass == 0 {
+                    (&mut *fwd_level, false)
+                } else {
+                    (&mut *bwd_level, true)
+                };
+                let pops = reach.levels_insert(
+                    levels,
+                    delta,
+                    batch_buf,
+                    |u| !node_dead[u],
+                    backward,
+                    remaining,
+                )?;
+                remaining = remaining.saturating_sub(pops);
+                for &u in batch_buf.iter().chain(delta.changed_nodes()) {
+                    if cand_stamp[u as usize] != stamp {
+                        cand_stamp[u as usize] = stamp;
+                        cand_buf.push(u);
+                    }
+                }
+            }
+        }
+
+        // B* additions: candidates now live and reachable both ways.
+        self.moved_buf.clear();
+        for i in 0..self.cand_buf.len() {
+            let u = self.cand_buf[i] as usize;
+            if !self.in_bstar[u]
+                && !self.node_dead[u]
+                && self.fwd_level[u] != UNREACHED
+                && self.bwd_level[u] != UNREACHED
+            {
+                self.in_bstar[u] = true;
+                self.moved_buf.push(u as u32);
+            }
+        }
+        self.component_size += self.moved_buf.len();
+
+        {
+            let Self {
+                bcast_level,
+                in_bstar,
+                delta,
+                moved_buf,
+                ..
+            } = self;
+            let _ = reach.levels_insert(
+                bcast_level,
+                delta,
+                moved_buf,
+                |u| in_bstar[u],
+                false,
+                remaining,
+            )?;
+        }
+        self.absorb_bcast_changes(ffc);
+        Ok(())
+    }
+
+    /// Applies the broadcast structure's change log: histogram (and
+    /// eccentricity) updates, then re-selection of every necklace whose
+    /// members or predecessor levels changed, then rewiring of every
+    /// w-group whose membership or parent changed.
+    fn absorb_bcast_changes(&mut self, ffc: &Ffc) {
+        let membership = ffc.partition.membership();
+        let (d, suffix) = (self.d, self.suffix);
+        // Histogram.
+        for i in 0..self.delta.changed_nodes().len() {
+            let u = self.delta.changed_nodes()[i] as usize;
+            let old = self.delta.old_levels()[i];
+            if old != UNREACHED {
+                self.level_counts[old as usize] -= 1;
+            }
+            let new = self.bcast_level[u];
+            if new != UNREACHED {
+                let new = new as usize;
+                if self.level_counts.len() <= new {
+                    self.level_counts.resize(new + 1, 0);
+                }
+                self.level_counts[new] += 1;
+                self.max_level = self.max_level.max(new);
+            }
+        }
+        while self.max_level > 0 && self.level_counts[self.max_level] == 0 {
+            self.max_level -= 1;
+        }
+        debug_assert_eq!(
+            self.level_counts.iter().map(|&c| c as usize).sum::<usize>(),
+            self.component_size,
+            "histogram out of sync with |B*|"
+        );
+
+        // Dirty necklaces: those of changed nodes (their earliest member
+        // may differ) and of their B* successors (their chosen node's
+        // minimal predecessor may differ).
+        let stamp = self.bump_stamp();
+        self.dirty_necks.clear();
+        self.dirty_labels.clear();
+        {
+            let Self {
+                delta,
+                dirty_necks,
+                dirty_stamp,
+                in_bstar,
+                ..
+            } = self;
+            let mut mark = |nid: usize| {
+                if dirty_stamp[nid] != stamp {
+                    dirty_stamp[nid] = stamp;
+                    dirty_necks.push(nid as u32);
+                }
+            };
+            for &u in delta.changed_nodes() {
+                let u = u as usize;
+                mark(membership[u] as usize);
+                let base = (u % suffix) * d;
+                for a in 0..d {
+                    let s = base + a;
+                    if in_bstar[s] {
+                        mark(membership[s] as usize);
+                    }
+                }
+            }
+        }
+        for i in 0..self.dirty_necks.len() {
+            let nid = self.dirty_necks[i] as usize;
+            self.refresh_neck(ffc, nid, stamp);
+        }
+        for i in 0..self.dirty_labels.len() {
+            let label = self.dirty_labels[i] as usize;
+            self.rewire_label(ffc, label);
+        }
+    }
+
+    /// Recomputes one necklace's tree record from the current broadcast
+    /// levels and updates the per-label child tables, marking every label
+    /// whose group changed.
+    fn refresh_neck(&mut self, ffc: &Ffc, nid: usize, stamp: u32) {
+        if nid == self.root_neck {
+            return;
+        }
+        let members = ffc.partition.members(nid);
+        let rep = members[0] as usize;
+        let had = self.neck_chosen[nid] != NONE;
+        let old_label = self.neck_label[nid] as usize;
+        if !self.in_bstar[rep] {
+            if had {
+                remove_child(&mut self.label_children, self.d, old_label, nid as u32);
+                mark_label(
+                    old_label,
+                    stamp,
+                    &mut self.dirty_labels,
+                    &mut self.label_stamp,
+                );
+                self.neck_chosen[nid] = NONE;
+            }
+            return;
+        }
+        let mut best = u64::MAX;
+        for &m in members {
+            let lvl = self.bcast_level[m as usize];
+            debug_assert!(lvl != UNREACHED, "B* necklace member without a level");
+            let key = (u64::from(lvl) << 32) | u64::from(m);
+            best = best.min(key);
+        }
+        let chosen = (best & u64::from(u32::MAX)) as usize;
+        let (label, parent_neck) = self.record_fields(ffc, chosen);
+        let group_changed =
+            !had || old_label != label || self.neck_parent[nid] as usize != parent_neck;
+        self.neck_chosen[nid] = chosen as u32;
+        self.neck_label[nid] = label as u32;
+        self.neck_parent[nid] = parent_neck as u32;
+        if !group_changed {
+            return;
+        }
+        if had {
+            remove_child(&mut self.label_children, self.d, old_label, nid as u32);
+            mark_label(
+                old_label,
+                stamp,
+                &mut self.dirty_labels,
+                &mut self.label_stamp,
+            );
+        }
+        insert_child(&mut self.label_children, self.d, label, nid as u32);
+        mark_label(label, stamp, &mut self.dirty_labels, &mut self.label_stamp);
+    }
+
+    /// Unwires and (if the label still has children) rewires one w-group:
+    /// the group's member necklaces — its children plus their shared
+    /// parent, in necklace-id order — are closed into a directed cycle of
+    /// w-edges, exactly like the engines' `wire_w_groups`.
+    fn rewire_label(&mut self, ffc: &Ffc, label: usize) {
+        let (d, suffix) = (self.d, self.suffix);
+        let membership = ffc.partition.membership();
+        // Every possible exit of label w is one of the d nodes a·suffix+w.
+        for a in 0..d {
+            let e = a * suffix + label;
+            self.exit_bits[e / 64] &= !(1u64 << (e % 64));
+        }
+        let base = label * d;
+        let child_count = self.label_children[base..base + d]
+            .iter()
+            .take_while(|&&c| c != NONE)
+            .count();
+        if child_count == 0 {
+            return;
+        }
+        let parent = self.neck_parent[self.label_children[base] as usize];
+        self.member_buf.clear();
+        let mut inserted = false;
+        for i in 0..child_count {
+            let c = self.label_children[base + i];
+            debug_assert_eq!(
+                self.neck_parent[c as usize], parent,
+                "T_w must have a single parent necklace (height-one property)"
+            );
+            if !inserted && parent < c {
+                self.member_buf.push(parent);
+                inserted = true;
+            }
+            if c == parent {
+                inserted = true;
+            }
+            self.member_buf.push(c);
+        }
+        if !inserted {
+            self.member_buf.push(parent);
+        }
+        let Self {
+            member_buf,
+            succ,
+            exit_bits,
+            in_bstar,
+            ..
+        } = self;
+        super::phases::for_each_w_edge(d, suffix, membership, label, member_buf, |exit, entry| {
+            debug_assert!(in_bstar[entry]);
+            succ[exit] = entry as u32;
+            exit_bits[exit / 64] |= 1u64 << (exit % 64);
+        });
+    }
+}
+
+/// The incremental fault-update engine: owns an [`EmbedSession`] and
+/// repairs it through `add_fault` / `clear_fault` events, falling back to
+/// a from-scratch rebuild only when the event changes the repair root or
+/// the delta's work budget is exceeded. After every event the session's
+/// stats and ring bytes are identical to a from-scratch
+/// [`Ffc::embed_into`] of the accumulated fault set.
+///
+/// Like [`super::EmbedScratch`], the maintainer is a state object: every
+/// method takes the [`Ffc`] it was [`RingMaintainer::reset`] against (the
+/// shape is asserted). One maintainer serves any number of events with no
+/// heap allocation after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct RingMaintainer {
+    session: EmbedSession,
+    shards: usize,
+    budget: Option<usize>,
+    repairs: RepairStats,
+}
+
+impl RingMaintainer {
+    /// Creates an empty maintainer (single-shard rebuilds, automatic
+    /// budget). [`RingMaintainer::reset`] must run before the first event.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A maintainer whose rebuild fallbacks run the sharded level-emitting
+    /// passes over `shards` scoped threads (clamped to at least 1). The
+    /// session state is bit-identical at any shard count; the delta passes
+    /// themselves are serial — their work is proportional to the affected
+    /// cones, far below any threading threshold.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        RingMaintainer {
+            shards: shards.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the delta work budget — queue pops per event, shared
+    /// across the event's forward/backward/broadcast repairs — above
+    /// which an event falls back to a rebuild. `None` restores the automatic
+    /// budget, `max(1024, d^n)` — a queue pop (a handful of implicit-edge
+    /// probes) costs well under what the rebuild pays per node across its
+    /// level-emitting passes and scatters, so the break-even sits near
+    /// one pop per node. A budget of 0 forces every event to rebuild (the
+    /// differential tests use this to pin fallback equality).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<usize>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the rebuild shard count for future events without discarding
+    /// the warmed session state (the in-place twin of
+    /// [`RingMaintainer::with_shards`]).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The persisted phase outputs (stats, ring, B* membership, levels).
+    #[must_use]
+    pub fn session(&self) -> &EmbedSession {
+        &self.session
+    }
+
+    /// How many events ran as delta repairs vs rebuilds.
+    #[must_use]
+    pub fn repairs(&self) -> RepairStats {
+        self.repairs
+    }
+
+    /// The scalar results of the current accumulated fault set.
+    #[must_use]
+    pub fn stats(&self) -> EmbedStats {
+        self.session.stats()
+    }
+
+    /// Walks the maintained ring into `out` (see
+    /// [`EmbedSession::ring_into`]).
+    pub fn ring_into(&self, out: &mut Vec<usize>) {
+        self.session.ring_into(out);
+    }
+
+    /// (Re)initialises the session for `ffc` with the given fault set via
+    /// one from-scratch pipeline run, and returns its stats. Duplicate
+    /// nodes in `faults` are tolerated (set semantics, like
+    /// [`Ffc::embed_into`]).
+    pub fn reset(&mut self, ffc: &Ffc, faults: &[usize]) -> EmbedStats {
+        self.session.adopt_shape(ffc);
+        for &v in faults {
+            assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
+            if !self.session.node_faulty[v] {
+                let _ = self.session.book_fault(ffc, v);
+            }
+        }
+        self.session.rebuild(ffc, self.shards.max(1));
+        self.repairs.rebuilds += 1;
+        self.session.stats()
+    }
+
+    /// Absorbs the arrival of a fault at node `v` and returns the repaired
+    /// stats — identical to a fresh [`Ffc::embed_into`] of the accumulated
+    /// fault set. A node already faulty is a no-op (set semantics). The
+    /// repair is incremental unless the event changes the repair root or
+    /// exceeds the delta budget.
+    ///
+    /// # Panics
+    /// Panics if the maintainer was not [`RingMaintainer::reset`] for this
+    /// `ffc`, if `v` is out of range, or if the event kills the last live
+    /// necklace.
+    pub fn add_fault(&mut self, ffc: &Ffc, v: usize) -> EmbedStats {
+        self.session.check_shape(ffc);
+        assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
+        if self.session.node_faulty[v] {
+            return self.session.stats();
+        }
+        let Some(nid) = self.session.book_fault(ffc, v) else {
+            return self.session.stats(); // necklace already dead: no topology change
+        };
+        let new_root = self.session.policy_root(ffc);
+        if new_root != self.session.root {
+            self.session.rebuild(ffc, self.shards.max(1));
+            self.repairs.rebuilds += 1;
+            return self.session.stats();
+        }
+        let budget = self.effective_budget();
+        match (budget > 0).then(|| self.session.delta_kill(ffc, nid, budget)) {
+            Some(Ok(())) => self.repairs.incremental += 1,
+            _ => {
+                self.session.rebuild(ffc, self.shards.max(1));
+                self.repairs.rebuilds += 1;
+            }
+        }
+        self.session.stats()
+    }
+
+    /// Absorbs the repair (removal) of the fault at node `v` and returns
+    /// the repaired stats — the mirror of [`RingMaintainer::add_fault`].
+    ///
+    /// # Panics
+    /// Panics if `v` is not currently faulty (or out of range / wrong
+    /// shape).
+    pub fn clear_fault(&mut self, ffc: &Ffc, v: usize) -> EmbedStats {
+        self.session.check_shape(ffc);
+        assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
+        assert!(
+            self.session.node_faulty[v],
+            "clear_fault({v}): node is not faulty"
+        );
+        let Some(nid) = self.session.book_clear(ffc, v) else {
+            return self.session.stats(); // necklace still dead: no topology change
+        };
+        let new_root = self.session.policy_root(ffc);
+        if new_root != self.session.root {
+            self.session.rebuild(ffc, self.shards.max(1));
+            self.repairs.rebuilds += 1;
+            return self.session.stats();
+        }
+        let budget = self.effective_budget();
+        match (budget > 0).then(|| self.session.delta_revive(ffc, nid, budget)) {
+            Some(Ok(())) => self.repairs.incremental += 1,
+            _ => {
+                self.session.rebuild(ffc, self.shards.max(1));
+                self.repairs.rebuilds += 1;
+            }
+        }
+        self.session.stats()
+    }
+
+    /// The delta budget in effect.
+    fn effective_budget(&self) -> usize {
+        self.budget
+            .unwrap_or_else(|| self.session.n_nodes.max(1024))
+    }
+}
+
+/// Grows `v` to at least `len` entries filled with `fill` (never shrinks).
+fn grow_to<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
+    if v.len() < len {
+        v.resize(len, fill);
+    }
+}
+
+/// Marks a label dirty exactly once per event.
+fn mark_label(label: usize, stamp: u32, labels: &mut Vec<u32>, stamps: &mut [u32]) {
+    if stamps[label] != stamp {
+        stamps[label] = stamp;
+        labels.push(label as u32);
+    }
+}
+
+/// Scatters a level CSR into a per-node level array (UNREACHED holes).
+fn scatter_levels(lv: &mut Vec<u32>, n_nodes: usize, nodes: &[u32], offsets: &[u32]) {
+    grow_to(lv, n_nodes, UNREACHED);
+    lv[..n_nodes].fill(UNREACHED);
+    for l in 0..offsets.len().saturating_sub(1) {
+        for &v in &nodes[offsets[l] as usize..offsets[l + 1] as usize] {
+            lv[v as usize] = l as u32;
+        }
+    }
+}
+
+/// Inserts `nid` into label `label`'s sorted child slots.
+fn insert_child(children: &mut [u32], d: usize, label: usize, nid: u32) {
+    let base = label * d;
+    let slots = &mut children[base..base + d];
+    debug_assert_eq!(slots[d - 1], NONE, "a label can have at most d children");
+    let mut pos = 0;
+    while slots[pos] != NONE && slots[pos] < nid {
+        pos += 1;
+    }
+    debug_assert_ne!(slots[pos], nid, "child inserted twice");
+    slots[pos..].rotate_right(1);
+    slots[pos] = nid;
+}
+
+/// Removes `nid` from label `label`'s sorted child slots.
+fn remove_child(children: &mut [u32], d: usize, label: usize, nid: u32) {
+    let base = label * d;
+    let slots = &mut children[base..base + d];
+    let pos = slots
+        .iter()
+        .position(|&c| c == nid)
+        .expect("removing a child that is not in the label's group");
+    slots[pos..].rotate_left(1);
+    slots[d - 1] = NONE;
+}

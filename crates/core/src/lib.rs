@@ -8,7 +8,10 @@
 //!   tolerate node failures by stitching non-faulty necklaces into a single
 //!   cycle. For f ≤ d−2 failures the cycle has length at least d^n − n·f
 //!   (Proposition 2.2), and for a single failure in the binary graph at
-//!   least 2^n − (n+1) (Proposition 2.3).
+//!   least 2^n − (n+1) (Proposition 2.3). The pipeline is decomposed into
+//!   explicit phases whose outputs persist in an [`EmbedSession`], on top
+//!   of which [`RingMaintainer`] repairs the ring under online
+//!   `add_fault`/`clear_fault` streams instead of re-embedding.
 //! * [`necklace_graph`] — the necklace adjacency graph N* and its spanning
 //!   structures (Figures 2.1–2.4).
 //! * [`disjoint`] — edge-disjoint Hamiltonian cycles (Section 3.2):
@@ -23,14 +26,16 @@
 //! * [`butterfly`] — lifting de Bruijn cycles to butterfly networks via the
 //!   Φ map (Section 3.4, Propositions 3.5 and 3.6).
 //! * [`bitreach`] — the bit-parallel reachability engine under the FFC
-//!   hot paths: word-packed visited/frontier/fault sets and
+//!   hot paths: word-packed visited/frontier/fault sets,
 //!   direction-optimizing BFS that advances 64 nodes per word op on
-//!   power-of-two alphabets (the B(2,20)-scale workhorse).
+//!   power-of-two alphabets (the B(2,20)-scale workhorse), and the
+//!   delta level-repair passes behind incremental fault updates.
 //! * [`bounds`] — the closed-form fault-tolerance bounds ψ(d) and φ(d).
 //! * [`sweep`] — the batch sweep engine: deterministic Monte-Carlo plans
 //!   ([`SweepPlan`]), sharded allocation-free execution
-//!   ([`BatchEmbedder`], [`Ffc::embed_batch`]) and reusable fault drawing,
-//!   behind which Tables 2.1/2.2-style experiments run.
+//!   ([`BatchEmbedder`], [`Ffc::embed_batch`]), reusable fault drawing,
+//!   and the nested incremental rows ([`FaultSchedule::Nested`]) that run
+//!   a whole sweep row through the [`RingMaintainer`].
 //! * [`verify`] — validation helpers shared by tests, benches and examples.
 
 #![forbid(unsafe_code)]
@@ -49,13 +54,16 @@ pub mod sweep;
 pub mod verify;
 
 pub use bitreach::{
-    AtomicCells, BitFrontier, BitReach, BitScratch, DensePolicy, ParBitScratch, SpaceTooLarge,
+    AtomicCells, BitFrontier, BitReach, BitScratch, DeltaBudgetExceeded, DeltaScratch, DensePolicy,
+    ParBitScratch, SpaceTooLarge, UNREACHED,
 };
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
 pub use edge_faults::{EdgeFaultEmbedder, NoFaultFreeCycle};
-pub use ffc::{EmbedScratch, EmbedStats, Ffc, FfcOutcome};
+pub use ffc::{
+    EmbedScratch, EmbedSession, EmbedStats, Ffc, FfcOutcome, RepairStats, RingMaintainer,
+};
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;
 pub use sweep::{BatchEmbedder, FaultDrawer, FaultSchedule, SweepAccumulator, SweepPlan, Trial};

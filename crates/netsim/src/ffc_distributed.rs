@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use dbg_graph::{DeBruijn, FaultSet, Topology};
 use debruijn_core::Ffc;
 
-use crate::network::{Network, NetworkStats};
+use crate::network::{Network, NetworkStats, RoundTrace};
 
 /// One processor's protocol state.
 #[derive(Clone, Debug, Default)]
@@ -113,6 +113,14 @@ pub struct DistributedOutcome {
     pub rounds: DistributedRounds,
     /// Message accounting from the fabric.
     pub network: NetworkStats,
+    /// Per-round message accounting (probe rounds first, then broadcast,
+    /// share and group rounds, in execution order).
+    pub trace: Vec<RoundTrace>,
+    /// How many nodes received their broadcast level at each round
+    /// (index = level; `[0]` is the root). This is the protocol-side twin
+    /// of the centralized maintainer's forward-level histogram, which the
+    /// online harness asserts it against.
+    pub broadcast_level_counts: Vec<usize>,
 }
 
 /// The distributed FFC protocol runner for a fixed B(d,n).
@@ -173,7 +181,7 @@ impl DistributedFfc {
         let root = rep_of(root);
 
         let faults = FaultSet::from_nodes(faulty_nodes.iter().copied());
-        let mut net = Network::new(g, &faults);
+        let mut net = Network::new(g, &faults).with_trace();
         let mut states: Vec<NodeState> = (0..total).map(|_| NodeState::default()).collect();
         let mut rounds = DistributedRounds::default();
 
@@ -465,6 +473,18 @@ impl DistributedFfc {
 
         rounds.total = rounds.probe + rounds.broadcast + rounds.share + rounds.group;
 
+        // Per-level receiver counts of the broadcast phase (the protocol
+        // twin of the centralized forward-level histogram).
+        let mut broadcast_level_counts = Vec::new();
+        for state in &states {
+            if let Some(level) = state.level {
+                if broadcast_level_counts.len() <= level {
+                    broadcast_level_counts.resize(level + 1, 0usize);
+                }
+                broadcast_level_counts[level] += 1;
+            }
+        }
+
         // Trace the cycle from the root.
         let cycle = trace_cycle(&states, root, total);
 
@@ -473,6 +493,8 @@ impl DistributedFfc {
             cycle,
             rounds,
             network: net.stats(),
+            trace: net.trace().to_vec(),
+            broadcast_level_counts,
         }
     }
 }
@@ -614,8 +636,11 @@ mod tests {
     }
 
     /// Exhaustive cross-implementation check: on every fault set of size
-    /// ≤ 2, the distributed protocol, the centralized serial engine and
-    /// the centralized **parallel** engine (`embed_into_parallel`, at a
+    /// ≤ 2, the distributed protocol, the centralized incremental engine
+    /// (`RingMaintainer`, via the shared online harness — which also
+    /// pins the protocol's per-round message counts against the
+    /// maintainer's phase work), the centralized serial engine and the
+    /// centralized **parallel** engine (`embed_into_parallel`, at a
     /// genuinely multi-threaded shard count) must all trace the identical
     /// cycle (same nodes, same order). Both B(2,5) and B(3,3) push past
     /// the f ≤ d−2 guarantee, so this also covers fault loads where B*
@@ -626,6 +651,8 @@ mod tests {
             let runner = DistributedFfc::new(d, n);
             let total = runner.graph().len();
             let mut scratch = debruijn_core::EmbedScratch::new();
+            let mut maint = debruijn_core::RingMaintainer::new();
+            let mut ring = Vec::new();
             let mut fault_sets: Vec<Vec<usize>> = vec![Vec::new()];
             fault_sets.extend((0..total).map(|a| vec![a]));
             for a in 0..total {
@@ -634,18 +661,23 @@ mod tests {
                 }
             }
             for faults in &fault_sets {
-                let reference = runner.reference().embed(faults);
                 let distributed = runner.run(faults);
+                // The shared harness covers root, ring bytes, broadcast
+                // levels and per-round message counts against the
+                // centralized maintainer…
+                maint.reset(runner.reference(), faults);
+                crate::online::verify_against_maintainer(
+                    &distributed,
+                    runner.reference(),
+                    &maint,
+                    &mut ring,
+                )
+                .unwrap_or_else(|e| panic!("{faults:?} in B({d},{n}): {e}"));
+                // …and the serial + parallel engines close the loop.
+                let reference = runner.reference().embed(faults);
                 assert_eq!(
-                    distributed.root, reference.root,
-                    "root differs for {faults:?} in B({d},{n})"
-                );
-                let cycle = distributed.cycle.unwrap_or_else(|| {
-                    panic!("distributed walk did not close for {faults:?} in B({d},{n})")
-                });
-                assert_eq!(
-                    cycle, reference.cycle,
-                    "cycle differs for {faults:?} in B({d},{n})"
+                    reference.cycle, ring,
+                    "serial engine differs for {faults:?} in B({d},{n})"
                 );
                 let parallel = runner
                     .reference()
@@ -653,7 +685,7 @@ mod tests {
                 assert_eq!(parallel.root, reference.root, "{faults:?} in B({d},{n})");
                 assert_eq!(
                     scratch.cycle(),
-                    &cycle[..],
+                    &ring[..],
                     "parallel engine deviates from the protocol for {faults:?} in B({d},{n})"
                 );
             }

@@ -18,6 +18,12 @@
 //!   broadcast over one embedded ring, or split across several edge-disjoint
 //!   rings), the workload that motivates the ring embeddings in the first
 //!   place (Chapter 3 introduction).
+//! * [`online`] — the online fault-injection protocol: a long-lived
+//!   session absorbing a stream of inject/repair events, each triggering
+//!   one distributed reconfiguration whose per-round message counts are
+//!   verified against the centralized incremental engine
+//!   ([`RingMaintainer`](debruijn_core::RingMaintainer)) by a shared
+//!   harness.
 //! * [`sweep`] — distributed Monte-Carlo sweeps driven by the centralized
 //!   batch engine's deterministic [`SweepPlan`](debruijn_core::SweepPlan)
 //!   seeding: a remote worker reconstructs any trial's fault set from
@@ -28,10 +34,12 @@
 
 pub mod ffc_distributed;
 pub mod network;
+pub mod online;
 pub mod ring;
 pub mod sweep;
 
 pub use ffc_distributed::{DistributedFfc, DistributedOutcome};
-pub use network::{Network, NetworkStats};
+pub use network::{Network, NetworkStats, RoundTrace};
+pub use online::{verify_against_maintainer, OnlineEventCost, OnlineFfc};
 pub use ring::{all_to_all_broadcast, split_all_to_all_broadcast, RingBroadcastReport};
 pub use sweep::{distributed_sweep, distributed_sweep_range, DistributedTrial};

@@ -26,12 +26,31 @@ pub struct NetworkStats {
 /// An outgoing message: `(from, to, payload)`.
 pub type Outgoing<M> = (usize, usize, M);
 
+/// Per-round message accounting: what one [`Network::exchange`] moved.
+/// The online FFC harness asserts these against the centralized
+/// maintainer's phase work (e.g. broadcast-round sends against the
+/// forward-level histogram).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct RoundTrace {
+    /// Messages handed to the fabric this round.
+    pub sent: u64,
+    /// Messages delivered to a live receiver this round.
+    pub delivered: u64,
+    /// Messages dropped by faulty links/endpoints this round.
+    pub dropped: u64,
+}
+
 /// A synchronous message-passing network over a topology with faults.
 #[derive(Debug)]
 pub struct Network<'a, T: Topology> {
     topology: &'a T,
     faults: &'a FaultSet,
     stats: NetworkStats,
+    /// Per-round accounting, recorded only when tracing is enabled
+    /// ([`Network::with_trace`]) — long-running collectives (thousands of
+    /// rounds) should not accumulate an unread log.
+    trace: Vec<RoundTrace>,
+    trace_enabled: bool,
 }
 
 impl<'a, T: Topology> Network<'a, T> {
@@ -42,7 +61,17 @@ impl<'a, T: Topology> Network<'a, T> {
             topology,
             faults,
             stats: NetworkStats::default(),
+            trace: Vec::new(),
+            trace_enabled: false,
         }
+    }
+
+    /// Enables per-round message tracing ([`Network::trace`]); off by
+    /// default so unbounded simulations don't grow an unread log.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace_enabled = true;
+        self
     }
 
     /// The underlying topology.
@@ -75,6 +104,14 @@ impl<'a, T: Topology> Network<'a, T> {
         self.stats
     }
 
+    /// Per-round message accounting, one entry per completed
+    /// [`Network::exchange`] (in round order). Empty unless tracing was
+    /// enabled with [`Network::with_trace`].
+    #[must_use]
+    pub fn trace(&self) -> &[RoundTrace] {
+        &self.trace
+    }
+
     /// Executes one synchronous round: takes every message produced by the
     /// senders this round and returns, for each node, the inbox it will see
     /// at the start of the next round.
@@ -84,23 +121,32 @@ impl<'a, T: Topology> Network<'a, T> {
     /// topology — that is a protocol bug, not a fault.
     pub fn exchange<M>(&mut self, outgoing: Vec<Outgoing<M>>) -> Vec<Vec<M>> {
         let mut inboxes: Vec<Vec<M>> = (0..self.len()).map(|_| Vec::new()).collect();
+        let mut round = RoundTrace::default();
         for (from, to, payload) in outgoing {
             assert!(
                 self.topology.has_edge(from, to),
                 "protocol bug: message sent along non-edge {from} -> {to}"
             );
             self.stats.messages_sent += 1;
+            round.sent += 1;
             if self.faults.node_is_faulty(from)
                 || self.faults.node_is_faulty(to)
                 || self.faults.edge_is_faulty(from, to)
             {
                 self.stats.messages_dropped += 1;
+                round.dropped += 1;
                 continue;
             }
             self.stats.messages_delivered += 1;
+            round.delivered += 1;
             inboxes[to].push(payload);
         }
         self.stats.rounds += 1;
+        if self.trace_enabled {
+            self.trace.push(round);
+        } else {
+            let _ = round;
+        }
         inboxes
     }
 

@@ -74,13 +74,14 @@ pub mod prelude {
     pub use dbg_necklace::{Necklace, NecklacePartition};
     pub use dbg_netsim::{
         all_to_all_broadcast, distributed_sweep, split_all_to_all_broadcast, DistributedFfc,
-        Network,
+        Network, OnlineFfc,
     };
     pub use debruijn_core::{
         edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, BatchEmbedder, ButterflyEmbedder,
-        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedStats, FaultDrawer,
-        FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
-        NoFaultFreeCycle, SpaceTooLarge, SweepAccumulator, SweepPlan,
+        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedSession, EmbedStats,
+        FaultDrawer, FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn,
+        NecklaceAdjacency, NoFaultFreeCycle, RingMaintainer, SpaceTooLarge, SweepAccumulator,
+        SweepPlan,
     };
 }
 

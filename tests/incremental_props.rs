@@ -1,0 +1,72 @@
+//! Property tests for the incremental fault-update engine on B(2,14):
+//! random mixes of `add_fault`/`clear_fault` events — including
+//! root-necklace kills that force rebuild fallbacks — must leave the
+//! `RingMaintainer` with stats identical to a from-scratch
+//! `embed_stats_into` of the accumulated fault set after **every** event,
+//! and with ring bytes identical to `embed_into` at checkpoints, at
+//! rebuild shard counts 1, 2 and 5.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use debruijn_rings::core::{EmbedScratch, Ffc, RingMaintainer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn maintainer_matches_from_scratch_on_b2_14(
+        seed in any::<u64>(),
+        shards_idx in 0usize..3,
+        events in 10usize..24,
+    ) {
+        let shards = [1usize, 2, 5][shards_idx];
+        let ffc = Ffc::new(2, 14);
+        let total = ffc.graph().len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut maint = RingMaintainer::with_shards(shards);
+        let mut scratch = EmbedScratch::new();
+        let mut ring = Vec::new();
+        let mut faults: Vec<usize> = Vec::new();
+        maint.reset(&ffc, &faults);
+        for step in 0..events {
+            // Mostly adds, some clears; occasionally aim near the root's
+            // necklace (powers of two) to force the rebuild fallback.
+            let clear = !faults.is_empty() && rng.gen_range(0..3) == 0;
+            if clear {
+                let i = rng.gen_range(0..faults.len());
+                let v = faults.swap_remove(i);
+                maint.clear_fault(&ffc, v);
+            } else {
+                let v = if rng.gen_range(0..8) == 0 {
+                    1usize << rng.gen_range(0..14)
+                } else {
+                    rng.gen_range(0..total)
+                };
+                if !faults.contains(&v) {
+                    faults.push(v);
+                }
+                maint.add_fault(&ffc, v);
+            }
+            let want = ffc.embed_stats_into(&mut scratch, &faults);
+            prop_assert_eq!(
+                maint.stats(), want,
+                "stats diverge at step {} (shards={}, faults={:?})", step, shards, &faults
+            );
+            // Ring bytes at checkpoints (the walk is O(|B*|), so not every
+            // step).
+            if step % 7 == 0 || step + 1 == events {
+                let full = ffc.embed_into(&mut scratch, &faults);
+                prop_assert_eq!(maint.stats(), full, "full stats at step {}", step);
+                maint.ring_into(&mut ring);
+                prop_assert_eq!(
+                    &ring[..], scratch.cycle(),
+                    "ring bytes diverge at step {} (shards={})", step, shards
+                );
+            }
+        }
+        // The walk must have exercised the delta path, not only rebuilds.
+        prop_assert!(maint.repairs().incremental > 0);
+    }
+}
