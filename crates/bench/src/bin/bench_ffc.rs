@@ -39,6 +39,17 @@
 //!   (`vs_parallel`) on the same fault schedule. The per-event stats are
 //!   checksummed and asserted identical to the serial loop's, and the
 //!   row records how many events repaired incrementally vs rebuilt.
+//! * **Churn tiers** (`"mode": "churn"`) — B(2,16), B(2,18) and B(2,20):
+//!   a deterministic churn trace (Poisson arrivals, correlated 4-bursts,
+//!   20% link faults, bounded repair times) replayed through the
+//!   `RingMaintainer` via `replay_churn`. The row records
+//!   `p50_repair_ns` / `p99_repair_ns` (per-batch repair latency),
+//!   `degraded_fraction` (share of trace time spent past tolerance) and
+//!   `worst_excluded`, plus the batched-vs-sequential gate: one
+//!   `apply_batch` of k = 8 simultaneous faults timed against k
+//!   sequential `add_fault` calls on the same nodes (`speedup` =
+//!   sequential / batched, component-size checksums asserted identical —
+//!   a CI-gated floor of 1.0 like every other `speedup`).
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
 //! [--smoke] [--check] [--trials N] [--filter GRAPH]`
@@ -60,11 +71,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use debruijn_core::{
-    BatchEmbedder, EmbedScratch, FaultSchedule, Ffc, RingMaintainer, SweepAccumulator, SweepPlan,
+    replay_churn, BatchEmbedder, ChurnPlan, ChurnReport, EmbedScratch, FaultEvent, FaultSchedule,
+    Ffc, RingMaintainer, SweepAccumulator, SweepPlan,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// What a configuration measures.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -81,6 +93,10 @@ enum Mode {
     /// the from-scratch serial and parallel pipelines, stats checksums
     /// asserted identical to the serial loop.
     Incremental,
+    /// Large tiers, fault churn: a timed arrival/departure trace replayed
+    /// through the maintainer (p50/p99 time-to-repair, degraded-time
+    /// fraction) plus the batched-vs-sequential k-fault repair gate.
+    Churn,
 }
 
 /// One benchmarked configuration.
@@ -193,6 +209,7 @@ fn validate(contents: &str, filtered: bool) -> Vec<String> {
             "\"stats_only\"",
             "\"parallel\"",
             "\"repair_ns\"",
+            "\"p50_repair_ns\"",
         ] {
             if !contents.contains(key) {
                 problems.push(format!("missing key {key}"));
@@ -296,6 +313,13 @@ fn main() {
         mode: Mode::Incremental,
         skip_in_smoke,
     };
+    let churn_tier = |d, n, trials, skip_in_smoke| Config {
+        d,
+        n,
+        trials: scale(trials),
+        mode: Mode::Churn,
+        skip_in_smoke,
+    };
     let configs = [
         full(2, 10, 4000),
         full(2, 14, 400),
@@ -309,6 +333,9 @@ fn main() {
         incr_tier(2, 16, 60, false),
         incr_tier(2, 18, 16, true),
         incr_tier(2, 20, 6, true),
+        churn_tier(2, 16, 120, false),
+        churn_tier(2, 18, 40, true),
+        churn_tier(2, 20, 16, true),
     ];
 
     let mut matched = 0usize;
@@ -332,6 +359,145 @@ fn main() {
         let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
         let label = format!("B({},{})", cfg.d, cfg.n);
+
+        if cfg.mode == Mode::Churn {
+            // Churn tier: a deterministic arrival/departure trace (Poisson
+            // arrivals, correlated 4-bursts, 20% link faults, bounded
+            // repair times) replayed through the maintainer — the
+            // service-level picture of an evolving fault environment.
+            let plan = ChurnPlan::new(seed ^ 0xC4)
+                .arrivals(cfg.trials)
+                .bursts(4, 0.25)
+                .edge_fault_prob(0.2);
+            let steps = plan.generate(&ffc);
+            let mut maint = RingMaintainer::new();
+            let mut best_report: Option<ChurnReport> = None;
+            // First replay warms the session buffers; best of REPS after.
+            for rep in 0..=REPS {
+                let report = replay_churn(&ffc, &mut maint, &steps, |_, _, _| {})
+                    .expect("generated trace is valid");
+                if rep == 0 {
+                    continue;
+                }
+                let total_ns: u64 = report.repair_ns.iter().sum();
+                let keep = best_report
+                    .as_ref()
+                    .is_none_or(|b| total_ns < b.repair_ns.iter().sum::<u64>());
+                if keep {
+                    best_report = Some(report);
+                }
+            }
+            let report = best_report.expect("REPS >= 1");
+            let p50 = report.p50_ns();
+            let p99 = report.p99_ns();
+
+            // The CI gate: one batched k-fault repair must never be slower
+            // than k sequential single-fault repairs of the same nodes
+            // (down + up round trips, stats asserted identical). The burst
+            // is *correlated* — k contiguous node ids, the rack-failure
+            // shape churn traces model — so the k repair cones overlap and
+            // the fused delta pass has real sharing to exploit; scattered
+            // faults have disjoint cones, where batching can only save
+            // per-event bookkeeping.
+            let k = 8usize;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let octets: Vec<Vec<usize>> = (0..cfg.trials)
+                .map(|_| {
+                    let base = rng.gen_range(0..total - k);
+                    (base..base + k).collect()
+                })
+                .collect();
+            maint.reset(&ffc, &[]).expect("in-range");
+            let mut downs: Vec<FaultEvent> = Vec::with_capacity(k);
+            let mut ups: Vec<FaultEvent> = Vec::with_capacity(k);
+            let load = |o: &[usize], downs: &mut Vec<FaultEvent>, ups: &mut Vec<FaultEvent>| {
+                downs.clear();
+                downs.extend(o.iter().map(|&v| FaultEvent::NodeDown(v)));
+                ups.clear();
+                ups.extend(o.iter().map(|&v| FaultEvent::NodeUp(v)));
+            };
+            // Warm-up pass.
+            load(&octets[0], &mut downs, &mut ups);
+            maint.apply_batch(&ffc, &downs).expect("in-range");
+            maint.apply_batch(&ffc, &ups).expect("in-range");
+            let mut batched_best = std::time::Duration::MAX;
+            let mut batched_sum = 0usize;
+            for _ in 0..REPS {
+                let mut sum = 0usize;
+                let start = Instant::now();
+                for o in &octets {
+                    load(o, &mut downs, &mut ups);
+                    sum ^= maint
+                        .apply_batch(&ffc, &downs)
+                        .expect("in-range")
+                        .stats()
+                        .component_size;
+                    maint.apply_batch(&ffc, &ups).expect("in-range");
+                }
+                batched_best = batched_best.min(start.elapsed());
+                batched_sum = sum;
+            }
+            let mut seq_best = std::time::Duration::MAX;
+            let mut seq_sum = 0usize;
+            for _ in 0..REPS {
+                let mut sum = 0usize;
+                let start = Instant::now();
+                for o in &octets {
+                    for &v in o {
+                        maint.add_fault(&ffc, v).expect("in-range");
+                    }
+                    sum ^= maint.stats().component_size;
+                    for &v in o {
+                        maint.clear_fault(&ffc, v).expect("in-range");
+                    }
+                }
+                seq_best = seq_best.min(start.elapsed());
+                seq_sum = sum;
+            }
+            assert_eq!(
+                batched_sum, seq_sum,
+                "batched and sequential repair diverge on {label}"
+            );
+            let batched_ns = batched_best.as_nanos() as f64 / octets.len() as f64;
+            let sequential_ns = seq_best.as_nanos() as f64 / octets.len() as f64;
+            let speedup = sequential_ns / batched_ns;
+            eprintln!(
+                "{label}: churn {} steps / {} events, repair p50 {:.1} µs p99 {:.1} µs, \
+                 degraded {:.2}%; batched {k}-fault {:.1} µs vs {k} sequential {:.1} µs \
+                 ({speedup:.2}x) [checksum {batched_sum}]",
+                report.steps,
+                report.events,
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                report.degraded_fraction() * 100.0,
+                batched_ns / 1e3,
+                sequential_ns / 1e3,
+            );
+            let mut entry = String::new();
+            write!(
+                entry,
+                "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
+                 \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+                 \"mode\": \"churn\",\n      \
+                 \"churn_arrivals\": {},\n      \"churn_steps\": {},\n      \
+                 \"churn_events\": {},\n      \
+                 \"p50_repair_ns\": {p50},\n      \"p99_repair_ns\": {p99},\n      \
+                 \"degraded_fraction\": {:.4},\n      \"worst_excluded\": {},\n      \
+                 \"batch_k\": {k},\n      \
+                 \"batched_event_ns\": {batched_ns:.1},\n      \
+                 \"sequential_event_ns\": {sequential_ns:.1},\n      \
+                 \"speedup\": {speedup:.2}\n    }}",
+                steps.len(),
+                cfg.trials,
+                report.steps,
+                report.events,
+                report.degraded_fraction(),
+                report.worst_excluded,
+            )
+            .expect("writing to a String cannot fail");
+            entries.push(entry);
+            continue;
+        }
 
         if cfg.mode == Mode::Incremental {
             // Incremental tier: single-fault repair events on the
@@ -357,7 +523,7 @@ fn main() {
             });
             assert_eq!(par_sum, serial_sum, "parallel embeds diverge on {label}");
             let mut maint = RingMaintainer::new();
-            maint.reset(&ffc, &[]);
+            maint.reset(&ffc, &[]).expect("in-range");
             let _ = maint.add_fault(&ffc, singles[0][0]);
             let _ = maint.clear_fault(&ffc, singles[0][0]);
             let before = maint.repairs();
@@ -367,7 +533,11 @@ fn main() {
                 let mut rep_sum = 0usize;
                 let start = Instant::now();
                 for f in &singles {
-                    rep_sum ^= maint.add_fault(&ffc, f[0]).component_size;
+                    rep_sum ^= maint
+                        .add_fault(&ffc, f[0])
+                        .expect("in-range")
+                        .stats()
+                        .component_size;
                     let _ = maint.clear_fault(&ffc, f[0]);
                 }
                 best = best.min(start.elapsed());
@@ -614,7 +784,12 @@ fn main() {
          single-fault RingMaintainer repair events (add_fault + clear_fault) against \
          from-scratch embeds of the same faults — speedup = serial embed_into / repair event, \
          vs_parallel = embed_into_parallel / repair event, stats checksums asserted identical \
-         to the serial loop\",\n  \
+         to the serial loop; mode=churn tiers replay a deterministic arrival/departure trace \
+         (Poisson arrivals, correlated 4-bursts, 20% link faults) through the maintainer — \
+         p50/p99_repair_ns are per-batch repair latencies and degraded_fraction is the time \
+         share spent past tolerance — and time one batched k-fault repair against k sequential \
+         single-fault repairs of the same nodes (speedup = sequential/batched, component-size \
+         checksums asserted identical)\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

@@ -17,6 +17,22 @@
 //!
 //! The embedder tries both and returns whichever succeeds, so it realises
 //! the MAX{ψ(d) − 1, φ(d)} tolerance of Table 3.2.
+//!
+//! # Relation to the online repair engine
+//!
+//! This module is the *offline* link-fault story: it searches for a full
+//! Hamiltonian cycle that threads around the faulty links, keeping every
+//! node, but recomputes from scratch per fault set and is bounded by the
+//! Table 3.2 tolerance. The *online* story lives in
+//! [`RingMaintainer`](crate::RingMaintainer): a
+//! [`FaultEvent::EdgeDown`](crate::FaultEvent) excludes the faulty link's
+//! **source node** (necklace removal applied to the sending endpoint), so
+//! the maintained ring provably never traverses the link — coarser (the
+//! ring shrinks) but incremental, composable with node faults in the same
+//! batch, and valid for any number of link faults. Use the embedder when
+//! node coverage is paramount and faults are few; use the maintainer under
+//! churn. The cross-check that a maintainer ring avoids its faulted links
+//! is pinned in this module's tests.
 
 use dbg_algebra::num::{factorize, pow};
 use dbg_graph::DeBruijn;
@@ -423,6 +439,49 @@ mod tests {
         }
         let cycle = embedder.hamiltonian_avoiding(&many).expect("triplicated");
         assert!(cycle_avoids(&cycle, &distinct));
+    }
+
+    /// The online counterpart (see the module docs): a `RingMaintainer`
+    /// fed the same link faults as `FaultEvent::EdgeDown` events serves a
+    /// ring that never traverses any faulted link — by excluding sources
+    /// it trades ring length for unconditional applicability, where this
+    /// module's embedder keeps every node but is budget-bounded.
+    #[test]
+    fn ring_maintainer_rings_avoid_faulted_links() {
+        use crate::ffc::{FaultEvent, Ffc, RingMaintainer};
+        for (d, n) in [(2u64, 6u32), (3, 4)] {
+            let ffc = Ffc::new(d, n);
+            let g = DeBruijn::new(d, n);
+            let faults = random_non_loop_edges(d, n, 4, 0xED6E + d);
+            let mut maint = RingMaintainer::new();
+            maint.reset(&ffc, &[]).expect("in-range");
+            let full_len = maint.outcome().ring_len();
+            let events: Vec<FaultEvent> = faults
+                .iter()
+                .map(|&(u, w)| FaultEvent::EdgeDown(u, w))
+                .collect();
+            let out = maint.apply_batch(&ffc, &events).expect("real edges");
+            let mut ring = Vec::new();
+            maint.ring_into(&mut ring);
+            assert_eq!(ring.len(), out.ring_len());
+            assert!(!ring.is_empty(), "4 link faults cannot empty B({d},{n})");
+            assert!(
+                cycle_avoids(&ring, &faults),
+                "maintained ring traverses a faulted link on B({d},{n})"
+            );
+            // Each step of the served ring is still a real de Bruijn edge.
+            for i in 0..ring.len() {
+                assert!(g.is_edge(ring[i], ring[(i + 1) % ring.len()]));
+            }
+            // Clearing the links restores the full fault-free ring.
+            let ups: Vec<FaultEvent> = faults
+                .iter()
+                .map(|&(u, w)| FaultEvent::EdgeUp(u, w))
+                .collect();
+            let back = maint.apply_batch(&ffc, &ups).expect("real edges");
+            assert!(back.is_repaired());
+            assert_eq!(back.ring_len(), full_len);
+        }
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod session;
 #[cfg(test)]
 mod tests;
 
-pub use session::{EmbedSession, RepairStats, RingMaintainer};
+pub use session::{
+    EmbedSession, FaultEvent, RepairError, RepairOutcome, RepairStats, RingMaintainer,
+};
 
 /// The FFC embedder for a fixed B(d,n): owns the necklace partition and the
 /// engine's immutable lookup tables so that repeated embeddings (e.g. the

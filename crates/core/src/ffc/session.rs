@@ -17,8 +17,11 @@
 //!   which the ring is walked on demand ([`EmbedSession::ring_into`]).
 //!
 //! [`RingMaintainer`] drives the session through
-//! [`RingMaintainer::add_fault`] / [`RingMaintainer::clear_fault`] events.
-//! A fault arrival kills one necklace: the bit engine's delta passes
+//! [`RingMaintainer::apply_batch`] events — [`FaultEvent`] batches mixing
+//! node arrivals, node repairs and **link faults** in one fused delta pass
+//! ([`RingMaintainer::add_fault`] / [`RingMaintainer::clear_fault`] are the
+//! single-event shorthands). A fault arrival kills one necklace: the bit
+//! engine's delta passes
 //! ([`crate::bitreach::BitReach::levels_delete`]) invalidate exactly the
 //! necklace's forward/backward cones (the nodes whose BFS support ran
 //! through it) and re-settle them in increasing level order; a fault
@@ -38,6 +41,16 @@
 //! rebuild of the session (on the sharded level-emitting passes), which
 //! costs one `embed_into_parallel`-shaped pipeline run. [`RepairStats`]
 //! counts which path each event took.
+//!
+//! The repair path **degrades gracefully** instead of panicking: malformed
+//! requests come back as a typed [`RepairError`] before any state is
+//! touched, and every accepted batch returns a [`RepairOutcome`]
+//! classifying the surviving ring — [`RepairOutcome::Repaired`] when every
+//! live node rides it, [`RepairOutcome::Degraded`] when the fault set
+//! exceeds what one ring can absorb (the session keeps serving the largest
+//! surviving ring), and [`RepairOutcome::Infeasible`] when every necklace
+//! carries a fault. All three states stay fully queryable, and clearing
+//! faults lifts the session back up through the variants.
 
 use crate::bitreach::{
     reserve_more, BitScratch, DeltaBudgetExceeded, DeltaScratch, ParBitScratch, UNREACHED,
@@ -54,6 +67,173 @@ pub struct RepairStats {
     /// Events that rebuilt the session (root change, budget exceeded, or
     /// an explicit [`RingMaintainer::reset`]).
     pub rebuilds: usize,
+}
+
+/// A sentinel root meaning "no live necklace exists". It compares unequal
+/// to every real node id, so the maintainer's root-change check routes the
+/// first reviving event through a full rebuild automatically.
+const INFEASIBLE_ROOT: usize = usize::MAX;
+
+/// One fault-churn event for [`RingMaintainer::apply_batch`].
+///
+/// Node events toggle a processor's explicit fault flag (set semantics:
+/// redundant events are no-ops). Link events mark a de Bruijn edge faulty;
+/// the maintainer repairs a faulty link by **excluding its source node**
+/// (and thereby the source's necklace) from the embedding — the paper's
+/// necklace-removal machinery applied to the sending endpoint, which
+/// guarantees the maintained ring never traverses the faulty link. This is
+/// coarser than [`crate::EdgeFaultEmbedder`]'s translate/disjoint-family
+/// mechanisms (which keep every node) but is incremental, composes with
+/// node faults in the same batch, and applies to any number of link
+/// faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Processor `v` fails. An already-faulty `v` is a no-op.
+    NodeDown(usize),
+    /// Processor `v` is repaired. A never-faulty `v` is a no-op.
+    NodeUp(usize),
+    /// Link `from -> to` fails. An already-faulty link is a no-op.
+    EdgeDown(usize, usize),
+    /// Link `from -> to` is repaired. A never-faulty link is a no-op.
+    EdgeUp(usize, usize),
+}
+
+/// A request the repair engine rejects *before* touching any state — the
+/// typed replacement for the slice-bounds panics malformed ids used to
+/// hit. Batches are atomic: one bad event rejects the whole batch and the
+/// session is left exactly as it was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// No [`RingMaintainer::reset`] has run yet.
+    NotInitialized,
+    /// The session is bound to a different graph than the call's [`Ffc`].
+    ShapeMismatch {
+        /// Node count of the graph the session was reset against.
+        bound_nodes: usize,
+        /// Node count of the graph passed to the rejected call.
+        graph_nodes: usize,
+    },
+    /// A node id is not a node of the bound B(d,n).
+    NodeOutOfRange {
+        /// The offending id.
+        node: usize,
+        /// The bound graph's node count.
+        n_nodes: usize,
+    },
+    /// A link event names a pair that is not a de Bruijn edge.
+    NotAnEdge {
+        /// The claimed source.
+        from: usize,
+        /// The claimed target.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RepairError::NotInitialized => {
+                write!(f, "RingMaintainer::reset must run before repair events")
+            }
+            RepairError::ShapeMismatch {
+                bound_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "RingMaintainer is bound to a graph with {bound_nodes} nodes, \
+                 not {graph_nodes}; reset it before switching graphs"
+            ),
+            RepairError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node id {node} out of range (graph has {n_nodes} nodes)")
+            }
+            RepairError::NotAnEdge { from, to } => {
+                write!(f, "{from} -> {to} is not a de Bruijn edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// What state a repair event left the maintained ring in. Every variant
+/// keeps the session fully queryable, and the state is always recoverable:
+/// clearing faults lifts `Infeasible` back through `Degraded` to
+/// `Repaired` (pinned by tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Every live node rides the maintained ring — the f ≤ d − 2 regime of
+    /// Theorem 2.3, and any heavier fault set that happens to keep the
+    /// survivor graph strongly connected.
+    Repaired(EmbedStats),
+    /// The fault set exceeds what a single ring can absorb: the maintainer
+    /// serves the **best-effort largest surviving ring** (the ring of the
+    /// root's strongly connected component) and reports how many live
+    /// nodes fell off it.
+    Degraded {
+        /// The session's stats (identical to a from-scratch embed of the
+        /// accumulated exclusion set).
+        stats: EmbedStats,
+        /// Length of the surviving ring being served.
+        ring_len: usize,
+        /// Live (non-removed) nodes that are not on the surviving ring.
+        excluded: usize,
+    },
+    /// Every necklace carries a fault: no ring exists at all. The session
+    /// answers every query (empty ring, zeroed reachability) and recovers
+    /// on the next reviving event.
+    Infeasible {
+        /// The session's stats (component size 0, sentinel root).
+        stats: EmbedStats,
+    },
+}
+
+impl RepairOutcome {
+    /// The embedding stats, available in every state.
+    #[must_use]
+    pub fn stats(&self) -> EmbedStats {
+        match *self {
+            RepairOutcome::Repaired(stats)
+            | RepairOutcome::Degraded { stats, .. }
+            | RepairOutcome::Infeasible { stats } => stats,
+        }
+    }
+
+    /// Length of the ring currently being served (0 when infeasible).
+    #[must_use]
+    pub fn ring_len(&self) -> usize {
+        match *self {
+            RepairOutcome::Repaired(stats) => stats.component_size,
+            RepairOutcome::Degraded { ring_len, .. } => ring_len,
+            RepairOutcome::Infeasible { .. } => 0,
+        }
+    }
+
+    /// Live nodes not on the served ring (0 unless degraded).
+    #[must_use]
+    pub fn excluded(&self) -> usize {
+        match *self {
+            RepairOutcome::Degraded { excluded, .. } => excluded,
+            _ => 0,
+        }
+    }
+
+    /// Whether every live node rides the ring.
+    #[must_use]
+    pub fn is_repaired(&self) -> bool {
+        matches!(self, RepairOutcome::Repaired(_))
+    }
+
+    /// Whether the ring is serving with live nodes excluded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RepairOutcome::Degraded { .. })
+    }
+
+    /// Whether no ring exists under the current fault set.
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, RepairOutcome::Infeasible { .. })
+    }
 }
 
 /// The persisted outputs of the embedding pipeline's phases, plus the
@@ -76,7 +256,14 @@ pub struct EmbedSession {
     fault_list: Vec<usize>,
     /// Position of each faulty node within `fault_list` (NONE otherwise).
     fault_pos: Vec<u32>,
-    /// Number of faulty nodes per necklace; a necklace is dead iff > 0.
+    /// Per node: how many accumulated faulty links leave it. A node is
+    /// *excluded* (a member of `fault_list`) while it is explicitly faulty
+    /// or this count is positive.
+    edge_src: Vec<u32>,
+    /// The accumulated faulty links, unordered (linear-scan dedup — link
+    /// fault sets are small compared to the graph).
+    edge_faults: Vec<(u32, u32)>,
+    /// Number of excluded nodes per necklace; a necklace is dead iff > 0.
     neck_fault_count: Vec<u32>,
     /// Per node: member of a dead necklace.
     node_dead: Vec<bool>,
@@ -133,6 +320,21 @@ pub struct EmbedSession {
     cand_buf: Vec<u32>,
     batch_buf: Vec<u32>,
     moved_buf: Vec<u32>,
+    /// Seeds of the batched insert passes (members of revived necklaces).
+    ins_buf: Vec<u32>,
+    /// Candidates that *joined* B* this batch (mirror of `moved_buf`).
+    moved_in_buf: Vec<u32>,
+    /// Merged broadcast change log of one batch: nodes whose broadcast
+    /// level changed across the delete *and* insert passes, each with its
+    /// first-seen (true pre-batch) level.
+    bc_nodes: Vec<u32>,
+    bc_old: Vec<u32>,
+    /// Necklaces whose dead-state toggled while booking a batch, packed as
+    /// `(nid << 1) | was_dead`, classified after booking into net kill and
+    /// revive seed lists.
+    touched_necks: Vec<u64>,
+    killed_necks: Vec<u32>,
+    revived_necks: Vec<u32>,
     dirty_stamp: Vec<u32>,
     dirty_necks: Vec<u32>,
     label_stamp: Vec<u32>,
@@ -158,10 +360,41 @@ impl EmbedSession {
         }
     }
 
-    /// The accumulated faulty nodes (unordered).
+    /// The accumulated **excluded** nodes, unordered: explicitly faulty
+    /// processors plus the source endpoints of faulty links. A
+    /// from-scratch [`Ffc::embed_into`] of exactly this set reproduces the
+    /// session's stats and ring bytes.
     #[must_use]
     pub fn faulty_nodes(&self) -> &[usize] {
         &self.fault_list
+    }
+
+    /// The accumulated faulty links, unordered, as `(from, to)` pairs.
+    #[must_use]
+    pub fn faulty_edges(&self) -> &[(u32, u32)] {
+        &self.edge_faults
+    }
+
+    /// Classifies the session's current state (see [`RepairOutcome`]):
+    /// repaired when every live node rides the ring, degraded when live
+    /// nodes fell off it, infeasible when every necklace carries a fault.
+    #[must_use]
+    pub fn outcome(&self) -> RepairOutcome {
+        let stats = self.stats();
+        if self.root == INFEASIBLE_ROOT {
+            return RepairOutcome::Infeasible { stats };
+        }
+        let live = self.n_nodes - self.removed_nodes;
+        let excluded = live - self.component_size;
+        if excluded == 0 {
+            RepairOutcome::Repaired(stats)
+        } else {
+            RepairOutcome::Degraded {
+                stats,
+                ring_len: self.component_size,
+                excluded,
+            }
+        }
     }
 
     /// Whether node `v` lies in B* under the accumulated fault set.
@@ -186,9 +419,13 @@ impl EmbedSession {
     /// to the cycle a from-scratch [`Ffc::embed_into`] of the accumulated
     /// fault set leaves in its scratch. O(|B*|); the repair events
     /// themselves never pay this walk, which is what makes single-fault
-    /// repair sublinear in the ring length.
+    /// repair sublinear in the ring length. Leaves `out` empty when the
+    /// session is infeasible (no surviving ring).
     pub fn ring_into(&self, out: &mut Vec<usize>) {
         out.clear();
+        if self.component_size == 0 {
+            return;
+        }
         let (d, suffix) = (self.d, self.suffix);
         let mut v = self.root;
         loop {
@@ -257,6 +494,13 @@ impl EmbedSession {
                 + self.cand_buf.capacity()
                 + self.batch_buf.capacity()
                 + self.moved_buf.capacity()
+                + self.edge_src.capacity()
+                + self.ins_buf.capacity()
+                + self.moved_in_buf.capacity()
+                + self.bc_nodes.capacity()
+                + self.bc_old.capacity()
+                + self.killed_necks.capacity()
+                + self.revived_necks.capacity()
                 + self.dirty_stamp.capacity()
                 + self.dirty_necks.capacity()
                 + self.label_stamp.capacity()
@@ -265,7 +509,10 @@ impl EmbedSession {
                 + self.probe_stamp.capacity()
                 + self.probe_queue.capacity()
                 + self.probe_next.capacity())
-            + 8 * (self.exit_bits.capacity() + self.best_key.capacity())
+            + 8 * (self.exit_bits.capacity()
+                + self.best_key.capacity()
+                + self.edge_faults.capacity()
+                + self.touched_necks.capacity())
             + self.bits.allocated_bytes()
             + self.pbits.allocated_bytes()
             + self.delta.allocated_bytes()
@@ -306,6 +553,7 @@ impl EmbedSession {
         grow_to(&mut self.node_dead, n, false);
         grow_to(&mut self.in_bstar, n, false);
         grow_to(&mut self.fault_pos, n, NONE);
+        grow_to(&mut self.edge_src, n, 0);
         grow_to(&mut self.fwd_level, n, UNREACHED);
         grow_to(&mut self.bwd_level, n, UNREACHED);
         grow_to(&mut self.bcast_level, n, UNREACHED);
@@ -329,6 +577,17 @@ impl EmbedSession {
         reserve_more(&mut self.cand_buf, n);
         reserve_more(&mut self.moved_buf, n);
         reserve_more(&mut self.batch_buf, n);
+        reserve_more(&mut self.ins_buf, n);
+        reserve_more(&mut self.moved_in_buf, n);
+        reserve_more(&mut self.bc_nodes, n);
+        reserve_more(&mut self.bc_old, n);
+        reserve_more(&mut self.touched_necks, self.n_necks);
+        reserve_more(&mut self.killed_necks, self.n_necks);
+        reserve_more(&mut self.revived_necks, self.n_necks);
+        // Link-fault lists grow amortised (they are bounded by n·d, far
+        // beyond any realistic churn trace; a small reservation keeps the
+        // common case allocation-free).
+        reserve_more(&mut self.edge_faults, 16);
         reserve_more(&mut self.nodes_buf, n);
         reserve_more(&mut self.offsets_buf, n + 2);
         reserve_more(&mut self.level_counts, n + 1);
@@ -342,6 +601,8 @@ impl EmbedSession {
         self.node_faulty[..n].fill(false);
         self.node_dead[..n].fill(false);
         self.fault_pos[..n].fill(NONE);
+        self.edge_src[..n].fill(0);
+        self.edge_faults.clear();
         self.neck_fault_count[..self.n_necks].fill(0);
         self.fault_list.clear();
         self.faulty_necklaces = 0;
@@ -349,43 +610,55 @@ impl EmbedSession {
         self.initialized = true;
     }
 
-    /// Asserts this session was built for `ffc`'s shape.
-    fn check_shape(&self, ffc: &Ffc) {
-        assert!(self.initialized, "RingMaintainer::reset must run first");
+    /// Checks this session was built for `ffc`'s shape.
+    fn ensure_shape(&self, ffc: &Ffc) -> Result<(), RepairError> {
+        if !self.initialized {
+            return Err(RepairError::NotInitialized);
+        }
         let t = &ffc.tables;
-        assert!(
-            self.d == t.d && self.n_nodes == t.n_nodes && self.n_necks == t.n_necks,
-            "RingMaintainer is bound to a graph with {} nodes; reset it before switching graphs",
-            self.n_nodes
-        );
+        if self.d != t.d || self.n_nodes != t.n_nodes || self.n_necks != t.n_necks {
+            return Err(RepairError::ShapeMismatch {
+                bound_nodes: self.n_nodes,
+                graph_nodes: t.n_nodes,
+            });
+        }
+        Ok(())
     }
 
-    /// Registers node `v` as faulty; returns `Some(nid)` when this kills
-    /// `v`'s necklace (first fault on it), `None` otherwise.
-    fn book_fault(&mut self, ffc: &Ffc, v: usize) -> Option<usize> {
-        debug_assert!(!self.node_faulty[v]);
-        self.node_faulty[v] = true;
+    /// Logs a necklace's first dead-state toggle of the batch (dedup on
+    /// the batch stamp `self.stamp`, which `book_events` bumps once).
+    fn touch_neck(&mut self, nid: usize, was_dead: bool) {
+        if self.dirty_stamp[nid] != self.stamp {
+            self.dirty_stamp[nid] = self.stamp;
+            self.touched_necks
+                .push(((nid as u64) << 1) | u64::from(was_dead));
+        }
+    }
+
+    /// Adds `v` to the exclusion set (it newly became explicitly faulty or
+    /// the source of a faulty link), killing its necklace when it is the
+    /// necklace's first excluded member.
+    fn exclude(&mut self, ffc: &Ffc, v: usize) {
+        debug_assert_eq!(self.fault_pos[v], NONE);
         self.fault_pos[v] = self.fault_list.len() as u32;
         self.fault_list.push(v);
         let nid = ffc.partition.membership()[v] as usize;
+        if self.neck_fault_count[nid] == 0 {
+            self.touch_neck(nid, false);
+            self.faulty_necklaces += 1;
+            let members = ffc.partition.members(nid);
+            self.removed_nodes += members.len();
+            for &m in members {
+                self.node_dead[m as usize] = true;
+            }
+        }
         self.neck_fault_count[nid] += 1;
-        if self.neck_fault_count[nid] > 1 {
-            return None;
-        }
-        self.faulty_necklaces += 1;
-        let members = ffc.partition.members(nid);
-        self.removed_nodes += members.len();
-        for &m in members {
-            self.node_dead[m as usize] = true;
-        }
-        Some(nid)
     }
 
-    /// Unregisters faulty node `v`; returns `Some(nid)` when this revives
-    /// `v`'s necklace (last fault on it), `None` otherwise.
-    fn book_clear(&mut self, ffc: &Ffc, v: usize) -> Option<usize> {
-        debug_assert!(self.node_faulty[v]);
-        self.node_faulty[v] = false;
+    /// Removes `v` from the exclusion set, reviving its necklace when it
+    /// was the necklace's last excluded member.
+    fn include(&mut self, ffc: &Ffc, v: usize) {
+        debug_assert_ne!(self.fault_pos[v], NONE);
         let pos = self.fault_pos[v] as usize;
         self.fault_pos[v] = NONE;
         self.fault_list.swap_remove(pos);
@@ -394,16 +667,86 @@ impl EmbedSession {
         }
         let nid = ffc.partition.membership()[v] as usize;
         self.neck_fault_count[nid] -= 1;
-        if self.neck_fault_count[nid] > 0 {
-            return None;
+        if self.neck_fault_count[nid] == 0 {
+            self.touch_neck(nid, true);
+            self.faulty_necklaces -= 1;
+            let members = ffc.partition.members(nid);
+            self.removed_nodes -= members.len();
+            for &m in members {
+                self.node_dead[m as usize] = false;
+            }
         }
-        self.faulty_necklaces -= 1;
-        let members = ffc.partition.members(nid);
-        self.removed_nodes -= members.len();
-        for &m in members {
-            self.node_dead[m as usize] = false;
+    }
+
+    /// Reconciles `v`'s presence in the exclusion set with its fault
+    /// flags (explicit fault OR any faulty outgoing link).
+    fn sync_exclusion(&mut self, ffc: &Ffc, v: usize) {
+        let want = self.node_faulty[v] || self.edge_src[v] > 0;
+        let have = self.fault_pos[v] != NONE;
+        if want && !have {
+            self.exclude(ffc, v);
+        } else if !want && have {
+            self.include(ffc, v);
         }
-        Some(nid)
+    }
+
+    /// Applies one pre-validated event to the fault bookkeeping (set
+    /// semantics: redundant events are no-ops).
+    fn apply_event(&mut self, ffc: &Ffc, ev: FaultEvent) {
+        match ev {
+            FaultEvent::NodeDown(v) => {
+                if !self.node_faulty[v] {
+                    self.node_faulty[v] = true;
+                    self.sync_exclusion(ffc, v);
+                }
+            }
+            FaultEvent::NodeUp(v) => {
+                if self.node_faulty[v] {
+                    self.node_faulty[v] = false;
+                    self.sync_exclusion(ffc, v);
+                }
+            }
+            FaultEvent::EdgeDown(u, w) => {
+                let key = (u as u32, w as u32);
+                if !self.edge_faults.contains(&key) {
+                    self.edge_faults.push(key);
+                    self.edge_src[u] += 1;
+                    self.sync_exclusion(ffc, u);
+                }
+            }
+            FaultEvent::EdgeUp(u, w) => {
+                let key = (u as u32, w as u32);
+                if let Some(pos) = self.edge_faults.iter().position(|&e| e == key) {
+                    self.edge_faults.swap_remove(pos);
+                    self.edge_src[u] -= 1;
+                    self.sync_exclusion(ffc, u);
+                }
+            }
+        }
+    }
+
+    /// Books a validated event batch and classifies the **net** dead-state
+    /// changes into `killed_necks` / `revived_necks` — a necklace that
+    /// dies and revives inside one batch contributes to neither list.
+    fn book_events(&mut self, ffc: &Ffc, events: &[FaultEvent]) {
+        let _ = self.bump_stamp();
+        self.touched_necks.clear();
+        for &ev in events {
+            self.apply_event(ffc, ev);
+        }
+        self.killed_necks.clear();
+        self.revived_necks.clear();
+        for i in 0..self.touched_necks.len() {
+            let packed = self.touched_necks[i];
+            let nid = (packed >> 1) as usize;
+            let was_dead = packed & 1 == 1;
+            let now_dead = self.neck_fault_count[nid] > 0;
+            match (was_dead, now_dead) {
+                (false, true) => self.killed_necks.push(nid as u32),
+                (true, false) => self.revived_necks.push(nid as u32),
+                _ => {}
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -414,15 +757,13 @@ impl EmbedSession {
     /// set (Section 2.5.2): the preferred root if its necklace survives,
     /// else the nearest live node by breadth-first distance over the full
     /// graph, ties broken by minimal id — the identical order to
-    /// [`Ffc::pick_root`] and the engine's probe.
-    ///
-    /// # Panics
-    /// Panics if every necklace is faulty.
-    fn policy_root(&mut self, ffc: &Ffc) -> usize {
+    /// [`Ffc::pick_root`] and the engine's probe. `None` when every
+    /// necklace carries a fault (no root can exist).
+    fn policy_root(&mut self, ffc: &Ffc) -> Option<usize> {
         let preferred = ffc.default_root();
         let membership = ffc.partition.membership();
         if self.neck_fault_count[membership[preferred] as usize] == 0 {
-            return ffc.representative_of(preferred);
+            return Some(ffc.representative_of(preferred));
         }
         let stamp = self.bump_stamp();
         let (d, suffix) = (self.d, self.suffix);
@@ -448,11 +789,32 @@ impl EmbedSession {
                 .iter()
                 .find(|&&u| self.neck_fault_count[membership[u as usize] as usize] == 0)
             {
-                return ffc.representative_of(u as usize);
+                return Some(ffc.representative_of(u as usize));
             }
             std::mem::swap(&mut self.probe_queue, &mut self.probe_next);
         }
-        panic!("every node of B(d,n) lies on a faulty necklace");
+        None // every node of B(d,n) lies on a faulty necklace
+    }
+
+    /// Parks the session in the no-ring state: every necklace carries a
+    /// fault, so no fault-free cycle exists. Every query stays answerable
+    /// (empty ring, empty histogram, zero |B*|), and the sentinel root
+    /// compares unequal to every real root, so the next reviving event
+    /// routes recovery through a full rebuild automatically.
+    fn enter_infeasible(&mut self) {
+        let n = self.n_nodes;
+        self.root = INFEASIBLE_ROOT;
+        self.root_neck = usize::MAX;
+        self.fwd_level[..n].fill(UNREACHED);
+        self.bwd_level[..n].fill(UNREACHED);
+        self.bcast_level[..n].fill(UNREACHED);
+        self.in_bstar[..n].fill(false);
+        self.component_size = 0;
+        self.level_counts.clear();
+        self.max_level = 0;
+        self.neck_chosen[..self.n_necks].fill(NONE);
+        self.label_children[..self.suffix * self.d].fill(NONE);
+        self.exit_bits[..n.div_ceil(64)].fill(0);
     }
 
     // ------------------------------------------------------------------
@@ -476,7 +838,11 @@ impl EmbedSession {
                 reach.kill(&mut self.bits, v);
             }
         }
-        self.root = self.policy_root(ffc);
+        let Some(root) = self.policy_root(ffc) else {
+            self.enter_infeasible();
+            return;
+        };
+        self.root = root;
         self.root_neck = membership[self.root] as usize;
 
         // Reachability snapshot, with levels persisted.
@@ -591,24 +957,36 @@ impl EmbedSession {
     // The delta repairs.
     // ------------------------------------------------------------------
 
-    /// Delta path of a fault arrival that killed necklace `nid`: shrink
-    /// the forward/backward level structures by the necklace's members,
-    /// retire the nodes that fell out of B*, shrink the broadcast
-    /// structure by exactly those, and repair the affected necklace
-    /// records and w-groups.
-    fn delta_kill(
-        &mut self,
-        ffc: &Ffc,
-        nid: usize,
-        budget: usize,
-    ) -> Result<(), DeltaBudgetExceeded> {
+    /// The fused delta path of one event batch: one delete pass seeded by
+    /// **every** killed necklace's members and one insert pass seeded by
+    /// every revived necklace's members, per level structure — k
+    /// simultaneous arrivals cost one frontier settlement instead of k.
+    ///
+    /// Order matters only between the two passes, not inside them: the
+    /// delete pass runs with the *final* liveness predicate (revived nodes
+    /// are already live but still hold `UNREACHED`, so they offer no
+    /// support), which makes its result the canonical levels of the
+    /// mid-state graph; the insert pass then re-expands from the revived
+    /// members and settles the canonical levels of the final graph. The
+    /// broadcast structure is repaired the same way from the nodes that
+    /// left/joined B*, with both passes' change logs merged (first-seen
+    /// old levels) so the histogram update counts each node once.
+    fn delta_batch(&mut self, ffc: &Ffc, budget: usize) -> Result<(), DeltaBudgetExceeded> {
         let reach = ffc.tables.reach;
         self.batch_buf.clear();
-        self.batch_buf.extend_from_slice(ffc.partition.members(nid));
+        for i in 0..self.killed_necks.len() {
+            let nid = self.killed_necks[i] as usize;
+            self.batch_buf.extend_from_slice(ffc.partition.members(nid));
+        }
+        self.ins_buf.clear();
+        for i in 0..self.revived_necks.len() {
+            let nid = self.revived_necks[i] as usize;
+            self.ins_buf.extend_from_slice(ffc.partition.members(nid));
+        }
         let stamp = self.bump_stamp();
         self.cand_buf.clear();
-        // One budget covers the whole event: each pass deducts the pops it
-        // consumed, so the per-event cap holds across all three structures.
+        // One budget covers the whole batch: each pass deducts the pops it
+        // consumed, so the per-batch cap holds across all structures.
         let mut remaining = budget;
 
         {
@@ -618,169 +996,138 @@ impl EmbedSession {
                 node_dead,
                 delta,
                 batch_buf,
+                ins_buf,
                 cand_buf,
                 cand_stamp,
                 ..
             } = self;
+            let mut fold = |seeds: &[u32], delta: &DeltaScratch| {
+                for &u in seeds.iter().chain(delta.changed_nodes()) {
+                    if cand_stamp[u as usize] != stamp {
+                        cand_stamp[u as usize] = stamp;
+                        cand_buf.push(u);
+                    }
+                }
+            };
             for pass in 0..2 {
                 let (levels, backward) = if pass == 0 {
                     (&mut *fwd_level, false)
                 } else {
                     (&mut *bwd_level, true)
                 };
-                let pops = reach.levels_delete(
-                    levels,
-                    delta,
-                    batch_buf,
-                    |u| !node_dead[u],
-                    backward,
-                    remaining,
-                )?;
-                remaining = remaining.saturating_sub(pops);
-                for &u in batch_buf.iter().chain(delta.changed_nodes()) {
-                    if cand_stamp[u as usize] != stamp {
-                        cand_stamp[u as usize] = stamp;
-                        cand_buf.push(u);
-                    }
+                if !batch_buf.is_empty() {
+                    let pops = reach.levels_delete(
+                        &mut *levels,
+                        delta,
+                        batch_buf,
+                        |u| !node_dead[u],
+                        backward,
+                        remaining,
+                    )?;
+                    remaining = remaining.saturating_sub(pops);
+                    fold(batch_buf, delta);
+                }
+                if !ins_buf.is_empty() {
+                    let pops = reach.levels_insert(
+                        &mut *levels,
+                        delta,
+                        ins_buf,
+                        |u| !node_dead[u],
+                        backward,
+                        remaining,
+                    )?;
+                    remaining = remaining.saturating_sub(pops);
+                    fold(ins_buf, delta);
                 }
             }
         }
 
-        // B* removals: candidates that lost liveness or a direction.
+        // B* transitions: candidates that lost or gained membership.
         self.moved_buf.clear();
+        self.moved_in_buf.clear();
         for i in 0..self.cand_buf.len() {
             let u = self.cand_buf[i] as usize;
-            if self.in_bstar[u]
-                && (self.node_dead[u]
-                    || self.fwd_level[u] == UNREACHED
-                    || self.bwd_level[u] == UNREACHED)
-            {
+            let now = !self.node_dead[u]
+                && self.fwd_level[u] != UNREACHED
+                && self.bwd_level[u] != UNREACHED;
+            if self.in_bstar[u] && !now {
                 self.in_bstar[u] = false;
                 self.moved_buf.push(u as u32);
+            } else if !self.in_bstar[u] && now {
+                self.in_bstar[u] = true;
+                self.moved_in_buf.push(u as u32);
             }
         }
-        self.component_size -= self.moved_buf.len();
+        self.component_size = self.component_size - self.moved_buf.len() + self.moved_in_buf.len();
 
+        // Broadcast repair, with the two passes' change logs merged into
+        // `bc_nodes`/`bc_old` keeping each node's first-seen (true
+        // pre-batch) level — a node deleted then re-inserted must update
+        // the histogram exactly once, old -> final.
+        self.bc_nodes.clear();
+        self.bc_old.clear();
+        let bstamp = self.bump_stamp();
         {
             let Self {
                 bcast_level,
                 in_bstar,
                 delta,
                 moved_buf,
-                ..
-            } = self;
-            let _ = reach.levels_delete(
-                bcast_level,
-                delta,
-                moved_buf,
-                |u| in_bstar[u],
-                false,
-                remaining,
-            )?;
-        }
-        self.absorb_bcast_changes(ffc);
-        Ok(())
-    }
-
-    /// Delta path of a fault removal that revived necklace `nid` — the
-    /// exact mirror of [`EmbedSession::delta_kill`], re-expanding from the
-    /// healed frontier.
-    fn delta_revive(
-        &mut self,
-        ffc: &Ffc,
-        nid: usize,
-        budget: usize,
-    ) -> Result<(), DeltaBudgetExceeded> {
-        let reach = ffc.tables.reach;
-        self.batch_buf.clear();
-        self.batch_buf.extend_from_slice(ffc.partition.members(nid));
-        let stamp = self.bump_stamp();
-        self.cand_buf.clear();
-        // One budget covers the whole event, as in `delta_kill`.
-        let mut remaining = budget;
-
-        {
-            let Self {
-                fwd_level,
-                bwd_level,
-                node_dead,
-                delta,
-                batch_buf,
-                cand_buf,
+                moved_in_buf,
+                bc_nodes,
+                bc_old,
                 cand_stamp,
                 ..
             } = self;
-            for pass in 0..2 {
-                let (levels, backward) = if pass == 0 {
-                    (&mut *fwd_level, false)
-                } else {
-                    (&mut *bwd_level, true)
-                };
-                let pops = reach.levels_insert(
-                    levels,
+            let mut merge = |delta: &DeltaScratch| {
+                for (i, &u) in delta.changed_nodes().iter().enumerate() {
+                    if cand_stamp[u as usize] != bstamp {
+                        cand_stamp[u as usize] = bstamp;
+                        bc_nodes.push(u);
+                        bc_old.push(delta.old_levels()[i]);
+                    }
+                }
+            };
+            if !moved_buf.is_empty() {
+                let pops = reach.levels_delete(
+                    &mut *bcast_level,
                     delta,
-                    batch_buf,
-                    |u| !node_dead[u],
-                    backward,
+                    moved_buf,
+                    |u| in_bstar[u],
+                    false,
                     remaining,
                 )?;
                 remaining = remaining.saturating_sub(pops);
-                for &u in batch_buf.iter().chain(delta.changed_nodes()) {
-                    if cand_stamp[u as usize] != stamp {
-                        cand_stamp[u as usize] = stamp;
-                        cand_buf.push(u);
-                    }
-                }
+                merge(delta);
             }
-        }
-
-        // B* additions: candidates now live and reachable both ways.
-        self.moved_buf.clear();
-        for i in 0..self.cand_buf.len() {
-            let u = self.cand_buf[i] as usize;
-            if !self.in_bstar[u]
-                && !self.node_dead[u]
-                && self.fwd_level[u] != UNREACHED
-                && self.bwd_level[u] != UNREACHED
-            {
-                self.in_bstar[u] = true;
-                self.moved_buf.push(u as u32);
+            if !moved_in_buf.is_empty() {
+                let _ = reach.levels_insert(
+                    &mut *bcast_level,
+                    delta,
+                    moved_in_buf,
+                    |u| in_bstar[u],
+                    false,
+                    remaining,
+                )?;
+                merge(delta);
             }
-        }
-        self.component_size += self.moved_buf.len();
-
-        {
-            let Self {
-                bcast_level,
-                in_bstar,
-                delta,
-                moved_buf,
-                ..
-            } = self;
-            let _ = reach.levels_insert(
-                bcast_level,
-                delta,
-                moved_buf,
-                |u| in_bstar[u],
-                false,
-                remaining,
-            )?;
         }
         self.absorb_bcast_changes(ffc);
         Ok(())
     }
 
-    /// Applies the broadcast structure's change log: histogram (and
-    /// eccentricity) updates, then re-selection of every necklace whose
-    /// members or predecessor levels changed, then rewiring of every
-    /// w-group whose membership or parent changed.
+    /// Applies the batch's merged broadcast change log
+    /// (`bc_nodes`/`bc_old`): histogram (and eccentricity) updates, then
+    /// re-selection of every necklace whose members or predecessor levels
+    /// changed, then rewiring of every w-group whose membership or parent
+    /// changed.
     fn absorb_bcast_changes(&mut self, ffc: &Ffc) {
         let membership = ffc.partition.membership();
         let (d, suffix) = (self.d, self.suffix);
         // Histogram.
-        for i in 0..self.delta.changed_nodes().len() {
-            let u = self.delta.changed_nodes()[i] as usize;
-            let old = self.delta.old_levels()[i];
+        for i in 0..self.bc_nodes.len() {
+            let u = self.bc_nodes[i] as usize;
+            let old = self.bc_old[i];
             if old != UNREACHED {
                 self.level_counts[old as usize] -= 1;
             }
@@ -811,7 +1158,7 @@ impl EmbedSession {
         self.dirty_labels.clear();
         {
             let Self {
-                delta,
+                bc_nodes,
                 dirty_necks,
                 dirty_stamp,
                 in_bstar,
@@ -823,7 +1170,7 @@ impl EmbedSession {
                     dirty_necks.push(nid as u32);
                 }
             };
-            for &u in delta.changed_nodes() {
+            for &u in bc_nodes.iter() {
                 let u = u as usize;
                 mark(membership[u] as usize);
                 let base = (u % suffix) * d;
@@ -956,11 +1303,16 @@ impl EmbedSession {
 }
 
 /// The incremental fault-update engine: owns an [`EmbedSession`] and
-/// repairs it through `add_fault` / `clear_fault` events, falling back to
-/// a from-scratch rebuild only when the event changes the repair root or
-/// the delta's work budget is exceeded. After every event the session's
+/// repairs it through [`RingMaintainer::apply_batch`] event batches
+/// (node arrivals, node repairs and link faults; `add_fault` /
+/// `clear_fault` are the single-event shorthands), falling back to a
+/// from-scratch rebuild only when the batch changes the repair root or
+/// the delta's work budget is exceeded. After every batch the session's
 /// stats and ring bytes are identical to a from-scratch
-/// [`Ffc::embed_into`] of the accumulated fault set.
+/// [`Ffc::embed_into`] of the accumulated exclusion set
+/// ([`EmbedSession::faulty_nodes`]), and the returned [`RepairOutcome`]
+/// classifies the surviving ring — malformed requests are rejected as
+/// typed [`RepairError`]s with no state touched, never panics.
 ///
 /// Like [`super::EmbedScratch`], the maintainer is a state object: every
 /// method takes the [`Ffc`] it was [`RingMaintainer::reset`] against (the
@@ -1040,90 +1392,138 @@ impl RingMaintainer {
         self.session.ring_into(out);
     }
 
+    /// The [`RepairOutcome`] of the current accumulated fault set — the
+    /// same classification the last event returned, queryable at any time
+    /// after [`RingMaintainer::reset`].
+    #[must_use]
+    pub fn outcome(&self) -> RepairOutcome {
+        self.session.outcome()
+    }
+
     /// (Re)initialises the session for `ffc` with the given fault set via
-    /// one from-scratch pipeline run, and returns its stats. Duplicate
+    /// one from-scratch pipeline run, and returns its outcome. Duplicate
     /// nodes in `faults` are tolerated (set semantics, like
-    /// [`Ffc::embed_into`]).
-    pub fn reset(&mut self, ffc: &Ffc, faults: &[usize]) -> EmbedStats {
+    /// [`Ffc::embed_into`]); accumulated link faults are cleared.
+    ///
+    /// # Errors
+    /// [`RepairError::NodeOutOfRange`] if any id is not a node of `ffc`
+    /// (the maintainer's previous state is discarded either way only on
+    /// success — a rejected reset leaves it untouched).
+    pub fn reset(&mut self, ffc: &Ffc, faults: &[usize]) -> Result<RepairOutcome, RepairError> {
+        let n_nodes = ffc.tables.n_nodes;
+        if let Some(&v) = faults.iter().find(|&&v| v >= n_nodes) {
+            return Err(RepairError::NodeOutOfRange { node: v, n_nodes });
+        }
         self.session.adopt_shape(ffc);
+        let _ = self.session.bump_stamp();
+        self.session.touched_necks.clear();
         for &v in faults {
-            assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
             if !self.session.node_faulty[v] {
-                let _ = self.session.book_fault(ffc, v);
+                self.session.node_faulty[v] = true;
+                self.session.sync_exclusion(ffc, v);
             }
         }
         self.session.rebuild(ffc, self.shards.max(1));
         self.repairs.rebuilds += 1;
-        self.session.stats()
+        Ok(self.session.outcome())
     }
 
-    /// Absorbs the arrival of a fault at node `v` and returns the repaired
-    /// stats — identical to a fresh [`Ffc::embed_into`] of the accumulated
-    /// fault set. A node already faulty is a no-op (set semantics). The
-    /// repair is incremental unless the event changes the repair root or
-    /// exceeds the delta budget.
+    /// Absorbs one batch of simultaneous fault-churn events and returns
+    /// the [`RepairOutcome`] of the accumulated fault set — whose stats
+    /// and ring bytes are identical to a fresh [`Ffc::embed_into`] of
+    /// [`EmbedSession::faulty_nodes`]. Redundant events (an already-faulty
+    /// node going down, a never-faulty node coming up, a duplicate link
+    /// fault) are no-ops inside the batch, and a batch whose net effect
+    /// kills or revives no necklace costs nothing beyond bookkeeping.
     ///
-    /// # Panics
-    /// Panics if the maintainer was not [`RingMaintainer::reset`] for this
-    /// `ffc`, if `v` is out of range, or if the event kills the last live
-    /// necklace.
-    pub fn add_fault(&mut self, ffc: &Ffc, v: usize) -> EmbedStats {
-        self.session.check_shape(ffc);
-        assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
-        if self.session.node_faulty[v] {
-            return self.session.stats();
+    /// The whole batch is repaired by **one** fused delta pass (all killed
+    /// necklaces deleted together, all revived necklaces re-inserted
+    /// together), so k simultaneous arrivals settle each affected frontier
+    /// once instead of k times. The repair falls back to one rebuild when
+    /// the batch changes the repair root or exceeds the delta budget, and
+    /// parks the session in the (recoverable) infeasible state when the
+    /// batch kills the last live necklace.
+    ///
+    /// # Errors
+    /// The batch is validated atomically before any state changes:
+    /// [`RepairError::NotInitialized`] / [`RepairError::ShapeMismatch`]
+    /// when the session is not bound to `ffc`,
+    /// [`RepairError::NodeOutOfRange`] for an id outside the graph, and
+    /// [`RepairError::NotAnEdge`] for a link event whose pair is not a de
+    /// Bruijn edge.
+    pub fn apply_batch(
+        &mut self,
+        ffc: &Ffc,
+        events: &[FaultEvent],
+    ) -> Result<RepairOutcome, RepairError> {
+        self.session.ensure_shape(ffc)?;
+        let n_nodes = self.session.n_nodes;
+        let (d, suffix) = (self.session.d, self.session.suffix);
+        for &ev in events {
+            match ev {
+                FaultEvent::NodeDown(v) | FaultEvent::NodeUp(v) => {
+                    if v >= n_nodes {
+                        return Err(RepairError::NodeOutOfRange { node: v, n_nodes });
+                    }
+                }
+                FaultEvent::EdgeDown(u, w) | FaultEvent::EdgeUp(u, w) => {
+                    for node in [u, w] {
+                        if node >= n_nodes {
+                            return Err(RepairError::NodeOutOfRange { node, n_nodes });
+                        }
+                    }
+                    if w / d != u % suffix {
+                        return Err(RepairError::NotAnEdge { from: u, to: w });
+                    }
+                }
+            }
         }
-        let Some(nid) = self.session.book_fault(ffc, v) else {
-            return self.session.stats(); // necklace already dead: no topology change
-        };
-        let new_root = self.session.policy_root(ffc);
-        if new_root != self.session.root {
-            self.session.rebuild(ffc, self.shards.max(1));
-            self.repairs.rebuilds += 1;
-            return self.session.stats();
+        self.session.book_events(ffc, events);
+        if self.session.killed_necks.is_empty() && self.session.revived_necks.is_empty() {
+            return Ok(self.session.outcome()); // no topology change
         }
-        let budget = self.effective_budget();
-        match (budget > 0).then(|| self.session.delta_kill(ffc, nid, budget)) {
-            Some(Ok(())) => self.repairs.incremental += 1,
-            _ => {
+        match self.session.policy_root(ffc) {
+            None => {
+                self.session.enter_infeasible();
+                self.repairs.rebuilds += 1;
+            }
+            Some(root) if root != self.session.root => {
                 self.session.rebuild(ffc, self.shards.max(1));
                 self.repairs.rebuilds += 1;
             }
-        }
-        self.session.stats()
-    }
-
-    /// Absorbs the repair (removal) of the fault at node `v` and returns
-    /// the repaired stats — the mirror of [`RingMaintainer::add_fault`].
-    ///
-    /// # Panics
-    /// Panics if `v` is not currently faulty (or out of range / wrong
-    /// shape).
-    pub fn clear_fault(&mut self, ffc: &Ffc, v: usize) -> EmbedStats {
-        self.session.check_shape(ffc);
-        assert!(v < self.session.n_nodes, "faulty node id {v} out of range");
-        assert!(
-            self.session.node_faulty[v],
-            "clear_fault({v}): node is not faulty"
-        );
-        let Some(nid) = self.session.book_clear(ffc, v) else {
-            return self.session.stats(); // necklace still dead: no topology change
-        };
-        let new_root = self.session.policy_root(ffc);
-        if new_root != self.session.root {
-            self.session.rebuild(ffc, self.shards.max(1));
-            self.repairs.rebuilds += 1;
-            return self.session.stats();
-        }
-        let budget = self.effective_budget();
-        match (budget > 0).then(|| self.session.delta_revive(ffc, nid, budget)) {
-            Some(Ok(())) => self.repairs.incremental += 1,
-            _ => {
-                self.session.rebuild(ffc, self.shards.max(1));
-                self.repairs.rebuilds += 1;
+            Some(_) => {
+                let budget = self.effective_budget();
+                match (budget > 0).then(|| self.session.delta_batch(ffc, budget)) {
+                    Some(Ok(())) => self.repairs.incremental += 1,
+                    _ => {
+                        self.session.rebuild(ffc, self.shards.max(1));
+                        self.repairs.rebuilds += 1;
+                    }
+                }
             }
         }
-        self.session.stats()
+        Ok(self.session.outcome())
+    }
+
+    /// Absorbs the arrival of a fault at node `v` — shorthand for a
+    /// one-event [`RingMaintainer::apply_batch`]. A node already faulty is
+    /// a no-op (set semantics).
+    ///
+    /// # Errors
+    /// See [`RingMaintainer::apply_batch`].
+    pub fn add_fault(&mut self, ffc: &Ffc, v: usize) -> Result<RepairOutcome, RepairError> {
+        self.apply_batch(ffc, &[FaultEvent::NodeDown(v)])
+    }
+
+    /// Absorbs the repair (removal) of the fault at node `v` — shorthand
+    /// for a one-event [`RingMaintainer::apply_batch`]. Clearing a node
+    /// that was never faulty is a **documented no-op**: the current
+    /// outcome comes back unchanged and no fault-set word is touched.
+    ///
+    /// # Errors
+    /// See [`RingMaintainer::apply_batch`].
+    pub fn clear_fault(&mut self, ffc: &Ffc, v: usize) -> Result<RepairOutcome, RepairError> {
+        self.apply_batch(ffc, &[FaultEvent::NodeUp(v)])
     }
 
     /// The delta budget in effect.

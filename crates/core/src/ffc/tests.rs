@@ -712,26 +712,26 @@ fn incremental_matches_from_scratch_exhaustively_on_all_arrival_orders() {
             assert_maintainer_matches_scratch(&ffc, maint, scratch, &mut ring, ctx);
         };
         // Singles, with add → clear round trips.
-        maint.reset(&ffc, &[]);
+        maint.reset(&ffc, &[]).expect("in-range");
         check(&maint, &mut scratch, "empty");
         for a in 0..total {
-            maint.add_fault(&ffc, a);
+            maint.add_fault(&ffc, a).expect("in-range");
             check(&maint, &mut scratch, "single add");
-            maint.clear_fault(&ffc, a);
+            maint.clear_fault(&ffc, a).expect("in-range");
             check(&maint, &mut scratch, "single clear");
         }
         // Pairs, both arrival orders, then clears in both orders.
         for a in 0..total {
             for b in (a + 1)..total {
                 for order in [[a, b], [b, a]] {
-                    maint.reset(&ffc, &[]);
-                    maint.add_fault(&ffc, order[0]);
+                    maint.reset(&ffc, &[]).expect("in-range");
+                    maint.add_fault(&ffc, order[0]).expect("in-range");
                     check(&maint, &mut scratch, "pair first add");
-                    maint.add_fault(&ffc, order[1]);
+                    maint.add_fault(&ffc, order[1]).expect("in-range");
                     check(&maint, &mut scratch, "pair second add");
-                    maint.clear_fault(&ffc, order[0]);
+                    maint.clear_fault(&ffc, order[0]).expect("in-range");
                     check(&maint, &mut scratch, "pair first clear");
-                    maint.clear_fault(&ffc, order[1]);
+                    maint.clear_fault(&ffc, order[1]).expect("in-range");
                     check(&maint, &mut scratch, "pair second clear");
                 }
             }
@@ -752,24 +752,24 @@ fn incremental_duplicate_and_same_necklace_faults_are_absorbed() {
     let mut maint = RingMaintainer::new();
     let mut scratch = EmbedScratch::new();
     let mut ring = Vec::new();
-    maint.reset(&ffc, &[]);
+    maint.reset(&ffc, &[]).expect("in-range");
     // 0112 and 1120 are rotations of each other: one necklace.
     let a = g.node("0112").unwrap();
     let b = g.node("1120").unwrap();
-    let s1 = maint.add_fault(&ffc, a);
-    let s2 = maint.add_fault(&ffc, a); // duplicate node
+    let s1 = maint.add_fault(&ffc, a).expect("in-range").stats();
+    let s2 = maint.add_fault(&ffc, a).expect("in-range").stats(); // duplicate node
     assert_eq!(s1, s2);
-    let s3 = maint.add_fault(&ffc, b); // same necklace
+    let s3 = maint.add_fault(&ffc, b).expect("in-range").stats(); // same necklace
     assert_eq!(s1, s3);
     assert_eq!(s3.faulty_necklaces, 1);
     assert_eq!(s3.removed_nodes, 4);
     assert_maintainer_matches_scratch(&ffc, &maint, &mut scratch, &mut ring, "same necklace");
     // Clearing one of the two faults keeps the necklace dead …
-    let s4 = maint.clear_fault(&ffc, a);
+    let s4 = maint.clear_fault(&ffc, a).expect("in-range").stats();
     assert_eq!(s4, s3);
     assert_maintainer_matches_scratch(&ffc, &maint, &mut scratch, &mut ring, "partial clear");
     // … and clearing the last one revives it.
-    let s5 = maint.clear_fault(&ffc, b);
+    let s5 = maint.clear_fault(&ffc, b).expect("in-range").stats();
     assert_eq!(s5.faulty_necklaces, 0);
     assert_eq!(s5.removed_nodes, 0);
     assert_maintainer_matches_scratch(&ffc, &maint, &mut scratch, &mut ring, "full clear");
@@ -786,17 +786,17 @@ fn incremental_zero_budget_forces_identical_rebuilds() {
     let mut rebuild = RingMaintainer::new().with_budget(Some(0));
     let mut ring_a = Vec::new();
     let mut ring_b = Vec::new();
-    delta.reset(&ffc, &[]);
-    rebuild.reset(&ffc, &[]);
+    delta.reset(&ffc, &[]).expect("in-range");
+    rebuild.reset(&ffc, &[]).expect("in-range");
     for v in (0..total).step_by(3) {
-        let sa = delta.add_fault(&ffc, v);
-        let sb = rebuild.add_fault(&ffc, v);
+        let sa = delta.add_fault(&ffc, v).expect("in-range").stats();
+        let sb = rebuild.add_fault(&ffc, v).expect("in-range").stats();
         assert_eq!(sa, sb, "add {v}");
         delta.ring_into(&mut ring_a);
         rebuild.ring_into(&mut ring_b);
         assert_eq!(ring_a, ring_b, "add {v}");
-        let sa = delta.clear_fault(&ffc, v);
-        let sb = rebuild.clear_fault(&ffc, v);
+        let sa = delta.clear_fault(&ffc, v).expect("in-range").stats();
+        let sb = rebuild.clear_fault(&ffc, v).expect("in-range").stats();
         assert_eq!(sa, sb, "clear {v}");
     }
     assert_eq!(delta.repairs().rebuilds, 1, "delta path fell back");
@@ -814,9 +814,9 @@ fn incremental_reset_and_graph_switch() {
     for (d, n) in [(2u64, 6u32), (3, 3), (2, 6), (4, 3)] {
         let ffc = Ffc::new(d, n);
         let faults = [1usize, 7, 7, 13];
-        maint.reset(&ffc, &faults);
+        maint.reset(&ffc, &faults).expect("in-range");
         assert_maintainer_matches_scratch(&ffc, &maint, &mut scratch, &mut ring, "reset");
-        maint.add_fault(&ffc, 3);
+        maint.add_fault(&ffc, 3).expect("in-range");
         assert_maintainer_matches_scratch(&ffc, &maint, &mut scratch, &mut ring, "post-reset add");
     }
 }
@@ -838,20 +838,20 @@ fn incremental_repairs_do_not_allocate_after_warmup() {
     // their worst case), a root-killing event (probe path + rebuild), and
     // a few delta events.
     let heavy: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
-    maint.reset(&ffc, &heavy);
-    maint.reset(&ffc, &[]);
-    maint.add_fault(&ffc, 1); // kills the root necklace: rebuild + probe
-    maint.clear_fault(&ffc, 1);
+    maint.reset(&ffc, &heavy).expect("in-range");
+    maint.reset(&ffc, &[]).expect("in-range");
+    maint.add_fault(&ffc, 1).expect("in-range"); // kills the root necklace: rebuild + probe
+    maint.clear_fault(&ffc, 1).expect("in-range");
     for v in [5usize, 100, 731] {
-        maint.add_fault(&ffc, v);
+        maint.add_fault(&ffc, v).expect("in-range");
     }
     let warm = maint.session().allocated_bytes();
     for trial in 0..300 {
         let v = rng.gen_range(0..total);
         if maint.session().faulty_nodes().contains(&v) {
-            maint.clear_fault(&ffc, v);
+            maint.clear_fault(&ffc, v).expect("in-range");
         } else {
-            maint.add_fault(&ffc, v);
+            maint.add_fault(&ffc, v).expect("in-range");
         }
         assert_eq!(
             maint.session().allocated_bytes(),
@@ -868,7 +868,7 @@ fn incremental_repairs_do_not_allocate_after_warmup() {
 fn incremental_forward_histogram_is_consistent() {
     let ffc = Ffc::new(2, 7);
     let mut maint = RingMaintainer::new();
-    maint.reset(&ffc, &[9, 33]);
+    maint.reset(&ffc, &[9, 33]).expect("in-range");
     let counts = maint.session().forward_level_counts();
     assert!(!counts.is_empty());
     assert_eq!(counts[0], 1, "exactly the root at level 0");

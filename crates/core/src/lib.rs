@@ -44,6 +44,7 @@
 pub mod bitreach;
 pub mod bounds;
 pub mod butterfly;
+pub mod churn;
 pub mod disjoint;
 pub mod edge_faults;
 pub mod ffc;
@@ -59,10 +60,12 @@ pub use bitreach::{
 };
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};
+pub use churn::{replay_churn, ChurnPlan, ChurnReport, ChurnStep};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
 pub use edge_faults::{EdgeFaultEmbedder, NoFaultFreeCycle};
 pub use ffc::{
-    EmbedScratch, EmbedSession, EmbedStats, Ffc, FfcOutcome, RepairStats, RingMaintainer,
+    EmbedScratch, EmbedSession, EmbedStats, FaultEvent, Ffc, FfcOutcome, RepairError,
+    RepairOutcome, RepairStats, RingMaintainer,
 };
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;

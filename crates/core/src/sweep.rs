@@ -467,16 +467,22 @@ impl Ffc {
             maintainer.set_shards(plan.embed_shards_requested());
         }
         let mut cur = schedule.faults_for(range.start).min(n_nodes);
-        maintainer.reset(self, &row[..cur]);
+        maintainer
+            .reset(self, &row[..cur])
+            .expect("drawer yields in-range fault ids");
         for trial in range {
             let q = schedule.faults_for(trial).min(n_nodes);
             while cur < q {
-                maintainer.add_fault(self, row[cur]);
+                maintainer
+                    .add_fault(self, row[cur])
+                    .expect("drawer yields in-range fault ids");
                 cur += 1;
             }
             while cur > q {
                 cur -= 1;
-                maintainer.clear_fault(self, row[cur]);
+                maintainer
+                    .clear_fault(self, row[cur])
+                    .expect("drawer yields in-range fault ids");
             }
             let cycle = if plan.cycles_requested() {
                 maintainer.ring_into(ring);

@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use dbg_graph::{DeBruijn, FaultSet, Topology};
 use debruijn_core::Ffc;
 
-use crate::network::{Network, NetworkStats, RoundTrace};
+use crate::network::{ChaosConfig, Network, NetworkStats, RoundTrace};
 
 /// One processor's protocol state.
 #[derive(Clone, Debug, Default)]
@@ -70,6 +70,10 @@ enum Msg {
     Probe { origin: usize, members: Vec<usize> },
     /// Broadcast token carrying its sender.
     Token { sender: usize },
+    /// Chaos-mode broadcast token carrying the sender's current level —
+    /// under message delay the receipt round no longer encodes distance,
+    /// so the level travels explicitly and receivers min-fold it.
+    TokenL { sender: usize, level: usize },
     /// Necklace-internal share of (node, level, parent) records.
     Share { records: Vec<(usize, usize, usize)> },
     /// A child necklace announcing itself to a w-group.
@@ -121,6 +125,12 @@ pub struct DistributedOutcome {
     /// of the centralized maintainer's forward-level histogram, which the
     /// online harness asserts it against.
     pub broadcast_level_counts: Vec<usize>,
+    /// Whether the run went through the chaos fabric
+    /// ([`DistributedFfc::run_chaos`]). Under chaos the per-round message
+    /// identities (and per-round conservation, because of delay) no longer
+    /// hold, so the verification harness skips those checks and keeps the
+    /// convergence ones.
+    pub chaos: bool,
 }
 
 /// The distributed FFC protocol runner for a fixed B(d,n).
@@ -338,26 +348,7 @@ impl DistributedFfc {
         rounds.share = n;
 
         // Local step 1.2: pick Y, the tree label w and the parent necklace.
-        let root_rep = rep_of(root);
-        #[allow(clippy::needless_range_loop)] // reads and writes disjoint fields of states[v]
-        for v in 0..total {
-            if !states[v].necklace_alive || states[v].level.is_none() {
-                continue;
-            }
-            let my_rep = rep_of(v);
-            if my_rep == root_rep {
-                continue; // the root necklace has no tree edge
-            }
-            let chosen = states[v]
-                .records
-                .iter()
-                .min_by_key(|(&node, &(level, _))| (level, node))
-                .map(|(&node, &(_, parent))| (node, parent));
-            if let Some((y, parent)) = chosen {
-                states[v].tree_label = Some(y as u64 / d);
-                states[v].parent_rep = Some(rep_of(parent));
-            }
-        }
+        self.local_tree_labels(&mut states, root, d);
 
         // ------------------------------------------------------------------
         // Phase 4: w-group formation (1 announcement round + n circulation).
@@ -443,8 +434,407 @@ impl DistributedFfc {
         // ------------------------------------------------------------------
         // Phase 5: local successor computation (no communication).
         // ------------------------------------------------------------------
+        self.local_successors(&mut states);
+
+        rounds.total = rounds.probe + rounds.broadcast + rounds.share + rounds.group;
+
+        // Per-level receiver counts of the broadcast phase (the protocol
+        // twin of the centralized forward-level histogram).
+        let broadcast_level_counts = level_histogram(&states);
+
+        // Trace the cycle from the root.
+        let cycle = trace_cycle(&states, root, total);
+
+        DistributedOutcome {
+            root,
+            cycle,
+            rounds,
+            network: net.stats(),
+            trace: net.trace().to_vec(),
+            broadcast_level_counts,
+            chaos: false,
+        }
+    }
+
+    /// Runs the protocol through the chaos fabric ([`ChaosConfig`]:
+    /// message drop, duplication, bounded delay), rooted at the same
+    /// processor the centralized algorithm would pick.
+    ///
+    /// The chaos variant hardens each phase by **retry with timeout and
+    /// round resynchronization**: every node keeps re-sending its current
+    /// knowledge each round (probes and their relay caches, its broadcast
+    /// level, its record set, its group facts), receivers fold messages
+    /// with idempotent min-/union-updates, and a phase ends only after the
+    /// global state has been quiescent for `max_delay + 12` consecutive
+    /// rounds (so a lost message is re-offered next round and a delayed
+    /// one cannot slip in after the phase closes). Broadcast tokens carry
+    /// their sender's level explicitly ([`Msg::TokenL`]) because receipt
+    /// rounds no longer encode BFS distance under delay.
+    ///
+    /// The fixpoint of each phase equals the perfect-fabric phase result,
+    /// so the outcome's root, cycle and level histogram are bit-identical
+    /// to [`DistributedFfc::run`] — which
+    /// [`crate::online::verify_against_maintainer`] asserts — while round
+    /// and message counts reflect the retries ([`DistributedOutcome::chaos`]
+    /// tells the harness to skip the per-round identities).
+    #[must_use]
+    pub fn run_chaos(&self, faulty_nodes: &[usize], cfg: ChaosConfig) -> DistributedOutcome {
+        let mask = self.reference.faulty_necklace_mask(faulty_nodes);
+        let root = self
+            .reference
+            .pick_root(self.reference.default_root(), &mask);
+        self.run_chaos_from(faulty_nodes, root, cfg)
+    }
+
+    /// [`DistributedFfc::run_chaos`] rooted at (the necklace
+    /// representative of) `root`.
+    #[must_use]
+    pub fn run_chaos_from(
+        &self,
+        faulty_nodes: &[usize],
+        root: usize,
+        cfg: ChaosConfig,
+    ) -> DistributedOutcome {
+        let g = &self.graph;
+        let space = g.space();
+        let d = space.d();
+        let n = space.n() as usize;
+        let suffix_count = space.msd_place();
+        let total = g.len();
+        let rep_of = |v: usize| self.reference.representative_of(v);
+        let root = rep_of(root);
+
+        let faults = FaultSet::from_nodes(faulty_nodes.iter().copied());
+        let mut net = Network::new(g, &faults).with_trace().with_chaos(cfg);
+        let mut states: Vec<NodeState> = (0..total).map(|_| NodeState::default()).collect();
+        let mut rounds = DistributedRounds::default();
+        let mut pending: Vec<(usize, usize, Msg)> = Vec::new();
+        // A phase ends after this many rounds without any state change:
+        // long enough that every delayed copy has matured and a dropped
+        // message has been re-offered many times (false-stall probability
+        // is at most drop^patience per needed edge).
+        let patience = cfg.max_delay + 12;
+        // Backstop against a pathological chaos stream; generous next to
+        // the perfect protocol's K + 3n + 1 rounds.
+        let cap = 60 * (n + 1) + 240;
+
+        // Closes a phase: expire whatever the fabric still holds so the
+        // global conservation law is restored at every phase boundary.
+        fn close_phase<T: Topology>(
+            net: &mut Network<'_, T>,
+            pending: &mut Vec<(usize, usize, Msg)>,
+        ) {
+            net.note_expired(pending.len() as u64);
+            pending.clear();
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 1: necklace probe, continuously re-launched and relayed.
+        // ------------------------------------------------------------------
+        // relay caches: origin -> members accumulated up to this node.
+        let mut probe_relay: Vec<BTreeMap<usize, Vec<usize>>> =
+            (0..total).map(|_| BTreeMap::new()).collect();
+        let mut quiet = 0usize;
+        let mut used = 0usize;
+        while quiet < patience && used < cap {
+            let mut outgoing = Vec::new();
+            for v in 0..total {
+                if !net.alive(v) {
+                    continue;
+                }
+                let succ = space.rotate_left(v as u64) as usize;
+                if !states[v].necklace_alive {
+                    outgoing.push((
+                        v,
+                        succ,
+                        Msg::Probe {
+                            origin: v,
+                            members: vec![v],
+                        },
+                    ));
+                }
+                for (&origin, members) in &probe_relay[v] {
+                    outgoing.push((
+                        v,
+                        succ,
+                        Msg::Probe {
+                            origin,
+                            members: members.clone(),
+                        },
+                    ));
+                }
+            }
+            let delivered = net.exchange_chaos(outgoing, &mut pending);
+            used += 1;
+            let mut changed = false;
+            for (v, inbox) in delivered.iter().enumerate() {
+                for msg in inbox {
+                    if let Msg::Probe { origin, members } = msg {
+                        if *origin == v {
+                            if !states[v].necklace_alive {
+                                states[v].necklace_alive = true;
+                                states[v].necklace = members.clone();
+                                changed = true;
+                            }
+                        } else if !probe_relay[v].contains_key(origin) {
+                            let mut members = members.clone();
+                            members.push(v);
+                            probe_relay[v].insert(*origin, members);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            quiet = if changed { 0 } else { quiet + 1 };
+        }
+        close_phase(&mut net, &mut pending);
+        rounds.probe = used;
+
+        // ------------------------------------------------------------------
+        // Phase 2: broadcast with explicit levels, re-sent every round.
+        // ------------------------------------------------------------------
+        if states[root].necklace_alive {
+            states[root].level = Some(0);
+        }
+        let mut quiet = 0usize;
+        let mut used = 0usize;
+        while quiet < patience && used < cap {
+            let mut outgoing = Vec::new();
+            for (v, state) in states.iter().enumerate() {
+                if !net.alive(v) || !state.necklace_alive {
+                    continue;
+                }
+                if let Some(level) = state.level {
+                    g.visit_successors(v, |u| {
+                        outgoing.push((v, u, Msg::TokenL { sender: v, level }));
+                    });
+                }
+            }
+            if outgoing.is_empty() && pending.is_empty() {
+                break; // dead root: nothing will ever flow
+            }
+            let delivered = net.exchange_chaos(outgoing, &mut pending);
+            used += 1;
+            let mut changed = false;
+            for (v, inbox) in delivered.iter().enumerate() {
+                if !states[v].necklace_alive || v == root {
+                    continue;
+                }
+                for msg in inbox {
+                    if let Msg::TokenL { sender, level } = *msg {
+                        let cand = level + 1;
+                        match states[v].level {
+                            Some(cur) if cur < cand => {}
+                            Some(cur) if cur == cand => {
+                                // Same level: the parent is the minimal
+                                // in-neighbour one level up, min-folded.
+                                if states[v].parent.is_none_or(|p| sender < p) {
+                                    states[v].parent = Some(sender);
+                                    changed = true;
+                                }
+                            }
+                            _ => {
+                                states[v].level = Some(cand);
+                                states[v].parent = Some(sender);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            quiet = if changed { 0 } else { quiet + 1 };
+        }
+        close_phase(&mut net, &mut pending);
+        rounds.broadcast = used;
+        rounds.broadcast_depth = states.iter().filter_map(|s| s.level).max().unwrap_or(0);
+
+        // ------------------------------------------------------------------
+        // Phase 3: necklace-level record sharing as a grow-only set union.
+        // ------------------------------------------------------------------
+        for (v, state) in states.iter_mut().enumerate() {
+            if state.necklace_alive {
+                if let Some(level) = state.level {
+                    state
+                        .records
+                        .insert(v, (level, state.parent.unwrap_or(usize::MAX)));
+                }
+            }
+        }
+        let mut quiet = 0usize;
+        let mut used = 0usize;
+        while quiet < patience && used < cap {
+            let mut outgoing = Vec::new();
+            for (v, state) in states.iter().enumerate() {
+                if !net.alive(v) || !state.necklace_alive {
+                    continue;
+                }
+                let succ = space.rotate_left(v as u64) as usize;
+                let records: Vec<(usize, usize, usize)> = state
+                    .records
+                    .iter()
+                    .map(|(&node, &(level, parent))| (node, level, parent))
+                    .collect();
+                outgoing.push((v, succ, Msg::Share { records }));
+            }
+            let delivered = net.exchange_chaos(outgoing, &mut pending);
+            used += 1;
+            let mut changed = false;
+            for (v, inbox) in delivered.iter().enumerate() {
+                for msg in inbox {
+                    if let Msg::Share { records } = msg {
+                        for &(node, level, parent) in records {
+                            if states[v].records.insert(node, (level, parent)).is_none() {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            quiet = if changed { 0 } else { quiet + 1 };
+        }
+        close_phase(&mut net, &mut pending);
+        rounds.share = used;
+
+        // Local step 1.2, unchanged: the shared records have converged to
+        // the perfect-fabric fixpoint.
+        self.local_tree_labels(&mut states, root, d);
+
+        // ------------------------------------------------------------------
+        // Phase 4: w-group formation — announcements and circulation are
+        // both re-sent every round and folded as set unions.
+        // ------------------------------------------------------------------
+        let mut quiet = 0usize;
+        let mut used = 0usize;
+        while quiet < patience && used < cap {
+            let mut outgoing = Vec::new();
+            for (v, state) in states.iter().enumerate() {
+                if !net.alive(v) || !state.necklace_alive {
+                    continue;
+                }
+                if let (Some(label), Some(parent_rep)) = (state.tree_label, state.parent_rep) {
+                    if v as u64 % suffix_count == label {
+                        let member_rep = rep_of(v);
+                        g.visit_successors(v, |u| {
+                            outgoing.push((
+                                v,
+                                u,
+                                Msg::Announce {
+                                    label,
+                                    member_rep,
+                                    parent_rep,
+                                },
+                            ));
+                        });
+                    }
+                }
+                let items: Vec<(u64, usize, usize)> = state
+                    .groups
+                    .iter()
+                    .flat_map(|(&label, reps)| reps.iter().map(move |&r| (label, r, r)))
+                    .collect();
+                if !items.is_empty() {
+                    let succ = space.rotate_left(v as u64) as usize;
+                    outgoing.push((v, succ, Msg::Circulate { items }));
+                }
+            }
+            if outgoing.is_empty() && pending.is_empty() {
+                break; // no tree edges at all (e.g. root-only component)
+            }
+            let delivered = net.exchange_chaos(outgoing, &mut pending);
+            used += 1;
+            let mut changed = false;
+            for (v, inbox) in delivered.iter().enumerate() {
+                if !states[v].necklace_alive {
+                    continue;
+                }
+                let my_rep = rep_of(v);
+                for msg in inbox {
+                    match msg {
+                        Msg::Announce {
+                            label,
+                            member_rep,
+                            parent_rep,
+                        } => {
+                            let i_am_parent = my_rep == *parent_rep;
+                            let i_am_sibling = states[v].tree_label == Some(*label)
+                                && states[v].parent_rep == Some(*parent_rep);
+                            if i_am_parent || i_am_sibling {
+                                let entry = states[v].groups.entry(*label).or_default();
+                                changed |= entry.insert(*member_rep);
+                                changed |= entry.insert(*parent_rep);
+                                changed |= entry.insert(my_rep);
+                            }
+                        }
+                        Msg::Circulate { items } => {
+                            for &(label, rep, _) in items {
+                                changed |= states[v].groups.entry(label).or_default().insert(rep);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            quiet = if changed { 0 } else { quiet + 1 };
+        }
+        close_phase(&mut net, &mut pending);
+        rounds.group = used;
+
+        // Phase 5: local successor computation (no communication).
+        self.local_successors(&mut states);
+
+        rounds.total = rounds.probe + rounds.broadcast + rounds.share + rounds.group;
+        let broadcast_level_counts = level_histogram(&states);
+        let cycle = trace_cycle(&states, root, total);
+
+        DistributedOutcome {
+            root,
+            cycle,
+            rounds,
+            network: net.stats(),
+            trace: net.trace().to_vec(),
+            broadcast_level_counts,
+            chaos: true,
+        }
+    }
+
+    /// Local step 1.2, shared by the perfect and chaos runners: from the
+    /// shared necklace records, each node of a non-root live necklace
+    /// derives the earliest-reached node Y, the tree label w = Y div d and
+    /// the representative of the parent necklace.
+    fn local_tree_labels(&self, states: &mut [NodeState], root: usize, d: u64) {
+        let rep_of = |v: usize| self.reference.representative_of(v);
+        let root_rep = rep_of(root);
         #[allow(clippy::needless_range_loop)] // reads and writes disjoint fields of states[v]
-        for v in 0..total {
+        for v in 0..states.len() {
+            if !states[v].necklace_alive || states[v].level.is_none() {
+                continue;
+            }
+            let my_rep = rep_of(v);
+            if my_rep == root_rep {
+                continue; // the root necklace has no tree edge
+            }
+            let chosen = states[v]
+                .records
+                .iter()
+                .min_by_key(|(&node, &(level, _))| (level, node))
+                .map(|(&node, &(_, parent))| (node, parent));
+            if let Some((y, parent)) = chosen {
+                states[v].tree_label = Some(y as u64 / d);
+                states[v].parent_rep = Some(rep_of(parent));
+            }
+        }
+    }
+
+    /// Phase 5, shared by the perfect and chaos runners: each node decides
+    /// locally whether to leave its necklace through the w-edge of D or to
+    /// follow its necklace successor (Step 3).
+    fn local_successors(&self, states: &mut [NodeState]) {
+        let space = self.graph.space();
+        let d = space.d();
+        let suffix_count = space.msd_place();
+        let rep_of = |v: usize| self.reference.representative_of(v);
+        #[allow(clippy::needless_range_loop)] // reads and writes disjoint fields of states[v]
+        for v in 0..states.len() {
             if !states[v].necklace_alive || states[v].level.is_none() {
                 continue;
             }
@@ -470,33 +860,22 @@ impl DistributedFfc {
             };
             states[v].successor = Some(successor);
         }
+    }
+}
 
-        rounds.total = rounds.probe + rounds.broadcast + rounds.share + rounds.group;
-
-        // Per-level receiver counts of the broadcast phase (the protocol
-        // twin of the centralized forward-level histogram).
-        let mut broadcast_level_counts = Vec::new();
-        for state in &states {
-            if let Some(level) = state.level {
-                if broadcast_level_counts.len() <= level {
-                    broadcast_level_counts.resize(level + 1, 0usize);
-                }
-                broadcast_level_counts[level] += 1;
+/// Per-level receiver counts of the broadcast phase (the protocol twin of
+/// the centralized forward-level histogram).
+fn level_histogram(states: &[NodeState]) -> Vec<usize> {
+    let mut counts = Vec::new();
+    for state in states {
+        if let Some(level) = state.level {
+            if counts.len() <= level {
+                counts.resize(level + 1, 0usize);
             }
-        }
-
-        // Trace the cycle from the root.
-        let cycle = trace_cycle(&states, root, total);
-
-        DistributedOutcome {
-            root,
-            cycle,
-            rounds,
-            network: net.stats(),
-            trace: net.trace().to_vec(),
-            broadcast_level_counts,
+            counts[level] += 1;
         }
     }
+    counts
 }
 
 /// Follows successor pointers from the root; returns the cycle if the walk
@@ -665,7 +1044,7 @@ mod tests {
                 // The shared harness covers root, ring bytes, broadcast
                 // levels and per-round message counts against the
                 // centralized maintainer…
-                maint.reset(runner.reference(), faults);
+                maint.reset(runner.reference(), faults).expect("in-range");
                 crate::online::verify_against_maintainer(
                     &distributed,
                     runner.reference(),
@@ -690,6 +1069,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The chaos-hardened protocol must converge bit-identically to the
+    /// perfect-fabric run — same root, same cycle, same level histogram —
+    /// under ≥10% message drop combined with duplication and delay, on
+    /// fault loads both inside and past the d − 2 guarantee.
+    #[test]
+    fn chaos_run_converges_to_the_perfect_fabric_result() {
+        let cfgs = [
+            ChaosConfig::drop_only(0.10, 0xA11CE),
+            ChaosConfig {
+                drop: 0.15,
+                duplicate: 0.10,
+                max_delay: 2,
+                seed: 0xB0B,
+            },
+            ChaosConfig {
+                drop: 0.25,
+                duplicate: 0.05,
+                max_delay: 3,
+                seed: 7,
+            },
+        ];
+        for (d, n) in [(2u64, 5u32), (3, 3)] {
+            let runner = DistributedFfc::new(d, n);
+            let total = runner.graph().len();
+            let fault_sets: Vec<Vec<usize>> = vec![
+                vec![],
+                vec![1],
+                vec![total / 2],
+                vec![1, total / 2],
+                vec![0, 1, 2],
+            ];
+            for faults in &fault_sets {
+                let perfect = runner.run(faults);
+                for cfg in cfgs {
+                    let chaotic = runner.run_chaos(faults, cfg);
+                    assert!(chaotic.chaos);
+                    assert_eq!(
+                        chaotic.root, perfect.root,
+                        "{faults:?} in B({d},{n}) under {cfg:?}"
+                    );
+                    assert_eq!(
+                        chaotic.cycle, perfect.cycle,
+                        "{faults:?} in B({d},{n}) under {cfg:?}"
+                    );
+                    assert_eq!(
+                        chaotic.broadcast_level_counts, perfect.broadcast_level_counts,
+                        "{faults:?} in B({d},{n}) under {cfg:?}"
+                    );
+                    let s = chaotic.network;
+                    assert_eq!(s.messages_sent, s.messages_delivered + s.messages_dropped);
+                    assert!(s.messages_dropped > 0, "the adversary did nothing");
+                }
+            }
+        }
+    }
+
+    /// Chaos runs are a pure function of the seed: replaying the same
+    /// configuration reproduces the message accounting bit for bit.
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let runner = DistributedFfc::new(3, 3);
+        let cfg = ChaosConfig::default();
+        let a = runner.run_chaos(&[5, 11], cfg);
+        let b = runner.run_chaos(&[5, 11], cfg);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.rounds.total, b.rounds.total);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod ring;
 pub mod sweep;
 
 pub use ffc_distributed::{DistributedFfc, DistributedOutcome};
-pub use network::{Network, NetworkStats, RoundTrace};
+pub use network::{ChaosConfig, Network, NetworkStats, RoundTrace};
 pub use online::{verify_against_maintainer, OnlineEventCost, OnlineFfc};
 pub use ring::{all_to_all_broadcast, split_all_to_all_broadcast, RingBroadcastReport};
 pub use sweep::{distributed_sweep, distributed_sweep_range, DistributedTrial};

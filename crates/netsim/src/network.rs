@@ -7,8 +7,17 @@
 //! send nor receive; failed links silently drop traffic (and the drops are
 //! counted, since a protocol that "works" by luck should be visible as
 //! such in the statistics).
+//!
+//! [`Network::with_chaos`] degrades the fabric further: every message is
+//! independently dropped, duplicated or delayed a bounded number of rounds
+//! according to a seeded [`ChaosConfig`] — the adversary the chaos-tested
+//! protocol ([`crate::ffc_distributed::DistributedFfc::run_chaos`]) must
+//! survive. Chaos is deterministic given its seed, so a failing run is
+//! replayable.
 
 use dbg_graph::{FaultSet, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Counters accumulated over a simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
@@ -19,8 +28,62 @@ pub struct NetworkStats {
     pub messages_sent: u64,
     /// Messages actually delivered to a live receiver.
     pub messages_delivered: u64,
-    /// Messages dropped because of a faulty link or endpoint.
+    /// Messages dropped because of a faulty link or endpoint (or by
+    /// chaos injection, including in-flight messages expired by
+    /// [`Network::note_expired`]).
     pub messages_dropped: u64,
+    /// Extra copies injected by chaos duplication (each also counts as
+    /// sent, so conservation still reads `sent == delivered + dropped`).
+    pub messages_duplicated: u64,
+    /// Messages the chaos fabric held back at least one round.
+    pub messages_delayed: u64,
+}
+
+/// A seeded model of fabric misbehaviour: per-message drop, duplication
+/// and bounded delay. All probabilities are independent per message copy;
+/// the stream is a pure function of [`ChaosConfig::seed`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability that a message copy is silently lost.
+    pub drop: f64,
+    /// Probability that a message is duplicated (one extra copy).
+    pub duplicate: f64,
+    /// Maximum extra rounds a copy may be held back (uniform in
+    /// `0..=max_delay`).
+    pub max_delay: usize,
+    /// RNG seed for the chaos stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            drop: 0.10,
+            duplicate: 0.05,
+            max_delay: 2,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A drop-only adversary at the given probability.
+    #[must_use]
+    pub fn drop_only(drop: f64, seed: u64) -> Self {
+        ChaosConfig {
+            drop,
+            duplicate: 0.0,
+            max_delay: 0,
+            seed,
+        }
+    }
+
+    /// Re-seeds the stream (e.g. per event in an online session).
+    #[must_use]
+    pub fn reseed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// An outgoing message: `(from, to, payload)`.
@@ -51,6 +114,8 @@ pub struct Network<'a, T: Topology> {
     /// rounds) should not accumulate an unread log.
     trace: Vec<RoundTrace>,
     trace_enabled: bool,
+    /// Chaos injection state, if enabled ([`Network::with_chaos`]).
+    chaos: Option<(ChaosConfig, StdRng)>,
 }
 
 impl<'a, T: Topology> Network<'a, T> {
@@ -63,6 +128,7 @@ impl<'a, T: Topology> Network<'a, T> {
             stats: NetworkStats::default(),
             trace: Vec::new(),
             trace_enabled: false,
+            chaos: None,
         }
     }
 
@@ -72,6 +138,20 @@ impl<'a, T: Topology> Network<'a, T> {
     pub fn with_trace(mut self) -> Self {
         self.trace_enabled = true;
         self
+    }
+
+    /// Arms the chaos adversary: subsequent [`Network::exchange_chaos`]
+    /// calls drop, duplicate and delay messages per `cfg`.
+    #[must_use]
+    pub fn with_chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some((cfg, StdRng::seed_from_u64(cfg.seed)));
+        self
+    }
+
+    /// The chaos configuration, if armed.
+    #[must_use]
+    pub fn chaos_config(&self) -> Option<ChaosConfig> {
+        self.chaos.as_ref().map(|(cfg, _)| *cfg)
     }
 
     /// The underlying topology.
@@ -150,6 +230,97 @@ impl<'a, T: Topology> Network<'a, T> {
         inboxes
     }
 
+    /// Executes one synchronous round through the chaos adversary
+    /// ([`Network::with_chaos`]): each message copy is independently
+    /// dropped, duplicated (the extra copy also counts as sent) or held
+    /// back up to `max_delay` rounds in `pending` — entries are
+    /// `(due_round, to, payload)`, delivered by the `exchange_chaos` call
+    /// whose round matures them. Without an armed chaos config this is
+    /// exactly [`Network::exchange`] (and `pending` stays empty).
+    ///
+    /// Per-round conservation (`sent == delivered + dropped` within one
+    /// [`RoundTrace`]) does **not** hold under delay; the global law holds
+    /// again once every pending message has matured or been expired via
+    /// [`Network::note_expired`].
+    ///
+    /// # Panics
+    /// Panics if a message is sent along a non-edge (a protocol bug —
+    /// chaos degrades delivery, never addressing).
+    pub fn exchange_chaos<M: Clone>(
+        &mut self,
+        outgoing: Vec<Outgoing<M>>,
+        pending: &mut Vec<(usize, usize, M)>,
+    ) -> Vec<Vec<M>> {
+        let Some((cfg, mut rng)) = self.chaos.take() else {
+            debug_assert!(pending.is_empty(), "pending messages without chaos");
+            return self.exchange(outgoing);
+        };
+        let mut inboxes: Vec<Vec<M>> = (0..self.len()).map(|_| Vec::new()).collect();
+        let mut round = RoundTrace::default();
+        // Mature the copies whose delay ends this round. Their `sent` was
+        // accounted when they entered the fabric.
+        let now = self.stats.rounds;
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, to, payload) = pending.swap_remove(i);
+                self.stats.messages_delivered += 1;
+                round.delivered += 1;
+                inboxes[to].push(payload);
+            } else {
+                i += 1;
+            }
+        }
+        for (from, to, payload) in outgoing {
+            assert!(
+                self.topology.has_edge(from, to),
+                "protocol bug: message sent along non-edge {from} -> {to}"
+            );
+            let copies = if rng.gen_bool(cfg.duplicate) { 2 } else { 1 };
+            if copies == 2 {
+                self.stats.messages_duplicated += 1;
+            }
+            for _ in 0..copies {
+                self.stats.messages_sent += 1;
+                round.sent += 1;
+                let faulty = self.faults.node_is_faulty(from)
+                    || self.faults.node_is_faulty(to)
+                    || self.faults.edge_is_faulty(from, to);
+                if faulty || rng.gen_bool(cfg.drop) {
+                    self.stats.messages_dropped += 1;
+                    round.dropped += 1;
+                    continue;
+                }
+                let delay = if cfg.max_delay > 0 {
+                    rng.gen_range(0..cfg.max_delay + 1)
+                } else {
+                    0
+                };
+                if delay > 0 {
+                    self.stats.messages_delayed += 1;
+                    pending.push((now + delay, to, payload.clone()));
+                } else {
+                    self.stats.messages_delivered += 1;
+                    round.delivered += 1;
+                    inboxes[to].push(payload.clone());
+                }
+            }
+        }
+        self.stats.rounds += 1;
+        if self.trace_enabled {
+            self.trace.push(round);
+        }
+        self.chaos = Some((cfg, rng));
+        inboxes
+    }
+
+    /// Writes off `count` in-flight messages as dropped — called when a
+    /// protocol phase (or the whole run) ends with copies still delayed in
+    /// the pending queue, restoring the global conservation law.
+    pub fn note_expired(&mut self, count: u64) {
+        self.stats.messages_dropped += count;
+    }
+
     /// Runs a round in which every live node computes its outgoing messages
     /// from its current inbox via `step(node, inbox) -> messages`, returning
     /// the next inboxes. Convenience wrapper over [`Network::exchange`].
@@ -215,6 +386,80 @@ mod tests {
         let faults = FaultSet::new();
         let mut net = Network::new(&g, &faults);
         let _ = net.exchange(vec![(0usize, 7usize, ())]);
+    }
+
+    #[test]
+    fn chaos_exchange_conserves_messages_globally() {
+        let g = DeBruijn::new(2, 4);
+        let faults = FaultSet::new();
+        let cfg = ChaosConfig {
+            drop: 0.25,
+            duplicate: 0.2,
+            max_delay: 3,
+            seed: 99,
+        };
+        let mut net = Network::new(&g, &faults).with_chaos(cfg);
+        let mut pending: Vec<(usize, usize, u32)> = Vec::new();
+        let mut handed = 0u64;
+        for round in 0..40 {
+            let mut outgoing = Vec::new();
+            if round < 30 {
+                for v in 0..g.len() {
+                    for u in g.successors(v) {
+                        outgoing.push((v, u, v as u32));
+                        handed += 1;
+                    }
+                }
+            }
+            let _ = net.exchange_chaos(outgoing, &mut pending);
+        }
+        assert!(pending.is_empty(), "delays are bounded, queue must drain");
+        let s = net.stats();
+        assert_eq!(s.messages_sent, s.messages_delivered + s.messages_dropped);
+        assert_eq!(s.messages_sent, handed + s.messages_duplicated);
+        assert!(s.messages_dropped > 0, "drop=0.25 over thousands of sends");
+        assert!(s.messages_duplicated > 0);
+        assert!(s.messages_delayed > 0);
+        // Determinism: the same seed replays the same stream.
+        let mut net2 = Network::new(&g, &faults).with_chaos(cfg);
+        let mut pending2: Vec<(usize, usize, u32)> = Vec::new();
+        for round in 0..40 {
+            let mut outgoing = Vec::new();
+            if round < 30 {
+                for v in 0..g.len() {
+                    for u in g.successors(v) {
+                        outgoing.push((v, u, v as u32));
+                    }
+                }
+            }
+            let _ = net2.exchange_chaos(outgoing, &mut pending2);
+        }
+        assert_eq!(net.stats(), net2.stats());
+    }
+
+    #[test]
+    fn chaos_expiry_restores_conservation() {
+        let g = DeBruijn::new(2, 3);
+        let faults = FaultSet::new();
+        let cfg = ChaosConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            max_delay: 5,
+            seed: 3,
+        };
+        let mut net = Network::new(&g, &faults).with_chaos(cfg);
+        let mut pending: Vec<(usize, usize, ())> = Vec::new();
+        for _ in 0..4 {
+            let outgoing: Vec<_> = (0..g.len())
+                .flat_map(|v| g.successors(v).into_iter().map(move |u| (v, u, ())))
+                .collect();
+            let _ = net.exchange_chaos(outgoing, &mut pending);
+        }
+        let leftover = pending.len() as u64;
+        net.note_expired(leftover);
+        pending.clear();
+        let s = net.stats();
+        assert_eq!(s.messages_sent, s.messages_delivered + s.messages_dropped);
     }
 
     #[test]

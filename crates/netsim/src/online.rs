@@ -26,6 +26,7 @@
 use debruijn_core::{Ffc, RingMaintainer};
 
 use crate::ffc_distributed::{DistributedFfc, DistributedOutcome};
+use crate::network::ChaosConfig;
 
 /// Round/message cost of one online event (one distributed
 /// reconfiguration).
@@ -46,6 +47,10 @@ pub struct OnlineFfc {
     events: usize,
     total_rounds: usize,
     total_messages: u64,
+    /// When set, every reconfiguration runs through the chaos fabric,
+    /// re-seeded per event so each reconfiguration sees a fresh (but
+    /// replayable) adversary stream.
+    chaos: Option<ChaosConfig>,
 }
 
 impl OnlineFfc {
@@ -53,8 +58,26 @@ impl OnlineFfc {
     /// reconfiguration runs immediately).
     #[must_use]
     pub fn new(d: u64, n: u32) -> Self {
+        Self::build(d, n, None)
+    }
+
+    /// Starts an online session whose every reconfiguration — including
+    /// the initial bring-up — runs through the chaos fabric: messages are
+    /// dropped, duplicated and delayed per `cfg`, and the protocol's
+    /// retry-with-timeout/resynchronization machinery has to absorb it.
+    /// The chaos stream is re-seeded deterministically per event, so a
+    /// session replays bit-identically.
+    #[must_use]
+    pub fn with_chaos(d: u64, n: u32, cfg: ChaosConfig) -> Self {
+        Self::build(d, n, Some(cfg))
+    }
+
+    fn build(d: u64, n: u32, chaos: Option<ChaosConfig>) -> Self {
         let runner = DistributedFfc::new(d, n);
-        let outcome = runner.run(&[]);
+        let outcome = match chaos {
+            Some(cfg) => runner.run_chaos(&[], cfg),
+            None => runner.run(&[]),
+        };
         let mut session = OnlineFfc {
             runner,
             faults: Vec::new(),
@@ -62,9 +85,16 @@ impl OnlineFfc {
             events: 0,
             total_rounds: 0,
             total_messages: 0,
+            chaos,
         };
         session.account();
         session
+    }
+
+    /// The chaos configuration, if this session runs on a faulty fabric.
+    #[must_use]
+    pub fn chaos_config(&self) -> Option<ChaosConfig> {
+        self.chaos
     }
 
     /// The protocol runner (graph + centralized reference).
@@ -130,8 +160,16 @@ impl OnlineFfc {
 
     /// Runs one reconfiguration over the current fault set.
     fn reconfigure(&mut self) -> OnlineEventCost {
-        self.outcome = self.runner.run(&self.faults);
         self.events += 1;
+        self.outcome = match self.chaos {
+            Some(cfg) => {
+                // A fresh, deterministic adversary stream per event.
+                let salt = (self.events as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                self.runner
+                    .run_chaos(&self.faults, cfg.reseed(cfg.seed ^ salt))
+            }
+            None => self.runner.run(&self.faults),
+        };
         self.account()
     }
 
@@ -164,6 +202,12 @@ impl OnlineFfc {
 ///    d · histogram[r − 1] tokens (every frontier node sends to all d
 ///    successors), and the fabric's conservation law
 ///    `sent == delivered + dropped` holds for every traced round.
+///
+/// For a chaos run ([`DistributedOutcome::chaos`]) the per-round
+/// identities of check 4 are meaningless — retries inflate sends and
+/// delay decouples a round's sends from its deliveries — so the harness
+/// checks the *global* conservation law instead and keeps checks 1–3
+/// unchanged: convergence must be bit-identical even on a faulty fabric.
 ///
 /// # Errors
 /// Returns a description of the first discrepancy.
@@ -198,6 +242,16 @@ pub fn verify_against_maintainer(
             "broadcast level counts diverge: protocol {:?} vs forward histogram {:?}",
             outcome.broadcast_level_counts, histogram
         ));
+    }
+    if outcome.chaos {
+        let s = outcome.network;
+        if s.messages_sent != s.messages_delivered + s.messages_dropped {
+            return Err(format!(
+                "chaos run violates global conservation: {} sent, {} delivered, {} dropped",
+                s.messages_sent, s.messages_delivered, s.messages_dropped
+            ));
+        }
+        return Ok(());
     }
     let d = ffc.graph().d();
     let probe = outcome.rounds.probe;
@@ -238,15 +292,15 @@ mod tests {
         let ffc = Ffc::new(d, n);
         let mut maint = RingMaintainer::new();
         let mut ring = Vec::new();
-        maint.reset(&ffc, &[]);
+        maint.reset(&ffc, &[]).expect("in-range");
         verify_against_maintainer(online.outcome(), &ffc, &maint, &mut ring)
             .expect("bring-up diverges");
         for &(inject, v) in events {
             let cost = if inject {
-                maint.add_fault(&ffc, v);
+                maint.add_fault(&ffc, v).expect("in-range");
                 online.inject_fault(v)
             } else {
-                maint.clear_fault(&ffc, v);
+                maint.clear_fault(&ffc, v).expect("in-range");
                 online.repair_fault(v)
             };
             assert!(cost.rounds > 0 && cost.messages_sent > 0);
@@ -290,7 +344,7 @@ mod tests {
                     if a == b {
                         continue;
                     }
-                    maint.reset(&ffc, &[]);
+                    maint.reset(&ffc, &[]).expect("in-range");
                     online.faults.clear();
                     for (label, event) in [
                         ("inject a", (true, a)),
@@ -300,10 +354,10 @@ mod tests {
                     ] {
                         let (inject, v) = event;
                         if inject {
-                            maint.add_fault(&ffc, v);
+                            maint.add_fault(&ffc, v).expect("in-range");
                             online.inject_fault(v);
                         } else {
-                            maint.clear_fault(&ffc, v);
+                            maint.clear_fault(&ffc, v).expect("in-range");
                             online.repair_fault(v);
                         }
                         verify_against_maintainer(online.outcome(), &ffc, &maint, &mut ring)
@@ -312,6 +366,52 @@ mod tests {
                             });
                     }
                 }
+            }
+        }
+    }
+
+    /// The same lockstep stream as the perfect-fabric tests, but on a
+    /// chaos fabric at ≥10% drop (plus duplication and delay): the
+    /// protocol must still converge bit-identically to the centralized
+    /// maintainer after every event — the harness checks root, ring bytes,
+    /// level histogram and global message conservation.
+    #[test]
+    fn online_chaos_stream_matches_maintainer() {
+        for cfg in [
+            ChaosConfig::drop_only(0.10, 0xFEED),
+            ChaosConfig {
+                drop: 0.15,
+                duplicate: 0.10,
+                max_delay: 2,
+                seed: 0xDEC0,
+            },
+        ] {
+            let (d, n) = (3u64, 3u32);
+            let mut online = OnlineFfc::with_chaos(d, n, cfg);
+            assert_eq!(online.chaos_config(), Some(cfg));
+            let ffc = Ffc::new(d, n);
+            let mut maint = RingMaintainer::new();
+            let mut ring = Vec::new();
+            maint.reset(&ffc, &[]).expect("in-range");
+            verify_against_maintainer(online.outcome(), &ffc, &maint, &mut ring)
+                .expect("chaos bring-up diverges");
+            assert!(online.outcome().chaos);
+            let g = dbg_graph::DeBruijn::new(d, n);
+            let a = g.node("020").unwrap();
+            let b = g.node("112").unwrap();
+            for (inject, v) in [(true, a), (true, b), (false, a), (false, b)] {
+                let cost = if inject {
+                    maint.add_fault(&ffc, v).expect("in-range");
+                    online.inject_fault(v)
+                } else {
+                    maint.clear_fault(&ffc, v).expect("in-range");
+                    online.repair_fault(v)
+                };
+                assert!(cost.rounds > 0 && cost.messages_sent > 0);
+                verify_against_maintainer(online.outcome(), &ffc, &maint, &mut ring)
+                    .unwrap_or_else(|e| panic!("chaos event ({inject}, {v}) diverges: {e}"));
+                // The adversary genuinely interfered.
+                assert!(online.outcome().network.messages_dropped > 0);
             }
         }
     }
@@ -350,7 +450,7 @@ mod tests {
         let mut scratch = EmbedScratch::new();
         for faults in [vec![], vec![5], vec![5, 11]] {
             let outcome = runner.run(&faults);
-            maint.reset(&ffc, &faults);
+            maint.reset(&ffc, &faults).expect("in-range");
             verify_against_maintainer(&outcome, &ffc, &maint, &mut ring)
                 .expect("fresh run diverges");
             // And the maintainer agreed with the engine, closing the

@@ -73,15 +73,16 @@ pub mod prelude {
     pub use dbg_graph::{Butterfly, DeBruijn, FaultSet, Hypercube, Topology, UndirectedDeBruijn};
     pub use dbg_necklace::{Necklace, NecklacePartition};
     pub use dbg_netsim::{
-        all_to_all_broadcast, distributed_sweep, split_all_to_all_broadcast, DistributedFfc,
-        Network, OnlineFfc,
+        all_to_all_broadcast, distributed_sweep, split_all_to_all_broadcast, ChaosConfig,
+        DistributedFfc, Network, OnlineFfc,
     };
     pub use debruijn_core::{
-        edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, BatchEmbedder, ButterflyEmbedder,
-        DisjointHamiltonianCycles, EdgeFaultEmbedder, EmbedScratch, EmbedSession, EmbedStats,
-        FaultDrawer, FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn,
-        NecklaceAdjacency, NoFaultFreeCycle, RingMaintainer, SpaceTooLarge, SweepAccumulator,
-        SweepPlan,
+        edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, replay_churn, BatchEmbedder,
+        ButterflyEmbedder, ChurnPlan, ChurnReport, ChurnStep, DisjointHamiltonianCycles,
+        EdgeFaultEmbedder, EmbedScratch, EmbedSession, EmbedStats, FaultDrawer, FaultEvent,
+        FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
+        NoFaultFreeCycle, RepairError, RepairOutcome, RingMaintainer, SpaceTooLarge,
+        SweepAccumulator, SweepPlan,
     };
 }
 
