@@ -39,6 +39,21 @@
 //!   (`vs_parallel`) on the same fault schedule. The per-event stats are
 //!   checksummed and asserted identical to the serial loop's, and the
 //!   row records how many events repaired incrementally vs rebuilt.
+//! * **Serve tiers** (`"mode": "serve"`) — B(2,16), B(2,18) and B(2,20):
+//!   the ring-as-a-service read path. A `RingService` writer thread drains
+//!   a PR 6 `ChurnPlan` trace (paced over the measurement window) while
+//!   1, 2 and 4 reader threads walk the ring in `ring_segment` strides of
+//!   256 through epoch-refreshing `ReaderHandle`s. Each configuration is
+//!   measured twice with identical writer-side work: **live** readers
+//!   refresh to every published snapshot, **frozen** readers stay pinned
+//!   to the initial snapshot (the no-publication baseline). The row
+//!   records `lookups_per_sec` / `frozen_lookups_per_sec` / `vs_frozen`
+//!   per reader count, the snapshot-publication latency
+//!   `publish_p50_ns` / `publish_p99_ns`, and the gated `speedup` = best
+//!   `vs_frozen` across reader counts — the CI floor that keeps epoch
+//!   publication free for readers. Every run's final published snapshot
+//!   is asserted bit-identical (stats + ring bytes) to a from-scratch
+//!   `embed_into` of the trace's cumulative fault set.
 //! * **Churn tiers** (`"mode": "churn"`) — B(2,16), B(2,18) and B(2,20):
 //!   a deterministic churn trace (Poisson arrivals, correlated 4-bursts,
 //!   20% link faults, bounded repair times) replayed through the
@@ -68,11 +83,14 @@
 //!   `vs_parallel`) is below 1.0.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use debruijn_core::{
-    replay_churn, BatchEmbedder, ChurnPlan, ChurnReport, EmbedScratch, FaultEvent, FaultSchedule,
-    Ffc, RingMaintainer, SweepAccumulator, SweepPlan,
+    replay_churn, BatchEmbedder, ChurnPlan, ChurnReport, ChurnStep, EmbedScratch, FaultEvent,
+    FaultSchedule, Ffc, RingMaintainer, RingService, RingSnapshot, ServeOptions, ServiceReport,
+    SweepAccumulator, SweepPlan,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -97,6 +115,11 @@ enum Mode {
     /// through the maintainer (p50/p99 time-to-repair, degraded-time
     /// fraction) plus the batched-vs-sequential k-fault repair gate.
     Churn,
+    /// Large tiers, the serving read path: reader threads walking the ring
+    /// through epoch-refreshing handles while a churn trace streams through
+    /// the `RingService` writer, vs the same run with readers pinned to a
+    /// frozen snapshot.
+    Serve,
 }
 
 /// One benchmarked configuration.
@@ -163,6 +186,144 @@ fn time_loop<F: FnMut(&[usize]) -> usize>(sets: &[Vec<usize>], mut body: F) -> (
     (ns, sets.len() as f64 / best.as_secs_f64(), checksum)
 }
 
+/// Nodes returned per `ring_segment` walk in the serve tier: one epoch
+/// check amortised over this many lookups.
+const SEGMENT: usize = 256;
+
+/// Reader thread counts the serve tier is measured at.
+const READER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Timed repetitions per serve-tier configuration (frozen and live each):
+/// the live-vs-frozen ratio is a wash by design, so it needs more samples
+/// than the order-of-magnitude speedups elsewhere to beat scheduler noise.
+const SERVE_REPS: usize = 5;
+
+/// The exclusion set a fault-event stream accumulates to: explicitly
+/// faulty nodes plus the source endpoints of still-faulty links — the
+/// model the session maintains (pinned by the PR 6 batch tests).
+fn exclusion_of(events: &[FaultEvent]) -> Vec<usize> {
+    let mut node_down: Vec<usize> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for &ev in events {
+        match ev {
+            FaultEvent::NodeDown(v) => {
+                if !node_down.contains(&v) {
+                    node_down.push(v);
+                }
+            }
+            FaultEvent::NodeUp(v) => {
+                if let Some(i) = node_down.iter().position(|&x| x == v) {
+                    node_down.swap_remove(i);
+                }
+            }
+            FaultEvent::EdgeDown(u, w) => {
+                if !edges.contains(&(u, w)) {
+                    edges.push((u, w));
+                }
+            }
+            FaultEvent::EdgeUp(u, w) => {
+                if let Some(i) = edges.iter().position(|&e| e == (u, w)) {
+                    edges.swap_remove(i);
+                }
+            }
+        }
+    }
+    let mut excl = node_down;
+    excl.extend(edges.iter().map(|&(u, _)| u));
+    excl.sort_unstable();
+    excl.dedup();
+    excl
+}
+
+/// FNV over ring bytes — order-sensitive, so two rings hash equal only
+/// when they are byte-identical.
+fn ring_hash(ring: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in ring {
+        h = (h ^ v as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// One serve-tier measurement run: starts a fault-free `RingService`,
+/// spawns `readers` threads walking the ring in [`SEGMENT`] strides, and
+/// streams the churn trace through the writer paced over `window`.
+/// `frozen` pins every reader to the initial snapshot (the baseline);
+/// otherwise readers refresh to each published generation. Writer-side
+/// work is identical either way. Returns (lookups/sec summed across
+/// readers, the writer's report, the final published snapshot).
+fn serve_run(
+    ffc: &Arc<Ffc>,
+    steps: &[ChurnStep],
+    readers: usize,
+    frozen: bool,
+    window: Duration,
+) -> (f64, ServiceReport, Arc<RingSnapshot>) {
+    let svc = RingService::start(Arc::clone(ffc), &[], ServeOptions::default())
+        .expect("fault-free start is embeddable");
+    let go = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::with_capacity(readers);
+    for _ in 0..readers {
+        let mut reader = svc.reader();
+        let go = Arc::clone(&go);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let mut buf: Vec<usize> = Vec::with_capacity(SEGMENT);
+            let pinned = frozen.then(|| Arc::clone(reader.pinned()));
+            while !go.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let mut count = 0u64;
+            if let Some(snap) = pinned {
+                let mut at = snap.root().expect("fault-free ring");
+                while !stop.load(Ordering::Relaxed) {
+                    let wrote = snap
+                        .ring_segment(at, SEGMENT, &mut buf)
+                        .expect("frozen walk stays on ring");
+                    count += wrote as u64;
+                    at = buf[wrote - 1];
+                }
+            } else {
+                let mut at = reader.snapshot().root().expect("fault-free ring");
+                while !stop.load(Ordering::Relaxed) {
+                    match reader.ring_segment(at, SEGMENT, &mut buf) {
+                        Ok(wrote) if wrote > 0 => {
+                            count += wrote as u64;
+                            at = buf[wrote - 1];
+                        }
+                        // The walk start fell off the ring when a repair
+                        // was published: restart from the fresh root.
+                        _ => at = reader.snapshot().root().expect("serving ring"),
+                    }
+                }
+            }
+            count
+        }));
+    }
+    let pace = window.div_f64(steps.len().max(1) as f64);
+    let start = Instant::now();
+    go.store(true, Ordering::Release);
+    for step in steps {
+        for &ev in &step.batch {
+            svc.submit(ev).expect("churn events are valid");
+        }
+        std::thread::sleep(pace);
+    }
+    let mut fin = svc.reader();
+    let report = svc.shutdown();
+    while start.elapsed() < window {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    let elapsed = start.elapsed();
+    let total: u64 = threads
+        .into_iter()
+        .map(|t| t.join().expect("reader panicked"))
+        .sum();
+    (total as f64 / elapsed.as_secs_f64(), report, fin.snapshot())
+}
+
 /// Validates a written benchmark file: structural JSON sanity (balanced
 /// brackets, the expected top-level keys) and every `"speedup"` /
 /// `"vs_parallel"` value at least 1.0. `filtered` skips the
@@ -210,6 +371,8 @@ fn validate(contents: &str, filtered: bool) -> Vec<String> {
             "\"parallel\"",
             "\"repair_ns\"",
             "\"p50_repair_ns\"",
+            "\"publish_p50_ns\"",
+            "\"vs_frozen\"",
         ] {
             if !contents.contains(key) {
                 problems.push(format!("missing key {key}"));
@@ -320,6 +483,13 @@ fn main() {
         mode: Mode::Churn,
         skip_in_smoke,
     };
+    let serve_tier = |d, n, trials, skip_in_smoke| Config {
+        d,
+        n,
+        trials: scale(trials),
+        mode: Mode::Serve,
+        skip_in_smoke,
+    };
     let configs = [
         full(2, 10, 4000),
         full(2, 14, 400),
@@ -336,6 +506,9 @@ fn main() {
         churn_tier(2, 16, 120, false),
         churn_tier(2, 18, 40, true),
         churn_tier(2, 20, 16, true),
+        serve_tier(2, 16, 60, false),
+        serve_tier(2, 18, 24, true),
+        serve_tier(2, 20, 10, true),
     ];
 
     let mut matched = 0usize;
@@ -359,6 +532,115 @@ fn main() {
         let sets = fault_sets(total, cfg.trials, seed);
         let mut scratch = EmbedScratch::new();
         let label = format!("B({},{})", cfg.d, cfg.n);
+
+        if cfg.mode == Mode::Serve {
+            // Serve tier: the ring-as-a-service read path. The same churn
+            // trace streams through the RingService writer in every run;
+            // live readers refresh to each published snapshot while frozen
+            // readers stay pinned to the initial one, so the ratio isolates
+            // what epoch publication costs the read path.
+            let ffc = Arc::new(ffc);
+            let plan = ChurnPlan::new(seed ^ 0x5E)
+                .arrivals(cfg.trials)
+                .bursts(4, 0.25)
+                .edge_fault_prob(0.2);
+            let steps = plan.generate(&ffc);
+            let events: Vec<FaultEvent> =
+                steps.iter().flat_map(|s| s.batch.iter().copied()).collect();
+            // From-scratch oracle of the trace's end state: every run's
+            // final published snapshot must match it bit-for-bit.
+            let excl = exclusion_of(&events);
+            let want = ffc.embed_into(&mut scratch, &excl);
+            let want_hash = ring_hash(scratch.cycle());
+            // The big tiers pace fewer, heavier repairs through the same
+            // window; give them a longer one so the bursty writer work
+            // averages out of the reader-throughput ratio.
+            let window = Duration::from_millis(if cfg.skip_in_smoke { 500 } else { 250 });
+            let mut reader_rows = Vec::new();
+            let mut best_overall = 0.0f64;
+            let mut gate_report: Option<ServiceReport> = None;
+            let mut ring_buf = Vec::new();
+            for &readers in &READER_COUNTS {
+                let mut frozen_best = 0.0f64;
+                let mut live_best = 0.0f64;
+                for _ in 0..SERVE_REPS {
+                    // Interleave frozen/live so machine drift hits both
+                    // sides of the ratio equally.
+                    for &frozen in &[true, false] {
+                        let (lps, report, snap) = serve_run(&ffc, &steps, readers, frozen, window);
+                        assert_eq!(
+                            report.events,
+                            events.len() as u64,
+                            "writer dropped events on {label}"
+                        );
+                        assert_eq!(snap.applied_events(), report.events);
+                        assert_eq!(
+                            snap.stats(),
+                            want,
+                            "served snapshot diverges from the from-scratch embed on {label}"
+                        );
+                        snap.ring_into(&mut ring_buf);
+                        assert_eq!(
+                            ring_hash(&ring_buf),
+                            want_hash,
+                            "served ring bytes diverge on {label}"
+                        );
+                        if frozen {
+                            frozen_best = frozen_best.max(lps);
+                        } else if lps > live_best {
+                            live_best = lps;
+                            gate_report = Some(report);
+                        }
+                    }
+                }
+                let vs_frozen = live_best / frozen_best;
+                best_overall = best_overall.max(vs_frozen);
+                eprintln!(
+                    "{label}: serve x{readers} readers: live {live_best:.0} lookups/s vs frozen \
+                     {frozen_best:.0} ({vs_frozen:.2}x)"
+                );
+                reader_rows.push(format!(
+                    "        {{ \"threads\": {readers}, \"lookups_per_sec\": {live_best:.1}, \
+                     \"frozen_lookups_per_sec\": {frozen_best:.1}, \"vs_frozen\": {vs_frozen:.2} }}"
+                ));
+            }
+            let report = gate_report.expect("at least one live run");
+            let p50 = report.publish_quantile_ns(0.5);
+            let p99 = report.publish_quantile_ns(0.99);
+            let rp50 = report.repair_quantile_ns(0.5);
+            let rp99 = report.repair_quantile_ns(0.99);
+            eprintln!(
+                "{label}: serve publish p50 {:.1} µs p99 {:.1} µs over {} publications \
+                 ({} events coalesced into {} batches)",
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                report.publications,
+                report.events,
+                report.batches,
+            );
+            let mut entry = String::new();
+            write!(
+                entry,
+                "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
+                 \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+                 \"mode\": \"serve\",\n      \
+                 \"churn_steps\": {},\n      \"churn_events\": {},\n      \
+                 \"batches\": {},\n      \"publications\": {},\n      \
+                 \"publish_p50_ns\": {p50},\n      \"publish_p99_ns\": {p99},\n      \
+                 \"repair_p50_ns\": {rp50},\n      \"repair_p99_ns\": {rp99},\n      \
+                 \"readers\": [\n{}\n      ],\n      \
+                 \"speedup\": {best_overall:.2}\n    }}",
+                cfg.trials,
+                steps.len(),
+                events.len(),
+                report.batches,
+                report.publications,
+                reader_rows.join(",\n"),
+            )
+            .expect("writing to a String cannot fail");
+            entries.push(entry);
+            continue;
+        }
 
         if cfg.mode == Mode::Churn {
             // Churn tier: a deterministic arrival/departure trace (Poisson
@@ -789,7 +1071,13 @@ fn main() {
          p50/p99_repair_ns are per-batch repair latencies and degraded_fraction is the time \
          share spent past tolerance — and time one batched k-fault repair against k sequential \
          single-fault repairs of the same nodes (speedup = sequential/batched, component-size \
-         checksums asserted identical)\",\n  \
+         checksums asserted identical); mode=serve tiers stream the churn trace through a \
+         RingService writer while 1/2/4 reader threads walk the ring in 256-node ring_segment \
+         strides — lookups_per_sec is the live (epoch-refreshing) read path, \
+         frozen_lookups_per_sec the same run with readers pinned to the initial snapshot \
+         (identical writer-side work), speedup = best vs_frozen across reader counts, \
+         publish_p50/p99_ns the snapshot-publication latency, and every run's final snapshot \
+         is asserted bit-identical to a from-scratch embed of the trace's fault set\",\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

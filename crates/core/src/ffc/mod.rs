@@ -61,6 +61,7 @@ use crate::bitreach::{AtomicCells, BitReach, BitScratch, ParBitScratch, SpaceToo
 mod phases;
 mod reference;
 pub mod session;
+pub mod snapshot;
 
 #[cfg(test)]
 mod tests;
@@ -68,6 +69,7 @@ mod tests;
 pub use session::{
     EmbedSession, FaultEvent, RepairError, RepairOutcome, RepairStats, RingMaintainer,
 };
+pub use snapshot::{LookupError, RingSnapshot, SnapshotPublisher};
 
 /// The FFC embedder for a fixed B(d,n): owns the necklace partition and the
 /// engine's immutable lookup tables so that repeated embeddings (e.g. the

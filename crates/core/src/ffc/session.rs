@@ -51,11 +51,23 @@
 //! surviving ring), and [`RepairOutcome::Infeasible`] when every necklace
 //! carries a fault. All three states stay fully queryable, and clearing
 //! faults lifts the session back up through the variants.
+//!
+//! Repair state is mutable and single-writer, but reads are **not**
+//! confined to the maintainer: [`RingMaintainer::publish`] carves an
+//! immutable, refcounted [`super::RingSnapshot`] off the session
+//! (copy-on-publish — only the structure groups the last repairs touched
+//! are copied; clean groups are shared with the previous snapshot by
+//! `Arc`), which any number of reader threads can query while further
+//! repairs mutate the session. [`crate::serve::RingService`] wraps this
+//! into a full serving loop with epoch publication.
+
+use std::sync::Arc;
 
 use crate::bitreach::{
     reserve_more, BitScratch, DeltaBudgetExceeded, DeltaScratch, ParBitScratch, UNREACHED,
 };
 
+use super::snapshot::{RingSnapshot, SnapshotParts, SnapshotPublisher};
 use super::{EmbedStats, Ffc, NONE};
 
 /// How many [`RingMaintainer`] events ran as true delta repairs and how
@@ -239,7 +251,9 @@ impl RepairOutcome {
 /// The persisted outputs of the embedding pipeline's phases, plus the
 /// accumulated fault state they were computed under. See the module docs
 /// for the phase-by-phase layout. All mutation goes through
-/// [`RingMaintainer`]; the session itself exposes read-only views.
+/// [`RingMaintainer`]; the session itself exposes read-only views, and
+/// [`EmbedSession::publish_snapshot`] freezes the read-side structures
+/// into an immutable [`RingSnapshot`] that outlives further mutation.
 #[derive(Clone, Debug, Default)]
 pub struct EmbedSession {
     // -- shape (asserted against the `Ffc` of every call) --
@@ -303,6 +317,17 @@ pub struct EmbedSession {
     succ: Vec<u32>,
     /// Bit v set ⟺ node v leaves its necklace through a w-edge.
     exit_bits: Vec<u64>,
+    // -- snapshot publication --
+    /// Word-packed mirror of `in_bstar`, maintained incrementally — the
+    /// membership bitmap [`EmbedSession::publish_snapshot`] freezes into
+    /// snapshots without an O(n) repack.
+    bstar_bits: Vec<u64>,
+    /// Copy-on-publish dirty flag: `succ`/`exit_bits` changed since the
+    /// last publication.
+    snap_ring_dirty: bool,
+    /// Copy-on-publish dirty flag: `bstar_bits` changed since the last
+    /// publication.
+    snap_bstar_dirty: bool,
     // -- reusable machinery --
     bits: BitScratch,
     pbits: ParBitScratch,
@@ -466,6 +491,42 @@ impl EmbedSession {
         counts
     }
 
+    /// Freezes the session's read-side structures into an immutable
+    /// [`RingSnapshot`] via `publisher`, copying only the structure groups
+    /// mutated since the last publication (the ring wiring and membership
+    /// bitmap each carry a dirty flag the repair paths maintain) and
+    /// sharing clean groups with the previous snapshot by `Arc`.
+    /// `applied_events` is stamped into the snapshot so readers can line
+    /// it up with a prefix of the event sequence.
+    ///
+    /// Requires an initialized session ([`RingMaintainer::reset`] ran);
+    /// [`RingMaintainer::publish`] is the checked entry point.
+    pub(crate) fn publish_snapshot(
+        &mut self,
+        publisher: &mut SnapshotPublisher,
+        applied_events: u64,
+    ) -> Arc<RingSnapshot> {
+        debug_assert!(self.initialized, "publish before reset");
+        let words = self.n_nodes.div_ceil(64);
+        let parts = SnapshotParts {
+            d: self.d,
+            suffix: self.suffix,
+            n_nodes: self.n_nodes,
+            stats: self.stats(),
+            infeasible: self.root == INFEASIBLE_ROOT,
+            ring_dirty: self.snap_ring_dirty,
+            bstar_dirty: self.snap_bstar_dirty,
+            succ: &self.succ[..self.n_nodes],
+            exit_bits: &self.exit_bits[..words],
+            bstar_bits: &self.bstar_bits[..words],
+            applied_events,
+        };
+        let snap = publisher.build(parts);
+        self.snap_ring_dirty = false;
+        self.snap_bstar_dirty = false;
+        snap
+    }
+
     /// Total bytes currently reserved by the session's buffers — constant
     /// across repair events at a fixed (d, n), the incremental engine's
     /// analogue of [`super::EmbedScratch::allocated_bytes`].
@@ -510,6 +571,7 @@ impl EmbedSession {
                 + self.probe_queue.capacity()
                 + self.probe_next.capacity())
             + 8 * (self.exit_bits.capacity()
+                + self.bstar_bits.capacity()
                 + self.best_key.capacity()
                 + self.edge_faults.capacity()
                 + self.touched_necks.capacity())
@@ -562,6 +624,7 @@ impl EmbedSession {
         grow_to(&mut self.cand_stamp, n, 0);
         grow_to(&mut self.probe_stamp, n, 0);
         grow_to(&mut self.exit_bits, n.div_ceil(64), 0);
+        grow_to(&mut self.bstar_bits, n.div_ceil(64), 0);
         grow_to(&mut self.neck_fault_count, self.n_necks, 0);
         grow_to(&mut self.neck_chosen, self.n_necks, NONE);
         grow_to(&mut self.neck_label, self.n_necks, 0);
@@ -607,6 +670,9 @@ impl EmbedSession {
         self.fault_list.clear();
         self.faulty_necklaces = 0;
         self.removed_nodes = 0;
+        self.bstar_bits[..n.div_ceil(64)].fill(0);
+        self.snap_ring_dirty = true;
+        self.snap_bstar_dirty = true;
         self.initialized = true;
     }
 
@@ -815,6 +881,9 @@ impl EmbedSession {
         self.neck_chosen[..self.n_necks].fill(NONE);
         self.label_children[..self.suffix * self.d].fill(NONE);
         self.exit_bits[..n.div_ceil(64)].fill(0);
+        self.bstar_bits[..n.div_ceil(64)].fill(0);
+        self.snap_ring_dirty = true;
+        self.snap_bstar_dirty = true;
     }
 
     // ------------------------------------------------------------------
@@ -864,13 +933,19 @@ impl EmbedSession {
             shards,
         );
         scatter_levels(&mut self.bwd_level, n, &self.nodes_buf, &self.offsets_buf);
+        self.bstar_bits[..n.div_ceil(64)].fill(0);
         let mut component = 0usize;
         for v in 0..n {
             let b = self.fwd_level[v] != UNREACHED && self.bwd_level[v] != UNREACHED;
             self.in_bstar[v] = b;
+            if b {
+                self.bstar_bits[v / 64] |= 1u64 << (v % 64);
+            }
             component += usize::from(b);
         }
         self.component_size = component;
+        self.snap_ring_dirty = true;
+        self.snap_bstar_dirty = true;
 
         // Spanning tree: broadcast levels over B* plus their histogram.
         let (reached, depth) = reach.broadcast_levels_par(
@@ -1052,13 +1127,18 @@ impl EmbedSession {
                 && self.bwd_level[u] != UNREACHED;
             if self.in_bstar[u] && !now {
                 self.in_bstar[u] = false;
+                self.bstar_bits[u / 64] &= !(1u64 << (u % 64));
                 self.moved_buf.push(u as u32);
             } else if !self.in_bstar[u] && now {
                 self.in_bstar[u] = true;
+                self.bstar_bits[u / 64] |= 1u64 << (u % 64);
                 self.moved_in_buf.push(u as u32);
             }
         }
         self.component_size = self.component_size - self.moved_buf.len() + self.moved_in_buf.len();
+        if !self.moved_buf.is_empty() || !self.moved_in_buf.is_empty() {
+            self.snap_bstar_dirty = true;
+        }
 
         // Broadcast repair, with the two passes' change logs merged into
         // `bc_nodes`/`bc_old` keeping each node's first-seen (true
@@ -1190,6 +1270,11 @@ impl EmbedSession {
             let label = self.dirty_labels[i] as usize;
             self.rewire_label(ffc, label);
         }
+        // Rewiring a label unconditionally rewrites its exit bits, so any
+        // dirty label marks the ring group for copy-on-publish.
+        if !self.dirty_labels.is_empty() {
+            self.snap_ring_dirty = true;
+        }
     }
 
     /// Recomputes one necklace's tree record from the current broadcast
@@ -1318,6 +1403,12 @@ impl EmbedSession {
 /// method takes the [`Ffc`] it was [`RingMaintainer::reset`] against (the
 /// shape is asserted). One maintainer serves any number of events with no
 /// heap allocation after warm-up.
+///
+/// The maintainer is the single *writer*; it does **not** monopolise the
+/// read path. [`RingMaintainer::publish`] freezes the current ring into an
+/// immutable [`RingSnapshot`] (copy-on-publish), and
+/// [`crate::serve::RingService`] turns that into wait-free concurrent
+/// reads under live repair.
 #[derive(Clone, Debug, Default)]
 pub struct RingMaintainer {
     session: EmbedSession,
@@ -1460,23 +1551,7 @@ impl RingMaintainer {
         let n_nodes = self.session.n_nodes;
         let (d, suffix) = (self.session.d, self.session.suffix);
         for &ev in events {
-            match ev {
-                FaultEvent::NodeDown(v) | FaultEvent::NodeUp(v) => {
-                    if v >= n_nodes {
-                        return Err(RepairError::NodeOutOfRange { node: v, n_nodes });
-                    }
-                }
-                FaultEvent::EdgeDown(u, w) | FaultEvent::EdgeUp(u, w) => {
-                    for node in [u, w] {
-                        if node >= n_nodes {
-                            return Err(RepairError::NodeOutOfRange { node, n_nodes });
-                        }
-                    }
-                    if w / d != u % suffix {
-                        return Err(RepairError::NotAnEdge { from: u, to: w });
-                    }
-                }
-            }
+            validate_event(d, suffix, n_nodes, ev)?;
         }
         self.session.book_events(ffc, events);
         if self.session.killed_necks.is_empty() && self.session.revived_necks.is_empty() {
@@ -1531,6 +1606,57 @@ impl RingMaintainer {
         self.budget
             .unwrap_or_else(|| self.session.n_nodes.max(1024))
     }
+
+    /// Freezes the current session state into an immutable
+    /// [`RingSnapshot`] (see [`EmbedSession::publish_snapshot`]): only the
+    /// structure groups mutated since the last publication are copied, the
+    /// rest are shared with the previous snapshot by `Arc`. The snapshot
+    /// stays valid — and bit-identical — no matter how many further events
+    /// this maintainer absorbs. `applied_events` is the caller's count of
+    /// absorbed events, stamped into the snapshot for prefix bookkeeping.
+    ///
+    /// # Errors
+    /// [`RepairError::NotInitialized`] before the first
+    /// [`RingMaintainer::reset`].
+    pub fn publish(
+        &mut self,
+        publisher: &mut SnapshotPublisher,
+        applied_events: u64,
+    ) -> Result<Arc<RingSnapshot>, RepairError> {
+        if !self.session.initialized {
+            return Err(RepairError::NotInitialized);
+        }
+        Ok(self.session.publish_snapshot(publisher, applied_events))
+    }
+}
+
+/// Validates one [`FaultEvent`] against a B(d,n) shape without touching
+/// any state — the shared pre-flight check of
+/// [`RingMaintainer::apply_batch`] and the service's submission path.
+pub(crate) fn validate_event(
+    d: usize,
+    suffix: usize,
+    n_nodes: usize,
+    ev: FaultEvent,
+) -> Result<(), RepairError> {
+    match ev {
+        FaultEvent::NodeDown(v) | FaultEvent::NodeUp(v) => {
+            if v >= n_nodes {
+                return Err(RepairError::NodeOutOfRange { node: v, n_nodes });
+            }
+        }
+        FaultEvent::EdgeDown(u, w) | FaultEvent::EdgeUp(u, w) => {
+            for node in [u, w] {
+                if node >= n_nodes {
+                    return Err(RepairError::NodeOutOfRange { node, n_nodes });
+                }
+            }
+            if w / d != u % suffix {
+                return Err(RepairError::NotAnEdge { from: u, to: w });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Grows `v` to at least `len` entries filled with `fill` (never shrinks).

@@ -1,0 +1,588 @@
+//! Immutable, refcounted ring snapshots and their copy-on-publish builder.
+//!
+//! [`super::session::EmbedSession`] is the *mutable* half of the embedding
+//! state: delta passes rewrite its levels, records and wiring in place. A
+//! [`RingSnapshot`] is the immutable read-side view carved off it — the
+//! successor overrides, exit bitmap, B* membership bitmap, root and stats,
+//! everything a reader needs to answer `successor`/`contains`/ring-walk
+//! queries — frozen behind `Arc`s so any number of readers can hold it
+//! while repairs continue on the session.
+//!
+//! [`SnapshotPublisher`] builds snapshots **copy-on-publish**: the session
+//! tracks which structure groups a repair actually touched (the ring wiring
+//! `succ`/`exit_bits`; the membership bitmap), and only those are copied
+//! into fresh buffers — an untouched group is shared with the previous
+//! snapshot by bumping its `Arc`. A no-topology-change publication (e.g. a
+//! redundant event, or pure stats refresh) therefore costs O(1). Retired
+//! buffers are reclaimed by refcount once their last reader drops
+//! (grace-period-by-`Arc`) and recycled into free pools, so a steady-state
+//! publish loop stops allocating.
+
+use std::sync::Arc;
+
+use super::session::RepairOutcome;
+use super::EmbedStats;
+
+/// Bound on pooled buffers of each width kept for reuse.
+const POOL_CAP: usize = 8;
+/// Bound on retired snapshots tracked for buffer reclamation; beyond this
+/// the oldest are dropped from tracking (their readers still keep them
+/// alive — only the *reuse* opportunity is given up).
+const RETIRED_CAP: usize = 64;
+
+/// A typed rejection from [`RingSnapshot`] read accessors — the read-side
+/// mirror of [`super::session::RepairError`]'s validation (PR 6): malformed
+/// queries come back as values, never panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupError {
+    /// The queried id is not a node of the snapshot's B(d,n).
+    NodeOutOfRange {
+        /// The offending id.
+        node: usize,
+        /// The snapshot's node count.
+        n_nodes: usize,
+    },
+    /// The queried node is a valid id but not on the served ring (faulty,
+    /// on a dead necklace, or outside the surviving component), so it has
+    /// no ring successor.
+    NotOnRing {
+        /// The off-ring node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LookupError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node id {node} out of range (graph has {n_nodes} nodes)")
+            }
+            LookupError::NotOnRing { node } => {
+                write!(f, "node {node} is not on the served ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// One immutable generation of the maintained ring: everything the read
+/// path needs, shared behind `Arc`s. Cheap to clone (three refcount bumps
+/// plus a few words); safe to hold across any number of subsequent
+/// repairs — the structures it references are never mutated after
+/// publication.
+#[derive(Clone)]
+pub struct RingSnapshot {
+    pub(crate) d: usize,
+    pub(crate) suffix: usize,
+    pub(crate) n_nodes: usize,
+    /// How many fault events the producing session had absorbed when this
+    /// snapshot was published — readers use it to line the snapshot up
+    /// with a prefix of the event sequence.
+    pub(crate) applied_events: u64,
+    /// Publication sequence number (1 = the initial publication).
+    pub(crate) seq: u64,
+    pub(crate) stats: EmbedStats,
+    pub(crate) infeasible: bool,
+    /// Successor overrides (meaningful where the exit bit is set).
+    pub(crate) succ: Arc<Vec<u32>>,
+    /// Bit v set ⟺ node v leaves its necklace through a w-edge.
+    pub(crate) exit_bits: Arc<Vec<u64>>,
+    /// Bit v set ⟺ node v rides the served ring (B* membership).
+    pub(crate) bstar_bits: Arc<Vec<u64>>,
+}
+
+impl RingSnapshot {
+    /// The scalar results of the fault set this snapshot embeds — identical
+    /// to [`super::Ffc::embed_into`] of that set.
+    #[must_use]
+    pub fn stats(&self) -> EmbedStats {
+        self.stats
+    }
+
+    /// Number of nodes of the underlying B(d,n).
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Fault events absorbed when this snapshot was published.
+    #[must_use]
+    pub fn applied_events(&self) -> u64 {
+        self.applied_events
+    }
+
+    /// Publication sequence number (monotone per publisher, starting at 1).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The ring's root node, or `None` when the fault set is infeasible
+    /// (every necklace faulty — no ring exists).
+    #[must_use]
+    pub fn root(&self) -> Option<usize> {
+        (!self.infeasible).then_some(self.stats.root)
+    }
+
+    /// Length of the served ring (0 when infeasible).
+    #[must_use]
+    pub fn ring_len(&self) -> usize {
+        self.stats.component_size
+    }
+
+    /// Classifies the snapshot's state exactly like
+    /// [`super::session::EmbedSession::outcome`].
+    #[must_use]
+    pub fn outcome(&self) -> RepairOutcome {
+        if self.infeasible {
+            return RepairOutcome::Infeasible { stats: self.stats };
+        }
+        let live = self.n_nodes - self.stats.removed_nodes;
+        let excluded = live - self.stats.component_size;
+        if excluded == 0 {
+            RepairOutcome::Repaired(self.stats)
+        } else {
+            RepairOutcome::Degraded {
+                stats: self.stats,
+                ring_len: self.stats.component_size,
+                excluded,
+            }
+        }
+    }
+
+    #[inline]
+    fn on_ring(&self, v: usize) -> bool {
+        self.bstar_bits[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn check_node(&self, node: usize) -> Result<(), LookupError> {
+        if node >= self.n_nodes {
+            return Err(LookupError::NodeOutOfRange {
+                node,
+                n_nodes: self.n_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether node `u` rides the served ring.
+    ///
+    /// # Errors
+    /// [`LookupError::NodeOutOfRange`] for an id outside the graph.
+    pub fn contains(&self, u: usize) -> Result<bool, LookupError> {
+        self.check_node(u)?;
+        Ok(self.on_ring(u))
+    }
+
+    /// The ring successor of `u`: the next node the embedded cycle visits.
+    ///
+    /// # Errors
+    /// [`LookupError::NodeOutOfRange`] for an id outside the graph,
+    /// [`LookupError::NotOnRing`] for a live id that is not on the ring.
+    pub fn successor(&self, u: usize) -> Result<usize, LookupError> {
+        self.check_node(u)?;
+        if !self.on_ring(u) {
+            return Err(LookupError::NotOnRing { node: u });
+        }
+        Ok(self.successor_unchecked(u))
+    }
+
+    #[inline]
+    fn successor_unchecked(&self, u: usize) -> usize {
+        if self.exit_bits[u / 64] >> (u % 64) & 1 == 1 {
+            self.succ[u] as usize
+        } else {
+            (u % self.suffix) * self.d + u / self.suffix
+        }
+    }
+
+    /// Walks `len` consecutive ring nodes starting at `u` into `out`
+    /// (clearing it first) and returns how many were written — `len`
+    /// capped at the ring length, so a full lap is the maximum.
+    ///
+    /// # Errors
+    /// [`LookupError::NodeOutOfRange`] / [`LookupError::NotOnRing`] as for
+    /// [`RingSnapshot::successor`]; `out` is left empty on error.
+    pub fn ring_segment(
+        &self,
+        u: usize,
+        len: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<usize, LookupError> {
+        out.clear();
+        self.check_node(u)?;
+        if !self.on_ring(u) {
+            return Err(LookupError::NotOnRing { node: u });
+        }
+        let take = len.min(self.stats.component_size);
+        let mut v = u;
+        for _ in 0..take {
+            out.push(v);
+            v = self.successor_unchecked(v);
+        }
+        Ok(take)
+    }
+
+    /// Walks the full served ring from the root into `out` — byte-identical
+    /// to [`super::session::EmbedSession::ring_into`] at publication time.
+    /// Leaves `out` empty when the snapshot is infeasible.
+    pub fn ring_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        if self.infeasible || self.stats.component_size == 0 {
+            return;
+        }
+        let root = self.stats.root;
+        let mut v = root;
+        loop {
+            out.push(v);
+            v = self.successor_unchecked(v);
+            if v == root {
+                break;
+            }
+            debug_assert!(
+                out.len() <= self.stats.component_size,
+                "ring walk escaped B* or looped early"
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for RingSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSnapshot")
+            .field("seq", &self.seq)
+            .field("applied_events", &self.applied_events)
+            .field("n_nodes", &self.n_nodes)
+            .field("ring_len", &self.stats.component_size)
+            .field("infeasible", &self.infeasible)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The borrow bundle a session hands the publisher: current structure
+/// slices plus the copy-on-publish dirty flags saying which groups changed
+/// since the last publication.
+pub(crate) struct SnapshotParts<'a> {
+    pub d: usize,
+    pub suffix: usize,
+    pub n_nodes: usize,
+    pub stats: EmbedStats,
+    pub infeasible: bool,
+    /// `succ`/`exit_bits` changed since the last publication.
+    pub ring_dirty: bool,
+    /// `bstar_bits` changed since the last publication.
+    pub bstar_dirty: bool,
+    pub succ: &'a [u32],
+    pub exit_bits: &'a [u64],
+    pub bstar_bits: &'a [u64],
+    pub applied_events: u64,
+}
+
+/// Builds [`RingSnapshot`]s copy-on-publish and recycles retired buffers.
+///
+/// Owned by whatever drives the session (the [`crate::serve::RingService`]
+/// writer thread, a test harness): it is the *single-threaded* producer
+/// half; distribution to concurrent readers happens by handing the returned
+/// `Arc<RingSnapshot>` to an [`epoch::EpochCell`].
+#[derive(Debug, Default)]
+pub struct SnapshotPublisher {
+    prev: Option<Arc<RingSnapshot>>,
+    /// Superseded snapshots still (possibly) held by readers, tracked so
+    /// their buffers can be pooled once the last reader lets go.
+    retired: Vec<Arc<RingSnapshot>>,
+    free_u32: Vec<Vec<u32>>,
+    free_u64: Vec<Vec<u64>>,
+    publications: u64,
+    shared_ring: u64,
+    shared_membership: u64,
+    reclaimed: u64,
+}
+
+impl SnapshotPublisher {
+    /// Creates an empty publisher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total snapshots published through this publisher.
+    #[must_use]
+    pub fn publications(&self) -> u64 {
+        self.publications
+    }
+
+    /// Publications that shared the previous ring wiring (`succ` +
+    /// `exit_bits`) instead of copying it.
+    #[must_use]
+    pub fn shared_ring(&self) -> u64 {
+        self.shared_ring
+    }
+
+    /// Publications that shared the previous membership bitmap.
+    #[must_use]
+    pub fn shared_membership(&self) -> u64 {
+        self.shared_membership
+    }
+
+    /// Retired buffers recycled into the free pools so far.
+    #[must_use]
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
+    }
+
+    /// The most recently published snapshot, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Arc<RingSnapshot>> {
+        self.prev.as_ref()
+    }
+
+    /// Assembles a snapshot from the session's current structures, copying
+    /// only the groups flagged dirty and sharing the rest with the previous
+    /// publication.
+    pub(crate) fn build(&mut self, parts: SnapshotParts<'_>) -> Arc<RingSnapshot> {
+        self.sweep_retired();
+        let can_share = |prev: Option<&Arc<RingSnapshot>>| {
+            prev.is_some_and(|p| p.n_nodes == parts.n_nodes && p.d == parts.d)
+        };
+        let share_ring = !parts.ring_dirty && can_share(self.prev.as_ref());
+        let share_bstar = !parts.bstar_dirty && can_share(self.prev.as_ref());
+        let (succ, exit_bits) = if share_ring {
+            let p = self.prev.as_ref().expect("share_ring implies prev");
+            debug_assert_eq!(&**p.succ, parts.succ, "ring flagged clean but succ differs");
+            debug_assert_eq!(
+                &**p.exit_bits, parts.exit_bits,
+                "ring flagged clean but exit bitmap differs"
+            );
+            self.shared_ring += 1;
+            (Arc::clone(&p.succ), Arc::clone(&p.exit_bits))
+        } else {
+            (self.copy_u32(parts.succ), self.copy_u64(parts.exit_bits))
+        };
+        let bstar_bits = if share_bstar {
+            let p = self.prev.as_ref().expect("share_bstar implies prev");
+            debug_assert_eq!(
+                &**p.bstar_bits, parts.bstar_bits,
+                "membership flagged clean but bitmap differs"
+            );
+            self.shared_membership += 1;
+            Arc::clone(&p.bstar_bits)
+        } else {
+            self.copy_u64(parts.bstar_bits)
+        };
+        self.publications += 1;
+        let snap = Arc::new(RingSnapshot {
+            d: parts.d,
+            suffix: parts.suffix,
+            n_nodes: parts.n_nodes,
+            applied_events: parts.applied_events,
+            seq: self.publications,
+            stats: parts.stats,
+            infeasible: parts.infeasible,
+            succ,
+            exit_bits,
+            bstar_bits,
+        });
+        if let Some(old) = self.prev.replace(Arc::clone(&snap)) {
+            self.retired.push(old);
+        }
+        snap
+    }
+
+    /// Harvests retired snapshots whose last reader has gone: their buffers
+    /// (when this publisher holds the last reference to them too) go back
+    /// to the free pools. Readers that still hold a snapshot keep it alive
+    /// untouched — reclamation is purely refcount-driven.
+    fn sweep_retired(&mut self) {
+        let mut i = 0;
+        while i < self.retired.len() {
+            if Arc::strong_count(&self.retired[i]) > 1 {
+                i += 1;
+                continue;
+            }
+            let gone = self.retired.swap_remove(i);
+            // We held the only strong reference and no weaks exist, so this
+            // cannot fail; if it somehow does, dropping is still correct.
+            if let Ok(snap) = Arc::try_unwrap(gone) {
+                if let Ok(buf) = Arc::try_unwrap(snap.succ) {
+                    self.pool_u32(buf);
+                }
+                for arc in [snap.exit_bits, snap.bstar_bits] {
+                    if let Ok(buf) = Arc::try_unwrap(arc) {
+                        self.pool_u64(buf);
+                    }
+                }
+            }
+        }
+        if self.retired.len() > RETIRED_CAP {
+            // Stop tracking the oldest; their readers' refcounts free them.
+            let excess = self.retired.len() - RETIRED_CAP;
+            self.retired.drain(..excess);
+        }
+    }
+
+    fn pool_u32(&mut self, buf: Vec<u32>) {
+        if self.free_u32.len() < POOL_CAP {
+            self.free_u32.push(buf);
+            self.reclaimed += 1;
+        }
+    }
+
+    fn pool_u64(&mut self, buf: Vec<u64>) {
+        if self.free_u64.len() < 2 * POOL_CAP {
+            self.free_u64.push(buf);
+            self.reclaimed += 1;
+        }
+    }
+
+    fn copy_u32(&mut self, src: &[u32]) -> Arc<Vec<u32>> {
+        let mut buf = self.free_u32.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src);
+        Arc::new(buf)
+    }
+
+    fn copy_u64(&mut self, src: &[u64]) -> Arc<Vec<u64>> {
+        let mut buf = self.free_u64.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src);
+        Arc::new(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{FaultEvent, Ffc, RingMaintainer};
+    use super::*;
+
+    fn service_pair() -> (Ffc, RingMaintainer, SnapshotPublisher) {
+        let ffc = Ffc::new(2, 5);
+        let mut maint = RingMaintainer::new();
+        maint.reset(&ffc, &[]).expect("reset");
+        (ffc, maint, SnapshotPublisher::new())
+    }
+
+    #[test]
+    fn accessors_reject_out_of_range_ids_with_typed_errors() {
+        let (_ffc, mut maint, mut publisher) = service_pair();
+        let snap = maint.publish(&mut publisher, 0).expect("publish");
+        let n = snap.n_nodes();
+        for bad in [n, n + 1, usize::MAX] {
+            let want = LookupError::NodeOutOfRange {
+                node: bad,
+                n_nodes: n,
+            };
+            assert_eq!(snap.contains(bad), Err(want));
+            assert_eq!(snap.successor(bad), Err(want));
+            let mut out = vec![7usize];
+            assert_eq!(snap.ring_segment(bad, 4, &mut out), Err(want));
+            assert!(out.is_empty(), "ring_segment must clear out on error");
+        }
+    }
+
+    #[test]
+    fn successor_rejects_off_ring_nodes() {
+        let (ffc, mut maint, mut publisher) = service_pair();
+        maint
+            .apply_batch(&ffc, &[FaultEvent::NodeDown(3)])
+            .expect("repair");
+        let snap = maint.publish(&mut publisher, 1).expect("publish");
+        assert_eq!(snap.contains(3), Ok(false));
+        assert_eq!(snap.successor(3), Err(LookupError::NotOnRing { node: 3 }));
+        let mut out = Vec::new();
+        assert_eq!(
+            snap.ring_segment(3, 4, &mut out),
+            Err(LookupError::NotOnRing { node: 3 })
+        );
+    }
+
+    #[test]
+    fn segment_walk_matches_full_ring() {
+        let (_ffc, mut maint, mut publisher) = service_pair();
+        let snap = maint.publish(&mut publisher, 0).expect("publish");
+        let mut ring = Vec::new();
+        snap.ring_into(&mut ring);
+        assert_eq!(ring.len(), snap.ring_len());
+        let mut seg = Vec::new();
+        // A segment longer than the ring caps at one full lap.
+        let wrote = snap
+            .ring_segment(ring[0], ring.len() + 100, &mut seg)
+            .expect("segment");
+        assert_eq!(wrote, ring.len());
+        assert_eq!(seg, ring);
+        // A short segment from mid-ring matches the corresponding window.
+        let wrote = snap.ring_segment(ring[2], 3, &mut seg).expect("segment");
+        assert_eq!(wrote, 3);
+        assert_eq!(seg, ring[2..5]);
+        // Every walked node is a member.
+        for &v in &ring {
+            assert_eq!(snap.contains(v), Ok(true));
+            assert!(snap.successor(v).is_ok());
+        }
+    }
+
+    #[test]
+    fn clean_publications_share_structures_by_refcount() {
+        let (ffc, mut maint, mut publisher) = service_pair();
+        let first = maint.publish(&mut publisher, 0).expect("publish");
+        // No events in between: everything is clean and shared.
+        let second = maint.publish(&mut publisher, 0).expect("publish");
+        assert!(Arc::ptr_eq(&first.succ, &second.succ));
+        assert!(Arc::ptr_eq(&first.exit_bits, &second.exit_bits));
+        assert!(Arc::ptr_eq(&first.bstar_bits, &second.bstar_bits));
+        assert_eq!(publisher.shared_ring(), 1);
+        assert_eq!(publisher.shared_membership(), 1);
+        // A topology-changing event dirties both groups.
+        maint
+            .apply_batch(&ffc, &[FaultEvent::NodeDown(5)])
+            .expect("repair");
+        let third = maint.publish(&mut publisher, 1).expect("publish");
+        assert!(!Arc::ptr_eq(&second.bstar_bits, &third.bstar_bits));
+        assert_eq!(third.seq(), 3);
+        assert_eq!(third.applied_events(), 1);
+    }
+
+    #[test]
+    fn retired_buffers_are_reclaimed_once_readers_drop() {
+        let (ffc, mut maint, mut publisher) = service_pair();
+        let mut held = Vec::new();
+        for i in 0..6u64 {
+            let ev = if i % 2 == 0 {
+                FaultEvent::NodeDown(9)
+            } else {
+                FaultEvent::NodeUp(9)
+            };
+            maint.apply_batch(&ffc, &[ev]).expect("repair");
+            held.push(maint.publish(&mut publisher, i + 1).expect("publish"));
+        }
+        assert_eq!(publisher.reclaimed(), 0, "readers still hold every snap");
+        held.clear();
+        // Two more publishes: the first sweep pools the now-free buffers.
+        maint
+            .apply_batch(&ffc, &[FaultEvent::NodeDown(9)])
+            .expect("repair");
+        maint.publish(&mut publisher, 7).expect("publish");
+        assert!(publisher.reclaimed() > 0, "dropped snapshots must recycle");
+    }
+
+    #[test]
+    fn infeasible_snapshot_serves_empty_ring_and_typed_errors() {
+        let ffc = Ffc::new(2, 2);
+        let mut maint = RingMaintainer::new();
+        // Kill every necklace of B(2,2).
+        maint.reset(&ffc, &[0, 1, 3]).expect("reset");
+        let mut publisher = SnapshotPublisher::new();
+        let snap = maint.publish(&mut publisher, 0).expect("publish");
+        assert!(snap.outcome().is_infeasible());
+        assert_eq!(snap.root(), None);
+        assert_eq!(snap.ring_len(), 0);
+        let mut ring = vec![1usize];
+        snap.ring_into(&mut ring);
+        assert!(ring.is_empty());
+        for v in 0..snap.n_nodes() {
+            assert_eq!(snap.contains(v), Ok(false));
+            assert_eq!(snap.successor(v), Err(LookupError::NotOnRing { node: v }));
+        }
+    }
+}

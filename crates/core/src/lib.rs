@@ -31,6 +31,12 @@
 //!   power-of-two alphabets (the B(2,20)-scale workhorse), and the
 //!   delta level-repair passes behind incremental fault updates.
 //! * [`bounds`] — the closed-form fault-tolerance bounds ψ(d) and φ(d).
+//! * [`serve`] — the ring-as-a-service layer: a [`RingService`] writer
+//!   thread drains a bounded fault-event queue through the
+//!   [`RingMaintainer`] and publishes each repaired ring as an immutable
+//!   epoch-stamped [`ffc::RingSnapshot`]; [`ReaderHandle`]s serve
+//!   successor/membership/segment lookups wait-free against the latest
+//!   published generation.
 //! * [`sweep`] — the batch sweep engine: deterministic Monte-Carlo plans
 //!   ([`SweepPlan`]), sharded allocation-free execution
 //!   ([`BatchEmbedder`], [`Ffc::embed_batch`]), reusable fault drawing,
@@ -51,6 +57,7 @@ pub mod ffc;
 pub mod modified;
 pub mod necklace_graph;
 pub mod seq;
+pub mod serve;
 pub mod sweep;
 pub mod verify;
 
@@ -64,9 +71,10 @@ pub use churn::{replay_churn, ChurnPlan, ChurnReport, ChurnStep};
 pub use disjoint::{DisjointHamiltonianCycles, MaximalCycleFamily};
 pub use edge_faults::{EdgeFaultEmbedder, NoFaultFreeCycle};
 pub use ffc::{
-    EmbedScratch, EmbedSession, EmbedStats, FaultEvent, Ffc, FfcOutcome, RepairError,
-    RepairOutcome, RepairStats, RingMaintainer,
+    EmbedScratch, EmbedSession, EmbedStats, FaultEvent, Ffc, FfcOutcome, LookupError, RepairError,
+    RepairOutcome, RepairStats, RingMaintainer, RingSnapshot, SnapshotPublisher,
 };
 pub use modified::ModifiedDeBruijn;
 pub use necklace_graph::NecklaceAdjacency;
+pub use serve::{ReaderHandle, RingService, ServeOptions, ServiceReport, SubmitError};
 pub use sweep::{BatchEmbedder, FaultDrawer, FaultSchedule, SweepAccumulator, SweepPlan, Trial};

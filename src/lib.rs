@@ -80,9 +80,10 @@ pub mod prelude {
         edge_fault_tolerance, lift_cycle, phi_edge_bound, psi, replay_churn, BatchEmbedder,
         ButterflyEmbedder, ChurnPlan, ChurnReport, ChurnStep, DisjointHamiltonianCycles,
         EdgeFaultEmbedder, EmbedScratch, EmbedSession, EmbedStats, FaultDrawer, FaultEvent,
-        FaultSchedule, Ffc, FfcOutcome, MaximalCycleFamily, ModifiedDeBruijn, NecklaceAdjacency,
-        NoFaultFreeCycle, RepairError, RepairOutcome, RingMaintainer, SpaceTooLarge,
-        SweepAccumulator, SweepPlan,
+        FaultSchedule, Ffc, FfcOutcome, LookupError, MaximalCycleFamily, ModifiedDeBruijn,
+        NecklaceAdjacency, NoFaultFreeCycle, ReaderHandle, RepairError, RepairOutcome,
+        RingMaintainer, RingService, RingSnapshot, ServeOptions, ServiceReport, SnapshotPublisher,
+        SpaceTooLarge, SubmitError, SweepAccumulator, SweepPlan,
     };
 }
 

@@ -1,8 +1,11 @@
 //! Offline stand-in for the parts of `crossbeam` this workspace uses:
-//! scoped threads. Since Rust 1.63 the standard library provides
-//! `std::thread::scope`, so this shim is a thin adapter that preserves the
+//! scoped threads and bounded MPMC channels. Since Rust 1.63 the standard
+//! library provides `std::thread::scope`, so the thread shim is a thin
+//! adapter that preserves the
 //! `crossbeam::thread::scope(|s| { s.spawn(|_| …); }).expect(…)` call shape
-//! used by the Monte-Carlo sweeps.
+//! used by the Monte-Carlo sweeps; [`channel`] is a small
+//! `Mutex<VecDeque>` + `Condvar` implementation of
+//! `crossbeam_channel::bounded` with the same disconnect semantics.
 
 /// Scoped threads, adapted onto `std::thread::scope`.
 pub mod thread {
@@ -41,8 +44,368 @@ pub mod thread {
     }
 }
 
+/// Bounded multi-producer multi-consumer channels with
+/// `crossbeam_channel`'s disconnect semantics: a send fails once every
+/// [`Receiver`] is dropped, a receive fails once every [`Sender`] is dropped
+/// *and* the buffer has drained. Dropping all senders is therefore the
+/// idiomatic shutdown signal for a consumer loop.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    /// Error returned by [`Sender::send`]: every receiver disconnected.
+    /// Carries the unsent message back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is at capacity; the message is returned.
+        Full(T),
+        /// Every receiver disconnected; the message is returned.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and every
+    /// sender disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The buffer is currently empty (senders may still be connected).
+        Empty,
+        /// The buffer is empty and every sender disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The buffer is empty and every sender disconnected.
+        Disconnected,
+    }
+
+    /// The producing half of a bounded channel. Clonable; the channel
+    /// disconnects for receivers when the last clone drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The consuming half of a bounded channel. Clonable; the channel
+    /// disconnects for senders when the last clone drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel with room for `cap` in-flight messages
+    /// (`cap` is clamped to at least 1 — this stub has no zero-capacity
+    /// rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is buffered or every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(msg);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .shared
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Buffers the message if there is room, without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.buf.len() == st.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            st.buf.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().buf.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone and the
+        /// buffer has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Pops a buffered message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.lock();
+            if let Some(msg) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().buf.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Sender").field("len", &self.len()).finish()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.shared.lock();
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.shared.lock();
+                st.receivers -= 1;
+                st.receivers
+            };
+            if remaining == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        for i in 0..1000 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        producer.join().expect("producer panicked");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_reports_full_at_capacity() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+    }
+
+    #[test]
+    fn drop_all_senders_drains_then_disconnects() {
+        let (tx, rx) = channel::bounded::<u8>(8);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx2);
+        // Buffered message still delivered after full disconnect…
+        assert_eq!(rx.recv(), Ok(2));
+        // …then the disconnect surfaces.
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn drop_receiver_fails_send_with_message_back() {
+        let (tx, rx) = channel::bounded::<String>(1);
+        drop(rx);
+        let err = tx.send("lost?".to_string()).unwrap_err();
+        assert_eq!(err.0, "lost?");
+        match tx.try_send("again".to_string()) {
+            Err(TrySendError::Disconnected(m)) => assert_eq!(m, "again"),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_room_appears() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let producer = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(producer.join().expect("producer panicked").is_ok());
+    }
+
     #[test]
     fn scoped_threads_borrow_environment() {
         let data = [1u64, 2, 3, 4];
