@@ -30,26 +30,55 @@
 //! sweeps — so every (d, n) runs through one code path with one set of
 //! buffers ([`BitScratch`], embedded in the engine's `EmbedScratch`).
 //!
+//! # The fused dense kernel
+//!
+//! A dense level used to run as two phases over two buffers: a fold pass
+//! that materialised `fold_d(F)` (or `squash_d(F)`) into a scratch word
+//! array, then an expand pass that re-read it, masked against visited and
+//! wrote the next frontier. Both phases are memory-bound, so the round
+//! trip through the fold buffer cost a full extra sweep of traffic. The
+//! kernels are now **fused**: one pass walks the frontier in word tiles
+//! and, per tile, performs fold, `spread2`/`squash2` expand, the
+//! visited-set mask-and-update and the next-frontier store back to back —
+//! the `d = 2` hot shape additionally processes four suffix words (eight
+//! output words) per unrolled iteration so the independent word lanes
+//! autovectorize. [`BitReach::kernel_step_scalar`] retains the two-phase
+//! reference kernel and [`BitReach::kernel_step_fused`] exposes the fused
+//! one; the unit tests pin them bit-for-bit against each other and
+//! `bench_ffc --kernels` tracks the words/sec ratio.
+//!
 //! # The multi-shard parallel passes
 //!
 //! [`BitReach::forward_par`], [`BitReach::backward_par`] and
 //! [`BitReach::broadcast_levels_par`] run the same direction-optimizing
-//! passes sharded over scoped threads: every bitmap (visited, the
-//! ping-pong frontiers, the fold buffer) is split into contiguous
-//! **word ranges**, each owned by exactly one shard, and the per-level
-//! fold → expand phases are separated by barriers so a shard only ever
-//! reads words another shard wrote *before* the last barrier. The cells
-//! are relaxed atomics ([`AtomicCells`]) — single-writer-per-word, with
-//! the barriers providing the ordering — the same discipline as
-//! `NecklacePartition::with_shards`. Sparse (top-down) levels are
-//! executed by shard 0 alone while the others wait, exactly mirroring
-//! the serial regime schedule, so the visited sets, level counts **and
-//! emission bytes** are bit-identical to the serial engine at every
-//! shard count. Shapes that cannot run dense sweeps (and `shards <= 1`)
-//! simply delegate to the serial pass.
+//! passes sharded over a **persistent worker pool** (`shardpool`,
+//! vendored): the pool lives in [`ParBitScratch`], its threads are
+//! spawned once on first use and reused by every subsequent pass, and
+//! per-level synchronisation is a sense-reversing spin barrier instead of
+//! the mutex-parked `std::sync::Barrier` — one wait per level (plus one
+//! more only on a sparse→dense flip), where the old scoped-thread design
+//! paid a thread spawn per call and up to three parked barriers per
+//! level. Every bitmap is split into contiguous **word ranges**, each
+//! owned by exactly one shard, and each shard runs the fused kernel over
+//! its range; the per-level barrier is what lets a shard read frontier
+//! words another shard wrote on the previous level. The cells are relaxed
+//! atomics ([`AtomicCells`]) — single-writer-per-word, with the barriers
+//! providing the ordering — the same discipline as
+//! `NecklacePartition::with_shards`. Per-level bookkeeping (dense shard
+//! counts, the sparse frontier length) is double-buffered by level parity
+//! so one barrier per level suffices. Sparse (top-down) levels are
+//! executed by shard 0 alone while the others replay the regime schedule
+//! (it depends only on the shared level lengths), so the visited sets,
+//! level counts **and emission bytes** are bit-identical to the serial
+//! engine at every shard count. Shapes that cannot run dense sweeps (and
+//! `shards <= 1`) simply delegate to the serial pass. The
+//! [`effective_shards`] heuristic gives callers the shard count actually
+//! worth running: requested shards clamped by `available_parallelism`
+//! and by one shard per [`MIN_NODES_PER_SHARD`] nodes, so k shards on a
+//! small box or a small graph degrades to near-serial cost.
 
+use shardpool::{SenseBarrier, ShardPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
 
 /// The engine indexes nodes with `u32` (queues, CSR offsets, frontier
 /// ids): a space whose node count exceeds [`u32::MAX`] cannot be
@@ -205,9 +234,9 @@ struct LevelSink<'a> {
 }
 
 /// The reusable buffers of the bit-parallel engine: the per-call fault
-/// bitmap, the three visited sets, the fold scratch of the dense kernels
-/// and the two frontiers. Grow-only; after the first call at a given
-/// graph size no method allocates.
+/// bitmap, the three visited sets and the two frontiers (the fused dense
+/// kernels need no fold scratch). Grow-only; after the first call at a
+/// given graph size no method allocates.
 #[derive(Clone, Debug, Default)]
 pub struct BitScratch {
     /// Bit `v` set ⟺ node `v` was removed with a faulty necklace.
@@ -218,8 +247,6 @@ pub struct BitScratch {
     bwd: Vec<u64>,
     /// Broadcast visited set (everything outside B* pre-set).
     vis: Vec<u64>,
-    /// Fold/squash scratch of the dense kernels (`suffix / 64` words).
-    fold: Vec<u64>,
     /// Current-level frontier.
     cur: BitFrontier,
     /// Next-level frontier.
@@ -242,7 +269,6 @@ impl BitScratch {
             + self.fwd.capacity()
             + self.bwd.capacity()
             + self.vis.capacity()
-            + self.fold.capacity()
             + self.cur.bits.capacity()
             + self.nxt.bits.capacity())
             + 4 * (self.cur.queue.capacity() + self.nxt.queue.capacity())
@@ -321,63 +347,85 @@ impl AtomicCells {
     }
 }
 
-/// The shared-write buffers of the multi-shard parallel passes: the
-/// active visited bitmap, the ping-pong frontier bitmaps, the fold
-/// scratch, and the per-shard/level bookkeeping cells. Grow-only, like
-/// [`BitScratch`]; after the first parallel pass at a given shape and
-/// shard count no method allocates (beyond the scoped worker threads
-/// themselves).
+/// The shared-write cells of the multi-shard parallel passes: the active
+/// visited bitmap, the ping-pong frontier bitmaps, and the per-level
+/// bookkeeping (double-buffered by level parity so the pass needs only
+/// one barrier per level).
 #[derive(Debug, Default)]
-pub struct ParBitScratch {
+struct ParCells {
     /// Visited bitmap of the running pass (copied back into the plain
     /// [`BitScratch`] set when the pass finishes).
     vis: AtomicCells,
     /// Ping-pong frontier bitmaps (`front[pp]` is the current level).
     front: [AtomicCells; 2],
-    /// Fold/squash scratch of the dense kernels.
-    fold: AtomicCells,
-    /// Per-shard newly-visited counts of the current dense level.
+    /// Per-shard newly-visited counts of a dense level, `2 × shards`
+    /// cells indexed `parity * shards + shard` — a level's slots are only
+    /// rewritten two levels later, after every shard has read them.
     counts: AtomicCells,
-    /// Frontier length published by shard 0 after a sparse level.
-    sparse_len: AtomicUsize,
+    /// Frontier length published by shard 0 after a sparse level, one
+    /// slot per level parity.
+    sparse_len: [AtomicUsize; 2],
+}
+
+impl Clone for ParCells {
+    fn clone(&self) -> Self {
+        ParCells {
+            vis: self.vis.clone(),
+            front: self.front.clone(),
+            counts: self.counts.clone(),
+            sparse_len: self
+                .sparse_len
+                .each_ref()
+                .map(|l| AtomicUsize::new(l.load(Ordering::Relaxed))),
+        }
+    }
+}
+
+/// The state of the multi-shard parallel passes: the shared-write cell
+/// buffers plus the persistent worker pool that executes them. Buffers
+/// are grow-only, like [`BitScratch`], and the pool spawns its threads
+/// once on first use — after the first parallel pass at a given shape
+/// and shard count no method allocates and no thread is spawned.
+#[derive(Debug, Default)]
+pub struct ParBitScratch {
+    cells: ParCells,
+    pool: ShardPool,
 }
 
 impl Clone for ParBitScratch {
     fn clone(&self) -> Self {
+        // The clone gets its own (lazily spawned) worker pool.
         ParBitScratch {
-            vis: self.vis.clone(),
-            front: self.front.clone(),
-            fold: self.fold.clone(),
-            counts: self.counts.clone(),
-            sparse_len: AtomicUsize::new(self.sparse_len.load(Ordering::Relaxed)),
+            cells: self.cells.clone(),
+            pool: ShardPool::new(),
         }
     }
 }
 
 impl ParBitScratch {
-    /// Creates an empty scratch; buffers are sized by the first pass.
+    /// Creates an empty scratch; buffers are sized (and pool threads
+    /// spawned) by the first parallel pass.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Total bytes currently reserved by the scratch's buffers.
+    /// Total bytes currently reserved by the scratch's cell buffers (the
+    /// pool's threads hold no engine buffers and are not counted).
     #[must_use]
     pub fn allocated_bytes(&self) -> usize {
-        self.vis.allocated_bytes()
-            + self.front[0].allocated_bytes()
-            + self.front[1].allocated_bytes()
-            + self.fold.allocated_bytes()
-            + self.counts.allocated_bytes()
+        self.cells.vis.allocated_bytes()
+            + self.cells.front[0].allocated_bytes()
+            + self.cells.front[1].allocated_bytes()
+            + self.cells.counts.allocated_bytes()
     }
 
     /// Grows the buffers to `reach`'s shape and `shards` workers.
     fn prepare(&mut self, reach: &BitReach, shards: usize) {
-        self.vis.grow(reach.words);
-        self.front[0].grow(reach.words);
-        self.front[1].grow(reach.words);
-        self.fold.grow(reach.suffix_words);
-        self.counts.grow(shards);
+        self.cells.vis.grow(reach.words);
+        self.cells.front[0].grow(reach.words);
+        self.cells.front[1].grow(reach.words);
+        self.cells.counts.grow(2 * shards);
     }
 }
 
@@ -387,6 +435,42 @@ impl ParBitScratch {
 pub(crate) fn shard_words(words: usize, shards: usize, shard: usize) -> std::ops::Range<usize> {
     let per = words.div_ceil(shards.max(1));
     (shard * per).min(words)..((shard + 1) * per).min(words)
+}
+
+/// Smallest graph that justifies a second shard: below one shard per
+/// 2^16 nodes the per-level barrier waits outweigh the sweep work each
+/// extra shard takes off the critical path (measured in PERF.md).
+pub const MIN_NODES_PER_SHARD: usize = 1 << 16;
+
+/// Stack-tile width (in `u64` words) of the fused dense kernel's
+/// backward path: folds are blocked into a `[u64; FUSE_TILE]` register
+/// /L1 buffer so each replication stride sweeps a contiguous run. 32
+/// words = 256 bytes per tile — four cache lines, far below any L1.
+const FUSE_TILE: usize = 32;
+
+/// The shard count actually worth running for a `requested` count on an
+/// `n_nodes`-node graph: clamped to the machine's
+/// `available_parallelism` (a shard beyond the core count only adds
+/// barrier traffic) and to one shard per [`MIN_NODES_PER_SHARD`] nodes
+/// (a shard without enough words to sweep can't amortise its waits).
+/// Never below 1. `Ffc`, `RingMaintainer` and `RingService` apply this
+/// clamp, so asking for 8 shards on a small box or a small graph
+/// degrades to near-serial cost instead of regressing; the raw
+/// `BitReach::*_par` passes do **not** clamp (the differential tests
+/// rely on forcing any shard count).
+#[must_use]
+pub fn effective_shards(requested: usize, n_nodes: usize) -> usize {
+    // `available_parallelism` is not a cheap syscall on Linux — it
+    // re-parses the cgroup cpu quota files every call, tens of µs in a
+    // container — and this clamp sits on the per-embed path.
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cpus = *CPUS.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    requested
+        .max(1)
+        .min(cpus)
+        .min((n_nodes / MIN_NODES_PER_SHARD).max(1))
 }
 
 /// The bit-parallel reachability engine for one B(d,n) shape: word-level
@@ -501,7 +585,6 @@ impl BitReach {
         grow_words(&mut s.fwd, self.words);
         grow_words(&mut s.bwd, self.words);
         grow_words(&mut s.vis, self.words);
-        grow_words(&mut s.fold, self.suffix_words);
         grow_words(&mut s.cur.bits, self.words);
         grow_words(&mut s.nxt.bits, self.words);
         // A level can hold every node; presize so pushes never reallocate.
@@ -543,14 +626,13 @@ impl BitReach {
             fwd,
             cur,
             nxt,
-            fold,
             ..
         } = s;
         fwd[..self.words].copy_from_slice(&dead[..self.words]);
         if self.pow2 {
-            self.run::<true, false>(fwd, cur, nxt, fold, root, None)
+            self.run::<true, false>(fwd, cur, nxt, root, None)
         } else {
-            self.run::<false, false>(fwd, cur, nxt, fold, root, None)
+            self.run::<false, false>(fwd, cur, nxt, root, None)
         }
     }
 
@@ -562,14 +644,13 @@ impl BitReach {
             bwd,
             cur,
             nxt,
-            fold,
             ..
         } = s;
         bwd[..self.words].copy_from_slice(&dead[..self.words]);
         if self.pow2 {
-            self.run::<true, true>(bwd, cur, nxt, fold, root, None);
+            self.run::<true, true>(bwd, cur, nxt, root, None);
         } else {
-            self.run::<false, true>(bwd, cur, nxt, fold, root, None);
+            self.run::<false, true>(bwd, cur, nxt, root, None);
         }
     }
 
@@ -624,7 +705,6 @@ impl BitReach {
             vis,
             cur,
             nxt,
-            fold,
         } = s;
         for (((v, &f), &b), &x) in vis[..self.words]
             .iter_mut()
@@ -635,9 +715,9 @@ impl BitReach {
             *v = !(f & b) | x;
         }
         if self.pow2 {
-            self.run::<true, false>(vis, cur, nxt, fold, root, sink)
+            self.run::<true, false>(vis, cur, nxt, root, sink)
         } else {
-            self.run::<false, false>(vis, cur, nxt, fold, root, sink)
+            self.run::<false, false>(vis, cur, nxt, root, sink)
         }
     }
 
@@ -747,18 +827,24 @@ impl BitReach {
 
     /// The sharded direction-optimizing pass: shard 0 (the caller thread)
     /// leads — it runs the scalar sparse levels, the sink emission and
-    /// the representation conversions — while `shards - 1` scoped
-    /// workers join it for the word-range-sharded dense levels, with two
-    /// to three barriers per level keeping the single-writer-per-word
-    /// discipline. `vis` arrives seeded (dead / out-of-scope bits set)
-    /// and receives the final visited bitmap back.
+    /// the representation conversions — while `shards - 1` persistent
+    /// pool workers join it for the word-range-sharded fused dense
+    /// levels. One sense-reversing barrier per level (plus one more only
+    /// on a sparse→dense flip) keeps the single-writer-per-word
+    /// discipline: per-level bookkeeping is double-buffered by level
+    /// parity, the leader's emission of level L overlaps the workers
+    /// already sweeping level L+1 (emission only reads the new frontier,
+    /// which no one writes until after the *next* barrier), and on a
+    /// dense→sparse flip the workers have nothing to compute, so the
+    /// leader's conversions race nothing. `vis` arrives seeded (dead /
+    /// out-of-scope bits set) and receives the final visited bitmap back.
     #[allow(clippy::too_many_arguments)] // one pass kernel, not an API
     fn run_par<const BACKWARD: bool>(
         &self,
         vis: &mut [u64],
         qcur: &mut Vec<u32>,
         qnxt: &mut Vec<u32>,
-        par: &ParBitScratch,
+        par: &mut ParBitScratch,
         root: usize,
         shards: usize,
         mut sink: Option<LevelSink<'_>>,
@@ -766,55 +852,75 @@ impl BitReach {
         debug_assert!(self.dense_capable && shards > 1);
         debug_assert!(root < self.n_nodes, "root out of range");
         debug_assert!(vis[root / 64] & (1 << (root % 64)) == 0, "root not live");
+        let ParBitScratch { cells, pool } = par;
         vis[root / 64] |= 1 << (root % 64);
         for (i, &w) in vis[..self.words].iter().enumerate() {
-            par.vis.store(i, w);
+            cells.vis.store(i, w);
         }
         qcur.clear();
         qcur.push(root as u32);
         let init_dense = self.want_dense(1, false);
         if init_dense {
             for i in 0..self.words {
-                par.front[0].store(i, 0);
+                cells.front[0].store(i, 0);
             }
-            par.front[0].store(root / 64, 1u64 << (root % 64));
+            cells.front[0].store(root / 64, 1u64 << (root % 64));
         }
         if let Some(sink) = sink.as_mut() {
             sink.offsets.push(0);
             sink.nodes.push(root as u32);
         }
-        let barrier = Barrier::new(shards);
-        let (count, depth) = std::thread::scope(|scope| {
-            for k in 1..shards {
-                let barrier = &barrier;
-                let par = &*par;
-                scope.spawn(move || {
-                    self.par_worker::<BACKWARD>(par, barrier, shards, k, init_dense);
-                });
-            }
-            // Shard 0: the leader loop.
-            let srange = shard_words(self.suffix_words, shards, 0);
-            let wrange = shard_words(self.words, shards, 0);
+        // Publishing the job to the pool is the happens-before edge that
+        // makes the serial seeding above visible to the workers.
+        let barrier = SenseBarrier::new(shards);
+        let cells = &*cells;
+        let worker = |shard: usize| {
+            let srange = shard_words(self.suffix_words, shards, shard);
             let mut cur_dense = init_dense;
             let mut pp = 0usize;
+            let mut parity = 0usize;
+            loop {
+                if cur_dense {
+                    let newly = self.par_fused::<BACKWARD>(cells, pp, srange.clone());
+                    cells.counts.store(parity * shards + shard, newly as u64);
+                }
+                barrier.wait();
+                let nxt_len = level_len(cells, shards, parity, cur_dense);
+                if nxt_len == 0 {
+                    return;
+                }
+                let want = self.want_dense(nxt_len, cur_dense);
+                // A sparse→dense flip needs the leader to materialise the
+                // dense frontier before anyone sweeps it: the one extra
+                // barrier. Every shard replays the same regime decisions
+                // (they depend only on the shared level lengths), so the
+                // barrier sequences always agree.
+                if !cur_dense && want {
+                    barrier.wait();
+                }
+                pp ^= 1;
+                parity ^= 1;
+                cur_dense = want;
+            }
+        };
+        let (count, depth) = pool.run(shards - 1, &worker, || {
+            // Shard 0: the leader loop.
+            let srange = shard_words(self.suffix_words, shards, 0);
+            let mut cur_dense = init_dense;
+            let mut pp = 0usize;
+            let mut parity = 0usize;
             let mut count = 1usize;
             let mut depth = 0usize;
             loop {
                 if cur_dense {
-                    self.par_fold::<BACKWARD>(par, pp, srange.clone());
-                    barrier.wait();
-                    let newly = self.par_expand::<BACKWARD>(par, pp, wrange.clone());
-                    par.counts.store(0, newly as u64);
+                    let newly = self.par_fused::<BACKWARD>(cells, pp, srange.clone());
+                    cells.counts.store(parity * shards, newly as u64);
                 } else {
-                    self.par_step_sparse::<BACKWARD>(par, qcur, qnxt);
-                    par.sparse_len.store(qnxt.len(), Ordering::Relaxed);
+                    self.par_step_sparse::<BACKWARD>(cells, qcur, qnxt);
+                    cells.sparse_len[parity].store(qnxt.len(), Ordering::Relaxed);
                 }
                 barrier.wait();
-                let nxt_len = if cur_dense {
-                    (0..shards).map(|k| par.counts.load(k) as usize).sum()
-                } else {
-                    qnxt.len()
-                };
+                let nxt_len = level_len(cells, shards, parity, cur_dense);
                 if nxt_len == 0 {
                     break;
                 }
@@ -822,7 +928,7 @@ impl BitReach {
                 depth += 1;
                 if let Some(sink) = sink.as_mut() {
                     if cur_dense {
-                        emit_cells(sink, &par.front[pp ^ 1], self.words);
+                        emit_cells(sink, &cells.front[pp ^ 1], self.words);
                     } else {
                         emit_queue(sink, qnxt);
                     }
@@ -832,23 +938,27 @@ impl BitReach {
                     // Stay sparse: the new queue becomes current.
                     (false, false) => std::mem::swap(qcur, qnxt),
                     // Sparse → dense: materialise the new frontier bitmap
-                    // where the flip will look for it.
+                    // where the flip will look for it, then release the
+                    // workers waiting to sweep it.
                     (false, true) => {
                         for i in 0..self.words {
-                            par.front[pp ^ 1].store(i, 0);
+                            cells.front[pp ^ 1].store(i, 0);
                         }
                         for &v in qnxt.iter() {
                             let v = v as usize;
                             let j = v / 64;
-                            par.front[pp ^ 1].store(j, par.front[pp ^ 1].load(j) | 1 << (v % 64));
+                            cells.front[pp ^ 1]
+                                .store(j, cells.front[pp ^ 1].load(j) | 1 << (v % 64));
                         }
+                        barrier.wait();
                     }
                     // Dense → sparse: extract ids in increasing order
-                    // (the serial conversion's order).
+                    // (the serial conversion's order). The workers have
+                    // no dense level to sweep, so nothing races this.
                     (true, false) => {
                         qcur.clear();
                         for j in 0..self.words {
-                            let mut w = par.front[pp ^ 1].load(j);
+                            let mut w = cells.front[pp ^ 1].load(j);
                             while w != 0 {
                                 qcur.push((j * 64) as u32 + w.trailing_zeros());
                                 w &= w - 1;
@@ -857,8 +967,8 @@ impl BitReach {
                     }
                     (true, true) => {}
                 }
-                barrier.wait();
                 pp ^= 1;
+                parity ^= 1;
                 cur_dense = want;
             }
             (count, depth)
@@ -868,111 +978,65 @@ impl BitReach {
         }
         // Hand the visited bitmap back for component/B* queries.
         for (i, w) in vis[..self.words].iter_mut().enumerate() {
-            *w = par.vis.load(i);
+            *w = cells.vis.load(i);
         }
         (count, depth)
     }
 
-    /// A follower shard's level loop: joins the dense fold/expand phases
-    /// over its word ranges and idles through sparse levels. Its regime
-    /// decisions replay the leader's exactly (they depend only on the
-    /// shared level lengths), so the barrier sequences always agree.
-    fn par_worker<const BACKWARD: bool>(
+    /// One shard's share of a fused dense level: the fused kernel of
+    /// [`BitReach::fused_words`] on the atomic cells, over suffix-word
+    /// `range` — the output words it writes (`d·i + r` forward,
+    /// `i + a·sw` backward) tile the bitmaps across shards, so every
+    /// word has exactly one writer per level. Reads of the *current*
+    /// frontier cross shard boundaries, which is what the per-level
+    /// barrier orders. Returns the shard's newly visited count.
+    fn par_fused<const BACKWARD: bool>(
         &self,
-        par: &ParBitScratch,
-        barrier: &Barrier,
-        shards: usize,
-        shard: usize,
-        init_dense: bool,
-    ) {
-        let srange = shard_words(self.suffix_words, shards, shard);
-        let wrange = shard_words(self.words, shards, shard);
-        let mut cur_dense = init_dense;
-        let mut pp = 0usize;
-        loop {
-            if cur_dense {
-                self.par_fold::<BACKWARD>(par, pp, srange.clone());
-                barrier.wait();
-                let newly = self.par_expand::<BACKWARD>(par, pp, wrange.clone());
-                par.counts.store(shard, newly as u64);
-            }
-            barrier.wait();
-            let nxt_len = if cur_dense {
-                (0..shards).map(|k| par.counts.load(k) as usize).sum()
-            } else {
-                par.sparse_len.load(Ordering::Relaxed)
-            };
-            if nxt_len == 0 {
-                return;
-            }
-            let want = self.want_dense(nxt_len, cur_dense);
-            barrier.wait();
-            pp ^= 1;
-            cur_dense = want;
-        }
-    }
-
-    /// Fold phase of one sharded dense level over `range` of the fold
-    /// buffer (reads the whole current frontier, writes only `range`).
-    fn par_fold<const BACKWARD: bool>(
-        &self,
-        par: &ParBitScratch,
-        pp: usize,
-        range: std::ops::Range<usize>,
-    ) {
-        let d = self.d;
-        let bits_per = 64 / d;
-        let cur = &par.front[pp];
-        if BACKWARD {
-            for i in range {
-                let mut acc = 0u64;
-                for t in 0..d {
-                    acc |= self.squash(cur.load(d * i + t)) << (t * bits_per);
-                }
-                par.fold.store(i, acc);
-            }
-        } else {
-            for i in range {
-                let mut acc = 0u64;
-                for a in 0..d {
-                    acc |= cur.load(i + a * self.suffix_words);
-                }
-                par.fold.store(i, acc);
-            }
-        }
-    }
-
-    /// Expand phase of one sharded dense level over `range` of the
-    /// visited/next bitmaps (single writer per word); returns the number
-    /// of newly visited nodes in the range. Identical word math to the
-    /// serial [`BitReach::step_dense`].
-    fn par_expand<const BACKWARD: bool>(
-        &self,
-        par: &ParBitScratch,
+        cells: &ParCells,
         pp: usize,
         range: std::ops::Range<usize>,
     ) -> usize {
         let d = self.d;
+        let sw = self.suffix_words;
         let bits_per = 64 / d;
         let chunk_mask = if bits_per == 64 {
             u64::MAX
         } else {
             (1u64 << bits_per) - 1
         };
-        let nxt = &par.front[pp ^ 1];
+        let cur = &cells.front[pp];
+        let nxt = &cells.front[pp ^ 1];
         let mut newly = 0usize;
-        for j in range {
-            let word = if BACKWARD {
-                par.fold.load(j % self.suffix_words)
-            } else {
-                let g = par.fold.load(j / d);
-                self.expand((g >> ((j % d) * bits_per)) & chunk_mask)
-            };
-            let seen = par.vis.load(j);
-            let new = word & !seen;
-            par.vis.store(j, seen | new);
-            nxt.store(j, new);
-            newly += new.count_ones() as usize;
+        if BACKWARD {
+            for i in range {
+                let mut h = 0u64;
+                for t in 0..d {
+                    h |= self.squash(cur.load(d * i + t)) << (t * bits_per);
+                }
+                for a in 0..d {
+                    let j = i + a * sw;
+                    let seen = cells.vis.load(j);
+                    let new = h & !seen;
+                    cells.vis.store(j, seen | new);
+                    nxt.store(j, new);
+                    newly += new.count_ones() as usize;
+                }
+            }
+        } else {
+            for i in range {
+                let mut g = 0u64;
+                for a in 0..d {
+                    g |= cur.load(i + a * sw);
+                }
+                for r in 0..d {
+                    let j = d * i + r;
+                    let seen = cells.vis.load(j);
+                    let new = self.expand((g >> (r * bits_per)) & chunk_mask) & !seen;
+                    cells.vis.store(j, seen | new);
+                    nxt.store(j, new);
+                    newly += new.count_ones() as usize;
+                }
+            }
         }
         newly
     }
@@ -982,7 +1046,7 @@ impl BitReach {
     /// passes only run on dense-capable, hence power-of-two, shapes).
     fn par_step_sparse<const BACKWARD: bool>(
         &self,
-        par: &ParBitScratch,
+        cells: &ParCells,
         qcur: &[u32],
         qnxt: &mut Vec<u32>,
     ) {
@@ -997,9 +1061,9 @@ impl BitReach {
                     ((v & (self.suffix - 1)) << self.d_log) + a
                 };
                 let (j, m) = (u / 64, 1u64 << (u % 64));
-                let seen = par.vis.load(j);
+                let seen = cells.vis.load(j);
                 if seen & m == 0 {
-                    par.vis.store(j, seen | m);
+                    cells.vis.store(j, seen | m);
                     qnxt.push(u as u32);
                 }
             }
@@ -1014,7 +1078,6 @@ impl BitReach {
         vis: &mut [u64],
         cur: &mut BitFrontier,
         nxt: &mut BitFrontier,
-        fold: &mut [u64],
         root: usize,
         mut sink: Option<LevelSink<'_>>,
     ) -> (usize, usize) {
@@ -1033,7 +1096,7 @@ impl BitReach {
         let mut depth = 0usize;
         loop {
             if cur.dense {
-                self.step_dense::<BACKWARD>(vis, cur, nxt, fold);
+                self.step_dense::<BACKWARD>(vis, cur, nxt);
             } else {
                 self.step_sparse::<POW2, BACKWARD>(vis, cur, nxt);
             }
@@ -1122,17 +1185,96 @@ impl BitReach {
         nxt.len = nxt.queue.len();
     }
 
-    /// Word-parallel bottom-up step: fold the frontier, expand (or
-    /// replicate) it, and mask against the visited set — 64 nodes per
-    /// handful of word ops.
+    /// Word-parallel bottom-up step: one fused pass of fold, expand (or
+    /// squash/replicate), visited mask-and-update and next-frontier store
+    /// — 64 nodes per handful of word ops, no fold scratch.
     fn step_dense<const BACKWARD: bool>(
         &self,
         vis: &mut [u64],
         cur: &BitFrontier,
         nxt: &mut BitFrontier,
-        fold: &mut [u64],
     ) {
         debug_assert!(cur.dense && self.dense_capable);
+        nxt.len = self.fused_words::<BACKWARD>(&cur.bits, vis, &mut nxt.bits);
+        nxt.dense = true;
+    }
+
+    /// One fused 2i-wide output tile of the d = 2 forward kernel: folds
+    /// suffix word `i` over both leading digits, spreads each half into
+    /// an output word, masks against visited and stores the frontier —
+    /// all in registers, so the unrolled caller's four independent tiles
+    /// autovectorize.
+    #[inline(always)]
+    fn fused2_fwd(i: usize, sw: usize, cur: &[u64], vis: &mut [u64], nxt: &mut [u64]) -> usize {
+        let g = cur[i] | cur[sw + i];
+        let w0 = spread2(g & 0xFFFF_FFFF) & !vis[2 * i];
+        let w1 = spread2(g >> 32) & !vis[2 * i + 1];
+        vis[2 * i] |= w0;
+        vis[2 * i + 1] |= w1;
+        nxt[2 * i] = w0;
+        nxt[2 * i + 1] = w1;
+        (w0.count_ones() + w1.count_ones()) as usize
+    }
+
+    /// The fused dense kernel over exactly `self.words` words of each
+    /// buffer: per suffix word, fold (forward) or squash (backward) the
+    /// frontier, expand/replicate, mask against `vis`, update `vis` and
+    /// store the new frontier into `nxt` — one pass, no fold buffer.
+    /// Word-for-word identical output to the retained two-phase
+    /// reference kernel ([`BitReach::kernel_step_scalar`]); returns the
+    /// newly visited node count. The hot d = 2 shape runs a 4-wide
+    /// unrolled tile (eight output words per iteration).
+    fn fused_words<const BACKWARD: bool>(
+        &self,
+        cur: &[u64],
+        vis: &mut [u64],
+        nxt: &mut [u64],
+    ) -> usize {
+        debug_assert!(self.dense_capable);
+        let sw = self.suffix_words;
+        let mut newly = 0usize;
+        if self.d == 2 {
+            let mut i = 0usize;
+            if BACKWARD {
+                // Cache-blocked squash-then-replicate: fold a tile of
+                // suffix words into a stack buffer, then sweep each
+                // replication stride as one contiguous run. The fold
+                // never touches the heap and both sweeps autovectorize.
+                while i < sw {
+                    let len = (sw - i).min(FUSE_TILE);
+                    let mut h = [0u64; FUSE_TILE];
+                    for (k, hk) in h[..len].iter_mut().enumerate() {
+                        let b = 2 * (i + k);
+                        *hk = squash2(cur[b]) | (squash2(cur[b + 1]) << 32);
+                    }
+                    for base in [i, sw + i] {
+                        let vw = &mut vis[base..base + len];
+                        let nw = &mut nxt[base..base + len];
+                        for ((vj, nj), &hk) in vw.iter_mut().zip(nw.iter_mut()).zip(h[..len].iter())
+                        {
+                            let new = hk & !*vj;
+                            *vj |= new;
+                            *nj = new;
+                            newly += new.count_ones() as usize;
+                        }
+                    }
+                    i += len;
+                }
+            } else {
+                while i + 4 <= sw {
+                    newly += Self::fused2_fwd(i, sw, cur, vis, nxt);
+                    newly += Self::fused2_fwd(i + 1, sw, cur, vis, nxt);
+                    newly += Self::fused2_fwd(i + 2, sw, cur, vis, nxt);
+                    newly += Self::fused2_fwd(i + 3, sw, cur, vis, nxt);
+                    i += 4;
+                }
+                while i < sw {
+                    newly += Self::fused2_fwd(i, sw, cur, vis, nxt);
+                    i += 1;
+                }
+            }
+            return newly;
+        }
         let d = self.d;
         let bits_per = 64 / d;
         let chunk_mask = if bits_per == 64 {
@@ -1141,35 +1283,129 @@ impl BitReach {
             (1u64 << bits_per) - 1
         };
         if BACKWARD {
-            // H[k] = OR of the d-bit successor block at k: u is a
-            // predecessor of the frontier iff H[u mod suffix] is set.
+            // H = OR of the d-bit successor blocks of suffix word i: u is
+            // a predecessor of the frontier iff H[u mod suffix] is set;
+            // predecessor word i + a·sw replicates H for every digit a.
+            // Cache-blocked like the d = 2 path: fold a stack tile, then
+            // sweep each replication stride as one contiguous run.
+            let mut i = 0usize;
+            while i < sw {
+                let len = (sw - i).min(FUSE_TILE);
+                let mut h = [0u64; FUSE_TILE];
+                for (k, hk) in h[..len].iter_mut().enumerate() {
+                    let mut acc = 0u64;
+                    for t in 0..d {
+                        acc |= self.squash(cur[d * (i + k) + t]) << (t * bits_per);
+                    }
+                    *hk = acc;
+                }
+                for a in 0..d {
+                    let base = i + a * sw;
+                    let vw = &mut vis[base..base + len];
+                    let nw = &mut nxt[base..base + len];
+                    for ((vj, nj), &hk) in vw.iter_mut().zip(nw.iter_mut()).zip(h[..len].iter()) {
+                        let new = hk & !*vj;
+                        *vj |= new;
+                        *nj = new;
+                        newly += new.count_ones() as usize;
+                    }
+                }
+                i += len;
+            }
+        } else {
+            // G = OR over leading digits; successor word d·i + r expands
+            // the r-th chunk of G. Tiled four suffix words at a time so
+            // the fold reads four contiguous words per stride and the
+            // expands write 4·d contiguous words.
+            let mut i = 0usize;
+            while i + 4 <= sw {
+                let mut g = [0u64; 4];
+                for a in 0..d {
+                    let base = i + a * sw;
+                    for (k, gk) in g.iter_mut().enumerate() {
+                        *gk |= cur[base + k];
+                    }
+                }
+                for (k, &gk) in g.iter().enumerate() {
+                    for r in 0..d {
+                        let j = d * (i + k) + r;
+                        let new = self.expand((gk >> (r * bits_per)) & chunk_mask) & !vis[j];
+                        vis[j] |= new;
+                        nxt[j] = new;
+                        newly += new.count_ones() as usize;
+                    }
+                }
+                i += 4;
+            }
+            while i < sw {
+                let mut g = 0u64;
+                for a in 0..d {
+                    g |= cur[i + a * sw];
+                }
+                for r in 0..d {
+                    let j = d * i + r;
+                    let new = self.expand((g >> (r * bits_per)) & chunk_mask) & !vis[j];
+                    vis[j] |= new;
+                    nxt[j] = new;
+                    newly += new.count_ones() as usize;
+                }
+                i += 1;
+            }
+        }
+        newly
+    }
+
+    /// The retained two-phase dense step — fold into the caller-supplied
+    /// `fold` buffer (at least `suffix / 64` words), then expand against
+    /// `vis` into `nxt` — kept as the bit-exact reference the fused
+    /// kernel is pinned against (unit tests) and raced against
+    /// (`bench_ffc --kernels`). All buffers cover `self.words` words.
+    /// Returns the newly visited node count.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the shape is not dense-capable.
+    pub fn kernel_step_scalar(
+        &self,
+        backward: bool,
+        cur: &[u64],
+        vis: &mut [u64],
+        nxt: &mut [u64],
+        fold: &mut [u64],
+    ) -> usize {
+        debug_assert!(self.dense_capable);
+        let d = self.d;
+        let bits_per = 64 / d;
+        let chunk_mask = if bits_per == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits_per) - 1
+        };
+        if backward {
             for (i, h) in fold[..self.suffix_words].iter_mut().enumerate() {
                 let mut acc = 0u64;
                 for t in 0..d {
-                    acc |= self.squash(cur.bits[d * i + t]) << (t * bits_per);
+                    acc |= self.squash(cur[d * i + t]) << (t * bits_per);
                 }
                 *h = acc;
             }
         } else {
-            // G[k] = OR over leading digits: the frontier's successor set
-            // is G expanded d-fold.
             for (i, g) in fold[..self.suffix_words].iter_mut().enumerate() {
                 let mut acc = 0u64;
                 for a in 0..d {
-                    acc |= cur.bits[i + a * self.suffix_words];
+                    acc |= cur[i + a * self.suffix_words];
                 }
                 *g = acc;
             }
         }
         let mut newly = 0usize;
         let mut j = 0usize;
-        if BACKWARD {
+        if backward {
             // P word j replicates H word (j mod suffix_words).
             for _a in 0..d {
                 for &h in &fold[..self.suffix_words] {
                     let new = h & !vis[j];
                     vis[j] |= new;
-                    nxt.bits[j] = new;
+                    nxt[j] = new;
                     newly += new.count_ones() as usize;
                     j += 1;
                 }
@@ -1180,14 +1416,32 @@ impl BitReach {
                 for r in 0..d {
                     let new = self.expand((g >> (r * bits_per)) & chunk_mask) & !vis[j];
                     vis[j] |= new;
-                    nxt.bits[j] = new;
+                    nxt[j] = new;
                     newly += new.count_ones() as usize;
                     j += 1;
                 }
             }
         }
-        nxt.dense = true;
-        nxt.len = newly;
+        newly
+    }
+
+    /// The fused single-pass dense step the engine runs — same contract
+    /// as [`BitReach::kernel_step_scalar`] minus the fold buffer.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the shape is not dense-capable.
+    pub fn kernel_step_fused(
+        &self,
+        backward: bool,
+        cur: &[u64],
+        vis: &mut [u64],
+        nxt: &mut [u64],
+    ) -> usize {
+        if backward {
+            self.fused_words::<true>(cur, vis, nxt)
+        } else {
+            self.fused_words::<false>(cur, vis, nxt)
+        }
     }
 
     /// Duplicates each of the low 64/d bits of `x` into d adjacent bits.
@@ -1230,7 +1484,6 @@ impl BitReach {
             fwd,
             cur,
             nxt,
-            fold,
             ..
         } = s;
         fwd[..self.words].copy_from_slice(&dead[..self.words]);
@@ -1238,9 +1491,9 @@ impl BitReach {
         offsets.clear();
         let sink = Some(LevelSink { nodes, offsets });
         if self.pow2 {
-            self.run::<true, false>(fwd, cur, nxt, fold, root, sink)
+            self.run::<true, false>(fwd, cur, nxt, root, sink)
         } else {
-            self.run::<false, false>(fwd, cur, nxt, fold, root, sink)
+            self.run::<false, false>(fwd, cur, nxt, root, sink)
         }
     }
 
@@ -1259,7 +1512,6 @@ impl BitReach {
             bwd,
             cur,
             nxt,
-            fold,
             ..
         } = s;
         bwd[..self.words].copy_from_slice(&dead[..self.words]);
@@ -1267,9 +1519,9 @@ impl BitReach {
         offsets.clear();
         let sink = Some(LevelSink { nodes, offsets });
         if self.pow2 {
-            self.run::<true, true>(bwd, cur, nxt, fold, root, sink)
+            self.run::<true, true>(bwd, cur, nxt, root, sink)
         } else {
-            self.run::<false, true>(bwd, cur, nxt, fold, root, sink)
+            self.run::<false, true>(bwd, cur, nxt, root, sink)
         }
     }
 
@@ -1811,6 +2063,19 @@ impl BitReach {
     }
 }
 
+/// The global next-level length every shard reads after the per-level
+/// barrier: the sum of this parity's per-shard dense counts, or the
+/// sparse frontier length shard 0 published for this parity.
+fn level_len(cells: &ParCells, shards: usize, parity: usize, cur_dense: bool) -> usize {
+    if cur_dense {
+        (0..shards)
+            .map(|k| cells.counts.load(parity * shards + k) as usize)
+            .sum()
+    } else {
+        cells.sparse_len[parity].load(Ordering::Relaxed)
+    }
+}
+
 /// Appends a sparse level to the sink.
 fn emit_queue(sink: &mut LevelSink<'_>, queue: &[u32]) {
     sink.offsets.push(sink.nodes.len() as u32);
@@ -2058,7 +2323,7 @@ mod tests {
                 let mut want_offsets = Vec::new();
                 let want_bcast =
                     reach.broadcast_levels(&mut ser, root, &mut want_nodes, &mut want_offsets);
-                for shards in 1..=5usize {
+                for shards in [1usize, 2, 3, 4, 5, 7] {
                     let mut s = BitScratch::new();
                     let mut par = ParBitScratch::new();
                     reach.prepare(&mut s);
@@ -2188,7 +2453,7 @@ mod tests {
                     };
                     assert_eq!(got, (want_reached, want_depth), "d={d} bwd={backward}");
                     assert_eq!(scatter(&nodes, &offsets), want_lv, "d={d} bwd={backward}");
-                    for shards in 2..=5usize {
+                    for shards in [2usize, 3, 4, 5, 7] {
                         let mut sp = BitScratch::new();
                         let mut par = ParBitScratch::new();
                         reach.prepare(&mut sp);
@@ -2383,5 +2648,78 @@ mod tests {
             let _ = reach.broadcast_depth(&mut s, 1);
             assert_eq!(s.allocated_bytes(), warm, "trial {trial}");
         }
+    }
+
+    /// Pins the fused single-pass dense kernel bit-for-bit against the
+    /// retained two-phase scalar reference, forward and backward, on
+    /// random frontiers at both sparse (~3%) and dense (~50%) fills —
+    /// the populations the engine sees on either side of the
+    /// density-switch thresholds. Shapes cover the d=2 specialisation's
+    /// unrolled 4-word tile (suffix_words ≥ 4), its remainder loop
+    /// (suffix_words ∈ {1, 2}), and the generic-d path (d = 4, 8).
+    #[test]
+    fn fused_kernel_matches_two_phase_scalar_bit_for_bit() {
+        let shapes = [
+            (2usize, 128usize), // suffix_words = 1: remainder loop only
+            (2, 256),           // suffix_words = 2: remainder loop only
+            (2, 1 << 11),       // suffix_words = 16: full 4-word tiles
+            (2, 1 << 14),       // suffix_words = 128: many tiles
+            (4, 1 << 10),       // generic-d fold of 16-bit chunks
+            (8, 4096),          // generic-d fold of 8-bit chunks
+        ];
+        let mut rng = StdRng::seed_from_u64(0xF05E);
+        for &(d, n_nodes) in &shapes {
+            let reach = BitReach::new(d, n_nodes);
+            assert!(reach.dense_capable(), "d={d} n={n_nodes}");
+            let words = n_nodes / 64;
+            let sw = words / d;
+            let mut fold = vec![0u64; sw];
+            for trial in 0..16 {
+                let sparse = trial % 2 == 0;
+                let word = |rng: &mut StdRng| {
+                    if sparse {
+                        // ~1/32 bit density: AND of five random words.
+                        (0..5).fold(u64::MAX, |acc, _| acc & rng.next_u64())
+                    } else {
+                        rng.next_u64()
+                    }
+                };
+                for backward in [false, true] {
+                    let cur: Vec<u64> = (0..words).map(|_| word(&mut rng)).collect();
+                    let vis0: Vec<u64> = (0..words).map(|_| word(&mut rng)).collect();
+                    let (mut vis_a, mut vis_b) = (vis0.clone(), vis0);
+                    let mut nxt_a = vec![u64::MAX; words]; // must be fully overwritten
+                    let mut nxt_b = vec![0u64; words];
+                    let na =
+                        reach.kernel_step_scalar(backward, &cur, &mut vis_a, &mut nxt_a, &mut fold);
+                    let nb = reach.kernel_step_fused(backward, &cur, &mut vis_b, &mut nxt_b);
+                    let tag = format!("d={d} n={n_nodes} bwd={backward} sparse={sparse}");
+                    assert_eq!(na, nb, "newly count diverges: {tag}");
+                    assert_eq!(vis_a, vis_b, "visited words diverge: {tag}");
+                    assert_eq!(nxt_a, nxt_b, "frontier words diverge: {tag}");
+                }
+            }
+        }
+    }
+
+    /// The effective-shards heuristic: ≥ 1 always, bounded by the host's
+    /// core count and by one shard per [`MIN_NODES_PER_SHARD`] nodes.
+    #[test]
+    fn effective_shards_clamps_to_cores_and_node_count() {
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // Degenerate requests fold to 1.
+        assert_eq!(effective_shards(0, usize::MAX), 1);
+        assert_eq!(effective_shards(1, usize::MAX), 1);
+        // Small graphs fold any request to 1.
+        assert_eq!(effective_shards(1 << 20, MIN_NODES_PER_SHARD - 1), 1);
+        // The node-count bound scales one shard per MIN_NODES_PER_SHARD…
+        assert_eq!(
+            effective_shards(usize::MAX, 3 * MIN_NODES_PER_SHARD),
+            cpus.min(3)
+        );
+        // …and the CPU bound caps an unbounded request.
+        assert_eq!(effective_shards(usize::MAX, usize::MAX), cpus);
+        // A modest request on a huge graph is honoured up to the cores.
+        assert_eq!(effective_shards(2, usize::MAX), cpus.min(2));
     }
 }

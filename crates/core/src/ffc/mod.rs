@@ -169,10 +169,6 @@ pub struct EmbedScratch {
     // Per-necklace state.
     /// Stamp: necklace is faulty this call.
     faulty: Vec<u32>,
-    /// Stamp: `best_key` is valid this call.
-    best_stamp: Vec<u32>,
-    /// Packed (broadcast level << 32 | node): the earliest-reached member.
-    best_key: Vec<u64>,
     // Per-node state.
     /// Stamp: reached by the root-repair probe.
     probe: Vec<u32>,
@@ -195,20 +191,15 @@ pub struct EmbedScratch {
     /// Parallel engine: per-necklace min (level << 32 | node) over B*
     /// (`u64::MAX` = necklace not in B* this call; cleared per call).
     pbest: AtomicCells,
-    /// Parallel engine: bit `v` set ⟺ node `v` leaves its necklace
-    /// through a w-edge. The streaming cycle readoff tests this bitmap
+    /// Bit `v` set ⟺ node `v` leaves its necklace through a w-edge. The
+    /// streaming cycle readoff of both engines tests this bitmap
     /// (L2-resident even at B(2,20)) and computes the necklace rotation
     /// arithmetically, instead of loading a fully materialised successor
     /// array from DRAM on every step.
     exit_bits: Vec<u64>,
-    /// Stamp: reached by the Step 1.1 broadcast (validity guard for
-    /// `level`/`parent` when the engine assigns tree parents).
-    vis: Vec<u32>,
-    /// Broadcast level (valid when `vis` is stamped).
-    level: Vec<u32>,
-    /// Broadcast parent (valid when `vis` is stamped; `NONE` at the root).
-    parent: Vec<u32>,
-    /// Successor pointers over B* (valid where `vis` is stamped).
+    /// Successor overrides: written (and later read) only at the w-exit
+    /// nodes flagged in `exit_bits`; every other node follows its
+    /// necklace rotation arithmetically.
     succ: Vec<u32>,
     // Per-label state (indexed by (n−1)-digit edge label).
     /// Stamp: label has a w-group this call.
@@ -224,8 +215,6 @@ pub struct EmbedScratch {
     bstar: Vec<u32>,
     /// CSR boundaries of the broadcast levels within `bstar`.
     level_offsets: Vec<u32>,
-    /// Live non-root necklaces of B*.
-    live_necks: Vec<u32>,
     /// Packed (label << 32 | necklace id) w-group membership records.
     group_entries: Vec<u64>,
     /// Member necklaces of the w-group being wired.
@@ -255,11 +244,7 @@ impl EmbedScratch {
     #[must_use]
     pub fn allocated_bytes(&self) -> usize {
         4 * (self.faulty.capacity()
-            + self.best_stamp.capacity()
             + self.probe.capacity()
-            + self.vis.capacity()
-            + self.level.capacity()
-            + self.parent.capacity()
             + self.succ.capacity()
             + self.label_stamp.capacity()
             + self.label_parent.capacity()
@@ -267,7 +252,6 @@ impl EmbedScratch {
             + self.next.capacity()
             + self.bstar.capacity()
             + self.level_offsets.capacity()
-            + self.live_necks.capacity()
             + self.members.capacity())
             + (self.fwd8.capacity() + self.bwd8.capacity() + self.vis8.capacity())
             + self.bits.allocated_bytes()
@@ -275,7 +259,7 @@ impl EmbedScratch {
             + self.plvl.allocated_bytes()
             + self.pbest.allocated_bytes()
             + 8 * self.exit_bits.capacity()
-            + 8 * (self.best_key.capacity() + self.group_entries.capacity())
+            + 8 * self.group_entries.capacity()
             + std::mem::size_of::<usize>() * self.cycle.capacity()
     }
 
@@ -283,13 +267,7 @@ impl EmbedScratch {
     fn prepare(&mut self, t: &EngineTables) {
         if self.stamp == u32::MAX {
             // Stamp wrap-around (once per 2^32 calls): forget all slots.
-            for arr in [
-                &mut self.faulty,
-                &mut self.best_stamp,
-                &mut self.probe,
-                &mut self.vis,
-                &mut self.label_stamp,
-            ] {
+            for arr in [&mut self.faulty, &mut self.probe, &mut self.label_stamp] {
                 arr.iter_mut().for_each(|s| *s = 0);
             }
             // The packed (stamp | level) slots of the parallel engine carry
@@ -301,12 +279,7 @@ impl EmbedScratch {
         }
         self.stamp += 1;
         grow(&mut self.faulty, t.n_necks);
-        grow(&mut self.best_stamp, t.n_necks);
-        grow(&mut self.best_key, t.n_necks);
         grow(&mut self.probe, t.n_nodes);
-        grow(&mut self.vis, t.n_nodes);
-        grow(&mut self.level, t.n_nodes);
-        grow(&mut self.parent, t.n_nodes);
         grow(&mut self.succ, t.n_nodes);
         grow(&mut self.label_stamp, t.suffix_count);
         grow(&mut self.label_parent, t.suffix_count);
@@ -321,7 +294,6 @@ impl EmbedScratch {
         reserve(&mut self.next, t.n_nodes);
         reserve(&mut self.bstar, t.n_nodes);
         reserve(&mut self.level_offsets, t.n_nodes + 2);
-        reserve(&mut self.live_necks, t.n_necks);
         reserve(&mut self.group_entries, 2 * t.n_necks);
         reserve(&mut self.members, t.n_necks);
         reserve(&mut self.cycle, t.n_nodes);
@@ -399,6 +371,11 @@ impl Ffc {
 
     /// [`Ffc::with_shards`] with the [`Ffc::try_new`] error contract.
     ///
+    /// `shards` is a request, not a mandate: the construction clamps it
+    /// through [`crate::bitreach::effective_shards`] so oversubscribed or
+    /// too-small-to-shard table fills never pay thread overhead for
+    /// nothing (the tables are bit-identical at any count either way).
+    ///
     /// # Errors
     /// Returns [`SpaceTooLarge`] when d^n exceeds [`u32::MAX`] (or
     /// overflows u64 entirely).
@@ -409,6 +386,7 @@ impl Ffc {
                 n_nodes: Some(n_nodes),
             });
         }
+        let shards = crate::bitreach::effective_shards(shards, n_nodes as usize);
         Ok(Self::build(d, n, shards))
     }
 
@@ -544,24 +522,52 @@ impl Ffc {
     ///   threads;
     /// * the level-CSR scatter (stamping each B* node's broadcast level)
     ///   and the per-necklace earliest-member reduction are fused into
-    ///   one sharded pass over the emitted levels;
-    /// * spanning-tree parents are computed **only for the d^n/n chosen
-    ///   necklace nodes** (a packed stamp|level slot makes each lookup
-    ///   one random read), not for every node of B*;
-    /// * the successor function is never materialised for
-    ///   necklace-following nodes: the streaming cycle readoff computes
-    ///   the rotation arithmetically and consults the override slots only
-    ///   at w-edge exits, flagged by an L2-resident exit bitmap.
+    ///   one sharded pass over the emitted levels — cross-shard safe via
+    ///   an atomic min, lock-free single-writer at one shard.
     ///
-    /// Those last three make the path faster than [`Ffc::embed_into`]
-    /// even at `shards == 1` (where no threads are spawned at all) —
-    /// see the `"mode": "full"` tiers of `BENCH_ffc.json`. `shards` is
-    /// clamped to at least 1; `shards - 1` scoped worker threads are
-    /// spawned per call, so steady-state callers on small graphs should
-    /// keep `shards == 1`. Root selection follows [`Ffc::embed_into`].
-    /// After warm-up the call performs no heap allocation beyond the
-    /// worker threads themselves.
+    /// The structural optimisations that debuted on this path — lazy
+    /// spanning-tree parents (computed only for the d^n/n chosen
+    /// necklace nodes) and the streaming cycle readoff (arithmetic
+    /// rotation plus an L2-resident exit bitmap, no materialised
+    /// successor array) — are now shared by [`Ffc::embed_into`], so at
+    /// `shards == 1` (where the leader runs every shard inline) the two
+    /// entry points perform the same work — see the `"mode": "full"`
+    /// tiers of `BENCH_ffc.json`. `shards`
+    /// is a request: the call clamps it through
+    /// [`crate::bitreach::effective_shards`], so asking for more shards
+    /// than the host has cores — or than the graph has work — costs
+    /// nothing. The `shards - 1` workers live in a persistent pool
+    /// inside the scratch ([`shardpool::ShardPool`]): they are spawned
+    /// once and reused across calls, synchronising on sense-reversing
+    /// atomic barriers instead of re-spawning per level. Root selection
+    /// follows [`Ffc::embed_into`]. After warm-up the call performs no
+    /// heap allocation (the pool threads included).
     pub fn embed_into_parallel(
+        &self,
+        scratch: &mut EmbedScratch,
+        faulty_nodes: &[usize],
+        shards: usize,
+    ) -> EmbedStats {
+        let shards = crate::bitreach::effective_shards(shards, self.tables.n_nodes);
+        if shards == 1 {
+            // One shard *is* the serial pipeline — same phases, same
+            // passes — so run the same compiled path too, instead of a
+            // second monomorphization whose code layout can drift a few
+            // percent either way.
+            return self.engine_embed(scratch, faulty_nodes, None);
+        }
+        self.engine_embed_parallel(scratch, faulty_nodes, shards)
+    }
+
+    /// [`Ffc::embed_into_parallel`] without the
+    /// [`crate::bitreach::effective_shards`] clamp: runs exactly
+    /// `shards.max(1)` shards regardless of host core count or graph
+    /// size. The differential suites and benches use this to pin the
+    /// bit-identical contract at shard counts the heuristic would fold
+    /// away (non-power-of-two counts, counts above
+    /// `available_parallelism`); production callers want the clamped
+    /// variant.
+    pub fn embed_into_parallel_exact(
         &self,
         scratch: &mut EmbedScratch,
         faulty_nodes: &[usize],

@@ -13,7 +13,7 @@
 
 use crate::bitreach::AtomicCells;
 
-use super::{EmbedScratch, EmbedStats, Ffc, NONE};
+use super::{EmbedScratch, EmbedStats, Ffc};
 
 impl Ffc {
     /// The reachability passes of [`Ffc::embed_stats_into_u8`] (the
@@ -144,10 +144,21 @@ impl Ffc {
 
     /// One full embedding on reusable state, as the explicit serial phase
     /// pipeline: fault marking, root selection, the reachability snapshot,
-    /// the broadcast/spanning-tree phase, necklace selection, w-group
-    /// wiring and the cycle readoff. `forced_root` is `Some` for
-    /// [`Ffc::embed_into_from`] (panics if its necklace is faulty) and
-    /// `None` for the default-root-with-repair policy of [`Ffc::embed_into`].
+    /// the level-emitting broadcast, necklace selection, w-group wiring
+    /// and the streaming cycle readoff. Necklace selection runs the fused
+    /// level-scatter of [`Ffc::phase_necklace_selection_par`] at one shard
+    /// — spanning-tree parents are derived lazily per necklace from the
+    /// packed level slots instead of materialising a whole-B* parent
+    /// array (the differential suites pin both flavours byte-identical).
+    /// The readoff is the same arithmetic-rotation walk as the parallel
+    /// engine's: no per-node successor array is materialised and the
+    /// override slots are consulted only where the exit bitmap is set —
+    /// a pointer-chase through a B*-sized successor array is one
+    /// dependent DRAM load per ring node, and it dominated the serial
+    /// embed at a million nodes.
+    /// `forced_root` is `Some` for [`Ffc::embed_into_from`] (panics if
+    /// its necklace is faulty) and `None` for the
+    /// default-root-with-repair policy of [`Ffc::embed_into`].
     pub(crate) fn engine_embed(
         &self,
         s: &mut EmbedScratch,
@@ -156,6 +167,7 @@ impl Ffc {
     ) -> EmbedStats {
         let t = &self.tables;
         s.prepare(t);
+        s.prepare_parallel(t);
         // The bit scratch sizes its bitmaps and clears the fault mask
         // here, not in `prepare` — the u8 oracle path never pays for it.
         t.reach.prepare(&mut s.bits);
@@ -163,11 +175,10 @@ impl Ffc {
         let (faulty_necklaces, removed_nodes) = self.mark_faults_bits(s, faulty_nodes);
         let (root, root_neck) = self.phase_select_root(s, forced_root);
         let component_size = self.phase_reachability_snapshot(s, root, removed_nodes);
-        let eccentricity = self.phase_broadcast_tree(s, root, component_size);
-        self.phase_necklace_selection(s, root_neck);
-        self.phase_successor_defaults(s);
-        self.wire_w_groups(s, false);
-        self.phase_readoff(s, root, component_size);
+        let eccentricity = self.phase_broadcast_levels(s, root, component_size);
+        self.phase_necklace_selection_par(s, root_neck, 1);
+        self.wire_w_groups(s);
+        self.phase_readoff_streaming(s, root, component_size);
 
         EmbedStats {
             root,
@@ -231,150 +242,38 @@ impl Ffc {
         reach.component_size(&s.bits, removed_nodes)
     }
 
-    /// Broadcast/spanning-tree phase (Step 1.1), serial flavour: the bit
-    /// engine runs the frontier expansion and emits the reached nodes
-    /// level by level into `bstar` (which therefore lists exactly B*); the
-    /// spanning-tree parents are then assigned per level with the paper's
-    /// minimal-predecessor tie-break: a node reached at level l+1 hangs
-    /// off its minimal predecessor at level l. Scanning a node's d
-    /// predecessors once is equivalent to the old per-edge min-update over
-    /// the frontier, and independent of scan order. Returns the broadcast
-    /// depth (the root's eccentricity within B*).
-    pub(crate) fn phase_broadcast_tree(
+    /// Broadcast phase (Step 1.1), serial flavour: the bit engine runs the
+    /// frontier expansion and emits the reached nodes level by level into
+    /// `bstar` (which therefore lists exactly B*, with `level_offsets` the
+    /// CSR level boundaries). The spanning tree itself is *not*
+    /// materialised — necklace selection derives the parent of each chosen
+    /// node lazily from the packed level slots, once per necklace instead
+    /// of once per node. Returns the broadcast depth (the root's
+    /// eccentricity within B*).
+    pub(crate) fn phase_broadcast_levels(
         &self,
         s: &mut EmbedScratch,
         root: usize,
         component_size: usize,
     ) -> usize {
         let t = &self.tables;
-        let (d, suffix) = (t.d, t.suffix_count);
-        let stamp = s.stamp;
         let (reached, depth) =
             t.reach
                 .broadcast_levels(&mut s.bits, root, &mut s.bstar, &mut s.level_offsets);
         debug_assert_eq!(reached, component_size, "broadcast must cover B*");
-        let _ = component_size;
-        s.vis[root] = stamp;
-        s.level[root] = 0;
-        s.parent[root] = NONE;
-        for l in 1..=depth {
-            let lo = s.level_offsets[l] as usize;
-            let hi = s.level_offsets[l + 1] as usize;
-            for idx in lo..hi {
-                let u = s.bstar[idx] as usize;
-                let base = u / d;
-                let mut best = NONE;
-                for a in 0..d {
-                    let p = base + a * suffix;
-                    if s.vis[p] == stamp && s.level[p] == (l - 1) as u32 && (p as u32) < best {
-                        best = p as u32;
-                    }
-                }
-                debug_assert!(best != NONE, "level-{l} node with no frontier predecessor");
-                s.vis[u] = stamp;
-                s.level[u] = l as u32;
-                s.parent[u] = best;
-            }
-        }
+        let _ = (reached, component_size);
         depth
-    }
-
-    /// Necklace-selection phase (Steps 1.2 and 2), serial flavour: for
-    /// every non-root live necklace of B*, the member Y reached earliest
-    /// (ties: minimal id) defines the tree edge — its (n−1)-digit prefix
-    /// is the label w, its BFS parent's necklace the parent in T. The tree
-    /// edges are then grouped by label into the sorted `group_entries`
-    /// runs [`Ffc::wire_w_groups`] consumes. Flat arrays replace the
-    /// reference implementation's two hash maps: `label_parent` records
-    /// the single parent necklace of T_w (height-one property), and the
-    /// packed (label, necklace) records are sorted so each group is a
-    /// contiguous run, in necklace-id order.
-    pub(crate) fn phase_necklace_selection(&self, s: &mut EmbedScratch, root_neck: usize) {
-        let t = &self.tables;
-        let (d, suffix) = (t.d, t.suffix_count);
-        let membership = self.partition.membership();
-        let stamp = s.stamp;
-        for &v in &s.bstar {
-            let v = v as usize;
-            debug_assert!(s.vis[v] == stamp, "B* node not reached by the broadcast");
-            let nid = membership[v] as usize;
-            if nid == root_neck {
-                continue;
-            }
-            let key = (u64::from(s.level[v]) << 32) | v as u64;
-            if s.best_stamp[nid] != stamp {
-                s.best_stamp[nid] = stamp;
-                s.best_key[nid] = key;
-                s.live_necks.push(nid as u32);
-            } else if key < s.best_key[nid] {
-                s.best_key[nid] = key;
-            }
-        }
-        for &nid in &s.live_necks {
-            let nid = nid as usize;
-            let chosen = (s.best_key[nid] & u64::from(u32::MAX)) as usize;
-            let parent = s.parent[chosen] as usize;
-            debug_assert!(parent != NONE as usize, "non-root necklace chose the root");
-            let label = chosen / d; // the (n−1)-digit prefix of Y
-            debug_assert_eq!(parent % suffix, label);
-            let parent_neck = membership[parent] as usize;
-            if s.label_stamp[label] != stamp {
-                s.label_stamp[label] = stamp;
-                s.label_parent[label] = parent_neck as u32;
-                s.group_entries
-                    .push(((label as u64) << 32) | parent_neck as u64);
-            } else {
-                debug_assert_eq!(
-                    s.label_parent[label] as usize, parent_neck,
-                    "T_w must have a single parent necklace (height-one property)"
-                );
-            }
-            s.group_entries.push(((label as u64) << 32) | nid as u64);
-        }
-        s.group_entries.sort_unstable();
-    }
-
-    /// Successor-default phase (the head of Step 3), serial flavour: every
-    /// B* node starts by following its necklace (left rotation); the
-    /// w-group wiring then overrides the exits. The parallel engine skips
-    /// this phase entirely — its streaming readoff computes the rotation
-    /// arithmetically.
-    pub(crate) fn phase_successor_defaults(&self, s: &mut EmbedScratch) {
-        let t = &self.tables;
-        let (d, suffix) = (t.d, t.suffix_count);
-        for &v in &s.bstar {
-            let v = v as usize;
-            s.succ[v] = ((v % suffix) * d + v / suffix) as u32;
-        }
-    }
-
-    /// Cycle-readoff phase, serial flavour: pointer-chases the
-    /// materialised successor array from the root into the scratch's cycle
-    /// buffer.
-    pub(crate) fn phase_readoff(&self, s: &mut EmbedScratch, root: usize, component_size: usize) {
-        let mut v = root;
-        loop {
-            s.cycle.push(v);
-            v = s.succ[v] as usize;
-            if v == root {
-                break;
-            }
-            debug_assert!(
-                s.cycle.len() <= component_size,
-                "successor walk escaped B* or looped early"
-            );
-        }
-        let _ = component_size;
     }
 
     /// The Step 2 → Step 3 wiring shared by the serial and parallel
     /// engines: walks the sorted `group_entries` runs, closes each
     /// w-group (children + parent necklace, in necklace-id order) into a
     /// directed cycle of w-edges — the modified tree D — and writes the
-    /// successor override of every w-edge. With `mark_exit_bits` the exit
-    /// nodes are additionally recorded in the word-packed exit bitmap the
-    /// parallel engine's streaming readoff tests.
-    fn wire_w_groups(&self, s: &mut EmbedScratch, mark_exit_bits: bool) {
+    /// successor override of every w-edge into the override slots plus
+    /// the word-packed exit bitmap the streaming readoff tests. Nodes
+    /// without an exit bit never have their override slot read, so no
+    /// per-node successor default is ever materialised.
+    fn wire_w_groups(&self, s: &mut EmbedScratch) {
         let t = &self.tables;
         let (d, suffix) = (t.d, t.suffix_count);
         let membership = self.partition.membership();
@@ -403,9 +302,7 @@ impl Ffc {
             for_each_w_edge(d, suffix, membership, label, members, |exit, entry| {
                 debug_assert!(t.reach.in_bstar(bits, entry));
                 succ[exit] = entry as u32;
-                if mark_exit_bits {
-                    exit_bits[exit / 64] |= 1u64 << (exit % 64);
-                }
+                exit_bits[exit / 64] |= 1u64 << (exit % 64);
             });
             i = j;
         }
@@ -432,7 +329,7 @@ impl Ffc {
         let (component_size, eccentricity) =
             self.phase_reachability_snapshot_par(s, root, removed_nodes, shards);
         self.phase_necklace_selection_par(s, root_neck, shards);
-        self.wire_w_groups(s, true);
+        self.wire_w_groups(s);
         self.phase_readoff_streaming(s, root, component_size);
 
         EmbedStats {
@@ -577,7 +474,7 @@ impl Ffc {
         s.group_entries.sort_unstable();
     }
 
-    /// Cycle-readoff phase, streaming flavour: necklace rotation is
+    /// Cycle-readoff phase, shared by both engines: necklace rotation is
     /// arithmetic, the exit bitmap says when to consult the override slot
     /// instead.
     pub(crate) fn phase_readoff_streaming(
@@ -679,7 +576,7 @@ fn scan_levels<const ATOMIC: bool>(
     }
 }
 
-/// The parallel engine's streaming readoff: walks the successor
+/// The streaming readoff both engines share: walks the successor
 /// permutation from `root` into the scratch's cycle buffer, computing
 /// the necklace rotation arithmetically and consulting the override
 /// slot only where the exit bitmap is set. `POW2` compiles the rotation

@@ -1426,10 +1426,13 @@ impl RingMaintainer {
     }
 
     /// A maintainer whose rebuild fallbacks run the sharded level-emitting
-    /// passes over `shards` scoped threads (clamped to at least 1). The
-    /// session state is bit-identical at any shard count; the delta passes
-    /// themselves are serial — their work is proportional to the affected
-    /// cones, far below any threading threshold.
+    /// passes over `shards` pool workers. The count is a request: each
+    /// rebuild clamps it through [`crate::bitreach::effective_shards`]
+    /// for the graph it runs on ([`RingMaintainer::effective_shards`]
+    /// reports the resolved value). The session state is bit-identical at
+    /// any shard count; the delta passes themselves are serial — their
+    /// work is proportional to the affected cones, far below any
+    /// threading threshold.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
         RingMaintainer {
@@ -1452,11 +1455,20 @@ impl RingMaintainer {
         self
     }
 
-    /// Sets the rebuild shard count for future events without discarding
-    /// the warmed session state (the in-place twin of
-    /// [`RingMaintainer::with_shards`]).
+    /// Sets the requested rebuild shard count for future events without
+    /// discarding the warmed session state (the in-place twin of
+    /// [`RingMaintainer::with_shards`]; the same
+    /// [`crate::bitreach::effective_shards`] clamp applies per rebuild).
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = shards.max(1);
+    }
+
+    /// The shard count rebuilds actually run with on `ffc`: the requested
+    /// count folded through [`crate::bitreach::effective_shards`] for the
+    /// host's core count and `ffc`'s node count.
+    #[must_use]
+    pub fn effective_shards(&self, ffc: &Ffc) -> usize {
+        crate::bitreach::effective_shards(self.shards, ffc.tables.n_nodes)
     }
 
     /// The persisted phase outputs (stats, ring, B* membership, levels).
@@ -1514,7 +1526,7 @@ impl RingMaintainer {
                 self.session.sync_exclusion(ffc, v);
             }
         }
-        self.session.rebuild(ffc, self.shards.max(1));
+        self.session.rebuild(ffc, self.effective_shards(ffc));
         self.repairs.rebuilds += 1;
         Ok(self.session.outcome())
     }
@@ -1563,7 +1575,7 @@ impl RingMaintainer {
                 self.repairs.rebuilds += 1;
             }
             Some(root) if root != self.session.root => {
-                self.session.rebuild(ffc, self.shards.max(1));
+                self.session.rebuild(ffc, self.effective_shards(ffc));
                 self.repairs.rebuilds += 1;
             }
             Some(_) => {
@@ -1571,7 +1583,7 @@ impl RingMaintainer {
                 match (budget > 0).then(|| self.session.delta_batch(ffc, budget)) {
                     Some(Ok(())) => self.repairs.incremental += 1,
                     _ => {
-                        self.session.rebuild(ffc, self.shards.max(1));
+                        self.session.rebuild(ffc, self.effective_shards(ffc));
                         self.repairs.rebuilds += 1;
                     }
                 }

@@ -509,9 +509,12 @@ fn bit_stats_match_u8_on_b2_14_across_density_regimes() {
 
 /// Satellite exhaustive differential: the parallel engine must
 /// reproduce the serial engine's stats **and cycle bytes** for every
-/// fault set of size ≤ 2 on B(2,5) and B(3,3), at shard counts 1, 2
-/// and 5 (B(3,3) and B(2,5) both delegate the reachability passes —
-/// non-pow2 / sub-word shapes — so this also pins the delegation).
+/// fault set of size ≤ 2 on B(2,5) and B(3,3), at shard counts 1, 2,
+/// 3, 5 and 7 — non-power-of-two counts included — plus 64, far above
+/// any host's `available_parallelism` (B(3,3) and B(2,5) both delegate
+/// the reachability passes — non-pow2 / sub-word shapes — so this also
+/// pins the delegation). Uses the `_exact` variant so the
+/// effective-shards clamp cannot fold the counts away.
 #[test]
 fn parallel_engine_matches_serial_exhaustively_on_small_fault_sets() {
     for (d, n) in [(2u64, 5u32), (3, 3)] {
@@ -528,8 +531,8 @@ fn parallel_engine_matches_serial_exhaustively_on_small_fault_sets() {
         }
         for faults in &fault_sets {
             let want = ffc.embed_into(&mut serial, faults);
-            for shards in [1usize, 2, 5] {
-                let got = ffc.embed_into_parallel(&mut par, faults, shards);
+            for shards in [1usize, 2, 3, 5, 7, 64] {
+                let got = ffc.embed_into_parallel_exact(&mut par, faults, shards);
                 assert_eq!(
                     got, want,
                     "stats diverge for {faults:?} x{shards} B({d},{n})"
@@ -546,9 +549,9 @@ fn parallel_engine_matches_serial_exhaustively_on_small_fault_sets() {
 
 /// Satellite property test: on B(2,14) the parallel engine must match
 /// the serial engine under fault loads on both sides of the
-/// density-switch threshold, at shards 1, 2 and 5 — light loads run
-/// the sharded dense sweeps, heavy loads keep every level in the
-/// leader's sparse regime.
+/// density-switch threshold, at shards 1, 2, 3, 5 and 7 (forced via
+/// the `_exact` variant) — light loads run the sharded dense sweeps,
+/// heavy loads keep every level in the leader's sparse regime.
 #[test]
 fn parallel_engine_matches_serial_on_b2_14_across_density_regimes() {
     use rand::rngs::StdRng;
@@ -561,8 +564,8 @@ fn parallel_engine_matches_serial_on_b2_14_across_density_regimes() {
     let mut rng = StdRng::seed_from_u64(0xFA12);
     let mut check = |faults: &[usize]| {
         let want = ffc.embed_into(&mut serial, faults);
-        for shards in [1usize, 2, 5] {
-            let got = ffc.embed_into_parallel(&mut par, faults, shards);
+        for shards in [1usize, 2, 3, 5, 7] {
+            let got = ffc.embed_into_parallel_exact(&mut par, faults, shards);
             assert_eq!(got, want, "{} faults x{shards}", faults.len());
             assert_eq!(
                 par.cycle(),
@@ -587,8 +590,9 @@ fn parallel_engine_matches_serial_on_b2_14_across_density_regimes() {
 }
 
 /// The parallel engine honours the scratch's no-allocation contract
-/// once warmed up at a fixed (d, n) and shard count (worker threads
-/// aside — those are scoped and carry no scratch state).
+/// once warmed up at a fixed (d, n) and shard count. The pool workers
+/// persist inside the scratch, so after warm-up not even thread spawns
+/// remain (`_exact` keeps the clamp from folding the 3-shard case).
 #[test]
 fn parallel_engine_does_not_allocate_after_warmup() {
     use rand::rngs::StdRng;
@@ -598,15 +602,15 @@ fn parallel_engine_does_not_allocate_after_warmup() {
     let mut scratch = EmbedScratch::new();
     let mut rng = StdRng::seed_from_u64(77);
     for shards in [1usize, 3] {
-        let _ = ffc.embed_into_parallel(&mut scratch, &[], shards);
-        let _ = ffc.embed_into_parallel(&mut scratch, &[1], shards);
+        let _ = ffc.embed_into_parallel_exact(&mut scratch, &[], shards);
+        let _ = ffc.embed_into_parallel_exact(&mut scratch, &[1], shards);
         let heavy: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
-        let _ = ffc.embed_into_parallel(&mut scratch, &heavy, shards);
+        let _ = ffc.embed_into_parallel_exact(&mut scratch, &heavy, shards);
         let warm = scratch.allocated_bytes();
         for trial in 0..60 {
             let f = [0usize, 5, 40, 300][trial % 4];
             let faults: Vec<usize> = (0..f).map(|_| rng.gen_range(0..total)).collect();
-            let _ = ffc.embed_into_parallel(&mut scratch, &faults, shards);
+            let _ = ffc.embed_into_parallel_exact(&mut scratch, &faults, shards);
             assert_eq!(
                 scratch.allocated_bytes(),
                 warm,
@@ -614,6 +618,34 @@ fn parallel_engine_does_not_allocate_after_warmup() {
             );
         }
     }
+}
+
+/// The effective-shards clamp: a huge requested shard count on a small
+/// graph folds to 1 and the clamped entry point stays byte-identical
+/// to the serial engine (the public contract of
+/// [`Ffc::embed_into_parallel`] vs the `_exact` escape hatch).
+#[test]
+fn embed_into_parallel_clamps_oversubscribed_shard_requests() {
+    let ffc = Ffc::new(2, 10);
+    let mut serial = EmbedScratch::new();
+    let mut par = EmbedScratch::new();
+    for faults in [vec![], vec![7usize], vec![3, 99, 500]] {
+        let want = ffc.embed_into(&mut serial, &faults);
+        let got = ffc.embed_into_parallel(&mut par, &faults, 1 << 20);
+        assert_eq!(got, want, "stats diverge for {faults:?} under the clamp");
+        assert_eq!(par.cycle(), serial.cycle());
+    }
+    // The heuristic itself: small graphs fold any request to one shard;
+    // the node-count bound scales while the CPU bound caps.
+    use crate::bitreach::{effective_shards, MIN_NODES_PER_SHARD};
+    assert_eq!(effective_shards(1 << 20, 1024), 1);
+    assert_eq!(effective_shards(0, 1024), 1);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    assert_eq!(
+        effective_shards(1 << 20, 64 * MIN_NODES_PER_SHARD),
+        cpus.min(64)
+    );
+    assert_eq!(effective_shards(1, 64 * MIN_NODES_PER_SHARD), 1);
 }
 
 /// Satellite regression: oversized spaces are rejected with the typed
@@ -639,11 +671,12 @@ fn new_panics_on_oversized_spaces() {
 }
 
 /// Satellite audit: `EmbedScratch::allocated_bytes` must account for the
-/// PR 4 parallel-path buffers — `ParBitScratch`, the exit bitmap and the
-/// packed (stamp|level) / best-key atomic slots. Warming the parallel
-/// path after a serial-only warm-up sizes exactly those buffers, so the
-/// accounting must strictly grow (and then hold, per
-/// `parallel_engine_does_not_allocate_after_warmup`).
+/// parallel-path buffers. The serial engine shares the selection
+/// machinery (packed (stamp|level) / best-key slots, exit bitmap), so
+/// after a serial warm-up only `ParBitScratch` — the sharded atomic
+/// bitmaps plus worker pool — is still unsized; warming the parallel
+/// path must grow the accounting by at least that much (and then hold,
+/// per `parallel_engine_does_not_allocate_after_warmup`).
 #[test]
 fn allocated_bytes_accounts_for_parallel_path_buffers() {
     let ffc = Ffc::new(2, 10);
@@ -651,19 +684,20 @@ fn allocated_bytes_accounts_for_parallel_path_buffers() {
     let _ = ffc.embed_into(&mut scratch, &[]);
     let _ = ffc.embed_into(&mut scratch, &[1, 5, 9]);
     let serial_only = scratch.allocated_bytes();
-    let _ = ffc.embed_into_parallel(&mut scratch, &[1, 5, 9], 2);
+    // The shared selection buffers are already sized by the serial engine.
+    assert!(scratch.plvl.allocated_bytes() > 0);
+    assert!(scratch.pbest.allocated_bytes() > 0);
+    // The exact variant bypasses the effective-shards clamp (B(2,10) is
+    // far below MIN_NODES_PER_SHARD) so the sharded passes really run.
+    let _ = ffc.embed_into_parallel_exact(&mut scratch, &[1, 5, 9], 2);
     let with_parallel = scratch.allocated_bytes();
     assert!(
         with_parallel > serial_only,
-        "parallel-path buffers (ParBitScratch, exit bitmap, packed slots) \
-         are missing from the accounting: {with_parallel} <= {serial_only}"
+        "parallel-path buffers (ParBitScratch) are missing from the \
+         accounting: {with_parallel} <= {serial_only}"
     );
-    // The delta is at least the four parallel-only structures' sizes.
-    let floor = scratch.pbits.allocated_bytes()
-        + scratch.plvl.allocated_bytes()
-        + scratch.pbest.allocated_bytes()
-        + 8 * scratch.exit_bits.capacity();
-    assert!(with_parallel - serial_only >= floor);
+    // The delta is at least the sharded atomic bitmaps' size.
+    assert!(with_parallel - serial_only >= scratch.pbits.allocated_bytes());
 }
 
 // ------------------------------------------------------------------

@@ -53,7 +53,10 @@ pub struct ServeOptions {
     /// granularity for repair throughput: k queued events cost one fused
     /// delta pass and one publication instead of k.
     pub coalesce: usize,
-    /// Shard count for the maintainer's rebuild fallbacks.
+    /// Requested shard count for the maintainer's rebuild fallbacks.
+    /// Clamped per rebuild through [`crate::bitreach::effective_shards`]
+    /// (host core count, graph size); [`ServiceReport::effective_shards`]
+    /// records the resolved value.
     pub shards: usize,
     /// Slot count of the epoch publication cell (how many recent
     /// generations stay pinned by the cell itself).
@@ -128,6 +131,10 @@ pub struct ServiceReport {
     pub repairs: RepairStats,
     /// Outcome after the last absorbed batch (`None` if no event arrived).
     pub final_outcome: Option<RepairOutcome>,
+    /// Shard count the maintainer's rebuilds actually ran with:
+    /// [`ServeOptions::shards`] folded through
+    /// [`crate::bitreach::effective_shards`].
+    pub effective_shards: usize,
 }
 
 impl ServiceReport {
@@ -437,6 +444,7 @@ fn writer_loop(
     report.shared_membership = publisher.shared_membership();
     report.reclaimed_buffers = publisher.reclaimed();
     report.repairs = maint.repairs();
+    report.effective_shards = maint.effective_shards(ffc);
     report
 }
 
@@ -490,6 +498,9 @@ mod tests {
             "one publication per batch plus the initial one"
         );
         assert_eq!(report.repair_ns.len(), report.publish_ns.len());
+        // B(2,5) is far below MIN_NODES_PER_SHARD: the heuristic folds
+        // the requested single shard to exactly one effective shard.
+        assert_eq!(report.effective_shards, 1);
         // After drain the fault set is empty again: the final snapshot is
         // the healthy ring and the reader observes it.
         let snap = reader.snapshot();

@@ -1,0 +1,432 @@
+//! Offline stand-in for a rayon-style scoped worker pool: a small set of
+//! **persistent** worker threads that repeatedly execute borrowed closures,
+//! plus a **sense-reversing spin barrier** for intra-job level
+//! synchronisation. There is no registry access in this build environment,
+//! so — per the `vendor/` policy — this is a minimal, fully tested local
+//! implementation rather than a dependency.
+//!
+//! Why it exists: `std::thread::scope` pays a thread spawn + join per call,
+//! and `std::sync::Barrier` parks threads through a mutex/condvar pair —
+//! both fine for coarse jobs, ruinous when a job synchronises per BFS level
+//! (microseconds of work between waits). [`ShardPool`] spawns its threads
+//! once and reuses them across jobs, and [`SenseBarrier`] synchronises with
+//! two atomics and bounded spinning.
+//!
+//! # Job protocol
+//!
+//! [`ShardPool::run`] publishes a borrowed `Fn(usize)` job to the workers,
+//! runs the leader closure on the calling thread (which conventionally acts
+//! as participant 0), and returns only after every worker has finished the
+//! job — so the borrow of captured state ends before `run` returns, exactly
+//! like `std::thread::scope`. A single `Mutex`/`Condvar` round trip per
+//! **job** (not per level) is the only blocking synchronisation; everything
+//! inside the job uses [`SenseBarrier`].
+//!
+//! Worker panics are caught, the job is drained, and `run` re-raises a
+//! panic on the caller thread — a poisoned pool is never silently reused.
+//!
+//! # SenseBarrier soundness
+//!
+//! `wait` increments `count` with `AcqRel`; the last arriver resets `count`
+//! and bumps `sense` with `Release`, and every spinner re-reads `sense`
+//! with `Acquire`. The release/acquire pair on `sense` (plus the RMW chain
+//! on `count`) gives happens-before from all writes before any `wait` to
+//! all reads after every `wait`. The sense value is a wrapping counter, so
+//! consecutive barrier episodes can never be confused (no ABA).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A sense-reversing spin barrier for `parties` participants.
+///
+/// Unlike `std::sync::Barrier` this never touches a mutex: arrival is one
+/// `fetch_add` and departure is a bounded spin on an atomic counter, which
+/// is what per-level synchronisation in a bitmap sweep can afford. Spinners
+/// yield to the scheduler every 64 iterations so oversubscribed boxes (more
+/// parties than cores) still make progress.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicUsize,
+}
+
+impl SenseBarrier {
+    /// A barrier for `parties` participants (at least 1).
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        Self {
+            parties: parties.max(1),
+            count: AtomicUsize::new(0),
+            sense: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all `parties` participants have called `wait` for this
+    /// episode. The last arriver releases the others; no participant can
+    /// race into the next episode and confuse it with this one because the
+    /// sense is a wrapping episode counter.
+    pub fn wait(&self) {
+        let ticket = self.sense.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(ticket.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) == ticket {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed job, type-erased so it can cross the worker channel. The
+/// pointee outlives the job because [`ShardPool::run`] does not return (and
+/// thus does not end the borrow) until `remaining` drops to zero.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    workers: usize,
+}
+
+// SAFETY: the pointee is `Sync` and `run` keeps it alive (and the borrow
+// open) until every worker is done with it, so sending the raw pointer to
+// the worker threads is sound.
+unsafe impl Send for Job {}
+
+struct JobState {
+    /// Bumped once per published job; workers run a job exactly once.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers still executing (or yet to observe) the current job.
+    remaining: usize,
+    /// A worker closure panicked during the current job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A persistent pool of worker threads for sharded bitmap sweeps.
+///
+/// Threads are spawned lazily on first use (and grown on demand), then
+/// reused for every subsequent [`run`](Self::run) — the per-job cost is one
+/// mutex/condvar round trip instead of `k` thread spawns and joins.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Default for ShardPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// An empty pool; threads are spawned on first [`run`](Self::run).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(JobState {
+                    generation: 0,
+                    job: None,
+                    remaining: 0,
+                    panicked: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads currently spawned.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn ensure_workers(&mut self, want: usize) {
+        while self.handles.len() < want {
+            let idx = self.handles.len();
+            let shared = Arc::clone(&self.shared);
+            self.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("shardpool-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn shardpool worker"),
+            );
+        }
+    }
+
+    /// Runs `worker` on `extra_workers` pool threads (as participants
+    /// `1..=extra_workers`) while `leader` runs on the calling thread,
+    /// returning the leader's result once **every** participant is done.
+    ///
+    /// With `extra_workers == 0` no pool thread is touched and `leader`
+    /// simply runs inline. `worker` may borrow the caller's stack (a
+    /// `SenseBarrier`, shared buffers): the borrow provably ends before
+    /// `run` returns, even if `leader` unwinds. If any worker panics, `run`
+    /// panics after the job fully drains.
+    pub fn run<R>(
+        &mut self,
+        extra_workers: usize,
+        worker: &(dyn Fn(usize) + Sync),
+        leader: impl FnOnce() -> R,
+    ) -> R {
+        if extra_workers == 0 {
+            return leader();
+        }
+        self.ensure_workers(extra_workers);
+        // SAFETY (lifetime erasure): the `'static` below is a lie the drop
+        // guard makes true — `Complete` blocks until `remaining == 0`, so
+        // the borrow of `worker` outlives every dereference of the pointer,
+        // even if `leader` panics.
+        let f: *const (dyn Fn(usize) + Sync) = worker;
+        let f: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(f) };
+        {
+            let mut st = self.shared.state.lock().expect("shardpool lock");
+            debug_assert_eq!(st.remaining, 0, "previous job fully drained");
+            st.generation += 1;
+            st.remaining = extra_workers;
+            st.panicked = false;
+            st.job = Some(Job {
+                f,
+                workers: extra_workers,
+            });
+            self.shared.work_cv.notify_all();
+        }
+
+        struct Complete<'a> {
+            shared: &'a Shared,
+        }
+        impl Drop for Complete<'_> {
+            fn drop(&mut self) {
+                let mut st = self.shared.state.lock().expect("shardpool lock");
+                while st.remaining != 0 {
+                    st = self.shared.done_cv.wait(st).expect("shardpool wait");
+                }
+                st.job = None;
+            }
+        }
+        let guard = Complete {
+            shared: &self.shared,
+        };
+        let out = leader();
+        drop(guard);
+        let panicked = self.shared.state.lock().expect("shardpool lock").panicked;
+        assert!(!panicked, "shardpool worker panicked");
+        out
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("shardpool lock");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("shardpool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != last_gen {
+                    last_gen = st.generation;
+                    break;
+                }
+                st = shared.work_cv.wait(st).expect("shardpool wait");
+            }
+            match &st.job {
+                // A later-spawned worker is not a participant of this job.
+                Some(job) if idx < job.workers => Some(job.f),
+                _ => None,
+            }
+        };
+        let Some(f) = job else { continue };
+        // SAFETY: `run` keeps the pointee alive until `remaining == 0`,
+        // which we only signal after this call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*f)(idx + 1) }));
+        let mut st = shared.state.lock().expect("shardpool lock");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_synchronises_all_parties() {
+        let parties = 4;
+        let barrier = SenseBarrier::new(parties);
+        let phase = AtomicUsize::new(0);
+        let bad = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..parties {
+                s.spawn(|| {
+                    for level in 0..100 {
+                        // Everyone must observe the same phase between waits.
+                        if phase.load(Ordering::Acquire) != level {
+                            bad.fetch_add(1, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                        // Exactly one participant advances the phase.
+                        let _ = phase.compare_exchange(
+                            level,
+                            level + 1,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
+        assert_eq!(phase.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let barrier = SenseBarrier::new(1);
+        for _ in 0..10 {
+            barrier.wait();
+        }
+    }
+
+    #[test]
+    fn run_executes_leader_and_all_workers() {
+        let mut pool = ShardPool::new();
+        let hits = AtomicU64::new(0);
+        let out = pool.run(
+            3,
+            &|shard| {
+                hits.fetch_add(1 << (8 * shard), Ordering::Relaxed);
+            },
+            || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                42
+            },
+        );
+        assert_eq!(out, 42);
+        // Participants 0 (leader) and 1..=3 each hit their byte once.
+        assert_eq!(hits.load(Ordering::Relaxed), 0x0101_0101);
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn pool_is_reused_across_jobs_and_worker_counts() {
+        let mut pool = ShardPool::new();
+        for round in 0..20 {
+            let extra = round % 4;
+            let sum = AtomicU64::new(0);
+            pool.run(
+                extra,
+                &|shard| {
+                    sum.fetch_add(shard as u64, Ordering::Relaxed);
+                },
+                || (),
+            );
+            let want = (1..=extra as u64).sum::<u64>();
+            assert_eq!(sum.load(Ordering::Relaxed), want);
+        }
+        // Grown to the max ever requested, no more.
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn barriers_work_inside_a_job() {
+        let mut pool = ShardPool::new();
+        let parties = 4;
+        let barrier = SenseBarrier::new(parties);
+        let levels = 50usize;
+        let counters: Vec<AtomicUsize> = (0..levels).map(|_| AtomicUsize::new(0)).collect();
+        let body = |_shard: usize| {
+            for c in &counters {
+                c.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                // After the barrier every participant must see all arrivals.
+                assert_eq!(c.load(Ordering::Relaxed), parties);
+                barrier.wait();
+            }
+        };
+        pool.run(parties - 1, &body, || body(0));
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), parties);
+        }
+    }
+
+    #[test]
+    fn zero_extra_workers_runs_leader_inline() {
+        let mut pool = ShardPool::new();
+        let out = pool.run(0, &|_| unreachable!("no workers requested"), || 7);
+        assert_eq!(out, 7);
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = ShardPool::new();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                2,
+                &|shard| {
+                    if shard == 1 {
+                        panic!("boom");
+                    }
+                },
+                || (),
+            );
+        }));
+        assert!(caught.is_err(), "worker panic must surface to the caller");
+        // The pool stays usable after a drained panic.
+        let sum = AtomicU64::new(0);
+        pool.run(
+            2,
+            &|shard| {
+                sum.fetch_add(shard as u64, Ordering::Relaxed);
+            },
+            || (),
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
+    }
+}
