@@ -97,6 +97,15 @@
 //!   `vs_parallel`) is below 1.0, or any full-ring `vs_serial` /
 //!   `best_vs_serial` is below 0.9 (the no-regret floor for
 //!   oversubscribed shard requests).
+//!
+//! ATOMICS: the serve tier's `go`/`stop` flags are single-writer
+//! booleans — the driver thread alone stores them. `go` is
+//! store-Release / spin-load-Acquire so a reader's first lookup is
+//! ordered after the driver's setup; `stop` is polled with Relaxed
+//! (and stored Release) because readers only use it to exit their loop,
+//! never to receive data.
+
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -3,6 +3,8 @@
 //! Usage: `cargo run -p dbg-bench --bin figures [chapter]`
 //! where `chapter` is 1, 2, 3 or omitted for everything.
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::figures;
 
 fn main() {

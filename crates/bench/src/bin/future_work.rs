@@ -11,6 +11,8 @@
 //! do not carry over. Usage:
 //! `cargo run --release -p dbg-bench --bin future_work [trials]`
 
+#![forbid(unsafe_code)]
+
 use dbg_graph::algo::cycles::longest_cycle_brute_force;
 use dbg_graph::{DeBruijn, DiGraph};
 use dbg_necklace::NecklacePartition;

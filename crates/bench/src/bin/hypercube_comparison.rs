@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin hypercube_comparison [trials]`
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::comparison::{compare, paper_headline};
 
 fn main() {

@@ -1,6 +1,8 @@
 //! Regenerates the Chapter 4 necklace-census examples (counts by length,
 //! weight and type) and cross-checks the formulas against enumeration.
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::census::chapter_4_census;
 
 fn main() {

@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin prop_2_2_check [trials]`
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::props::node_fault_sweep;
 
 fn main() {

@@ -10,6 +10,8 @@
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin prop_3_3_check [trials]`
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::props::edge_fault_sweep_at;
 use debruijn_core::{edge_fault_tolerance, phi_edge_bound, psi};
 

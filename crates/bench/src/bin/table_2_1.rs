@@ -4,6 +4,8 @@
 //! Usage: `cargo run --release -p dbg-bench --bin table_2_1 [trials]`
 //! (default 200 trials per row; the paper does not state its trial count).
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::report::render_component_table;
 use dbg_bench::tables::{component_experiment, paper_fault_counts};
 

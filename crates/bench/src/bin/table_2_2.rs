@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin table_2_2 [trials]`
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::report::render_component_table;
 use dbg_bench::tables::{component_experiment, paper_fault_counts};
 

@@ -1,6 +1,8 @@
 //! Regenerates Table 3.1: ψ(d), the guaranteed number of edge-disjoint
 //! Hamiltonian cycles in B(d,n), for 2 ≤ d ≤ 38.
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::report::render_psi_table;
 use dbg_bench::tables::bounds_table;
 

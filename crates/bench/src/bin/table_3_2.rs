@@ -11,6 +11,8 @@
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin table_3_2 [--verify [trials]]`
 
+#![forbid(unsafe_code)]
+
 use dbg_bench::props::edge_fault_sweep;
 use dbg_bench::report::render_tolerance_table;
 use dbg_bench::tables::bounds_table;

@@ -76,6 +76,21 @@
 //! worth running: requested shards clamped by `available_parallelism`
 //! and by one shard per [`MIN_NODES_PER_SHARD`] nodes, so k shards on a
 //! small box or a small graph degrades to near-serial cost.
+//!
+//! # ATOMICS: barrier-phased relaxed cells
+//!
+//! Every `Ordering::Relaxed` in this module is an [`AtomicCells`] access
+//! (or its `sparse_len` twin) under the barrier-phased single-writer
+//! protocol: within one phase — the span between two synchronisation
+//! edges (a `SenseBarrier` crossing, the pool's job publish/drain, or an
+//! explicit [`racecheck::sync_edge`]) — every word has exactly one
+//! writing thread, and the edges provide all inter-thread ordering, so
+//! no individual access needs more than `Relaxed`. `fetch_min` is the
+//! one sanctioned multi-writer operation (a commutative cross-shard
+//! min-reduction ordered by its own RMW). The `racecheck` shadow
+//! detector stamps its shadow words with `Ordering::SeqCst` so the
+//! detector's own bookkeeping is never racy; `--features racecheck`
+//! *executes* this audit instead of trusting it.
 
 use shardpool::{SenseBarrier, ShardPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -282,22 +297,137 @@ fn grow_words(v: &mut Vec<u64>, words: usize) {
     }
 }
 
+/// Shadow race detection for [`AtomicCells`] — the `racecheck` feature.
+///
+/// The single-writer-per-word-per-phase protocol the sweep kernels rely
+/// on is a *claim* about writer scheduling, which ThreadSanitizer cannot
+/// check (to TSan every relaxed atomic access is race-free by
+/// definition). This module turns the claim into an executable
+/// assertion: every [`AtomicCells`] write stamps a shadow word with
+/// `(mode, writer thread, phase epoch)` — the epoch is the global
+/// counter `shardpool::racecheck` bumps at every synchronisation edge —
+/// and panics the moment a second thread writes the same word inside
+/// the same epoch. Concurrent `fetch_min`/`fetch_min` pairs are exempt:
+/// a commutative min-reduction is the one sanctioned multi-writer use.
+///
+/// Detection is sound but deliberately one-sided: writer-id aliasing
+/// (beyond ~32k threads) or an epoch bump landing between two racing
+/// writes can mask a report, never fabricate one. Running the full
+/// differential suites under `--features racecheck` is therefore a
+/// probabilistic race hunt with zero false alarms by construction.
+#[cfg(feature = "racecheck")]
+pub mod racecheck {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// How a cell was written. `Min`/`Min` is the one combination two
+    /// threads may legally perform on a word in the same phase.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub(crate) enum Mode {
+        Store,
+        Min,
+    }
+
+    const EPOCH_BITS: u32 = 48;
+    const EPOCH_MASK: u64 = (1 << EPOCH_BITS) - 1;
+    const WRITER_MASK: u64 = (1 << 15) - 1;
+
+    static NEXT_WRITER: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static WRITER: u64 = NEXT_WRITER.fetch_add(1, Ordering::SeqCst) & WRITER_MASK;
+    }
+
+    /// Declares a synchronisation edge for fork/join code that does not
+    /// go through the shard pool (`std::thread::scope` spawn and join):
+    /// writes before the edge belong to a different phase than writes
+    /// after it, exactly as a barrier crossing would establish.
+    pub fn sync_edge() {
+        shardpool::racecheck::bump();
+    }
+
+    /// One shadow word per cell, packed `mode:1 | writer:15 | epoch:48`.
+    /// Zero means "never written" (real epochs start at 1).
+    #[derive(Debug, Default)]
+    pub(crate) struct Shadow(Vec<AtomicU64>);
+
+    impl Shadow {
+        pub(crate) fn of_len(len: usize) -> Self {
+            let mut s = Shadow::default();
+            s.grow(len);
+            s
+        }
+
+        pub(crate) fn grow(&mut self, len: usize) {
+            if self.0.len() < len {
+                self.0.resize_with(len, AtomicU64::default);
+            }
+        }
+
+        /// Stamps cell `i` with `(mode, this thread, current epoch)` and
+        /// panics if the previous stamp proves a second writer touched
+        /// the word inside the same phase epoch. The stamp is a single
+        /// `swap`, so of two racing writers at least one observes the
+        /// other and reports.
+        pub(crate) fn record(&self, i: usize, mode: Mode) {
+            let epoch = shardpool::racecheck::epoch() & EPOCH_MASK;
+            let me = WRITER.with(|w| *w);
+            let mode_bit = match mode {
+                Mode::Store => 0u64,
+                Mode::Min => 1,
+            };
+            let pack = (mode_bit << 63) | (me << EPOCH_BITS) | epoch;
+            let prev = self.0[i].swap(pack, Ordering::SeqCst);
+            if prev == 0 {
+                return;
+            }
+            let pmode = prev >> 63;
+            let pwriter = (prev >> EPOCH_BITS) & WRITER_MASK;
+            let pepoch = prev & EPOCH_MASK;
+            if pepoch == epoch && pwriter != me && !(pmode == 1 && mode == Mode::Min) {
+                panic!(
+                    "racecheck: two writers (thread {pwriter} {} then thread {me} \
+                     {mode:?}) hit cell {i} in phase epoch {epoch} — \
+                     single-writer-per-word-per-phase violated",
+                    if pmode == 1 { "Min" } else { "Store" },
+                );
+            }
+        }
+    }
+}
+
 /// A growable vector of relaxed-atomic u64 cells — the shared-write
-/// buffers of the multi-shard passes. Every cell has exactly one writer
-/// per phase; the inter-phase barriers (or the scope join) provide the
-/// ordering, so all accesses are `Relaxed` (plain loads/stores on every
-/// mainstream ISA).
+/// buffers of the multi-shard passes, governed by the **enforced**
+/// single-writer-per-word-per-phase protocol: within one phase (the span
+/// between two synchronisation edges — barrier crossings, the pool's job
+/// publish/drain, or an explicit `racecheck::sync_edge`) every cell has
+/// exactly one writing thread, and the edges provide the ordering, so
+/// all accesses are `Relaxed` (plain loads/stores on every mainstream
+/// ISA). [`fetch_min`](Self::fetch_min) is the one sanctioned
+/// multi-writer operation: a commutative cross-shard min-reduction
+/// ordered by the cell's own RMW rather than by phases.
+///
+/// In a normal build the protocol is documentation; under
+/// `--features racecheck` every write is checked against a shadow word
+/// recording `(writer thread, phase epoch)` and a violation panics with
+/// the offending cell and threads.
 #[derive(Debug, Default)]
-pub struct AtomicCells(Vec<AtomicU64>);
+pub struct AtomicCells {
+    cells: Vec<AtomicU64>,
+    #[cfg(feature = "racecheck")]
+    shadow: racecheck::Shadow,
+}
 
 impl Clone for AtomicCells {
     fn clone(&self) -> Self {
-        AtomicCells(
-            self.0
+        AtomicCells {
+            cells: self
+                .cells
                 .iter()
                 .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
                 .collect(),
-        )
+            // The clone starts with a clean write history of its own.
+            #[cfg(feature = "racecheck")]
+            shadow: racecheck::Shadow::of_len(self.cells.len()),
+        }
     }
 }
 
@@ -305,45 +435,54 @@ impl AtomicCells {
     /// Number of cells.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.cells.len()
     }
 
     /// Whether the vector holds no cells.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.cells.is_empty()
     }
 
     /// Grows to at least `len` zeroed cells without shrinking.
     pub fn grow(&mut self, len: usize) {
-        if self.0.len() < len {
-            self.0.resize_with(len, AtomicU64::default);
+        if self.cells.len() < len {
+            self.cells.resize_with(len, AtomicU64::default);
         }
+        #[cfg(feature = "racecheck")]
+        self.shadow.grow(self.cells.len());
     }
 
     /// Relaxed load of cell `i`.
     #[inline]
     #[must_use]
     pub fn load(&self, i: usize) -> u64 {
-        self.0[i].load(Ordering::Relaxed)
+        self.cells[i].load(Ordering::Relaxed)
     }
 
     /// Relaxed store to cell `i`.
     #[inline]
     pub fn store(&self, i: usize, v: u64) {
-        self.0[i].store(v, Ordering::Relaxed);
+        #[cfg(feature = "racecheck")]
+        self.shadow.record(i, racecheck::Mode::Store);
+        self.cells[i].store(v, Ordering::Relaxed);
     }
 
     /// Relaxed atomic minimum on cell `i` (for cross-shard min-reductions).
     #[inline]
     pub fn fetch_min(&self, i: usize, v: u64) {
-        self.0[i].fetch_min(v, Ordering::Relaxed);
+        #[cfg(feature = "racecheck")]
+        self.shadow.record(i, racecheck::Mode::Min);
+        self.cells[i].fetch_min(v, Ordering::Relaxed);
     }
 
-    /// Bytes currently reserved.
+    /// Bytes currently reserved (the racecheck shadow, when compiled in,
+    /// is detector bookkeeping and deliberately not counted — the
+    /// no-allocation property tests must see identical numbers with and
+    /// without the feature).
     #[must_use]
     pub fn allocated_bytes(&self) -> usize {
-        8 * self.0.capacity()
+        8 * self.cells.capacity()
     }
 }
 

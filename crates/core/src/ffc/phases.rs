@@ -417,6 +417,13 @@ impl Ffc {
                     0..bstar.len(),
                 );
             } else {
+                // The spawns below and the implicit join at the end of the
+                // scope are this region's synchronisation edges — declare
+                // them to the shadow detector so the main thread's earlier
+                // slot initialisation (prepare_parallel) and its later
+                // reads land in different phase epochs than the scatter.
+                #[cfg(feature = "racecheck")]
+                crate::bitreach::racecheck::sync_edge();
                 std::thread::scope(|scope| {
                     for k in 1..shards {
                         let range = crate::bitreach::shard_words(bstar.len(), shards, k);
@@ -438,6 +445,10 @@ impl Ffc {
                         crate::bitreach::shard_words(bstar.len(), shards, 0),
                     );
                 });
+                // The matching join edge: whatever the caller writes next
+                // is a new phase.
+                #[cfg(feature = "racecheck")]
+                crate::bitreach::racecheck::sync_edge();
             }
         }
 

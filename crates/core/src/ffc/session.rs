@@ -1024,6 +1024,11 @@ impl EmbedSession {
         let parent = (0..d)
             .map(|a| label + a * suffix)
             .find(|&p| self.bcast_level[p] == lvl - 1)
+            // PANIC-OK: a chosen node sits at broadcast level >= 1, so one
+            // of its d predecessors was on the frontier one level up — the
+            // debug_assert above states the invariant and the exhaustive
+            // differential suites pin it; reachable only via memory
+            // corruption, never via caller input.
             .expect("chosen node with no frontier predecessor");
         (label, ffc.partition.membership()[parent] as usize)
     }
@@ -1718,6 +1723,10 @@ fn remove_child(children: &mut [u32], d: usize, label: usize, nid: u32) {
     let pos = slots
         .iter()
         .position(|&c| c == nid)
+        // PANIC-OK: callers only remove a child they previously inserted
+        // (the w-group records are repaired in lockstep with the tree);
+        // a miss means session state corruption, not bad caller input —
+        // pinned by the exhaustive repair-equality suites.
         .expect("removing a child that is not in the label's group");
     slots[pos..].rotate_left(1);
     slots[d - 1] = NONE;

@@ -381,8 +381,13 @@ impl RingService {
         drop(self.tx.take());
         self.writer
             .take()
+            // PANIC-OK: `shutdown` consumes `self` and `start` always sets
+            // the handle, so the Option is `Some` exactly once here.
             .expect("writer joined once")
             .join()
+            // PANIC-OK: the documented contract of `shutdown` — a writer
+            // panic (only a maintainer bug can cause one) is propagated to
+            // the caller, never swallowed.
             .expect("ring-service writer panicked")
     }
 }
@@ -424,12 +429,17 @@ fn writer_loop(
         // the only errors left are maintainer bugs; surface those.
         let outcome = maint
             .apply_batch(ffc, &batch)
+            // PANIC-OK: every event was validated at submission against
+            // this same shape, so a failure here is a maintainer bug;
+            // the panic is propagated to `shutdown` (see its contract).
             .expect("pre-validated batch must apply");
         let repaired = t0.elapsed().as_nanos() as u64;
         applied += batch.len() as u64;
         let t1 = Instant::now();
         let snap = maint
             .publish(&mut publisher, applied)
+            // PANIC-OK: publish can only fail before the first embed, and
+            // `start` embeds before the writer loop ever runs.
             .expect("session initialized at start");
         cell.publish(snap);
         let published = t1.elapsed().as_nanos() as u64;

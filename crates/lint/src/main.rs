@@ -1,0 +1,71 @@
+//! The `debruijn-lint` binary: lints the workspace and exits non-zero on
+//! any finding. Usage:
+//!
+//! ```text
+//! debruijn-lint [--check] [--root <dir>]
+//! ```
+//!
+//! `--check` is the CI spelling (identical behaviour — the lint always
+//! gates); `--root` overrides the workspace root, which is otherwise
+//! located by walking up from the current directory to the first
+//! directory containing a `Cargo.toml` with a `[workspace]` section.
+
+#![forbid(unsafe_code)]
+
+use debruijn_lint::{lint_workspace, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: debruijn-lint [--check] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        find_workspace_root(std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+    });
+    let diags = lint_workspace(&root, &Config::repo_default());
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("debruijn-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("debruijn-lint: {} error(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

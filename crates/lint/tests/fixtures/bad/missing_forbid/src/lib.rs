@@ -1,0 +1,5 @@
+//! A deliberately-bad fixture: a crate root without #![forbid(unsafe_code)].
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,13 @@
+// A deliberately-bad fixture: three unsafe sites with no SAFETY comment.
+pub struct Wrapper(*const u8);
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}
+
+pub fn erase(p: *const u8) -> *const u8 {
+    // An ordinary comment is not a safety argument.
+    unsafe { std::mem::transmute::<*const u8, *const u8>(p) }
+}

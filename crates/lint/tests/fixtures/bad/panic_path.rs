@@ -1,0 +1,26 @@
+//! A deliberately-bad fixture standing in for a repair/serve-path module:
+//! four naked panic-family sites, one justified site, and a test module
+//! (the last two must NOT be flagged).
+
+pub fn repair(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("repair input");
+    if a > b {
+        panic!("inconsistent");
+    }
+    todo!("finish the repair path")
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // PANIC-OK: `x` is populated by `repair` before every call, checked
+    // by the exhaustive differential suite.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+// A deliberately-bad fixture: atomic orderings with no audit header.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) -> u64 {
+    x.fetch_add(1, Ordering::Relaxed)
+}

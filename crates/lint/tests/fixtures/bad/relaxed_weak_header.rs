@@ -1,0 +1,14 @@
+//! ATOMICS: Relaxed everywhere, because it benchmarked faster.
+//!
+//! (A deliberately-bad fixture: the header names Relaxed but declares no
+//! protocol that justifies it, and the second load below is not audited
+//! at all.)
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}
+
+pub fn sync_read(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Acquire)
+}

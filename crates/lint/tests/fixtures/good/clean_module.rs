@@ -1,0 +1,53 @@
+//! A known-good fixture: every rule satisfied at once.
+//!
+//! ATOMICS: this module's cells follow a single-writer protocol — one
+//! owner thread stores with Relaxed, readers join it through the
+//! Acquire/Release pair on the ready flag (AcqRel on the RMW), SeqCst
+//! only in the shutdown edge.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(cell: &AtomicU64, ready: &AtomicBool, v: u64) {
+    cell.store(v, Ordering::Relaxed);
+    ready.store(true, Ordering::Release);
+}
+
+pub fn consume(cell: &AtomicU64, ready: &AtomicBool) -> Option<u64> {
+    if ready.swap(false, Ordering::AcqRel) {
+        Some(cell.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+pub fn shutdown(ready: &AtomicBool) {
+    ready.store(false, Ordering::SeqCst);
+}
+
+pub fn acquire_read(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Acquire)
+}
+
+/// A justified unsafe site.
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees the slice holds at least one
+    // byte, so the unchecked read is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn no_panic(x: Option<u32>) -> u32 {
+    // PANIC-OK: callers construct `x` as Some by contract; pinned by the
+    // fixture test.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_expect() {
+        assert_eq!(Some(7).unwrap(), 7);
+        let v: Result<u32, ()> = Ok(7);
+        assert_eq!(v.expect("ok"), 7);
+    }
+}

@@ -1,0 +1,6 @@
+//! A known-good crate root: declares the required forbid.
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -323,6 +323,11 @@ fn fill_members<F: FnMut(usize, u32)>(
 /// `neck_node` slice (disjoint by construction) and its members' slots of
 /// an atomic membership table (every word belongs to exactly one necklace,
 /// so the relaxed stores never race on a slot).
+///
+/// ATOMICS: single-writer Relaxed stores — every membership slot belongs
+/// to exactly one necklace and hence to exactly one shard, and the scope
+/// join publishes the table to the caller; no cross-thread read happens
+/// before the join, so no store needs release semantics.
 fn fill_members_sharded(
     necklaces: &[Necklace],
     neck_offset: &[u32],

@@ -10,6 +10,11 @@
 //! and every lap still closing into a cycle.
 //!
 //! Run with: `cargo run --release --example ring_service`
+//!
+//! ATOMICS: the demo's stop flag is a single-writer boolean — the driver
+//! thread alone stores it and readers poll it with Relaxed; every value
+//! the readers actually check flows through the epoch-published
+//! snapshots, not through this flag.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};

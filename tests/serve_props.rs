@@ -8,6 +8,10 @@
 //! B(2,5)/B(3,3) (every ≤2-node fault set, plus link-fault sequences,
 //! with a publication after every event), threaded stress on the live
 //! service, and property tests on B(2,14).
+//!
+//! ATOMICS: the stress test's stop flag is a single-writer boolean — the
+//! driver thread alone stores it, reader threads poll it with Relaxed;
+//! all checked state flows through the epoch-published snapshots.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -16,6 +16,8 @@
 //! the numbers are stable enough to compare engine variants (see
 //! `PERF.md`) and the output is greppable by scripts.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::Instant;

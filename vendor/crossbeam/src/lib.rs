@@ -7,6 +7,8 @@
 //! `Mutex<VecDeque>` + `Condvar` implementation of
 //! `crossbeam_channel::bounded` with the same disconnect semantics.
 
+#![forbid(unsafe_code)]
+
 /// Scoped threads, adapted onto `std::thread::scope`.
 pub mod thread {
     /// The error half of [`Result`]: a propagated panic payload.

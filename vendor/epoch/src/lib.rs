@@ -16,6 +16,13 @@
 //! `load` never go backwards). Grace-period reclamation is by refcount:
 //! a published value stays alive while any reader still holds its `Arc`,
 //! and the slot ring itself keeps the most recent `N` publications alive.
+//!
+//! ATOMICS: single-writer epoch publication. The writer (serialised by
+//! the writer mutex) is the only thread that stores the epoch: it reads
+//! its own last value with Relaxed (no one else writes it) and publishes
+//! the new one with Release after filling the slot; readers load the
+//! epoch with Acquire, which orders the slot contents before their lock.
+//! The test-only stop flag is likewise a single-writer Relaxed boolean.
 
 #![forbid(unsafe_code)]
 

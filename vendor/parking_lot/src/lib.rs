@@ -3,6 +3,8 @@
 //! `Result`). Backed by `std::sync::Mutex`; a poisoned lock propagates the
 //! original panic, which matches how the benchmarks use it.
 
+#![forbid(unsafe_code)]
+
 use std::sync::MutexGuard;
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()` shape.

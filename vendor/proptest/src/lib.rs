@@ -8,6 +8,8 @@
 //! failing case panics with the case number so it can be replayed by
 //! running the same test again.
 
+#![forbid(unsafe_code)]
+
 /// Strategies: composable random-value generators.
 pub mod strategy {
     use crate::test_runner::TestRng;

@@ -10,6 +10,8 @@
 //! streams differ from upstream `rand`, so seeds are comparable only
 //! within this workspace.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// A source of random 64-bit words.

@@ -8,6 +8,8 @@
 //! impl. Code written against this stub stays source-compatible with real
 //! serde's `#[derive(Serialize)]` usage.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::Serialize;
 
 /// Marker trait for types whose values are serialisable result records.

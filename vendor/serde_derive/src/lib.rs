@@ -4,6 +4,8 @@
 //! workspace derives on. Written against `proc_macro` alone so it builds
 //! with no registry access.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Derives the `serde::Serialize` marker impl for a struct or enum.

@@ -25,19 +25,74 @@
 //! Worker panics are caught, the job is drained, and `run` re-raises a
 //! panic on the caller thread — a poisoned pool is never silently reused.
 //!
-//! # SenseBarrier soundness
+//! # ATOMICS: sense-reversing barrier for barrier-phased kernels
 //!
 //! `wait` increments `count` with `AcqRel`; the last arriver resets `count`
-//! and bumps `sense` with `Release`, and every spinner re-reads `sense`
-//! with `Acquire`. The release/acquire pair on `sense` (plus the RMW chain
-//! on `count`) gives happens-before from all writes before any `wait` to
-//! all reads after every `wait`. The sense value is a wrapping counter, so
-//! consecutive barrier episodes can never be confused (no ABA).
+//! (a `Relaxed` store, ordered by the release below) and bumps `sense` with
+//! `Release`, and every spinner re-reads `sense` with `Acquire`. The
+//! release/acquire pair on `sense` (plus the RMW chain on `count`) gives
+//! happens-before from all writes before any `wait` to all reads after
+//! every `wait` — exactly the edge the barrier-phased sweep kernels in
+//! `debruijn_core::bitreach` lean on for their single-writer `Relaxed`
+//! stores. The sense value is a wrapping counter, so consecutive barrier
+//! episodes can never be confused (no ABA). Test counters are `Relaxed`
+//! tallies read after a join; the `racecheck` phase epoch is deliberately
+//! `SeqCst` so the shadow detector's bookkeeping is never itself racy.
+//!
+//! # Safety
+//!
+//! This is the one crate in the workspace permitted to hold `unsafe` code
+//! (see `debruijn-lint`'s allowlist); both uses serve a single
+//! lifetime-erasure trick. [`ShardPool::run`] hands a borrowed
+//! `&dyn Fn(usize)` to long-lived worker threads as a raw pointer whose
+//! lifetime has been transmuted to `'static`. That lie is made true
+//! structurally:
+//!
+//! * `run` publishes the job, then blocks in a `Complete` drop guard until
+//!   `remaining == 0`. The guard runs even when the leader closure panics,
+//!   so the borrow of `worker` is still open at every dereference.
+//! * a worker dereferences the pointer only between observing a fresh
+//!   `generation` and decrementing `remaining`, both under the state
+//!   mutex — which orders every dereference before `run` can return.
+//! * the pointee is `Sync`, so shared calls from many workers at once are
+//!   within the pointee's own contract (hence `unsafe impl Send for Job`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Phase-epoch bookkeeping for the `racecheck` shadow race detector.
+///
+/// The pool is the only component that *knows* where the synchronisation
+/// edges of a barrier-phased job are, so it owns the epoch: a global
+/// counter bumped at every [`SenseBarrier`] crossing, at job publication
+/// in [`ShardPool::run`], and when a job drains. Instrumented cells (see
+/// `debruijn_core::bitreach` under `--features racecheck`) stamp each
+/// write with `(writer, epoch)` and fault on a second writer touching the
+/// same word in the same epoch — the single-writer-per-word-per-phase
+/// protocol, executed rather than merely documented.
+#[cfg(feature = "racecheck")]
+pub mod racecheck {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Starts at 1 so instrumented cells can use epoch 0 as "never written".
+    static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+    /// The current global phase epoch.
+    #[must_use]
+    pub fn epoch() -> u64 {
+        EPOCH.load(Ordering::SeqCst)
+    }
+
+    /// Advances the phase epoch; called at every synchronisation edge
+    /// (barrier crossing, job publication, job drain). Returns the new
+    /// epoch. Public so fork/join code that synchronises *without* the
+    /// pool (e.g. `std::thread::scope` joins) can declare its own edges.
+    pub fn bump() -> u64 {
+        EPOCH.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
 
 /// A sense-reversing spin barrier for `parties` participants.
 ///
@@ -72,6 +127,10 @@ impl SenseBarrier {
         let ticket = self.sense.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             self.count.store(0, Ordering::Relaxed);
+            // The last arriver advances the phase epoch *before* releasing
+            // the others: the bump happens-before every post-barrier write.
+            #[cfg(feature = "racecheck")]
+            crate::racecheck::bump();
             self.sense.store(ticket.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
@@ -198,15 +257,20 @@ impl ShardPool {
             return leader();
         }
         self.ensure_workers(extra_workers);
-        // SAFETY (lifetime erasure): the `'static` below is a lie the drop
-        // guard makes true — `Complete` blocks until `remaining == 0`, so
-        // the borrow of `worker` outlives every dereference of the pointer,
-        // even if `leader` panics.
         let f: *const (dyn Fn(usize) + Sync) = worker;
+        // SAFETY (lifetime erasure): the `'static` is a lie the drop guard
+        // makes true — `Complete` blocks until `remaining == 0`, so the
+        // borrow of `worker` outlives every dereference of the pointer,
+        // even if `leader` panics. See the module-level `# Safety` section.
         let f: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(f) };
         {
             let mut st = self.shared.state.lock().expect("shardpool lock");
             debug_assert_eq!(st.remaining, 0, "previous job fully drained");
+            // Job publication is a synchronisation edge: whatever the
+            // caller wrote before `run` is a different phase from what the
+            // workers write inside the job.
+            #[cfg(feature = "racecheck")]
+            racecheck::bump();
             st.generation += 1;
             st.remaining = extra_workers;
             st.panicked = false;
@@ -227,6 +291,10 @@ impl ShardPool {
                     st = self.shared.done_cv.wait(st).expect("shardpool wait");
                 }
                 st.job = None;
+                // The drain is the matching join edge: caller writes after
+                // `run` returns are a new phase.
+                #[cfg(feature = "racecheck")]
+                crate::racecheck::bump();
             }
         }
         let guard = Complete {
@@ -401,6 +469,21 @@ mod tests {
         let out = pool.run(0, &|_| unreachable!("no workers requested"), || 7);
         assert_eq!(out, 7);
         assert_eq!(pool.workers(), 0);
+    }
+
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn racecheck_epoch_advances_at_every_sync_edge() {
+        // Other tests may bump the global epoch concurrently, so assert
+        // only monotone lower bounds.
+        let before = crate::racecheck::epoch();
+        SenseBarrier::new(1).wait();
+        let after_barrier = crate::racecheck::epoch();
+        assert!(after_barrier > before, "barrier crossing must bump");
+        let mut pool = ShardPool::new();
+        pool.run(1, &|_| (), || ());
+        let after_job = crate::racecheck::epoch();
+        assert!(after_job >= after_barrier + 2, "publish + drain must bump");
     }
 
     #[test]
