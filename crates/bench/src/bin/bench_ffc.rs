@@ -16,14 +16,16 @@
 //!   - `batch` — the batch sweep engine (`Ffc::embed_batch`, stats-only
 //!     plan, bit-parallel path) at 1, 2, 4 and 8 shards; `speedup` is vs
 //!     the serial `embed_into` loop above.
-//! * **Stats-only tiers** (`"mode": "stats_only"`) — B(2,18) and B(2,20),
-//!   the million-node scale the bit-parallel engine exists for. The full
-//!   pipeline and the textbook reference are far too slow to sweep here,
-//!   so the row records `setup_ns`, the `stats_only` comparison, and
-//!   `batch` rows whose `speedup` is vs the serial **u8-stamp** loop (the
-//!   PR 2 engine this PR replaces).
-//! * **Full-ring tiers** (`"mode": "full"`) — B(2,16), B(2,18) and
-//!   B(2,20): the serial `embed_into` pipeline vs the parallel engine
+//! * **Stats-only tiers** (`"mode": "stats_only"`) — B(2,18), B(2,20),
+//!   B(2,22) and B(2,24), the million-node scale the bit-parallel engine
+//!   exists for (the top two tiers are what the PR 10 compact-level +
+//!   summary engine buys back in footprint). The full pipeline and the
+//!   textbook reference are far too slow to sweep here, so the row
+//!   records `setup_ns`, the `stats_only` comparison, and `batch` rows
+//!   whose `speedup` is vs the serial **u8-stamp** loop (the PR 2 engine
+//!   this PR replaces).
+//! * **Full-ring tiers** (`"mode": "full"`) — B(2,16), B(2,18), B(2,20)
+//!   and B(2,22): the serial `embed_into` pipeline vs the parallel engine
 //!   (`embed_into_parallel`) at 1, 2, 4 and 8 shards, with the **cycle
 //!   bytes checksummed and asserted identical** between the two engines
 //!   at every shard count. The row's `best_vs_serial` is the best
@@ -34,8 +36,8 @@
 //!   gate is the **no-regret floor 0.9**, not a speedup: asking for
 //!   shards must never cost more than 10% over serial, on any host (and
 //!   the CI bench-smoke job runs the B(2,16) tier).
-//! * **Incremental tiers** (`"mode": "incremental"`) — B(2,16), B(2,18)
-//!   and B(2,20): single-fault repair on the `RingMaintainer`
+//! * **Incremental tiers** (`"mode": "incremental"`) — B(2,16), B(2,18),
+//!   B(2,20) and B(2,22): single-fault repair on the `RingMaintainer`
 //!   (`add_fault` + `clear_fault` events over random single faults)
 //!   against the from-scratch serial `embed_into` loop (`speedup`, the CI
 //!   gate) and the from-scratch `embed_into_parallel` loop
@@ -52,9 +54,11 @@
 //!   to the initial snapshot (the no-publication baseline). The row
 //!   records `lookups_per_sec` / `frozen_lookups_per_sec` / `vs_frozen`
 //!   per reader count, the snapshot-publication latency
-//!   `publish_p50_ns` / `publish_p99_ns`, and the gated `speedup` = best
-//!   `vs_frozen` across reader counts — the CI floor that keeps epoch
-//!   publication free for readers. Every run's final published snapshot
+//!   `publish_p50_ns` / `publish_p99_ns`, and the gated `best_vs_frozen`
+//!   = best `vs_frozen` across reader counts — the CI floor that keeps
+//!   epoch publication free for readers (PR 10 unified the field name:
+//!   serve tiers used to overload `speedup`, which named a different
+//!   baseline on every other mode). Every run's final published snapshot
 //!   is asserted bit-identical (stats + ring bytes) to a from-scratch
 //!   `embed_into` of the trace's cumulative fault set.
 //! * **Churn tiers** (`"mode": "churn"`) — B(2,16), B(2,18) and B(2,20):
@@ -76,7 +80,18 @@
 //! over warm bitmaps at B(2,16), B(2,18) and B(2,20) shapes, forward
 //! and backward. Rows report words/sec per kernel and `speedup` =
 //! scalar / fused, gated at ≥ 1.0 by `--check` like every other
-//! speedup: the fusion must never lose on the engine's hot shapes.
+//! speedup: the fusion must never lose on the engine's hot shapes. The
+//! same flag emits `"kind": "skip_scan"` rows racing the full-bitmap
+//! extraction (`extract_bits`) against the two-level summary skip-scan
+//! (`extract_bits_skip`) over sparse frontiers at the same shapes —
+//! outputs asserted identical, `speedup` = full / skip, gated ≥ 1.0.
+//!
+//! Every tier also reports `allocated_bytes` — the warm steady-state
+//! footprint of the structure the tier exercises (the embed scratch, or
+//! the maintainer session on incremental/churn tiers); incremental tiers
+//! additionally break out the compact level arrays (`level_bytes`)
+//! against the u32 storage they replaced (`level_bytes_u32`), with the
+//! gated ratio `level_compaction` ≥ 3.0.
 //!
 //! Usage: `cargo run --release -p dbg-bench --bin bench_ffc [out.json]
 //! [--smoke] [--check] [--trials N] [--filter GRAPH] [--kernels]`
@@ -93,10 +108,11 @@
 //! * `--kernels`: also run the scalar-vs-fused kernel micro-tier and
 //!   emit it as the top-level `"kernels"` array;
 //! * `--check`: after writing, re-read and validate the file — exits
-//!   non-zero if the JSON is malformed, any `speedup` (or incremental
-//!   `vs_parallel`) is below 1.0, or any full-ring `vs_serial` /
-//!   `best_vs_serial` is below 0.9 (the no-regret floor for
-//!   oversubscribed shard requests).
+//!   non-zero if the JSON is malformed, any `speedup` / `best_vs_frozen`
+//!   (or incremental `vs_parallel`) is below 1.0, any full-ring
+//!   `vs_serial` / `best_vs_serial` is below 0.9 (the no-regret floor
+//!   for oversubscribed shard requests), or any incremental
+//!   `level_compaction` is below 3.0 (the compact-level footprint gate).
 //!
 //! ATOMICS: the serve tier's `go`/`stop` flags are single-writer
 //! booleans — the driver thread alone stores them. `go` is
@@ -112,6 +128,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use debruijn_core::bitreach::{extract_bits, extract_bits_skip, sum_words, summarize_bits};
 use debruijn_core::{
     replay_churn, BatchEmbedder, BitReach, ChurnPlan, ChurnReport, ChurnStep, EmbedScratch,
     FaultEvent, FaultSchedule, Ffc, RingMaintainer, RingService, RingSnapshot, ServeOptions,
@@ -432,13 +449,71 @@ fn kernel_tier(smoke: bool) -> Vec<String> {
                  \"fused_words_per_sec\": {fused_wps:.0}, \"speedup\": {speedup:.2} }}"
             ));
         }
+        // Skip-scan micro row: extracting a sparse frontier (the shape of
+        // delta-pass seeds and early/late BFS levels — about one occupied
+        // word per 64-word summary block) with the full-bitmap scan vs the
+        // two-level summary skip-scan. Outputs asserted identical; the
+        // gated speedup is full / skip.
+        let set_bits = (words / 64).max(16);
+        let mut bits = vec![0u64; words];
+        for _ in 0..set_bits {
+            let v = rng.gen_range(0..n_nodes);
+            bits[v / 64] |= 1u64 << (v % 64);
+        }
+        let mut sum = vec![0u64; sum_words(words)];
+        summarize_bits(&bits, &mut sum);
+        let iters = (if smoke { 200 } else { 2000 }).max(1);
+        let mut out: Vec<u32> = Vec::with_capacity(64 * set_bits);
+        let mut time_extract = |skip: bool| -> (f64, usize) {
+            let mut best = Duration::MAX;
+            let mut sink = 0usize;
+            for _ in 0..REPS {
+                let mut rep_sink = 0usize;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    out.clear();
+                    if skip {
+                        extract_bits_skip(&bits, &sum, &mut out);
+                    } else {
+                        extract_bits(&bits, &mut out);
+                    }
+                    rep_sink ^= out.len() ^ out.last().map_or(0, |&v| v as usize) << 32;
+                }
+                best = best.min(start.elapsed());
+                sink = rep_sink;
+            }
+            ((words * iters) as f64 / best.as_secs_f64(), sink)
+        };
+        let (full_wps, full_sink) = time_extract(false);
+        let (skip_wps, skip_sink) = time_extract(true);
+        assert_eq!(
+            full_sink, skip_sink,
+            "skip-scan extraction diverges on d={d} words={words}"
+        );
+        let speedup = skip_wps / full_wps;
+        eprintln!(
+            "skip_scan d={d} words={words} set_bits={set_bits}: full {:.0} Mwords/s vs skip \
+             {:.0} Mwords/s ({speedup:.2}x)",
+            full_wps / 1e6,
+            skip_wps / 1e6,
+        );
+        rows.push(format!(
+            "    {{ \"kind\": \"skip_scan\", \"d\": {d}, \"nodes\": {n_nodes}, \
+             \"words\": {words}, \"set_bits\": {set_bits}, \
+             \"full_words_per_sec\": {full_wps:.0}, \
+             \"skip_words_per_sec\": {skip_wps:.0}, \"speedup\": {speedup:.2} }}"
+        ));
     }
     rows
 }
 
 /// Validates a written benchmark file: structural JSON sanity (balanced
 /// brackets, the expected top-level keys), every `"speedup"` /
-/// `"vs_parallel"` value at least 1.0, and every full-ring
+/// `"vs_parallel"` / `"best_vs_frozen"` value at least 1.0 (the serve
+/// tier's gated field — best frozen-vs-live read throughput across its
+/// reader counts), every `"level_compaction"` at least 3.0 (the compact
+/// u8 level arrays must stay ≥3× under the u32 storage they replaced),
+/// and every full-ring
 /// `"vs_serial"` / `"best_vs_serial"` at least 0.9 — the no-regret
 /// floor: an oversubscribed shard request may cost a little
 /// coordination, never a regression (on few-core hosts the clamp folds
@@ -490,6 +565,8 @@ fn validate(contents: &str, filtered: bool) -> Vec<String> {
             "\"p50_repair_ns\"",
             "\"publish_p50_ns\"",
             "\"vs_frozen\"",
+            "\"allocated_bytes\"",
+            "\"level_compaction\"",
         ] {
             if !contents.contains(key) {
                 problems.push(format!("missing key {key}"));
@@ -500,6 +577,8 @@ fn validate(contents: &str, filtered: bool) -> Vec<String> {
     for (key, floor) in [
         ("\"speedup\":", 1.0),
         ("\"vs_parallel\":", 1.0),
+        ("\"best_vs_frozen\":", 1.0),
+        ("\"level_compaction\":", 3.0),
         ("\"vs_serial\":", 0.9),
         ("\"best_vs_serial\":", 0.9),
     ] {
@@ -569,7 +648,14 @@ fn main() {
     let out_path =
         out_path.unwrap_or_else(|| format!("{}/../../BENCH_ffc.json", env!("CARGO_MANIFEST_DIR")));
     let scale = |trials: usize| {
-        let t = if smoke { (trials / 20).max(60) } else { trials };
+        // The floor never raises a tier above its configured count: the
+        // biggest smoke-visible tiers (B(2,22) stats) set trials < 60 and
+        // must stay time-bounded in CI.
+        let t = if smoke {
+            (trials / 20).max(60).min(trials)
+        } else {
+            trials
+        };
         t.min(trial_cap.unwrap_or(usize::MAX)).max(1)
     };
     let full = |d, n, trials| Config {
@@ -621,12 +707,16 @@ fn main() {
         full(4, 7, 400),
         stats_tier(2, 18, 60, false),
         stats_tier(2, 20, 20, true),
+        stats_tier(2, 22, 12, false),
+        stats_tier(2, 24, 8, true),
         ring_tier(2, 16, 60, false),
         ring_tier(2, 18, 16, true),
         ring_tier(2, 20, 6, true),
+        ring_tier(2, 22, 4, true),
         incr_tier(2, 16, 60, false),
         incr_tier(2, 18, 16, true),
         incr_tier(2, 20, 6, true),
+        incr_tier(2, 22, 4, true),
         churn_tier(2, 16, 120, false),
         churn_tier(2, 18, 40, true),
         churn_tier(2, 20, 16, true),
@@ -752,13 +842,15 @@ fn main() {
                  \"batches\": {},\n      \"publications\": {},\n      \
                  \"publish_p50_ns\": {p50},\n      \"publish_p99_ns\": {p99},\n      \
                  \"repair_p50_ns\": {rp50},\n      \"repair_p99_ns\": {rp99},\n      \
+                 \"allocated_bytes\": {},\n      \
                  \"readers\": [\n{}\n      ],\n      \
-                 \"speedup\": {best_overall:.2}\n    }}",
+                 \"best_vs_frozen\": {best_overall:.2}\n    }}",
                 cfg.trials,
                 steps.len(),
                 events.len(),
                 report.batches,
                 report.publications,
+                scratch.allocated_bytes(),
                 reader_rows.join(",\n"),
             )
             .expect("writing to a String cannot fail");
@@ -892,6 +984,7 @@ fn main() {
                  \"batch_k\": {k},\n      \
                  \"batched_event_ns\": {batched_ns:.1},\n      \
                  \"sequential_event_ns\": {sequential_ns:.1},\n      \
+                 \"allocated_bytes\": {},\n      \
                  \"speedup\": {speedup:.2}\n    }}",
                 steps.len(),
                 cfg.trials,
@@ -899,6 +992,7 @@ fn main() {
                 report.events,
                 report.degraded_fraction(),
                 report.worst_excluded,
+                maint.allocated_bytes(),
             )
             .expect("writing to a String cannot fail");
             entries.push(entry);
@@ -962,9 +1056,16 @@ fn main() {
             );
             let speedup = serial_ns / repair_ns;
             let vs_parallel = par_ns / repair_ns;
+            // The compact-level footprint gate: the session's three level
+            // arrays in one byte per node vs the 3 × 4 × n_nodes bytes of
+            // the u32 storage they replaced (PR 10).
+            let level_bytes = maint.level_bytes();
+            let level_bytes_u32 = 3 * 4 * total;
+            let level_compaction = level_bytes_u32 as f64 / level_bytes as f64;
             eprintln!(
                 "{label}: repair {:.1} µs/event vs serial {:.2} ms ({speedup:.1}x) / parallel \
-                 {:.2} ms ({vs_parallel:.1}x), {incr} delta + {rebuilds} rebuilds per rep \
+                 {:.2} ms ({vs_parallel:.1}x), {incr} delta + {rebuilds} rebuilds per rep, \
+                 levels {level_bytes} B vs u32 {level_bytes_u32} B ({level_compaction:.2}x) \
                  [checksum {repair_sum}]",
                 repair_ns / 1e3,
                 serial_ns / 1e6,
@@ -981,12 +1082,17 @@ fn main() {
                  \"repair_ns\": {repair_ns:.1},\n      \
                  \"repairs_per_sec\": {:.1},\n      \
                  \"delta_events\": {},\n      \"rebuild_events\": {},\n      \
+                 \"allocated_bytes\": {},\n      \
+                 \"level_bytes\": {level_bytes},\n      \
+                 \"level_bytes_u32\": {level_bytes_u32},\n      \
+                 \"level_compaction\": {level_compaction:.2},\n      \
                  \"vs_parallel\": {vs_parallel:.2},\n      \
                  \"speedup\": {speedup:.2}\n    }}",
                 singles.len(),
                 1e9 / repair_ns,
                 incr / REPS,
                 rebuilds.div_ceil(REPS),
+                maint.allocated_bytes(),
             )
             .expect("writing to a String cannot fail");
             entries.push(entry);
@@ -1097,9 +1203,11 @@ fn main() {
                  \"embeds_per_sec\": {serial_eps:.2},\n      \
                  \"parallel\": [\n{}\n      ],\n      \
                  \"parallel_best_shards\": {best_shards},\n      \
+                 \"allocated_bytes\": {},\n      \
                  \"best_vs_serial\": {speedup:.2}\n    }}",
                 sets.len(),
                 par_rows.join(",\n"),
+                scratch.allocated_bytes(),
             )
             .expect("writing to a String cannot fail");
             entries.push(entry);
@@ -1208,9 +1316,11 @@ fn main() {
         write!(
             entry,
             "    {{\n      \"graph\": \"{label}\",\n      \"nodes\": {total},\n      \
-             \"trials\": {},\n      \"setup_ns\": {setup_ns},\n\
+             \"trials\": {},\n      \"setup_ns\": {setup_ns},\n      \
+             \"allocated_bytes\": {},\n\
              {serial_block}{stats_block},\n      \"batch\": [\n{}\n      ]\n    }}",
             sets.len(),
+            scratch.allocated_bytes(),
             batch_rows.join(",\n"),
         )
         .expect("writing to a String cannot fail");
@@ -1242,7 +1352,9 @@ fn main() {
          single-fault RingMaintainer repair events (add_fault + clear_fault) against \
          from-scratch embeds of the same faults — speedup = serial embed_into / repair event, \
          vs_parallel = embed_into_parallel / repair event, stats checksums asserted identical \
-         to the serial loop; mode=churn tiers replay a deterministic arrival/departure trace \
+         to the serial loop, and level_bytes / level_bytes_u32 / level_compaction report the \
+         compact u8 level-array footprint against the 3 x 4 bytes/node u32 storage it \
+         replaced (gated >= 3.0); mode=churn tiers replay a deterministic arrival/departure trace \
          (Poisson arrivals, correlated 4-bursts, 20% link faults) through the maintainer — \
          p50/p99_repair_ns are per-batch repair latencies and degraded_fraction is the time \
          share spent past tolerance — and time one batched k-fault repair against k sequential \
@@ -1251,12 +1363,17 @@ fn main() {
          RingService writer while 1/2/4 reader threads walk the ring in 256-node ring_segment \
          strides — lookups_per_sec is the live (epoch-refreshing) read path, \
          frozen_lookups_per_sec the same run with readers pinned to the initial snapshot \
-         (identical writer-side work), speedup = best vs_frozen across reader counts, \
+         (identical writer-side work), best_vs_frozen = best vs_frozen across reader counts \
+         (gated >= 1.0), \
          publish_p50/p99_ns the snapshot-publication latency, and every run's final snapshot \
          is asserted bit-identical to a from-scratch embed of the trace's fault set; \
+         every tier's allocated_bytes is the audited steady-state footprint of its scratch \
+         or maintainer after warmup; \
          the optional kernels array races the two-phase scalar dense kernel against the fused \
          single-pass kernel over warm bitmaps (speedup = scalar/fused, newly-visited checksums \
-         asserted identical)\",\n{kernels_block}  \
+         asserted identical) and, in kind=skip_scan rows, full-bitmap sparse-frontier \
+         extraction against the hierarchical-summary skip-scan (speedup = skip/full \
+         words per second, outputs asserted identical, gated >= 1.0)\",\n{kernels_block}  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

@@ -47,6 +47,26 @@
 //! one; the unit tests pin them bit-for-bit against each other and
 //! `bench_ffc --kernels` tracks the words/sec ratio.
 //!
+//! # Hierarchical summaries and compact levels (PR 10)
+//!
+//! Every frontier/visited-class bitmap carries a **one-bit-per-word
+//! summary** (one summary word per 64-word / 4096-node block): summary
+//! bit `j` set ⟺ `bits[j]` may be non-zero, with the invariant
+//! *occupied ⊆ marked* — a false positive costs one wasted word probe, a
+//! false negative would drop nodes and is never produced. The fused
+//! kernels maintain the summaries in-flight for near-zero cost (a tile
+//! that produced new bits ORs a precomputed block mask), so the
+//! dense→sparse switch, the dense level emission and fault-set
+//! iteration become two-level skip-scans ([`extract_bits_skip`]) that
+//! touch only occupied blocks — the win grows with the node space, which
+//! is what lets the B(2,22)/B(2,24) tiers stream early and late BFS
+//! phases without full-array sweeps. Per-node level arrays use the
+//! compact one-byte [`LevelVec`] (levels are diameter-bounded; see
+//! [`crate::mem`]) behind the [`LevelStore`] trait, so the delta passes
+//! ([`BitReach::levels_delete`] / [`BitReach::levels_insert`]) run one
+//! monomorphised algorithm over both the compact array and the `u32`
+//! differential oracle.
+//!
 //! # The multi-shard parallel passes
 //!
 //! [`BitReach::forward_par`], [`BitReach::backward_par`] and
@@ -92,6 +112,9 @@
 //! detector's own bookkeeping is never racy; `--features racecheck`
 //! *executes* this audit instead of trusting it.
 
+use crate::mem::grow_words;
+pub(crate) use crate::mem::reserve_more;
+pub use crate::mem::{LevelStore, LevelVec, UNREACHED, UNREACHED_U8};
 use shardpool::{SenseBarrier, ShardPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -182,6 +205,11 @@ pub const SPARSE_SWITCH: usize = 256;
 pub struct BitFrontier {
     queue: Vec<u32>,
     bits: Vec<u64>,
+    /// Hierarchical summary of `bits`: summary bit `j` covers word
+    /// `bits[j]`, so one summary *word* covers a 64-word (4096-node)
+    /// block. Invariant while dense: `bits[j] != 0 ⇒ sum bit j set`
+    /// (occupied ⊆ marked — false positives allowed, never negatives).
+    sum: Vec<u64>,
     dense: bool,
     len: usize,
 }
@@ -214,28 +242,29 @@ impl BitFrontier {
     }
 
     /// Converts sparse → dense (zeroes the live words, then sets the
-    /// queued bits).
+    /// queued bits and their summary bits).
     fn make_dense(&mut self, words: usize) {
         debug_assert!(!self.dense);
         self.bits[..words].fill(0);
+        self.sum[..sum_words(words)].fill(0);
         for &v in &self.queue {
             self.bits[v as usize / 64] |= 1u64 << (v % 64);
+            self.sum[v as usize >> 12] |= 1u64 << ((v as usize >> 6) & 63);
         }
         self.dense = true;
     }
 
-    /// Converts dense → sparse (extracts the set bits in increasing id
-    /// order).
+    /// Converts dense → sparse. A skip-scan over the summary visits
+    /// occupied words only, preserving the increasing-id extraction order
+    /// the serial/parallel differential pins.
     fn make_sparse(&mut self, words: usize) {
         debug_assert!(self.dense);
         self.queue.clear();
-        for (j, &word) in self.bits[..words].iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                self.queue.push((j * 64) as u32 + w.trailing_zeros());
-                w &= w - 1;
-            }
-        }
+        extract_bits_skip(
+            &self.bits[..words],
+            &self.sum[..sum_words(words)],
+            &mut self.queue,
+        );
         self.dense = false;
     }
 }
@@ -256,6 +285,14 @@ struct LevelSink<'a> {
 pub struct BitScratch {
     /// Bit `v` set ⟺ node `v` was removed with a faulty necklace.
     dead: Vec<u64>,
+    /// Summary of `dead` (bit `j` ⟺ `dead[j]` may be non-zero), kept by
+    /// [`BitReach::kill`] so [`BitReach::prepare`] can skip-clear only
+    /// the occupied words — fault masks are extremely sparse (f ≪ d−1
+    /// necklaces) while the bitmap spans the whole node space.
+    dead_sum: Vec<u64>,
+    /// Word count `dead`/`dead_sum` were last prepared at; a shape change
+    /// falls back to a full clear.
+    dead_words: usize,
     /// Forward-reachable visited set (dead bits pre-set).
     fwd: Vec<u64>,
     /// Backward-reachable visited set (dead bits pre-set).
@@ -281,19 +318,15 @@ impl BitScratch {
     #[must_use]
     pub fn allocated_bytes(&self) -> usize {
         8 * (self.dead.capacity()
+            + self.dead_sum.capacity()
             + self.fwd.capacity()
             + self.bwd.capacity()
             + self.vis.capacity()
             + self.cur.bits.capacity()
-            + self.nxt.bits.capacity())
+            + self.cur.sum.capacity()
+            + self.nxt.bits.capacity()
+            + self.nxt.sum.capacity())
             + 4 * (self.cur.queue.capacity() + self.nxt.queue.capacity())
-    }
-}
-
-/// Grows a word buffer to at least `words` entries without shrinking.
-fn grow_words(v: &mut Vec<u64>, words: usize) {
-    if v.len() < words {
-        v.resize(words, 0);
     }
 }
 
@@ -720,16 +753,38 @@ impl BitReach {
     /// Grows the scratch to this shape and clears the fault bitmap; call
     /// once per embedding before [`BitReach::kill`]ing the faulty nodes.
     pub fn prepare(&self, s: &mut BitScratch) {
+        let sw = sum_words(self.words);
         grow_words(&mut s.dead, self.words);
+        grow_words(&mut s.dead_sum, sw);
         grow_words(&mut s.fwd, self.words);
         grow_words(&mut s.bwd, self.words);
         grow_words(&mut s.vis, self.words);
         grow_words(&mut s.cur.bits, self.words);
+        grow_words(&mut s.cur.sum, sw);
         grow_words(&mut s.nxt.bits, self.words);
+        grow_words(&mut s.nxt.sum, sw);
         // A level can hold every node; presize so pushes never reallocate.
         crate::ffc::reserve(&mut s.cur.queue, self.n_nodes);
         crate::ffc::reserve(&mut s.nxt.queue, self.n_nodes);
-        s.dead[..self.words].fill(0);
+        if s.dead_words == self.words {
+            // Skip-clear: only the words a previous kill dirtied. Fault
+            // masks carry a handful of necklaces, so this replaces an
+            // O(words) sweep with O(faulty words) on the repeat-call path
+            // (sweeps, churn, serve all re-prepare per embedding).
+            for (sj, sword) in s.dead_sum[..sw].iter_mut().enumerate() {
+                let mut w = std::mem::take(sword);
+                while w != 0 {
+                    let j = sj * 64 + w.trailing_zeros() as usize;
+                    s.dead[j] = 0;
+                    w &= w - 1;
+                }
+            }
+        } else {
+            s.dead[..self.words].fill(0);
+            s.dead_sum[..sw].fill(0);
+            s.dead_words = self.words;
+        }
+        debug_assert!(s.dead[..self.words].iter().all(|&w| w == 0));
     }
 
     /// Marks node `v` dead (member of a faulty necklace).
@@ -737,6 +792,7 @@ impl BitReach {
     pub fn kill(&self, s: &mut BitScratch, v: usize) {
         debug_assert!(v < self.n_nodes);
         s.dead[v / 64] |= 1u64 << (v % 64);
+        s.dead_sum[v >> 12] |= 1u64 << ((v >> 6) & 63);
     }
 
     /// Whether node `v` was marked dead this call.
@@ -844,6 +900,7 @@ impl BitReach {
             vis,
             cur,
             nxt,
+            ..
         } = s;
         for (((v, &f), &b), &x) in vis[..self.words]
             .iter_mut()
@@ -962,6 +1019,98 @@ impl BitReach {
             shards,
             Some(LevelSink { nodes, offsets }),
         )
+    }
+
+    /// [`BitReach::broadcast_levels`] fused with the B* mask: one
+    /// chunk-streamed pass over (fwd, bwd, dead, vis) writes the B*
+    /// membership words (`fwd ∧ bwd ∧ ¬dead`) into `bstar`, counts |B*|
+    /// and initialises the broadcast visited set to the complement —
+    /// replacing the separate vis-init sweep, B*-bitmap sweep and
+    /// popcount the session's rebuild used to run back-to-back over the
+    /// full arrays. Returns `(bstar_count, reached, depth)`; the level
+    /// emission is unchanged.
+    pub fn broadcast_levels_bstar(
+        &self,
+        s: &mut BitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        bstar: &mut [u64],
+    ) -> (usize, usize, usize) {
+        let count = self.bstar_init(s, bstar);
+        let BitScratch { vis, cur, nxt, .. } = s;
+        nodes.clear();
+        offsets.clear();
+        let sink = Some(LevelSink { nodes, offsets });
+        let (reached, depth) = if self.pow2 {
+            self.run::<true, false>(vis, cur, nxt, root, sink)
+        } else {
+            self.run::<false, false>(vis, cur, nxt, root, sink)
+        };
+        (count, reached, depth)
+    }
+
+    /// [`BitReach::broadcast_levels_bstar`] sharded over `shards` scoped
+    /// threads (emission byte-identical to the serial pass, like
+    /// [`BitReach::broadcast_levels_par`]). The fused init itself stays
+    /// on the caller thread — it is a single streamed pass, cheaper than
+    /// a barrier round-trip.
+    #[allow(clippy::too_many_arguments)] // the fused rebuild pass, not an API
+    pub fn broadcast_levels_bstar_par(
+        &self,
+        s: &mut BitScratch,
+        par: &mut ParBitScratch,
+        root: usize,
+        nodes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        bstar: &mut [u64],
+        shards: usize,
+    ) -> (usize, usize, usize) {
+        if shards <= 1 || !self.dense_capable {
+            return self.broadcast_levels_bstar(s, root, nodes, offsets, bstar);
+        }
+        let count = self.bstar_init(s, bstar);
+        par.prepare(self, shards);
+        let BitScratch { vis, cur, nxt, .. } = s;
+        nodes.clear();
+        offsets.clear();
+        let (reached, depth) = self.run_par::<false>(
+            vis,
+            &mut cur.queue,
+            &mut nxt.queue,
+            par,
+            root,
+            shards,
+            Some(LevelSink { nodes, offsets }),
+        );
+        (count, reached, depth)
+    }
+
+    /// The fused chunk-streamed broadcast initialisation: per
+    /// [`FUSE_TILE`]-word chunk, the four bitmaps are read/written
+    /// together while resident, producing the B* mask, its popcount and
+    /// the seeded visited set in a single memory pass.
+    fn bstar_init(&self, s: &mut BitScratch, bstar: &mut [u64]) -> usize {
+        let BitScratch {
+            dead,
+            fwd,
+            bwd,
+            vis,
+            ..
+        } = s;
+        let mut count = 0usize;
+        let mut j = 0usize;
+        while j < self.words {
+            let len = (self.words - j).min(FUSE_TILE);
+            for k in j..j + len {
+                let m = fwd[k] & bwd[k] & !dead[k];
+                bstar[k] = m;
+                vis[k] = !m;
+                count += m.count_ones() as usize;
+            }
+            j += len;
+        }
+        count
     }
 
     /// The sharded direction-optimizing pass: shard 0 (the caller thread)
@@ -1246,7 +1395,11 @@ impl BitReach {
             depth += 1;
             if let Some(sink) = sink.as_mut() {
                 if nxt.dense {
-                    emit_bits(sink, &nxt.bits[..self.words]);
+                    emit_bits_sum(
+                        sink,
+                        &nxt.bits[..self.words],
+                        &nxt.sum[..sum_words(self.words)],
+                    );
                 } else {
                     emit_queue(sink, &nxt.queue);
                 }
@@ -1334,7 +1487,8 @@ impl BitReach {
         nxt: &mut BitFrontier,
     ) {
         debug_assert!(cur.dense && self.dense_capable);
-        nxt.len = self.fused_words::<BACKWARD>(&cur.bits, vis, &mut nxt.bits);
+        nxt.sum[..sum_words(self.words)].fill(0);
+        nxt.len = self.fused_words::<BACKWARD, true>(&cur.bits, vis, &mut nxt.bits, &mut nxt.sum);
         nxt.dense = true;
     }
 
@@ -1344,7 +1498,14 @@ impl BitReach {
     /// all in registers, so the unrolled caller's four independent tiles
     /// autovectorize.
     #[inline(always)]
-    fn fused2_fwd(i: usize, sw: usize, cur: &[u64], vis: &mut [u64], nxt: &mut [u64]) -> usize {
+    fn fused2_fwd<const SUM: bool>(
+        i: usize,
+        sw: usize,
+        cur: &[u64],
+        vis: &mut [u64],
+        nxt: &mut [u64],
+        sum: &mut [u64],
+    ) -> usize {
         let g = cur[i] | cur[sw + i];
         let w0 = spread2(g & 0xFFFF_FFFF) & !vis[2 * i];
         let w1 = spread2(g >> 32) & !vis[2 * i + 1];
@@ -1352,6 +1513,11 @@ impl BitReach {
         vis[2 * i + 1] |= w1;
         nxt[2 * i] = w0;
         nxt[2 * i + 1] = w1;
+        if SUM {
+            // Words 2i and 2i+1 always share a summary word (2i is even).
+            sum[(2 * i) >> 6] |=
+                (u64::from(w0 != 0) << ((2 * i) & 63)) | (u64::from(w1 != 0) << ((2 * i + 1) & 63));
+        }
         (w0.count_ones() + w1.count_ones()) as usize
     }
 
@@ -1362,12 +1528,18 @@ impl BitReach {
     /// Word-for-word identical output to the retained two-phase
     /// reference kernel ([`BitReach::kernel_step_scalar`]); returns the
     /// newly visited node count. The hot d = 2 shape runs a 4-wide
-    /// unrolled tile (eight output words per iteration).
-    fn fused_words<const BACKWARD: bool>(
+    /// unrolled tile (eight output words per iteration). With `SUM` the
+    /// kernel also maintains `sum`, the hierarchical summary of `nxt`
+    /// (bit `j` ⟺ `nxt[j] != 0`), marking blocks as it streams each
+    /// tile — the summary rides the tile already in registers/L1, so the
+    /// downstream skip-scans come at near-zero kernel cost. With `SUM =
+    /// false` (the raced public kernel) the summary code compiles out.
+    fn fused_words<const BACKWARD: bool, const SUM: bool>(
         &self,
         cur: &[u64],
         vis: &mut [u64],
         nxt: &mut [u64],
+        sum: &mut [u64],
     ) -> usize {
         debug_assert!(self.dense_capable);
         let sw = self.suffix_words;
@@ -1389,6 +1561,7 @@ impl BitReach {
                     for base in [i, sw + i] {
                         let vw = &mut vis[base..base + len];
                         let nw = &mut nxt[base..base + len];
+                        let before = newly;
                         for ((vj, nj), &hk) in vw.iter_mut().zip(nw.iter_mut()).zip(h[..len].iter())
                         {
                             let new = hk & !*vj;
@@ -1396,19 +1569,22 @@ impl BitReach {
                             *nj = new;
                             newly += new.count_ones() as usize;
                         }
+                        if SUM && newly != before {
+                            mark_sum_range(sum, base, len);
+                        }
                     }
                     i += len;
                 }
             } else {
                 while i + 4 <= sw {
-                    newly += Self::fused2_fwd(i, sw, cur, vis, nxt);
-                    newly += Self::fused2_fwd(i + 1, sw, cur, vis, nxt);
-                    newly += Self::fused2_fwd(i + 2, sw, cur, vis, nxt);
-                    newly += Self::fused2_fwd(i + 3, sw, cur, vis, nxt);
+                    newly += Self::fused2_fwd::<SUM>(i, sw, cur, vis, nxt, sum);
+                    newly += Self::fused2_fwd::<SUM>(i + 1, sw, cur, vis, nxt, sum);
+                    newly += Self::fused2_fwd::<SUM>(i + 2, sw, cur, vis, nxt, sum);
+                    newly += Self::fused2_fwd::<SUM>(i + 3, sw, cur, vis, nxt, sum);
                     i += 4;
                 }
                 while i < sw {
-                    newly += Self::fused2_fwd(i, sw, cur, vis, nxt);
+                    newly += Self::fused2_fwd::<SUM>(i, sw, cur, vis, nxt, sum);
                     i += 1;
                 }
             }
@@ -1442,11 +1618,15 @@ impl BitReach {
                     let base = i + a * sw;
                     let vw = &mut vis[base..base + len];
                     let nw = &mut nxt[base..base + len];
+                    let before = newly;
                     for ((vj, nj), &hk) in vw.iter_mut().zip(nw.iter_mut()).zip(h[..len].iter()) {
                         let new = hk & !*vj;
                         *vj |= new;
                         *nj = new;
                         newly += new.count_ones() as usize;
+                    }
+                    if SUM && newly != before {
+                        mark_sum_range(sum, base, len);
                     }
                 }
                 i += len;
@@ -1465,6 +1645,7 @@ impl BitReach {
                         *gk |= cur[base + k];
                     }
                 }
+                let before = newly;
                 for (k, &gk) in g.iter().enumerate() {
                     for r in 0..d {
                         let j = d * (i + k) + r;
@@ -1474,6 +1655,9 @@ impl BitReach {
                         newly += new.count_ones() as usize;
                     }
                 }
+                if SUM && newly != before {
+                    mark_sum_range(sum, d * i, 4 * d);
+                }
                 i += 4;
             }
             while i < sw {
@@ -1481,12 +1665,16 @@ impl BitReach {
                 for a in 0..d {
                     g |= cur[i + a * sw];
                 }
+                let before = newly;
                 for r in 0..d {
                     let j = d * i + r;
                     let new = self.expand((g >> (r * bits_per)) & chunk_mask) & !vis[j];
                     vis[j] |= new;
                     nxt[j] = new;
                     newly += new.count_ones() as usize;
+                }
+                if SUM && newly != before {
+                    mark_sum_range(sum, d * i, d);
                 }
                 i += 1;
             }
@@ -1576,10 +1764,12 @@ impl BitReach {
         vis: &mut [u64],
         nxt: &mut [u64],
     ) -> usize {
+        // SUM = false: the raced reference entry point stays summary-free
+        // so the ≥1.0 kernel gate measures the sweep alone.
         if backward {
-            self.fused_words::<true>(cur, vis, nxt)
+            self.fused_words::<true, false>(cur, vis, nxt, &mut [])
         } else {
-            self.fused_words::<false>(cur, vis, nxt)
+            self.fused_words::<false, false>(cur, vis, nxt, &mut [])
         }
     }
 
@@ -1742,10 +1932,6 @@ impl BitReach {
 // The delta level-repair passes (incremental reachability).
 // ----------------------------------------------------------------------
 
-/// Level value of a node outside the structure (unreachable, dead, or not
-/// a member). The delta passes treat it as +∞.
-pub const UNREACHED: u32 = u32::MAX;
-
 /// Returned by the delta passes when a repair's queue work exceeds the
 /// caller's budget — the signal that a from-scratch recompute is cheaper
 /// than continuing the delta (the [`crate::ffc::RingMaintainer`] then
@@ -1895,13 +2081,6 @@ impl DeltaScratch {
     }
 }
 
-/// Guarantees capacity for `cap` entries without touching the length.
-pub(crate) fn reserve_more<T>(v: &mut Vec<T>, cap: usize) {
-    if v.capacity() < cap {
-        v.reserve_exact(cap - v.len());
-    }
-}
-
 impl BitReach {
     /// Batch **node-deletion** repair of a BFS level array — the delta
     /// pass behind [`crate::ffc::RingMaintainer::add_fault`].
@@ -1934,9 +2113,13 @@ impl BitReach {
     ///
     /// The root must never be deleted (rebuild instead); `member` must
     /// already reflect the post-deletion membership.
-    pub fn levels_delete<M: Fn(usize) -> bool>(
+    ///
+    /// Generic over [`LevelStore`], so the compact [`LevelVec`] the
+    /// engine stores and the plain `u32` arrays the differential oracle
+    /// keeps run the exact same monomorphised pass.
+    pub fn levels_delete<L: LevelStore + ?Sized, M: Fn(usize) -> bool>(
         &self,
-        levels: &mut [u32],
+        levels: &mut L,
         ds: &mut DeltaScratch,
         deleted: &[u32],
         member: M,
@@ -1944,15 +2127,15 @@ impl BitReach {
         budget: usize,
     ) -> Result<usize, DeltaBudgetExceeded> {
         if self.pow2 {
-            self.levels_delete_impl::<true, M>(levels, ds, deleted, member, backward, budget)
+            self.levels_delete_impl::<true, L, M>(levels, ds, deleted, member, backward, budget)
         } else {
-            self.levels_delete_impl::<false, M>(levels, ds, deleted, member, backward, budget)
+            self.levels_delete_impl::<false, L, M>(levels, ds, deleted, member, backward, budget)
         }
     }
 
-    fn levels_delete_impl<const POW2: bool, M: Fn(usize) -> bool>(
+    fn levels_delete_impl<const POW2: bool, L: LevelStore + ?Sized, M: Fn(usize) -> bool>(
         &self,
-        levels: &mut [u32],
+        levels: &mut L,
         ds: &mut DeltaScratch,
         deleted: &[u32],
         member: M,
@@ -1969,18 +2152,18 @@ impl BitReach {
         for &x in deleted {
             let xi = x as usize;
             debug_assert!(!member(xi), "deleted node still tests as a member");
-            let lx = levels[xi];
+            let lx = levels.level(xi);
             if lx == UNREACHED {
                 continue;
             }
             ds.record(x, lx);
-            levels[xi] = UNREACHED;
+            levels.set_level(xi, UNREACHED);
         }
         for i in 0..ds.changed.len() {
             let (x, lx) = (ds.changed[i] as usize, ds.old_levels[i]);
             for a in 0..d {
                 let s = out(x, a);
-                if member(s) && levels[s] == lx + 1 && ds.pending[s] != lx + 1 {
+                if member(s) && levels.level(s) == lx + 1 && ds.pending[s] != lx + 1 {
                     ds.pending[s] = lx + 1;
                     ds.seeds.push((u64::from(lx + 1) << 32) | s as u64);
                 }
@@ -2015,7 +2198,7 @@ impl BitReach {
                 if ds.pending[ui] == l as u32 {
                     ds.pending[ui] = UNREACHED;
                 }
-                if levels[ui] != l as u32 {
+                if levels.level(ui) != l as u32 {
                     continue; // stale entry
                 }
                 pops += 1;
@@ -2027,7 +2210,7 @@ impl BitReach {
                 // every level below l is final, so the check is exact.
                 let supported = (0..d).any(|a| {
                     let p = inn(ui, a);
-                    member(p) && levels[p] == (l - 1) as u32
+                    member(p) && levels.level(p) == (l - 1) as u32
                 });
                 if supported {
                     continue;
@@ -2035,15 +2218,18 @@ impl BitReach {
                 ds.record(u, l as u32);
                 for a in 0..d {
                     let s = out(ui, a);
-                    if member(s) && levels[s] == (l + 1) as u32 && ds.pending[s] != (l + 1) as u32 {
+                    if member(s)
+                        && levels.level(s) == (l + 1) as u32
+                        && ds.pending[s] != (l + 1) as u32
+                    {
                         ds.pending[s] = (l + 1) as u32;
                         ds.nxt.push(s as u32);
                     }
                 }
                 if l + 1 >= self.n_nodes {
-                    levels[ui] = UNREACHED;
+                    levels.set_level(ui, UNREACHED);
                 } else {
-                    levels[ui] = (l + 1) as u32;
+                    levels.set_level(ui, (l + 1) as u32);
                     if ds.pending[ui] != (l + 1) as u32 {
                         ds.pending[ui] = (l + 1) as u32;
                         ds.nxt.push(u);
@@ -2073,9 +2259,9 @@ impl BitReach {
     /// # Errors
     /// Returns [`DeltaBudgetExceeded`] when more than `budget` queue pops
     /// were needed (same contract as [`BitReach::levels_delete`]).
-    pub fn levels_insert<M: Fn(usize) -> bool>(
+    pub fn levels_insert<L: LevelStore + ?Sized, M: Fn(usize) -> bool>(
         &self,
-        levels: &mut [u32],
+        levels: &mut L,
         ds: &mut DeltaScratch,
         inserted: &[u32],
         member: M,
@@ -2083,15 +2269,15 @@ impl BitReach {
         budget: usize,
     ) -> Result<usize, DeltaBudgetExceeded> {
         if self.pow2 {
-            self.levels_insert_impl::<true, M>(levels, ds, inserted, member, backward, budget)
+            self.levels_insert_impl::<true, L, M>(levels, ds, inserted, member, backward, budget)
         } else {
-            self.levels_insert_impl::<false, M>(levels, ds, inserted, member, backward, budget)
+            self.levels_insert_impl::<false, L, M>(levels, ds, inserted, member, backward, budget)
         }
     }
 
-    fn levels_insert_impl<const POW2: bool, M: Fn(usize) -> bool>(
+    fn levels_insert_impl<const POW2: bool, L: LevelStore + ?Sized, M: Fn(usize) -> bool>(
         &self,
-        levels: &mut [u32],
+        levels: &mut L,
         ds: &mut DeltaScratch,
         inserted: &[u32],
         member: M,
@@ -2107,17 +2293,21 @@ impl BitReach {
         for &x in inserted {
             let xi = x as usize;
             debug_assert!(member(xi), "inserted node does not test as a member");
-            debug_assert_eq!(levels[xi], UNREACHED, "inserted node already has a level");
+            debug_assert_eq!(
+                levels.level(xi),
+                UNREACHED,
+                "inserted node already has a level"
+            );
             let mut best = UNREACHED;
             for a in 0..d {
                 let p = inn(xi, a);
-                if member(p) && levels[p] < best {
-                    best = levels[p];
+                if member(p) && levels.level(p) < best {
+                    best = levels.level(p);
                 }
             }
             if best != UNREACHED {
                 ds.record(x, UNREACHED);
-                levels[xi] = best + 1;
+                levels.set_level(xi, best + 1);
                 ds.pending[xi] = best + 1;
                 ds.seeds.push((u64::from(best + 1) << 32) | u64::from(x));
             }
@@ -2149,7 +2339,7 @@ impl BitReach {
                 if ds.pending[ui] == l as u32 {
                     ds.pending[ui] = UNREACHED;
                 }
-                if levels[ui] != l as u32 {
+                if levels.level(ui) != l as u32 {
                     continue; // stale entry (relaxed below its queued level)
                 }
                 pops += 1;
@@ -2159,9 +2349,9 @@ impl BitReach {
                 }
                 for a in 0..d {
                     let s = out(ui, a);
-                    if member(s) && levels[s] > (l + 1) as u32 {
-                        ds.record(s as u32, levels[s]);
-                        levels[s] = (l + 1) as u32;
+                    if member(s) && levels.level(s) > (l + 1) as u32 {
+                        ds.record(s as u32, levels.level(s));
+                        levels.set_level(s, (l + 1) as u32);
                         if ds.pending[s] != (l + 1) as u32 {
                             ds.pending[s] = (l + 1) as u32;
                             ds.nxt.push(s as u32);
@@ -2222,7 +2412,7 @@ fn emit_queue(sink: &mut LevelSink<'_>, queue: &[u32]) {
 }
 
 /// Appends a dense level held in atomic cells to the sink (set bits in
-/// increasing id order, exactly like [`emit_bits`]).
+/// increasing id order, exactly like [`emit_bits_sum`]).
 fn emit_cells(sink: &mut LevelSink<'_>, cells: &AtomicCells, words: usize) {
     sink.offsets.push(sink.nodes.len() as u32);
     for j in 0..words {
@@ -2234,14 +2424,91 @@ fn emit_cells(sink: &mut LevelSink<'_>, cells: &AtomicCells, words: usize) {
     }
 }
 
-/// Appends a dense level to the sink (set bits in increasing id order).
-fn emit_bits(sink: &mut LevelSink<'_>, bits: &[u64]) {
+/// Appends a dense level to the sink with a hierarchical summary:
+/// skip-scans the occupied words only, set bits in increasing id order.
+/// Identical output to a full-word scan (the summary never misses an
+/// occupied word; false positives just visit a zero word).
+fn emit_bits_sum(sink: &mut LevelSink<'_>, bits: &[u64], sum: &[u64]) {
     sink.offsets.push(sink.nodes.len() as u32);
+    extract_bits_skip(bits, sum, sink.nodes);
+}
+
+/// Number of summary words covering `words` bitmap words (one summary
+/// *bit* per word, one summary *word* per 64-word / 4096-node block).
+#[inline]
+#[must_use]
+pub fn sum_words(words: usize) -> usize {
+    words.div_ceil(64)
+}
+
+/// Marks the summary bits covering bitmap words `base..base + len`.
+#[inline]
+fn mark_sum_range(sum: &mut [u64], base: usize, len: usize) {
+    let (first, last) = (base >> 6, (base + len - 1) >> 6);
+    if first == last {
+        let lo = base & 63;
+        let width = len as u64;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << lo
+        };
+        sum[first] |= mask;
+    } else {
+        sum[first] |= u64::MAX << (base & 63);
+        for w in &mut sum[first + 1..last] {
+            *w = u64::MAX;
+        }
+        let hi = (base + len - 1) & 63;
+        sum[last] |= if hi == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (hi + 1)) - 1
+        };
+    }
+}
+
+/// Rebuilds the hierarchical summary of `bits` from scratch: summary bit
+/// `j` is set iff `bits[j] != 0`. The in-kernel maintenance keeps
+/// summaries incrementally; this is for bitmaps mutated outside the
+/// kernels (and the skip-scan micro-bench).
+pub fn summarize_bits(bits: &[u64], sum: &mut [u64]) {
+    let sw = sum_words(bits.len());
+    sum[..sw].fill(0);
+    for (j, &w) in bits.iter().enumerate() {
+        sum[j >> 6] |= u64::from(w != 0) << (j & 63);
+    }
+}
+
+/// Appends the set bits of `bits` to `out` in increasing id order — the
+/// full-scan baseline the skip-scan micro-bench races against.
+pub fn extract_bits(bits: &[u64], out: &mut Vec<u32>) {
     for (j, &word) in bits.iter().enumerate() {
         let mut w = word;
         while w != 0 {
-            sink.nodes.push((j * 64) as u32 + w.trailing_zeros());
+            out.push((j * 64) as u32 + w.trailing_zeros());
             w &= w - 1;
+        }
+    }
+}
+
+/// [`extract_bits`] over the summary: visits only words whose summary bit
+/// is set, in increasing order, so the output is identical whenever the
+/// summary covers every occupied word (`occupied ⊆ marked`).
+pub fn extract_bits_skip(bits: &[u64], sum: &[u64], out: &mut Vec<u32>) {
+    for (sj, &sword) in sum.iter().enumerate() {
+        let mut s = sword;
+        while s != 0 {
+            let j = sj * 64 + s.trailing_zeros() as usize;
+            s &= s - 1;
+            if j >= bits.len() {
+                break;
+            }
+            let mut w = bits[j];
+            while w != 0 {
+                out.push((j * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
         }
     }
 }
@@ -2752,6 +3019,136 @@ mod tests {
 
     fn backward_false() -> bool {
         false
+    }
+
+    /// A delete cascade that climbs a node through the whole u8 escape
+    /// band (levels 254..n_nodes) must behave bit-for-bit the same on the
+    /// compact [`LevelVec`] as on the `u32` oracle array — both in the
+    /// partial state of a budget abort (escaped entries live) and in the
+    /// settled state (side table empty again).
+    #[test]
+    fn compact_levels_survive_deep_cascades_through_the_escape_band() {
+        let (d, n_nodes) = (2usize, 1 << 10);
+        let reach = BitReach::new(d, n_nodes);
+        let root = 1usize;
+        let mut member = vec![true; n_nodes];
+        let base = oracle_levels(d, n_nodes, &member, root, false);
+        let mut u32_levels = base.clone();
+        let mut lv = LevelVec::new();
+        lv.grow(n_nodes);
+        for (v, &l) in base.iter().enumerate() {
+            lv.set(v, l);
+        }
+        // Delete both predecessors of node 700 (350 and 350 + 512): its
+        // support vanishes and the Even–Shiloach cascade climbs it one
+        // level at a time toward n_nodes = 1024 — straight through the
+        // escape band — before settling at UNREACHED.
+        let batch = [350u32, 862];
+        for &v in &batch {
+            member[v as usize] = false;
+        }
+        let mut ds = DeltaScratch::new();
+        // A budget-bounded run aborts mid-climb: the deterministic pass
+        // leaves both stores in the same partial state, pinning escaped
+        // values (> 253) bit-for-bit.
+        let mut u32_part = u32_levels.clone();
+        let mut lv_part = lv.clone();
+        let e1 = reach
+            .levels_delete(&mut u32_part, &mut ds, &batch, |u| member[u], false, 500)
+            .expect_err("a 1000-step climb cannot fit 500 pops");
+        let e2 = reach
+            .levels_delete(&mut lv_part, &mut ds, &batch, |u| member[u], false, 500)
+            .expect_err("a 1000-step climb cannot fit 500 pops");
+        assert_eq!(e1.pops, e2.pops, "abort point must match");
+        for (v, &u32_v) in u32_part.iter().enumerate() {
+            assert_eq!(u32_v, lv_part.get(v), "partial state node {v}");
+        }
+        assert!(
+            lv_part.overflow_len() > 0,
+            "the abort landed inside the escape band"
+        );
+        // The unbounded run settles both stores at the recompute oracle.
+        reach
+            .levels_delete(
+                &mut u32_levels,
+                &mut ds,
+                &batch,
+                |u| member[u],
+                false,
+                usize::MAX,
+            )
+            .expect("unbounded budget");
+        reach
+            .levels_delete(&mut lv, &mut ds, &batch, |u| member[u], false, usize::MAX)
+            .expect("unbounded budget");
+        let want = oracle_levels(d, n_nodes, &member, root, false);
+        assert_eq!(u32_levels, want);
+        for (v, &want_v) in want.iter().enumerate() {
+            assert_eq!(lv.get(v), want_v, "settled state node {v}");
+        }
+        assert_eq!(lv.overflow_len(), 0, "settled levels never stay escaped");
+    }
+
+    /// The two-level skip-scan must extract exactly the full scan's output
+    /// for any bitmap — including non-multiple-of-64 word counts, empty
+    /// maps, and over-approximate summaries (extra marked blocks are
+    /// harmless; `occupied ⊆ marked` is the only invariant).
+    #[test]
+    fn summary_skip_scan_matches_full_extraction() {
+        let mut rng = StdRng::seed_from_u64(0x5ca9);
+        for words in [1usize, 7, 63, 64, 65, 200] {
+            for density in [0usize, 1, 8, words * 8] {
+                let mut bits = vec![0u64; words];
+                for _ in 0..density {
+                    let v = rng.gen_range(0..words * 64);
+                    bits[v / 64] |= 1u64 << (v % 64);
+                }
+                let mut sum = vec![0u64; sum_words(words)];
+                summarize_bits(&bits, &mut sum);
+                // The rebuilt summary marks exactly the occupied words.
+                for (j, &w) in bits.iter().enumerate() {
+                    assert_eq!(sum[j >> 6] >> (j & 63) & 1 == 1, w != 0, "word {j}");
+                }
+                let (mut fast, mut slow) = (Vec::new(), Vec::new());
+                extract_bits_skip(&bits, &sum, &mut fast);
+                extract_bits(&bits, &mut slow);
+                assert_eq!(fast, slow, "words={words} density={density}");
+                // An over-approximate summary (every block marked) only
+                // adds zero-word probes, never changes the output.
+                let all = vec![u64::MAX; sum_words(words)];
+                fast.clear();
+                extract_bits_skip(&bits, &all, &mut fast);
+                assert_eq!(fast, slow, "over-approximate words={words}");
+            }
+        }
+    }
+
+    /// `mark_sum_range` must cover exactly the requested word range for
+    /// every alignment, including spans crossing summary-word boundaries.
+    #[test]
+    fn mark_sum_range_covers_exactly_the_requested_words() {
+        for &(base, len) in &[
+            (0usize, 1usize),
+            (0, 64),
+            (63, 1),
+            (63, 2),
+            (5, 200),
+            (64, 64),
+            (100, 1),
+            (0, 193),
+        ] {
+            let total = (base + len).div_ceil(64) + 1;
+            let mut sum = vec![0u64; total];
+            mark_sum_range(&mut sum, base, len);
+            for j in 0..total * 64 {
+                let marked = sum[j >> 6] >> (j & 63) & 1 == 1;
+                assert_eq!(
+                    marked,
+                    (base..base + len).contains(&j),
+                    "base={base} len={len} word {j}"
+                );
+            }
+        }
     }
 
     #[test]

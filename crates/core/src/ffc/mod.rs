@@ -187,6 +187,10 @@ pub struct EmbedScratch {
     /// Parallel engine: packed (stamp << 32 | broadcast level) per node —
     /// one combined visited/level slot, so the parent lookup costs a
     /// single random read where the serial engine reads `vis` and `level`.
+    /// Unlike the session's level arrays this slot stays 64-bit under the
+    /// PR 10 compaction: the stamp occupies the full upper half, so "where
+    /// width permits" does not apply — narrowing would force a per-call
+    /// clear, trading the saved bandwidth back for a full-array sweep.
     plvl: AtomicCells,
     /// Parallel engine: per-necklace min (level << 32 | node) over B*
     /// (`u64::MAX` = necklace not in B* this call; cleared per call).

@@ -64,8 +64,9 @@
 use std::sync::Arc;
 
 use crate::bitreach::{
-    reserve_more, BitScratch, DeltaBudgetExceeded, DeltaScratch, ParBitScratch, UNREACHED,
+    reserve_more, BitScratch, DeltaBudgetExceeded, DeltaScratch, LevelVec, ParBitScratch, UNREACHED,
 };
+use crate::mem::grow_to;
 
 use super::snapshot::{RingSnapshot, SnapshotParts, SnapshotPublisher};
 use super::{EmbedStats, Ffc, NONE};
@@ -287,16 +288,19 @@ pub struct EmbedSession {
     root: usize,
     root_neck: usize,
     /// Forward BFS levels from the root over live nodes (UNREACHED = dead
-    /// or unreachable).
-    fwd_level: Vec<u32>,
+    /// or unreachable), in the compact one-byte-per-node encoding — 4×
+    /// less DRAM traffic on every level sweep than the `Vec<u32>` it
+    /// replaced.
+    fwd_level: LevelVec,
     /// Backward BFS levels (distance *to* the root) over live nodes.
-    bwd_level: Vec<u32>,
+    bwd_level: LevelVec,
     /// B* membership: forward- and backward-reachable and live.
     in_bstar: Vec<bool>,
     component_size: usize,
     // -- spanning tree --
-    /// Broadcast levels over the B*-induced subgraph.
-    bcast_level: Vec<u32>,
+    /// Broadcast levels over the B*-induced subgraph (compact, published
+    /// into snapshots as the level group).
+    bcast_level: LevelVec,
     /// Histogram of `bcast_level` (eccentricity = the last non-zero bin).
     level_counts: Vec<u32>,
     max_level: usize,
@@ -328,6 +332,9 @@ pub struct EmbedSession {
     /// Copy-on-publish dirty flag: `bstar_bits` changed since the last
     /// publication.
     snap_bstar_dirty: bool,
+    /// Copy-on-publish dirty flag: `bcast_level` changed since the last
+    /// publication (the snapshot's level group).
+    snap_level_dirty: bool,
     // -- reusable machinery --
     bits: BitScratch,
     pbits: ParBitScratch,
@@ -478,7 +485,8 @@ impl EmbedSession {
     #[must_use]
     pub fn forward_level_counts(&self) -> Vec<usize> {
         let mut counts = Vec::new();
-        for &l in &self.fwd_level[..self.n_nodes] {
+        for v in 0..self.n_nodes {
+            let l = self.fwd_level.get(v);
             if l == UNREACHED {
                 continue;
             }
@@ -516,15 +524,28 @@ impl EmbedSession {
             infeasible: self.root == INFEASIBLE_ROOT,
             ring_dirty: self.snap_ring_dirty,
             bstar_dirty: self.snap_bstar_dirty,
+            level_dirty: self.snap_level_dirty,
             succ: &self.succ[..self.n_nodes],
             exit_bits: &self.exit_bits[..words],
             bstar_bits: &self.bstar_bits[..words],
+            bcast_level: &self.bcast_level,
             applied_events,
         };
         let snap = publisher.build(parts);
         self.snap_ring_dirty = false;
         self.snap_bstar_dirty = false;
+        self.snap_level_dirty = false;
         snap
+    }
+
+    /// Bytes currently reserved by the three per-node level arrays —
+    /// the footprint the benchmark's `level_bytes` column audits against
+    /// the `3 · 4 · n` a `u32` encoding would pay.
+    #[must_use]
+    pub fn level_bytes(&self) -> usize {
+        self.fwd_level.allocated_bytes()
+            + self.bwd_level.allocated_bytes()
+            + self.bcast_level.allocated_bytes()
     }
 
     /// Total bytes currently reserved by the session's buffers — constant
@@ -536,11 +557,9 @@ impl EmbedSession {
             + self.node_dead.capacity()
             + self.in_bstar.capacity()
             + std::mem::size_of::<usize>() * self.fault_list.capacity()
+            + self.level_bytes()
             + 4 * (self.fault_pos.capacity()
                 + self.neck_fault_count.capacity()
-                + self.fwd_level.capacity()
-                + self.bwd_level.capacity()
-                + self.bcast_level.capacity()
                 + self.level_counts.capacity()
                 + self.neck_chosen.capacity()
                 + self.neck_label.capacity()
@@ -616,9 +635,9 @@ impl EmbedSession {
         grow_to(&mut self.in_bstar, n, false);
         grow_to(&mut self.fault_pos, n, NONE);
         grow_to(&mut self.edge_src, n, 0);
-        grow_to(&mut self.fwd_level, n, UNREACHED);
-        grow_to(&mut self.bwd_level, n, UNREACHED);
-        grow_to(&mut self.bcast_level, n, UNREACHED);
+        self.fwd_level.grow(n);
+        self.bwd_level.grow(n);
+        self.bcast_level.grow(n);
         grow_to(&mut self.succ, n, 0);
         grow_to(&mut self.label_children, t.suffix_count * t.d, NONE);
         grow_to(&mut self.cand_stamp, n, 0);
@@ -673,6 +692,7 @@ impl EmbedSession {
         self.bstar_bits[..n.div_ceil(64)].fill(0);
         self.snap_ring_dirty = true;
         self.snap_bstar_dirty = true;
+        self.snap_level_dirty = true;
         self.initialized = true;
     }
 
@@ -871,9 +891,9 @@ impl EmbedSession {
         let n = self.n_nodes;
         self.root = INFEASIBLE_ROOT;
         self.root_neck = usize::MAX;
-        self.fwd_level[..n].fill(UNREACHED);
-        self.bwd_level[..n].fill(UNREACHED);
-        self.bcast_level[..n].fill(UNREACHED);
+        self.fwd_level.fill_unreached();
+        self.bwd_level.fill_unreached();
+        self.bcast_level.fill_unreached();
         self.in_bstar[..n].fill(false);
         self.component_size = 0;
         self.level_counts.clear();
@@ -884,6 +904,7 @@ impl EmbedSession {
         self.bstar_bits[..n.div_ceil(64)].fill(0);
         self.snap_ring_dirty = true;
         self.snap_bstar_dirty = true;
+        self.snap_level_dirty = true;
     }
 
     // ------------------------------------------------------------------
@@ -933,29 +954,33 @@ impl EmbedSession {
             shards,
         );
         scatter_levels(&mut self.bwd_level, n, &self.nodes_buf, &self.offsets_buf);
-        self.bstar_bits[..n.div_ceil(64)].fill(0);
-        let mut component = 0usize;
-        for v in 0..n {
-            let b = self.fwd_level[v] != UNREACHED && self.bwd_level[v] != UNREACHED;
-            self.in_bstar[v] = b;
-            if b {
-                self.bstar_bits[v / 64] |= 1u64 << (v % 64);
-            }
-            component += usize::from(b);
-        }
-        self.component_size = component;
-        self.snap_ring_dirty = true;
-        self.snap_bstar_dirty = true;
 
-        // Spanning tree: broadcast levels over B* plus their histogram.
-        let (reached, depth) = reach.broadcast_levels_par(
+        // Spanning tree: one fused chunk-streamed pass writes the B* mask
+        // (fwd ∧ bwd ∧ ¬dead), counts |B*| and seeds the broadcast
+        // visited set, then emits the broadcast levels over B* — no
+        // separate bstar-bitmap or component-count sweeps.
+        let words = n.div_ceil(64);
+        let (component, reached, depth) = reach.broadcast_levels_bstar_par(
             &mut self.bits,
             &mut self.pbits,
             self.root,
             &mut self.nodes_buf,
             &mut self.offsets_buf,
+            &mut self.bstar_bits[..words],
             shards,
         );
+        self.in_bstar[..n].fill(false);
+        for (j, &word) in self.bstar_bits[..words].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                self.in_bstar[j * 64 + w.trailing_zeros() as usize] = true;
+                w &= w - 1;
+            }
+        }
+        self.component_size = component;
+        self.snap_ring_dirty = true;
+        self.snap_bstar_dirty = true;
+        self.snap_level_dirty = true;
         debug_assert_eq!(reached, component, "broadcast must cover B*");
         let _ = reached;
         scatter_levels(&mut self.bcast_level, n, &self.nodes_buf, &self.offsets_buf);
@@ -1019,11 +1044,11 @@ impl EmbedSession {
     fn record_fields(&self, ffc: &Ffc, chosen: usize) -> (usize, usize) {
         let (d, suffix) = (self.d, self.suffix);
         let label = chosen / d;
-        let lvl = self.bcast_level[chosen];
+        let lvl = self.bcast_level.get(chosen);
         debug_assert!(lvl != UNREACHED && lvl >= 1, "chosen node outside the tree");
         let parent = (0..d)
             .map(|a| label + a * suffix)
-            .find(|&p| self.bcast_level[p] == lvl - 1)
+            .find(|&p| self.bcast_level.get(p) == lvl - 1)
             // PANIC-OK: a chosen node sits at broadcast level >= 1, so one
             // of its d predecessors was on the frontier one level up — the
             // debug_assert above states the invariant and the exhaustive
@@ -1128,8 +1153,8 @@ impl EmbedSession {
         for i in 0..self.cand_buf.len() {
             let u = self.cand_buf[i] as usize;
             let now = !self.node_dead[u]
-                && self.fwd_level[u] != UNREACHED
-                && self.bwd_level[u] != UNREACHED;
+                && self.fwd_level.get(u) != UNREACHED
+                && self.bwd_level.get(u) != UNREACHED;
             if self.in_bstar[u] && !now {
                 self.in_bstar[u] = false;
                 self.bstar_bits[u / 64] &= !(1u64 << (u % 64));
@@ -1209,6 +1234,9 @@ impl EmbedSession {
     fn absorb_bcast_changes(&mut self, ffc: &Ffc) {
         let membership = ffc.partition.membership();
         let (d, suffix) = (self.d, self.suffix);
+        if !self.bc_nodes.is_empty() {
+            self.snap_level_dirty = true;
+        }
         // Histogram.
         for i in 0..self.bc_nodes.len() {
             let u = self.bc_nodes[i] as usize;
@@ -1216,7 +1244,7 @@ impl EmbedSession {
             if old != UNREACHED {
                 self.level_counts[old as usize] -= 1;
             }
-            let new = self.bcast_level[u];
+            let new = self.bcast_level.get(u);
             if new != UNREACHED {
                 let new = new as usize;
                 if self.level_counts.len() <= new {
@@ -1308,7 +1336,7 @@ impl EmbedSession {
         }
         let mut best = u64::MAX;
         for &m in members {
-            let lvl = self.bcast_level[m as usize];
+            let lvl = self.bcast_level.get(m as usize);
             debug_assert!(lvl != UNREACHED, "B* necklace member without a level");
             let key = (u64::from(lvl) << 32) | u64::from(m);
             best = best.min(key);
@@ -1480,6 +1508,21 @@ impl RingMaintainer {
     #[must_use]
     pub fn session(&self) -> &EmbedSession {
         &self.session
+    }
+
+    /// Total bytes currently reserved by the maintainer's session —
+    /// constant across repair events at a fixed (d, n)
+    /// ([`EmbedSession::allocated_bytes`]).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.session.allocated_bytes()
+    }
+
+    /// Bytes of the session's compact per-node level arrays
+    /// ([`EmbedSession::level_bytes`]).
+    #[must_use]
+    pub fn level_bytes(&self) -> usize {
+        self.session.level_bytes()
     }
 
     /// How many events ran as delta repairs vs rebuilds.
@@ -1676,13 +1719,6 @@ pub(crate) fn validate_event(
     Ok(())
 }
 
-/// Grows `v` to at least `len` entries filled with `fill` (never shrinks).
-fn grow_to<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
-    if v.len() < len {
-        v.resize(len, fill);
-    }
-}
-
 /// Marks a label dirty exactly once per event.
 fn mark_label(label: usize, stamp: u32, labels: &mut Vec<u32>, stamps: &mut [u32]) {
     if stamps[label] != stamp {
@@ -1691,13 +1727,14 @@ fn mark_label(label: usize, stamp: u32, labels: &mut Vec<u32>, stamps: &mut [u32
     }
 }
 
-/// Scatters a level CSR into a per-node level array (UNREACHED holes).
-fn scatter_levels(lv: &mut Vec<u32>, n_nodes: usize, nodes: &[u32], offsets: &[u32]) {
-    grow_to(lv, n_nodes, UNREACHED);
-    lv[..n_nodes].fill(UNREACHED);
+/// Scatters a level CSR into a compact per-node level array (UNREACHED
+/// holes).
+fn scatter_levels(lv: &mut LevelVec, n_nodes: usize, nodes: &[u32], offsets: &[u32]) {
+    lv.grow(n_nodes);
+    lv.fill_unreached();
     for l in 0..offsets.len().saturating_sub(1) {
         for &v in &nodes[offsets[l] as usize..offsets[l + 1] as usize] {
-            lv[v as usize] = l as u32;
+            lv.set(v as usize, l as u32);
         }
     }
 }

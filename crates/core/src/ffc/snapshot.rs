@@ -10,10 +10,13 @@
 //!
 //! [`SnapshotPublisher`] builds snapshots **copy-on-publish**: the session
 //! tracks which structure groups a repair actually touched (the ring wiring
-//! `succ`/`exit_bits`; the membership bitmap), and only those are copied
-//! into fresh buffers — an untouched group is shared with the previous
-//! snapshot by bumping its `Arc`. A no-topology-change publication (e.g. a
-//! redundant event, or pure stats refresh) therefore costs O(1). Retired
+//! `succ`/`exit_bits`; the membership bitmap; the broadcast level group),
+//! and only those are copied into fresh buffers — an untouched group is
+//! shared with the previous snapshot by bumping its `Arc`. A
+//! no-topology-change publication (e.g. a redundant event, or pure stats
+//! refresh) therefore costs O(1). The level group is a compact
+//! [`LevelVec`] (PR 10) — one byte per node instead of four — so the
+//! dominant copy of a dirty publication moved 4× less data. Retired
 //! buffers are reclaimed by refcount once their last reader drops
 //! (grace-period-by-`Arc`) and recycled into free pools, so a steady-state
 //! publish loop stops allocating.
@@ -22,6 +25,7 @@ use std::sync::Arc;
 
 use super::session::RepairOutcome;
 use super::EmbedStats;
+use crate::bitreach::{LevelVec, UNREACHED};
 
 /// Bound on pooled buffers of each width kept for reuse.
 const POOL_CAP: usize = 8;
@@ -90,6 +94,9 @@ pub struct RingSnapshot {
     pub(crate) exit_bits: Arc<Vec<u64>>,
     /// Bit v set ⟺ node v rides the served ring (B* membership).
     pub(crate) bstar_bits: Arc<Vec<u64>>,
+    /// Broadcast level of every node at publication time, in the compact
+    /// one-byte-per-node encoding ([`UNREACHED`] off the ring).
+    pub(crate) bcast_level: Arc<LevelVec>,
 }
 
 impl RingSnapshot {
@@ -174,6 +181,18 @@ impl RingSnapshot {
     pub fn contains(&self, u: usize) -> Result<bool, LookupError> {
         self.check_node(u)?;
         Ok(self.on_ring(u))
+    }
+
+    /// The broadcast level of `u` at publication time: its distance from
+    /// the ring root in the surviving component, or `None` for a node off
+    /// the broadcast tree (faulty or disconnected).
+    ///
+    /// # Errors
+    /// [`LookupError::NodeOutOfRange`] for an id outside the graph.
+    pub fn broadcast_level(&self, u: usize) -> Result<Option<u32>, LookupError> {
+        self.check_node(u)?;
+        let l = self.bcast_level.get(u);
+        Ok((l != UNREACHED).then_some(l))
     }
 
     /// The ring successor of `u`: the next node the embedded cycle visits.
@@ -274,9 +293,12 @@ pub(crate) struct SnapshotParts<'a> {
     pub ring_dirty: bool,
     /// `bstar_bits` changed since the last publication.
     pub bstar_dirty: bool,
+    /// `bcast_level` changed since the last publication.
+    pub level_dirty: bool,
     pub succ: &'a [u32],
     pub exit_bits: &'a [u64],
     pub bstar_bits: &'a [u64],
+    pub bcast_level: &'a LevelVec,
     pub applied_events: u64,
 }
 
@@ -294,9 +316,11 @@ pub struct SnapshotPublisher {
     retired: Vec<Arc<RingSnapshot>>,
     free_u32: Vec<Vec<u32>>,
     free_u64: Vec<Vec<u64>>,
+    free_levels: Vec<LevelVec>,
     publications: u64,
     shared_ring: u64,
     shared_membership: u64,
+    shared_levels: u64,
     reclaimed: u64,
 }
 
@@ -324,6 +348,12 @@ impl SnapshotPublisher {
     #[must_use]
     pub fn shared_membership(&self) -> u64 {
         self.shared_membership
+    }
+
+    /// Publications that shared the previous broadcast level group.
+    #[must_use]
+    pub fn shared_levels(&self) -> u64 {
+        self.shared_levels
     }
 
     /// Retired buffers recycled into the free pools so far.
@@ -371,6 +401,18 @@ impl SnapshotPublisher {
         } else {
             self.copy_u64(parts.bstar_bits)
         };
+        let share_levels = !parts.level_dirty && can_share(self.prev.as_ref());
+        let bcast_level = if share_levels {
+            let p = self.prev.as_ref().expect("share_levels implies prev");
+            debug_assert_eq!(
+                &*p.bcast_level, parts.bcast_level,
+                "levels flagged clean but broadcast levels differ"
+            );
+            self.shared_levels += 1;
+            Arc::clone(&p.bcast_level)
+        } else {
+            self.copy_levels(parts.bcast_level)
+        };
         self.publications += 1;
         let snap = Arc::new(RingSnapshot {
             d: parts.d,
@@ -383,6 +425,7 @@ impl SnapshotPublisher {
             succ,
             exit_bits,
             bstar_bits,
+            bcast_level,
         });
         if let Some(old) = self.prev.replace(Arc::clone(&snap)) {
             self.retired.push(old);
@@ -412,6 +455,9 @@ impl SnapshotPublisher {
                     if let Ok(buf) = Arc::try_unwrap(arc) {
                         self.pool_u64(buf);
                     }
+                }
+                if let Ok(buf) = Arc::try_unwrap(snap.bcast_level) {
+                    self.pool_levels(buf);
                 }
             }
         }
@@ -447,6 +493,19 @@ impl SnapshotPublisher {
         let mut buf = self.free_u64.pop().unwrap_or_default();
         buf.clear();
         buf.extend_from_slice(src);
+        Arc::new(buf)
+    }
+
+    fn pool_levels(&mut self, buf: LevelVec) {
+        if self.free_levels.len() < POOL_CAP {
+            self.free_levels.push(buf);
+            self.reclaimed += 1;
+        }
+    }
+
+    fn copy_levels(&mut self, src: &LevelVec) -> Arc<LevelVec> {
+        let mut buf = self.free_levels.pop().unwrap_or_default();
+        buf.copy_from(src);
         Arc::new(buf)
     }
 }
@@ -531,16 +590,47 @@ mod tests {
         assert!(Arc::ptr_eq(&first.succ, &second.succ));
         assert!(Arc::ptr_eq(&first.exit_bits, &second.exit_bits));
         assert!(Arc::ptr_eq(&first.bstar_bits, &second.bstar_bits));
+        assert!(Arc::ptr_eq(&first.bcast_level, &second.bcast_level));
         assert_eq!(publisher.shared_ring(), 1);
         assert_eq!(publisher.shared_membership(), 1);
-        // A topology-changing event dirties both groups.
+        assert_eq!(publisher.shared_levels(), 1);
+        // A topology-changing event dirties every group.
         maint
             .apply_batch(&ffc, &[FaultEvent::NodeDown(5)])
             .expect("repair");
         let third = maint.publish(&mut publisher, 1).expect("publish");
         assert!(!Arc::ptr_eq(&second.bstar_bits, &third.bstar_bits));
+        assert!(!Arc::ptr_eq(&second.bcast_level, &third.bcast_level));
         assert_eq!(third.seq(), 3);
         assert_eq!(third.applied_events(), 1);
+    }
+
+    #[test]
+    fn snapshot_broadcast_levels_match_membership_and_root() {
+        let (ffc, mut maint, mut publisher) = service_pair();
+        maint
+            .apply_batch(&ffc, &[FaultEvent::NodeDown(3), FaultEvent::NodeDown(17)])
+            .expect("repair");
+        let snap = maint.publish(&mut publisher, 2).expect("publish");
+        let root = snap.root().expect("feasible");
+        assert_eq!(snap.broadcast_level(root), Ok(Some(0)));
+        for v in 0..snap.n_nodes() {
+            let lvl = snap.broadcast_level(v).expect("in range");
+            // Level reach and ring membership agree on B* exactly.
+            assert_eq!(
+                lvl.is_some(),
+                snap.contains(v).expect("in range"),
+                "node {v}"
+            );
+        }
+        let n = snap.n_nodes();
+        assert_eq!(
+            snap.broadcast_level(n),
+            Err(LookupError::NodeOutOfRange {
+                node: n,
+                n_nodes: n
+            })
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod churn;
 pub mod disjoint;
 pub mod edge_faults;
 pub mod ffc;
+mod mem;
 pub mod modified;
 pub mod necklace_graph;
 pub mod seq;
@@ -63,7 +64,7 @@ pub mod verify;
 
 pub use bitreach::{
     AtomicCells, BitFrontier, BitReach, BitScratch, DeltaBudgetExceeded, DeltaScratch, DensePolicy,
-    ParBitScratch, SpaceTooLarge, UNREACHED,
+    LevelStore, LevelVec, ParBitScratch, SpaceTooLarge, UNREACHED, UNREACHED_U8,
 };
 pub use bounds::{edge_fault_tolerance, phi_edge_bound, psi};
 pub use butterfly::{lift_cycle, ButterflyEmbedder};

@@ -120,6 +120,8 @@ pub struct ServiceReport {
     pub shared_ring: u64,
     /// Publications that shared the membership bitmap by refcount.
     pub shared_membership: u64,
+    /// Publications that shared the broadcast level group by refcount.
+    pub shared_levels: u64,
     /// Retired snapshot buffers recycled into the publisher's pools.
     pub reclaimed_buffers: u64,
     /// Per-batch repair times (the `apply_batch` call), nanoseconds.
@@ -248,6 +250,15 @@ impl ReaderHandle {
     /// See [`RingSnapshot::contains`].
     pub fn contains(&mut self, u: usize) -> Result<bool, LookupError> {
         self.refresh().contains(u)
+    }
+
+    /// Broadcast level of `u` against the latest snapshot (`None` when
+    /// off the broadcast tree).
+    ///
+    /// # Errors
+    /// See [`RingSnapshot::broadcast_level`].
+    pub fn broadcast_level(&mut self, u: usize) -> Result<Option<u32>, LookupError> {
+        self.refresh().broadcast_level(u)
     }
 
     /// Walks `len` ring nodes from `u` against the latest snapshot.
@@ -452,6 +463,7 @@ fn writer_loop(
     report.publications = publisher.publications();
     report.shared_ring = publisher.shared_ring();
     report.shared_membership = publisher.shared_membership();
+    report.shared_levels = publisher.shared_levels();
     report.reclaimed_buffers = publisher.reclaimed();
     report.repairs = maint.repairs();
     report.effective_shards = maint.effective_shards(ffc);

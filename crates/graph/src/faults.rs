@@ -11,8 +11,12 @@
 //! Node faults are held in a word-packed bitset, so the membership test on
 //! the hot path of every masked traversal is one shift/mask pair instead
 //! of a hash probe, and a fault set for a d^n-node graph costs d^n / 8
-//! bytes. Edge faults (rare, and only ever a handful per experiment) live
-//! in a small sorted vector searched by binary search.
+//! bytes. A one-bit-per-word summary (bit `j` set ⟺ word `j` may hold a
+//! fault) rides alongside, so iterating the faults of a sparse set over a
+//! huge node space skip-scans occupied words instead of sweeping millions
+//! of zeros — the same block-hierarchical trick the core engine's
+//! frontier bitmaps use. Edge faults (rare, and only ever a handful per
+//! experiment) live in a small sorted vector searched by binary search.
 
 use crate::topology::Topology;
 
@@ -22,6 +26,10 @@ pub struct FaultSet {
     /// Word-packed node-fault bitset: bit `v` set ⟺ node `v` is faulty.
     /// Grows on demand; absent words mean "not faulty".
     node_bits: Vec<u64>,
+    /// Hierarchical summary: bit `j` set ⟺ `node_bits[j]` may be
+    /// non-zero (occupied ⊆ marked; a false positive costs one extra word
+    /// probe, a false negative would lose faults — never produced).
+    node_sum: Vec<u64>,
     /// Number of set bits in `node_bits`.
     node_count: usize,
     /// Explicitly failed directed edges, sorted and deduplicated.
@@ -61,9 +69,14 @@ impl FaultSet {
         if word >= self.node_bits.len() {
             self.node_bits.resize(word + 1, 0);
         }
+        let sum_word = word / 64;
+        if sum_word >= self.node_sum.len() {
+            self.node_sum.resize(sum_word + 1, 0);
+        }
         let mask = 1u64 << (v % 64);
         if self.node_bits[word] & mask == 0 {
             self.node_bits[word] |= mask;
+            self.node_sum[sum_word] |= 1u64 << (word % 64);
             self.node_count += 1;
         }
     }
@@ -100,12 +113,17 @@ impl FaultSet {
             || (!self.edges.is_empty() && self.edges.binary_search(&(u, v)).is_ok())
     }
 
-    /// The faulty nodes, in increasing id order.
+    /// The faulty nodes, in increasing id order — a two-level skip-scan:
+    /// the summary selects occupied words, `trailing_zeros` walks each
+    /// word's set bits, so cost scales with faults plus occupied blocks,
+    /// not with the node-space size.
     pub fn faulty_nodes(&self) -> impl Iterator<Item = usize> + '_ {
-        self.node_bits.iter().enumerate().flat_map(|(i, &word)| {
-            (0..64)
-                .filter(move |b| word & (1u64 << b) != 0)
-                .map(move |b| i * 64 + b)
+        self.node_sum.iter().enumerate().flat_map(move |(si, &sw)| {
+            BitIndices(sw).flat_map(move |sb| {
+                let j = si * 64 + sb;
+                let word = self.node_bits.get(j).copied().unwrap_or(0);
+                BitIndices(word).map(move |b| j * 64 + b)
+            })
         })
     }
 
@@ -141,6 +159,23 @@ impl FaultSet {
             graph,
             faults: self,
         }
+    }
+}
+
+/// Iterator over the set-bit indices of one word, low to high.
+struct BitIndices(u64);
+
+impl Iterator for BitIndices {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
     }
 }
 
@@ -283,5 +318,21 @@ mod tests {
         f.fail_edge(5, 6);
         assert_eq!(f.edge_fault_count(), 1);
         assert_eq!(f.faulty_edges(), &[(5, 6)]);
+    }
+
+    #[test]
+    fn skip_scan_iteration_matches_full_scan_order() {
+        // Faults scattered across summary-block boundaries: same summary
+        // word (ids < 4096), the next summary word, and far beyond —
+        // skip-scan must visit them in ascending order with none missed.
+        let ids = [0usize, 63, 64, 4095, 4096, 4159, 262_144, 262_207];
+        let f = FaultSet::from_nodes(ids);
+        assert_eq!(f.faulty_nodes().collect::<Vec<_>>(), ids.to_vec());
+        assert_eq!(f.node_fault_count(), ids.len());
+        // Reference: brute-force over every bit of the grown bitset.
+        let brute: Vec<usize> = (0..f.node_bits.len() * 64)
+            .filter(|&v| f.node_is_faulty(v))
+            .collect();
+        assert_eq!(f.faulty_nodes().collect::<Vec<_>>(), brute);
     }
 }
